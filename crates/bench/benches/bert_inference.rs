@@ -1,0 +1,41 @@
+//! §4.4 BERT comparison: prints the effectiveness/latency table for both
+//! models, then benchmarks raw column-embedding inference per model — the
+//! cost difference the paper attributes the 10x slowdown to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use wg_bench::xs_fixture_priced;
+use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, MiniBertModel, WebTableModel};
+use wg_eval::experiments::bert;
+use wg_store::Column;
+
+fn bench(c: &mut Criterion) {
+    let (corpus, connector) = xs_fixture_priced();
+    let rows = bert::run(&corpus, &connector);
+    println!("{}", bert::render(&corpus.name, &rows));
+    if let Some(v) = bert::check_claims(&rows, 0.2, 3.0) {
+        println!("[bert] CLAIM VIOLATION: {v}");
+    }
+
+    let column = Column::text(
+        "values",
+        (0..200).map(|i| format!("Sample Company {i} Inc")).collect::<Vec<_>>(),
+    );
+    let mut group = c.benchmark_group("bert_inference/embed_column_200_values");
+    group.sample_size(20);
+    let models: Vec<(&str, Arc<dyn EmbeddingModel>)> = vec![
+        ("web-table", Arc::new(WebTableModel::default_model())),
+        ("mini-bert", Arc::new(MiniBertModel::default_model())),
+    ];
+    for (name, model) in models {
+        let embedder = ColumnEmbedder::new(model, Aggregation::default());
+        // Warm the token cache so the steady-state cost is measured.
+        let _ = embedder.embed_column(&column);
+        group.bench_function(name, |b| b.iter(|| black_box(embedder.embed_column(&column))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4(c): PK/FK detection on the Spider-style corpus — prints the
+//! series, benchmarks the per-system query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wg_corpora::build_spider;
+use wg_eval::experiments::figure4;
+use wg_eval::systems::build_systems;
+use wg_store::{CdwConfig, CdwConnector, SampleSpec};
+
+fn bench(c: &mut Criterion) {
+    let corpus = build_spider(0.05, 0x5919);
+    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free());
+    let systems =
+        build_systems(&connector, SampleSpec::DistinctReservoir { n: 1000, seed: 1 }).unwrap();
+    let points = figure4::run_with_systems(&corpus, &connector, &systems);
+    println!("{}", figure4::render("c — Spider stand-in", &points));
+
+    let q = &corpus.queries[0];
+    let mut group = c.benchmark_group("fig4_spider/query");
+    for system in &systems {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| black_box(system.query(&connector, q, 10).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 4(b): effectiveness at testbedM's shape (fewer, wider-row
+//! tables). Uses a reduced-row M corpus; prints the series, benchmarks
+//! the per-system query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wg_corpora::{build_testbed, TestbedSpec};
+use wg_eval::experiments::figure4;
+use wg_eval::systems::build_systems;
+use wg_store::{CdwConfig, CdwConnector, SampleSpec};
+
+fn bench(c: &mut Criterion) {
+    let corpus = build_testbed(&TestbedSpec::m(0.0005));
+    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free());
+    let systems =
+        build_systems(&connector, SampleSpec::DistinctReservoir { n: 1000, seed: 1 }).unwrap();
+    let points = figure4::run_with_systems(&corpus, &connector, &systems);
+    println!("{}", figure4::render("b — M stand-in", &points));
+
+    let q = &corpus.queries[0];
+    let mut group = c.benchmark_group("fig4_testbed_m/query");
+    group.sample_size(20);
+    for system in &systems {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| black_box(system.query(&connector, q, 10).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4(a): effectiveness on a NextiaJD-style testbed — prints the
+//! P/R series for all three systems, then benchmarks one discovery query
+//! per system (the operation behind each curve point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wg_bench::xs_fixture;
+use wg_eval::experiments::figure4;
+use wg_eval::systems::build_systems;
+use wg_store::SampleSpec;
+
+fn bench(c: &mut Criterion) {
+    let (corpus, connector) = xs_fixture();
+    let systems =
+        build_systems(&connector, SampleSpec::DistinctReservoir { n: 1000, seed: 1 }).unwrap();
+    let points = figure4::run_with_systems(&corpus, &connector, &systems);
+    println!("{}", figure4::render("a — XS stand-in", &points));
+
+    let q = &corpus.queries[0];
+    let mut group = c.benchmark_group("fig4_testbed_s/query");
+    for system in &systems {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| black_box(system.query(&connector, q, 10).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §4.4 sample efficiency: prints the P/R + latency sweep, then benchmarks
+//! the discovery query at each sample size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wg_bench::xs_fixture_priced;
+use wg_eval::experiments::samples;
+use wg_eval::systems::{build_warpgate, System};
+
+fn bench(c: &mut Criterion) {
+    let (corpus, connector) = xs_fixture_priced();
+    let rows = samples::run(&corpus, &connector);
+    println!("{}", samples::render(&corpus.name, &rows));
+
+    let q = &corpus.queries[0];
+    let mut group = c.benchmark_group("sample_efficiency/query");
+    for (label, spec) in samples::sample_specs() {
+        let system = build_warpgate(&connector, spec, None).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &system, |b, sys| {
+            b.iter(|| black_box(sys.query(&connector, q, 10).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! §5.1 fleet scale: prints the fleet statistics and cost comparison, then
+//! benchmarks fleet sampling and cost accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wg_corpora::{FleetSample, FleetSpec};
+use wg_eval::experiments::scale;
+use wg_store::CdwConfig;
+
+fn bench(c: &mut Criterion) {
+    let result = scale::run(4_000, 7);
+    println!("{}", scale::render(&result));
+
+    let mut group = c.benchmark_group("scale_sampling_cost");
+    group.sample_size(10);
+    group.bench_function("draw_fleet_1000", |b| {
+        b.iter(|| black_box(FleetSample::draw(&FleetSpec::paper(1_000, 7))))
+    });
+    let fleet = FleetSample::draw(&FleetSpec::paper(1_000, 7));
+    let pricing = CdwConfig::default();
+    group.bench_function("cost_accounting", |b| {
+        b.iter(|| {
+            black_box(fleet.active_sampling_cost_usd(1_000, &pricing));
+            black_box(fleet.full_scan_cost_usd(&pricing));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

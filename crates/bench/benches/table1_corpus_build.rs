@@ -1,0 +1,34 @@
+//! Table 1: corpus generation — prints the statistics table once and
+//! benchmarks testbed construction (the workload generator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wg_corpora::{build_spider, build_testbed, TestbedSpec};
+
+fn bench(c: &mut Criterion) {
+    // Print the Table 1 series once.
+    for spec in [TestbedSpec::xs(0.1), TestbedSpec::s(0.002)] {
+        let corpus = build_testbed(&spec);
+        let (t, cols, rows, q, a) = corpus.stats();
+        println!(
+            "[table1] {}: {} tables, {} columns, {:.0} avg rows, {} queries, {:.1} avg answers",
+            corpus.name, t, cols, rows, q, a
+        );
+    }
+    let spider = build_spider(0.05, 0x5919);
+    let (t, cols, rows, q, a) = spider.stats();
+    println!(
+        "[table1] spider: {t} tables, {cols} columns, {rows:.0} avg rows, {q} queries, {a:.1} avg answers"
+    );
+
+    let mut group = c.benchmark_group("table1_corpus_build");
+    group.sample_size(10);
+    group.bench_function("testbed_xs", |b| {
+        b.iter(|| black_box(build_testbed(&TestbedSpec::xs(0.1))))
+    });
+    group.bench_function("spider", |b| b.iter(|| black_box(build_spider(0.05, 0x5919))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 2: end-to-end query response time at k=10 under full scans.
+//! Prints the measured table (with the lookup-share decomposition), then
+//! benchmarks the full-scan discovery query per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wg_bench::xs_fixture_priced;
+use wg_eval::experiments::table2;
+use wg_eval::systems::build_systems;
+use wg_store::SampleSpec;
+
+fn bench(c: &mut Criterion) {
+    let (corpus, connector) = xs_fixture_priced();
+    let systems = build_systems(&connector, SampleSpec::Full).unwrap();
+    let rows = table2::run_with_systems(&corpus, &connector, &systems);
+    println!("{}", table2::render(&rows));
+    if let Some(v) = table2::check_ordering(&rows) {
+        println!("[table2] ORDERING VIOLATION: {v}");
+    }
+
+    let q = &corpus.queries[0];
+    let mut group = c.benchmark_group("table2_query_time/full_scan_query");
+    for system in &systems {
+        group.bench_function(system.name(), |b| {
+            b.iter(|| black_box(system.query(&connector, q, 10).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

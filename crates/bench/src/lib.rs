@@ -1,0 +1,24 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Benches regenerate the paper's tables/figures (the series are printed
+//! once per run; Criterion then times the operation the artifact measures).
+//! All corpora here use small row scales so `cargo bench` completes in
+//! minutes; set `WG_ROW_SCALE_MULT` to push them up.
+
+use wg_corpora::{build_testbed, Corpus, TestbedSpec};
+use wg_store::{CdwConfig, CdwConnector};
+
+/// The XS testbed wrapped in a free connector — the standard bench fixture
+/// (fast to build, representative structure).
+pub fn xs_fixture() -> (Corpus, CdwConnector) {
+    let corpus = build_testbed(&TestbedSpec::xs(0.1));
+    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free());
+    (corpus, connector)
+}
+
+/// The XS testbed with the priced/latent CDW model (timing benches).
+pub fn xs_fixture_priced() -> (Corpus, CdwConnector) {
+    let corpus = build_testbed(&TestbedSpec::xs(0.1));
+    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::default());
+    (corpus, connector)
+}

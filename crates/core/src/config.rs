@@ -1,0 +1,107 @@
+//! System configuration.
+
+use wg_embed::Aggregation;
+use wg_store::SampleSpec;
+
+/// Tunables of a [`crate::WarpGate`] instance.
+///
+/// Defaults follow the paper's experimental setup: 0.7 SimHash LSH
+/// threshold (§4.3), distinct-value sampling (§3.1.3/§4.4 argue sampling is
+/// both necessary and safe), SIF aggregation over the hashed web-table
+/// embedding space.
+#[derive(Debug, Clone, Copy)]
+pub struct WarpGateConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Cosine similarity threshold the LSH banding is tuned for.
+    pub lsh_threshold: f64,
+    /// Signature bit budget for the LSH index.
+    pub lsh_bits: usize,
+    /// Extra single-bit probes per band (0 disables multi-probe).
+    pub probes: usize,
+    /// Sampling pushed into every scan (indexing and query time).
+    pub sample: SampleSpec,
+    /// How value embeddings aggregate into a column embedding.
+    pub aggregation: Aggregation,
+    /// Drop candidates from the query's own table (the product recommends
+    /// *other* tables to join with).
+    pub exclude_same_table: bool,
+    /// Blend weight `β` for schema-context embeddings (§5.2.1 extension):
+    /// column embeddings become `(1−β)·values + β·context(names)`. 0.0
+    /// (the default) reproduces the paper's value-only embeddings.
+    pub context_weight: f32,
+    /// Indexing worker threads; 0 means "all available cores".
+    pub threads: usize,
+    /// Master seed (embedding space + LSH hyperplanes).
+    pub seed: u64,
+}
+
+impl Default for WarpGateConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            lsh_threshold: 0.7,
+            lsh_bits: 128,
+            probes: 1,
+            sample: SampleSpec::DistinctReservoir { n: 1000, seed: 0x5A17 },
+            aggregation: Aggregation::default(),
+            exclude_same_table: true,
+            context_weight: 0.0,
+            threads: 0,
+            seed: 0x5747_4154,
+        }
+    }
+}
+
+impl WarpGateConfig {
+    /// A configuration that scans full columns (no sampling) — the
+    /// expensive baseline mode of Table 2.
+    pub fn full_scan() -> Self {
+        Self { sample: SampleSpec::Full, ..Self::default() }
+    }
+
+    /// Same configuration with a different sample spec.
+    pub fn with_sample(self, sample: SampleSpec) -> Self {
+        Self { sample, ..self }
+    }
+
+    /// Enable §5.2.1 contextual embeddings at blend weight `beta`.
+    pub fn with_context(self, beta: f32) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "context weight must be in [0,1]");
+        Self { context_weight: beta, ..self }
+    }
+
+    /// Effective worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = WarpGateConfig::default();
+        assert_eq!(c.lsh_threshold, 0.7);
+        assert!(matches!(c.sample, SampleSpec::DistinctReservoir { .. }));
+        assert!(c.exclude_same_table);
+        assert_eq!(c.context_weight, 0.0, "paper setting is value-only");
+    }
+
+    #[test]
+    fn full_scan_disables_sampling() {
+        assert_eq!(WarpGateConfig::full_scan().sample, SampleSpec::Full);
+    }
+
+    #[test]
+    fn effective_threads_positive() {
+        assert!(WarpGateConfig::default().effective_threads() >= 1);
+        assert_eq!(WarpGateConfig { threads: 3, ..Default::default() }.effective_threads(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! WarpGate: embedding-based semantic join discovery for cloud data
+//! warehouses — the paper's primary contribution (CIDR 2023).
+//!
+//! The system answers *top-k semantic join discovery* queries: given a
+//! query column from a table in a CDW, return up to `k` columns from the
+//! corpus most likely to be joinable with it, ranked by the cosine
+//! similarity of their column embeddings (the paper's semantic column
+//! join-ability `J(A,B) = M(T(A), T(B))`).
+//!
+//! Two pipelines (paper Fig. 2):
+//!
+//! * **Indexing** — scan every column through the CDW connector (with
+//!   sampling pushed down, §3.1.3), embed it ([`wg_embed`]), and insert the
+//!   embedding into a SimHash LSH index ([`wg_lsh`]) tuned to the paper's
+//!   0.7 cosine threshold. Indexing is parallel and incremental: tables can
+//!   be added and removed as the warehouse changes.
+//! * **Search** — embed the query column the same way, look up the LSH
+//!   bucket sub-universe, re-rank by exact cosine, return scored
+//!   [`JoinCandidate`]s with a [`QueryTiming`] decomposition
+//!   (load / embed / lookup — the decomposition behind the paper's
+//!   Table 2 analysis).
+//!
+//! The crate also implements the product interaction the paper builds
+//! around discovery (§3.2): [`WarpGate::augment_via_lookup`] executes the
+//! cardinality-preserving lookup join that "Add column via lookup" performs
+//! once the user picks a recommendation.
+
+pub mod config;
+pub mod persist;
+pub mod system;
+pub mod timing;
+
+pub use config::WarpGateConfig;
+pub use system::{Discovery, IndexReport, JoinCandidate, WarpGate};
+pub use timing::QueryTiming;

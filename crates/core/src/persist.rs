@@ -1,0 +1,172 @@
+//! Index persistence.
+//!
+//! A deployed discovery service must survive restarts without re-scanning
+//! (and re-paying for) the warehouse. The persisted artifact is the LSH
+//! index (vectors + geometry + seed) plus the id → column-reference
+//! registry; because the embedding model itself is deterministic and
+//! derived from the config seed, nothing model-side needs to be stored.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use wg_lsh::SimHashLshIndex;
+use wg_store::{ColumnRef, StoreError, StoreResult};
+use wg_util::codec;
+
+use crate::system::WarpGate;
+
+const MAGIC: [u8; 4] = *b"WGSY";
+const VERSION: u32 = 1;
+
+impl WarpGate {
+    /// Serialize the index + registry to a byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (index_bytes, entries) = self.snapshot_for_persist();
+        let mut buf = Vec::with_capacity(index_bytes.len() + 64 * entries.len() + 64);
+        codec::put_header(&mut buf, MAGIC, VERSION);
+        codec::put_len(&mut buf, entries.len());
+        for (id, r) in &entries {
+            codec::put_u32(&mut buf, *id);
+            codec::put_str(&mut buf, &r.database);
+            codec::put_str(&mut buf, &r.table);
+            codec::put_str(&mut buf, &r.column);
+        }
+        codec::put_bytes(&mut buf, &index_bytes);
+        buf
+    }
+
+    /// Restore index + registry from bytes produced by [`Self::to_bytes`].
+    /// The receiving system must be configured with the same dimension (and
+    /// should use the same seed, or query embeddings will not live in the
+    /// persisted index's space).
+    pub fn load_bytes(&self, bytes: &[u8]) -> StoreResult<()> {
+        let mut cursor = bytes;
+        let version = codec::get_header(&mut cursor, MAGIC)?;
+        if version != VERSION {
+            return Err(StoreError::Codec(wg_util::codec::CodecError::Invalid(format!(
+                "unsupported snapshot version {version}"
+            ))));
+        }
+        let n = codec::get_len(&mut cursor)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = codec::get_u32(&mut cursor)?;
+            let database = codec::get_str(&mut cursor)?;
+            let table = codec::get_str(&mut cursor)?;
+            let column = codec::get_str(&mut cursor)?;
+            entries.push((id, ColumnRef::new(database, table, column)));
+        }
+        let index_bytes = codec::get_bytes(&mut cursor)?;
+        let mut index_cursor = &index_bytes[..];
+        let index = SimHashLshIndex::decode(&mut index_cursor)?;
+        self.restore_from_persist(index, entries)
+    }
+
+    /// Write the snapshot to a file.
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let bytes = self.to_bytes();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(&bytes)?;
+        f.flush()
+    }
+
+    /// Load a snapshot from a file into this (already configured) system.
+    pub fn load_from_file(&self, path: impl AsRef<Path>) -> StoreResult<()> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| StoreError::NotFound(format!("snapshot file: {e}")))?;
+        self.load_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WarpGateConfig;
+    use wg_store::{CdwConfig, CdwConnector, Column, Database, Table, Warehouse};
+
+    fn connector() -> CdwConnector {
+        let mut w = Warehouse::new("w");
+        let mut db = Database::new("db");
+        db.add_table(
+            Table::new(
+                "a",
+                vec![Column::text("x", (0..50).map(|i| format!("val {i}")).collect::<Vec<_>>())],
+            )
+            .unwrap(),
+        );
+        db.add_table(
+            Table::new(
+                "b",
+                vec![Column::text("y", (0..50).map(|i| format!("VAL {i}")).collect::<Vec<_>>())],
+            )
+            .unwrap(),
+        );
+        w.add_database(db);
+        CdwConnector::new(w, CdwConfig::free())
+    }
+
+    #[test]
+    fn roundtrip_preserves_discovery() {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig::default());
+        wg.index_warehouse(&c).unwrap();
+        let q = ColumnRef::new("db", "a", "x");
+        let before = wg.discover(&c, &q, 3).unwrap().candidates;
+
+        let bytes = wg.to_bytes();
+        let fresh = WarpGate::new(WarpGateConfig::default());
+        fresh.load_bytes(&bytes).unwrap();
+        assert_eq!(fresh.len(), wg.len());
+        let after = fresh.discover(&c, &q, 3).unwrap().candidates;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn roundtrip_after_removal_keeps_gaps() {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig::default());
+        wg.index_warehouse(&c).unwrap();
+        wg.remove_table("db", "b");
+        let bytes = wg.to_bytes();
+        let fresh = WarpGate::new(WarpGateConfig::default());
+        fresh.load_bytes(&bytes).unwrap();
+        assert_eq!(fresh.len(), 1);
+        // The removed table must not reappear.
+        let hits = fresh.discover_values(&["VAL 1"], 5);
+        assert!(hits.iter().all(|h| h.reference.table != "b"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig::default());
+        wg.index_warehouse(&c).unwrap();
+        let path = std::env::temp_dir().join(format!("wg_snapshot_{}.bin", std::process::id()));
+        wg.save_to_file(&path).unwrap();
+        let fresh = WarpGate::new(WarpGateConfig::default());
+        fresh.load_from_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_and_dim_mismatch() {
+        let wg = WarpGate::new(WarpGateConfig::default());
+        assert!(wg.load_bytes(b"garbage").is_err());
+
+        let c = connector();
+        let wg64 = WarpGate::new(WarpGateConfig { dim: 64, ..Default::default() });
+        wg64.index_warehouse(&c).unwrap();
+        let bytes = wg64.to_bytes();
+        let wg128 = WarpGate::new(WarpGateConfig::default());
+        assert!(wg128.load_bytes(&bytes).is_err(), "dimension mismatch must fail");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let wg = WarpGate::new(WarpGateConfig::default());
+        assert!(wg.load_from_file("/nonexistent/path/snapshot.bin").is_err());
+    }
+}

@@ -1,0 +1,718 @@
+//! The WarpGate system facade: indexing pipeline, search pipeline, and the
+//! lookup-join product interaction.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use wg_embed::{ColumnEmbedder, EmbeddingModel, WebTableConfig, WebTableModel};
+use wg_lsh::{LshParams, SearchOutcome, SimHashLshIndex};
+use wg_store::{
+    CdwConnector, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table,
+};
+use wg_util::timing::Stopwatch;
+use wg_util::FxHashMap;
+
+use crate::config::WarpGateConfig;
+use crate::timing::QueryTiming;
+
+/// One ranked join recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinCandidate {
+    /// The candidate column (database, table, column — what the Sigma
+    /// Workbooks window in Fig. 3 displays per row).
+    pub reference: ColumnRef,
+    /// Cosine similarity to the query column's embedding.
+    pub score: f32,
+}
+
+/// The result of one discovery query.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// The query column.
+    pub query: ColumnRef,
+    /// Ranked candidates, best first.
+    pub candidates: Vec<JoinCandidate>,
+    /// Wall-clock decomposition.
+    pub timing: QueryTiming,
+    /// LSH candidate-set diagnostics.
+    pub outcome: SearchOutcome,
+}
+
+/// Summary of one indexing run.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexReport {
+    /// Columns whose embeddings entered the index.
+    pub columns_indexed: usize,
+    /// Columns skipped (no embeddable content — all NULL or symbols).
+    pub columns_skipped: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// CDW scan costs incurred by the run.
+    pub cost: CostSnapshot,
+}
+
+/// Maps dense item ids (what the LSH index stores) to column references.
+#[derive(Default)]
+struct Registry {
+    refs: Vec<Option<ColumnRef>>,
+    id_of: FxHashMap<ColumnRef, u32>,
+}
+
+impl Registry {
+    fn insert(&mut self, r: ColumnRef) -> u32 {
+        if let Some(&id) = self.id_of.get(&r) {
+            return id;
+        }
+        let id = self.refs.len() as u32;
+        self.id_of.insert(r.clone(), id);
+        self.refs.push(Some(r));
+        id
+    }
+
+    fn remove(&mut self, r: &ColumnRef) -> Option<u32> {
+        let id = self.id_of.remove(r)?;
+        self.refs[id as usize] = None;
+        Some(id)
+    }
+
+    fn reference(&self, id: u32) -> Option<&ColumnRef> {
+        self.refs.get(id as usize).and_then(|r| r.as_ref())
+    }
+}
+
+/// The semantic join discovery system.
+pub struct WarpGate {
+    config: WarpGateConfig,
+    embedder: ColumnEmbedder,
+    index: RwLock<SimHashLshIndex>,
+    registry: RwLock<Registry>,
+}
+
+impl WarpGate {
+    /// Create a system with the default hashed web-table embedding model.
+    pub fn new(config: WarpGateConfig) -> Self {
+        let model = WebTableModel::new(WebTableConfig {
+            dim: config.dim,
+            seed: config.seed,
+            ..WebTableConfig::default()
+        });
+        Self::with_model(config, Arc::new(model))
+    }
+
+    /// Create a system with a caller-provided embedding model (the §4.4
+    /// BERT comparison swaps in [`wg_embed::MiniBertModel`] here).
+    pub fn with_model(config: WarpGateConfig, model: Arc<dyn EmbeddingModel>) -> Self {
+        assert_eq!(model.dim(), config.dim, "model dimension must match config");
+        let mut index = SimHashLshIndex::new(
+            config.dim,
+            LshParams::for_threshold(config.lsh_threshold, config.lsh_bits),
+            config.seed ^ 0x1Db5,
+        );
+        index.set_probes(config.probes);
+        Self {
+            embedder: ColumnEmbedder::new(model, config.aggregation),
+            config,
+            index: RwLock::new(index),
+            registry: RwLock::new(Registry::default()),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WarpGateConfig {
+        &self.config
+    }
+
+    /// The column embedder (shared with tests/ablations).
+    pub fn embedder(&self) -> &ColumnEmbedder {
+        &self.embedder
+    }
+
+    /// Number of indexed columns.
+    pub fn len(&self) -> usize {
+        self.index.read().len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.read().is_empty()
+    }
+
+    /// Index every column of the connected warehouse: scan (sampled) →
+    /// embed → insert. Scanning and embedding fan out over worker threads;
+    /// inserts funnel through the index lock.
+    pub fn index_warehouse(&self, connector: &CdwConnector) -> StoreResult<IndexReport> {
+        let refs: Vec<ColumnRef> =
+            connector.warehouse().iter_columns().map(|(r, _)| r).collect();
+        self.index_refs(connector, refs)
+    }
+
+    /// Index (or refresh) a single table — the incremental path for CDWs
+    /// with high update rates.
+    pub fn index_table(&self, connector: &CdwConnector, database: &str, table: &str) -> StoreResult<IndexReport> {
+        let t = connector.warehouse().table(database, table)?;
+        let refs: Vec<ColumnRef> = t
+            .columns()
+            .iter()
+            .map(|c| ColumnRef::new(database, table, c.name()))
+            .collect();
+        self.index_refs(connector, refs)
+    }
+
+    /// Embed a scanned column, applying §5.2.1 schema-context blending
+    /// when `context_weight > 0`. Context comes from free catalog metadata.
+    fn embed_with_context(
+        &self,
+        connector: &CdwConnector,
+        r: &ColumnRef,
+        column: &wg_store::Column,
+    ) -> wg_embed::Vector {
+        let values = self.embedder.embed_column(column);
+        let beta = self.config.context_weight;
+        if beta <= 0.0 {
+            return values;
+        }
+        let siblings = connector
+            .warehouse()
+            .table(&r.database, &r.table)
+            .map(|t| {
+                t.columns()
+                    .iter()
+                    .map(|c| c.name().to_string())
+                    .filter(|n| n != &r.column)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let context = wg_embed::ColumnContext {
+            column_name: r.column.clone(),
+            table_name: r.table.clone(),
+            siblings,
+        };
+        let ctx = wg_embed::context_vector(self.embedder.model().as_ref(), &context);
+        wg_embed::blend_context(&values, &ctx, beta)
+    }
+
+    fn index_refs(&self, connector: &CdwConnector, refs: Vec<ColumnRef>) -> StoreResult<IndexReport> {
+        let sw = Stopwatch::start();
+        let cost_before = connector.costs();
+        let threads = self.config.effective_threads().min(refs.len().max(1));
+        let sample = self.config.sample;
+
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<ColumnRef>();
+        for r in refs {
+            work_tx.send(r).expect("channel open");
+        }
+        drop(work_tx);
+
+        let (done_tx, done_rx) =
+            crossbeam::channel::unbounded::<StoreResult<(ColumnRef, wg_embed::Vector)>>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    for r in work_rx.iter() {
+                        let item = connector
+                            .scan_column(&r, sample)
+                            .map(|col| (r.clone(), self.embed_with_context(connector, &r, &col)));
+                        if done_tx.send(item).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            let mut indexed = 0usize;
+            let mut skipped = 0usize;
+            for item in done_rx.iter() {
+                let (r, vector) = item?;
+                if vector.is_zero() {
+                    skipped += 1;
+                    continue;
+                }
+                let id = self.registry.write().insert(r);
+                if self.index.write().insert(id, vector.as_slice()) {
+                    indexed += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+            Ok(IndexReport {
+                columns_indexed: indexed,
+                columns_skipped: skipped,
+                elapsed_secs: sw.elapsed_secs(),
+                cost: connector.costs().since(&cost_before),
+            })
+        })
+    }
+
+    /// Remove a table's columns from the index (e.g. after a drop). Returns
+    /// how many columns were removed.
+    pub fn remove_table(&self, database: &str, table: &str) -> usize {
+        let mut registry = self.registry.write();
+        let victims: Vec<ColumnRef> = registry
+            .refs
+            .iter()
+            .flatten()
+            .filter(|r| r.database == database && r.table == table)
+            .cloned()
+            .collect();
+        let mut index = self.index.write();
+        let mut removed = 0;
+        for r in victims {
+            if let Some(id) = registry.remove(&r) {
+                if index.remove(id) {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Discovery query for a warehouse column: load (sampled) → embed →
+    /// LSH lookup → exact re-rank.
+    pub fn discover(
+        &self,
+        connector: &CdwConnector,
+        query: &ColumnRef,
+        k: usize,
+    ) -> StoreResult<Discovery> {
+        // Validate the target exists before paying for a scan.
+        connector.warehouse().column(query)?;
+        let mut timing = QueryTiming::default();
+
+        let cost_before = connector.costs();
+        let sw = Stopwatch::start();
+        let column = connector.scan_column(query, self.config.sample)?;
+        timing.load_secs = sw.elapsed_secs();
+        timing.virtual_load_secs = connector.costs().since(&cost_before).virtual_secs;
+
+        let sw = Stopwatch::start();
+        let vector = self.embed_with_context(connector, query, &column);
+        timing.embed_secs = sw.elapsed_secs();
+
+        if vector.is_zero() {
+            return Ok(Discovery {
+                query: query.clone(),
+                candidates: Vec::new(),
+                timing,
+                outcome: SearchOutcome { candidates: 0, scored: 0 },
+            });
+        }
+        let (candidates, outcome, lookup_secs) = self.search_vector(&vector, query, k);
+        timing.lookup_secs = lookup_secs;
+        Ok(Discovery { query: query.clone(), candidates, timing, outcome })
+    }
+
+    /// Ad-hoc discovery from raw values (no warehouse column backing the
+    /// query — e.g. a user-pasted list).
+    pub fn discover_values<S: AsRef<str>>(&self, values: &[S], k: usize) -> Vec<JoinCandidate> {
+        let vector = self.embedder.embed_values(values);
+        if vector.is_zero() {
+            return Vec::new();
+        }
+        let nowhere = ColumnRef::new("", "", "");
+        self.search_vector(&vector, &nowhere, k).0
+    }
+
+    fn search_vector(
+        &self,
+        vector: &wg_embed::Vector,
+        query: &ColumnRef,
+        k: usize,
+    ) -> (Vec<JoinCandidate>, SearchOutcome, f64) {
+        let registry = self.registry.read();
+        let index = self.index.read();
+        let exclude_same_table = self.config.exclude_same_table;
+        let sw = Stopwatch::start();
+        let (hits, outcome) = index.search_with_outcome(vector.as_slice(), k, |id| {
+            match registry.reference(id) {
+                // Tombstoned ids never match; the query column itself and
+                // (optionally) its table-mates are filtered out.
+                None => true,
+                Some(r) => {
+                    r == query || (exclude_same_table && r.same_table(query))
+                }
+            }
+        });
+        let lookup_secs = sw.elapsed_secs();
+        let candidates = hits
+            .into_iter()
+            .filter_map(|(id, score)| {
+                registry
+                    .reference(id)
+                    .map(|r| JoinCandidate { reference: r.clone(), score })
+            })
+            .collect();
+        (candidates, outcome, lookup_secs)
+    }
+
+    /// Execute the product interaction of Fig. 3 step 3 ("Add column via
+    /// lookup"): pull the candidate's table and lookup-join the selected
+    /// columns onto the base table, preserving its cardinality.
+    ///
+    /// `norm` controls the key transformation — [`KeyNorm::AlphaNum`]
+    /// realizes the "joinable after transformation" semantics for format
+    /// variants.
+    pub fn augment_via_lookup(
+        &self,
+        connector: &CdwConnector,
+        base: &Table,
+        base_key: &str,
+        candidate: &ColumnRef,
+        add_columns: &[&str],
+        norm: KeyNorm,
+    ) -> StoreResult<Table> {
+        let lookup_table = connector.scan_table(
+            &candidate.database,
+            &candidate.table,
+            wg_store::SampleSpec::Full,
+        )?;
+        wg_store::join::lookup_join(
+            base,
+            base_key,
+            &lookup_table,
+            &candidate.column,
+            add_columns,
+            norm,
+        )
+    }
+
+    /// Direct cosine similarity between two warehouse columns under this
+    /// system's embedding — the paper's `J(A,B)` made inspectable.
+    pub fn joinability(
+        &self,
+        connector: &CdwConnector,
+        a: &ColumnRef,
+        b: &ColumnRef,
+    ) -> StoreResult<f32> {
+        let ca = connector.scan_column(a, self.config.sample)?;
+        let cb = connector.scan_column(b, self.config.sample)?;
+        Ok(self.embedder.embed_column(&ca).cosine(&self.embedder.embed_column(&cb)))
+    }
+
+    pub(crate) fn snapshot_for_persist(
+        &self,
+    ) -> (Vec<u8>, Vec<(u32, ColumnRef)>) {
+        let mut index_bytes = Vec::new();
+        self.index.read().encode(&mut index_bytes);
+        let registry = self.registry.read();
+        let mut entries: Vec<(u32, ColumnRef)> = registry
+            .refs
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_ref().map(|r| (id as u32, r.clone())))
+            .collect();
+        entries.sort_by_key(|(id, _)| *id);
+        (index_bytes, entries)
+    }
+
+    pub(crate) fn restore_from_persist(
+        &self,
+        index: SimHashLshIndex,
+        entries: Vec<(u32, ColumnRef)>,
+    ) -> StoreResult<()> {
+        if index.dim() != self.config.dim {
+            return Err(StoreError::Schema(format!(
+                "persisted index dimension {} does not match config {}",
+                index.dim(),
+                self.config.dim
+            )));
+        }
+        let mut registry = Registry::default();
+        for (id, r) in entries {
+            // Ids were assigned densely at save time in ascending order;
+            // re-inserting in that order reproduces them.
+            let got = registry.insert(r);
+            if got != id {
+                // Gaps from removed columns: pad with tombstones.
+                while registry.refs.len() as u32 <= id {
+                    registry.refs.push(None);
+                }
+                let r = registry.refs[got as usize].take().expect("just inserted");
+                registry.id_of.insert(r.clone(), id);
+                registry.refs[id as usize] = Some(r);
+            }
+        }
+        *self.registry.write() = registry;
+        *self.index.write() = index;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_store::{CdwConfig, Column, Database, SampleSpec, Table, Warehouse};
+
+    fn connector() -> CdwConnector {
+        let mut w = Warehouse::new("w");
+        let mut sales = Database::new("salesforce");
+        sales.add_table(
+            Table::new(
+                "account",
+                vec![
+                    Column::text("name", (0..80).map(|i| format!("Company {i}")).collect::<Vec<_>>()),
+                    Column::ints("employees", (0..80).map(|i| i * 10).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        sales.add_table(
+            Table::new(
+                "lead",
+                vec![Column::text("company", (0..60).map(|i| format!("company {i}")).collect::<Vec<_>>())],
+            )
+            .unwrap(),
+        );
+        let mut stocks = Database::new("stocks");
+        stocks.add_table(
+            Table::new(
+                "industries",
+                vec![
+                    Column::text("company_name", (0..70).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>()),
+                    Column::text("sector", (0..70).map(|i| format!("Sector {}", i % 7)).collect::<Vec<_>>()),
+                ],
+            )
+            .unwrap(),
+        );
+        stocks.add_table(
+            Table::new(
+                "prices",
+                vec![Column::floats("close", (0..50).map(|i| 10.0 + i as f64).collect())],
+            )
+            .unwrap(),
+        );
+        w.add_database(sales);
+        w.add_database(stocks);
+        CdwConnector::new(w, CdwConfig::free())
+    }
+
+    fn system() -> (WarpGate, CdwConnector) {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig { threads: 2, ..Default::default() });
+        wg.index_warehouse(&c).unwrap();
+        (wg, c)
+    }
+
+    #[test]
+    fn indexes_all_embeddable_columns() {
+        let (wg, _) = system();
+        assert_eq!(wg.len(), 6);
+    }
+
+    #[test]
+    fn discovers_format_variants_across_databases() {
+        let (wg, c) = system();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        let d = wg.discover(&c, &q, 3).unwrap();
+        assert!(!d.candidates.is_empty(), "no candidates found");
+        let refs: Vec<String> =
+            d.candidates.iter().map(|j| j.reference.to_string()).collect();
+        assert!(
+            refs.contains(&"stocks.industries.company_name".to_string()),
+            "cross-database variant missed: {refs:?}"
+        );
+        assert!(
+            refs.contains(&"salesforce.lead.company".to_string()),
+            "same-database variant missed: {refs:?}"
+        );
+        assert!(d.candidates[0].score > 0.9);
+    }
+
+    #[test]
+    fn excludes_query_and_table_mates() {
+        let (wg, c) = system();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        let d = wg.discover(&c, &q, 10).unwrap();
+        for j in &d.candidates {
+            assert_ne!(j.reference, q);
+            assert!(!j.reference.same_table(&q));
+        }
+    }
+
+    #[test]
+    fn timing_components_populated() {
+        let (wg, c) = system();
+        let d = wg
+            .discover(&c, &ColumnRef::new("salesforce", "account", "name"), 3)
+            .unwrap();
+        assert!(d.timing.load_secs > 0.0);
+        assert!(d.timing.embed_secs > 0.0);
+        assert!(d.timing.lookup_secs > 0.0);
+        assert!(d.timing.total_secs() < 5.0, "unexpectedly slow");
+    }
+
+    #[test]
+    fn sampling_preserves_results() {
+        let c = connector();
+        let full = WarpGate::new(WarpGateConfig::full_scan());
+        full.index_warehouse(&c).unwrap();
+        let sampled = WarpGate::new(WarpGateConfig::default().with_sample(
+            SampleSpec::DistinctReservoir { n: 10, seed: 7 },
+        ));
+        sampled.index_warehouse(&c).unwrap();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        // Both company-name variants are genuinely joinable; with a sample
+        // of 10 values their ranks may swap (the paper reports ±1–2%
+        // effectiveness variation). The sampled top hit must still be one
+        // of the full-scan top hits.
+        let full_top: Vec<ColumnRef> = full
+            .discover(&c, &q, 2)
+            .unwrap()
+            .candidates
+            .into_iter()
+            .map(|j| j.reference)
+            .collect();
+        let top_sampled = sampled.discover(&c, &q, 1).unwrap().candidates[0].reference.clone();
+        assert!(
+            full_top.contains(&top_sampled),
+            "sampled top hit {top_sampled} not among full-scan top-2 {full_top:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_add_and_remove() {
+        let (wg, mut c) = system();
+        let before = wg.len();
+        c.warehouse_mut().database_mut("stocks").add_table(
+            Table::new(
+                "tickers",
+                vec![Column::text("symbol", ["AAPL", "MSFT", "GOOG"])],
+            )
+            .unwrap(),
+        );
+        wg.index_table(&c, "stocks", "tickers").unwrap();
+        assert_eq!(wg.len(), before + 1);
+        assert_eq!(wg.remove_table("stocks", "tickers"), 1);
+        assert_eq!(wg.len(), before);
+        // Removed table never comes back in results.
+        let d = wg
+            .discover(&c, &ColumnRef::new("salesforce", "account", "name"), 10)
+            .unwrap();
+        assert!(d.candidates.iter().all(|j| j.reference.table != "tickers"));
+    }
+
+    #[test]
+    fn reindexing_a_table_replaces_vectors() {
+        let (wg, mut c) = system();
+        let before = wg.len();
+        // Refresh the lead table with new content.
+        c.warehouse_mut().database_mut("salesforce").add_table(
+            Table::new(
+                "lead",
+                vec![Column::text("company", (0..30).map(|i| format!("Fresh {i}")).collect::<Vec<_>>())],
+            )
+            .unwrap(),
+        );
+        wg.index_table(&c, "salesforce", "lead").unwrap();
+        assert_eq!(wg.len(), before, "refresh must not grow the index");
+    }
+
+    #[test]
+    fn discover_values_ad_hoc() {
+        let (wg, _) = system();
+        let hits = wg.discover_values(&["Company 1", "Company 2", "Company 3"], 3);
+        assert!(!hits.is_empty());
+        // Should surface one of the company-name columns.
+        assert!(hits[0].reference.column.contains("name") || hits[0].reference.column.contains("company"));
+    }
+
+    #[test]
+    fn augment_via_lookup_adds_sector() {
+        let (wg, c) = system();
+        let base = c.warehouse().table("salesforce", "account").unwrap().clone();
+        let candidate = ColumnRef::new("stocks", "industries", "company_name");
+        let augmented = wg
+            .augment_via_lookup(&c, &base, "name", &candidate, &["sector"], KeyNorm::CaseFold)
+            .unwrap();
+        assert_eq!(augmented.num_rows(), base.num_rows());
+        let sector = augmented.column("sector").unwrap();
+        // Rows 0..70 match (case-folded), the rest are NULL.
+        assert!(!sector.get(0).is_null());
+        assert!(sector.get(75).is_null());
+    }
+
+    #[test]
+    fn joinability_is_symmetric_and_high_for_variants() {
+        let (wg, c) = system();
+        let a = ColumnRef::new("salesforce", "account", "name");
+        let b = ColumnRef::new("stocks", "industries", "company_name");
+        let ab = wg.joinability(&c, &a, &b).unwrap();
+        let ba = wg.joinability(&c, &b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-6);
+        assert!(ab > 0.8, "joinability {ab}");
+    }
+
+    #[test]
+    fn unknown_query_errors() {
+        let (wg, c) = system();
+        assert!(matches!(
+            wg.discover(&c, &ColumnRef::new("nope", "t", "c"), 3),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn contextual_embeddings_separate_identical_value_sets() {
+        // Two candidate tables hold the SAME city values; the query comes
+        // from a shipping context. With value-only embeddings the two
+        // candidates tie; with §5.2.1 context the shipping-flavored table
+        // must win.
+        let mut w = Warehouse::new("w");
+        let cities: Vec<String> = (0..40).map(|i| format!("City Number {i}")).collect();
+        w.database_mut("ops").add_table(
+            Table::new(
+                "shipments",
+                vec![
+                    Column::text("ship_city", cities.clone()),
+                    Column::floats("weight", (0..40).map(|i| i as f64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        w.database_mut("logistics").add_table(
+            Table::new(
+                "delivery_routes",
+                vec![
+                    Column::text("shipping_city", cities.clone()),
+                    Column::floats("route_weight", (0..40).map(|i| i as f64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        w.database_mut("billing").add_table(
+            Table::new(
+                "invoices",
+                vec![
+                    Column::text("billing_city", cities.clone()),
+                    Column::floats("amount_due", (0..40).map(|i| i as f64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        let c = CdwConnector::new(w, wg_store::CdwConfig::free());
+        let wg = WarpGate::new(WarpGateConfig::default().with_context(0.25));
+        wg.index_warehouse(&c).unwrap();
+        let q = ColumnRef::new("ops", "shipments", "ship_city");
+        let d = wg.discover(&c, &q, 2).unwrap();
+        assert_eq!(
+            d.candidates[0].reference,
+            ColumnRef::new("logistics", "delivery_routes", "shipping_city"),
+            "context should prefer the shipping-flavored table: {:?}",
+            d.candidates
+        );
+    }
+
+    #[test]
+    fn index_report_counts() {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig::default());
+        let report = wg.index_warehouse(&c).unwrap();
+        assert_eq!(report.columns_indexed, 6);
+        assert_eq!(report.columns_skipped, 0);
+        assert!(report.cost.requests >= 6);
+        assert!(report.elapsed_secs > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Query timing decomposition.
+
+/// Wall-clock decomposition of one discovery query.
+///
+/// The paper's Table 2 analysis rests on exactly this split: index lookup
+/// is a minority of end-to-end response time; loading data out of the CDW
+/// and embedding inference dominate, which is what makes sampling (not
+/// faster index structures) the effective lever.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryTiming {
+    /// Real seconds spent scanning the query column (wire round trip).
+    pub load_secs: f64,
+    /// Real seconds spent on embedding inference.
+    pub embed_secs: f64,
+    /// Real seconds spent in the LSH lookup + exact re-rank.
+    pub lookup_secs: f64,
+    /// Virtual CDW network latency charged for the load (not slept; see
+    /// `wg_store::cdw`).
+    pub virtual_load_secs: f64,
+}
+
+impl QueryTiming {
+    /// Real compute time (load + embed + lookup).
+    pub fn total_secs(&self) -> f64 {
+        self.load_secs + self.embed_secs + self.lookup_secs
+    }
+
+    /// End-to-end response time including simulated network latency — the
+    /// number comparable to the paper's "query response time".
+    pub fn response_secs(&self) -> f64 {
+        self.total_secs() + self.virtual_load_secs
+    }
+
+    /// Fraction of the response attributable to index lookup (the paper
+    /// reports <25% on testbedS, <13% on testbedM).
+    pub fn lookup_fraction(&self) -> f64 {
+        let total = self.response_secs();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.lookup_secs / total
+        }
+    }
+
+    /// Component-wise sum (used to average over a query workload).
+    pub fn add(&mut self, other: &QueryTiming) {
+        self.load_secs += other.load_secs;
+        self.embed_secs += other.embed_secs;
+        self.lookup_secs += other.lookup_secs;
+        self.virtual_load_secs += other.virtual_load_secs;
+    }
+
+    /// Component-wise division by a count.
+    pub fn divide(&self, n: usize) -> QueryTiming {
+        if n == 0 {
+            return *self;
+        }
+        let d = n as f64;
+        QueryTiming {
+            load_secs: self.load_secs / d,
+            embed_secs: self.embed_secs / d,
+            lookup_secs: self.lookup_secs / d,
+            virtual_load_secs: self.virtual_load_secs / d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let t = QueryTiming {
+            load_secs: 1.0,
+            embed_secs: 2.0,
+            lookup_secs: 0.5,
+            virtual_load_secs: 0.25,
+        };
+        assert!((t.total_secs() - 3.5).abs() < 1e-12);
+        assert!((t.response_secs() - 3.75).abs() < 1e-12);
+        assert!((t.lookup_fraction() - 0.5 / 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_then_divide_is_mean() {
+        let mut acc = QueryTiming::default();
+        for _ in 0..4 {
+            acc.add(&QueryTiming {
+                load_secs: 2.0,
+                embed_secs: 4.0,
+                lookup_secs: 1.0,
+                virtual_load_secs: 0.4,
+            });
+        }
+        let mean = acc.divide(4);
+        assert!((mean.load_secs - 2.0).abs() < 1e-12);
+        assert!((mean.embed_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let t = QueryTiming::default();
+        assert_eq!(t.lookup_fraction(), 0.0);
+        assert_eq!(t.divide(0), t);
+    }
+}

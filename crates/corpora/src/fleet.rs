@@ -1,0 +1,204 @@
+//! Customer-warehouse fleet model (paper §5.1).
+//!
+//! The paper reports heavy-tailed fleet statistics: the *median* customer
+//! warehouse has 450 tables but the *mean* is over 12,700; the median table
+//! has 7,700 rows but the mean is 1.7 **billion**. Median ≪ mean pins down
+//! log-normal parameters directly (`median = e^μ`, `mean = e^{μ+σ²/2}`),
+//! which is how [`FleetSpec::paper`] is calibrated. The sampler generates a
+//! fleet of warehouse *shapes* (no data) and prices active sampling against
+//! full scans under the CDW cost model — the argument for passive sampling.
+
+use wg_store::CdwConfig;
+use wg_util::rng::{Rng64, Xoshiro256pp};
+
+/// Log-normal parameters `(μ, σ)` derived from a median and a mean.
+fn lognormal_from_median_mean(median: f64, mean: f64) -> (f64, f64) {
+    let mu = median.ln();
+    let sigma = (2.0 * (mean / median).ln()).max(0.0).sqrt();
+    (mu, sigma)
+}
+
+/// Fleet-shape distribution parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Number of customer warehouses to sample.
+    pub customers: usize,
+    /// `(μ, σ)` of tables-per-warehouse.
+    pub tables: (f64, f64),
+    /// `(μ, σ)` of rows-per-table.
+    pub rows: (f64, f64),
+    /// Mean columns per table.
+    pub avg_columns: f64,
+    /// Mean bytes per value on the wire.
+    pub bytes_per_value: f64,
+    /// Sampler seed.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// Calibrated to the paper's §5.1 numbers: median 450 / mean 12,700
+    /// tables; median 7,700 / mean 1.7B rows; 25.7 columns per table.
+    pub fn paper(customers: usize, seed: u64) -> Self {
+        Self {
+            customers,
+            tables: lognormal_from_median_mean(450.0, 12_700.0),
+            rows: lognormal_from_median_mean(7_700.0, 1.7e9),
+            avg_columns: 25.7,
+            bytes_per_value: 18.0,
+            seed,
+        }
+    }
+}
+
+/// Statistics of one sampled fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSample {
+    /// Tables per warehouse, one entry per customer.
+    pub tables_per_warehouse: Vec<u64>,
+    /// Rows per table pooled across the fleet (capped sample for memory).
+    pub rows_per_table: Vec<u64>,
+    /// Mean columns per table used for cost accounting.
+    pub avg_columns: f64,
+    /// Mean bytes per value used for cost accounting.
+    pub bytes_per_value: f64,
+}
+
+impl FleetSample {
+    /// Draw a fleet from the spec.
+    pub fn draw(spec: &FleetSpec) -> FleetSample {
+        let mut rng = Xoshiro256pp::new(spec.seed);
+        let mut tables_per_warehouse = Vec::with_capacity(spec.customers);
+        let mut rows_per_table = Vec::new();
+        for _ in 0..spec.customers {
+            let t = spec_sample(&mut rng, spec.tables).max(1.0) as u64;
+            tables_per_warehouse.push(t);
+            // Keep at most 2,000 table sizes per customer to bound memory;
+            // sampled uniformly, so the aggregate statistics stay unbiased.
+            let keep = t.min(2_000);
+            for _ in 0..keep {
+                rows_per_table.push(spec_sample(&mut rng, spec.rows).max(1.0) as u64);
+            }
+        }
+        FleetSample {
+            tables_per_warehouse,
+            rows_per_table,
+            avg_columns: spec.avg_columns,
+            bytes_per_value: spec.bytes_per_value,
+        }
+    }
+
+    /// Median of tables per warehouse.
+    pub fn median_tables(&self) -> u64 {
+        median(&self.tables_per_warehouse)
+    }
+
+    /// Mean of tables per warehouse.
+    pub fn mean_tables(&self) -> f64 {
+        mean(&self.tables_per_warehouse)
+    }
+
+    /// Median rows per table.
+    pub fn median_rows(&self) -> u64 {
+        median(&self.rows_per_table)
+    }
+
+    /// Mean rows per table.
+    pub fn mean_rows(&self) -> f64 {
+        mean(&self.rows_per_table)
+    }
+
+    /// Dollars to actively sample every column of every table at `n` rows
+    /// per column, under the given CDW pricing.
+    pub fn active_sampling_cost_usd(&self, n: u64, config: &CdwConfig) -> f64 {
+        let mut bytes = 0.0f64;
+        for (wi, &t) in self.tables_per_warehouse.iter().enumerate() {
+            // Rows were (possibly) capped per customer; scale back up.
+            let kept = t.min(2_000) as f64;
+            let scale = t as f64 / kept;
+            let _ = wi;
+            bytes += kept * scale * self.avg_columns * n as f64 * self.bytes_per_value;
+        }
+        // Sampling reads at most the table's rows, but n is tiny relative
+        // to mean rows so the cap is negligible at fleet scale.
+        bytes / 1e12 * config.usd_per_tb
+    }
+
+    /// Dollars for one full scan of the entire fleet (the §3.1.3 cost the
+    /// one-pass profiling systems implicitly assume).
+    pub fn full_scan_cost_usd(&self, config: &CdwConfig) -> f64 {
+        let mut per_table_bytes = 0.0f64;
+        for &r in &self.rows_per_table {
+            per_table_bytes += r as f64 * self.avg_columns * self.bytes_per_value;
+        }
+        // rows_per_table is a capped uniform sample; rescale to the fleet.
+        let sampled: u64 = self.tables_per_warehouse.iter().map(|&t| t.min(2_000)).sum();
+        let total: u64 = self.tables_per_warehouse.iter().sum();
+        per_table_bytes * (total as f64 / sampled.max(1) as f64) / 1e12 * config.usd_per_tb
+    }
+}
+
+fn spec_sample(rng: &mut Xoshiro256pp, (mu, sigma): (f64, f64)) -> f64 {
+    rng.gen_log_normal(mu, sigma)
+}
+
+fn median(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_calibration_inverts() {
+        let (mu, sigma) = lognormal_from_median_mean(450.0, 12_700.0);
+        assert!((mu.exp() - 450.0).abs() < 1e-6);
+        assert!(((mu + sigma * sigma / 2.0).exp() - 12_700.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fleet_matches_paper_statistics() {
+        let sample = FleetSample::draw(&FleetSpec::paper(4_000, 7));
+        let med_t = sample.median_tables() as f64;
+        let mean_t = sample.mean_tables();
+        assert!((200.0..900.0).contains(&med_t), "median tables {med_t}");
+        assert!(mean_t > med_t * 5.0, "mean {mean_t} should dwarf median {med_t}");
+        let med_r = sample.median_rows() as f64;
+        let mean_r = sample.mean_rows();
+        assert!((3_000.0..20_000.0).contains(&med_r), "median rows {med_r}");
+        assert!(mean_r > 1e6, "mean rows {mean_r} should be huge");
+    }
+
+    #[test]
+    fn sampling_is_cheaper_than_full_scans() {
+        let sample = FleetSample::draw(&FleetSpec::paper(500, 7));
+        let config = CdwConfig::default();
+        let sampled = sample.active_sampling_cost_usd(1_000, &config);
+        let full = sample.full_scan_cost_usd(&config);
+        assert!(sampled > 0.0);
+        assert!(
+            full > sampled * 50.0,
+            "full ${full:.0} should dwarf sampled ${sampled:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FleetSample::draw(&FleetSpec::paper(100, 3));
+        let b = FleetSample::draw(&FleetSpec::paper(100, 3));
+        assert_eq!(a.tables_per_warehouse, b.tables_per_warehouse);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic evaluation corpora with ground truth.
+//!
+//! The paper evaluates on three table repositories (§4.1): the NextiaJD
+//! testbeds, Spider, and the Sigma Sample Database. None can be shipped
+//! here, so this crate *generates* corpora with the same shape (Table 1's
+//! tables / columns / rows / queries / answers) and — more importantly —
+//! the same discriminating structure:
+//!
+//! * joinable column pairs planted at controlled containment and
+//!   cardinality, labeled by the NextiaJD join-quality rule;
+//! * **semantic** pairs whose value formatting differs across tables
+//!   (casing, punctuation, prefixes, zero-padding, date order) — the pairs
+//!   that separate embedding-based discovery from syntactic overlap;
+//! * distractor columns drawn from the same vocabulary domains but over
+//!   disjoint entity ranges — semantically close, *not* joinable, which is
+//!   what keeps precision@k < 1 for every system;
+//! * Spider-style FK⊂PK pairs with high containment but low Jaccard.
+//!
+//! Everything derives deterministically from a seed.
+
+pub mod fleet;
+pub mod groundtruth;
+pub mod nextiajd;
+pub mod sigma;
+pub mod spider;
+pub mod vocab;
+
+pub use fleet::{FleetSample, FleetSpec};
+pub use groundtruth::{label_quality, Corpus, GroundTruth, Quality};
+pub use nextiajd::{build_testbed, TestbedSpec};
+pub use sigma::build_sigma;
+pub use spider::build_spider;
+pub use vocab::{Domain, Variant};

@@ -1,0 +1,420 @@
+//! The Sigma Sample Database stand-in.
+//!
+//! The paper's §4.1 describes a 98-table Snowflake corpus spanning retail,
+//! financial, demographic and usage data, with no ground truth (§4.3.3 runs
+//! ad-hoc queries picked by colleagues). This generator reproduces that
+//! corpus — including the running example's join graph:
+//!
+//! ```text
+//! SALESFORCE.ACCOUNT.Name  ←→  SALESFORCE.LEAD.Company      (case variant)
+//! SALESFORCE.ACCOUNT.Name  ←→  STOCKS.INDUSTRIES.Company Name (upper variant)
+//! STOCKS.INDUSTRIES.Ticker ←→  STOCKS.PRICES.Ticker          (exact)
+//! RETAIL.TRANSACTIONS.ProductSku ←→ RETAIL.PRODUCTS.Sku      (exact, FK⊂PK)
+//! CENSUS.POPULATION.City   ←→  CENSUS.RESTAURANTS.City, BIKES.City
+//! ```
+//!
+//! so the Joey walkthrough (discover → inspect LEAD → pick INDUSTRIES →
+//! add `Industry Group` → chain through `TICKER`) is executable end to end.
+
+use wg_store::{Column, ColumnRef, Database, Table, Warehouse};
+use wg_util::rng::{Rng64, Xoshiro256pp};
+
+use crate::groundtruth::{Corpus, GroundTruth};
+use crate::vocab::{Domain, Variant};
+
+/// Build the Sigma corpus. `row_scale` scales all row counts (1.0 would be
+/// the paper's multi-million average; examples use 0.1 or less).
+pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
+    let mut rng = Xoshiro256pp::new(seed);
+    let n = |base: usize| ((base as f64 * row_scale) as usize).max(40);
+
+    let mut warehouse = Warehouse::new("sigma_sample");
+
+    // ---- company universe shared by the walkthrough tables -----------------
+    let companies: Vec<String> = (0..400u64).map(|i| Domain::Company.value(i)).collect();
+    let sectors: Vec<String> = (0..30u64).map(|i| Domain::Sector.value(i)).collect();
+    let tickers: Vec<String> = (0..400u64).map(|i| Domain::Ticker.value(i)).collect();
+
+    // SALESFORCE -------------------------------------------------------------
+    let mut salesforce = Database::new("SALESFORCE");
+    {
+        let rows = 300.max(n(3_000));
+        let account_companies: Vec<String> =
+            (0..rows).map(|i| companies[i % 300].clone()).collect();
+        salesforce.add_table(
+            Table::new(
+                "ACCOUNT",
+                vec![
+                    Column::text("Name", account_companies.clone()),
+                    Column::text(
+                        "BillingCity",
+                        (0..rows).map(|i| Domain::City.value((i % 90) as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::ints("Employees", (0..rows).map(|_| 10 + rng.gen_range(20_000) as i64).collect()),
+                    Column::floats(
+                        "AnnualRevenue",
+                        (0..rows).map(|_| (rng.gen_f64() * 5e8).round()).collect(),
+                    ),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = 180.max(n(2_000));
+        salesforce.add_table(
+            Table::new(
+                "LEAD",
+                vec![
+                    // Case-folded variant of a company subset: semantically
+                    // joinable with ACCOUNT.Name, low exact overlap.
+                    Column::text(
+                        "Company",
+                        (0..rows)
+                            .map(|i| Variant::Lower.apply(&companies[i % 180]))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "ContactName",
+                        (0..rows).map(|i| Domain::Person.value(i as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Title",
+                        (0..rows).map(|i| Domain::JobTitle.value((i % 18) as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Email",
+                        (0..rows).map(|i| Domain::Email.value(i as u64)).collect::<Vec<_>>(),
+                    ),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = n(1_500);
+        salesforce.add_table(
+            Table::new(
+                "OPPORTUNITY",
+                vec![
+                    Column::text(
+                        "AccountName",
+                        (0..rows).map(|i| companies[i % 250].clone()).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Stage",
+                        (0..rows)
+                            .map(|_| *rng.choose(&["Prospecting", "Qualified", "Won", "Lost"]))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::floats(
+                        "Amount",
+                        (0..rows).map(|_| (rng.gen_f64() * 1e6).round() / 100.0).collect(),
+                    ),
+                    Column::text(
+                        "CloseDate",
+                        (0..rows).map(|_| Domain::Date.value(rng.gen_range(2_000))).collect::<Vec<_>>(),
+                    ),
+                ],
+            )
+            .expect("valid schema"),
+        );
+    }
+    warehouse.add_database(salesforce);
+
+    // STOCKS -----------------------------------------------------------------
+    let mut stocks = Database::new("STOCKS");
+    {
+        let rows = 350.max(n(350));
+        stocks.add_table(
+            Table::new(
+                "INDUSTRIES",
+                vec![
+                    // Uppercase variant, superset of ACCOUNT's companies.
+                    Column::text(
+                        "Company Name",
+                        (0..rows).map(|i| Variant::Upper.apply(&companies[i % 350])).collect::<Vec<_>>(),
+                    ),
+                    Column::text("Ticker", (0..rows).map(|i| tickers[i % 350].clone()).collect::<Vec<_>>()),
+                    Column::text(
+                        "Industry Group",
+                        (0..rows).map(|i| sectors[i % 30].clone()).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Sub Industry",
+                        (0..rows).map(|i| format!("{} Sub {}", sectors[i % 30], i % 4)).collect::<Vec<_>>(),
+                    ),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = 1_280.max(n(50_000));
+        stocks.add_table(
+            Table::new(
+                "PRICES",
+                vec![
+                    Column::text("Ticker", (0..rows).map(|i| tickers[i % 320].clone()).collect::<Vec<_>>()),
+                    Column::text(
+                        "Date",
+                        (0..rows).map(|i| Domain::Date.value((i / 320) as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::floats("Open", (0..rows).map(|_| (rng.gen_f64() * 500.0 * 100.0).round() / 100.0).collect()),
+                    Column::floats("Close", (0..rows).map(|_| (rng.gen_f64() * 500.0 * 100.0).round() / 100.0).collect()),
+                    Column::ints("Volume", (0..rows).map(|_| rng.gen_range(10_000_000) as i64).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+    }
+    warehouse.add_database(stocks);
+
+    // RETAIL -----------------------------------------------------------------
+    let mut retail = Database::new("RETAIL");
+    {
+        let skus: Vec<String> = (0..800u64).map(|i| format!("SKU-{i:06}")).collect();
+        let rows = 800.max(n(800));
+        retail.add_table(
+            Table::new(
+                "PRODUCTS",
+                vec![
+                    Column::text("Sku", (0..rows).map(|i| skus[i % 800].clone()).collect::<Vec<_>>()),
+                    Column::text(
+                        "ProductName",
+                        (0..rows).map(|i| Domain::Product.value(i as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Category",
+                        (0..rows).map(|i| sectors[i % 12].clone()).collect::<Vec<_>>(),
+                    ),
+                    Column::floats("Price", (0..rows).map(|_| (rng.gen_f64() * 300.0 * 100.0).round() / 100.0).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = n(80_000);
+        retail.add_table(
+            Table::new(
+                "TRANSACTIONS",
+                vec![
+                    Column::ints("TxnId", (0..rows as i64).collect()),
+                    Column::ints("StoreId", (0..rows).map(|_| rng.gen_range(120) as i64).collect()),
+                    Column::text(
+                        "ProductSku",
+                        (0..rows).map(|_| skus[rng.gen_zipf(500, 1.0)].clone()).collect::<Vec<_>>(),
+                    ),
+                    Column::ints("Quantity", (0..rows).map(|_| 1 + rng.gen_range(9) as i64).collect()),
+                    Column::floats("Amount", (0..rows).map(|_| (rng.gen_f64() * 400.0 * 100.0).round() / 100.0).collect()),
+                    Column::text("Date", (0..rows).map(|_| Domain::Date.value(rng.gen_range(1_400))).collect::<Vec<_>>()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = 120.max(n(120));
+        retail.add_table(
+            Table::new(
+                "STORES",
+                vec![
+                    Column::ints("StoreId", (0..rows as i64).collect()),
+                    Column::text("City", (0..rows).map(|i| Domain::City.value((i % 100) as u64)).collect::<Vec<_>>()),
+                    Column::text("State", (0..rows).map(|_| *rng.choose(&["CA", "NY", "TX", "WA", "IL", "MA"])).collect::<Vec<_>>()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+    }
+    warehouse.add_database(retail);
+
+    // CENSUS -----------------------------------------------------------------
+    let mut census = Database::new("CENSUS");
+    {
+        let rows = 200.max(n(200));
+        census.add_table(
+            Table::new(
+                "POPULATION",
+                vec![
+                    Column::text("City", (0..rows).map(|i| Domain::City.value((i % 200) as u64)).collect::<Vec<_>>()),
+                    Column::ints("Population", (0..rows).map(|_| 10_000 + rng.gen_range(5_000_000) as i64).collect()),
+                    Column::ints("MedianIncome", (0..rows).map(|_| 30_000 + rng.gen_range(120_000) as i64).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = n(900);
+        census.add_table(
+            Table::new(
+                "RESTAURANTS",
+                vec![
+                    Column::text("Name", (0..rows).map(|i| format!("{} Kitchen", Domain::Person.value(i as u64))).collect::<Vec<_>>()),
+                    Column::text("City", (0..rows).map(|_| Domain::City.value(rng.gen_range(150)) ).collect::<Vec<_>>()),
+                    Column::text("Cuisine", (0..rows).map(|_| *rng.choose(&["Italian", "Thai", "Mexican", "Indian", "French", "Diner"])).collect::<Vec<_>>()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = 150.max(n(150));
+        census.add_table(
+            Table::new(
+                "BIKES",
+                vec![
+                    Column::ints("StationId", (0..rows as i64).collect()),
+                    Column::text("City", (0..rows).map(|_| Domain::City.value(rng.gen_range(120))).collect::<Vec<_>>()),
+                    Column::ints("Docks", (0..rows).map(|_| 8 + rng.gen_range(40) as i64).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+    }
+    warehouse.add_database(census);
+
+    // CLOUD_USAGE --------------------------------------------------------------
+    let mut usage = Database::new("CLOUD_USAGE");
+    {
+        let accounts: Vec<String> = (0..500u64).map(|i| Domain::HexId.value(i)).collect();
+        let rows = n(60_000);
+        usage.add_table(
+            Table::new(
+                "METERING",
+                vec![
+                    Column::text("AccountId", (0..rows).map(|_| accounts[rng.gen_zipf(500, 1.1)].clone()).collect::<Vec<_>>()),
+                    Column::text("Service", (0..rows).map(|_| *rng.choose(&["compute", "storage", "query", "streaming"])).collect::<Vec<_>>()),
+                    Column::text("UsageDate", (0..rows).map(|_| Domain::Date.value(rng.gen_range(720))).collect::<Vec<_>>()),
+                    Column::floats("CreditsUsed", (0..rows).map(|_| (rng.gen_f64() * 100.0 * 100.0).round() / 100.0).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = n(40_000);
+        usage.add_table(
+            Table::new(
+                "APP_EVENTS",
+                vec![
+                    Column::text("AccountId", (0..rows).map(|_| accounts[rng.gen_zipf(400, 1.1)].clone()).collect::<Vec<_>>()),
+                    Column::text("EventType", (0..rows).map(|_| *rng.choose(&["login", "query_run", "dashboard_view", "export"])).collect::<Vec<_>>()),
+                    Column::text("Ts", (0..rows).map(|_| Domain::Date.value(rng.gen_range(720))).collect::<Vec<_>>()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+    }
+    warehouse.add_database(usage);
+
+    // WEBLOGS ------------------------------------------------------------------
+    let mut weblogs = Database::new("WEBLOGS");
+    {
+        let ips: Vec<String> = (0..2_000u64)
+            .map(|i| {
+                let h = wg_util::hash::mix64(i);
+                format!("{}.{}.{}.{}", 10 + h % 200, (h >> 8) % 256, (h >> 16) % 256, (h >> 24) % 256)
+            })
+            .collect();
+        let rows = n(90_000);
+        weblogs.add_table(
+            Table::new(
+                "REQUESTS",
+                vec![
+                    Column::text("Ip", (0..rows).map(|_| ips[rng.gen_zipf(2_000, 1.0)].clone()).collect::<Vec<_>>()),
+                    Column::text("Url", (0..rows).map(|_| format!("/app/{}", rng.choose(&["home", "query", "admin", "docs", "login"]))).collect::<Vec<_>>()),
+                    Column::ints("Status", (0..rows).map(|_| *rng.choose(&[200i64, 200, 200, 304, 404, 500])).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+        let rows = n(20_000);
+        weblogs.add_table(
+            Table::new(
+                "SESSIONS",
+                vec![
+                    Column::text("Ip", (0..rows).map(|_| ips[rng.gen_zipf(1_500, 1.0)].clone()).collect::<Vec<_>>()),
+                    Column::ints("DurationSecs", (0..rows).map(|_| rng.gen_range(3_600) as i64).collect()),
+                ],
+            )
+            .expect("valid schema"),
+        );
+    }
+    warehouse.add_database(weblogs);
+
+    // ---- filler tables up to 98 total ------------------------------------------
+    let db_names = ["SALESFORCE", "STOCKS", "RETAIL", "CENSUS", "CLOUD_USAGE", "WEBLOGS"];
+    let mut t = 0usize;
+    while warehouse.num_tables() < 98 {
+        let db_name = db_names[t % db_names.len()];
+        let rows = n(100 + rng.gen_index(8_000));
+        let ncols = 6 + rng.gen_index(18);
+        let mut cols: Vec<Column> = Vec::with_capacity(ncols);
+        for s in 0..ncols {
+            let mut col_rng = rng.fork((t * 100 + s) as u64);
+            cols.push(crate::nextiajd::filler_column_public(t, s, rows, &mut col_rng));
+        }
+        warehouse
+            .database_mut(db_name)
+            .add_table(Table::new(format!("EXTRA_{t:02}"), cols).expect("valid schema"));
+        t += 1;
+    }
+
+    // Ad-hoc query workload (§4.3.3: colleagues picked columns; no truth).
+    let queries = vec![
+        ColumnRef::new("SALESFORCE", "ACCOUNT", "Name"),
+        ColumnRef::new("RETAIL", "TRANSACTIONS", "ProductSku"),
+        ColumnRef::new("CENSUS", "POPULATION", "City"),
+        ColumnRef::new("CLOUD_USAGE", "METERING", "AccountId"),
+    ];
+    Corpus { name: "sigma".to_string(), warehouse, truth: GroundTruth::new(), queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_store::KeyNorm;
+
+    fn corpus() -> Corpus {
+        build_sigma(0.05, 0x51)
+    }
+
+    #[test]
+    fn has_98_tables() {
+        let c = corpus();
+        assert_eq!(c.warehouse.num_tables(), 98);
+        assert!(c.warehouse.num_columns() > 600);
+    }
+
+    #[test]
+    fn walkthrough_joins_hold() {
+        let c = corpus();
+        let account = c.warehouse.column(&ColumnRef::new("SALESFORCE", "ACCOUNT", "Name")).unwrap();
+        let lead = c.warehouse.column(&ColumnRef::new("SALESFORCE", "LEAD", "Company")).unwrap();
+        let industries = c
+            .warehouse
+            .column(&ColumnRef::new("STOCKS", "INDUSTRIES", "Company Name"))
+            .unwrap();
+        // Semantically joinable (normalized), low exact overlap for LEAD.
+        assert!(wg_store::containment(lead, account, KeyNorm::AlphaNum) > 0.9);
+        assert!(wg_store::containment(account, industries, KeyNorm::AlphaNum) > 0.9);
+        assert!(wg_store::containment(account, industries, KeyNorm::Exact) < 0.05);
+        // Ticker chain.
+        let ind_ticker = c.warehouse.column(&ColumnRef::new("STOCKS", "INDUSTRIES", "Ticker")).unwrap();
+        let price_ticker = c.warehouse.column(&ColumnRef::new("STOCKS", "PRICES", "Ticker")).unwrap();
+        assert!(wg_store::containment(price_ticker, ind_ticker, KeyNorm::Exact) > 0.9);
+    }
+
+    #[test]
+    fn retail_fk_chain() {
+        let c = corpus();
+        let sku = c.warehouse.column(&ColumnRef::new("RETAIL", "PRODUCTS", "Sku")).unwrap();
+        let txn = c.warehouse.column(&ColumnRef::new("RETAIL", "TRANSACTIONS", "ProductSku")).unwrap();
+        assert!(wg_store::containment(txn, sku, KeyNorm::Exact) > 0.95);
+    }
+
+    #[test]
+    fn queries_resolve() {
+        let c = corpus();
+        for q in &c.queries {
+            assert!(c.warehouse.column(q).is_ok(), "query column missing: {q}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_sigma(0.02, 9);
+        let b = build_sigma(0.02, 9);
+        assert_eq!(a.warehouse.num_columns(), b.warehouse.num_columns());
+        let qa = a.warehouse.column(&a.queries[0]).unwrap();
+        let qb = b.warehouse.column(&b.queries[0]).unwrap();
+        assert_eq!(qa, qb);
+    }
+}

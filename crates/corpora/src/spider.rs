@@ -1,0 +1,277 @@
+//! Spider-style PK/FK corpus.
+//!
+//! The paper uses Spider (Yu et al., EMNLP'18) as a PK/FK-detection
+//! benchmark: join paths between primary and foreign keys are parsed from
+//! schema files as ground truth (§4.1, Table 1: 70 tables, 429 columns,
+//! ~7.6k avg rows, 60 queries, 1.1 avg answers). We generate multi-database
+//! schemas with that shape:
+//!
+//! * each database has 1–2 **dimension** tables (a PK plus entity
+//!   attributes) and 1–3 **fact** tables whose FK columns draw values from
+//!   a referenced PK — high containment, usually *low Jaccard* (the
+//!   asymmetry that sinks threshold-on-Jaccard systems here);
+//! * FK columns share (most of) the referenced PK's name, which is what
+//!   gives D3L's name evidence its recall jump at k = 10 (§4.3.2);
+//! * queries are FK columns; the answer is the referenced PK (occasionally
+//!   two databases share an entity id space, yielding the >1.0 average).
+
+use wg_store::{Column, ColumnRef, Database, Table, Warehouse};
+use wg_util::rng::{Rng64, Xoshiro256pp};
+
+use crate::groundtruth::{Corpus, GroundTruth};
+use crate::vocab::Domain;
+
+/// Entity kinds a database theme can revolve around.
+const THEMES: &[(&str, Domain)] = &[
+    ("singer", Domain::Person),
+    ("concert", Domain::City),
+    ("employee", Domain::Person),
+    ("company", Domain::Company),
+    ("store", Domain::City),
+    ("product", Domain::Product),
+    ("student", Domain::Person),
+    ("course", Domain::JobTitle),
+    ("customer", Domain::Person),
+    ("airport", Domain::City),
+    ("team", Domain::Company),
+    ("document", Domain::Product),
+];
+
+/// Build the Spider-style corpus. `row_scale` scales the ~7.6k average
+/// rows; `seed` controls all randomness.
+pub fn build_spider(row_scale: f64, seed: u64) -> Corpus {
+    let mut rng = Xoshiro256pp::new(seed);
+    let avg_rows = ((7_632f64 * row_scale) as usize).max(40);
+
+    let mut warehouse = Warehouse::new("spider");
+    let mut truth = GroundTruth::new();
+    let mut tables_made = 0usize;
+    let mut columns_made = 0usize;
+    let mut db_index = 0usize;
+
+    // Track dimension PKs that share an id space across databases (the
+    // occasional second answer that makes avg answers ≈ 1.1).
+    let mut shared_pk: Option<(ColumnRef, u64, usize)> = None;
+
+    while tables_made < 70 {
+        let (theme, domain) = THEMES[db_index % THEMES.len()];
+        let db_name = format!("db_{db_index:02}_{theme}");
+        let mut db = Database::new(&db_name);
+        let n_dims = 1 + rng.gen_index(2); // 1..=2
+        let n_facts = 1 + rng.gen_index(3); // 1..=3
+
+        // Dimension tables.
+        let mut pks: Vec<(ColumnRef, u64, usize)> = Vec::new(); // (ref, id base, count)
+        for d in 0..n_dims {
+            let entity = if d == 0 { theme.to_string() } else { format!("{theme}_{d}") };
+            let pk_count = (avg_rows / 2 + rng.gen_index(avg_rows)).max(20);
+            // ~10% of dimensions share an id space with a previous database.
+            let id_base = if rng.gen_bool(0.1) && shared_pk.is_some() {
+                shared_pk.as_ref().expect("checked").1
+            } else {
+                (db_index as u64 * 100 + d as u64) * 1_000_000
+            };
+            let pk_name = format!("{entity}_id");
+            let mut cols = vec![Column::ints(
+                pk_name.clone(),
+                (0..pk_count as i64).map(|i| id_base as i64 + i).collect(),
+            )];
+            cols.push(Column::text(
+                "name",
+                (0..pk_count as u64).map(|i| domain.value(id_base + i)).collect::<Vec<_>>(),
+            ));
+            // A couple of attribute columns.
+            for (ai, attr) in ["city", "country", "rating", "year", "capacity"]
+                .iter()
+                .take(3 + rng.gen_index(3))
+                .enumerate()
+            {
+                let col = match *attr {
+                    "rating" => Column::floats(
+                        "rating",
+                        (0..pk_count).map(|_| (rng.gen_f64() * 50.0).round() / 10.0).collect(),
+                    ),
+                    "year" => Column::ints(
+                        "year",
+                        (0..pk_count).map(|_| 1980 + rng.gen_range(45) as i64).collect(),
+                    ),
+                    "capacity" => Column::ints(
+                        "capacity",
+                        (0..pk_count).map(|_| 50 + rng.gen_range(80_000) as i64).collect(),
+                    ),
+                    name => Column::text(
+                        name,
+                        (0..pk_count as u64)
+                            .map(|i| Domain::City.value((ai as u64) * 7_000 + i % 150))
+                            .collect::<Vec<_>>(),
+                    ),
+                };
+                cols.push(col);
+            }
+            columns_made += cols.len();
+            let table_name = format!("{entity}s");
+            db.add_table(Table::new(&table_name, cols).expect("valid schema"));
+            tables_made += 1;
+            let pk_ref = ColumnRef::new(&db_name, &table_name, &pk_name);
+            if shared_pk.is_none() || rng.gen_bool(0.15) {
+                shared_pk = Some((pk_ref.clone(), id_base, pk_count));
+            }
+            pks.push((pk_ref, id_base, pk_count));
+        }
+
+        // Fact tables with FKs.
+        for f in 0..n_facts {
+            if tables_made >= 70 {
+                break;
+            }
+            let rows = (avg_rows + rng.gen_index(avg_rows)).max(30);
+            let table_name = format!("{theme}_facts_{f}");
+            let mut cols: Vec<Column> =
+                vec![Column::ints("id", (0..rows as i64).collect())];
+            // 1..=2 FK columns referencing this database's dimensions.
+            let n_fks = 1 + rng.gen_index(pks.len().min(2));
+            for fk in pks.iter().take(n_fks) {
+                let (pk_ref, id_base, pk_count) = fk;
+                // FK draws a *subset* of PK values (zipf-skewed): high
+                // containment in the PK, low Jaccard when pk_count >> used.
+                let used = (pk_count / (2 + rng.gen_index(8))).max(5);
+                let fk_values: Vec<i64> = (0..rows)
+                    .map(|_| *id_base as i64 + rng.gen_zipf(used, 0.8) as i64)
+                    .collect();
+                let fk_name = pk_ref.column.clone(); // same name as the PK
+                cols.push(Column::ints(&fk_name, fk_values));
+                let fk_ref = ColumnRef::new(&db_name, &table_name, &fk_name);
+                truth.add(fk_ref.clone(), pk_ref.clone());
+                // If another database shares this id space, it is a second
+                // correct answer.
+                if let Some((other_ref, other_base, _)) = &shared_pk {
+                    if other_base == id_base && other_ref != pk_ref {
+                        truth.add(fk_ref, other_ref.clone());
+                    }
+                }
+            }
+            // Measure columns.
+            cols.push(Column::floats(
+                "amount",
+                (0..rows).map(|_| (rng.gen_f64() * 1e4).round() / 100.0).collect(),
+            ));
+            cols.push(Column::text(
+                "created",
+                (0..rows).map(|_| Domain::Date.value(rng.gen_range(1_800))).collect::<Vec<_>>(),
+            ));
+            if rng.gen_bool(0.5) {
+                cols.push(Column::ints(
+                    "quantity",
+                    (0..rows).map(|_| 1 + rng.gen_range(20) as i64).collect(),
+                ));
+            }
+            if rng.gen_bool(0.5) {
+                cols.push(Column::text(
+                    "status",
+                    (0..rows)
+                        .map(|_| *rng.choose(&["open", "closed", "pending", "failed"]))
+                        .collect::<Vec<_>>(),
+                ));
+            }
+            columns_made += cols.len();
+            db.add_table(Table::new(&table_name, cols).expect("valid schema"));
+            tables_made += 1;
+        }
+
+        warehouse.add_database(db);
+        db_index += 1;
+    }
+    let _ = columns_made;
+
+    // Query workload: 60 FK columns.
+    let mut queries = truth.queries();
+    if queries.len() > 60 {
+        let keep_idx = rng.sample_indices(queries.len(), 60);
+        let mut keep: Vec<ColumnRef> = keep_idx.into_iter().map(|i| queries[i].clone()).collect();
+        keep.sort();
+        truth.retain_queries(&keep);
+        queries = keep;
+    }
+
+    Corpus { name: "spider".to_string(), warehouse, truth, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_store::KeyNorm;
+
+    fn corpus() -> Corpus {
+        build_spider(0.1, 0x5919)
+    }
+
+    #[test]
+    fn shape_roughly_matches_table1() {
+        let c = corpus();
+        let (tables, columns, _avg_rows, queries, avg_answers) = c.stats();
+        assert_eq!(tables, 70);
+        assert!((360..520).contains(&columns), "columns {columns}");
+        assert!(queries <= 60 && queries >= 30, "queries {queries}");
+        assert!((1.0..1.6).contains(&avg_answers), "avg answers {avg_answers}");
+    }
+
+    #[test]
+    fn fk_contained_in_pk_with_low_jaccard() {
+        let c = corpus();
+        let mut checked = 0;
+        for q in c.queries.iter().take(15) {
+            let fk = c.warehouse.column(q).unwrap();
+            for a in c.truth.answers(q) {
+                let pk = c.warehouse.column(a).unwrap();
+                let cont = wg_store::containment(fk, pk, KeyNorm::Exact);
+                assert!(cont > 0.95, "FK {q} containment in PK {a} is {cont}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+        // At least some pairs have the punishing low-Jaccard shape.
+        let mut low_jaccard = 0;
+        for q in c.queries.iter().take(15) {
+            let fk = c.warehouse.column(q).unwrap();
+            for a in c.truth.answers(q) {
+                let pk = c.warehouse.column(a).unwrap();
+                if wg_store::jaccard(fk, pk, KeyNorm::Exact) < 0.4 {
+                    low_jaccard += 1;
+                }
+            }
+        }
+        assert!(low_jaccard > 0, "no low-Jaccard FK/PK pairs generated");
+    }
+
+    #[test]
+    fn fk_and_pk_share_names() {
+        let c = corpus();
+        // The primary answer (the directly referenced PK) always shares the
+        // FK's name; secondary answers from cross-database shared id spaces
+        // may be named differently — exactly the cases D3L's name evidence
+        // cannot rescue.
+        for q in c.queries.iter().take(20) {
+            let answers = c.truth.answers(q);
+            assert_eq!(q.column, answers[0].column, "FK/PK name mismatch: {q} vs {}", answers[0]);
+        }
+    }
+
+    #[test]
+    fn queries_are_fact_columns_answers_are_dims() {
+        let c = corpus();
+        for q in &c.queries {
+            assert!(q.table.contains("facts"), "query not in a fact table: {q}");
+            for a in c.truth.answers(q) {
+                assert!(!a.table.contains("facts"), "answer in a fact table: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_spider(0.05, 1);
+        let b = build_spider(0.05, 1);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.warehouse.num_columns(), b.warehouse.num_columns());
+    }
+}

@@ -1,0 +1,251 @@
+//! Column-level embedding: aggregate value embeddings into one vector.
+//!
+//! WarpGate embeds *columns* (§3.1.1). We aggregate over the column's
+//! **distinct values with multiplicities** — the dictionary the column
+//! store maintains anyway — under one of three weighting schemes. The
+//! scheme is an explicit design knob because the paper leaves aggregation
+//! unspecified; `bench ablation_aggregation` compares them.
+
+use std::sync::Arc;
+
+use wg_store::Column;
+
+use crate::model::EmbeddingModel;
+use crate::tokenizer::tokenize;
+use crate::vector::Vector;
+
+/// How distinct-value embeddings combine into a column embedding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// Unweighted mean over distinct values. Duplicates carry no weight, so
+    /// a column that is 99% `"N/A"` is still described by its tail.
+    MeanDistinct,
+    /// Mean weighted by value frequency — equivalent to embedding every row.
+    FrequencyWeighted,
+    /// Smooth-inverse-frequency: weight `a / (a + p(v))` with `p(v)` the
+    /// value's within-column relative frequency. Interpolates between the
+    /// two extremes; very frequent filler values are damped, rare values
+    /// are not over-trusted.
+    Sif {
+        /// Smoothing constant; typical `1e-2..1e-1` for column data.
+        a: f32,
+    },
+}
+
+impl Aggregation {
+    /// Weight for a value occurring `count` times among `total` rows.
+    fn weight(&self, count: u32, total: u64) -> f32 {
+        match self {
+            Aggregation::MeanDistinct => 1.0,
+            Aggregation::FrequencyWeighted => count as f32,
+            Aggregation::Sif { a } => {
+                let p = count as f32 / total.max(1) as f32;
+                a / (a + p)
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Aggregation::MeanDistinct => "mean-distinct",
+            Aggregation::FrequencyWeighted => "freq-weighted",
+            Aggregation::Sif { .. } => "sif",
+        }
+    }
+}
+
+impl Default for Aggregation {
+    fn default() -> Self {
+        Aggregation::Sif { a: 0.05 }
+    }
+}
+
+/// Embeds columns using a model plus an aggregation scheme.
+#[derive(Clone)]
+pub struct ColumnEmbedder {
+    model: Arc<dyn EmbeddingModel>,
+    aggregation: Aggregation,
+}
+
+impl ColumnEmbedder {
+    /// Pair a model with an aggregation scheme.
+    pub fn new(model: Arc<dyn EmbeddingModel>, aggregation: Aggregation) -> Self {
+        Self { model, aggregation }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Arc<dyn EmbeddingModel> {
+        &self.model
+    }
+
+    /// The aggregation scheme.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// Embed a column (typically one that was already sampled by the CDW
+    /// connector). Returns a unit vector, or the zero vector when the
+    /// column has no embeddable content (all NULL / all symbols).
+    pub fn embed_column(&self, column: &Column) -> Vector {
+        self.embed_value_counts(&column.value_counts(), column.len() as u64)
+    }
+
+    /// Embed from pre-computed `(value, count)` pairs.
+    pub fn embed_value_counts(&self, values: &[(String, u32)], total_rows: u64) -> Vector {
+        let mut acc = Vector::zeros(self.model.dim());
+        let mut any = false;
+        for (value, count) in values {
+            let tokens = tokenize(value);
+            if tokens.is_empty() {
+                continue;
+            }
+            let v = self.model.embed_tokens(&tokens);
+            if v.is_zero() {
+                continue;
+            }
+            let w = self.aggregation.weight(*count, total_rows);
+            acc.add_scaled(&v, w);
+            any = true;
+        }
+        if any {
+            acc.normalize();
+        }
+        acc
+    }
+
+    /// Embed a free-standing list of values (used for ad-hoc queries where
+    /// the user pastes values rather than naming a warehouse column).
+    pub fn embed_values<S: AsRef<str>>(&self, values: &[S]) -> Vector {
+        let mut counts: Vec<(String, u32)> = Vec::new();
+        let mut index = wg_util::fx_hash_map::<String, usize>();
+        for v in values {
+            let s = v.as_ref().to_string();
+            match index.get(&s) {
+                Some(&i) => counts[i].1 += 1,
+                None => {
+                    index.insert(s.clone(), counts.len());
+                    counts.push((s, 1));
+                }
+            }
+        }
+        self.embed_value_counts(&counts, values.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webtable::WebTableModel;
+    use wg_store::Column;
+
+    fn embedder(agg: Aggregation) -> ColumnEmbedder {
+        ColumnEmbedder::new(Arc::new(WebTableModel::default_model()), agg)
+    }
+
+    #[test]
+    fn joinable_columns_more_similar_than_unrelated() {
+        let e = embedder(Aggregation::default());
+        let companies_a = Column::text("name", ["Acme Corp", "Globex", "Initech", "Hooli"]);
+        let companies_b =
+            Column::text("company", ["ACME CORP", "GLOBEX", "INITECH", "Umbrella"]);
+        let cities = Column::text("city", ["Austin", "Boston", "Chicago", "Denver"]);
+        let sim_join = e.embed_column(&companies_a).cosine(&e.embed_column(&companies_b));
+        let sim_unrelated = e.embed_column(&companies_a).cosine(&e.embed_column(&cities));
+        assert!(
+            sim_join > sim_unrelated + 0.3,
+            "join {sim_join} vs unrelated {sim_unrelated}"
+        );
+        // 3 of the 4 values are shared after tokenization, so the expected
+        // cosine is around 3/4.
+        assert!(sim_join > 0.6, "format variants should stay close: {sim_join}");
+    }
+
+    #[test]
+    fn sampling_robustness_of_embedding() {
+        // The §4.4 property in miniature: a 25% distinct-value sample stays
+        // close to the full-column embedding.
+        let e = embedder(Aggregation::default());
+        let values: Vec<String> = (0..400).map(|i| format!("entity number {i}")).collect();
+        let full = Column::text("c", values.clone());
+        let sampled = Column::text("c", values.iter().take(100).cloned().collect::<Vec<_>>());
+        let sim = e.embed_column(&full).cosine(&e.embed_column(&sampled));
+        assert!(sim > 0.9, "sampled embedding drifted: {sim}");
+    }
+
+    #[test]
+    fn mean_distinct_ignores_duplication() {
+        let e = embedder(Aggregation::MeanDistinct);
+        let balanced = Column::text("c", ["alpha", "beta"]);
+        let mut skewed_vals = vec!["alpha"; 99];
+        skewed_vals.push("beta");
+        let skewed = Column::text("c", skewed_vals);
+        let sim = e.embed_column(&balanced).cosine(&e.embed_column(&skewed));
+        assert!(sim > 0.999, "distinct aggregation must ignore multiplicity: {sim}");
+    }
+
+    #[test]
+    fn frequency_weighted_tracks_duplication() {
+        let e = embedder(Aggregation::FrequencyWeighted);
+        let mut skewed_vals = vec!["alpha"; 99];
+        skewed_vals.push("beta");
+        let skewed = Column::text("c", skewed_vals);
+        let alpha_only = Column::text("c", ["alpha"]);
+        let sim = e.embed_column(&skewed).cosine(&e.embed_column(&alpha_only));
+        assert!(sim > 0.95, "frequency weighting should be dominated by alpha: {sim}");
+    }
+
+    #[test]
+    fn sif_sits_between() {
+        let sif = embedder(Aggregation::Sif { a: 0.05 });
+        let freq = embedder(Aggregation::FrequencyWeighted);
+        let mut skewed_vals = vec!["alpha"; 99];
+        skewed_vals.push("beta");
+        let skewed = Column::text("c", skewed_vals);
+        let alpha_only = Column::text("c", ["alpha"]);
+        let sim_sif = sif.embed_column(&skewed).cosine(&sif.embed_column(&alpha_only));
+        let sim_freq = freq.embed_column(&skewed).cosine(&freq.embed_column(&alpha_only));
+        assert!(sim_sif < sim_freq, "SIF must damp the dominant value");
+    }
+
+    #[test]
+    fn empty_and_null_columns_are_zero() {
+        let e = embedder(Aggregation::default());
+        let empty = Column::text("c", Vec::<String>::new());
+        assert!(e.embed_column(&empty).is_zero());
+        let nulls = Column::text_opt("c", [None::<&str>, None]);
+        assert!(e.embed_column(&nulls).is_zero());
+    }
+
+    #[test]
+    fn numeric_columns_embed_via_rendering() {
+        let e = embedder(Aggregation::default());
+        let a = Column::ints("ids", vec![100, 200, 300]);
+        let b = Column::text("ids_text", ["100", "200", "300"]);
+        let sim = e.embed_column(&a).cosine(&e.embed_column(&b));
+        assert!(sim > 0.999, "int column and its text rendering must agree: {sim}");
+    }
+
+    #[test]
+    fn embed_values_matches_column() {
+        let e = embedder(Aggregation::default());
+        let vals = ["x", "y", "x"];
+        let col = Column::text("c", vals);
+        let a = e.embed_values(&vals);
+        let b = e.embed_column(&col);
+        assert!(a.cosine(&b) > 0.999);
+    }
+
+    #[test]
+    fn weights_behave() {
+        assert_eq!(Aggregation::MeanDistinct.weight(50, 100), 1.0);
+        assert_eq!(Aggregation::FrequencyWeighted.weight(50, 100), 50.0);
+        let sif = Aggregation::Sif { a: 0.05 };
+        assert!(sif.weight(90, 100) < sif.weight(1, 100));
+    }
+}

@@ -1,0 +1,417 @@
+//! A miniature BERT-style transformer encoder.
+//!
+//! Stands in for the paper's §4.4 BERT comparison. Two findings must be
+//! reproduced: (1) effectiveness *on par* with Web Table Embeddings and
+//! robust to sampling, (2) roughly an order of magnitude higher inference
+//! cost. We get (1) by construction — value/output projections are
+//! initialized near the identity and residual connections dominate, so the
+//! encoder behaves like a smoothing of the underlying hashed token vectors
+//! — and (2) honestly: the forward pass executes real multi-head attention
+//! and feed-forward matmuls per token, with no value-level caching.
+//!
+//! All weights are streamed deterministically from the model seed; there is
+//! no training. This is *not* a language model — it is a computational
+//! stand-in with the cost profile and stability properties the experiment
+//! needs (see DESIGN.md §1 for the substitution argument).
+
+use wg_util::hash::combine64;
+use wg_util::rng::Rng64;
+use wg_util::SplitMix64;
+
+use crate::model::EmbeddingModel;
+use crate::tokenizer::Token;
+use crate::vector::Vector;
+use crate::webtable::{WebTableConfig, WebTableModel};
+
+/// Configuration for [`MiniBertModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct MiniBertConfig {
+    /// Model (and output) dimension; must match the token-embedding dim.
+    pub dim: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention heads (`dim % heads == 0`).
+    pub heads: usize,
+    /// Feed-forward expansion factor.
+    pub ffn_mult: usize,
+    /// Weight seed.
+    pub seed: u64,
+    /// Maximum sequence length (longer inputs are truncated).
+    pub max_seq: usize,
+    /// Perturbation scale for the near-identity projections.
+    pub epsilon: f32,
+}
+
+impl Default for MiniBertConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            layers: 2,
+            heads: 4,
+            ffn_mult: 2,
+            seed: 0x4245_5254,
+            max_seq: 64,
+            epsilon: 0.05,
+        }
+    }
+}
+
+/// Row-major dense matrix.
+struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Random matrix with entries `N(0, scale²)`.
+    fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_gaussian() as f32 * scale)
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Identity plus `N(0, eps²)` noise (square only).
+    fn near_identity(dim: usize, eps: f32, seed: u64) -> Self {
+        let mut m = Self::random(dim, dim, eps, seed);
+        for i in 0..dim {
+            m.data[i * dim + i] += 1.0;
+        }
+        m
+    }
+
+    /// `out = x · M` for a row vector `x` (len == rows).
+    fn apply(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.rows);
+        debug_assert_eq!(out.len(), self.cols);
+        out.fill(0.0);
+        // Row-major walk: out += x[r] * row_r, contiguous and vectorizable.
+        for (r, &xv) in x.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += xv * w;
+            }
+        }
+    }
+}
+
+struct EncoderLayer {
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    w1: Matrix,
+    w2: Matrix,
+}
+
+/// The transformer encoder model.
+pub struct MiniBertModel {
+    config: MiniBertConfig,
+    token_embedder: WebTableModel,
+    layers: Vec<EncoderLayer>,
+    /// Sinusoidal positional encodings, pre-scaled.
+    positions: Vec<Vec<f32>>,
+}
+
+impl MiniBertModel {
+    /// Build the model; weights derive from `config.seed`.
+    pub fn new(config: MiniBertConfig) -> Self {
+        assert!(config.dim % config.heads == 0, "dim must divide into heads");
+        assert!(config.layers >= 1 && config.max_seq >= 1);
+        let d = config.dim;
+        let scale = 1.0 / (d as f32).sqrt();
+        let layers = (0..config.layers)
+            .map(|l| {
+                let s = |tag: u64| combine64(config.seed, combine64(l as u64, tag));
+                EncoderLayer {
+                    wq: Matrix::random(d, d, scale, s(1)),
+                    wk: Matrix::random(d, d, scale, s(2)),
+                    wv: Matrix::near_identity(d, config.epsilon, s(3)),
+                    wo: Matrix::near_identity(d, config.epsilon, s(4)),
+                    w1: Matrix::random(d, d * config.ffn_mult, scale, s(5)),
+                    w2: Matrix::random(d * config.ffn_mult, d, config.epsilon * scale, s(6)),
+                }
+            })
+            .collect();
+
+        // Standard sinusoidal positions, scaled down so word identity
+        // dominates position.
+        let pos_scale = 0.05f32;
+        let positions = (0..config.max_seq)
+            .map(|p| {
+                (0..d)
+                    .map(|i| {
+                        let rate = 10_000f32.powf(-((i / 2 * 2) as f32) / d as f32);
+                        let angle = p as f32 * rate;
+                        pos_scale * if i % 2 == 0 { angle.sin() } else { angle.cos() }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let token_embedder = WebTableModel::new(WebTableConfig {
+            dim: config.dim,
+            ..WebTableConfig::default()
+        });
+        Self { config, token_embedder, layers, positions }
+    }
+
+    /// Default configuration model.
+    pub fn default_model() -> Self {
+        Self::new(MiniBertConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MiniBertConfig {
+        &self.config
+    }
+
+    fn layer_norm(x: &mut [f32]) {
+        let n = x.len() as f32;
+        let mean = x.iter().sum::<f32>() / n;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for v in x.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+    }
+
+    #[inline]
+    fn gelu(x: f32) -> f32 {
+        // tanh approximation.
+        0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh())
+    }
+
+    /// Full encoder forward pass over a sequence of token vectors.
+    fn forward(&self, mut seq: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        let d = self.config.dim;
+        let heads = self.config.heads;
+        let dh = d / heads;
+        let n = seq.len();
+
+        // Add positional encodings.
+        for (i, x) in seq.iter_mut().enumerate() {
+            for (v, p) in x.iter_mut().zip(&self.positions[i]) {
+                *v += p;
+            }
+        }
+
+        let mut q = vec![vec![0.0f32; d]; n];
+        let mut k = vec![vec![0.0f32; d]; n];
+        let mut v = vec![vec![0.0f32; d]; n];
+        let mut attn_out = vec![vec![0.0f32; d]; n];
+        let mut proj = vec![0.0f32; d];
+        let mut ffn_hidden = vec![0.0f32; d * self.config.ffn_mult];
+
+        for layer in &self.layers {
+            // Projections.
+            for i in 0..n {
+                layer.wq.apply(&seq[i], &mut q[i]);
+                layer.wk.apply(&seq[i], &mut k[i]);
+                layer.wv.apply(&seq[i], &mut v[i]);
+            }
+            // Scaled dot-product attention, per head.
+            let scale = 1.0 / (dh as f32).sqrt();
+            for i in 0..n {
+                attn_out[i].fill(0.0);
+                for h in 0..heads {
+                    let hs = h * dh;
+                    // Scores against every position.
+                    let mut scores: Vec<f32> = (0..n)
+                        .map(|j| {
+                            let mut s = 0.0;
+                            for t in 0..dh {
+                                s += q[i][hs + t] * k[j][hs + t];
+                            }
+                            s * scale
+                        })
+                        .collect();
+                    // Softmax.
+                    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut total = 0.0;
+                    for s in scores.iter_mut() {
+                        *s = (*s - max).exp();
+                        total += *s;
+                    }
+                    for (j, s) in scores.iter().enumerate() {
+                        let w = s / total;
+                        for t in 0..dh {
+                            attn_out[i][hs + t] += w * v[j][hs + t];
+                        }
+                    }
+                }
+            }
+            // Output projection + residual + LN; then FFN + residual + LN.
+            for i in 0..n {
+                layer.wo.apply(&attn_out[i], &mut proj);
+                for (x, p) in seq[i].iter_mut().zip(&proj) {
+                    // Residual dominates: attention contributes at half
+                    // weight so the encoder smooths rather than scrambles.
+                    *x += 0.5 * p;
+                }
+                Self::layer_norm(&mut seq[i]);
+
+                layer.w1.apply(&seq[i], &mut ffn_hidden);
+                for h in ffn_hidden.iter_mut() {
+                    *h = Self::gelu(*h);
+                }
+                layer.w2.apply(&ffn_hidden, &mut proj);
+                for (x, p) in seq[i].iter_mut().zip(&proj) {
+                    *x += p;
+                }
+                Self::layer_norm(&mut seq[i]);
+            }
+        }
+        seq
+    }
+}
+
+impl EmbeddingModel for MiniBertModel {
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn name(&self) -> &str {
+        "mini-bert"
+    }
+
+    fn embed_tokens(&self, tokens: &[Token]) -> Vector {
+        if tokens.is_empty() {
+            return Vector::zeros(self.config.dim);
+        }
+        let seq: Vec<Vec<f32>> = tokens
+            .iter()
+            .take(self.config.max_seq)
+            .map(|t| self.token_embedder.token_vector(t).0)
+            .collect();
+        let out = self.forward(seq);
+        // Mean pool + normalize.
+        let mut pooled = Vector::zeros(self.config.dim);
+        for x in &out {
+            for (p, v) in pooled.0.iter_mut().zip(x) {
+                *p += v;
+            }
+        }
+        pooled.scale(1.0 / out.len() as f32);
+        pooled.normalize();
+        pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_util::timing::timed;
+
+    fn model() -> MiniBertModel {
+        MiniBertModel::default_model()
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = model().embed_text("Acme Corporation");
+        let b = model().embed_text("Acme Corporation");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        assert!(model().embed_text("hello world").is_normalized());
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert!(model().embed_tokens(&[]).is_zero());
+    }
+
+    #[test]
+    fn stays_close_to_base_embedding_structure() {
+        // Pairwise similarity ordering should roughly agree with the base
+        // hashed model — the "on par effectiveness" property.
+        let bert = model();
+        let base = WebTableModel::new(WebTableConfig { dim: 128, ..Default::default() });
+        let texts =
+            ["Apple Inc", "Apple Computer", "Microsoft Corp", "2020-01-15", "banana split"];
+        let mut agreements = 0;
+        let mut total = 0;
+        for i in 0..texts.len() {
+            for j in (i + 1)..texts.len() {
+                for l in 0..texts.len() {
+                    for m in (l + 1)..texts.len() {
+                        if (i, j) >= (l, m) {
+                            continue;
+                        }
+                        let b1 = bert.embed_text(texts[i]).cosine(&bert.embed_text(texts[j]));
+                        let b2 = bert.embed_text(texts[l]).cosine(&bert.embed_text(texts[m]));
+                        let w1 = base.embed_text(texts[i]).cosine(&base.embed_text(texts[j]));
+                        let w2 = base.embed_text(texts[l]).cosine(&base.embed_text(texts[m]));
+                        if (w1 - w2).abs() < 0.05 {
+                            continue; // too close to call in the base space
+                        }
+                        total += 1;
+                        if (b1 > b2) == (w1 > w2) {
+                            agreements += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        let rate = agreements as f64 / total as f64;
+        assert!(rate > 0.8, "pairwise order agreement only {rate:.2}");
+    }
+
+    #[test]
+    fn materially_slower_than_base_model() {
+        let bert = model();
+        let base = WebTableModel::new(WebTableConfig { dim: 128, ..Default::default() });
+        // Warm both (fills base token cache).
+        let texts: Vec<String> = (0..50).map(|i| format!("value number {i}")).collect();
+        for t in &texts {
+            let _ = bert.embed_text(t);
+            let _ = base.embed_text(t);
+        }
+        let (_, t_bert) = timed(|| {
+            for t in &texts {
+                std::hint::black_box(bert.embed_text(t));
+            }
+        });
+        let (_, t_base) = timed(|| {
+            for t in &texts {
+                std::hint::black_box(base.embed_text(t));
+            }
+        });
+        assert!(
+            t_bert.as_secs_f64() > 3.0 * t_base.as_secs_f64(),
+            "bert {:?} vs base {:?}",
+            t_bert,
+            t_base
+        );
+    }
+
+    #[test]
+    fn truncates_long_sequences() {
+        let m = MiniBertModel::new(MiniBertConfig { max_seq: 4, ..Default::default() });
+        let tokens: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
+        let v = m.embed_tokens(&tokens);
+        assert!(v.is_normalized());
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must divide")]
+    fn rejects_bad_head_split() {
+        let _ = MiniBertModel::new(MiniBertConfig { dim: 130, heads: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        MiniBertModel::layer_norm(&mut x);
+        let mean: f32 = x.iter().sum::<f32>() / 4.0;
+        let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+}

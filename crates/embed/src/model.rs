@@ -1,0 +1,53 @@
+//! The embedding model abstraction.
+
+use crate::tokenizer::Token;
+use crate::vector::Vector;
+
+/// An embedding model maps a token sequence (one cell value, typically) to
+/// a fixed-dimension vector.
+///
+/// Implementations must be `Send + Sync` — the indexing pipeline embeds
+/// columns from multiple threads — and deterministic: the same tokens must
+/// produce bit-identical vectors in every process, or persisted indexes
+/// would drift from fresh queries.
+pub trait EmbeddingModel: Send + Sync {
+    /// Output dimension.
+    fn dim(&self) -> usize;
+
+    /// Human-readable model name (reported in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Embed one token sequence. Empty input returns the zero vector (the
+    /// column aggregator skips zero value-vectors).
+    fn embed_tokens(&self, tokens: &[Token]) -> Vector;
+
+    /// Embed one raw cell (tokenize + embed). Provided for convenience.
+    fn embed_text(&self, text: &str) -> Vector {
+        self.embed_tokens(&crate::tokenizer::tokenize(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stub;
+    impl EmbeddingModel for Stub {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn embed_tokens(&self, tokens: &[Token]) -> Vector {
+            Vector(vec![tokens.len() as f32, 1.0])
+        }
+    }
+
+    #[test]
+    fn embed_text_tokenizes() {
+        let m = Stub;
+        assert_eq!(m.embed_text("a b c").0[0], 3.0);
+        assert_eq!(m.embed_text("").0[0], 0.0);
+    }
+}

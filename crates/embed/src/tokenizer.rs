@@ -1,0 +1,153 @@
+//! Cell tokenization.
+//!
+//! The tokenizer is where *syntactic variation collapses*: two columns that
+//! store the same entities in different formats must produce overlapping
+//! token streams, because everything downstream (hashing, aggregation,
+//! cosine) only sees tokens. Rules:
+//!
+//! * split on any non-alphanumeric rune (`"Apple, Inc." → apple inc`);
+//! * split letter/digit boundaries inside runs (`"CUST0042" → cust 0042`);
+//! * lowercase;
+//! * normalize digit runs by stripping leading zeros (`"0042" → 42`), so
+//!   zero-padded identifiers match unpadded ones;
+//! * date-ish cells fall out naturally: `2020-01-15` and `01/15/2020`
+//!   produce the same token multiset.
+
+/// A single normalized token. Plain `String` — tokens are short and cached
+/// aggressively by the models.
+pub type Token = String;
+
+/// Tokenize one cell into normalized tokens.
+pub fn tokenize(cell: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    // Track whether the current run is digits or letters to split on
+    // letter/digit boundaries.
+    let mut current_is_digit = false;
+
+    let flush = |buf: &mut String, is_digit: bool, out: &mut Vec<Token>| {
+        if buf.is_empty() {
+            return;
+        }
+        if is_digit {
+            let trimmed = buf.trim_start_matches('0');
+            out.push(if trimmed.is_empty() { "0".to_string() } else { trimmed.to_string() });
+        } else {
+            out.push(buf.to_lowercase());
+        }
+        buf.clear();
+    };
+
+    for ch in cell.chars() {
+        if ch.is_alphanumeric() {
+            let is_digit = ch.is_ascii_digit();
+            if !current.is_empty() && is_digit != current_is_digit {
+                flush(&mut current, current_is_digit, &mut tokens);
+            }
+            current_is_digit = is_digit;
+            current.push(ch);
+        } else {
+            flush(&mut current, current_is_digit, &mut tokens);
+        }
+    }
+    flush(&mut current, current_is_digit, &mut tokens);
+    tokens
+}
+
+/// Character n-grams of a token with boundary markers, fastText style:
+/// `"cat"` with n=3 yields `<ca`, `cat`, `at>`. Tokens shorter than `n-2`
+/// yield nothing for that n.
+pub fn char_ngrams(token: &str, min_n: usize, max_n: usize) -> Vec<String> {
+    debug_assert!(min_n >= 2 && max_n >= min_n);
+    let bounded: Vec<char> = std::iter::once('<')
+        .chain(token.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    let mut out = Vec::new();
+    for n in min_n..=max_n {
+        if bounded.len() < n {
+            break;
+        }
+        for w in bounded.windows(n) {
+            out.push(w.iter().collect::<String>());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(tokenize("Apple, Inc."), vec!["apple", "inc"]);
+        assert_eq!(tokenize("  hello   world "), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn case_variants_collapse() {
+        assert_eq!(tokenize("ACME CORP"), tokenize("Acme Corp."));
+    }
+
+    #[test]
+    fn splits_letter_digit_boundaries() {
+        assert_eq!(tokenize("CUST0042"), vec!["cust", "42"]);
+        assert_eq!(tokenize("CUST-0042"), vec!["cust", "42"]);
+        assert_eq!(tokenize("42abc7"), vec!["42", "abc", "7"]);
+    }
+
+    #[test]
+    fn zero_padding_collapses() {
+        assert_eq!(tokenize("0042"), vec!["42"]);
+        assert_eq!(tokenize("000"), vec!["0"]);
+        assert_eq!(tokenize("0042"), tokenize("42"));
+    }
+
+    #[test]
+    fn date_formats_share_tokens() {
+        let mut a = tokenize("2020-01-15");
+        let mut b = tokenize("01/15/2020");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unicode_is_kept() {
+        assert_eq!(tokenize("Zürich"), vec!["zürich"]);
+        assert_eq!(tokenize("naïve café"), vec!["naïve", "café"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ///").is_empty());
+    }
+
+    #[test]
+    fn ngrams_with_boundaries() {
+        let g = char_ngrams("cat", 3, 3);
+        assert_eq!(g, vec!["<ca", "cat", "at>"]);
+    }
+
+    #[test]
+    fn ngrams_multiple_sizes() {
+        let g = char_ngrams("ab", 3, 4);
+        assert_eq!(g, vec!["<ab", "ab>", "<ab>"]);
+    }
+
+    #[test]
+    fn ngrams_short_token() {
+        // "a" bounded = "<a>": 3-grams = ["<a>"], 4-grams none.
+        assert_eq!(char_ngrams("a", 3, 4), vec!["<a>"]);
+    }
+
+    #[test]
+    fn similar_tokens_share_ngrams() {
+        let a = char_ngrams("street", 3, 4);
+        let b = char_ngrams("streets", 3, 4);
+        let shared = a.iter().filter(|g| b.contains(g)).count();
+        assert!(shared >= a.len() / 2, "shared {shared} of {}", a.len());
+    }
+}

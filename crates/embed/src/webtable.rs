@@ -1,0 +1,254 @@
+//! Hashed subword embeddings standing in for pre-trained Web Table
+//! Embeddings (Günther et al. 2021).
+//!
+//! A token's vector is
+//!
+//! ```text
+//! v(t) = normalize( g(h(t)) + (β/|G|) · Σ_{n∈G} g(h(n)) )
+//! ```
+//!
+//! where `G` is the set of character n-grams of `t`, `h` the stable 64-bit
+//! hash, and `g(seed)` a unit-variance Gaussian vector streamed from a
+//! SplitMix64 generator seeded with the hash (mixed with the model seed).
+//! The whole-token term dominates — distinct values stay distinguishable —
+//! while the n-gram term gives partial similarity to near-miss strings
+//! (typos, plural/singular, shared brand stems), which is the property the
+//! paper's "semantic" join-ability relies on across formatting variants.
+//!
+//! Everything is deterministic: no training, no files, identical vectors in
+//! every process. A bounded token→vector cache makes repeated tokens (the
+//! common case in categorical columns) nearly free.
+
+use parking_lot::RwLock;
+use wg_util::hash::combine64;
+use wg_util::rng::Rng64;
+use wg_util::{FxHashMap, SplitMix64};
+
+use crate::model::EmbeddingModel;
+use crate::tokenizer::{char_ngrams, Token};
+use crate::vector::Vector;
+
+/// Configuration for [`WebTableModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct WebTableConfig {
+    /// Embedding dimension (the published Web Table Embeddings are 150-d;
+    /// we default to 128 for alignment-friendly arithmetic).
+    pub dim: usize,
+    /// Model seed: two models with different seeds inhabit unrelated spaces.
+    pub seed: u64,
+    /// Smallest character n-gram.
+    pub min_ngram: usize,
+    /// Largest character n-gram.
+    pub max_ngram: usize,
+    /// Relative weight of the summed n-gram term against the whole-token
+    /// term. 0 disables subword information entirely.
+    pub subword_weight: f32,
+    /// Cache capacity in tokens; beyond this, vectors are recomputed on the
+    /// fly rather than evicting (simple and allocation-free).
+    pub cache_capacity: usize,
+}
+
+impl Default for WebTableConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            seed: 0x5747_4154_4531_3238, // "WGATE128"
+            min_ngram: 3,
+            max_ngram: 4,
+            subword_weight: 0.6,
+            cache_capacity: 1 << 20,
+        }
+    }
+}
+
+/// The deterministic hashed-subword embedding model.
+pub struct WebTableModel {
+    config: WebTableConfig,
+    cache: RwLock<FxHashMap<Token, Vector>>,
+}
+
+impl WebTableModel {
+    /// Build a model with the given configuration.
+    pub fn new(config: WebTableConfig) -> Self {
+        assert!(config.dim > 0, "dimension must be positive");
+        assert!(config.min_ngram >= 2 && config.max_ngram >= config.min_ngram);
+        Self { config, cache: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// Model with default configuration.
+    pub fn default_model() -> Self {
+        Self::new(WebTableConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WebTableConfig {
+        &self.config
+    }
+
+    /// Number of cached token vectors.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Gaussian basis vector for a hash, seeded with the model seed.
+    fn basis(&self, hash: u64) -> Vector {
+        let mut rng = SplitMix64::new(combine64(self.config.seed, hash));
+        Vector((0..self.config.dim).map(|_| rng.gen_gaussian() as f32).collect())
+    }
+
+    /// Compute (uncached) the vector for one token.
+    fn compute_token(&self, token: &str) -> Vector {
+        let mut v = self.basis(wg_util::stable_hash_str(token));
+        if self.config.subword_weight > 0.0 {
+            let grams = char_ngrams(token, self.config.min_ngram, self.config.max_ngram);
+            if !grams.is_empty() {
+                let w = self.config.subword_weight / grams.len() as f32;
+                for g in &grams {
+                    // Tag n-gram hashes so a 3-gram never collides with a
+                    // whole token of the same spelling.
+                    let h = combine64(0x6772_616d, wg_util::stable_hash_str(g));
+                    v.add_scaled(&self.basis(h), w);
+                }
+            }
+        }
+        v.normalize();
+        v
+    }
+
+    /// Vector for one token, via the cache.
+    pub fn token_vector(&self, token: &str) -> Vector {
+        if let Some(v) = self.cache.read().get(token) {
+            return v.clone();
+        }
+        let v = self.compute_token(token);
+        let mut cache = self.cache.write();
+        if cache.len() < self.config.cache_capacity {
+            cache.insert(token.to_string(), v.clone());
+        }
+        v
+    }
+}
+
+impl EmbeddingModel for WebTableModel {
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn name(&self) -> &str {
+        "web-table-hashed"
+    }
+
+    fn embed_tokens(&self, tokens: &[Token]) -> Vector {
+        let mut acc = Vector::zeros(self.config.dim);
+        if tokens.is_empty() {
+            return acc;
+        }
+        for t in tokens {
+            let v = self.token_vector(t);
+            acc.add_scaled(&v, 1.0);
+        }
+        acc.normalize();
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn model() -> WebTableModel {
+        WebTableModel::default_model()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = model().embed_text("Acme Corporation");
+        let b = model().embed_text("Acme Corporation");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn token_vectors_are_unit_length() {
+        let m = model();
+        assert!(m.token_vector("hello").is_normalized());
+        assert!(m.embed_text("hello world").is_normalized());
+    }
+
+    #[test]
+    fn different_tokens_nearly_orthogonal() {
+        let m = model();
+        let sim = m.token_vector("zebra").cosine(&m.token_vector("quantum"));
+        assert!(sim.abs() < 0.35, "unrelated tokens too similar: {sim}");
+    }
+
+    #[test]
+    fn format_variants_identical() {
+        let m = model();
+        let a = m.embed_text("ACME CORP");
+        let b = m.embed_text("Acme Corp.");
+        assert!(a.cosine(&b) > 0.999, "case variants must collapse");
+    }
+
+    #[test]
+    fn near_miss_strings_similar_via_subwords() {
+        let m = model();
+        let related = m.token_vector("streets").cosine(&m.token_vector("street"));
+        let unrelated = m.token_vector("streets").cosine(&m.token_vector("finance"));
+        assert!(
+            related > unrelated + 0.15,
+            "subword similarity missing: related {related}, unrelated {unrelated}"
+        );
+    }
+
+    #[test]
+    fn shared_token_makes_values_similar() {
+        let m = model();
+        let a = m.embed_text("Apple Inc");
+        let b = m.embed_text("Apple Computer");
+        let c = m.embed_text("Volkswagen Group");
+        assert!(a.cosine(&b) > a.cosine(&c) + 0.2);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let m = model();
+        assert!(m.embed_tokens(&[]).is_zero());
+        assert!(m.embed_text("///").is_zero());
+    }
+
+    #[test]
+    fn cache_fills_and_respects_capacity() {
+        let m = WebTableModel::new(WebTableConfig { cache_capacity: 2, ..Default::default() });
+        let _ = m.token_vector("a");
+        let _ = m.token_vector("b");
+        let _ = m.token_vector("c");
+        assert_eq!(m.cache_len(), 2);
+        // Still correct when uncached.
+        assert_eq!(m.token_vector("c"), m.token_vector("c"));
+    }
+
+    #[test]
+    fn different_seeds_different_spaces() {
+        let a = WebTableModel::new(WebTableConfig { seed: 1, ..Default::default() });
+        let b = WebTableModel::new(WebTableConfig { seed: 2, ..Default::default() });
+        let va = a.embed_text("hello");
+        let vb = b.embed_text("hello");
+        assert!(va.cosine(&vb).abs() < 0.4);
+    }
+
+    #[test]
+    fn subword_weight_zero_removes_ngram_similarity() {
+        let m = WebTableModel::new(WebTableConfig { subword_weight: 0.0, ..Default::default() });
+        let sim = m.token_vector("street").cosine(&m.token_vector("streets"));
+        assert!(sim.abs() < 0.35, "without subwords, near-misses look unrelated: {sim}");
+    }
+
+    #[test]
+    fn date_format_variants_match() {
+        let m = model();
+        let a = m.embed_tokens(&tokenize("2020-01-15"));
+        let b = m.embed_tokens(&tokenize("01/15/2020"));
+        assert!(a.cosine(&b) > 0.999);
+    }
+}

@@ -1,0 +1,83 @@
+//! §5.1 fleet scale statistics and the sampling-cost argument.
+
+use wg_corpora::{FleetSample, FleetSpec};
+use wg_store::CdwConfig;
+
+use crate::paper::PAPER_FLEET;
+use crate::report;
+
+/// Measured fleet statistics plus cost accounting.
+pub struct ScaleResult {
+    /// Median tables per warehouse.
+    pub median_tables: u64,
+    /// Mean tables per warehouse.
+    pub mean_tables: f64,
+    /// Median rows per table.
+    pub median_rows: u64,
+    /// Mean rows per table.
+    pub mean_rows: f64,
+    /// Dollars to actively sample 1,000 rows/column fleet-wide.
+    pub sample_cost_usd: f64,
+    /// Dollars for one full fleet scan.
+    pub full_scan_cost_usd: f64,
+}
+
+/// Sample a fleet calibrated to the paper's §5.1 and price both strategies.
+pub fn run(customers: usize, seed: u64) -> ScaleResult {
+    let sample = FleetSample::draw(&FleetSpec::paper(customers, seed));
+    let config = CdwConfig::default();
+    ScaleResult {
+        median_tables: sample.median_tables(),
+        mean_tables: sample.mean_tables(),
+        median_rows: sample.median_rows(),
+        mean_rows: sample.mean_rows(),
+        sample_cost_usd: sample.active_sampling_cost_usd(1_000, &config),
+        full_scan_cost_usd: sample.full_scan_cost_usd(&config),
+    }
+}
+
+/// Render measured-vs-paper plus the cost comparison.
+pub fn render(r: &ScaleResult) -> String {
+    let body = vec![
+        vec![
+            "tables/warehouse (median)".to_string(),
+            r.median_tables.to_string(),
+            format!("{:.0}", PAPER_FLEET.median_tables),
+        ],
+        vec![
+            "tables/warehouse (mean)".to_string(),
+            format!("{:.0}", r.mean_tables),
+            format!("{:.0}", PAPER_FLEET.mean_tables),
+        ],
+        vec![
+            "rows/table (median)".to_string(),
+            r.median_rows.to_string(),
+            format!("{:.0}", PAPER_FLEET.median_rows),
+        ],
+        vec![
+            "rows/table (mean)".to_string(),
+            format!("{:.2e}", r.mean_rows),
+            format!("{:.2e}", PAPER_FLEET.mean_rows),
+        ],
+    ];
+    format!(
+        "{}{}\nActive sampling (1000 rows/column, fleet-wide): ${:.2}\nOne full fleet scan:                              ${:.2}\n",
+        report::section("§5.1 customer data scale (sampled fleet vs paper)"),
+        report::table(&["statistic", "measured", "paper"], &body),
+        r.sample_cost_usd,
+        r.full_scan_cost_usd,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_stats_and_costs() {
+        let r = run(2_000, 7);
+        assert!(r.mean_tables > r.median_tables as f64 * 5.0);
+        assert!(r.mean_rows > r.median_rows as f64 * 100.0);
+        assert!(r.full_scan_cost_usd > r.sample_cost_usd * 50.0);
+    }
+}

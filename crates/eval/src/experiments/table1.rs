@@ -1,0 +1,113 @@
+//! Table 1: dataset statistics of the generated corpora, side by side with
+//! the paper's numbers.
+
+use wg_corpora::{build_sigma, build_spider, build_testbed, Corpus, TestbedSpec};
+
+use crate::paper::PAPER_TABLE1;
+use crate::report;
+use crate::scale_for;
+
+/// Measured statistics for one corpus.
+pub struct Table1Row {
+    /// Corpus label.
+    pub corpus: String,
+    /// Generated table count.
+    pub tables: usize,
+    /// Generated column count.
+    pub columns: usize,
+    /// Generated average rows (at the configured scale).
+    pub avg_rows: f64,
+    /// Row scale the corpus was generated at.
+    pub row_scale: f64,
+    /// Query count.
+    pub queries: usize,
+    /// Mean answers per query.
+    pub avg_answers: f64,
+}
+
+/// Build every corpus and collect its statistics.
+pub fn run() -> Vec<Table1Row> {
+    corpora().into_iter().map(|(c, scale)| stats_of(&c, scale)).collect()
+}
+
+/// All six corpora at their evaluation scales.
+pub fn corpora() -> Vec<(Corpus, f64)> {
+    let mut out = Vec::new();
+    for spec in [
+        TestbedSpec::xs(scale_for("testbedXS")),
+        TestbedSpec::s(scale_for("testbedS")),
+        TestbedSpec::m(scale_for("testbedM")),
+        TestbedSpec::l(scale_for("testbedL")),
+    ] {
+        out.push((build_testbed(&spec), spec.row_scale));
+    }
+    out.push((build_spider(scale_for("spider"), 0x5919), scale_for("spider")));
+    out.push((build_sigma(scale_for("sigma"), 0x51), scale_for("sigma")));
+    out
+}
+
+fn stats_of(c: &Corpus, row_scale: f64) -> Table1Row {
+    let (tables, columns, avg_rows, queries, avg_answers) = c.stats();
+    Table1Row { corpus: c.name.clone(), tables, columns, avg_rows, row_scale, queries, avg_answers }
+}
+
+/// Render measured-vs-paper.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut body = Vec::new();
+    for r in rows {
+        let paper = PAPER_TABLE1.iter().find(|p| p.corpus == r.corpus);
+        body.push(vec![
+            r.corpus.clone(),
+            format!("{} / {}", r.tables, paper.map(|p| p.tables.to_string()).unwrap_or_default()),
+            format!("{} / {}", r.columns, paper.map(|p| p.columns.to_string()).unwrap_or_default()),
+            format!(
+                "{:.0} / {:.0}×{}",
+                r.avg_rows,
+                paper.map(|p| p.avg_rows).unwrap_or(0.0),
+                r.row_scale
+            ),
+            format!(
+                "{} / {}",
+                r.queries,
+                paper
+                    .and_then(|p| p.queries)
+                    .map(|q| q.to_string())
+                    .unwrap_or_else(|| "TBD".into())
+            ),
+            format!(
+                "{:.1} / {}",
+                r.avg_answers,
+                paper
+                    .and_then(|p| p.avg_answers)
+                    .map(|a| format!("{a:.1}"))
+                    .unwrap_or_else(|| "N/A".into())
+            ),
+        ]);
+    }
+    report::table(
+        &["corpus", "tables (ours/paper)", "columns", "avg rows (ours/paper×scale)", "queries", "avg answers"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xs_stats_match_spec() {
+        let c = wg_corpora::build_testbed(&TestbedSpec::xs(0.05));
+        let row = stats_of(&c, 0.05);
+        assert_eq!(row.tables, 28);
+        assert_eq!(row.columns, 257);
+        assert!(row.queries > 0);
+    }
+
+    #[test]
+    fn render_includes_paper_numbers() {
+        let c = wg_corpora::build_testbed(&TestbedSpec::xs(0.05));
+        let txt = render(&[stats_of(&c, 0.05)]);
+        assert!(txt.contains("testbedXS"));
+        assert!(txt.contains("/ 257"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Ranking metrics (§4.2).
+//!
+//! The paper reports top-k precision and recall, macro-averaged over all
+//! queries, at small k (2, 3, 5, 10) — recommendations beyond that would
+//! "overwhelm users".
+
+use wg_store::ColumnRef;
+
+/// Precision and recall of one ranked result list at cutoff `k`.
+pub fn precision_recall_at_k(
+    results: &[ColumnRef],
+    answers: &[ColumnRef],
+    k: usize,
+) -> (f64, f64) {
+    if k == 0 || answers.is_empty() {
+        return (0.0, 0.0);
+    }
+    let top = &results[..results.len().min(k)];
+    let hits = top.iter().filter(|r| answers.contains(r)).count();
+    // Precision divides by k (not by |returned|): a system returning fewer
+    // than k results is not rewarded for abstaining — this matches how the
+    // paper can show precision decreasing monotonically in k.
+    (hits as f64 / k as f64, hits as f64 / answers.len() as f64)
+}
+
+/// Macro-averaged precision/recall at `k` over a query workload.
+/// `results_of(q)` supplies the ranked candidates per query.
+pub fn macro_average<'a>(
+    queries: impl Iterator<Item = (&'a ColumnRef, &'a [ColumnRef], Vec<ColumnRef>)>,
+    k: usize,
+) -> (f64, f64) {
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    let mut n = 0usize;
+    for (_q, answers, results) in queries {
+        let (p, r) = precision_recall_at_k(&results, answers, k);
+        p_sum += p;
+        r_sum += r;
+        n += 1;
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (p_sum / n as f64, r_sum / n as f64)
+    }
+}
+
+/// Reciprocal rank of the first correct answer (extension metric used by
+/// ablations; not in the paper's tables).
+pub fn reciprocal_rank(results: &[ColumnRef], answers: &[ColumnRef]) -> f64 {
+    for (i, r) in results.iter().enumerate() {
+        if answers.contains(r) {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: &str) -> ColumnRef {
+        ColumnRef::new("d", "t", n)
+    }
+
+    #[test]
+    fn perfect_ranking() {
+        let answers = vec![c("a"), c("b")];
+        let results = vec![c("a"), c("b"), c("x")];
+        let (p, r) = precision_recall_at_k(&results, &answers, 2);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn precision_divides_by_k() {
+        let answers = vec![c("a")];
+        let results = vec![c("a")];
+        let (p, r) = precision_recall_at_k(&results, &answers, 10);
+        assert!((p - 0.1).abs() < 1e-12);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn miss_everything() {
+        let answers = vec![c("a")];
+        let results = vec![c("x"), c("y")];
+        assert_eq!(precision_recall_at_k(&results, &answers, 2), (0.0, 0.0));
+    }
+
+    #[test]
+    fn recall_grows_with_k() {
+        let answers = vec![c("a"), c("b"), c("c")];
+        let results = vec![c("a"), c("x"), c("b"), c("y"), c("c")];
+        let (_, r2) = precision_recall_at_k(&results, &answers, 2);
+        let (_, r5) = precision_recall_at_k(&results, &answers, 5);
+        assert!(r5 > r2);
+        assert_eq!(r5, 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(precision_recall_at_k(&[], &[c("a")], 3), (0.0, 0.0));
+        assert_eq!(precision_recall_at_k(&[c("a")], &[], 3), (0.0, 0.0));
+        assert_eq!(precision_recall_at_k(&[c("a")], &[c("a")], 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn macro_average_is_mean() {
+        let a1 = vec![c("a")];
+        let a2 = vec![c("b")];
+        let q1 = c("q1");
+        let q2 = c("q2");
+        let items: Vec<(&ColumnRef, &[ColumnRef], Vec<ColumnRef>)> = vec![
+            (&q1, a1.as_slice(), vec![c("a")]),   // P@1 = 1
+            (&q2, a2.as_slice(), vec![c("z")]),   // P@1 = 0
+        ];
+        let (p, r) = macro_average(items.into_iter(), 1);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_positions() {
+        let answers = vec![c("a")];
+        assert_eq!(reciprocal_rank(&[c("a")], &answers), 1.0);
+        assert_eq!(reciprocal_rank(&[c("x"), c("a")], &answers), 0.5);
+        assert_eq!(reciprocal_rank(&[c("x")], &answers), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Render an aligned text table with a header rule.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged report row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[i] {
+                out.push(' ');
+            }
+        }
+        // No trailing spaces.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    emit(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    emit(&mut out, &rule);
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+/// Format a float with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Format seconds like the paper's tables (seconds with 2 decimals, or
+/// milliseconds when small).
+pub fn secs(x: f64) -> String {
+    wg_util::timing::fmt_secs(x)
+}
+
+/// A section header for the reproduce binary's output.
+pub fn section(title: &str) -> String {
+    format!("\n=== {title} ===\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = table(
+            &["system", "p@2"],
+            &[
+                vec!["Aurum".into(), "0.10".into()],
+                vec!["WarpGate".into(), "0.45".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("system"));
+        assert!(lines[1].starts_with("------"));
+        assert!(lines[3].starts_with("WarpGate"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.4567, 2), "0.46");
+        assert_eq!(f(1.0, 3), "1.000");
+    }
+}

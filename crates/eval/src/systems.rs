@@ -1,0 +1,180 @@
+//! Uniform adapter over the three discovery systems.
+//!
+//! Each system keeps its own API (they *are* architecturally different:
+//! Aurum answers from a prebuilt graph, the other two run a load→profile→
+//! lookup pipeline per query); this module narrows them to "ranked refs
+//! plus a timing decomposition" for the experiment runners.
+
+use std::sync::Arc;
+
+use wg_baselines::{Aurum, AurumConfig, D3l, D3lConfig};
+use wg_store::{CdwConnector, ColumnRef, SampleSpec, StoreResult};
+use wg_util::timing::Stopwatch;
+use warpgate_core::{WarpGate, WarpGateConfig};
+
+/// Timing decomposition common to all systems. Components a system does
+/// not have (Aurum never loads at query time) stay zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SysTiming {
+    /// Real seconds loading the query column.
+    pub load_secs: f64,
+    /// Real seconds profiling / embedding the query column.
+    pub profile_secs: f64,
+    /// Real seconds in index/graph lookup.
+    pub lookup_secs: f64,
+    /// Virtual CDW latency charged for the load.
+    pub virtual_load_secs: f64,
+}
+
+impl SysTiming {
+    /// End-to-end query response time (the paper's Table 2 metric).
+    pub fn response_secs(&self) -> f64 {
+        self.load_secs + self.profile_secs + self.lookup_secs + self.virtual_load_secs
+    }
+}
+
+/// A discovery system under evaluation.
+pub trait System: Send + Sync {
+    /// Display name ("Aurum", "D3L", "WarpGate").
+    fn name(&self) -> &str;
+
+    /// Ranked candidates for a query column, with timing.
+    fn query(
+        &self,
+        connector: &CdwConnector,
+        q: &ColumnRef,
+        k: usize,
+    ) -> StoreResult<(Vec<ColumnRef>, SysTiming)>;
+}
+
+/// Aurum behind the [`System`] interface.
+pub struct AurumSystem(pub Aurum);
+
+impl System for AurumSystem {
+    fn name(&self) -> &str {
+        "Aurum"
+    }
+
+    fn query(
+        &self,
+        _connector: &CdwConnector,
+        q: &ColumnRef,
+        k: usize,
+    ) -> StoreResult<(Vec<ColumnRef>, SysTiming)> {
+        let sw = Stopwatch::start();
+        let hits = self.0.neighbors(q, k)?;
+        let timing = SysTiming { lookup_secs: sw.elapsed_secs(), ..Default::default() };
+        Ok((hits.into_iter().map(|(r, _)| r).collect(), timing))
+    }
+}
+
+/// D3L behind the [`System`] interface.
+pub struct D3lSystem(pub D3l);
+
+impl System for D3lSystem {
+    fn name(&self) -> &str {
+        "D3L"
+    }
+
+    fn query(
+        &self,
+        connector: &CdwConnector,
+        q: &ColumnRef,
+        k: usize,
+    ) -> StoreResult<(Vec<ColumnRef>, SysTiming)> {
+        let (hits, t) = self.0.query(connector, q, k)?;
+        let timing = SysTiming {
+            load_secs: t.load_secs,
+            profile_secs: t.profile_secs,
+            lookup_secs: t.lookup_secs,
+            virtual_load_secs: t.virtual_load_secs,
+        };
+        Ok((hits.into_iter().map(|h| h.reference).collect(), timing))
+    }
+}
+
+/// WarpGate behind the [`System`] interface.
+pub struct WarpGateSystem(pub WarpGate);
+
+impl System for WarpGateSystem {
+    fn name(&self) -> &str {
+        "WarpGate"
+    }
+
+    fn query(
+        &self,
+        connector: &CdwConnector,
+        q: &ColumnRef,
+        k: usize,
+    ) -> StoreResult<(Vec<ColumnRef>, SysTiming)> {
+        let d = self.0.discover(connector, q, k)?;
+        let timing = SysTiming {
+            load_secs: d.timing.load_secs,
+            profile_secs: d.timing.embed_secs,
+            lookup_secs: d.timing.lookup_secs,
+            virtual_load_secs: d.timing.virtual_load_secs,
+        };
+        Ok((d.candidates.into_iter().map(|c| c.reference).collect(), timing))
+    }
+}
+
+/// Build all three systems over one connected warehouse. `query_sample`
+/// configures WarpGate's scan sampling (the baselines follow their
+/// published full-pass designs).
+pub fn build_systems(
+    connector: &CdwConnector,
+    query_sample: SampleSpec,
+) -> StoreResult<Vec<Box<dyn System>>> {
+    let aurum = Aurum::build(connector, AurumConfig::default())?;
+    let d3l = D3l::build(connector, D3lConfig::default())?;
+    let warpgate = WarpGate::new(WarpGateConfig {
+        sample: query_sample,
+        ..WarpGateConfig::default()
+    });
+    warpgate.index_warehouse(connector)?;
+    Ok(vec![
+        Box::new(AurumSystem(aurum)),
+        Box::new(D3lSystem(d3l)),
+        Box::new(WarpGateSystem(warpgate)),
+    ])
+}
+
+/// Build just WarpGate with a given sample spec and embedding model choice.
+pub fn build_warpgate(
+    connector: &CdwConnector,
+    sample: SampleSpec,
+    model: Option<Arc<dyn wg_embed::EmbeddingModel>>,
+) -> StoreResult<WarpGateSystem> {
+    let config = WarpGateConfig { sample, ..WarpGateConfig::default() };
+    let wg = match model {
+        Some(m) => WarpGate::with_model(config, m),
+        None => WarpGate::new(config),
+    };
+    wg.index_warehouse(connector)?;
+    Ok(WarpGateSystem(wg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_corpora::TestbedSpec;
+    use wg_store::CdwConfig;
+
+    #[test]
+    fn all_systems_answer_queries() {
+        let corpus = wg_corpora::build_testbed(&TestbedSpec::xs(0.05));
+        let connector = CdwConnector::new(corpus.warehouse, CdwConfig::free());
+        let systems = build_systems(
+            &connector,
+            SampleSpec::DistinctReservoir { n: 500, seed: 1 },
+        )
+        .unwrap();
+        assert_eq!(systems.len(), 3);
+        let q = &corpus.queries[0];
+        for s in &systems {
+            let (hits, timing) = s.query(&connector, q, 5).unwrap();
+            assert!(hits.len() <= 5, "{} overflowed k", s.name());
+            assert!(timing.response_secs() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Brute-force cosine index.
+//!
+//! Same interface as the LSH index but scans every stored vector. Serves as
+//! (a) the ANN-quality reference in ablations, and (b) the sensible choice
+//! for tiny corpora where bucket bookkeeping costs more than it saves.
+
+use wg_util::TopK;
+
+use crate::ItemId;
+
+/// A flat store of vectors searched by exhaustive cosine scan.
+#[derive(Debug, Default, Clone)]
+pub struct ExactIndex {
+    dim: usize,
+    ids: Vec<ItemId>,
+    /// Vectors stored contiguously (`ids.len() × dim`) for scan locality.
+    data: Vec<f32>,
+    /// Pre-computed norms, one per vector.
+    norms: Vec<f32>,
+}
+
+impl ExactIndex {
+    /// Create an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, ids: Vec::new(), data: Vec::new(), norms: Vec::new() }
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert a vector (replaces an existing id). Returns false for zero or
+    /// mismatched vectors.
+    pub fn insert(&mut self, id: ItemId, vector: &[f32]) -> bool {
+        if vector.len() != self.dim || vector.iter().all(|&x| x == 0.0) {
+            return false;
+        }
+        self.remove(id);
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        self.norms.push(vector.iter().map(|x| x * x).sum::<f32>().sqrt());
+        true
+    }
+
+    /// Remove by id (swap-remove; order is not meaningful here).
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        let Some(pos) = self.ids.iter().position(|&x| x == id) else {
+            return false;
+        };
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(pos);
+        self.norms.swap_remove(pos);
+        if pos != last {
+            // Move the last vector's data into the vacated slot.
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[pos * self.dim..(pos + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+        }
+        self.data.truncate(last * self.dim);
+        true
+    }
+
+    /// Exhaustive top-k cosine search.
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Vec<(ItemId, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let qnorm = query.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if qnorm <= f32::MIN_POSITIVE {
+            return Vec::new();
+        }
+        let mut topk = TopK::new(k);
+        for (i, &id) in self.ids.iter().enumerate() {
+            if exclude(id) {
+                continue;
+            }
+            let v = &self.data[i * self.dim..(i + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (x, y) in query.iter().zip(v) {
+                dot += x * y;
+            }
+            let cos = (dot / (qnorm * self.norms[i])).clamp(-1.0, 1.0);
+            topk.push(cos as f64, id);
+        }
+        topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_top1_is_exact() {
+        let mut idx = ExactIndex::new(2);
+        idx.insert(1, &[1.0, 0.0]);
+        idx.insert(2, &[0.7, 0.7]);
+        idx.insert(3, &[0.0, 1.0]);
+        let hits = idx.search(&[1.0, 0.1], 2, |_| false);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 2);
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut idx = ExactIndex::new(2);
+        idx.insert(1, &[1.0, 0.0]);
+        idx.insert(1, &[0.0, 1.0]);
+        assert_eq!(idx.len(), 1);
+        let hits = idx.search(&[0.0, 1.0], 1, |_| false);
+        assert!(hits[0].1 > 0.999);
+        assert!(idx.remove(1));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_other_vectors_intact() {
+        let mut idx = ExactIndex::new(2);
+        idx.insert(1, &[1.0, 0.0]);
+        idx.insert(2, &[0.0, 1.0]);
+        idx.insert(3, &[-1.0, 0.0]);
+        idx.remove(1);
+        let hits = idx.search(&[0.0, 1.0], 1, |_| false);
+        assert_eq!(hits[0].0, 2);
+        let hits = idx.search(&[-1.0, 0.0], 1, |_| false);
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    fn zero_query_returns_nothing() {
+        let mut idx = ExactIndex::new(2);
+        idx.insert(1, &[1.0, 0.0]);
+        assert!(idx.search(&[0.0, 0.0], 3, |_| false).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_inserts() {
+        let mut idx = ExactIndex::new(3);
+        assert!(!idx.insert(0, &[0.0; 3]));
+        assert!(!idx.insert(0, &[1.0; 2]));
+    }
+
+    #[test]
+    fn exclusion() {
+        let mut idx = ExactIndex::new(2);
+        idx.insert(1, &[1.0, 0.0]);
+        idx.insert(2, &[0.9, 0.1]);
+        let hits = idx.search(&[1.0, 0.0], 2, |id| id == 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+    }
+}

@@ -1,0 +1,470 @@
+//! The banded SimHash LSH index.
+//!
+//! Pipeline per query (paper Fig. 2): sign the query embedding, collect the
+//! union of its band buckets (the "sub-universe" of §3.1.2), then re-rank
+//! candidates by **exact cosine** against the stored vectors and keep the
+//! top-k. Insertion and removal are incremental, which is what lets
+//! WarpGate track CDWs with high update rates without rebuild storms.
+
+use wg_util::codec::{self, CodecError, CodecResult};
+use wg_util::{FxHashMap, FxHashSet, TopK};
+
+use crate::params::LshParams;
+use crate::simhash::{SimHasher, Signature};
+use crate::ItemId;
+
+/// Diagnostics from one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Distinct candidates that came out of the band buckets.
+    pub candidates: usize,
+    /// How many survived the exclusion filter and were scored exactly.
+    pub scored: usize,
+}
+
+/// An LSH index over unit vectors keyed by [`ItemId`].
+pub struct SimHashLshIndex {
+    hasher: SimHasher,
+    params: LshParams,
+    /// Extra single-bit-flip probes per band (0 = plain LSH).
+    probes: usize,
+    /// Stored vectors for exact re-ranking.
+    vectors: FxHashMap<ItemId, Vec<f32>>,
+    /// Stored signatures (needed for removal and persistence).
+    signatures: FxHashMap<ItemId, Signature>,
+    /// One bucket map per band: band key -> ids.
+    bands: Vec<FxHashMap<u64, Vec<ItemId>>>,
+}
+
+impl SimHashLshIndex {
+    /// Create an index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, params: LshParams, seed: u64) -> Self {
+        assert!(params.rows <= 64, "rows per band must fit a u64");
+        let hasher = SimHasher::new(dim, params.bits(), seed);
+        Self {
+            hasher,
+            params,
+            probes: 0,
+            vectors: FxHashMap::default(),
+            signatures: FxHashMap::default(),
+            bands: (0..params.bands).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Index tuned for the paper's setting: cosine threshold 0.7, 128-bit
+    /// budget.
+    pub fn for_threshold(dim: usize, threshold: f64, seed: u64) -> Self {
+        Self::new(dim, LshParams::for_threshold(threshold, 128), seed)
+    }
+
+    /// Enable multi-probe: additionally probe every single-bit flip of each
+    /// band key (`probes` is capped at `rows`). Raises recall near the
+    /// threshold at the cost of more candidates.
+    pub fn set_probes(&mut self, probes: usize) {
+        self.probes = probes.min(self.params.rows);
+    }
+
+    /// Geometry in use.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.hasher.dim()
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Insert (or replace) an item. Zero vectors are rejected — they carry
+    /// no signal and would collide with everything on the sign boundary.
+    /// Returns false if the vector was zero or of the wrong dimension.
+    pub fn insert(&mut self, id: ItemId, vector: &[f32]) -> bool {
+        if vector.len() != self.dim() || vector.iter().all(|&x| x == 0.0) {
+            return false;
+        }
+        self.remove(id);
+        let sig = self.hasher.sign(vector);
+        for (band, buckets) in self.bands.iter_mut().enumerate() {
+            let key = sig.band_key(band, self.params.rows);
+            buckets.entry(key).or_default().push(id);
+        }
+        self.vectors.insert(id, vector.to_vec());
+        self.signatures.insert(id, sig);
+        true
+    }
+
+    /// Remove an item; true if it was present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        let Some(sig) = self.signatures.remove(&id) else {
+            return false;
+        };
+        self.vectors.remove(&id);
+        for (band, buckets) in self.bands.iter_mut().enumerate() {
+            let key = sig.band_key(band, self.params.rows);
+            if let Some(ids) = buckets.get_mut(&key) {
+                ids.retain(|&x| x != id);
+                if ids.is_empty() {
+                    buckets.remove(&key);
+                }
+            }
+        }
+        true
+    }
+
+    /// The stored vector for an id, if present.
+    pub fn vector(&self, id: ItemId) -> Option<&[f32]> {
+        self.vectors.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Collect the candidate set for a query vector (union of band buckets,
+    /// plus multi-probe flips when enabled).
+    pub fn candidates(&self, query: &[f32]) -> FxHashSet<ItemId> {
+        let sig = self.hasher.sign(query);
+        let mut out = FxHashSet::default();
+        for (band, buckets) in self.bands.iter().enumerate() {
+            let key = sig.band_key(band, self.params.rows);
+            if let Some(ids) = buckets.get(&key) {
+                out.extend(ids.iter().copied());
+            }
+            for flip in 0..self.probes {
+                let probe_key = key ^ (1u64 << flip);
+                if let Some(ids) = buckets.get(&probe_key) {
+                    out.extend(ids.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Top-k search: LSH candidate generation then exact cosine re-rank.
+    /// `exclude` filters candidates (e.g. drop the query column itself and
+    /// its table-mates). Results are `(id, cosine)` in descending cosine.
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Vec<(ItemId, f32)> {
+        self.search_with_outcome(query, k, exclude).0
+    }
+
+    /// [`Self::search`] plus candidate-set diagnostics.
+    pub fn search_with_outcome(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        let candidates = self.candidates(query);
+        let total = candidates.len();
+        let mut topk = TopK::new(k);
+        let mut scored = 0usize;
+        for id in candidates {
+            if exclude(id) {
+                continue;
+            }
+            scored += 1;
+            let v = &self.vectors[&id];
+            topk.push(cosine(query, v) as f64, id);
+        }
+        let results = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(s, id)| (id, s as f32))
+            .collect();
+        (results, SearchOutcome { candidates: total, scored })
+    }
+
+    /// Exact search over *all* stored vectors (ignores the LSH buckets) —
+    /// the ANN-quality reference used in ablations.
+    pub fn search_exact(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Vec<(ItemId, f32)> {
+        let mut topk = TopK::new(k);
+        for (&id, v) in &self.vectors {
+            if exclude(id) {
+                continue;
+            }
+            topk.push(cosine(query, v) as f64, id);
+        }
+        topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect()
+    }
+
+    /// Bucket-occupancy statistics: `(num_buckets, max_bucket, mean_bucket)`
+    /// across all bands.
+    pub fn bucket_stats(&self) -> (usize, usize, f64) {
+        let mut buckets = 0usize;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        for band in &self.bands {
+            for ids in band.values() {
+                buckets += 1;
+                max = max.max(ids.len());
+                total += ids.len();
+            }
+        }
+        let mean = if buckets == 0 { 0.0 } else { total as f64 / buckets as f64 };
+        (buckets, max, mean)
+    }
+
+    /// Serialize the index (geometry, seed, vectors; signatures and buckets
+    /// are rebuilt on load — they are derived data).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_header(buf, *b"WGLX", 1);
+        codec::put_u32(buf, self.dim() as u32);
+        codec::put_u32(buf, self.params.bands as u32);
+        codec::put_u32(buf, self.params.rows as u32);
+        codec::put_u64(buf, self.hasher.seed());
+        codec::put_u32(buf, self.probes as u32);
+        codec::put_len(buf, self.vectors.len());
+        // Deterministic output: sort by id.
+        let mut ids: Vec<ItemId> = self.vectors.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            codec::put_u32(buf, id);
+            codec::put_f32_slice(buf, &self.vectors[&id]);
+        }
+    }
+
+    /// Deserialize; inverse of [`Self::encode`].
+    pub fn decode(buf: &mut &[u8]) -> CodecResult<Self> {
+        let version = codec::get_header(buf, *b"WGLX")?;
+        if version != 1 {
+            return Err(CodecError::Invalid(format!("unsupported index version {version}")));
+        }
+        let dim = codec::get_u32(buf)? as usize;
+        let bands = codec::get_u32(buf)? as usize;
+        let rows = codec::get_u32(buf)? as usize;
+        let seed = codec::get_u64(buf)?;
+        let probes = codec::get_u32(buf)? as usize;
+        if dim == 0 || bands == 0 || rows == 0 || rows > 64 {
+            return Err(CodecError::Invalid("bad index geometry".into()));
+        }
+        let mut index = Self::new(dim, LshParams { bands, rows }, seed);
+        index.probes = probes;
+        let n = codec::get_len(buf)?;
+        for _ in 0..n {
+            let id = codec::get_u32(buf)?;
+            let v = codec::get_f32_vec(buf)?;
+            if v.len() != dim {
+                return Err(CodecError::Invalid("vector length mismatch".into()));
+            }
+            index.insert(id, &v);
+        }
+        Ok(index)
+    }
+}
+
+#[inline]
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na * nb).sqrt();
+    if denom <= f32::MIN_POSITIVE {
+        0.0
+    } else {
+        (dot / denom).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_util::rng::{Rng64, Xoshiro256pp};
+
+    fn random_unit(dim: usize, rng: &mut Xoshiro256pp) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_gaussian() as f32).collect();
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for x in &mut v {
+            *x /= n;
+        }
+        v
+    }
+
+    fn perturb(v: &[f32], noise: f32, rng: &mut Xoshiro256pp) -> Vec<f32> {
+        let mut out: Vec<f32> =
+            v.iter().map(|x| x + noise * rng.gen_gaussian() as f32).collect();
+        let n = out.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for x in &mut out {
+            *x /= n;
+        }
+        out
+    }
+
+    #[test]
+    fn finds_near_duplicates() {
+        let mut rng = Xoshiro256pp::new(1);
+        let mut index = SimHashLshIndex::for_threshold(64, 0.7, 9);
+        let base = random_unit(64, &mut rng);
+        index.insert(0, &perturb(&base, 0.05, &mut rng));
+        for id in 1..200 {
+            index.insert(id, &random_unit(64, &mut rng));
+        }
+        let hits = index.search(&base, 3, |_| false);
+        assert_eq!(hits[0].0, 0, "nearest neighbour missed: {hits:?}");
+        assert!(hits[0].1 > 0.9);
+    }
+
+    #[test]
+    fn prunes_dissimilar_vectors() {
+        let mut rng = Xoshiro256pp::new(2);
+        let mut index = SimHashLshIndex::for_threshold(64, 0.7, 9);
+        for id in 0..500 {
+            index.insert(id, &random_unit(64, &mut rng));
+        }
+        let query = random_unit(64, &mut rng);
+        let (_, outcome) = index.search_with_outcome(&query, 10, |_| false);
+        // Random 64-d vectors have cosine ~N(0, 1/8); with a 0.7 threshold
+        // nearly all 500 must be pruned before exact scoring.
+        assert!(
+            outcome.candidates < 100,
+            "candidate pruning ineffective: {}",
+            outcome.candidates
+        );
+    }
+
+    #[test]
+    fn search_results_sorted_descending() {
+        let mut rng = Xoshiro256pp::new(3);
+        let mut index = SimHashLshIndex::for_threshold(32, 0.5, 1);
+        let base = random_unit(32, &mut rng);
+        for id in 0..50 {
+            index.insert(id, &perturb(&base, 0.2, &mut rng));
+        }
+        let hits = index.search(&base, 10, |_| false);
+        assert!(!hits.is_empty());
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn exclusion_filter_applies() {
+        let mut rng = Xoshiro256pp::new(4);
+        let mut index = SimHashLshIndex::for_threshold(32, 0.5, 1);
+        let base = random_unit(32, &mut rng);
+        index.insert(7, &base);
+        index.insert(8, &perturb(&base, 0.05, &mut rng));
+        let hits = index.search(&base, 5, |id| id == 7);
+        assert!(hits.iter().all(|(id, _)| *id != 7));
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_works() {
+        let mut rng = Xoshiro256pp::new(5);
+        let mut index = SimHashLshIndex::for_threshold(32, 0.5, 1);
+        let a = random_unit(32, &mut rng);
+        let b = random_unit(32, &mut rng);
+        index.insert(1, &a);
+        index.insert(1, &b);
+        assert_eq!(index.len(), 1);
+        let hits = index.search(&b, 1, |_| false);
+        assert_eq!(hits[0].0, 1);
+        assert!(hits[0].1 > 0.999);
+        assert!(index.remove(1));
+        assert!(!index.remove(1));
+        assert!(index.is_empty());
+        assert!(index.search(&b, 1, |_| false).is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_and_mismatched_vectors() {
+        let mut index = SimHashLshIndex::for_threshold(8, 0.5, 1);
+        assert!(!index.insert(0, &[0.0; 8]));
+        assert!(!index.insert(1, &[1.0; 4]));
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn lsh_recall_close_to_exact_above_threshold() {
+        let mut rng = Xoshiro256pp::new(6);
+        let mut index = SimHashLshIndex::for_threshold(64, 0.7, 11);
+        let base = random_unit(64, &mut rng);
+        // 20 neighbours well above the 0.7 threshold (noise 0.06 per dim on
+        // 64 dims puts cosine ≈ 1/sqrt(1 + 0.06²·64) ≈ 0.9), 300 noise
+        // vectors near cosine 0.
+        for id in 0..20 {
+            index.insert(id, &perturb(&base, 0.06, &mut rng));
+        }
+        for id in 20..320 {
+            index.insert(id, &random_unit(64, &mut rng));
+        }
+        let lsh: FxHashSet<ItemId> =
+            index.search(&base, 20, |_| false).into_iter().map(|(id, _)| id).collect();
+        let exact: Vec<ItemId> =
+            index.search_exact(&base, 20, |_| false).into_iter().map(|(id, _)| id).collect();
+        let recall =
+            exact.iter().filter(|id| lsh.contains(id)).count() as f64 / exact.len() as f64;
+        assert!(recall > 0.75, "ANN recall too low: {recall}");
+    }
+
+    #[test]
+    fn multiprobe_does_not_reduce_candidates() {
+        let mut rng = Xoshiro256pp::new(7);
+        let mut plain = SimHashLshIndex::for_threshold(64, 0.7, 13);
+        for id in 0..200 {
+            plain.insert(id, &random_unit(64, &mut rng));
+        }
+        let query = random_unit(64, &mut rng);
+        let before = plain.candidates(&query).len();
+        plain.set_probes(2);
+        let after = plain.candidates(&query).len();
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_search() {
+        let mut rng = Xoshiro256pp::new(8);
+        let mut index = SimHashLshIndex::for_threshold(32, 0.7, 21);
+        for id in 0..100 {
+            index.insert(id, &random_unit(32, &mut rng));
+        }
+        let query = random_unit(32, &mut rng);
+        let before = index.search(&query, 5, |_| false);
+        let mut buf = Vec::new();
+        index.encode(&mut buf);
+        let mut r = &buf[..];
+        let loaded = SimHashLshIndex::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(loaded.len(), 100);
+        assert_eq!(loaded.search(&query, 5, |_| false), before);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut r: &[u8] = b"not an index";
+        assert!(SimHashLshIndex::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn bucket_stats_counts() {
+        let mut rng = Xoshiro256pp::new(9);
+        let mut index = SimHashLshIndex::for_threshold(16, 0.5, 1);
+        for id in 0..50 {
+            index.insert(id, &random_unit(16, &mut rng));
+        }
+        let (buckets, max, mean) = index.bucket_stats();
+        assert!(buckets > 0);
+        assert!(max >= 1);
+        assert!(mean >= 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Locality-sensitive hashing indexes.
+//!
+//! WarpGate turns high-dimensional cosine similarity search into bucket
+//! lookups with **SimHash** (random hyperplane projection, §3.1.2): the
+//! probability that two vectors agree on one signature bit equals
+//! `1 − θ/π` for angle `θ`, so banding the signature yields an index whose
+//! collision probability is an S-curve around a tunable similarity
+//! threshold (the paper sets 0.7).
+//!
+//! This crate provides:
+//!
+//! * [`simhash`] — signature generation and Hamming/cosine estimation;
+//! * [`params`] — derivation of `(bands, rows)` from a target threshold;
+//! * [`index`] — the banded [`SimHashLshIndex`] with exact cosine
+//!   re-ranking, optional multi-probe, incremental insert/remove, and
+//!   binary persistence;
+//! * [`exact`] — a brute-force index with the same search interface (the
+//!   ANN-quality baseline for ablations);
+//! * [`minhash`] — MinHash signatures and a banded MinHash LSH for *sets*,
+//!   used by the Aurum and D3L baselines;
+//! * [`pivot`] — the §5.2.3 "block-and-verify" alternative: exact top-k
+//!   with triangle-inequality pruning against pivot vectors.
+
+pub mod exact;
+pub mod index;
+pub mod minhash;
+pub mod params;
+pub mod pivot;
+pub mod simhash;
+
+pub use exact::ExactIndex;
+pub use index::{SearchOutcome, SimHashLshIndex};
+pub use minhash::{MinHashLshIndex, MinHasher, MinHashSignature};
+pub use params::LshParams;
+pub use pivot::PivotIndex;
+pub use simhash::{SimHasher, Signature};
+
+/// Item identifiers stored in the indexes. Callers keep the mapping from
+/// these to their own addressing (e.g. fully-qualified column refs).
+pub type ItemId = u32;

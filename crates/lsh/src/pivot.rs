@@ -1,0 +1,290 @@
+//! Pivot-based block-and-verify search (paper §5.2.3, after Dong et al.,
+//! ICDE'21).
+//!
+//! An *exact* top-k index that avoids most distance computations without
+//! LSH's recall loss. A handful of pivot vectors are chosen; every stored
+//! vector keeps its distance to each pivot. At query time the triangle
+//! inequality gives a lower bound on the query–candidate distance from
+//! pivot distances alone:
+//!
+//! ```text
+//! d(q, x) ≥ max_p |d(q, p) − d(x, p)|
+//! ```
+//!
+//! Candidates whose bound already exceeds the current k-th best distance
+//! are *blocked*; only survivors are *verified* with a full distance
+//! computation. For unit vectors, cosine order is Euclidean order
+//! (`‖a−b‖² = 2 − 2·cos`), so results match [`crate::ExactIndex`] exactly.
+
+use wg_util::rng::Rng64;
+use wg_util::{SplitMix64, TopK};
+
+use crate::ItemId;
+
+/// Exact top-k cosine index with pivot-based pruning.
+pub struct PivotIndex {
+    dim: usize,
+    num_pivots: usize,
+    /// Pivot vectors, row-major (`num_pivots × dim`), unit length.
+    pivots: Vec<f32>,
+    ids: Vec<ItemId>,
+    /// Stored unit vectors, row-major.
+    data: Vec<f32>,
+    /// Euclidean distance of each stored vector to each pivot
+    /// (`ids.len() × num_pivots`).
+    pivot_dists: Vec<f32>,
+    /// Verification counter for the last search (diagnostics).
+    last_verified: std::cell::Cell<usize>,
+}
+
+impl PivotIndex {
+    /// Create an index with `num_pivots` random unit pivots derived from
+    /// `seed`. 4–16 pivots is the useful range; more pivots tighten bounds
+    /// but cost `O(num_pivots)` per candidate.
+    pub fn new(dim: usize, num_pivots: usize, seed: u64) -> Self {
+        assert!(dim > 0 && num_pivots > 0);
+        let mut pivots = Vec::with_capacity(num_pivots * dim);
+        for p in 0..num_pivots {
+            let mut rng = SplitMix64::new(wg_util::hash::combine64(seed, p as u64));
+            let start = pivots.len();
+            for _ in 0..dim {
+                pivots.push(rng.gen_gaussian() as f32);
+            }
+            let norm = pivots[start..].iter().map(|x| x * x).sum::<f32>().sqrt();
+            for x in &mut pivots[start..] {
+                *x /= norm;
+            }
+        }
+        Self {
+            dim,
+            num_pivots,
+            pivots,
+            ids: Vec::new(),
+            data: Vec::new(),
+            pivot_dists: Vec::new(),
+            last_verified: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// How many candidates the last [`Self::search`] fully verified —
+    /// the block-and-verify effectiveness measure.
+    pub fn last_verified(&self) -> usize {
+        self.last_verified.get()
+    }
+
+    fn normalize(v: &[f32]) -> Option<Vec<f32>> {
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm <= f32::MIN_POSITIVE {
+            return None;
+        }
+        Some(v.iter().map(|x| x / norm).collect())
+    }
+
+    fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+        let mut s = 0.0f32;
+        for (x, y) in a.iter().zip(b) {
+            let d = x - y;
+            s += d * d;
+        }
+        s.sqrt()
+    }
+
+    /// Insert a vector (normalized internally). Returns false for zero or
+    /// mismatched input. Duplicate ids are replaced.
+    pub fn insert(&mut self, id: ItemId, vector: &[f32]) -> bool {
+        if vector.len() != self.dim {
+            return false;
+        }
+        let Some(unit) = Self::normalize(vector) else {
+            return false;
+        };
+        self.remove(id);
+        for p in 0..self.num_pivots {
+            let pivot = &self.pivots[p * self.dim..(p + 1) * self.dim];
+            self.pivot_dists.push(Self::euclidean(&unit, pivot));
+        }
+        self.ids.push(id);
+        self.data.extend_from_slice(&unit);
+        true
+    }
+
+    /// Remove by id; true if present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        let Some(pos) = self.ids.iter().position(|&x| x == id) else {
+            return false;
+        };
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(pos);
+        if pos != last {
+            // Move last vector + its pivot distances into the hole.
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[pos * self.dim..(pos + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            let (phead, ptail) = self.pivot_dists.split_at_mut(last * self.num_pivots);
+            phead[pos * self.num_pivots..(pos + 1) * self.num_pivots]
+                .copy_from_slice(&ptail[..self.num_pivots]);
+        }
+        self.data.truncate(last * self.dim);
+        self.pivot_dists.truncate(last * self.num_pivots);
+        true
+    }
+
+    /// Exact top-k by cosine, with triangle-inequality blocking.
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Vec<(ItemId, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let Some(q) = Self::normalize(query) else {
+            self.last_verified.set(0);
+            return Vec::new();
+        };
+        // Query-to-pivot distances, once.
+        let q_pivot: Vec<f32> = (0..self.num_pivots)
+            .map(|p| Self::euclidean(&q, &self.pivots[p * self.dim..(p + 1) * self.dim]))
+            .collect();
+
+        // Work in squared-distance-free cosine space at the heap, but block
+        // in distance space: keep the k-th best distance upper bound.
+        let mut topk: TopK<ItemId> = TopK::new(k);
+        let mut verified = 0usize;
+        for (i, &id) in self.ids.iter().enumerate() {
+            if exclude(id) {
+                continue;
+            }
+            // Lower bound on d(q, x) from pivots.
+            let pd = &self.pivot_dists[i * self.num_pivots..(i + 1) * self.num_pivots];
+            let mut bound = 0.0f32;
+            for (qp, xp) in q_pivot.iter().zip(pd) {
+                bound = bound.max((qp - xp).abs());
+            }
+            // Current k-th best cosine -> distance threshold.
+            if let Some(worst_cos) = topk.threshold() {
+                let worst_dist = (2.0 - 2.0 * worst_cos as f32).max(0.0).sqrt();
+                if bound >= worst_dist {
+                    continue; // blocked: cannot beat the current top-k
+                }
+            }
+            verified += 1;
+            let v = &self.data[i * self.dim..(i + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (x, y) in q.iter().zip(v) {
+                dot += x * y;
+            }
+            topk.push(dot.clamp(-1.0, 1.0) as f64, id);
+        }
+        self.last_verified.set(verified);
+        topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactIndex;
+    use wg_util::rng::Xoshiro256pp;
+
+    fn random_unit(dim: usize, rng: &mut Xoshiro256pp) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_gaussian() as f32).collect();
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n);
+        v
+    }
+
+    #[test]
+    fn matches_exact_index_results() {
+        let mut rng = Xoshiro256pp::new(42);
+        let dim = 64;
+        let mut pivot = PivotIndex::new(dim, 8, 7);
+        let mut exact = ExactIndex::new(dim);
+        for id in 0..300u32 {
+            let v = random_unit(dim, &mut rng);
+            pivot.insert(id, &v);
+            exact.insert(id, &v);
+        }
+        for _ in 0..20 {
+            let q = random_unit(dim, &mut rng);
+            let a: Vec<u32> = pivot.search(&q, 5, |_| false).into_iter().map(|(i, _)| i).collect();
+            let b: Vec<u32> = exact.search(&q, 5, |_| false).into_iter().map(|(i, _)| i).collect();
+            assert_eq!(a, b, "pivot pruning changed exact results");
+        }
+    }
+
+    #[test]
+    fn blocking_skips_work_on_clustered_data() {
+        // Clustered vectors: most candidates are far from the query's
+        // cluster, so the pivot bound blocks them.
+        let mut rng = Xoshiro256pp::new(3);
+        let dim = 64;
+        let mut index = PivotIndex::new(dim, 16, 7);
+        let center_a = random_unit(dim, &mut rng);
+        let center_b: Vec<f32> = center_a.iter().map(|x| -x).collect();
+        for id in 0..400u32 {
+            let center = if id % 2 == 0 { &center_a } else { &center_b };
+            // Tight clusters: the k-th-best distance shrinks quickly, so
+            // the triangle bound can prune the far cluster.
+            let mut v: Vec<f32> =
+                center.iter().map(|x| x + 0.02 * rng.gen_gaussian() as f32).collect();
+            let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|x| *x /= n);
+            index.insert(id, &v);
+        }
+        let hits = index.search(&center_a, 5, |_| false);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|(id, _)| id % 2 == 0), "wrong cluster: {hits:?}");
+        assert!(
+            index.last_verified() < 300,
+            "blocking ineffective: verified {}/400",
+            index.last_verified()
+        );
+    }
+
+    #[test]
+    fn insert_remove_replace() {
+        let mut index = PivotIndex::new(8, 4, 1);
+        assert!(index.insert(1, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        assert!(index.insert(1, &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        assert_eq!(index.len(), 1);
+        assert!(!index.insert(2, &[0.0; 8]));
+        assert!(!index.insert(2, &[1.0; 4]));
+        assert!(index.remove(1));
+        assert!(!index.remove(1));
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn remove_keeps_pivot_distances_aligned() {
+        let mut rng = Xoshiro256pp::new(5);
+        let dim = 16;
+        let mut index = PivotIndex::new(dim, 4, 9);
+        let vectors: Vec<Vec<f32>> = (0..10).map(|_| random_unit(dim, &mut rng)).collect();
+        for (id, v) in vectors.iter().enumerate() {
+            index.insert(id as u32, v);
+        }
+        index.remove(0);
+        // Every remaining vector must still be its own nearest neighbour.
+        for (id, v) in vectors.iter().enumerate().skip(1) {
+            let hits = index.search(v, 1, |_| false);
+            assert_eq!(hits[0].0, id as u32, "alignment broken after remove");
+            assert!(hits[0].1 > 0.999);
+        }
+    }
+
+    #[test]
+    fn zero_query_returns_nothing() {
+        let mut index = PivotIndex::new(4, 2, 1);
+        index.insert(1, &[1.0, 0.0, 0.0, 0.0]);
+        assert!(index.search(&[0.0; 4], 3, |_| false).is_empty());
+    }
+}

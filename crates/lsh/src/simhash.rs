@@ -1,0 +1,217 @@
+//! SimHash: random-hyperplane signatures for cosine similarity.
+//!
+//! Charikar's construction: draw `K` random hyperplanes (Gaussian normal
+//! vectors); bit `i` of a vector's signature is the sign of its projection
+//! onto hyperplane `i`. For two vectors at angle `θ`,
+//! `P[bit agrees] = 1 − θ/π`, so the Hamming distance of two signatures is
+//! an unbiased estimator of their angle.
+
+use wg_util::hash::combine64;
+use wg_util::rng::Rng64;
+use wg_util::SplitMix64;
+
+/// A `K`-bit signature packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Packed bits, little-endian within words.
+    pub words: Vec<u64>,
+    /// Number of meaningful bits.
+    pub bits: usize,
+}
+
+impl Signature {
+    /// Bit `i` of the signature.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Hamming distance to another signature of the same width.
+    pub fn hamming(&self, other: &Signature) -> u32 {
+        debug_assert_eq!(self.bits, other.bits);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Cosine similarity estimated from the Hamming distance:
+    /// `cos(π · ham / bits)`.
+    pub fn cosine_estimate(&self, other: &Signature) -> f64 {
+        let ham = self.hamming(other) as f64;
+        (std::f64::consts::PI * ham / self.bits as f64).cos()
+    }
+
+    /// The `rows` bits of band `band` packed into a `u64` key (rows ≤ 64).
+    /// Used by the banded index to key buckets.
+    pub fn band_key(&self, band: usize, rows: usize) -> u64 {
+        let start = band * rows;
+        let mut key = 0u64;
+        for (j, i) in (start..start + rows).enumerate() {
+            if self.bit(i) {
+                key |= 1 << j;
+            }
+        }
+        key
+    }
+}
+
+/// Generates signatures with a fixed set of seeded hyperplanes.
+#[derive(Debug, Clone)]
+pub struct SimHasher {
+    dim: usize,
+    bits: usize,
+    /// Hyperplanes stored row-major: `bits × dim`.
+    planes: Vec<f32>,
+    seed: u64,
+}
+
+impl SimHasher {
+    /// Create a hasher for `dim`-dimensional vectors with `bits` planes.
+    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
+        assert!(dim > 0 && bits > 0);
+        let mut planes = Vec::with_capacity(bits * dim);
+        for b in 0..bits {
+            let mut rng = SplitMix64::new(combine64(seed, b as u64));
+            for _ in 0..dim {
+                planes.push(rng.gen_gaussian() as f32);
+            }
+        }
+        Self { dim, bits, planes, seed }
+    }
+
+    /// Vector dimension this hasher expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The seed used to derive hyperplanes (persisted so a reloaded index
+    /// reproduces identical signatures).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sign the vector. Panics on dimension mismatch.
+    pub fn sign(&self, v: &[f32]) -> Signature {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut words = vec![0u64; self.bits.div_ceil(64)];
+        for b in 0..self.bits {
+            let plane = &self.planes[b * self.dim..(b + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (x, p) in v.iter().zip(plane) {
+                dot += x * p;
+            }
+            if dot >= 0.0 {
+                words[b / 64] |= 1 << (b % 64);
+            }
+        }
+        Signature { words, bits: self.bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_util::rng::{Rng64, Xoshiro256pp};
+
+    fn random_unit(dim: usize, rng: &mut Xoshiro256pp) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_gaussian() as f32).collect();
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for x in &mut v {
+            *x /= n;
+        }
+        v
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x * y) as f64).sum()
+    }
+
+    #[test]
+    fn identical_vectors_identical_signatures() {
+        let h = SimHasher::new(32, 128, 7);
+        let mut rng = Xoshiro256pp::new(1);
+        let v = random_unit(32, &mut rng);
+        let a = h.sign(&v);
+        let b = h.sign(&v);
+        assert_eq!(a, b);
+        assert_eq!(a.hamming(&b), 0);
+        assert!((a.cosine_estimate(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_flip_all_bits() {
+        let h = SimHasher::new(16, 64, 7);
+        let mut rng = Xoshiro256pp::new(2);
+        let v = random_unit(16, &mut rng);
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        let a = h.sign(&v);
+        let b = h.sign(&neg);
+        // Sign boundary (dot == 0) is measure-zero for random vectors.
+        assert_eq!(a.hamming(&b), 64);
+        assert!(a.cosine_estimate(&b) < -0.999);
+    }
+
+    #[test]
+    fn estimate_tracks_true_cosine() {
+        let h = SimHasher::new(64, 512, 42);
+        let mut rng = Xoshiro256pp::new(3);
+        for _ in 0..20 {
+            let a = random_unit(64, &mut rng);
+            // Interpolate to get a related vector with known-ish similarity.
+            let b0 = random_unit(64, &mut rng);
+            let alpha = rng.gen_f64() as f32;
+            let mut b: Vec<f32> =
+                a.iter().zip(&b0).map(|(x, y)| alpha * x + (1.0 - alpha) * y).collect();
+            let n = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            for x in &mut b {
+                *x /= n;
+            }
+            let truth = cosine(&a, &b);
+            let est = h.sign(&a).cosine_estimate(&h.sign(&b));
+            assert!(
+                (truth - est).abs() < 0.15,
+                "estimate {est:.3} too far from truth {truth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_key_extracts_bits() {
+        let sig = Signature { words: vec![0b1011_0110], bits: 8 };
+        // band 0, rows 4 -> bits 0..4 = 0110 -> key 0b0110
+        assert_eq!(sig.band_key(0, 4), 0b0110);
+        // band 1, rows 4 -> bits 4..8 = 1011 -> key 0b1011
+        assert_eq!(sig.band_key(1, 4), 0b1011);
+    }
+
+    #[test]
+    fn signatures_differ_across_seeds() {
+        let mut rng = Xoshiro256pp::new(5);
+        let v = random_unit(32, &mut rng);
+        let a = SimHasher::new(32, 64, 1).sign(&v);
+        let b = SimHasher::new(32, 64, 2).sign(&v);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bit_accessor_matches_words() {
+        let sig = Signature { words: vec![0b101], bits: 3 };
+        assert!(sig.bit(0));
+        assert!(!sig.bit(1));
+        assert!(sig.bit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        SimHasher::new(8, 16, 0).sign(&[0.0; 4]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Numeric domain-distribution similarity (D3L evidence v).
+//!
+//! Two numeric columns are related when their *value distributions* look
+//! alike, even without exact overlap (e.g. two price columns from different
+//! stores). The sketch stores the column's deciles; similarity combines a
+//! range-overlap term with a quantile-shape term (1 − normalized L1 between
+//! decile vectors), and a two-sample Kolmogorov–Smirnov statistic is
+//! available for tests/ablations.
+
+use wg_store::Column;
+
+/// Number of quantile knots kept in a sketch (deciles + endpoints).
+const KNOTS: usize = 11;
+
+/// A compact sketch of a numeric column's distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericSketch {
+    /// `KNOTS` evenly spaced quantiles from min to max (empty if the column
+    /// had no numeric values).
+    quantiles: Vec<f64>,
+}
+
+impl NumericSketch {
+    /// Build from a column; non-numeric/NULL cells are ignored. Returns a
+    /// sketch with no knots for columns without numeric content.
+    pub fn build(column: &Column) -> NumericSketch {
+        let mut values: Vec<f64> =
+            column.iter().filter_map(|v| v.as_f64()).filter(|x| x.is_finite()).collect();
+        if values.is_empty() {
+            return NumericSketch { quantiles: Vec::new() };
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let quantiles = (0..KNOTS)
+            .map(|i| {
+                let rank =
+                    ((i as f64 / (KNOTS - 1) as f64) * (values.len() - 1) as f64).round() as usize;
+                values[rank]
+            })
+            .collect();
+        NumericSketch { quantiles }
+    }
+
+    /// Whether the sketch carries any signal.
+    pub fn is_empty(&self) -> bool {
+        self.quantiles.is_empty()
+    }
+
+    /// Distribution similarity in `[0, 1]`.
+    pub fn similarity(&self, other: &NumericSketch) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let (amin, amax) = (self.quantiles[0], self.quantiles[KNOTS - 1]);
+        let (bmin, bmax) = (other.quantiles[0], other.quantiles[KNOTS - 1]);
+        let span = (amax - amin).max(bmax - bmin).max(f64::MIN_POSITIVE);
+
+        // Range overlap term.
+        let overlap = (amax.min(bmax) - amin.max(bmin)).max(0.0) / span;
+
+        // Shape term: L1 between quantile vectors, normalized by the span.
+        let l1: f64 = self
+            .quantiles
+            .iter()
+            .zip(&other.quantiles)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / KNOTS as f64;
+        let shape = (1.0 - l1 / span).max(0.0);
+
+        (0.5 * overlap + 0.5 * shape).clamp(0.0, 1.0)
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic (`sup |F_a − F_b|`); lower means
+/// more similar. Returns 1.0 when either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_store::Column;
+
+    #[test]
+    fn identical_distributions_score_one() {
+        let a = NumericSketch::build(&Column::ints("a", (0..100).collect()));
+        assert!((a.similarity(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similar_ranges_beat_disjoint() {
+        let a = NumericSketch::build(&Column::ints("a", (0..100).collect()));
+        let b = NumericSketch::build(&Column::ints("b", (10..110).collect()));
+        let c = NumericSketch::build(&Column::ints("c", (100_000..100_100).collect()));
+        assert!(a.similarity(&b) > 0.7);
+        assert!(a.similarity(&c) < 0.2);
+        // Symmetry.
+        assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_column_has_empty_sketch() {
+        let s = NumericSketch::build(&Column::text("t", ["x", "y"]));
+        assert!(s.is_empty());
+        let n = NumericSketch::build(&Column::ints("n", vec![1]));
+        assert_eq!(s.similarity(&n), 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_basics() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        let b: Vec<f64> = (1000..1100).map(|i| i as f64).collect();
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+        let c: Vec<f64> = (50..150).map(|i| i as f64).collect();
+        let d = ks_statistic(&a, &c);
+        assert!((0.3..0.7).contains(&d), "partial overlap KS {d}");
+        assert_eq!(ks_statistic(&a, &[]), 1.0);
+    }
+
+    #[test]
+    fn skewed_vs_uniform_shapes_differ() {
+        let uniform = NumericSketch::build(&Column::ints("u", (0..1000).collect()));
+        let skewed = NumericSketch::build(&Column::ints(
+            "s",
+            (0..1000).map(|i: i64| i * i / 1000).collect(),
+        ));
+        let shifted = NumericSketch::build(&Column::ints("t", (0..1000).collect()));
+        assert!(uniform.similarity(&shifted) > uniform.similarity(&skewed));
+    }
+}

@@ -1,0 +1,128 @@
+//! The bundled column profile.
+
+use wg_lsh::{MinHashSignature, MinHasher};
+use wg_store::{Column, ColumnRef, DataType};
+use wg_util::FxHashSet;
+
+use crate::format::FormatProfile;
+use crate::numeric_dist::NumericSketch;
+use crate::qgram::name_qgrams;
+use crate::stats::ColumnStats;
+
+/// Everything a profile-based discovery system knows about one column.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// Fully-qualified address of the profiled column.
+    pub reference: ColumnRef,
+    /// Storage type.
+    pub dtype: DataType,
+    /// Row/null/distinct counts and numeric moments.
+    pub stats: ColumnStats,
+    /// MinHash signature of the distinct value set (content overlap).
+    pub content_signature: MinHashSignature,
+    /// Format-pattern histogram.
+    pub format: FormatProfile,
+    /// q-grams of the column *name*.
+    pub name_grams: FxHashSet<String>,
+    /// Numeric distribution sketch (empty for text columns).
+    pub numeric: NumericSketch,
+}
+
+impl ColumnProfile {
+    /// Profile a column (typically a sampled scan) with the given hasher.
+    pub fn build(reference: ColumnRef, column: &Column, hasher: &MinHasher) -> ColumnProfile {
+        let values = column.value_counts();
+        let content_signature =
+            hasher.sign(values.iter().map(|(v, _)| wg_util::stable_hash_str(v)));
+        ColumnProfile {
+            dtype: column.dtype(),
+            stats: ColumnStats::build(column),
+            content_signature,
+            format: FormatProfile::build(column),
+            name_grams: name_qgrams(&reference.column, 3),
+            numeric: NumericSketch::build(column),
+            reference,
+        }
+    }
+
+    /// Estimated Jaccard overlap of distinct values with another profile.
+    pub fn content_similarity(&self, other: &ColumnProfile) -> f64 {
+        self.content_signature.jaccard_estimate(&other.content_signature)
+    }
+
+    /// Estimated containment of `self`'s values in `other`'s, derived from
+    /// the Jaccard estimate and the two distinct counts:
+    /// `|A∩B| ≈ J/(1+J) · (|A|+|B|)`, containment = `|A∩B| / |A|`.
+    pub fn containment_estimate(&self, other: &ColumnProfile) -> f64 {
+        let j = self.content_similarity(other);
+        let a = self.stats.distinct as f64;
+        let b = other.stats.distinct as f64;
+        if a == 0.0 || j == 0.0 {
+            return 0.0;
+        }
+        let inter = j / (1.0 + j) * (a + b);
+        (inter / a).clamp(0.0, 1.0)
+    }
+
+    /// Column-name similarity (q-gram Jaccard).
+    pub fn name_similarity(&self, other: &ColumnProfile) -> f64 {
+        crate::qgram::qgram_jaccard(&self.name_grams, &other.name_grams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_store::Column;
+
+    fn hasher() -> MinHasher {
+        MinHasher::new(128, 42)
+    }
+
+    fn profile(name: &str, col: &Column) -> ColumnProfile {
+        ColumnProfile::build(ColumnRef::new("db", "t", name), col, &hasher())
+    }
+
+    #[test]
+    fn overlapping_columns_high_content_similarity() {
+        let a = profile("a", &Column::text("a", (0..100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
+        let b = profile("b", &Column::text("b", (0..100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
+        let c = profile("c", &Column::text("c", (1000..1100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
+        assert!(a.content_similarity(&b) > 0.95);
+        assert!(a.content_similarity(&c) < 0.05);
+    }
+
+    #[test]
+    fn containment_estimate_for_fk_pk() {
+        // FK (20 values) fully contained in PK (200 values): J = 0.1,
+        // containment of FK in PK should estimate near 1.0.
+        let pk = profile("id", &Column::text("id", (0..200).map(|i| format!("k{i}")).collect::<Vec<_>>()));
+        let fk = profile("ref_id", &Column::text("ref_id", (0..20).map(|i| format!("k{i}")).collect::<Vec<_>>()));
+        let c = fk.containment_estimate(&pk);
+        assert!(c > 0.75, "containment estimate {c}");
+        // And the reverse direction is small.
+        assert!(pk.containment_estimate(&fk) < 0.3);
+    }
+
+    #[test]
+    fn name_similarity_via_profiles() {
+        let a = profile("customer_id", &Column::ints("x", vec![1]));
+        let b = profile("CustomerID", &Column::ints("x", vec![2]));
+        assert!((a.name_similarity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_sketch_present_only_for_numeric() {
+        let n = profile("n", &Column::ints("n", vec![1, 2, 3]));
+        assert!(!n.numeric.is_empty());
+        let t = profile("t", &Column::text("t", ["x"]));
+        assert!(t.numeric.is_empty());
+    }
+
+    #[test]
+    fn profile_of_empty_column() {
+        let e = profile("e", &Column::text("e", Vec::<String>::new()));
+        assert_eq!(e.stats.rows, 0);
+        assert_eq!(e.content_similarity(&e), 1.0); // all-MAX signatures agree
+    }
+}

@@ -1,0 +1,128 @@
+//! Basic column statistics.
+
+use wg_store::Column;
+
+/// Summary statistics for one column (computed over whatever rows the
+/// caller scanned — typically a sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Rows scanned.
+    pub rows: usize,
+    /// NULL rows among them.
+    pub nulls: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Numeric summary, when the column is numeric.
+    pub numeric: Option<NumericStats>,
+    /// Mean rendered-string length of non-null values.
+    pub avg_len: f64,
+}
+
+/// Moments and extrema of a numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericStats {
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl ColumnStats {
+    /// Compute stats with a single pass (plus the column's dictionary for
+    /// distinct counting).
+    pub fn build(column: &Column) -> ColumnStats {
+        let rows = column.len();
+        let nulls = column.null_count();
+        let distinct = column.distinct_count();
+
+        let mut len_sum = 0usize;
+        let mut n_nonnull = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut n_numeric = 0usize;
+        for v in column.iter() {
+            if v.is_null() {
+                continue;
+            }
+            n_nonnull += 1;
+            len_sum += v.to_string().chars().count();
+            if let Some(x) = v.as_f64() {
+                n_numeric += 1;
+                min = min.min(x);
+                max = max.max(x);
+                sum += x;
+                sumsq += x * x;
+            }
+        }
+        let numeric = if n_numeric > 0 && column.dtype().is_numeric() {
+            let mean = sum / n_numeric as f64;
+            let var = (sumsq / n_numeric as f64 - mean * mean).max(0.0);
+            Some(NumericStats { min, max, mean, std: var.sqrt() })
+        } else {
+            None
+        };
+        let avg_len = if n_nonnull == 0 { 0.0 } else { len_sum as f64 / n_nonnull as f64 };
+        ColumnStats { rows, nulls, distinct, numeric, avg_len }
+    }
+
+    /// Uniqueness ratio: distinct over non-null rows (1.0 for key-like
+    /// columns, used by baselines to spot candidate keys).
+    pub fn uniqueness(&self) -> f64 {
+        let non_null = self.rows - self.nulls;
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / non_null as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_store::Column;
+
+    #[test]
+    fn text_stats() {
+        let c = Column::text_opt("c", [Some("aa"), None, Some("bbbb"), Some("aa")]);
+        let s = ColumnStats::build(&c);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.distinct, 2);
+        assert!(s.numeric.is_none());
+        assert!((s.avg_len - (2.0 + 4.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!((s.uniqueness() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_stats() {
+        let c = Column::ints("n", vec![1, 2, 3, 4]);
+        let s = ColumnStats::build(&c);
+        let n = s.numeric.unwrap();
+        assert_eq!(n.min, 1.0);
+        assert_eq!(n.max, 4.0);
+        assert_eq!(n.mean, 2.5);
+        assert!((n.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_key_column() {
+        let c = Column::ints("id", (0..100).collect());
+        assert_eq!(ColumnStats::build(&c).uniqueness(), 1.0);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::text("c", Vec::<String>::new());
+        let s = ColumnStats::build(&c);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.uniqueness(), 0.0);
+        assert_eq!(s.avg_len, 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The warehouse catalog: databases, tables, and column addressing.
+//!
+//! A [`Warehouse`] models one customer's cloud data warehouse: a set of
+//! databases, each holding tables. [`ColumnRef`] is the fully-qualified
+//! `database.table.column` address used across the workspace — it is what a
+//! discovery query names and what recommendations point back to.
+
+use std::fmt;
+
+use crate::column::Column;
+use crate::error::{StoreError, StoreResult};
+use crate::table::Table;
+
+/// Fully-qualified column address: `database.table.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Database name.
+    pub database: String,
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Construct from parts.
+    pub fn new(
+        database: impl Into<String>,
+        table: impl Into<String>,
+        column: impl Into<String>,
+    ) -> Self {
+        Self { database: database.into(), table: table.into(), column: column.into() }
+    }
+
+    /// Whether two refs point into the same table.
+    pub fn same_table(&self, other: &ColumnRef) -> bool {
+        self.database == other.database && self.table == other.table
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.database, self.table, self.column)
+    }
+}
+
+/// A named database: a set of tables.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), tables: Vec::new() }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a table; replaces any existing table of the same name (CDW data
+    /// "has high update rates" — replacement is the common refresh path).
+    pub fn add_table(&mut self, table: Table) {
+        if let Some(pos) = self.tables.iter().position(|t| t.name() == table.name()) {
+            self.tables[pos] = table;
+        } else {
+            self.tables.push(table);
+        }
+    }
+
+    /// Remove a table by name, returning it if present.
+    pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.tables
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|pos| self.tables.remove(pos))
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> StoreResult<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| StoreError::NotFound(format!("table '{}.{}'", self.name, name)))
+    }
+}
+
+/// A simulated cloud data warehouse: a named set of databases.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    name: String,
+    databases: Vec<Database>,
+}
+
+impl Warehouse {
+    /// Create an empty warehouse.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), databases: Vec::new() }
+    }
+
+    /// Warehouse name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add (or merge into) a database.
+    pub fn add_database(&mut self, db: Database) {
+        if let Some(pos) = self.databases.iter().position(|d| d.name() == db.name()) {
+            self.databases[pos] = db;
+        } else {
+            self.databases.push(db);
+        }
+    }
+
+    /// Mutable access to a database, creating it if absent.
+    pub fn database_mut(&mut self, name: &str) -> &mut Database {
+        if let Some(pos) = self.databases.iter().position(|d| d.name() == name) {
+            &mut self.databases[pos]
+        } else {
+            self.databases.push(Database::new(name));
+            self.databases.last_mut().expect("just pushed")
+        }
+    }
+
+    /// All databases.
+    pub fn databases(&self) -> &[Database] {
+        &self.databases
+    }
+
+    /// Database by name.
+    pub fn database(&self, name: &str) -> StoreResult<&Database> {
+        self.databases
+            .iter()
+            .find(|d| d.name() == name)
+            .ok_or_else(|| StoreError::NotFound(format!("database '{name}'")))
+    }
+
+    /// Resolve a table.
+    pub fn table(&self, database: &str, table: &str) -> StoreResult<&Table> {
+        self.database(database)?.table(table)
+    }
+
+    /// Resolve a column reference.
+    pub fn column(&self, r: &ColumnRef) -> StoreResult<&Column> {
+        self.table(&r.database, &r.table)?.column(&r.column)
+    }
+
+    /// Iterate every column in the warehouse with its address, in catalog
+    /// order (deterministic).
+    pub fn iter_columns(&self) -> impl Iterator<Item = (ColumnRef, &Column)> + '_ {
+        self.databases.iter().flat_map(|db| {
+            db.tables().iter().flat_map(move |t| {
+                t.columns().iter().map(move |c| {
+                    (ColumnRef::new(db.name(), t.name(), c.name()), c)
+                })
+            })
+        })
+    }
+
+    /// Total number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.databases.iter().map(|d| d.tables().len()).sum()
+    }
+
+    /// Total number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.databases
+            .iter()
+            .flat_map(|d| d.tables())
+            .map(|t| t.num_columns())
+            .sum()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn num_rows(&self) -> u64 {
+        self.databases
+            .iter()
+            .flat_map(|d| d.tables())
+            .map(|t| t.num_rows() as u64)
+            .sum()
+    }
+
+    /// Mean rows per table (0 when empty).
+    pub fn avg_rows(&self) -> f64 {
+        let tables = self.num_tables();
+        if tables == 0 {
+            0.0
+        } else {
+            self.num_rows() as f64 / tables as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wh() -> Warehouse {
+        let mut w = Warehouse::new("acme");
+        let mut db = Database::new("sales");
+        db.add_table(
+            Table::new(
+                "accounts",
+                vec![Column::text("name", ["a", "b"]), Column::ints("id", vec![1, 2])],
+            )
+            .unwrap(),
+        );
+        db.add_table(Table::new("leads", vec![Column::text("company", ["a"])]).unwrap());
+        w.add_database(db);
+        w
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let r = ColumnRef::new("db", "t", "c");
+        assert_eq!(r.to_string(), "db.t.c");
+        assert!(r.same_table(&ColumnRef::new("db", "t", "other")));
+        assert!(!r.same_table(&ColumnRef::new("db2", "t", "c")));
+    }
+
+    #[test]
+    fn lookups() {
+        let w = wh();
+        assert!(w.table("sales", "accounts").is_ok());
+        assert!(w.table("sales", "nope").is_err());
+        assert!(w.table("nope", "accounts").is_err());
+        let c = w.column(&ColumnRef::new("sales", "accounts", "id")).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn stats() {
+        let w = wh();
+        assert_eq!(w.num_tables(), 2);
+        assert_eq!(w.num_columns(), 3);
+        assert_eq!(w.num_rows(), 3);
+        assert!((w.avg_rows() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_columns_is_exhaustive_and_ordered() {
+        let w = wh();
+        let refs: Vec<String> = w.iter_columns().map(|(r, _)| r.to_string()).collect();
+        assert_eq!(
+            refs,
+            vec!["sales.accounts.name", "sales.accounts.id", "sales.leads.company"]
+        );
+    }
+
+    #[test]
+    fn add_table_replaces() {
+        let mut w = wh();
+        w.database_mut("sales")
+            .add_table(Table::new("leads", vec![Column::text("company", ["x", "y"])]).unwrap());
+        assert_eq!(w.table("sales", "leads").unwrap().num_rows(), 2);
+        assert_eq!(w.num_tables(), 2);
+    }
+
+    #[test]
+    fn remove_table() {
+        let mut w = wh();
+        assert!(w.database_mut("sales").remove_table("leads").is_some());
+        assert!(w.database_mut("sales").remove_table("leads").is_none());
+        assert_eq!(w.num_tables(), 1);
+    }
+
+    #[test]
+    fn database_mut_creates() {
+        let mut w = wh();
+        w.database_mut("new_db")
+            .add_table(Table::new("t", vec![]).unwrap());
+        assert!(w.database("new_db").is_ok());
+    }
+}

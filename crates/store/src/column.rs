@@ -1,0 +1,718 @@
+//! Columnar storage.
+//!
+//! Text columns are dictionary-encoded: the distinct strings live once in a
+//! `dict` and rows are `u32` codes. This matters for this workload twice
+//! over — (1) discovery corpora are dominated by low-cardinality string
+//! columns, so memory drops sharply, and (2) profiling and embedding both
+//! operate on *distinct values with multiplicities*, which the dictionary
+//! provides for free instead of requiring a hash pass over millions of rows.
+
+use wg_util::codec::{self, CodecError, CodecResult};
+use wg_util::FxHashMap;
+
+use crate::dtype::{self, DataType};
+use crate::error::{StoreError, StoreResult};
+use crate::value::{Value, ValueRef};
+
+/// Sentinel code for NULL in dictionary-encoded text columns.
+const NULL_CODE: u32 = u32::MAX;
+
+/// A dictionary-encoded string column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextColumn {
+    /// Distinct values in first-seen order.
+    dict: Vec<String>,
+    /// Occurrences of each dictionary entry.
+    counts: Vec<u32>,
+    /// Per-row dictionary codes; `NULL_CODE` marks NULL.
+    codes: Vec<u32>,
+}
+
+impl TextColumn {
+    /// Build from row values, interning distinct strings.
+    pub fn from_rows<I, S>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = Option<S>>,
+        S: AsRef<str>,
+    {
+        let mut dict: Vec<String> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut codes: Vec<u32> = Vec::new();
+        let mut intern: FxHashMap<String, u32> = FxHashMap::default();
+        for row in rows {
+            match row {
+                None => codes.push(NULL_CODE),
+                Some(s) => {
+                    let s = s.as_ref();
+                    let code = match intern.get(s) {
+                        Some(&c) => c,
+                        None => {
+                            let c = dict.len() as u32;
+                            intern.insert(s.to_string(), c);
+                            dict.push(s.to_string());
+                            counts.push(0);
+                            c
+                        }
+                    };
+                    counts[code as usize] += 1;
+                    codes.push(code);
+                }
+            }
+        }
+        Self { dict, counts, codes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The distinct values, in first-seen order.
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Occurrence count for each dictionary entry (parallel to [`dict`]).
+    ///
+    /// [`dict`]: TextColumn::dict
+    pub fn dict_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The per-row codes (`u32::MAX` = NULL).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Value at `row`, or `None` for NULL.
+    pub fn get(&self, row: usize) -> Option<&str> {
+        let code = self.codes[row];
+        if code == NULL_CODE {
+            None
+        } else {
+            Some(&self.dict[code as usize])
+        }
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    fn null_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == NULL_CODE).count()
+    }
+
+    /// Re-intern after row selection so the dictionary only holds values
+    /// that still occur (keeps sampled columns small).
+    fn take(&self, idx: &[usize]) -> Self {
+        Self::from_rows(idx.iter().map(|&i| self.get(i)))
+    }
+}
+
+/// Physical storage for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Booleans with optional validity (true = present).
+    Bool { values: Vec<bool>, validity: Option<Vec<bool>> },
+    /// 64-bit integers with optional validity.
+    Int { values: Vec<i64>, validity: Option<Vec<bool>> },
+    /// 64-bit floats with optional validity.
+    Float { values: Vec<f64>, validity: Option<Vec<bool>> },
+    /// Dictionary-encoded text.
+    Text(TextColumn),
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Wrap pre-built storage.
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
+        Self { name: name.into(), data }
+    }
+
+    /// Non-null text column from anything string-like.
+    pub fn text<I, S>(name: impl Into<String>, rows: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self::new(name, ColumnData::Text(TextColumn::from_rows(rows.into_iter().map(Some))))
+    }
+
+    /// Nullable text column.
+    pub fn text_opt<I, S>(name: impl Into<String>, rows: I) -> Self
+    where
+        I: IntoIterator<Item = Option<S>>,
+        S: AsRef<str>,
+    {
+        Self::new(name, ColumnData::Text(TextColumn::from_rows(rows)))
+    }
+
+    /// Non-null integer column.
+    pub fn ints(name: impl Into<String>, values: Vec<i64>) -> Self {
+        Self::new(name, ColumnData::Int { values, validity: None })
+    }
+
+    /// Non-null float column.
+    pub fn floats(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self::new(name, ColumnData::Float { values, validity: None })
+    }
+
+    /// Non-null boolean column.
+    pub fn bools(name: impl Into<String>, values: Vec<bool>) -> Self {
+        Self::new(name, ColumnData::Bool { values, validity: None })
+    }
+
+    /// Build a column from owned values, inferring the narrowest common
+    /// type. Mixed numeric widens to float; any other mixture falls back to
+    /// text (rendering each value).
+    pub fn from_values(name: impl Into<String>, values: &[Value]) -> Self {
+        let mut ty: Option<DataType> = None;
+        for v in values {
+            if let Some(t) = v.dtype() {
+                ty = Some(match ty {
+                    None => t,
+                    Some(prev) => dtype::unify(prev, t),
+                });
+            }
+        }
+        let name = name.into();
+        match ty {
+            None => {
+                // All NULL: store as all-null text.
+                Self::text_opt(name, values.iter().map(|_| None::<&str>))
+            }
+            Some(DataType::Int) => {
+                let mut out = Vec::with_capacity(values.len());
+                let mut validity = Vec::with_capacity(values.len());
+                let mut any_null = false;
+                for v in values {
+                    match v {
+                        Value::Int(i) => {
+                            out.push(*i);
+                            validity.push(true);
+                        }
+                        _ => {
+                            out.push(0);
+                            validity.push(false);
+                            any_null = true;
+                        }
+                    }
+                }
+                Self::new(
+                    name,
+                    ColumnData::Int { values: out, validity: any_null.then_some(validity) },
+                )
+            }
+            Some(DataType::Float) => {
+                let mut out = Vec::with_capacity(values.len());
+                let mut validity = Vec::with_capacity(values.len());
+                let mut any_null = false;
+                for v in values {
+                    match v {
+                        Value::Int(i) => {
+                            out.push(*i as f64);
+                            validity.push(true);
+                        }
+                        Value::Float(x) => {
+                            out.push(*x);
+                            validity.push(true);
+                        }
+                        _ => {
+                            out.push(0.0);
+                            validity.push(false);
+                            any_null = true;
+                        }
+                    }
+                }
+                Self::new(
+                    name,
+                    ColumnData::Float { values: out, validity: any_null.then_some(validity) },
+                )
+            }
+            Some(DataType::Bool) => {
+                let mut out = Vec::with_capacity(values.len());
+                let mut validity = Vec::with_capacity(values.len());
+                let mut any_null = false;
+                for v in values {
+                    match v {
+                        Value::Bool(b) => {
+                            out.push(*b);
+                            validity.push(true);
+                        }
+                        _ => {
+                            out.push(false);
+                            validity.push(false);
+                            any_null = true;
+                        }
+                    }
+                }
+                Self::new(
+                    name,
+                    ColumnData::Bool { values: out, validity: any_null.then_some(validity) },
+                )
+            }
+            Some(DataType::Text) => Self::text_opt(
+                name,
+                values.iter().map(|v| {
+                    if v.is_null() {
+                        None
+                    } else {
+                        Some(v.to_string())
+                    }
+                }),
+            ),
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename, returning the column (builder style).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Physical storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Data type.
+    pub fn dtype(&self) -> DataType {
+        match &self.data {
+            ColumnData::Bool { .. } => DataType::Bool,
+            ColumnData::Int { .. } => DataType::Int,
+            ColumnData::Float { .. } => DataType::Float,
+            ColumnData::Text(_) => DataType::Text,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Bool { values, .. } => values.len(),
+            ColumnData::Int { values, .. } => values.len(),
+            ColumnData::Float { values, .. } => values.len(),
+            ColumnData::Text(t) => t.len(),
+        }
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Bool { validity, .. }
+            | ColumnData::Int { validity, .. }
+            | ColumnData::Float { validity, .. } => validity
+                .as_ref()
+                .map(|v| v.iter().filter(|&&ok| !ok).count())
+                .unwrap_or(0),
+            ColumnData::Text(t) => t.null_count(),
+        }
+    }
+
+    /// Cell at `row` as a borrowed value. Panics if out of range (like
+    /// slice indexing); use [`Column::len`] to guard.
+    pub fn get(&self, row: usize) -> ValueRef<'_> {
+        match &self.data {
+            ColumnData::Bool { values, validity } => {
+                if valid(validity, row) {
+                    ValueRef::Bool(values[row])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            ColumnData::Int { values, validity } => {
+                if valid(validity, row) {
+                    ValueRef::Int(values[row])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            ColumnData::Float { values, validity } => {
+                if valid(validity, row) {
+                    ValueRef::Float(values[row])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            ColumnData::Text(t) => match t.get(row) {
+                Some(s) => ValueRef::Text(s),
+                None => ValueRef::Null,
+            },
+        }
+    }
+
+    /// Iterate all cells.
+    pub fn iter(&self) -> impl Iterator<Item = ValueRef<'_>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Distinct non-null values rendered to strings, with multiplicities.
+    ///
+    /// For text columns this is a cheap view of the dictionary; for other
+    /// types it is computed with one hashing pass. This is the input the
+    /// embedding and profiling layers consume.
+    pub fn value_counts(&self) -> Vec<(String, u32)> {
+        match &self.data {
+            ColumnData::Text(t) => t
+                .dict
+                .iter()
+                .zip(t.counts.iter())
+                .map(|(s, &c)| (s.clone(), c))
+                .collect(),
+            _ => {
+                let mut map: FxHashMap<String, u32> = FxHashMap::default();
+                let mut order: Vec<String> = Vec::new();
+                for v in self.iter() {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let s = v.to_string();
+                    match map.get_mut(&s) {
+                        Some(c) => *c += 1,
+                        None => {
+                            map.insert(s.clone(), 1);
+                            order.push(s);
+                        }
+                    }
+                }
+                order.into_iter().map(|s| {
+                    let c = map[&s];
+                    (s, c)
+                }).collect()
+            }
+        }
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Text(t) => t.distinct_count(),
+            _ => self.value_counts().len(),
+        }
+    }
+
+    /// Select rows by index (allows repeats); reinterns text dictionaries.
+    pub fn take(&self, idx: &[usize]) -> Column {
+        let data = match &self.data {
+            ColumnData::Bool { values, validity } => ColumnData::Bool {
+                values: idx.iter().map(|&i| values[i]).collect(),
+                validity: take_validity(validity, idx),
+            },
+            ColumnData::Int { values, validity } => ColumnData::Int {
+                values: idx.iter().map(|&i| values[i]).collect(),
+                validity: take_validity(validity, idx),
+            },
+            ColumnData::Float { values, validity } => ColumnData::Float {
+                values: idx.iter().map(|&i| values[i]).collect(),
+                validity: take_validity(validity, idx),
+            },
+            ColumnData::Text(t) => ColumnData::Text(t.take(idx)),
+        };
+        Column { name: self.name.clone(), data }
+    }
+
+    /// First `n` rows (fewer if the column is shorter).
+    pub fn head(&self, n: usize) -> Column {
+        let n = n.min(self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx)
+    }
+
+    /// Approximate in-memory footprint in bytes; this is also what the
+    /// simulated CDW bills for when the column is scanned.
+    pub fn approx_bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::Bool { values, .. } => values.len(),
+            ColumnData::Int { values, .. } => values.len() * 8,
+            ColumnData::Float { values, .. } => values.len() * 8,
+            ColumnData::Text(t) => {
+                t.codes.len() * 4 + t.dict.iter().map(|s| s.len() + 8).sum::<usize>()
+            }
+        }
+    }
+
+    /// Encode to the wire format used by the simulated CDW and by index
+    /// persistence.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_str(buf, &self.name);
+        codec::put_u8(buf, self.dtype().tag());
+        match &self.data {
+            ColumnData::Bool { values, validity } => {
+                codec::put_len(buf, values.len());
+                for &b in values {
+                    codec::put_u8(buf, u8::from(b));
+                }
+                encode_validity(buf, validity);
+            }
+            ColumnData::Int { values, validity } => {
+                codec::put_len(buf, values.len());
+                for &i in values {
+                    codec::put_i64(buf, i);
+                }
+                encode_validity(buf, validity);
+            }
+            ColumnData::Float { values, validity } => {
+                codec::put_len(buf, values.len());
+                for &x in values {
+                    codec::put_f64(buf, x);
+                }
+                encode_validity(buf, validity);
+            }
+            ColumnData::Text(t) => {
+                codec::put_len(buf, t.dict.len());
+                for s in &t.dict {
+                    codec::put_str(buf, s);
+                }
+                codec::put_u32_slice(buf, &t.counts);
+                codec::put_u32_slice(buf, &t.codes);
+            }
+        }
+    }
+
+    /// Decode the wire format. Inverse of [`Column::encode`].
+    pub fn decode(buf: &mut &[u8]) -> CodecResult<Column> {
+        let name = codec::get_str(buf)?;
+        let tag = codec::get_u8(buf)?;
+        let dt = DataType::from_tag(tag)
+            .ok_or_else(|| CodecError::Invalid(format!("bad dtype tag {tag}")))?;
+        let data = match dt {
+            DataType::Bool => {
+                let len = codec::get_len(buf)?;
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(codec::get_u8(buf)? != 0);
+                }
+                ColumnData::Bool { values, validity: decode_validity(buf)? }
+            }
+            DataType::Int => {
+                let len = codec::get_len(buf)?;
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(codec::get_i64(buf)?);
+                }
+                ColumnData::Int { values, validity: decode_validity(buf)? }
+            }
+            DataType::Float => {
+                let len = codec::get_len(buf)?;
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(codec::get_f64(buf)?);
+                }
+                ColumnData::Float { values, validity: decode_validity(buf)? }
+            }
+            DataType::Text => {
+                let dict_len = codec::get_len(buf)?;
+                let mut dict = Vec::with_capacity(dict_len);
+                for _ in 0..dict_len {
+                    dict.push(codec::get_str(buf)?);
+                }
+                let counts = codec::get_u32_vec(buf)?;
+                let codes = codec::get_u32_vec(buf)?;
+                if counts.len() != dict.len() {
+                    return Err(CodecError::Invalid("counts/dict length mismatch".into()));
+                }
+                for &c in &codes {
+                    if c != NULL_CODE && c as usize >= dict.len() {
+                        return Err(CodecError::Invalid(format!("code {c} out of range")));
+                    }
+                }
+                ColumnData::Text(TextColumn { dict, counts, codes })
+            }
+        };
+        Ok(Column { name, data })
+    }
+
+    /// Validate internal consistency; used by tests and after decoding
+    /// untrusted bytes.
+    pub fn check(&self) -> StoreResult<()> {
+        if let ColumnData::Text(t) = &self.data {
+            if t.counts.len() != t.dict.len() {
+                return Err(StoreError::Schema("dict/counts length mismatch".into()));
+            }
+            let recount: u32 = t.counts.iter().sum();
+            let nonnull = t.codes.iter().filter(|&&c| c != NULL_CODE).count() as u32;
+            if recount != nonnull {
+                return Err(StoreError::Schema("dict counts disagree with codes".into()));
+            }
+        }
+        if let ColumnData::Int { values, validity: Some(v) } = &self.data {
+            if values.len() != v.len() {
+                return Err(StoreError::Schema("validity length mismatch".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn valid(validity: &Option<Vec<bool>>, row: usize) -> bool {
+    validity.as_ref().map(|v| v[row]).unwrap_or(true)
+}
+
+fn take_validity(validity: &Option<Vec<bool>>, idx: &[usize]) -> Option<Vec<bool>> {
+    validity.as_ref().map(|v| idx.iter().map(|&i| v[i]).collect())
+}
+
+fn encode_validity(buf: &mut Vec<u8>, validity: &Option<Vec<bool>>) {
+    match validity {
+        None => codec::put_u8(buf, 0),
+        Some(v) => {
+            codec::put_u8(buf, 1);
+            codec::put_len(buf, v.len());
+            for &b in v {
+                codec::put_u8(buf, u8::from(b));
+            }
+        }
+    }
+}
+
+fn decode_validity(buf: &mut &[u8]) -> CodecResult<Option<Vec<bool>>> {
+    match codec::get_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let len = codec::get_len(buf)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(codec::get_u8(buf)? != 0);
+            }
+            Ok(Some(v))
+        }
+        other => Err(CodecError::Invalid(format!("bad validity tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_column_interns() {
+        let c = Column::text("city", ["NYC", "SF", "NYC", "NYC"]);
+        let ColumnData::Text(t) = c.data() else { panic!("expected text") };
+        assert_eq!(t.dict(), &["NYC".to_string(), "SF".to_string()]);
+        assert_eq!(t.dict_counts(), &[3, 1]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.distinct_count(), 2);
+        assert_eq!(c.get(1), ValueRef::Text("SF"));
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn nullable_text() {
+        let c = Column::text_opt("x", [Some("a"), None, Some("a")]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(1), ValueRef::Null);
+        assert_eq!(c.distinct_count(), 1);
+    }
+
+    #[test]
+    fn from_values_infers_int() {
+        let c = Column::from_values("n", &[Value::Int(1), Value::Null, Value::Int(3)]);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(2), ValueRef::Int(3));
+    }
+
+    #[test]
+    fn from_values_widens_to_float() {
+        let c = Column::from_values("n", &[Value::Int(1), Value::Float(2.5)]);
+        assert_eq!(c.dtype(), DataType::Float);
+        assert_eq!(c.get(0), ValueRef::Float(1.0));
+    }
+
+    #[test]
+    fn from_values_mixed_falls_back_to_text() {
+        let c = Column::from_values("n", &[Value::Int(1), Value::Text("x".into())]);
+        assert_eq!(c.dtype(), DataType::Text);
+        assert_eq!(c.get(0), ValueRef::Text("1"));
+    }
+
+    #[test]
+    fn from_values_all_null() {
+        let c = Column::from_values("n", &[Value::Null, Value::Null]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn value_counts_for_numeric() {
+        let c = Column::ints("n", vec![3, 1, 3, 3]);
+        let vc = c.value_counts();
+        assert_eq!(vc, vec![("3".to_string(), 3), ("1".to_string(), 1)]);
+    }
+
+    #[test]
+    fn take_reinterns_dictionary() {
+        let c = Column::text("x", ["a", "b", "c", "a"]);
+        let s = c.take(&[0, 3]);
+        let ColumnData::Text(t) = s.data() else { panic!() };
+        assert_eq!(t.dict(), &["a".to_string()]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn head_limits() {
+        let c = Column::ints("n", (0..10).collect());
+        assert_eq!(c.head(3).len(), 3);
+        assert_eq!(c.head(100).len(), 10);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_types() {
+        let cols = vec![
+            Column::text_opt("t", [Some("x"), None, Some("y")]),
+            Column::ints("i", vec![1, -2, 3]),
+            Column::from_values("f", &[Value::Float(0.5), Value::Null]),
+            Column::bools("b", vec![true, false]),
+        ];
+        for c in cols {
+            let mut buf = Vec::new();
+            c.encode(&mut buf);
+            let mut r = &buf[..];
+            let d = Column::decode(&mut r).unwrap();
+            assert_eq!(d, c);
+            assert!(r.is_empty());
+            d.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_code() {
+        let c = Column::text("t", ["a"]);
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        // Corrupt the last 4 bytes (the single code) to a huge value.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&7u32.to_le_bytes());
+        let mut r = &buf[..];
+        assert!(Column::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_rows() {
+        let small = Column::ints("n", (0..10).collect());
+        let big = Column::ints("n", (0..1000).collect());
+        assert!(big.approx_bytes() > small.approx_bytes() * 50);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for store operations.
+
+use wg_util::codec::CodecError;
+
+/// Errors from catalog lookups, CSV parsing, joins and CDW scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A database, table or column was not found.
+    NotFound(String),
+    /// CSV input violated the expected structure.
+    Csv { line: usize, message: String },
+    /// Columns of mismatched lengths, duplicate names, etc.
+    Schema(String),
+    /// A join was requested on incompatible or missing keys.
+    Join(String),
+    /// A wire frame or persisted artifact failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(what) => write!(f, "not found: {what}"),
+            StoreError::Csv { line, message } => {
+                write!(f, "CSV error at line {line}: {message}")
+            }
+            StoreError::Schema(msg) => write!(f, "schema error: {msg}"),
+            StoreError::Join(msg) => write!(f, "join error: {msg}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StoreError::NotFound("db.t.c".into()).to_string(),
+            "not found: db.t.c"
+        );
+        assert!(StoreError::Csv { line: 3, message: "unterminated quote".into() }
+            .to_string()
+            .contains("line 3"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: StoreError = CodecError::UnexpectedEof.into();
+        assert!(matches!(e, StoreError::Codec(_)));
+    }
+}

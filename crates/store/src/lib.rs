@@ -1,0 +1,40 @@
+//! In-memory column store and simulated cloud data warehouse.
+//!
+//! This crate is the data substrate WarpGate runs on. The paper's system
+//! pulls columns out of Snowflake-like cloud data warehouses (CDWs); we
+//! reproduce that environment with:
+//!
+//! * a typed, dictionary-encoding **column store** ([`column`], [`table`],
+//!   [`catalog`]) — the paper's §5.2.2 explicitly argues for in-memory
+//!   column stores for discovery workloads;
+//! * an RFC-4180 **CSV** reader/writer with type inference ([`csv`]);
+//! * **sampling** operators pushed into the scan ([`sample`]), the paper's
+//!   core cost-reduction lever (§3.1.3, §4.4);
+//! * a **join executor** ([`join`]) including the cardinality-preserving
+//!   lookup join that backs Sigma Workbooks' `Lookup` formula (§2.1), plus
+//!   the containment/Jaccard measures used for ground-truth labeling;
+//! * a simulated **CDW connector** ([`cdw`]) that serializes every scan
+//!   through a wire codec (real work proportional to bytes moved) and
+//!   meters requests, bytes scanned, virtual network latency and
+//!   usage-based dollar cost.
+
+pub mod catalog;
+pub mod cdw;
+pub mod column;
+pub mod csv;
+pub mod dtype;
+pub mod error;
+pub mod join;
+pub mod sample;
+pub mod table;
+pub mod value;
+
+pub use catalog::{ColumnRef, Database, Warehouse};
+pub use cdw::{CdwConfig, CdwConnector, CostSnapshot};
+pub use column::{Column, ColumnData, TextColumn};
+pub use dtype::DataType;
+pub use error::{StoreError, StoreResult};
+pub use join::{containment, jaccard, JoinType, KeyNorm};
+pub use sample::SampleSpec;
+pub use table::Table;
+pub use value::{Value, ValueRef};

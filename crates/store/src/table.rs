@@ -1,0 +1,245 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::Column;
+use crate::dtype::DataType;
+use crate::error::{StoreError, StoreResult};
+
+/// A named table of equal-length columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table, validating that all columns share one length and that
+    /// column names are unique.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> StoreResult<Self> {
+        let name = name.into();
+        if let Some(first) = columns.first() {
+            let len = first.len();
+            for c in &columns {
+                if c.len() != len {
+                    return Err(StoreError::Schema(format!(
+                        "column '{}' has {} rows, expected {}",
+                        c.name(),
+                        c.len(),
+                        len
+                    )));
+                }
+            }
+        }
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name() == b.name() {
+                    return Err(StoreError::Schema(format!(
+                        "duplicate column name '{}'",
+                        a.name()
+                    )));
+                }
+            }
+        }
+        Ok(Self { name, columns })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of rows (0 for a table with no columns).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> StoreResult<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| StoreError::NotFound(format!("column '{}' in table '{}'", name, self.name)))
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// `(name, dtype)` pairs in column order.
+    pub fn schema(&self) -> Vec<(String, DataType)> {
+        self.columns.iter().map(|c| (c.name().to_string(), c.dtype())).collect()
+    }
+
+    /// Select rows by index into a new table (indices may repeat).
+    pub fn take(&self, idx: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            columns: self.columns.iter().map(|c| c.take(idx)).collect(),
+        }
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.num_rows());
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx)
+    }
+
+    /// Append a column; must match the row count.
+    pub fn with_column(mut self, column: Column) -> StoreResult<Table> {
+        if !self.columns.is_empty() && column.len() != self.num_rows() {
+            return Err(StoreError::Schema(format!(
+                "column '{}' has {} rows, table has {}",
+                column.name(),
+                column.len(),
+                self.num_rows()
+            )));
+        }
+        if self.column_index(column.name()).is_some() {
+            return Err(StoreError::Schema(format!("duplicate column name '{}'", column.name())));
+        }
+        self.columns.push(column);
+        Ok(self)
+    }
+
+    /// Approximate in-memory footprint (sum of columns).
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
+    }
+
+    /// Render the first `max_rows` rows as an aligned text grid — the
+    /// "spreadsheet view" used by examples to show what a business user
+    /// would see in Sigma Workbooks.
+    pub fn render(&self, max_rows: usize) -> String {
+        let rows = self.num_rows().min(max_rows);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows + 1);
+        cells.push(self.columns.iter().map(|c| c.name().to_string()).collect());
+        for r in 0..rows {
+            cells.push(self.columns.iter().map(|c| c.get(r).to_string()).collect());
+        }
+        let ncols = self.columns.len();
+        let mut widths = vec![0usize; ncols];
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (ri, row) in cells.iter().enumerate() {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+            if ri == 0 {
+                for (i, w) in widths.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&"-".repeat(*w));
+                }
+                out.push('\n');
+            }
+        }
+        if self.num_rows() > rows {
+            out.push_str(&format!("… {} more rows\n", self.num_rows() - rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueRef;
+
+    fn t() -> Table {
+        Table::new(
+            "people",
+            vec![
+                Column::text("name", ["ada", "bob", "cyd"]),
+                Column::ints("age", vec![36, 41, 29]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = t();
+        assert_eq!(t.name(), "people");
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column("age").unwrap().get(1), ValueRef::Int(41));
+        assert!(t.column("missing").is_err());
+        assert_eq!(t.schema()[0].0, "name");
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let err = Table::new(
+            "bad",
+            vec![Column::ints("a", vec![1]), Column::ints("b", vec![1, 2])],
+        );
+        assert!(matches!(err, Err(StoreError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Table::new(
+            "bad",
+            vec![Column::ints("a", vec![1]), Column::ints("a", vec![2])],
+        );
+        assert!(matches!(err, Err(StoreError::Schema(_))));
+    }
+
+    #[test]
+    fn take_and_head() {
+        let t = t();
+        let h = t.head(2);
+        assert_eq!(h.num_rows(), 2);
+        let s = t.take(&[2, 0]);
+        assert_eq!(s.column("name").unwrap().get(0), ValueRef::Text("cyd"));
+    }
+
+    #[test]
+    fn with_column_validates() {
+        let t = t();
+        let ok = t.clone().with_column(Column::bools("ok", vec![true, false, true]));
+        assert!(ok.is_ok());
+        let bad_len = t.clone().with_column(Column::bools("ok", vec![true]));
+        assert!(bad_len.is_err());
+        let dup = t.with_column(Column::ints("age", vec![1, 2, 3]));
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let r = t().render(2);
+        assert!(r.contains("name"));
+        assert!(r.contains("ada"));
+        assert!(r.contains("… 1 more rows"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", vec![]).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.approx_bytes(), 0);
+    }
+}

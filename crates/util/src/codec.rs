@@ -1,0 +1,328 @@
+//! Length-prefixed binary encoding.
+//!
+//! The workspace deliberately ships no serde *format* crate, so persisted
+//! artifacts (LSH indexes, column wire frames in the simulated CDW protocol)
+//! use this small hand-rolled codec: little-endian fixed-width integers,
+//! IEEE-754 floats, and `u32`-length-prefixed byte strings. Every `put_*`
+//! has a matching `get_*`; decoding is bounds-checked and never panics on
+//! truncated or corrupt input.
+
+use bytes::{Buf, BufMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value could be read.
+    UnexpectedEof,
+    /// Structurally valid bytes with an invalid meaning (bad magic, bad
+    /// enum tag, non-UTF-8 string, implausible length).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Decoding result.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Maximum accepted length prefix (1 GiB): rejects absurd lengths from
+/// corrupt input before any allocation is attempted.
+const MAX_LEN: u32 = 1 << 30;
+
+#[inline]
+fn need(buf: &impl Buf, n: usize) -> CodecResult<()> {
+    if buf.remaining() < n {
+        Err(CodecError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+/// Write a `u8`.
+#[inline]
+pub fn put_u8(buf: &mut impl BufMut, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Read a `u8`.
+#[inline]
+pub fn get_u8(buf: &mut impl Buf) -> CodecResult<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+/// Write a `u32` (little-endian).
+#[inline]
+pub fn put_u32(buf: &mut impl BufMut, v: u32) {
+    buf.put_u32_le(v);
+}
+
+/// Read a `u32`.
+#[inline]
+pub fn get_u32(buf: &mut impl Buf) -> CodecResult<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+/// Write a `u64` (little-endian).
+#[inline]
+pub fn put_u64(buf: &mut impl BufMut, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Read a `u64`.
+#[inline]
+pub fn get_u64(buf: &mut impl Buf) -> CodecResult<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Write an `i64` (little-endian, two's complement).
+#[inline]
+pub fn put_i64(buf: &mut impl BufMut, v: i64) {
+    buf.put_i64_le(v);
+}
+
+/// Read an `i64`.
+#[inline]
+pub fn get_i64(buf: &mut impl Buf) -> CodecResult<i64> {
+    need(buf, 8)?;
+    Ok(buf.get_i64_le())
+}
+
+/// Write an `f32` (IEEE-754 bits, little-endian).
+#[inline]
+pub fn put_f32(buf: &mut impl BufMut, v: f32) {
+    buf.put_f32_le(v);
+}
+
+/// Read an `f32`.
+#[inline]
+pub fn get_f32(buf: &mut impl Buf) -> CodecResult<f32> {
+    need(buf, 4)?;
+    Ok(buf.get_f32_le())
+}
+
+/// Write an `f64`.
+#[inline]
+pub fn put_f64(buf: &mut impl BufMut, v: f64) {
+    buf.put_f64_le(v);
+}
+
+/// Read an `f64`.
+#[inline]
+pub fn get_f64(buf: &mut impl Buf) -> CodecResult<f64> {
+    need(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+/// Write a length prefix. Panics if `len` exceeds [`MAX_LEN`] — encoders
+/// control their own lengths, so this indicates a bug, not bad input.
+#[inline]
+pub fn put_len(buf: &mut impl BufMut, len: usize) {
+    assert!(len as u64 <= MAX_LEN as u64, "encoded length {len} exceeds limit");
+    buf.put_u32_le(len as u32);
+}
+
+/// Read a length prefix, rejecting implausible values.
+#[inline]
+pub fn get_len(buf: &mut impl Buf) -> CodecResult<usize> {
+    let len = get_u32(buf)?;
+    if len > MAX_LEN {
+        return Err(CodecError::Invalid(format!("length {len} exceeds limit")));
+    }
+    Ok(len as usize)
+}
+
+/// Write a byte string with a length prefix.
+pub fn put_bytes(buf: &mut impl BufMut, bytes: &[u8]) {
+    put_len(buf, bytes.len());
+    buf.put_slice(bytes);
+}
+
+/// Read a length-prefixed byte string.
+pub fn get_bytes(buf: &mut impl Buf) -> CodecResult<Vec<u8>> {
+    let len = get_len(buf)?;
+    need(buf, len)?;
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Write a UTF-8 string with a length prefix.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> CodecResult<String> {
+    let bytes = get_bytes(buf)?;
+    String::from_utf8(bytes).map_err(|_| CodecError::Invalid("non-UTF-8 string".into()))
+}
+
+/// Write a `Vec<f32>` with a length prefix.
+pub fn put_f32_slice(buf: &mut impl BufMut, xs: &[f32]) {
+    put_len(buf, xs.len());
+    for &x in xs {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Read a length-prefixed `Vec<f32>`.
+pub fn get_f32_vec(buf: &mut impl Buf) -> CodecResult<Vec<f32>> {
+    let len = get_len(buf)?;
+    need(buf, len.checked_mul(4).ok_or(CodecError::UnexpectedEof)?)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Write a `&[u64]` with a length prefix.
+pub fn put_u64_slice(buf: &mut impl BufMut, xs: &[u64]) {
+    put_len(buf, xs.len());
+    for &x in xs {
+        buf.put_u64_le(x);
+    }
+}
+
+/// Read a length-prefixed `Vec<u64>`.
+pub fn get_u64_vec(buf: &mut impl Buf) -> CodecResult<Vec<u64>> {
+    let len = get_len(buf)?;
+    need(buf, len.checked_mul(8).ok_or(CodecError::UnexpectedEof)?)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u64_le());
+    }
+    Ok(out)
+}
+
+/// Write a `&[u32]` with a length prefix.
+pub fn put_u32_slice(buf: &mut impl BufMut, xs: &[u32]) {
+    put_len(buf, xs.len());
+    for &x in xs {
+        buf.put_u32_le(x);
+    }
+}
+
+/// Read a length-prefixed `Vec<u32>`.
+pub fn get_u32_vec(buf: &mut impl Buf) -> CodecResult<Vec<u32>> {
+    let len = get_len(buf)?;
+    need(buf, len.checked_mul(4).ok_or(CodecError::UnexpectedEof)?)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u32_le());
+    }
+    Ok(out)
+}
+
+/// Write a 4-byte magic plus a format version.
+pub fn put_header(buf: &mut impl BufMut, magic: [u8; 4], version: u32) {
+    buf.put_slice(&magic);
+    buf.put_u32_le(version);
+}
+
+/// Read and validate a 4-byte magic plus version; returns the version.
+pub fn get_header(buf: &mut impl Buf, magic: [u8; 4]) -> CodecResult<u32> {
+    need(buf, 8)?;
+    let mut got = [0u8; 4];
+    buf.copy_to_slice(&mut got);
+    if got != magic {
+        return Err(CodecError::Invalid(format!(
+            "bad magic {:?}, expected {:?}",
+            got, magic
+        )));
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX);
+        put_i64(&mut buf, -42);
+        put_f32(&mut buf, 1.5);
+        put_f64(&mut buf, -2.25);
+        let mut r = &buf[..];
+        assert_eq!(get_u8(&mut r).unwrap(), 7);
+        assert_eq!(get_u32(&mut r).unwrap(), 0xdead_beef);
+        assert_eq!(get_u64(&mut r).unwrap(), u64::MAX);
+        assert_eq!(get_i64(&mut r).unwrap(), -42);
+        assert_eq!(get_f32(&mut r).unwrap(), 1.5);
+        assert_eq!(get_f64(&mut r).unwrap(), -2.25);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "héllo, wörld");
+        put_str(&mut buf, "");
+        let mut r = &buf[..];
+        assert_eq!(get_str(&mut r).unwrap(), "héllo, wörld");
+        assert_eq!(get_str(&mut r).unwrap(), "");
+    }
+
+    #[test]
+    fn slice_roundtrips() {
+        let mut buf = Vec::new();
+        put_f32_slice(&mut buf, &[1.0, -2.0, 3.5]);
+        put_u64_slice(&mut buf, &[1, 2, 3]);
+        put_u32_slice(&mut buf, &[9, 8]);
+        let mut r = &buf[..];
+        assert_eq!(get_f32_vec(&mut r).unwrap(), vec![1.0, -2.0, 3.5]);
+        assert_eq!(get_u64_vec(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(get_u32_vec(&mut r).unwrap(), vec![9, 8]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        let mut r = &buf[..buf.len() - 1];
+        assert_eq!(get_str(&mut r), Err(CodecError::UnexpectedEof));
+        let mut empty: &[u8] = &[];
+        assert_eq!(get_u64(&mut empty), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = &buf[..];
+        assert!(matches!(get_len(&mut r), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn header_roundtrip_and_mismatch() {
+        let mut buf = Vec::new();
+        put_header(&mut buf, *b"WGIX", 3);
+        let mut r = &buf[..];
+        assert_eq!(get_header(&mut r, *b"WGIX").unwrap(), 3);
+        let mut r = &buf[..];
+        assert!(matches!(get_header(&mut r, *b"NOPE"), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut r = &buf[..];
+        assert!(matches!(get_str(&mut r), Err(CodecError::Invalid(_))));
+    }
+}

@@ -1,0 +1,189 @@
+//! Stable and fast hashing.
+//!
+//! Two distinct needs are served here:
+//!
+//! * **Stability** — embedding vectors, LSH hyperplanes and synthetic corpora
+//!   are all derived from hashes of strings. Those hashes must never change
+//!   across Rust versions or platforms, so we implement FNV-1a with a
+//!   SplitMix64 finalizer ourselves instead of relying on
+//!   [`std::hash::DefaultHasher`] (whose algorithm is unspecified).
+//! * **Speed** — hot in-memory maps (token caches, LSH buckets) do not need
+//!   HashDoS resistance; [`FxHasher`] is a port of the `rustc-hash`
+//!   multiply-xor hasher which is much faster than SipHash for short keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable FNV-1a hash of a byte slice, passed through a SplitMix64 finalizer
+/// so that the high bits are as well-mixed as the low bits (plain FNV has
+/// weak avalanche behaviour in the upper bits, which matters because the LSH
+/// banding code slices hashes into bit groups).
+#[inline]
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    mix64(h)
+}
+
+/// Stable hash of a string slice. Convenience wrapper over [`stable_hash64`].
+#[inline]
+pub fn stable_hash_str(s: &str) -> u64 {
+    stable_hash64(s.as_bytes())
+}
+
+/// Combine two 64-bit hashes into one, order-sensitively.
+#[inline]
+pub fn combine64(a: u64, b: u64) -> u64 {
+    // Boost-style combiner adapted to 64 bits, then finalized.
+    mix64(a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(a << 6).wrapping_add(a >> 2))
+}
+
+/// SplitMix64 finalizer: a cheap bijective mixer with good avalanche.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `rustc-hash`-style multiply-xor hasher. Not HashDoS resistant; use only
+/// for in-process maps whose keys are not attacker controlled.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Finalize so that the low bits (used by HashMap bucketing) depend on
+        // every input bit.
+        mix64(self.hash)
+    }
+}
+
+/// `HashMap` keyed with the fast [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the fast [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Create an empty [`FxHashMap`].
+#[inline]
+pub fn fx_hash_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+/// Create an empty [`FxHashSet`].
+#[inline]
+pub fn fx_hash_set<T>() -> FxHashSet<T> {
+    FxHashSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_is_stable() {
+        // Golden values: these must never change, or every persisted index
+        // and generated corpus changes under users' feet.
+        assert_eq!(stable_hash_str(""), mix64(FNV_OFFSET));
+        let a = stable_hash_str("warpgate");
+        let b = stable_hash_str("warpgate");
+        assert_eq!(a, b);
+        assert_ne!(stable_hash_str("warpgate"), stable_hash_str("warpgatf"));
+    }
+
+    #[test]
+    fn stable_hash_differs_on_prefix() {
+        assert_ne!(stable_hash_str("abc"), stable_hash_str("abcd"));
+        assert_ne!(stable_hash64(b"\x00"), stable_hash64(b"\x00\x00"));
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Spot check: distinct inputs map to distinct outputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = stable_hash_str("left");
+        let b = stable_hash_str("right");
+        assert_ne!(combine64(a, b), combine64(b, a));
+    }
+
+    #[test]
+    fn fx_hasher_handles_all_lengths() {
+        for len in 0..32 {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h1 = FxHasher::default();
+            h1.write(&bytes);
+            let mut h2 = FxHasher::default();
+            h2.write(&bytes);
+            assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+
+    #[test]
+    fn fx_map_works_as_map() {
+        let mut m: FxHashMap<String, u32> = fx_hash_map();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

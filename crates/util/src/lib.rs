@@ -1,0 +1,24 @@
+//! Shared low-level utilities for the WarpGate workspace.
+//!
+//! Everything in this crate is deterministic and dependency-free so that the
+//! embedding models, corpus generators and LSH indexes built on top of it are
+//! bit-reproducible across runs and platforms:
+//!
+//! * [`hash`] — stable 64-bit hashing (FNV-1a plus a SplitMix64 finalizer)
+//!   and a fast `FxHash`-style hasher for in-memory maps.
+//! * [`rng`] — seedable [`SplitMix64`](rng::SplitMix64) and
+//!   [`Xoshiro256pp`](rng::Xoshiro256pp) generators with uniform, range and
+//!   Gaussian sampling.
+//! * [`topk`] — a bounded max-result heap for top-k selection.
+//! * [`timing`] — tiny wall-clock timers and summary statistics used by the
+//!   evaluation harness.
+
+pub mod codec;
+pub mod hash;
+pub mod rng;
+pub mod timing;
+pub mod topk;
+
+pub use hash::{fx_hash_map, fx_hash_set, stable_hash64, stable_hash_str, FxHashMap, FxHashSet};
+pub use rng::{SplitMix64, Xoshiro256pp};
+pub use topk::TopK;

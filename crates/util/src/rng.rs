@@ -1,0 +1,306 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The embedding models derive token vectors by seeding a generator with the
+//! token's stable hash; the corpus generators derive whole warehouses from a
+//! single seed. Both require generators whose output is fixed forever, which
+//! rules out `rand`'s `StdRng` (explicitly documented as unstable across
+//! versions). We implement two tiny, well-known generators:
+//!
+//! * [`SplitMix64`] — one multiplication + shifts per value; perfect for
+//!   "stream a few hundred values from this hash" (token vectors, LSH
+//!   hyperplanes).
+//! * [`Xoshiro256pp`] — a higher-quality generator for the corpus machinery,
+//!   seeded via SplitMix64 as its authors recommend.
+
+/// SplitMix64: minimal, fast, full-period 2^64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Every distinct seed yields an
+    /// independent-looking stream.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256++: the general-purpose generator used for corpus synthesis.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64 (the initialization recommended by the xoshiro
+    /// authors; avoids the all-zero state).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Derive an independent child generator; used to give each table /
+    /// column its own stream so that adding a column never perturbs the data
+    /// generated for its neighbours.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let mixed = crate::hash::combine64(self.next_u64(), tag);
+        Self::new(mixed)
+    }
+}
+
+/// Common sampling operations shared by both generators.
+pub trait Rng64 {
+    /// Next raw 64-bit value.
+    fn gen_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    fn gen_f32(&mut self) -> f32 {
+        (self.gen_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased and only one
+    /// multiplication in the common case.
+    #[inline]
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "gen_range bound must be non-zero");
+        let mut x = self.gen_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.gen_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    #[inline]
+    fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_range(len as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Standard normal deviate via the Box–Muller transform (the sine branch
+    /// is discarded — simplicity over throughput; this is not on the query
+    /// hot path).
+    #[inline]
+    fn gen_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.gen_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal deviate with the given parameters of the underlying normal.
+    #[inline]
+    fn gen_log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gen_gaussian()).exp()
+    }
+
+    /// Zipf-like rank sampler over `[0, n)` with exponent `s` (rejection-free
+    /// approximation via inverse CDF of the continuous analogue). Used to
+    /// give generated categorical columns realistic skew.
+    fn gen_zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        if s <= 0.0 {
+            return self.gen_index(n);
+        }
+        let u = self.gen_f64();
+        if (s - 1.0).abs() < 1e-9 {
+            // H(x) = ln(x+1); inverse: exp(u * ln(n+1)) - 1
+            let x = ((n as f64 + 1.0).ln() * u).exp() - 1.0;
+            (x as usize).min(n - 1)
+        } else {
+            // H(x) = ((x+1)^(1-s) - 1) / (1-s)
+            let one_minus = 1.0 - s;
+            let hmax = ((n as f64 + 1.0).powf(one_minus) - 1.0) / one_minus;
+            let x = (one_minus * u * hmax + 1.0).powf(1.0 / one_minus) - 1.0;
+            (x as usize).min(n - 1)
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Choose one element of a non-empty slice.
+    fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.gen_index(xs.len())]
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k <= n), in random order.
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        debug_assert!(k <= n);
+        // Partial Fisher–Yates over an index vector; O(n) setup is fine for
+        // corpus-generation use.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.gen_index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    #[inline]
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+impl Rng64 for Xoshiro256pp {
+    #[inline]
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_golden_values() {
+        // Reference values from the public SplitMix64 implementation with
+        // seed 1234567.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Xoshiro256pp::new(42);
+        let mut b = Xoshiro256pp::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Xoshiro256pp::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut r = Xoshiro256pp::new(11);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = r.gen_gaussian();
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = Xoshiro256pp::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_zipf(10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "head {} tail {}", counts[0], counts[9]);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xoshiro256pp::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Xoshiro256pp::new(3);
+        let s = r.sample_indices(50, 20);
+        assert_eq!(s.len(), 20);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut root = Xoshiro256pp::new(1);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,100 @@
+//! # WarpGate — semantic join discovery for cloud data warehouses
+//!
+//! A from-scratch Rust reproduction of *"WarpGate: A Semantic Join
+//! Discovery System for Cloud Data Warehouses"* (CIDR 2023). This facade
+//! crate re-exports the whole workspace behind one dependency:
+//!
+//! ```
+//! use warpgate::prelude::*;
+//!
+//! // A tiny warehouse with two joinable columns in different formats.
+//! let mut warehouse = Warehouse::new("demo");
+//! warehouse.database_mut("crm").add_table(
+//!     Table::new(
+//!         "accounts",
+//!         vec![Column::text(
+//!             "name",
+//!             ["Acme Corp", "Globex Inc", "Initech LLC", "Hooli Co", "Stark Industries"],
+//!         )],
+//!     )
+//!     .unwrap(),
+//! );
+//! warehouse.database_mut("finance").add_table(
+//!     Table::new(
+//!         "industries",
+//!         vec![
+//!             Column::text(
+//!                 "company",
+//!                 ["ACME CORP", "GLOBEX INC", "INITECH LLC", "HOOLI CO", "STARK INDUSTRIES"],
+//!             ),
+//!             Column::text(
+//!                 "sector",
+//!                 ["Manufacturing", "Energy", "Software", "Media", "Biotech"],
+//!             ),
+//!         ],
+//!     )
+//!     .unwrap(),
+//! );
+//!
+//! // Connect, index, discover.
+//! let connector = CdwConnector::with_defaults(warehouse);
+//! let wg = WarpGate::new(WarpGateConfig::default());
+//! wg.index_warehouse(&connector).unwrap();
+//! let query = ColumnRef::new("crm", "accounts", "name");
+//! let discovery = wg.discover(&connector, &query, 3).unwrap();
+//! assert_eq!(discovery.candidates[0].reference.table, "industries");
+//! ```
+//!
+//! ## Workspace map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`warpgate_core`] | the WarpGate system (indexing + search pipelines) |
+//! | [`wg_store`] | column store, catalog, CSV, sampling, joins, simulated CDW |
+//! | [`wg_embed`] | hashed web-table embeddings, mini transformer, aggregation |
+//! | [`wg_lsh`] | SimHash & MinHash LSH indexes, exact search |
+//! | [`wg_profile`] | column profiles (MinHash, stats, formats, q-grams) |
+//! | [`wg_baselines`] | Aurum and D3L |
+//! | [`wg_corpora`] | NextiaJD / Spider / Sigma corpus generators + fleet model |
+//! | [`wg_eval`] | metrics, experiment runners, the `reproduce` binary |
+//! | [`wg_util`] | hashing, deterministic PRNG, top-k, timing, binary codec |
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use warpgate_core as core;
+pub use wg_baselines as baselines;
+pub use wg_corpora as corpora;
+pub use wg_embed as embed;
+pub use wg_eval as eval;
+pub use wg_lsh as lsh;
+pub use wg_profile as profile;
+pub use wg_store as store;
+pub use wg_util as util;
+
+/// The types most applications need, importable in one line.
+pub mod prelude {
+    pub use warpgate_core::{Discovery, JoinCandidate, QueryTiming, WarpGate, WarpGateConfig};
+    pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
+    pub use wg_store::{
+        CdwConfig, CdwConnector, Column, ColumnRef, Database, JoinType, KeyNorm, SampleSpec,
+        Table, Warehouse,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let mut warehouse = Warehouse::new("w");
+        warehouse
+            .database_mut("db")
+            .add_table(Table::new("t", vec![Column::text("c", ["x", "y"])]).unwrap());
+        let connector = CdwConnector::new(warehouse, CdwConfig::free());
+        let wg = WarpGate::new(WarpGateConfig::default());
+        let report = wg.index_warehouse(&connector).unwrap();
+        assert_eq!(report.columns_indexed, 1);
+    }
+}
