@@ -85,8 +85,7 @@ impl Aurum {
     pub fn build(connector: &CdwConnector, config: AurumConfig) -> StoreResult<Aurum> {
         assert!(config.minhash_k % config.bands == 0, "bands must divide minhash_k");
         let hasher = MinHasher::new(config.minhash_k, config.seed);
-        let refs: Vec<ColumnRef> =
-            connector.warehouse().iter_columns().map(|(r, _)| r).collect();
+        let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
 
         let mut profiles = Vec::with_capacity(refs.len());
         let mut id_of = FxHashMap::default();
@@ -109,8 +108,16 @@ impl Aurum {
                 }
                 let j = profile.content_similarity(&profiles[cand]);
                 if j >= config.content_threshold {
-                    adjacency[id].push(Edge { to: cand as u32, weight: j, kind: EdgeKind::Content });
-                    adjacency[cand].push(Edge { to: id as u32, weight: j, kind: EdgeKind::Content });
+                    adjacency[id].push(Edge {
+                        to: cand as u32,
+                        weight: j,
+                        kind: EdgeKind::Content,
+                    });
+                    adjacency[cand].push(Edge {
+                        to: id as u32,
+                        weight: j,
+                        kind: EdgeKind::Content,
+                    });
                 }
             }
         }
@@ -122,8 +129,16 @@ impl Aurum {
                 if s >= config.name_threshold {
                     let already = adjacency[id].iter().any(|e| e.to == other as u32);
                     if !already {
-                        adjacency[id].push(Edge { to: other as u32, weight: s, kind: EdgeKind::Schema });
-                        adjacency[other].push(Edge { to: id as u32, weight: s, kind: EdgeKind::Schema });
+                        adjacency[id].push(Edge {
+                            to: other as u32,
+                            weight: s,
+                            kind: EdgeKind::Schema,
+                        });
+                        adjacency[other].push(Edge {
+                            to: id as u32,
+                            weight: s,
+                            kind: EdgeKind::Schema,
+                        });
                     }
                 }
             }
@@ -228,7 +243,10 @@ mod tests {
             Table::new(
                 "users",
                 vec![
-                    Column::text("email", (0..50).map(|i| format!("user{i}@x.com")).collect::<Vec<_>>()),
+                    Column::text(
+                        "email",
+                        (0..50).map(|i| format!("user{i}@x.com")).collect::<Vec<_>>(),
+                    ),
                     Column::ints("age", (20..70).collect()),
                 ],
             )
@@ -238,14 +256,20 @@ mod tests {
             Table::new(
                 "contacts",
                 // High overlap with users.email.
-                vec![Column::text("email", (0..45).map(|i| format!("user{i}@x.com")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "email",
+                    (0..45).map(|i| format!("user{i}@x.com")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
         db.add_table(
             Table::new(
                 "products",
-                vec![Column::text("sku", (0..50).map(|i| format!("SKU-{i:04}")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "sku",
+                    (0..50).map(|i| format!("SKU-{i:04}")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
@@ -298,14 +322,20 @@ mod tests {
         db.add_table(
             Table::new(
                 "a",
-                vec![Column::text("name", (0..40).map(|i| format!("Company {i}")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "name",
+                    (0..40).map(|i| format!("Company {i}")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
         db.add_table(
             Table::new(
                 "b",
-                vec![Column::text("firm", (0..40).map(|i| format!("COMPANY {i} INC")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "firm",
+                    (0..40).map(|i| format!("COMPANY {i} INC")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
@@ -332,7 +362,10 @@ mod tests {
         db.add_table(
             Table::new(
                 "fact",
-                vec![Column::text("dim_ref", (0..10).map(|i| format!("id{i}")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "dim_ref",
+                    (0..10).map(|i| format!("id{i}")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
@@ -358,12 +391,8 @@ mod tests {
     fn name_edges_link_similar_names() {
         let mut w = Warehouse::new("w");
         let mut db = Database::new("db");
-        db.add_table(
-            Table::new("t1", vec![Column::text("customer_id", ["a", "b"])]).unwrap(),
-        );
-        db.add_table(
-            Table::new("t2", vec![Column::text("customer_id", ["zz", "qq"])]).unwrap(),
-        );
+        db.add_table(Table::new("t1", vec![Column::text("customer_id", ["a", "b"])]).unwrap());
+        db.add_table(Table::new("t2", vec![Column::text("customer_id", ["zz", "qq"])]).unwrap());
         w.add_database(db);
         let config = AurumConfig { name_threshold: 0.8, ..AurumConfig::default() };
         let aurum = Aurum::build(&CdwConnector::new(w, CdwConfig::free()), config).unwrap();
@@ -374,12 +403,14 @@ mod tests {
             let mut w = Warehouse::new("w");
             let mut db = Database::new("db");
             db.add_table(Table::new("t1", vec![Column::text("customer_id", ["a", "b"])]).unwrap());
-            db.add_table(Table::new("t2", vec![Column::text("customer_id", ["zz", "qq"])]).unwrap());
+            db.add_table(
+                Table::new("t2", vec![Column::text("customer_id", ["zz", "qq"])]).unwrap(),
+            );
             w.add_database(db);
             w
         };
-        let aurum =
-            Aurum::build(&CdwConnector::new(w2, CdwConfig::free()), AurumConfig::default()).unwrap();
+        let aurum = Aurum::build(&CdwConnector::new(w2, CdwConfig::free()), AurumConfig::default())
+            .unwrap();
         assert!(aurum.neighbors(&ColumnRef::new("db", "t1", "customer_id"), 5).unwrap().is_empty());
     }
 

@@ -132,8 +132,7 @@ impl D3l {
             config,
         };
 
-        let refs: Vec<ColumnRef> =
-            connector.warehouse().iter_columns().map(|(r, _)| r).collect();
+        let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
         for r in refs {
             let column = connector.scan_column(&r, config.sample)?;
             d3l.insert_column(r, &column);
@@ -240,8 +239,7 @@ impl D3l {
             if !q_profile.numeric.is_empty() && !candidate.numeric.is_empty() {
                 evidence.push(("numeric", q_profile.numeric.similarity(&candidate.numeric)));
             }
-            let score =
-                evidence.iter().map(|(_, s)| s).sum::<f64>() / evidence.len() as f64;
+            let score = evidence.iter().map(|(_, s)| s).sum::<f64>() / evidence.len() as f64;
             topk.push(score, id);
         }
         topk.into_sorted()
@@ -258,8 +256,7 @@ impl D3l {
                     ),
                 ];
                 if !q_profile.numeric.is_empty() && !candidate.numeric.is_empty() {
-                    evidence
-                        .push(("numeric", q_profile.numeric.similarity(&candidate.numeric)));
+                    evidence.push(("numeric", q_profile.numeric.similarity(&candidate.numeric)));
                 }
                 D3lHit { reference: candidate.reference.clone(), score, evidence }
             })
@@ -342,8 +339,7 @@ mod tests {
     fn finds_semantic_variant_via_ensemble() {
         let c = connector();
         let d3l = D3l::build(&c, D3lConfig::default()).unwrap();
-        let (hits, _) =
-            d3l.query(&c, &ColumnRef::new("db", "accounts", "company"), 3).unwrap();
+        let (hits, _) = d3l.query(&c, &ColumnRef::new("db", "accounts", "company"), 3).unwrap();
         assert!(!hits.is_empty());
         assert_eq!(
             hits[0].reference,
@@ -399,8 +395,7 @@ mod tests {
     fn scores_sorted_descending() {
         let c = connector();
         let d3l = D3l::build(&c, D3lConfig::default()).unwrap();
-        let (hits, _) =
-            d3l.query(&c, &ColumnRef::new("db", "accounts", "company"), 10).unwrap();
+        let (hits, _) = d3l.query(&c, &ColumnRef::new("db", "accounts", "company"), 10).unwrap();
         for w in hits.windows(2) {
             assert!(w[0].score >= w[1].score);
         }

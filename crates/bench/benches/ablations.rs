@@ -69,11 +69,9 @@ fn ablation_aggregation(c: &mut Criterion) {
     println!("\n[ablation] aggregation scheme (P@5/R@5):");
     let mut group = c.benchmark_group("ablation_aggregation/index");
     group.sample_size(10);
-    for agg in [
-        Aggregation::MeanDistinct,
-        Aggregation::FrequencyWeighted,
-        Aggregation::Sif { a: 0.05 },
-    ] {
+    for agg in
+        [Aggregation::MeanDistinct, Aggregation::FrequencyWeighted, Aggregation::Sif { a: 0.05 }]
+    {
         let wg = WarpGate::new(WarpGateConfig { aggregation: agg, ..Default::default() });
         wg.index_warehouse(&connector).unwrap();
         let (p, r) = pr_at_5(&corpus, &connector, &wg);

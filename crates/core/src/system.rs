@@ -6,9 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use wg_embed::{ColumnEmbedder, EmbeddingModel, WebTableConfig, WebTableModel};
 use wg_lsh::{LshParams, SearchOutcome, SimHashLshIndex};
-use wg_store::{
-    CdwConnector, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table,
-};
+use wg_store::{CdwConnector, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table};
 use wg_util::timing::Stopwatch;
 use wg_util::FxHashMap;
 
@@ -106,7 +104,7 @@ impl WarpGate {
         let mut index = SimHashLshIndex::new(
             config.dim,
             LshParams::for_threshold(config.lsh_threshold, config.lsh_bits),
-            config.seed ^ 0x1Db5,
+            config.seed ^ 0x1DB5,
         );
         index.set_probes(config.probes);
         Self {
@@ -141,20 +139,21 @@ impl WarpGate {
     /// embed → insert. Scanning and embedding fan out over worker threads;
     /// inserts funnel through the index lock.
     pub fn index_warehouse(&self, connector: &CdwConnector) -> StoreResult<IndexReport> {
-        let refs: Vec<ColumnRef> =
-            connector.warehouse().iter_columns().map(|(r, _)| r).collect();
+        let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
         self.index_refs(connector, refs)
     }
 
     /// Index (or refresh) a single table — the incremental path for CDWs
     /// with high update rates.
-    pub fn index_table(&self, connector: &CdwConnector, database: &str, table: &str) -> StoreResult<IndexReport> {
+    pub fn index_table(
+        &self,
+        connector: &CdwConnector,
+        database: &str,
+        table: &str,
+    ) -> StoreResult<IndexReport> {
         let t = connector.warehouse().table(database, table)?;
-        let refs: Vec<ColumnRef> = t
-            .columns()
-            .iter()
-            .map(|c| ColumnRef::new(database, table, c.name()))
-            .collect();
+        let refs: Vec<ColumnRef> =
+            t.columns().iter().map(|c| ColumnRef::new(database, table, c.name())).collect();
         self.index_refs(connector, refs)
     }
 
@@ -191,7 +190,11 @@ impl WarpGate {
         wg_embed::blend_context(&values, &ctx, beta)
     }
 
-    fn index_refs(&self, connector: &CdwConnector, refs: Vec<ColumnRef>) -> StoreResult<IndexReport> {
+    fn index_refs(
+        &self,
+        connector: &CdwConnector,
+        refs: Vec<ColumnRef>,
+    ) -> StoreResult<IndexReport> {
         let sw = Stopwatch::start();
         let cost_before = connector.costs();
         let threads = self.config.effective_threads().min(refs.len().max(1));
@@ -205,13 +208,21 @@ impl WarpGate {
 
         let (done_tx, done_rx) =
             crossbeam::channel::unbounded::<StoreResult<(ColumnRef, wg_embed::Vector)>>();
+        // Raised on the first scan/embed error so workers stop pulling work:
+        // without it, an early failure would still scan (and bill) every
+        // remaining column before the error could propagate.
+        let abort = std::sync::atomic::AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
+                let abort = &abort;
                 scope.spawn(move || {
                     for r in work_rx.iter() {
+                        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
                         let item = connector
                             .scan_column(&r, sample)
                             .map(|col| (r.clone(), self.embed_with_context(connector, &r, &col)));
@@ -226,7 +237,13 @@ impl WarpGate {
             let mut indexed = 0usize;
             let mut skipped = 0usize;
             for item in done_rx.iter() {
-                let (r, vector) = item?;
+                let (r, vector) = match item {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
                 if vector.is_zero() {
                     skipped += 1;
                     continue;
@@ -331,18 +348,14 @@ impl WarpGate {
                 // Tombstoned ids never match; the query column itself and
                 // (optionally) its table-mates are filtered out.
                 None => true,
-                Some(r) => {
-                    r == query || (exclude_same_table && r.same_table(query))
-                }
+                Some(r) => r == query || (exclude_same_table && r.same_table(query)),
             }
         });
         let lookup_secs = sw.elapsed_secs();
         let candidates = hits
             .into_iter()
             .filter_map(|(id, score)| {
-                registry
-                    .reference(id)
-                    .map(|r| JoinCandidate { reference: r.clone(), score })
+                registry.reference(id).map(|r| JoinCandidate { reference: r.clone(), score })
             })
             .collect();
         (candidates, outcome, lookup_secs)
@@ -392,9 +405,7 @@ impl WarpGate {
         Ok(self.embedder.embed_column(&ca).cosine(&self.embedder.embed_column(&cb)))
     }
 
-    pub(crate) fn snapshot_for_persist(
-        &self,
-    ) -> (Vec<u8>, Vec<(u32, ColumnRef)>) {
+    pub(crate) fn snapshot_for_persist(&self) -> (Vec<u8>, Vec<(u32, ColumnRef)>) {
         let mut index_bytes = Vec::new();
         self.index.read().encode(&mut index_bytes);
         let registry = self.registry.read();
@@ -453,7 +464,10 @@ mod tests {
             Table::new(
                 "account",
                 vec![
-                    Column::text("name", (0..80).map(|i| format!("Company {i}")).collect::<Vec<_>>()),
+                    Column::text(
+                        "name",
+                        (0..80).map(|i| format!("Company {i}")).collect::<Vec<_>>(),
+                    ),
                     Column::ints("employees", (0..80).map(|i| i * 10).collect()),
                 ],
             )
@@ -462,7 +476,10 @@ mod tests {
         sales.add_table(
             Table::new(
                 "lead",
-                vec![Column::text("company", (0..60).map(|i| format!("company {i}")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "company",
+                    (0..60).map(|i| format!("company {i}")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
@@ -471,8 +488,14 @@ mod tests {
             Table::new(
                 "industries",
                 vec![
-                    Column::text("company_name", (0..70).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>()),
-                    Column::text("sector", (0..70).map(|i| format!("Sector {}", i % 7)).collect::<Vec<_>>()),
+                    Column::text(
+                        "company_name",
+                        (0..70).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "sector",
+                        (0..70).map(|i| format!("Sector {}", i % 7)).collect::<Vec<_>>(),
+                    ),
                 ],
             )
             .unwrap(),
@@ -508,8 +531,7 @@ mod tests {
         let q = ColumnRef::new("salesforce", "account", "name");
         let d = wg.discover(&c, &q, 3).unwrap();
         assert!(!d.candidates.is_empty(), "no candidates found");
-        let refs: Vec<String> =
-            d.candidates.iter().map(|j| j.reference.to_string()).collect();
+        let refs: Vec<String> = d.candidates.iter().map(|j| j.reference.to_string()).collect();
         assert!(
             refs.contains(&"stocks.industries.company_name".to_string()),
             "cross-database variant missed: {refs:?}"
@@ -535,9 +557,7 @@ mod tests {
     #[test]
     fn timing_components_populated() {
         let (wg, c) = system();
-        let d = wg
-            .discover(&c, &ColumnRef::new("salesforce", "account", "name"), 3)
-            .unwrap();
+        let d = wg.discover(&c, &ColumnRef::new("salesforce", "account", "name"), 3).unwrap();
         assert!(d.timing.load_secs > 0.0);
         assert!(d.timing.embed_secs > 0.0);
         assert!(d.timing.lookup_secs > 0.0);
@@ -549,22 +569,17 @@ mod tests {
         let c = connector();
         let full = WarpGate::new(WarpGateConfig::full_scan());
         full.index_warehouse(&c).unwrap();
-        let sampled = WarpGate::new(WarpGateConfig::default().with_sample(
-            SampleSpec::DistinctReservoir { n: 10, seed: 7 },
-        ));
+        let sampled = WarpGate::new(
+            WarpGateConfig::default().with_sample(SampleSpec::DistinctReservoir { n: 10, seed: 7 }),
+        );
         sampled.index_warehouse(&c).unwrap();
         let q = ColumnRef::new("salesforce", "account", "name");
         // Both company-name variants are genuinely joinable; with a sample
         // of 10 values their ranks may swap (the paper reports ±1–2%
         // effectiveness variation). The sampled top hit must still be one
         // of the full-scan top hits.
-        let full_top: Vec<ColumnRef> = full
-            .discover(&c, &q, 2)
-            .unwrap()
-            .candidates
-            .into_iter()
-            .map(|j| j.reference)
-            .collect();
+        let full_top: Vec<ColumnRef> =
+            full.discover(&c, &q, 2).unwrap().candidates.into_iter().map(|j| j.reference).collect();
         let top_sampled = sampled.discover(&c, &q, 1).unwrap().candidates[0].reference.clone();
         assert!(
             full_top.contains(&top_sampled),
@@ -577,20 +592,14 @@ mod tests {
         let (wg, mut c) = system();
         let before = wg.len();
         c.warehouse_mut().database_mut("stocks").add_table(
-            Table::new(
-                "tickers",
-                vec![Column::text("symbol", ["AAPL", "MSFT", "GOOG"])],
-            )
-            .unwrap(),
+            Table::new("tickers", vec![Column::text("symbol", ["AAPL", "MSFT", "GOOG"])]).unwrap(),
         );
         wg.index_table(&c, "stocks", "tickers").unwrap();
         assert_eq!(wg.len(), before + 1);
         assert_eq!(wg.remove_table("stocks", "tickers"), 1);
         assert_eq!(wg.len(), before);
         // Removed table never comes back in results.
-        let d = wg
-            .discover(&c, &ColumnRef::new("salesforce", "account", "name"), 10)
-            .unwrap();
+        let d = wg.discover(&c, &ColumnRef::new("salesforce", "account", "name"), 10).unwrap();
         assert!(d.candidates.iter().all(|j| j.reference.table != "tickers"));
     }
 
@@ -602,7 +611,10 @@ mod tests {
         c.warehouse_mut().database_mut("salesforce").add_table(
             Table::new(
                 "lead",
-                vec![Column::text("company", (0..30).map(|i| format!("Fresh {i}")).collect::<Vec<_>>())],
+                vec![Column::text(
+                    "company",
+                    (0..30).map(|i| format!("Fresh {i}")).collect::<Vec<_>>(),
+                )],
             )
             .unwrap(),
         );
@@ -616,7 +628,10 @@ mod tests {
         let hits = wg.discover_values(&["Company 1", "Company 2", "Company 3"], 3);
         assert!(!hits.is_empty());
         // Should surface one of the company-name columns.
-        assert!(hits[0].reference.column.contains("name") || hits[0].reference.column.contains("company"));
+        assert!(
+            hits[0].reference.column.contains("name")
+                || hits[0].reference.column.contains("company")
+        );
     }
 
     #[test]

@@ -189,10 +189,7 @@ mod tests {
         let sampled = sample.active_sampling_cost_usd(1_000, &config);
         let full = sample.full_scan_cost_usd(&config);
         assert!(sampled > 0.0);
-        assert!(
-            full > sampled * 50.0,
-            "full ${full:.0} should dwarf sampled ${sampled:.2}"
-        );
+        assert!(full > sampled * 50.0, "full ${full:.0} should dwarf sampled ${sampled:.2}");
     }
 
     #[test]

@@ -68,12 +68,8 @@ impl GroundTruth {
 
     /// All queries that have at least one answer, sorted for determinism.
     pub fn queries(&self) -> Vec<ColumnRef> {
-        let mut qs: Vec<ColumnRef> = self
-            .answers
-            .iter()
-            .filter(|(_, a)| !a.is_empty())
-            .map(|(q, _)| q.clone())
-            .collect();
+        let mut qs: Vec<ColumnRef> =
+            self.answers.iter().filter(|(_, a)| !a.is_empty()).map(|(q, _)| q.clone()).collect();
         qs.sort();
         qs
     }

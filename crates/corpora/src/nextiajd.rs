@@ -192,11 +192,8 @@ pub fn build_testbed(spec: &TestbedSpec) -> Corpus {
             // index so zipf ranks agree between members.
             idx.sort_unstable();
 
-            let variant = if rng.gen_bool(0.5) {
-                *rng.choose(domain.variants())
-            } else {
-                Variant::Identity
-            };
+            let variant =
+                if rng.gen_bool(0.5) { *rng.choose(domain.variants()) } else { Variant::Identity };
             members.push(Member {
                 table,
                 name: member_name(domain, community, slot, &mut rng),
@@ -214,7 +211,8 @@ pub fn build_testbed(spec: &TestbedSpec) -> Corpus {
                 (0..spec.tables).filter(|&t| remaining[t] > 0 && !hosts.contains(&t)).collect();
             if let Some(&table) = candidates.get(neg % candidates.len().max(1)) {
                 remaining[table] -= 1;
-                let count = (hub_universe / 2).clamp(5, (rows_per_table[table] as f64 * 0.8) as usize);
+                let count =
+                    (hub_universe / 2).clamp(5, (rows_per_table[table] as f64 * 0.8) as usize);
                 let neg_base = base + 500_000 + neg as u64 * 10_000;
                 members.push(Member {
                     table,
@@ -238,10 +236,7 @@ pub fn build_testbed(spec: &TestbedSpec) -> Corpus {
     let keysets: Vec<FxHashSet<u64>> = members
         .iter()
         .map(|m| {
-            m.indices
-                .iter()
-                .map(|&i| alphanum_key(&m.variant.apply(&m.domain.value(i))))
-                .collect()
+            m.indices.iter().map(|&i| alphanum_key(&m.variant.apply(&m.domain.value(i)))).collect()
         })
         .collect();
     let mut by_community: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
@@ -366,7 +361,10 @@ fn filler_column(t: usize, s: usize, rows: usize, rng: &mut Xoshiro256pp) -> Col
         }
         1 => {
             // Integer id-ish.
-            Column::ints(format!("num_{t}_{s}"), (0..rows as i64).map(|i| i * 7 + t as i64).collect())
+            Column::ints(
+                format!("num_{t}_{s}"),
+                (0..rows as i64).map(|i| i * 7 + t as i64).collect(),
+            )
         }
         2 => {
             // Low-cardinality category.
@@ -380,8 +378,7 @@ fn filler_column(t: usize, s: usize, rows: usize, rng: &mut Xoshiro256pp) -> Col
             // Dates.
             let start = rng.gen_range(2_000);
             let span = 30 + rng.gen_range(700);
-            let universe: Vec<String> =
-                (0..span).map(|i| Domain::Date.value(start + i)).collect();
+            let universe: Vec<String> = (0..span).map(|i| Domain::Date.value(start + i)).collect();
             Column::text(format!("date_{t}_{s}"), fill_zipf(&universe, rows, rng))
         }
         _ => {
@@ -389,19 +386,15 @@ fn filler_column(t: usize, s: usize, rows: usize, rng: &mut Xoshiro256pp) -> Col
             let domain = *rng.choose(Domain::all());
             let base = 900_000_000 + (t as u64 * 10_000 + s as u64) * 1_000;
             let k = (20 + rng.gen_index(200)).min((rows as f64 * 0.8) as usize).max(5);
-            let universe: Vec<String> =
-                (0..k as u64).map(|i| domain.value(base + i)).collect();
+            let universe: Vec<String> = (0..k as u64).map(|i| domain.value(base + i)).collect();
             Column::text(format!("{}_{t}_{s}", domain.label()), fill_zipf(&universe, rows, rng))
         }
     }
 }
 
 fn alphanum_key(s: &str) -> u64 {
-    let folded: String = s
-        .chars()
-        .filter(|c| c.is_alphanumeric())
-        .flat_map(|c| c.to_lowercase())
-        .collect();
+    let folded: String =
+        s.chars().filter(|c| c.is_alphanumeric()).flat_map(|c| c.to_lowercase()).collect();
     wg_util::stable_hash_str(&folded)
 }
 
@@ -448,7 +441,7 @@ mod tests {
         assert_eq!(tables, 28);
         assert_eq!(columns, 257);
         assert!(avg_rows > 50.0, "avg rows {avg_rows}");
-        assert!(queries >= 20 && queries <= 35, "queries {queries}");
+        assert!((20..=35).contains(&queries), "queries {queries}");
         assert!(avg_answers >= 1.0, "avg answers {avg_answers}");
     }
 
@@ -489,10 +482,7 @@ mod tests {
             for a in c.truth.answers(q) {
                 let ac = c.warehouse.column(a).unwrap();
                 let cont = wg_store::containment(qc, ac, KeyNorm::AlphaNum);
-                assert!(
-                    cont >= 0.45,
-                    "materialized containment {cont:.2} too low for {q} -> {a}"
-                );
+                assert!(cont >= 0.45, "materialized containment {cont:.2} too low for {q} -> {a}");
             }
         }
     }
@@ -517,10 +507,7 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(
-            semantic * 5 >= total,
-            "too few semantic-only pairs: {semantic}/{total}"
-        );
+        assert!(semantic * 5 >= total, "too few semantic-only pairs: {semantic}/{total}");
     }
 
     #[test]

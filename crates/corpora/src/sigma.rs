@@ -50,7 +50,10 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                         "BillingCity",
                         (0..rows).map(|i| Domain::City.value((i % 90) as u64)).collect::<Vec<_>>(),
                     ),
-                    Column::ints("Employees", (0..rows).map(|_| 10 + rng.gen_range(20_000) as i64).collect()),
+                    Column::ints(
+                        "Employees",
+                        (0..rows).map(|_| 10 + rng.gen_range(20_000) as i64).collect(),
+                    ),
                     Column::floats(
                         "AnnualRevenue",
                         (0..rows).map(|_| (rng.gen_f64() * 5e8).round()).collect(),
@@ -78,7 +81,9 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                     ),
                     Column::text(
                         "Title",
-                        (0..rows).map(|i| Domain::JobTitle.value((i % 18) as u64)).collect::<Vec<_>>(),
+                        (0..rows)
+                            .map(|i| Domain::JobTitle.value((i % 18) as u64))
+                            .collect::<Vec<_>>(),
                     ),
                     Column::text(
                         "Email",
@@ -109,7 +114,9 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                     ),
                     Column::text(
                         "CloseDate",
-                        (0..rows).map(|_| Domain::Date.value(rng.gen_range(2_000))).collect::<Vec<_>>(),
+                        (0..rows)
+                            .map(|_| Domain::Date.value(rng.gen_range(2_000)))
+                            .collect::<Vec<_>>(),
                     ),
                 ],
             )
@@ -129,16 +136,23 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                     // Uppercase variant, superset of ACCOUNT's companies.
                     Column::text(
                         "Company Name",
-                        (0..rows).map(|i| Variant::Upper.apply(&companies[i % 350])).collect::<Vec<_>>(),
+                        (0..rows)
+                            .map(|i| Variant::Upper.apply(&companies[i % 350]))
+                            .collect::<Vec<_>>(),
                     ),
-                    Column::text("Ticker", (0..rows).map(|i| tickers[i % 350].clone()).collect::<Vec<_>>()),
+                    Column::text(
+                        "Ticker",
+                        (0..rows).map(|i| tickers[i % 350].clone()).collect::<Vec<_>>(),
+                    ),
                     Column::text(
                         "Industry Group",
                         (0..rows).map(|i| sectors[i % 30].clone()).collect::<Vec<_>>(),
                     ),
                     Column::text(
                         "Sub Industry",
-                        (0..rows).map(|i| format!("{} Sub {}", sectors[i % 30], i % 4)).collect::<Vec<_>>(),
+                        (0..rows)
+                            .map(|i| format!("{} Sub {}", sectors[i % 30], i % 4))
+                            .collect::<Vec<_>>(),
                     ),
                 ],
             )
@@ -149,14 +163,30 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "PRICES",
                 vec![
-                    Column::text("Ticker", (0..rows).map(|i| tickers[i % 320].clone()).collect::<Vec<_>>()),
+                    Column::text(
+                        "Ticker",
+                        (0..rows).map(|i| tickers[i % 320].clone()).collect::<Vec<_>>(),
+                    ),
                     Column::text(
                         "Date",
                         (0..rows).map(|i| Domain::Date.value((i / 320) as u64)).collect::<Vec<_>>(),
                     ),
-                    Column::floats("Open", (0..rows).map(|_| (rng.gen_f64() * 500.0 * 100.0).round() / 100.0).collect()),
-                    Column::floats("Close", (0..rows).map(|_| (rng.gen_f64() * 500.0 * 100.0).round() / 100.0).collect()),
-                    Column::ints("Volume", (0..rows).map(|_| rng.gen_range(10_000_000) as i64).collect()),
+                    Column::floats(
+                        "Open",
+                        (0..rows)
+                            .map(|_| (rng.gen_f64() * 500.0 * 100.0).round() / 100.0)
+                            .collect(),
+                    ),
+                    Column::floats(
+                        "Close",
+                        (0..rows)
+                            .map(|_| (rng.gen_f64() * 500.0 * 100.0).round() / 100.0)
+                            .collect(),
+                    ),
+                    Column::ints(
+                        "Volume",
+                        (0..rows).map(|_| rng.gen_range(10_000_000) as i64).collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -173,7 +203,10 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "PRODUCTS",
                 vec![
-                    Column::text("Sku", (0..rows).map(|i| skus[i % 800].clone()).collect::<Vec<_>>()),
+                    Column::text(
+                        "Sku",
+                        (0..rows).map(|i| skus[i % 800].clone()).collect::<Vec<_>>(),
+                    ),
                     Column::text(
                         "ProductName",
                         (0..rows).map(|i| Domain::Product.value(i as u64)).collect::<Vec<_>>(),
@@ -182,7 +215,12 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                         "Category",
                         (0..rows).map(|i| sectors[i % 12].clone()).collect::<Vec<_>>(),
                     ),
-                    Column::floats("Price", (0..rows).map(|_| (rng.gen_f64() * 300.0 * 100.0).round() / 100.0).collect()),
+                    Column::floats(
+                        "Price",
+                        (0..rows)
+                            .map(|_| (rng.gen_f64() * 300.0 * 100.0).round() / 100.0)
+                            .collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -198,9 +236,22 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                         "ProductSku",
                         (0..rows).map(|_| skus[rng.gen_zipf(500, 1.0)].clone()).collect::<Vec<_>>(),
                     ),
-                    Column::ints("Quantity", (0..rows).map(|_| 1 + rng.gen_range(9) as i64).collect()),
-                    Column::floats("Amount", (0..rows).map(|_| (rng.gen_f64() * 400.0 * 100.0).round() / 100.0).collect()),
-                    Column::text("Date", (0..rows).map(|_| Domain::Date.value(rng.gen_range(1_400))).collect::<Vec<_>>()),
+                    Column::ints(
+                        "Quantity",
+                        (0..rows).map(|_| 1 + rng.gen_range(9) as i64).collect(),
+                    ),
+                    Column::floats(
+                        "Amount",
+                        (0..rows)
+                            .map(|_| (rng.gen_f64() * 400.0 * 100.0).round() / 100.0)
+                            .collect(),
+                    ),
+                    Column::text(
+                        "Date",
+                        (0..rows)
+                            .map(|_| Domain::Date.value(rng.gen_range(1_400)))
+                            .collect::<Vec<_>>(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -211,8 +262,16 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                 "STORES",
                 vec![
                     Column::ints("StoreId", (0..rows as i64).collect()),
-                    Column::text("City", (0..rows).map(|i| Domain::City.value((i % 100) as u64)).collect::<Vec<_>>()),
-                    Column::text("State", (0..rows).map(|_| *rng.choose(&["CA", "NY", "TX", "WA", "IL", "MA"])).collect::<Vec<_>>()),
+                    Column::text(
+                        "City",
+                        (0..rows).map(|i| Domain::City.value((i % 100) as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "State",
+                        (0..rows)
+                            .map(|_| *rng.choose(&["CA", "NY", "TX", "WA", "IL", "MA"]))
+                            .collect::<Vec<_>>(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -228,9 +287,18 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "POPULATION",
                 vec![
-                    Column::text("City", (0..rows).map(|i| Domain::City.value((i % 200) as u64)).collect::<Vec<_>>()),
-                    Column::ints("Population", (0..rows).map(|_| 10_000 + rng.gen_range(5_000_000) as i64).collect()),
-                    Column::ints("MedianIncome", (0..rows).map(|_| 30_000 + rng.gen_range(120_000) as i64).collect()),
+                    Column::text(
+                        "City",
+                        (0..rows).map(|i| Domain::City.value((i % 200) as u64)).collect::<Vec<_>>(),
+                    ),
+                    Column::ints(
+                        "Population",
+                        (0..rows).map(|_| 10_000 + rng.gen_range(5_000_000) as i64).collect(),
+                    ),
+                    Column::ints(
+                        "MedianIncome",
+                        (0..rows).map(|_| 30_000 + rng.gen_range(120_000) as i64).collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -240,9 +308,28 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "RESTAURANTS",
                 vec![
-                    Column::text("Name", (0..rows).map(|i| format!("{} Kitchen", Domain::Person.value(i as u64))).collect::<Vec<_>>()),
-                    Column::text("City", (0..rows).map(|_| Domain::City.value(rng.gen_range(150)) ).collect::<Vec<_>>()),
-                    Column::text("Cuisine", (0..rows).map(|_| *rng.choose(&["Italian", "Thai", "Mexican", "Indian", "French", "Diner"])).collect::<Vec<_>>()),
+                    Column::text(
+                        "Name",
+                        (0..rows)
+                            .map(|i| format!("{} Kitchen", Domain::Person.value(i as u64)))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "City",
+                        (0..rows)
+                            .map(|_| Domain::City.value(rng.gen_range(150)))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Cuisine",
+                        (0..rows)
+                            .map(|_| {
+                                *rng.choose(&[
+                                    "Italian", "Thai", "Mexican", "Indian", "French", "Diner",
+                                ])
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -253,8 +340,16 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
                 "BIKES",
                 vec![
                     Column::ints("StationId", (0..rows as i64).collect()),
-                    Column::text("City", (0..rows).map(|_| Domain::City.value(rng.gen_range(120))).collect::<Vec<_>>()),
-                    Column::ints("Docks", (0..rows).map(|_| 8 + rng.gen_range(40) as i64).collect()),
+                    Column::text(
+                        "City",
+                        (0..rows)
+                            .map(|_| Domain::City.value(rng.gen_range(120)))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::ints(
+                        "Docks",
+                        (0..rows).map(|_| 8 + rng.gen_range(40) as i64).collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -271,10 +366,30 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "METERING",
                 vec![
-                    Column::text("AccountId", (0..rows).map(|_| accounts[rng.gen_zipf(500, 1.1)].clone()).collect::<Vec<_>>()),
-                    Column::text("Service", (0..rows).map(|_| *rng.choose(&["compute", "storage", "query", "streaming"])).collect::<Vec<_>>()),
-                    Column::text("UsageDate", (0..rows).map(|_| Domain::Date.value(rng.gen_range(720))).collect::<Vec<_>>()),
-                    Column::floats("CreditsUsed", (0..rows).map(|_| (rng.gen_f64() * 100.0 * 100.0).round() / 100.0).collect()),
+                    Column::text(
+                        "AccountId",
+                        (0..rows)
+                            .map(|_| accounts[rng.gen_zipf(500, 1.1)].clone())
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Service",
+                        (0..rows)
+                            .map(|_| *rng.choose(&["compute", "storage", "query", "streaming"]))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "UsageDate",
+                        (0..rows)
+                            .map(|_| Domain::Date.value(rng.gen_range(720)))
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::floats(
+                        "CreditsUsed",
+                        (0..rows)
+                            .map(|_| (rng.gen_f64() * 100.0 * 100.0).round() / 100.0)
+                            .collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -284,9 +399,26 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "APP_EVENTS",
                 vec![
-                    Column::text("AccountId", (0..rows).map(|_| accounts[rng.gen_zipf(400, 1.1)].clone()).collect::<Vec<_>>()),
-                    Column::text("EventType", (0..rows).map(|_| *rng.choose(&["login", "query_run", "dashboard_view", "export"])).collect::<Vec<_>>()),
-                    Column::text("Ts", (0..rows).map(|_| Domain::Date.value(rng.gen_range(720))).collect::<Vec<_>>()),
+                    Column::text(
+                        "AccountId",
+                        (0..rows)
+                            .map(|_| accounts[rng.gen_zipf(400, 1.1)].clone())
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "EventType",
+                        (0..rows)
+                            .map(|_| {
+                                *rng.choose(&["login", "query_run", "dashboard_view", "export"])
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Ts",
+                        (0..rows)
+                            .map(|_| Domain::Date.value(rng.gen_range(720)))
+                            .collect::<Vec<_>>(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -300,7 +432,13 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
         let ips: Vec<String> = (0..2_000u64)
             .map(|i| {
                 let h = wg_util::hash::mix64(i);
-                format!("{}.{}.{}.{}", 10 + h % 200, (h >> 8) % 256, (h >> 16) % 256, (h >> 24) % 256)
+                format!(
+                    "{}.{}.{}.{}",
+                    10 + h % 200,
+                    (h >> 8) % 256,
+                    (h >> 16) % 256,
+                    (h >> 24) % 256
+                )
             })
             .collect();
         let rows = n(90_000);
@@ -308,9 +446,29 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "REQUESTS",
                 vec![
-                    Column::text("Ip", (0..rows).map(|_| ips[rng.gen_zipf(2_000, 1.0)].clone()).collect::<Vec<_>>()),
-                    Column::text("Url", (0..rows).map(|_| format!("/app/{}", rng.choose(&["home", "query", "admin", "docs", "login"]))).collect::<Vec<_>>()),
-                    Column::ints("Status", (0..rows).map(|_| *rng.choose(&[200i64, 200, 200, 304, 404, 500])).collect()),
+                    Column::text(
+                        "Ip",
+                        (0..rows)
+                            .map(|_| ips[rng.gen_zipf(2_000, 1.0)].clone())
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::text(
+                        "Url",
+                        (0..rows)
+                            .map(|_| {
+                                format!(
+                                    "/app/{}",
+                                    rng.choose(&["home", "query", "admin", "docs", "login"])
+                                )
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::ints(
+                        "Status",
+                        (0..rows)
+                            .map(|_| *rng.choose(&[200i64, 200, 200, 304, 404, 500]))
+                            .collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -320,8 +478,16 @@ pub fn build_sigma(row_scale: f64, seed: u64) -> Corpus {
             Table::new(
                 "SESSIONS",
                 vec![
-                    Column::text("Ip", (0..rows).map(|_| ips[rng.gen_zipf(1_500, 1.0)].clone()).collect::<Vec<_>>()),
-                    Column::ints("DurationSecs", (0..rows).map(|_| rng.gen_range(3_600) as i64).collect()),
+                    Column::text(
+                        "Ip",
+                        (0..rows)
+                            .map(|_| ips[rng.gen_zipf(1_500, 1.0)].clone())
+                            .collect::<Vec<_>>(),
+                    ),
+                    Column::ints(
+                        "DurationSecs",
+                        (0..rows).map(|_| rng.gen_range(3_600) as i64).collect(),
+                    ),
                 ],
             )
             .expect("valid schema"),
@@ -378,17 +544,17 @@ mod tests {
         let c = corpus();
         let account = c.warehouse.column(&ColumnRef::new("SALESFORCE", "ACCOUNT", "Name")).unwrap();
         let lead = c.warehouse.column(&ColumnRef::new("SALESFORCE", "LEAD", "Company")).unwrap();
-        let industries = c
-            .warehouse
-            .column(&ColumnRef::new("STOCKS", "INDUSTRIES", "Company Name"))
-            .unwrap();
+        let industries =
+            c.warehouse.column(&ColumnRef::new("STOCKS", "INDUSTRIES", "Company Name")).unwrap();
         // Semantically joinable (normalized), low exact overlap for LEAD.
         assert!(wg_store::containment(lead, account, KeyNorm::AlphaNum) > 0.9);
         assert!(wg_store::containment(account, industries, KeyNorm::AlphaNum) > 0.9);
         assert!(wg_store::containment(account, industries, KeyNorm::Exact) < 0.05);
         // Ticker chain.
-        let ind_ticker = c.warehouse.column(&ColumnRef::new("STOCKS", "INDUSTRIES", "Ticker")).unwrap();
-        let price_ticker = c.warehouse.column(&ColumnRef::new("STOCKS", "PRICES", "Ticker")).unwrap();
+        let ind_ticker =
+            c.warehouse.column(&ColumnRef::new("STOCKS", "INDUSTRIES", "Ticker")).unwrap();
+        let price_ticker =
+            c.warehouse.column(&ColumnRef::new("STOCKS", "PRICES", "Ticker")).unwrap();
         assert!(wg_store::containment(price_ticker, ind_ticker, KeyNorm::Exact) > 0.9);
     }
 
@@ -396,7 +562,8 @@ mod tests {
     fn retail_fk_chain() {
         let c = corpus();
         let sku = c.warehouse.column(&ColumnRef::new("RETAIL", "PRODUCTS", "Sku")).unwrap();
-        let txn = c.warehouse.column(&ColumnRef::new("RETAIL", "TRANSACTIONS", "ProductSku")).unwrap();
+        let txn =
+            c.warehouse.column(&ColumnRef::new("RETAIL", "TRANSACTIONS", "ProductSku")).unwrap();
         assert!(wg_store::containment(txn, sku, KeyNorm::Exact) > 0.95);
     }
 

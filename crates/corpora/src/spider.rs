@@ -66,10 +66,11 @@ pub fn build_spider(row_scale: f64, seed: u64) -> Corpus {
             let entity = if d == 0 { theme.to_string() } else { format!("{theme}_{d}") };
             let pk_count = (avg_rows / 2 + rng.gen_index(avg_rows)).max(20);
             // ~10% of dimensions share an id space with a previous database.
-            let id_base = if rng.gen_bool(0.1) && shared_pk.is_some() {
-                shared_pk.as_ref().expect("checked").1
-            } else {
-                (db_index as u64 * 100 + d as u64) * 1_000_000
+            // Draw the coin before inspecting shared_pk so the RNG stream
+            // (and thus generated corpora) is independent of sharing state.
+            let id_base = match (rng.gen_bool(0.1), &shared_pk) {
+                (true, Some(sp)) => sp.1,
+                _ => (db_index as u64 * 100 + d as u64) * 1_000_000,
             };
             let pk_name = format!("{entity}_id");
             let mut cols = vec![Column::ints(
@@ -126,8 +127,7 @@ pub fn build_spider(row_scale: f64, seed: u64) -> Corpus {
             }
             let rows = (avg_rows + rng.gen_index(avg_rows)).max(30);
             let table_name = format!("{theme}_facts_{f}");
-            let mut cols: Vec<Column> =
-                vec![Column::ints("id", (0..rows as i64).collect())];
+            let mut cols: Vec<Column> = vec![Column::ints("id", (0..rows as i64).collect())];
             // 1..=2 FK columns referencing this database's dimensions.
             let n_fks = 1 + rng.gen_index(pks.len().min(2));
             for fk in pks.iter().take(n_fks) {
@@ -135,9 +135,8 @@ pub fn build_spider(row_scale: f64, seed: u64) -> Corpus {
                 // FK draws a *subset* of PK values (zipf-skewed): high
                 // containment in the PK, low Jaccard when pk_count >> used.
                 let used = (pk_count / (2 + rng.gen_index(8))).max(5);
-                let fk_values: Vec<i64> = (0..rows)
-                    .map(|_| *id_base as i64 + rng.gen_zipf(used, 0.8) as i64)
-                    .collect();
+                let fk_values: Vec<i64> =
+                    (0..rows).map(|_| *id_base as i64 + rng.gen_zipf(used, 0.8) as i64).collect();
                 let fk_name = pk_ref.column.clone(); // same name as the PK
                 cols.push(Column::ints(&fk_name, fk_values));
                 let fk_ref = ColumnRef::new(&db_name, &table_name, &fk_name);
@@ -211,7 +210,7 @@ mod tests {
         let (tables, columns, _avg_rows, queries, avg_answers) = c.stats();
         assert_eq!(tables, 70);
         assert!((360..520).contains(&columns), "columns {columns}");
-        assert!(queries <= 60 && queries >= 30, "queries {queries}");
+        assert!((30..=60).contains(&queries), "queries {queries}");
         assert!((1.0..1.6).contains(&avg_answers), "avg answers {avg_answers}");
     }
 

@@ -15,92 +15,322 @@
 use wg_util::hash::{combine64, mix64};
 
 const ADJECTIVES: &[&str] = &[
-    "Global", "United", "Advanced", "Pacific", "Northern", "Dynamic", "Premier", "Apex",
-    "Quantum", "Sterling", "Pioneer", "Summit", "Coastal", "Evergreen", "Crimson", "Golden",
-    "Silver", "Atlas", "Nova", "Vertex", "Prime", "Central", "Allied", "Integrated",
-    "National", "Metro", "Urban", "Rural", "Eastern", "Western", "Superior", "Frontier",
+    "Global",
+    "United",
+    "Advanced",
+    "Pacific",
+    "Northern",
+    "Dynamic",
+    "Premier",
+    "Apex",
+    "Quantum",
+    "Sterling",
+    "Pioneer",
+    "Summit",
+    "Coastal",
+    "Evergreen",
+    "Crimson",
+    "Golden",
+    "Silver",
+    "Atlas",
+    "Nova",
+    "Vertex",
+    "Prime",
+    "Central",
+    "Allied",
+    "Integrated",
+    "National",
+    "Metro",
+    "Urban",
+    "Rural",
+    "Eastern",
+    "Western",
+    "Superior",
+    "Frontier",
 ];
 
 const COMPANY_NOUNS: &[&str] = &[
-    "Dynamics", "Systems", "Industries", "Holdings", "Logistics", "Networks", "Analytics",
-    "Materials", "Foods", "Energy", "Robotics", "Biotech", "Capital", "Media", "Motors",
-    "Textiles", "Software", "Pharma", "Mining", "Airways", "Shipping", "Retail", "Labs",
-    "Partners", "Technologies", "Solutions", "Ventures", "Brands",
+    "Dynamics",
+    "Systems",
+    "Industries",
+    "Holdings",
+    "Logistics",
+    "Networks",
+    "Analytics",
+    "Materials",
+    "Foods",
+    "Energy",
+    "Robotics",
+    "Biotech",
+    "Capital",
+    "Media",
+    "Motors",
+    "Textiles",
+    "Software",
+    "Pharma",
+    "Mining",
+    "Airways",
+    "Shipping",
+    "Retail",
+    "Labs",
+    "Partners",
+    "Technologies",
+    "Solutions",
+    "Ventures",
+    "Brands",
 ];
 
 const COMPANY_SUFFIXES: &[&str] = &["Inc", "Corp", "LLC", "Group", "Ltd", "Co"];
 
 const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew",
-    "Betty", "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven",
-    "Kimberly", "Andrew", "Emily", "Paul", "Donna", "Joshua", "Michelle", "Kenneth",
-    "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Timothy",
-    "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca", "Jason", "Sharon", "Jeffrey",
-    "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary", "Amy",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Andrew",
+    "Emily",
+    "Paul",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Carol",
+    "Kevin",
+    "Amanda",
+    "Brian",
+    "Dorothy",
+    "George",
+    "Melissa",
+    "Timothy",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Edward",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
+    "Jacob",
+    "Kathleen",
+    "Gary",
+    "Amy",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
-    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
-    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
-    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
-    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
-    "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker", "Cruz",
-    "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales", "Murphy",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Gomez",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Diaz",
+    "Parker",
+    "Cruz",
+    "Edwards",
+    "Collins",
+    "Reyes",
+    "Stewart",
+    "Morris",
+    "Morales",
+    "Murphy",
 ];
 
 const CITY_PREFIXES: &[&str] = &[
-    "New", "Fort", "Lake", "Port", "North", "South", "East", "West", "Mount", "Saint",
-    "Grand", "Little", "Upper", "Lower", "Old", "Royal",
+    "New", "Fort", "Lake", "Port", "North", "South", "East", "West", "Mount", "Saint", "Grand",
+    "Little", "Upper", "Lower", "Old", "Royal",
 ];
 
 const CITY_STEMS: &[&str] = &[
     "Haven", "Ridge", "Brook", "Field", "Wood", "Dale", "Ford", "Shore", "Spring", "Falls",
-    "Crest", "View", "Grove", "Hollow", "Meadow", "Point", "Harbor", "Bluff", "Glen",
-    "Creek", "Vale", "Bridge", "Crossing", "Heights",
+    "Crest", "View", "Grove", "Hollow", "Meadow", "Point", "Harbor", "Bluff", "Glen", "Creek",
+    "Vale", "Bridge", "Crossing", "Heights",
 ];
 
 const SECTORS: &[&str] = &[
-    "Energy", "Materials", "Industrials", "Consumer Discretionary", "Consumer Staples",
-    "Health Care", "Financials", "Information Technology", "Communication Services",
-    "Utilities", "Real Estate", "Aerospace & Defense", "Automobiles", "Banks",
-    "Capital Goods", "Commercial Services", "Diversified Financials", "Food & Beverage",
-    "Household Products", "Insurance", "Media & Entertainment", "Pharmaceuticals",
-    "Retailing", "Semiconductors", "Software & Services", "Telecommunication",
-    "Transportation", "Tobacco", "Textiles & Apparel", "Paper & Forest Products",
+    "Energy",
+    "Materials",
+    "Industrials",
+    "Consumer Discretionary",
+    "Consumer Staples",
+    "Health Care",
+    "Financials",
+    "Information Technology",
+    "Communication Services",
+    "Utilities",
+    "Real Estate",
+    "Aerospace & Defense",
+    "Automobiles",
+    "Banks",
+    "Capital Goods",
+    "Commercial Services",
+    "Diversified Financials",
+    "Food & Beverage",
+    "Household Products",
+    "Insurance",
+    "Media & Entertainment",
+    "Pharmaceuticals",
+    "Retailing",
+    "Semiconductors",
+    "Software & Services",
+    "Telecommunication",
+    "Transportation",
+    "Tobacco",
+    "Textiles & Apparel",
+    "Paper & Forest Products",
 ];
 
 const PRODUCT_MATERIALS: &[&str] = &[
-    "Steel", "Oak", "Carbon", "Ceramic", "Leather", "Bamboo", "Titanium", "Copper",
-    "Walnut", "Granite", "Wool", "Linen", "Aluminum", "Glass", "Marble", "Cotton",
+    "Steel", "Oak", "Carbon", "Ceramic", "Leather", "Bamboo", "Titanium", "Copper", "Walnut",
+    "Granite", "Wool", "Linen", "Aluminum", "Glass", "Marble", "Cotton",
 ];
 
 const PRODUCT_NOUNS: &[&str] = &[
-    "Desk", "Chair", "Lamp", "Keyboard", "Monitor", "Bottle", "Backpack", "Notebook",
-    "Speaker", "Kettle", "Blender", "Router", "Camera", "Drone", "Watch", "Headphones",
-    "Charger", "Tablet", "Printer", "Scanner",
+    "Desk",
+    "Chair",
+    "Lamp",
+    "Keyboard",
+    "Monitor",
+    "Bottle",
+    "Backpack",
+    "Notebook",
+    "Speaker",
+    "Kettle",
+    "Blender",
+    "Router",
+    "Camera",
+    "Drone",
+    "Watch",
+    "Headphones",
+    "Charger",
+    "Tablet",
+    "Printer",
+    "Scanner",
 ];
 
 const JOB_TITLES: &[&str] = &[
-    "Account Executive", "Software Engineer", "Data Analyst", "Product Manager",
-    "Sales Director", "Marketing Specialist", "Operations Manager", "Financial Analyst",
-    "Customer Success Manager", "VP of Engineering", "Chief Technology Officer",
-    "Business Development Rep", "Solutions Architect", "Support Engineer",
-    "Research Scientist", "Recruiter", "Controller", "Designer",
+    "Account Executive",
+    "Software Engineer",
+    "Data Analyst",
+    "Product Manager",
+    "Sales Director",
+    "Marketing Specialist",
+    "Operations Manager",
+    "Financial Analyst",
+    "Customer Success Manager",
+    "VP of Engineering",
+    "Chief Technology Officer",
+    "Business Development Rep",
+    "Solutions Architect",
+    "Support Engineer",
+    "Research Scientist",
+    "Recruiter",
+    "Controller",
+    "Designer",
 ];
 
 const STREET_NAMES: &[&str] = &[
-    "Main", "Oak", "Maple", "Cedar", "Pine", "Elm", "Washington", "Lincoln", "Park",
-    "Lakeview", "Sunset", "Riverside", "Hillcrest", "Franklin", "Highland", "Jefferson",
+    "Main",
+    "Oak",
+    "Maple",
+    "Cedar",
+    "Pine",
+    "Elm",
+    "Washington",
+    "Lincoln",
+    "Park",
+    "Lakeview",
+    "Sunset",
+    "Riverside",
+    "Hillcrest",
+    "Franklin",
+    "Highland",
+    "Jefferson",
 ];
 
 const STREET_KINDS: &[&str] = &["St", "Ave", "Blvd", "Rd", "Ln", "Dr", "Way", "Ct"];
 
-const EMAIL_DOMAINS: &[&str] =
-    &["example.com", "mail.net", "corp.io", "inbox.org", "company.co"];
+const EMAIL_DOMAINS: &[&str] = &["example.com", "mail.net", "corp.io", "inbox.org", "company.co"];
 
 /// An infinite, deterministic family of entity strings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -259,7 +489,7 @@ impl Domain {
             }
             Domain::NumericId => format!("{i:06}"),
             Domain::HexId => {
-                let h = mix64(combine64(0x4845_58, i));
+                let h = mix64(combine64(0x0048_4558, i));
                 format!("{h:016x}")
             }
             Domain::Phone => {
@@ -334,10 +564,9 @@ impl Variant {
             Variant::Identity => s.to_string(),
             Variant::Upper => s.to_uppercase(),
             Variant::Lower => s.to_lowercase(),
-            Variant::StripPunct => s
-                .chars()
-                .filter(|c| c.is_alphanumeric() || c.is_whitespace())
-                .collect(),
+            Variant::StripPunct => {
+                s.chars().filter(|c| c.is_alphanumeric() || c.is_whitespace()).collect()
+            }
             Variant::DateUs => {
                 // "YYYY-MM-DD" -> "MM/DD/YYYY"; non-dates pass through.
                 let parts: Vec<&str> = s.split('-').collect();
@@ -371,8 +600,19 @@ impl Variant {
 /// Roman numerals for name generations (II, III, ...).
 fn roman(mut n: u64) -> String {
     const TABLE: &[(u64, &str)] = &[
-        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"), (90, "XC"),
-        (50, "L"), (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
     ];
     let mut out = String::new();
     for &(v, s) in TABLE {
@@ -454,10 +694,7 @@ mod tests {
                 let mut seen = HashSet::new();
                 for i in 0..2000u64 {
                     let v = variant.apply(&domain.value(i));
-                    assert!(
-                        seen.insert(v.clone()),
-                        "{domain:?}/{variant:?} collides on '{v}'"
-                    );
+                    assert!(seen.insert(v.clone()), "{domain:?}/{variant:?} collides on '{v}'");
                 }
             }
         }
@@ -475,10 +712,7 @@ mod tests {
                 let a = Column::text("a", base);
                 let b = Column::text("b", varied);
                 let c = wg_store::containment(&a, &b, KeyNorm::AlphaNum);
-                assert!(
-                    c > 0.99,
-                    "{domain:?}/{variant:?}: AlphaNum containment {c}"
-                );
+                assert!(c > 0.99, "{domain:?}/{variant:?}: AlphaNum containment {c}");
             }
         }
     }

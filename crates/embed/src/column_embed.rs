@@ -152,15 +152,11 @@ mod tests {
     fn joinable_columns_more_similar_than_unrelated() {
         let e = embedder(Aggregation::default());
         let companies_a = Column::text("name", ["Acme Corp", "Globex", "Initech", "Hooli"]);
-        let companies_b =
-            Column::text("company", ["ACME CORP", "GLOBEX", "INITECH", "Umbrella"]);
+        let companies_b = Column::text("company", ["ACME CORP", "GLOBEX", "INITECH", "Umbrella"]);
         let cities = Column::text("city", ["Austin", "Boston", "Chicago", "Denver"]);
         let sim_join = e.embed_column(&companies_a).cosine(&e.embed_column(&companies_b));
         let sim_unrelated = e.embed_column(&companies_a).cosine(&e.embed_column(&cities));
-        assert!(
-            sim_join > sim_unrelated + 0.3,
-            "join {sim_join} vs unrelated {sim_unrelated}"
-        );
+        assert!(sim_join > sim_unrelated + 0.3, "join {sim_join} vs unrelated {sim_unrelated}");
         // 3 of the 4 values are shared after tokenization, so the expected
         // cosine is around 3/4.
         assert!(sim_join > 0.6, "format variants should stay close: {sim_join}");

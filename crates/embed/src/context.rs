@@ -176,15 +176,27 @@ mod tests {
         let m = model();
         let a = context_vector(
             m.as_ref(),
-            &ColumnContext { column_name: "customer_id".into(), table_name: "orders".into(), siblings: vec![] },
+            &ColumnContext {
+                column_name: "customer_id".into(),
+                table_name: "orders".into(),
+                siblings: vec![],
+            },
         );
         let b = context_vector(
             m.as_ref(),
-            &ColumnContext { column_name: "customer_id".into(), table_name: "order_items".into(), siblings: vec![] },
+            &ColumnContext {
+                column_name: "customer_id".into(),
+                table_name: "order_items".into(),
+                siblings: vec![],
+            },
         );
         let c = context_vector(
             m.as_ref(),
-            &ColumnContext { column_name: "wind_speed".into(), table_name: "weather".into(), siblings: vec![] },
+            &ColumnContext {
+                column_name: "wind_speed".into(),
+                table_name: "weather".into(),
+                siblings: vec![],
+            },
         );
         assert!(a.cosine(&b) > a.cosine(&c) + 0.2);
     }

@@ -67,9 +67,7 @@ impl Matrix {
     /// Random matrix with entries `N(0, scale²)`.
     fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
-        let data = (0..rows * cols)
-            .map(|_| rng.gen_gaussian() as f32 * scale)
-            .collect();
+        let data = (0..rows * cols).map(|_| rng.gen_gaussian() as f32 * scale).collect();
         Self { rows, cols, data }
     }
 
@@ -151,10 +149,8 @@ impl MiniBertModel {
             })
             .collect();
 
-        let token_embedder = WebTableModel::new(WebTableConfig {
-            dim: config.dim,
-            ..WebTableConfig::default()
-        });
+        let token_embedder =
+            WebTableModel::new(WebTableConfig { dim: config.dim, ..WebTableConfig::default() });
         Self { config, token_embedder, layers, positions }
     }
 
@@ -332,8 +328,7 @@ mod tests {
         // hashed model — the "on par effectiveness" property.
         let bert = model();
         let base = WebTableModel::new(WebTableConfig { dim: 128, ..Default::default() });
-        let texts =
-            ["Apple Inc", "Apple Computer", "Microsoft Corp", "2020-01-15", "banana split"];
+        let texts = ["Apple Inc", "Apple Computer", "Microsoft Corp", "2020-01-15", "banana split"];
         let mut agreements = 0;
         let mut total = 0;
         for i in 0..texts.len() {

@@ -59,10 +59,8 @@ pub fn tokenize(cell: &str) -> Vec<Token> {
 /// yield nothing for that n.
 pub fn char_ngrams(token: &str, min_n: usize, max_n: usize) -> Vec<String> {
     debug_assert!(min_n >= 2 && max_n >= min_n);
-    let bounded: Vec<char> = std::iter::once('<')
-        .chain(token.chars())
-        .chain(std::iter::once('>'))
-        .collect();
+    let bounded: Vec<char> =
+        std::iter::once('<').chain(token.chars()).chain(std::iter::once('>')).collect();
     let mut out = Vec::new();
     for n in min_n..=max_n {
         if bounded.len() < n {

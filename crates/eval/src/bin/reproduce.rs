@@ -1,8 +1,8 @@
 //! Reproduce the paper's tables and figures.
 //!
 //! ```text
-//! cargo run -p wg-eval --release --bin reproduce -- all
-//! cargo run -p wg-eval --release --bin reproduce -- table1 fig4a fig4b fig4c table2 samples bert sigma scale
+//! cargo run -p wg_eval --release --bin reproduce -- all
+//! cargo run -p wg_eval --release --bin reproduce -- table1 fig4a fig4b fig4c table2 samples bert sigma scale
 //! ```
 //!
 //! Row scales default to the values in `wg_eval::scale_for`; set
@@ -63,11 +63,15 @@ fn run_fig4(panel: &str, corpus: Corpus, spider_panel: bool) {
     let verdict = if spider_panel {
         // Panel (c): the paper claims a large margin over Aurum and
         // favorable comparison against D3L, not strict dominance.
-        figure4::check_spider(&points, 0.1, 0.25)
-            .map_or_else(|| "WarpGate beats Aurum by a large margin, comparable to D3L [ok]".to_string(), |v| format!("VIOLATION - {v}"))
+        figure4::check_spider(&points, 0.1, 0.25).map_or_else(
+            || "WarpGate beats Aurum by a large margin, comparable to D3L [ok]".to_string(),
+            |v| format!("VIOLATION - {v}"),
+        )
     } else {
-        figure4::check_warpgate_dominates(&points, 0.02)
-            .map_or_else(|| "WarpGate dominates both baselines [ok]".to_string(), |v| format!("VIOLATION - {v}"))
+        figure4::check_warpgate_dominates(&points, 0.02).map_or_else(
+            || "WarpGate dominates both baselines [ok]".to_string(),
+            |v| format!("VIOLATION - {v}"),
+        )
     };
     println!("check: {verdict}");
 }

@@ -24,11 +24,9 @@ pub struct Fig4Point {
 
 /// Run one panel: evaluate all three systems over the corpus queries.
 pub fn run(corpus: &Corpus, connector: &CdwConnector) -> Vec<Fig4Point> {
-    let systems = build_systems(
-        connector,
-        SampleSpec::DistinctReservoir { n: 1_000, seed: 0x5A17 },
-    )
-    .expect("system construction");
+    let systems =
+        build_systems(connector, SampleSpec::DistinctReservoir { n: 1_000, seed: 0x5A17 })
+            .expect("system construction");
     run_with_systems(corpus, connector, &systems)
 }
 
@@ -99,10 +97,7 @@ pub fn render(panel: &str, points: &[Fig4Point]) -> String {
 pub fn check_warpgate_dominates(points: &[Fig4Point], margin: f64) -> Option<String> {
     for &k in KS {
         let get = |name: &str| {
-            points
-                .iter()
-                .find(|p| p.system == name && p.k == k)
-                .expect("complete grid")
+            points.iter().find(|p| p.system == name && p.k == k).expect("complete grid")
         };
         let wg = get("WarpGate");
         for baseline in ["Aurum", "D3L"] {
@@ -125,10 +120,7 @@ pub fn check_warpgate_dominates(points: &[Fig4Point], margin: f64) -> Option<Str
 pub fn check_spider(points: &[Fig4Point], margin: f64, d3l_slack: f64) -> Option<String> {
     for &k in KS {
         let get = |name: &str| {
-            points
-                .iter()
-                .find(|p| p.system == name && p.k == k)
-                .expect("complete grid")
+            points.iter().find(|p| p.system == name && p.k == k).expect("complete grid")
         };
         let wg = get("WarpGate");
         let aurum = get("Aurum");
@@ -165,13 +157,7 @@ mod tests {
         for system in ["Aurum", "D3L", "WarpGate"] {
             let series: Vec<f64> = KS
                 .iter()
-                .map(|&k| {
-                    points
-                        .iter()
-                        .find(|p| p.system == system && p.k == k)
-                        .unwrap()
-                        .recall
-                })
+                .map(|&k| points.iter().find(|p| p.system == system && p.k == k).unwrap().recall)
                 .collect();
             for w in series.windows(2) {
                 assert!(w[1] >= w[0] - 1e-9, "{system} recall decreased: {series:?}");
@@ -182,10 +168,7 @@ mod tests {
         // full S/M panels at a tight margin).
         assert_eq!(check_warpgate_dominates(&points, 0.05), None);
         // And should find something.
-        let wg10 = points
-            .iter()
-            .find(|p| p.system == "WarpGate" && p.k == 10)
-            .unwrap();
+        let wg10 = points.iter().find(|p| p.system == "WarpGate" && p.k == 10).unwrap();
         assert!(wg10.recall > 0.3, "WarpGate recall@10 {:.3}", wg10.recall);
     }
 }

@@ -121,10 +121,7 @@ pub fn check_robustness(
             ));
         }
         if (r_s - r_f).abs() > tolerance {
-            return Some(format!(
-                "recall@{k} moved {:.3} -> {:.3} at sample {sample}",
-                r_f, r_s
-            ));
+            return Some(format!("recall@{k} moved {:.3} -> {:.3} at sample {sample}", r_f, r_s));
         }
     }
     if s.response_secs * speedup_floor > full.response_secs {

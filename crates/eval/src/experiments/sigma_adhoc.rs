@@ -1,8 +1,8 @@
 //! §4.3.3 / Figure 3: the ad-hoc discovery walkthrough on the Sigma Sample
 //! Database — Joey's sales-campaign scenario executed end to end.
 
-use wg_store::{CdwConnector, ColumnRef, KeyNorm, SampleSpec, Table};
 use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_store::{CdwConnector, ColumnRef, KeyNorm, SampleSpec, Table};
 
 use crate::report;
 
@@ -27,11 +27,8 @@ pub fn run(connector: &CdwConnector) -> AdhocResult {
 
     let query = ColumnRef::new("SALESFORCE", "ACCOUNT", "Name");
     let discovery = wg.discover(connector, &query, 3).expect("discover");
-    let recommendations: Vec<(ColumnRef, f32)> = discovery
-        .candidates
-        .iter()
-        .map(|c| (c.reference.clone(), c.score))
-        .collect();
+    let recommendations: Vec<(ColumnRef, f32)> =
+        discovery.candidates.iter().map(|c| (c.reference.clone(), c.score)).collect();
 
     // Pick the INDUSTRIES candidate like Joey does (falling back to the top
     // recommendation if ranking shuffled).
@@ -42,11 +39,16 @@ pub fn run(connector: &CdwConnector) -> AdhocResult {
         .unwrap_or(&recommendations[0].0)
         .clone();
 
-    let base = connector
-        .scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full)
-        .expect("scan base");
+    let base = connector.scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full).expect("scan base");
     let augmented = wg
-        .augment_via_lookup(connector, &base, "Name", &candidate, &["Industry Group"], KeyNorm::AlphaNum)
+        .augment_via_lookup(
+            connector,
+            &base,
+            "Name",
+            &candidate,
+            &["Industry Group"],
+            KeyNorm::AlphaNum,
+        )
         .expect("lookup join");
     let sector = augmented.column("Industry Group").expect("added column");
     let enriched_rows = (0..sector.len()).filter(|&i| !sector.get(i).is_null()).count();

@@ -85,7 +85,14 @@ pub fn render(rows: &[Table1Row]) -> String {
         ]);
     }
     report::table(
-        &["corpus", "tables (ours/paper)", "columns", "avg rows (ours/paper×scale)", "queries", "avg answers"],
+        &[
+            "corpus",
+            "tables (ours/paper)",
+            "columns",
+            "avg rows (ours/paper×scale)",
+            "queries",
+            "avg answers",
+        ],
         &body,
     )
 }

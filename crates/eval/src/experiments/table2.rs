@@ -10,7 +10,7 @@ use wg_corpora::Corpus;
 use wg_store::{CdwConnector, SampleSpec};
 
 use crate::report;
-use crate::systems::{build_systems, System, SysTiming};
+use crate::systems::{build_systems, SysTiming, System};
 
 /// Mean per-query timing for one system on one corpus.
 #[derive(Debug, Clone)]
@@ -72,11 +72,8 @@ pub fn render(rows: &[Table2Row]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            let frac = if r.response_secs > 0.0 {
-                r.lookup_secs / r.response_secs * 100.0
-            } else {
-                0.0
-            };
+            let frac =
+                if r.response_secs > 0.0 { r.lookup_secs / r.response_secs * 100.0 } else { 0.0 };
             vec![
                 r.corpus.clone(),
                 r.system.clone(),
@@ -92,7 +89,15 @@ pub fn render(rows: &[Table2Row]) -> String {
         "{}{}",
         report::section("Table 2: end-to-end query response time (k=10, full scans)"),
         report::table(
-            &["corpus", "system", "response/query", "lookup/query", "lookup share", "load/query", "profile/query"],
+            &[
+                "corpus",
+                "system",
+                "response/query",
+                "lookup/query",
+                "lookup share",
+                "load/query",
+                "profile/query"
+            ],
             &body
         )
     )

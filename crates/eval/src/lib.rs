@@ -34,10 +34,8 @@ pub fn scale_for(corpus: &str) -> f64 {
         "sigma" => 0.02,
         _ => 0.01,
     };
-    let mult = std::env::var("WG_ROW_SCALE_MULT")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(1.0);
+    let mult =
+        std::env::var("WG_ROW_SCALE_MULT").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
     base * mult
 }
 

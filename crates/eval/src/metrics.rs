@@ -7,11 +7,7 @@
 use wg_store::ColumnRef;
 
 /// Precision and recall of one ranked result list at cutoff `k`.
-pub fn precision_recall_at_k(
-    results: &[ColumnRef],
-    answers: &[ColumnRef],
-    k: usize,
-) -> (f64, f64) {
+pub fn precision_recall_at_k(results: &[ColumnRef], answers: &[ColumnRef], k: usize) -> (f64, f64) {
     if k == 0 || answers.is_empty() {
         return (0.0, 0.0);
     }
@@ -112,8 +108,8 @@ mod tests {
         let q1 = c("q1");
         let q2 = c("q2");
         let items: Vec<(&ColumnRef, &[ColumnRef], Vec<ColumnRef>)> = vec![
-            (&q1, a1.as_slice(), vec![c("a")]),   // P@1 = 1
-            (&q2, a2.as_slice(), vec![c("z")]),   // P@1 = 0
+            (&q1, a1.as_slice(), vec![c("a")]), // P@1 = 1
+            (&q2, a2.as_slice(), vec![c("z")]), // P@1 = 0
         ];
         let (p, r) = macro_average(items.into_iter(), 1);
         assert!((p - 0.5).abs() < 1e-12);

@@ -18,12 +18,54 @@ pub struct PaperTable1Row {
 
 /// Paper Table 1.
 pub const PAPER_TABLE1: &[PaperTable1Row] = &[
-    PaperTable1Row { corpus: "testbedXS", tables: 28, columns: 257, avg_rows: 1_938.0, queries: Some(35), avg_answers: Some(2.8) },
-    PaperTable1Row { corpus: "testbedS", tables: 46, columns: 2_553, avg_rows: 209_646.0, queries: Some(177), avg_answers: Some(3.6) },
-    PaperTable1Row { corpus: "testbedM", tables: 46, columns: 1_067, avg_rows: 3_175_904.0, queries: Some(188), avg_answers: Some(4.4) },
-    PaperTable1Row { corpus: "testbedL", tables: 19, columns: 541, avg_rows: 12_288_165.0, queries: Some(92), avg_answers: Some(3.6) },
-    PaperTable1Row { corpus: "spider", tables: 70, columns: 429, avg_rows: 7_632.0, queries: Some(60), avg_answers: Some(1.1) },
-    PaperTable1Row { corpus: "sigma", tables: 98, columns: 1_343, avg_rows: 2_243_932.0, queries: None, avg_answers: None },
+    PaperTable1Row {
+        corpus: "testbedXS",
+        tables: 28,
+        columns: 257,
+        avg_rows: 1_938.0,
+        queries: Some(35),
+        avg_answers: Some(2.8),
+    },
+    PaperTable1Row {
+        corpus: "testbedS",
+        tables: 46,
+        columns: 2_553,
+        avg_rows: 209_646.0,
+        queries: Some(177),
+        avg_answers: Some(3.6),
+    },
+    PaperTable1Row {
+        corpus: "testbedM",
+        tables: 46,
+        columns: 1_067,
+        avg_rows: 3_175_904.0,
+        queries: Some(188),
+        avg_answers: Some(4.4),
+    },
+    PaperTable1Row {
+        corpus: "testbedL",
+        tables: 19,
+        columns: 541,
+        avg_rows: 12_288_165.0,
+        queries: Some(92),
+        avg_answers: Some(3.6),
+    },
+    PaperTable1Row {
+        corpus: "spider",
+        tables: 70,
+        columns: 429,
+        avg_rows: 7_632.0,
+        queries: Some(60),
+        avg_answers: Some(1.1),
+    },
+    PaperTable1Row {
+        corpus: "sigma",
+        tables: 98,
+        columns: 1_343,
+        avg_rows: 2_243_932.0,
+        queries: None,
+        avg_answers: None,
+    },
 ];
 
 /// One cell of the paper's Table 2 (end-to-end seconds per query at k=10;
@@ -43,8 +85,20 @@ pub struct PaperTable2Row {
 
 /// Paper Table 2.
 pub const PAPER_TABLE2: &[PaperTable2Row] = &[
-    PaperTable2Row { corpus: "testbedS", aurum: 0.18, d3l: 4.77, warpgate: 3.12, warpgate_lookup: 1.04 },
-    PaperTable2Row { corpus: "testbedM", aurum: 0.03, d3l: 57.69, warpgate: 38.73, warpgate_lookup: 8.39 },
+    PaperTable2Row {
+        corpus: "testbedS",
+        aurum: 0.18,
+        d3l: 4.77,
+        warpgate: 3.12,
+        warpgate_lookup: 1.04,
+    },
+    PaperTable2Row {
+        corpus: "testbedM",
+        aurum: 0.03,
+        d3l: 57.69,
+        warpgate: 38.73,
+        warpgate_lookup: 8.39,
+    },
 ];
 
 /// Qualitative expectations from Figure 4 used by the reports (the figure

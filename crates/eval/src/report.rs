@@ -60,10 +60,7 @@ mod tests {
     fn renders_aligned() {
         let t = table(
             &["system", "p@2"],
-            &[
-                vec!["Aurum".into(), "0.10".into()],
-                vec!["WarpGate".into(), "0.45".into()],
-            ],
+            &[vec!["Aurum".into(), "0.10".into()], vec!["WarpGate".into(), "0.45".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

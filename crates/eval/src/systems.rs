@@ -7,10 +7,10 @@
 
 use std::sync::Arc;
 
+use warpgate_core::{WarpGate, WarpGateConfig};
 use wg_baselines::{Aurum, AurumConfig, D3l, D3lConfig};
 use wg_store::{CdwConnector, ColumnRef, SampleSpec, StoreResult};
 use wg_util::timing::Stopwatch;
-use warpgate_core::{WarpGate, WarpGateConfig};
 
 /// Timing decomposition common to all systems. Components a system does
 /// not have (Aurum never loads at query time) stay zero.
@@ -127,10 +127,8 @@ pub fn build_systems(
 ) -> StoreResult<Vec<Box<dyn System>>> {
     let aurum = Aurum::build(connector, AurumConfig::default())?;
     let d3l = D3l::build(connector, D3lConfig::default())?;
-    let warpgate = WarpGate::new(WarpGateConfig {
-        sample: query_sample,
-        ..WarpGateConfig::default()
-    });
+    let warpgate =
+        WarpGate::new(WarpGateConfig { sample: query_sample, ..WarpGateConfig::default() });
     warpgate.index_warehouse(connector)?;
     Ok(vec![
         Box::new(AurumSystem(aurum)),
@@ -164,11 +162,8 @@ mod tests {
     fn all_systems_answer_queries() {
         let corpus = wg_corpora::build_testbed(&TestbedSpec::xs(0.05));
         let connector = CdwConnector::new(corpus.warehouse, CdwConfig::free());
-        let systems = build_systems(
-            &connector,
-            SampleSpec::DistinctReservoir { n: 500, seed: 1 },
-        )
-        .unwrap();
+        let systems =
+            build_systems(&connector, SampleSpec::DistinctReservoir { n: 500, seed: 1 }).unwrap();
         assert_eq!(systems.len(), 3);
         let q = &corpus.queries[0];
         for s in &systems {

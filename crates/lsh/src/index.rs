@@ -10,7 +10,7 @@ use wg_util::codec::{self, CodecError, CodecResult};
 use wg_util::{FxHashMap, FxHashSet, TopK};
 
 use crate::params::LshParams;
-use crate::simhash::{SimHasher, Signature};
+use crate::simhash::{Signature, SimHasher};
 use crate::ItemId;
 
 /// Diagnostics from one search.
@@ -176,11 +176,7 @@ impl SimHashLshIndex {
             let v = &self.vectors[&id];
             topk.push(cosine(query, v) as f64, id);
         }
-        let results = topk
-            .into_sorted()
-            .into_iter()
-            .map(|(s, id)| (id, s as f32))
-            .collect();
+        let results = topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
         (results, SearchOutcome { candidates: total, scored })
     }
 
@@ -300,8 +296,7 @@ mod tests {
     }
 
     fn perturb(v: &[f32], noise: f32, rng: &mut Xoshiro256pp) -> Vec<f32> {
-        let mut out: Vec<f32> =
-            v.iter().map(|x| x + noise * rng.gen_gaussian() as f32).collect();
+        let mut out: Vec<f32> = v.iter().map(|x| x + noise * rng.gen_gaussian() as f32).collect();
         let n = out.iter().map(|x| x * x).sum::<f32>().sqrt();
         for x in &mut out {
             *x /= n;
@@ -334,11 +329,7 @@ mod tests {
         let (_, outcome) = index.search_with_outcome(&query, 10, |_| false);
         // Random 64-d vectors have cosine ~N(0, 1/8); with a 0.7 threshold
         // nearly all 500 must be pruned before exact scoring.
-        assert!(
-            outcome.candidates < 100,
-            "candidate pruning ineffective: {}",
-            outcome.candidates
-        );
+        assert!(outcome.candidates < 100, "candidate pruning ineffective: {}", outcome.candidates);
     }
 
     #[test]
@@ -412,8 +403,7 @@ mod tests {
             index.search(&base, 20, |_| false).into_iter().map(|(id, _)| id).collect();
         let exact: Vec<ItemId> =
             index.search_exact(&base, 20, |_| false).into_iter().map(|(id, _)| id).collect();
-        let recall =
-            exact.iter().filter(|id| lsh.contains(id)).count() as f64 / exact.len() as f64;
+        let recall = exact.iter().filter(|id| lsh.contains(id)).count() as f64 / exact.len() as f64;
         assert!(recall > 0.75, "ANN recall too low: {recall}");
     }
 

@@ -30,10 +30,10 @@ pub mod simhash;
 
 pub use exact::ExactIndex;
 pub use index::{SearchOutcome, SimHashLshIndex};
-pub use minhash::{MinHashLshIndex, MinHasher, MinHashSignature};
+pub use minhash::{MinHashLshIndex, MinHashSignature, MinHasher};
 pub use params::LshParams;
 pub use pivot::PivotIndex;
-pub use simhash::{SimHasher, Signature};
+pub use simhash::{Signature, SimHasher};
 
 /// Item identifiers stored in the indexes. Callers keep the mapping from
 /// these to their own addressing (e.g. fully-qualified column refs).

@@ -61,7 +61,10 @@ impl MinHasher {
     }
 
     /// Sign a set of strings.
-    pub fn sign_strs<S: AsRef<str>, I: IntoIterator<Item = S>>(&self, items: I) -> MinHashSignature {
+    pub fn sign_strs<S: AsRef<str>, I: IntoIterator<Item = S>>(
+        &self,
+        items: I,
+    ) -> MinHashSignature {
         self.sign(items.into_iter().map(|s| wg_util::stable_hash_str(s.as_ref())))
     }
 }

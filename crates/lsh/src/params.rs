@@ -52,8 +52,8 @@ impl LshParams {
                 }
                 let cand = LshParams { bands, rows };
                 let err = (cand.midpoint_similarity() - threshold).abs();
-                let better = err + 1e-9 < best_err
-                    || (err < best_err + 0.02 && cand.bits() > best.bits());
+                let better =
+                    err + 1e-9 < best_err || (err < best_err + 0.02 && cand.bits() > best.bits());
                 if better {
                     // Only accept "more bits at similar error" if error does
                     // not regress past the tolerance band.

@@ -30,11 +30,7 @@ impl Signature {
     /// Hamming distance to another signature of the same width.
     pub fn hamming(&self, other: &Signature) -> u32 {
         debug_assert_eq!(self.bits, other.bits);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// Cosine similarity estimated from the Hamming distance:
@@ -176,10 +172,7 @@ mod tests {
             }
             let truth = cosine(&a, &b);
             let est = h.sign(&a).cosine_estimate(&h.sign(&b));
-            assert!(
-                (truth - est).abs() < 0.15,
-                "estimate {est:.3} too far from truth {truth:.3}"
-            );
+            assert!((truth - est).abs() < 0.15, "estimate {est:.3} too far from truth {truth:.3}");
         }
     }
 

@@ -49,10 +49,8 @@ impl FormatProfile {
             *counts.entry(pattern_of(&value)).or_insert(0) += count as u64;
             total += count as u64;
         }
-        let mut histogram: Vec<(String, f64)> = counts
-            .into_iter()
-            .map(|(p, c)| (p, c as f64 / total.max(1) as f64))
-            .collect();
+        let mut histogram: Vec<(String, f64)> =
+            counts.into_iter().map(|(p, c)| (p, c as f64 / total.max(1) as f64)).collect();
         histogram.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         FormatProfile { histogram }
     }
@@ -122,9 +120,7 @@ mod tests {
     fn histogram_is_normalized_and_sorted() {
         let c = Column::text("c", ["abc", "def", "XY"]);
         let f = FormatProfile::build(&c);
-        let total: f64 = (0..f.num_patterns())
-            .map(|i| f.histogram[i].1)
-            .sum();
+        let total: f64 = (0..f.num_patterns()).map(|i| f.histogram[i].1).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert_eq!(f.top_pattern(), Some("a")); // two of three values are "a"
     }

@@ -58,13 +58,9 @@ impl NumericSketch {
         let overlap = (amax.min(bmax) - amin.max(bmin)).max(0.0) / span;
 
         // Shape term: L1 between quantile vectors, normalized by the span.
-        let l1: f64 = self
-            .quantiles
-            .iter()
-            .zip(&other.quantiles)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            / KNOTS as f64;
+        let l1: f64 =
+            self.quantiles.iter().zip(&other.quantiles).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                / KNOTS as f64;
         let shape = (1.0 - l1 / span).max(0.0);
 
         (0.5 * overlap + 0.5 * shape).clamp(0.0, 1.0)

@@ -85,9 +85,14 @@ mod tests {
 
     #[test]
     fn overlapping_columns_high_content_similarity() {
-        let a = profile("a", &Column::text("a", (0..100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
-        let b = profile("b", &Column::text("b", (0..100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
-        let c = profile("c", &Column::text("c", (1000..1100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
+        let a =
+            profile("a", &Column::text("a", (0..100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
+        let b =
+            profile("b", &Column::text("b", (0..100).map(|i| format!("v{i}")).collect::<Vec<_>>()));
+        let c = profile(
+            "c",
+            &Column::text("c", (1000..1100).map(|i| format!("v{i}")).collect::<Vec<_>>()),
+        );
         assert!(a.content_similarity(&b) > 0.95);
         assert!(a.content_similarity(&c) < 0.05);
     }
@@ -96,8 +101,14 @@ mod tests {
     fn containment_estimate_for_fk_pk() {
         // FK (20 values) fully contained in PK (200 values): J = 0.1,
         // containment of FK in PK should estimate near 1.0.
-        let pk = profile("id", &Column::text("id", (0..200).map(|i| format!("k{i}")).collect::<Vec<_>>()));
-        let fk = profile("ref_id", &Column::text("ref_id", (0..20).map(|i| format!("k{i}")).collect::<Vec<_>>()));
+        let pk = profile(
+            "id",
+            &Column::text("id", (0..200).map(|i| format!("k{i}")).collect::<Vec<_>>()),
+        );
+        let fk = profile(
+            "ref_id",
+            &Column::text("ref_id", (0..20).map(|i| format!("k{i}")).collect::<Vec<_>>()),
+        );
         let c = fk.containment_estimate(&pk);
         assert!(c > 0.75, "containment estimate {c}");
         // And the reverse direction is small.

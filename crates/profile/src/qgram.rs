@@ -9,11 +9,8 @@ use wg_util::FxHashSet;
 /// Padded q-grams of a (normalized) column name. `q` is typically 3.
 pub fn name_qgrams(name: &str, q: usize) -> FxHashSet<String> {
     debug_assert!(q >= 2);
-    let normalized: String = name
-        .chars()
-        .filter(|c| c.is_alphanumeric())
-        .flat_map(|c| c.to_lowercase())
-        .collect();
+    let normalized: String =
+        name.chars().filter(|c| c.is_alphanumeric()).flat_map(|c| c.to_lowercase()).collect();
     let mut out = FxHashSet::default();
     if normalized.is_empty() {
         return out;

@@ -74,10 +74,7 @@ impl Database {
 
     /// Remove a table by name, returning it if present.
     pub fn remove_table(&mut self, name: &str) -> Option<Table> {
-        self.tables
-            .iter()
-            .position(|t| t.name() == name)
-            .map(|pos| self.tables.remove(pos))
+        self.tables.iter().position(|t| t.name() == name).map(|pos| self.tables.remove(pos))
     }
 
     /// All tables.
@@ -159,9 +156,7 @@ impl Warehouse {
     pub fn iter_columns(&self) -> impl Iterator<Item = (ColumnRef, &Column)> + '_ {
         self.databases.iter().flat_map(|db| {
             db.tables().iter().flat_map(move |t| {
-                t.columns().iter().map(move |c| {
-                    (ColumnRef::new(db.name(), t.name(), c.name()), c)
-                })
+                t.columns().iter().map(move |c| (ColumnRef::new(db.name(), t.name(), c.name()), c))
             })
         })
     }
@@ -173,20 +168,12 @@ impl Warehouse {
 
     /// Total number of columns.
     pub fn num_columns(&self) -> usize {
-        self.databases
-            .iter()
-            .flat_map(|d| d.tables())
-            .map(|t| t.num_columns())
-            .sum()
+        self.databases.iter().flat_map(|d| d.tables()).map(|t| t.num_columns()).sum()
     }
 
     /// Total number of rows across all tables.
     pub fn num_rows(&self) -> u64 {
-        self.databases
-            .iter()
-            .flat_map(|d| d.tables())
-            .map(|t| t.num_rows() as u64)
-            .sum()
+        self.databases.iter().flat_map(|d| d.tables()).map(|t| t.num_rows() as u64).sum()
     }
 
     /// Mean rows per table (0 when empty).
@@ -250,10 +237,7 @@ mod tests {
     fn iter_columns_is_exhaustive_and_ordered() {
         let w = wh();
         let refs: Vec<String> = w.iter_columns().map(|(r, _)| r.to_string()).collect();
-        assert_eq!(
-            refs,
-            vec!["sales.accounts.name", "sales.accounts.id", "sales.leads.company"]
-        );
+        assert_eq!(refs, vec!["sales.accounts.name", "sales.accounts.id", "sales.leads.company"]);
     }
 
     #[test]
@@ -276,8 +260,7 @@ mod tests {
     #[test]
     fn database_mut_creates() {
         let mut w = wh();
-        w.database_mut("new_db")
-            .add_table(Table::new("t", vec![]).unwrap());
+        w.database_mut("new_db").add_table(Table::new("t", vec![]).unwrap());
         assert!(w.database("new_db").is_ok());
     }
 }

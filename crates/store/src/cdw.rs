@@ -69,7 +69,8 @@ impl CostMeter {
     fn charge(&self, config: &CdwConfig, bytes: usize) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        let secs = config.per_request_secs + config.per_mb_secs * (bytes as f64 / (1u64 << 20) as f64);
+        let secs =
+            config.per_request_secs + config.per_mb_secs * (bytes as f64 / (1u64 << 20) as f64);
         self.virtual_nanos.fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
     }
 
@@ -169,7 +170,12 @@ impl CdwConnector {
     }
 
     /// Scan a whole table (one request; all columns share the row sample).
-    pub fn scan_table(&self, database: &str, table: &str, sample: SampleSpec) -> StoreResult<Table> {
+    pub fn scan_table(
+        &self,
+        database: &str,
+        table: &str,
+        sample: SampleSpec,
+    ) -> StoreResult<Table> {
         let t = self.warehouse.table(database, table)?;
         let sampled = sample.apply_table(t);
         let mut wire = Vec::with_capacity(sampled.approx_bytes() + 64);
@@ -212,7 +218,10 @@ mod tests {
             Table::new(
                 "t",
                 vec![
-                    Column::text("name", (0..1000).map(|i| format!("value_{i}")).collect::<Vec<_>>()),
+                    Column::text(
+                        "name",
+                        (0..1000).map(|i| format!("value_{i}")).collect::<Vec<_>>(),
+                    ),
                     Column::ints("n", (0..1000).collect()),
                 ],
             )
@@ -225,9 +234,7 @@ mod tests {
     #[test]
     fn scan_roundtrips_data() {
         let c = connector();
-        let col = c
-            .scan_column(&ColumnRef::new("db", "t", "name"), SampleSpec::Full)
-            .unwrap();
+        let col = c.scan_column(&ColumnRef::new("db", "t", "name"), SampleSpec::Full).unwrap();
         assert_eq!(col.len(), 1000);
         assert_eq!(col.get(5).to_string(), "value_5");
     }
@@ -280,9 +287,7 @@ mod tests {
     #[test]
     fn scan_table_keeps_alignment() {
         let c = connector();
-        let t = c
-            .scan_table("db", "t", SampleSpec::Reservoir { n: 10, seed: 1 })
-            .unwrap();
+        let t = c.scan_table("db", "t", SampleSpec::Reservoir { n: 10, seed: 1 }).unwrap();
         assert_eq!(t.num_rows(), 10);
         for r in 0..10 {
             let name = t.column("name").unwrap().get(r).to_string();
@@ -300,8 +305,7 @@ mod tests {
     #[test]
     fn free_config_zero_cost() {
         let mut w = Warehouse::new("w");
-        w.database_mut("d")
-            .add_table(Table::new("t", vec![Column::ints("x", vec![1])]).unwrap());
+        w.database_mut("d").add_table(Table::new("t", vec![Column::ints("x", vec![1])]).unwrap());
         let c = CdwConnector::new(w, CdwConfig::free());
         c.scan_column(&ColumnRef::new("d", "t", "x"), SampleSpec::Full).unwrap();
         let s = c.costs();

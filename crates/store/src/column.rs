@@ -265,13 +265,7 @@ impl Column {
             }
             Some(DataType::Text) => Self::text_opt(
                 name,
-                values.iter().map(|v| {
-                    if v.is_null() {
-                        None
-                    } else {
-                        Some(v.to_string())
-                    }
-                }),
+                values.iter().map(|v| if v.is_null() { None } else { Some(v.to_string()) }),
             ),
         }
     }
@@ -322,10 +316,9 @@ impl Column {
         match &self.data {
             ColumnData::Bool { validity, .. }
             | ColumnData::Int { validity, .. }
-            | ColumnData::Float { validity, .. } => validity
-                .as_ref()
-                .map(|v| v.iter().filter(|&&ok| !ok).count())
-                .unwrap_or(0),
+            | ColumnData::Float { validity, .. } => {
+                validity.as_ref().map(|v| v.iter().filter(|&&ok| !ok).count()).unwrap_or(0)
+            }
             ColumnData::Text(t) => t.null_count(),
         }
     }
@@ -374,12 +367,9 @@ impl Column {
     /// embedding and profiling layers consume.
     pub fn value_counts(&self) -> Vec<(String, u32)> {
         match &self.data {
-            ColumnData::Text(t) => t
-                .dict
-                .iter()
-                .zip(t.counts.iter())
-                .map(|(s, &c)| (s.clone(), c))
-                .collect(),
+            ColumnData::Text(t) => {
+                t.dict.iter().zip(t.counts.iter()).map(|(s, &c)| (s.clone(), c)).collect()
+            }
             _ => {
                 let mut map: FxHashMap<String, u32> = FxHashMap::default();
                 let mut order: Vec<String> = Vec::new();
@@ -396,10 +386,13 @@ impl Column {
                         }
                     }
                 }
-                order.into_iter().map(|s| {
-                    let c = map[&s];
-                    (s, c)
-                }).collect()
+                order
+                    .into_iter()
+                    .map(|s| {
+                        let c = map[&s];
+                        (s, c)
+                    })
+                    .collect()
             }
         }
     }

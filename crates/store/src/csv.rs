@@ -124,9 +124,9 @@ pub fn read_table(name: impl Into<String>, input: &str) -> StoreResult<Table> {
                 Value::Null
             } else {
                 match ty {
-                    Some(DataType::Int) => Value::Int(
-                        dtype::parse_int(raw).expect("inferred Int implies parseable"),
-                    ),
+                    Some(DataType::Int) => {
+                        Value::Int(dtype::parse_int(raw).expect("inferred Int implies parseable"))
+                    }
                     Some(DataType::Float) => Value::Float(
                         dtype::parse_float(raw).expect("inferred Float implies parseable"),
                     ),
@@ -267,11 +267,8 @@ mod tests {
 
     #[test]
     fn roundtrip_table() {
-        let t = read_table(
-            "t",
-            "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\nplain,\n",
-        )
-        .unwrap();
+        let t =
+            read_table("t", "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\nplain,\n").unwrap();
         let csv = write_table(&t);
         let t2 = read_table("t", &csv).unwrap();
         assert_eq!(t.column("name").unwrap(), t2.column("name").unwrap());

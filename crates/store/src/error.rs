@@ -55,10 +55,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            StoreError::NotFound("db.t.c".into()).to_string(),
-            "not found: db.t.c"
-        );
+        assert_eq!(StoreError::NotFound("db.t.c".into()).to_string(), "not found: db.t.c");
         assert!(StoreError::Csv { line: 3, message: "unterminated quote".into() }
             .to_string()
             .contains("line 3"));

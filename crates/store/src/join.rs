@@ -331,11 +331,8 @@ mod tests {
     #[test]
     fn left_outer_keeps_unmatched() {
         let l = Table::new("l", vec![Column::ints("k", vec![1, 2])]).unwrap();
-        let r = Table::new(
-            "r",
-            vec![Column::ints("k", vec![2]), Column::text("v", ["b"])],
-        )
-        .unwrap();
+        let r =
+            Table::new("r", vec![Column::ints("k", vec![2]), Column::text("v", ["b"])]).unwrap();
         let j = hash_join(&l, "k", &r, "k", JoinType::LeftOuter, KeyNorm::Exact).unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(j.column("v").unwrap().get(0), ValueRef::Null);
@@ -345,11 +342,8 @@ mod tests {
     #[test]
     fn inner_join_multiplies_matches() {
         let l = Table::new("l", vec![Column::ints("k", vec![1])]).unwrap();
-        let r = Table::new(
-            "r",
-            vec![Column::ints("k", vec![1, 1]), Column::text("v", ["a", "b"])],
-        )
-        .unwrap();
+        let r = Table::new("r", vec![Column::ints("k", vec![1, 1]), Column::text("v", ["a", "b"])])
+            .unwrap();
         let j = hash_join(&l, "k", &r, "k", JoinType::Inner, KeyNorm::Exact).unwrap();
         assert_eq!(j.num_rows(), 2);
     }
@@ -357,15 +351,9 @@ mod tests {
     #[test]
     fn lookup_join_preserves_cardinality() {
         let base = accounts();
-        let aug = lookup_join(
-            &base,
-            "name",
-            &industries(),
-            "company",
-            &["sector"],
-            KeyNorm::CaseFold,
-        )
-        .unwrap();
+        let aug =
+            lookup_join(&base, "name", &industries(), "company", &["sector"], KeyNorm::CaseFold)
+                .unwrap();
         assert_eq!(aug.num_rows(), base.num_rows(), "cardinality preserved");
         assert_eq!(aug.column("sector").unwrap().get(0), ValueRef::Text("Manufacturing"));
         assert_eq!(aug.column("sector").unwrap().get(1), ValueRef::Null);
@@ -386,13 +374,10 @@ mod tests {
 
     #[test]
     fn lookup_join_disambiguates_names() {
-        let base = Table::new("b", vec![Column::ints("k", vec![1]), Column::text("v", ["x"])])
-            .unwrap();
-        let lk = Table::new(
-            "l",
-            vec![Column::ints("k", vec![1]), Column::text("v", ["y"])],
-        )
-        .unwrap();
+        let base =
+            Table::new("b", vec![Column::ints("k", vec![1]), Column::text("v", ["x"])]).unwrap();
+        let lk =
+            Table::new("l", vec![Column::ints("k", vec![1]), Column::text("v", ["y"])]).unwrap();
         let j = lookup_join(&base, "k", &lk, "k", &[], KeyNorm::Exact).unwrap();
         assert_eq!(j.column("right_v").unwrap().get(0), ValueRef::Text("y"));
     }

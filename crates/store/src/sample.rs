@@ -74,8 +74,7 @@ impl SampleSpec {
         match *self {
             SampleSpec::Full => table.clone(),
             SampleSpec::Head(n) => table.head(n),
-            SampleSpec::Reservoir { n, seed }
-            | SampleSpec::DistinctReservoir { n, seed } => {
+            SampleSpec::Reservoir { n, seed } | SampleSpec::DistinctReservoir { n, seed } => {
                 let idx = reservoir_indices(table.num_rows(), n, seed);
                 table.take(&idx)
             }

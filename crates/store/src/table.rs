@@ -64,10 +64,9 @@ impl Table {
 
     /// Column by name.
     pub fn column(&self, name: &str) -> StoreResult<&Column> {
-        self.columns
-            .iter()
-            .find(|c| c.name() == name)
-            .ok_or_else(|| StoreError::NotFound(format!("column '{}' in table '{}'", name, self.name)))
+        self.columns.iter().find(|c| c.name() == name).ok_or_else(|| {
+            StoreError::NotFound(format!("column '{}' in table '{}'", name, self.name))
+        })
     }
 
     /// Position of a column by name.
@@ -192,19 +191,14 @@ mod tests {
 
     #[test]
     fn rejects_ragged_columns() {
-        let err = Table::new(
-            "bad",
-            vec![Column::ints("a", vec![1]), Column::ints("b", vec![1, 2])],
-        );
+        let err =
+            Table::new("bad", vec![Column::ints("a", vec![1]), Column::ints("b", vec![1, 2])]);
         assert!(matches!(err, Err(StoreError::Schema(_))));
     }
 
     #[test]
     fn rejects_duplicate_names() {
-        let err = Table::new(
-            "bad",
-            vec![Column::ints("a", vec![1]), Column::ints("a", vec![2])],
-        );
+        let err = Table::new("bad", vec![Column::ints("a", vec![1]), Column::ints("a", vec![2])]);
         assert!(matches!(err, Err(StoreError::Schema(_))));
     }
 

@@ -237,10 +237,7 @@ pub fn get_header(buf: &mut impl Buf, magic: [u8; 4]) -> CodecResult<u32> {
     let mut got = [0u8; 4];
     buf.copy_to_slice(&mut got);
     if got != magic {
-        return Err(CodecError::Invalid(format!(
-            "bad magic {:?}, expected {:?}",
-            got, magic
-        )));
+        return Err(CodecError::Invalid(format!("bad magic {:?}, expected {:?}", got, magic)));
     }
     Ok(buf.get_u32_le())
 }

@@ -94,8 +94,7 @@ impl<T: Ord> TopK<T> {
     /// Consume the collector, returning `(score, item)` pairs sorted by
     /// descending score (ties: ascending item).
     pub fn into_sorted(self) -> Vec<(f64, T)> {
-        let mut v: Vec<(f64, T)> =
-            self.heap.into_iter().map(|e| (e.score, e.item)).collect();
+        let mut v: Vec<(f64, T)> = self.heap.into_iter().map(|e| (e.score, e.item)).collect();
         v.sort_by(|a, b| {
             b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
         });
@@ -178,9 +177,7 @@ mod tests {
             let got = tk.into_sorted();
             let mut want: Vec<(f64, usize)> =
                 scores.iter().copied().enumerate().map(|(i, s)| (s, i)).collect();
-            want.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1))
-            });
+            want.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
             want.truncate(k);
             assert_eq!(got, want);
         }

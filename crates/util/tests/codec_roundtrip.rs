@@ -1,0 +1,87 @@
+//! Integration test for the `wg_util` binary codec: a composite frame —
+//! header, scalars, strings, and slices — must round-trip exactly, and
+//! decoding must fail cleanly (never panic) at every truncation point.
+
+use wg_util::codec::{
+    get_bytes, get_f32_vec, get_f64, get_header, get_i64, get_str, get_u32, get_u32_vec, get_u64,
+    get_u64_vec, get_u8, put_bytes, put_f32_slice, put_f64, put_header, put_i64, put_str, put_u32,
+    put_u32_slice, put_u64, put_u64_slice, put_u8, CodecError,
+};
+
+const MAGIC: [u8; 4] = *b"WGRT";
+
+fn composite_frame() -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_header(&mut buf, MAGIC, 7);
+    put_u8(&mut buf, 0x5A);
+    put_u32(&mut buf, 123_456_789);
+    put_u64(&mut buf, u64::MAX / 3);
+    put_i64(&mut buf, i64::MIN + 1);
+    put_f64(&mut buf, -std::f64::consts::PI);
+    put_str(&mut buf, "héllo wörld — κόσμε");
+    put_str(&mut buf, "");
+    put_bytes(&mut buf, &[0xFF, 0x00, 0x7F]);
+    put_f32_slice(&mut buf, &[0.0, -1.5, f32::MAX, f32::MIN_POSITIVE]);
+    put_u64_slice(&mut buf, &[0, 1, u64::MAX]);
+    put_u32_slice(&mut buf, &[]);
+    buf
+}
+
+#[test]
+fn composite_frame_roundtrips_exactly() {
+    let buf = composite_frame();
+    let mut r = &buf[..];
+    assert_eq!(get_header(&mut r, MAGIC).unwrap(), 7);
+    assert_eq!(get_u8(&mut r).unwrap(), 0x5A);
+    assert_eq!(get_u32(&mut r).unwrap(), 123_456_789);
+    assert_eq!(get_u64(&mut r).unwrap(), u64::MAX / 3);
+    assert_eq!(get_i64(&mut r).unwrap(), i64::MIN + 1);
+    assert_eq!(get_f64(&mut r).unwrap(), -std::f64::consts::PI);
+    assert_eq!(get_str(&mut r).unwrap(), "héllo wörld — κόσμε");
+    assert_eq!(get_str(&mut r).unwrap(), "");
+    assert_eq!(get_bytes(&mut r).unwrap(), vec![0xFF, 0x00, 0x7F]);
+    assert_eq!(get_f32_vec(&mut r).unwrap(), vec![0.0, -1.5, f32::MAX, f32::MIN_POSITIVE]);
+    assert_eq!(get_u64_vec(&mut r).unwrap(), vec![0, 1, u64::MAX]);
+    assert_eq!(get_u32_vec(&mut r).unwrap(), Vec::<u32>::new());
+    assert!(r.is_empty(), "{} trailing bytes", r.len());
+}
+
+#[test]
+fn every_truncation_point_errors_cleanly() {
+    let buf = composite_frame();
+    for cut in 0..buf.len() {
+        let mut r = &buf[..cut];
+        // Walk the same decode schedule; exactly one step must fail with
+        // UnexpectedEof (magic mismatch is impossible on a prefix).
+        let outcome = (|| {
+            get_header(&mut r, MAGIC)?;
+            get_u8(&mut r)?;
+            get_u32(&mut r)?;
+            get_u64(&mut r)?;
+            get_i64(&mut r)?;
+            get_f64(&mut r)?;
+            get_str(&mut r)?;
+            get_str(&mut r)?;
+            get_bytes(&mut r)?;
+            get_f32_vec(&mut r)?;
+            get_u64_vec(&mut r)?;
+            get_u32_vec(&mut r)?;
+            Ok(())
+        })();
+        assert_eq!(outcome, Err(CodecError::UnexpectedEof), "cut at {cut}");
+    }
+}
+
+#[test]
+fn corrupt_magic_and_length_are_invalid_not_panics() {
+    let mut buf = composite_frame();
+    buf[0] ^= 0xFF;
+    let mut r = &buf[..];
+    assert!(matches!(get_header(&mut r, MAGIC), Err(CodecError::Invalid(_))));
+
+    // A giant length prefix must be rejected before allocation.
+    let mut evil = Vec::new();
+    put_u32(&mut evil, u32::MAX);
+    let mut r = &evil[..];
+    assert!(matches!(get_str(&mut r), Err(CodecError::Invalid(_))));
+}

@@ -55,11 +55,7 @@ fn main() {
         fleet.median_tables(),
         fleet.mean_tables()
     );
-    println!(
-        "rows per table: median {} / mean {:.2e}",
-        fleet.median_rows(),
-        fleet.mean_rows()
-    );
+    println!("rows per table: median {} / mean {:.2e}", fleet.median_rows(), fleet.mean_rows());
     let pricing = CdwConfig::default();
     let active_1k = fleet.active_sampling_cost_usd(1_000, &pricing);
     let active_10 = fleet.active_sampling_cost_usd(10, &pricing);

@@ -33,10 +33,7 @@ fn main() {
                     "company",
                     ["ACME CORP", "GLOBEX INC", "INITECH LLC", "HOOLI CO", "WAYNE ENTERPRISES"],
                 ),
-                Column::text(
-                    "sector",
-                    ["Manufacturing", "Energy", "Software", "Media", "Defense"],
-                ),
+                Column::text("sector", ["Manufacturing", "Energy", "Software", "Media", "Defense"]),
             ],
         )
         .expect("valid table"),
@@ -83,9 +80,7 @@ fn main() {
     // 4. "Add column via lookup": pull `sector` next to the account names,
     //    joining across the formatting difference with AlphaNum keys.
     let best = &discovery.candidates[0].reference;
-    let base = connector
-        .scan_table("crm", "accounts", SampleSpec::Full)
-        .expect("scan base table");
+    let base = connector.scan_table("crm", "accounts", SampleSpec::Full).expect("scan base table");
     let augmented = warpgate
         .augment_via_lookup(&connector, &base, "name", best, &["sector"], KeyNorm::AlphaNum)
         .expect("lookup join");

@@ -57,9 +57,8 @@ fn main() {
     println!("\nJoey picks: {industries}");
 
     // Step 3: enrich ACCOUNT with the sector column.
-    let account = connector
-        .scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full)
-        .expect("scan ACCOUNT");
+    let account =
+        connector.scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full).expect("scan ACCOUNT");
     let enriched = warpgate
         .augment_via_lookup(
             &connector,
@@ -77,7 +76,14 @@ fn main() {
     // and compute a mean closing price per account.
     let prices_ref = ColumnRef::new("STOCKS", "PRICES", "Ticker");
     let with_prices = warpgate
-        .augment_via_lookup(&connector, &enriched, "Ticker", &prices_ref, &["Close"], KeyNorm::Exact)
+        .augment_via_lookup(
+            &connector,
+            &enriched,
+            "Ticker",
+            &prices_ref,
+            &["Close"],
+            KeyNorm::Exact,
+        )
         .expect("price chain join");
 
     // Shortlist: Information Technology accounts with a known price.

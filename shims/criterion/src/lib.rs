@@ -1,0 +1,198 @@
+//! Minimal, API-compatible stand-in for the [`criterion`] benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset the `wg_bench` targets use — `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! as a small wall-clock timing loop. It reports median iteration time
+//! per benchmark to stdout. Statistical analysis, plots, and baseline
+//! comparison are out of scope; swap in the real crate for those.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, as `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        Self { id: s.clone() }
+    }
+}
+
+/// Passed to the closure given to [`Bencher::iter`]; times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle passed to every bench function.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: self.default_samples, _parent: self }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.samples = n;
+        self
+    }
+
+    /// Time `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let median = self.run(&mut f);
+        report(&self.name, &id.id, median);
+        self
+    }
+
+    /// Time `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let median = self.run(&mut |b: &mut Bencher| f(b, input));
+        report(&self.name, &id.id, median);
+        self
+    }
+
+    /// Close the group. (No-op: the shim reports as it goes.)
+    pub fn finish(self) {}
+
+    /// Collect `self.samples` timed samples of one iteration each (after a
+    /// warm-up call) and return the median per-iteration time.
+    fn run(&self, f: &mut dyn FnMut(&mut Bencher)) -> Duration {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b); // warm-up
+        let mut samples: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                f(&mut b);
+                b.elapsed
+            })
+            .collect();
+        samples.sort();
+        samples[samples.len() / 2]
+    }
+}
+
+fn report(group: &str, id: &str, median: Duration) {
+    println!("bench: {group}/{id} ... median {median:?}");
+}
+
+/// Declare a bench group: `criterion_group!(name, fn1, fn2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        // warm-up + 3 samples, one iteration each
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,694 @@
+//! Minimal, API-compatible stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset the workspace's property tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map`, [`strategy::Just`],
+//!   tuple / range / `&str`-pattern strategies, and [`collection::vec`];
+//! - [`any`] for primitive types;
+//! - the `proptest!`, `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!`
+//!   macros;
+//! - a deterministic per-test RNG (seeded from the test name), so runs are
+//!   reproducible — there is no failure-case shrinking, the failing inputs
+//!   are reported as generated.
+//!
+//! String strategies accept the small regex subset the tests use: literal
+//! characters, `[...]` classes with ranges, `(...)` groups, and the
+//! `{m,n}` / `?` / `*` / `+` quantifiers.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod test_runner {
+    //! Deterministic RNG, config, and error type for test cases.
+
+    /// Per-test deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name gives a stable, well-spread seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be positive.
+        pub fn usize_below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "usize_below(0)");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Run configuration; only the case count is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property: carries the assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::pattern;
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, func: f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.func)(self.source.generate(rng))
+        }
+    }
+
+    type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between heterogeneous strategies with one value type
+    /// (what `prop_oneof!` builds).
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// An empty union; populate with [`Union::or`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self { arms: Vec::new() }
+        }
+
+        /// Add an equally-weighted arm.
+        pub fn or(mut self, s: impl Strategy<Value = V> + 'static) -> Self {
+            self.arms.push(Box::new(move |rng| s.generate(rng)));
+            self
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            self.arms[rng.usize_below(self.arms.len())](rng)
+        }
+    }
+
+    /// String generation from a regex-like pattern literal.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            pattern::generate(self, rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Widen to i64 before subtracting: wrapping_sub in the
+                    // narrow type would sign-extend through `as u64` and
+                    // blow the span up to ~u64::MAX (e.g. -100i8..100).
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    // Truncation of the offset is fine: the true result fits
+                    // in $t, so modular addition lands on it exactly.
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )+};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + rng.next_f64() as $t * (self.end - self.start);
+                    // Rounding can land exactly on `end`; the range is
+                    // half-open, so fold that case back onto `start`.
+                    if v < self.end {
+                        v
+                    } else {
+                        self.start
+                    }
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+)),+ $(,)?) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+    );
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            (rng.next_f64() - 0.5) * 2.0e12
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text well-formed everywhere.
+            (b' ' + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+
+    /// Strategy over `T`'s whole domain.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                self.size.start + rng.usize_below(self.size.end - self.size.start)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with length in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub(crate) mod pattern {
+    //! Generation from the small regex subset used in string strategies.
+
+    use crate::test_runner::TestRng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    enum Node {
+        Literal(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Atom>),
+    }
+
+    struct Atom {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let atoms = parse_seq(&mut chars, None, pattern);
+        let mut out = String::new();
+        emit_seq(&atoms, rng, &mut out);
+        out
+    }
+
+    fn parse_seq(chars: &mut Peekable<Chars>, until: Option<char>, pat: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if Some(c) == until {
+                chars.next();
+                return atoms;
+            }
+            chars.next();
+            let node = match c {
+                '[' => parse_class(chars, pat),
+                '(' => Node::Group(parse_seq(chars, Some(')'), pat)),
+                '\\' => Node::Literal(chars.next().unwrap_or_else(|| bad(pat))),
+                '.' => Node::Class(vec![(' ', '~')]),
+                _ => Node::Literal(c),
+            };
+            let (min, max) = parse_quant(chars, pat);
+            atoms.push(Atom { node, min, max });
+        }
+        if until.is_some() {
+            bad(pat); // unterminated group
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &mut Peekable<Chars>, pat: &str) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars.next().unwrap_or_else(|| bad(pat));
+            if c == ']' {
+                if ranges.is_empty() {
+                    bad(pat); // empty class
+                }
+                return Node::Class(ranges);
+            }
+            let c = if c == '\\' { chars.next().unwrap_or_else(|| bad(pat)) } else { c };
+            // `c-d` is a range unless `-` is the closing char of the class.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&d| d != ']') {
+                    chars.next(); // consume '-'
+                    let d = chars.next().unwrap_or_else(|| bad(pat));
+                    if d < c {
+                        bad(pat);
+                    }
+                    ranges.push((c, d));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+    }
+
+    fn parse_quant(chars: &mut Peekable<Chars>, pat: &str) -> (usize, usize) {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match chars.next().unwrap_or_else(|| bad(pat)) {
+                        '}' => break,
+                        ',' => in_max = true,
+                        d if d.is_ascii_digit() => if in_max { &mut max } else { &mut min }.push(d),
+                        _ => bad(pat),
+                    }
+                }
+                let lo: usize = min.parse().unwrap_or_else(|_| bad(pat));
+                let hi: usize = if in_max { max.parse().unwrap_or_else(|_| bad(pat)) } else { lo };
+                if hi < lo {
+                    bad(pat);
+                }
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn emit_seq(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+        for atom in atoms {
+            let n = atom.min + rng.usize_below(atom.max - atom.min + 1).min(atom.max - atom.min);
+            for _ in 0..n {
+                match &atom.node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                        let mut pick = rng.usize_below(total as usize) as u32;
+                        for &(a, b) in ranges {
+                            let size = b as u32 - a as u32 + 1;
+                            if pick < size {
+                                out.push(char::from_u32(a as u32 + pick).unwrap());
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                    Node::Group(inner) => emit_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    fn bad(pat: &str) -> ! {
+        panic!("unsupported or malformed pattern in proptest shim: {pat:?}")
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strategy))+
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+/// Defines deterministic property tests over generated inputs.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {} of {}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn patterns_match_their_own_grammar() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let t = Strategy::generate(&"[a-z]{1,8}( [a-z]{1,8})?", &mut rng);
+            let words: Vec<&str> = t.split(' ').collect();
+            assert!((1..=2).contains(&words.len()), "{t:?}");
+            for w in words {
+                assert!((1..=8).contains(&w.len()) && w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+
+            let u = Strategy::generate(&"[ -~]{0,18}", &mut rng);
+            assert!(u.len() <= 18 && u.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_the_type_max_stay_in_bounds() {
+        let mut rng = TestRng::from_name("signed");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(-100i8..100), &mut rng);
+            assert!((-100..100).contains(&v), "{v}");
+            let w = Strategy::generate(&(i64::MIN..i64::MAX), &mut rng);
+            assert!(w < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn float_ranges_are_half_open() {
+        let mut rng = TestRng::from_name("half-open");
+        // One-ulp span: rounding pressure toward `end` is maximal here.
+        let tight = 1.0f64..(1.0 + f64::EPSILON);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(0.0f32..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&v), "{v}");
+            let t = Strategy::generate(&tight, &mut rng);
+            assert!((1.0..1.0 + f64::EPSILON).contains(&t), "{t}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let x = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let v = Strategy::generate(&prop::collection::vec(0u32..5, 1..4), &mut rng);
+            assert!((1..4).contains(&v.len()) && v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = TestRng::from_name("oneof");
+        let strategy = prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|v| v)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Strategy::generate(&strategy, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0usize..10, mut b in prop::collection::vec(0u8..3, 0..5)) {
+            b.push(a as u8);
+            prop_assert!(!b.is_empty());
+            prop_assert_eq!(*b.last().unwrap() as usize, a);
+        }
+    }
+}

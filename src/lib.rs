@@ -77,8 +77,8 @@ pub mod prelude {
     pub use warpgate_core::{Discovery, JoinCandidate, QueryTiming, WarpGate, WarpGateConfig};
     pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
     pub use wg_store::{
-        CdwConfig, CdwConnector, Column, ColumnRef, Database, JoinType, KeyNorm, SampleSpec,
-        Table, Warehouse,
+        CdwConfig, CdwConnector, Column, ColumnRef, Database, JoinType, KeyNorm, SampleSpec, Table,
+        Warehouse,
     };
 }
 

@@ -58,10 +58,7 @@ fn warpgate_beats_syntactic_baseline_on_semantic_corpus() {
         |q| aurum.neighbors(q, 10).unwrap().into_iter().map(|(r, _)| r).collect(),
         10,
     );
-    assert!(
-        wg_r > au_r + 0.2,
-        "WarpGate recall {wg_r:.3} should clearly beat Aurum {au_r:.3}"
-    );
+    assert!(wg_r > au_r + 0.2, "WarpGate recall {wg_r:.3} should clearly beat Aurum {au_r:.3}");
     assert!(wg_p >= au_p, "WarpGate precision {wg_p:.3} vs Aurum {au_p:.3}");
     assert!(wg_r > 0.5, "absolute recall floor: {wg_r:.3}");
 }
@@ -88,14 +85,7 @@ fn warpgate_at_least_matches_d3l() {
     );
     let (d3_p, d3_r) = mean_pr(
         &corpus,
-        |q| {
-            d3l.query(&connector, q, 5)
-                .unwrap()
-                .0
-                .into_iter()
-                .map(|h| h.reference)
-                .collect()
-        },
+        |q| d3l.query(&connector, q, 5).unwrap().0.into_iter().map(|h| h.reference).collect(),
         5,
     );
     // XS is the smallest fixture, so allow a modest wobble here; the
@@ -147,9 +137,10 @@ fn incremental_updates_are_visible_to_discovery() {
     let q = corpus.queries[0].clone();
     let answer = corpus.truth.answers(&q)[0].clone();
     let answer_col = connector.warehouse().column(&answer).unwrap().clone();
-    connector.warehouse_mut().database_mut("nextiajd").add_table(
-        Table::new("fresh_table", vec![answer_col.renamed("fresh_copy")]).unwrap(),
-    );
+    connector
+        .warehouse_mut()
+        .database_mut("nextiajd")
+        .add_table(Table::new("fresh_table", vec![answer_col.renamed("fresh_copy")]).unwrap());
     wg.index_table(&connector, "nextiajd", "fresh_table").unwrap();
 
     let hits = wg.discover(&connector, &q, 10).unwrap();

@@ -94,9 +94,8 @@ fn discover_values_matches_column_backed_query() {
     let wg = WarpGate::new(WarpGateConfig::default());
     wg.index_warehouse(&connector).unwrap();
 
-    let pasted: Vec<String> = (0..40u64)
-        .map(|i| warpgate::corpora::Domain::Company.value(i))
-        .collect();
+    let pasted: Vec<String> =
+        (0..40u64).map(|i| warpgate::corpora::Domain::Company.value(i)).collect();
     let hits = wg.discover_values(&pasted, 5);
     assert!(!hits.is_empty());
     let company_ish = hits.iter().any(|h| {

@@ -1,0 +1,85 @@
+//! Workspace smoke test: the facade re-exports compose into the full
+//! WarpGate flow — build a two-database warehouse, index it, run a top-3
+//! discovery, and check that the semantically joinable column wins.
+
+use warpgate::prelude::*;
+
+/// Two databases in different "teams": a CRM with customer names and a
+/// finance mart holding the same companies in SHOUTING CASE plus decoys.
+fn two_database_warehouse() -> Warehouse {
+    let companies =
+        ["Acme Corp", "Globex Inc", "Initech LLC", "Hooli Co", "Stark Industries", "Wayne Corp"];
+    let mut warehouse = Warehouse::new("smoke");
+    warehouse.database_mut("crm").add_table(
+        Table::new(
+            "accounts",
+            vec![
+                Column::text("name", companies),
+                Column::ints("employees", (0..companies.len() as i64).map(|i| i * 11).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    warehouse.database_mut("finance").add_table(
+        Table::new(
+            "industries",
+            vec![
+                Column::text(
+                    "company",
+                    companies.iter().map(|c| c.to_uppercase()).collect::<Vec<_>>(),
+                ),
+                Column::text(
+                    "sector",
+                    ["Manufacturing", "Energy", "Software", "Media", "Biotech", "Defense"],
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+    warehouse.database_mut("finance").add_table(
+        Table::new(
+            "quotes",
+            vec![Column::floats("close", (0..40).map(|i| 10.0 + i as f64).collect())],
+        )
+        .unwrap(),
+    );
+    warehouse
+}
+
+#[test]
+fn facade_discovers_the_join_target_first() {
+    let connector = CdwConnector::with_defaults(two_database_warehouse());
+    let wg = WarpGate::new(WarpGateConfig::default());
+
+    let report = wg.index_warehouse(&connector).unwrap();
+    assert!(report.columns_indexed >= 4, "indexed {}", report.columns_indexed);
+
+    let query = ColumnRef::new("crm", "accounts", "name");
+    let discovery = wg.discover(&connector, &query, 3).unwrap();
+
+    assert!(!discovery.candidates.is_empty(), "no candidates at all");
+    assert!(discovery.candidates.len() <= 3, "k=3 overflowed");
+    let top = &discovery.candidates[0];
+    assert_eq!(top.reference, ColumnRef::new("finance", "industries", "company"));
+    assert!(top.score > 0.9, "format variant should score high, got {}", top.score);
+
+    // Ranked output is sorted best-first.
+    for pair in discovery.candidates.windows(2) {
+        assert!(pair[0].score >= pair[1].score);
+    }
+}
+
+#[test]
+fn facade_augments_via_lookup_join() {
+    let connector = CdwConnector::with_defaults(two_database_warehouse());
+    let wg = WarpGate::new(WarpGateConfig::default());
+    wg.index_warehouse(&connector).unwrap();
+
+    let base = connector.warehouse().table("crm", "accounts").unwrap().clone();
+    let candidate = ColumnRef::new("finance", "industries", "company");
+    let augmented = wg
+        .augment_via_lookup(&connector, &base, "name", &candidate, &["sector"], KeyNorm::CaseFold)
+        .unwrap();
+    assert_eq!(augmented.num_rows(), base.num_rows());
+    assert!(!augmented.column("sector").unwrap().get(0).is_null());
+}
