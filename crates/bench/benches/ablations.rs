@@ -43,9 +43,12 @@ fn ablation_lsh_threshold(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_lsh_threshold/query");
     for threshold in [0.5, 0.6, 0.7, 0.8] {
         for probes in [0usize, 1, 2] {
+            // Cache off: these loops time the cold discover path; a warm
+            // cache would hide the phases the ablation sweeps.
             let wg = WarpGate::new(WarpGateConfig {
                 lsh_threshold: threshold,
                 probes,
+                cache_capacity: 0,
                 ..WarpGateConfig::default()
             });
             wg.index_warehouse(&connector).unwrap();
@@ -93,7 +96,7 @@ fn ablation_dim(c: &mut Criterion) {
     for dim in [32usize, 64, 128, 256] {
         let model = WebTableModel::new(WebTableConfig { dim, ..WebTableConfig::default() });
         let wg = WarpGate::with_model(
-            WarpGateConfig { dim, ..WarpGateConfig::default() },
+            WarpGateConfig { dim, cache_capacity: 0, ..WarpGateConfig::default() },
             Arc::new(model),
         );
         wg.index_warehouse(&connector).unwrap();
@@ -116,7 +119,7 @@ fn ablation_sampling_strategy(c: &mut Criterion) {
         ("reservoir", SampleSpec::Reservoir { n: 100, seed: 7 }),
         ("distinct", SampleSpec::DistinctReservoir { n: 100, seed: 7 }),
     ] {
-        let wg = WarpGate::new(WarpGateConfig::default().with_sample(spec));
+        let wg = WarpGate::new(WarpGateConfig::default().with_sample(spec).with_cache_capacity(0));
         wg.index_warehouse(&connector).unwrap();
         let (p, r) = pr_at_5(&corpus, &connector, &wg);
         println!("  {label}: P {p:.3} R {r:.3}");

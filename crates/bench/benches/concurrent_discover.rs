@@ -1,0 +1,265 @@
+//! Concurrency bench for the sharded hot path (ISSUE 2): discover
+//! throughput under writer churn, sharded vs. single-lock, plus cold vs.
+//! warm (cached) query latency and batched discovery.
+//!
+//! Unlike the paper-artifact benches this one is a custom harness: it
+//! measures sustained queries/second from N reader threads against one
+//! shared `WarpGate` while a writer thread continuously drops and
+//! re-indexes tables (the CDW-with-high-update-rates pattern), and writes
+//! a machine-readable snapshot to `BENCH_core.json` at the repo root so
+//! future PRs have a perf trajectory baseline.
+//!
+//! Scenarios:
+//!
+//! * `single_lock_baseline` — 1 shard, embedding cache disabled: the
+//!   pre-sharding hot path (every query re-scans + re-embeds, every
+//!   insert funnels through one lock).
+//! * `sharded` — the default configuration (8 shards + cache).
+//! * `sharding isolated` — both shard counts with the cache enabled, so
+//!   the delta is the lock layer alone.
+//!
+//! `WG_BENCH_QUICK=1` shrinks measurement windows for CI smoke runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_bench::xs_fixture;
+use wg_store::{CdwConnector, ColumnRef};
+
+const READER_THREADS: usize = 8;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Build and fully index a system with the given knobs.
+fn build(connector: &CdwConnector, shards: usize, cache_capacity: usize) -> WarpGate {
+    let wg =
+        WarpGate::new(WarpGateConfig { shards, cache_capacity, threads: 2, ..Default::default() });
+    wg.index_warehouse(connector).expect("indexing");
+    wg
+}
+
+/// Sustained discover throughput: `READER_THREADS` threads loop over
+/// `queries` against one shared system while one writer thread churns
+/// `churn_tables` (remove + re-index). Returns queries/second.
+fn reader_throughput(
+    wg: &WarpGate,
+    connector: &CdwConnector,
+    queries: &[ColumnRef],
+    churn_tables: &[(String, String)],
+    window: Duration,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..READER_THREADS {
+            let wg = &wg;
+            let stop = &stop;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut i = r; // stagger starting offsets
+                while !stop.load(Ordering::Relaxed) {
+                    let q = &queries[i % queries.len()];
+                    wg.discover(connector, q, 10).expect("discover");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        if !churn_tables.is_empty() {
+            let wg = &wg;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (db, table) = &churn_tables[i % churn_tables.len()];
+                    wg.remove_table(db, table);
+                    wg.index_table(connector, db, table).expect("churn re-index");
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    completed.load(Ordering::Relaxed) as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Per-query cold and warm latency on a fresh cached system.
+fn latency(wg: &WarpGate, connector: &CdwConnector, queries: &[ColumnRef]) -> (f64, f64) {
+    let mut cold = Vec::with_capacity(queries.len());
+    let mut warm = Vec::with_capacity(queries.len());
+    for q in queries {
+        let sw = Instant::now();
+        let d = wg.discover(connector, q, 10).expect("cold discover");
+        cold.push(sw.elapsed().as_secs_f64());
+        assert!(!d.timing.cache_hit, "first query must be cold");
+
+        let sw = Instant::now();
+        let d = wg.discover(connector, q, 10).expect("warm discover");
+        warm.push(sw.elapsed().as_secs_f64());
+        assert!(d.timing.cache_hit, "second query must be warm");
+        assert_eq!(d.timing.load_secs, 0.0);
+        assert_eq!(d.timing.embed_secs, 0.0);
+    }
+    (median(&mut cold), median(&mut warm))
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let window = if quick { Duration::from_millis(500) } else { Duration::from_secs(3) };
+    let (corpus, connector) = xs_fixture();
+    let (tables, columns, _, _, _) = corpus.stats();
+
+    // Reader queries: a fixed slice of the corpus query workload. Churn
+    // tables: warehouse tables that no reader query touches, so the writer
+    // invalidates no reader cache entry and the isolated comparison stays
+    // lock-bound.
+    let queries: Vec<ColumnRef> = corpus.queries.iter().take(16).cloned().collect();
+    assert!(!queries.is_empty(), "corpus has no queries");
+    let query_tables: std::collections::HashSet<(String, String)> =
+        queries.iter().map(|q| (q.database.clone(), q.table.clone())).collect();
+    let mut churn_tables: Vec<(String, String)> = Vec::new();
+    for (r, _) in connector.warehouse().iter_columns() {
+        let key = (r.database.clone(), r.table.clone());
+        if !query_tables.contains(&key) && !churn_tables.contains(&key) {
+            churn_tables.push(key);
+            if churn_tables.len() == 2 {
+                break;
+            }
+        }
+    }
+    // The snapshot documents a 1-writer contention workload; refuse to
+    // silently measure an uncontended read-only run instead.
+    assert_eq!(
+        churn_tables.len(),
+        2,
+        "corpus left no query-free tables to churn; adjust the query slice"
+    );
+
+    // Headline: the new hot path (shards + cache) vs. the pre-PR hot path
+    // (one lock, no cache), same mixed workload.
+    let baseline = build(&connector, 1, 0);
+    let baseline_qps = reader_throughput(&baseline, &connector, &queries, &churn_tables, window);
+    drop(baseline);
+    let sharded = build(&connector, 8, 4096);
+    // Warm the cache: steady-state serving is the workload under test.
+    for q in &queries {
+        sharded.discover(&connector, q, 10).expect("warm-up");
+    }
+    let sharded_qps = reader_throughput(&sharded, &connector, &queries, &churn_tables, window);
+    drop(sharded);
+    println!(
+        "bench: concurrent_discover/throughput_8t ... single_lock_baseline {baseline_qps:.0} q/s, sharded+cache {sharded_qps:.0} q/s ({:.1}x)",
+        sharded_qps / baseline_qps.max(1e-9),
+    );
+
+    // Isolated lock-layer comparison: cache on for both sides.
+    let single_cached = build(&connector, 1, 4096);
+    for q in &queries {
+        single_cached.discover(&connector, q, 10).expect("warm-up");
+    }
+    let single_cached_qps =
+        reader_throughput(&single_cached, &connector, &queries, &churn_tables, window);
+    drop(single_cached);
+    let sharded2 = build(&connector, 8, 4096);
+    for q in &queries {
+        sharded2.discover(&connector, q, 10).expect("warm-up");
+    }
+    let sharded2_qps = reader_throughput(&sharded2, &connector, &queries, &churn_tables, window);
+    drop(sharded2);
+    println!(
+        "bench: concurrent_discover/sharding_isolated_8t ... 1 shard {single_cached_qps:.0} q/s, 8 shards {sharded2_qps:.0} q/s ({:.2}x)",
+        sharded2_qps / single_cached_qps.max(1e-9),
+    );
+
+    // Cold vs. warm latency (the cache in isolation, no writer).
+    let fresh = build(&connector, 8, 4096);
+    let (cold_median, warm_median) = latency(&fresh, &connector, &queries);
+    drop(fresh);
+    println!(
+        "bench: concurrent_discover/query_latency ... cold {:.1}us, warm {:.1}us ({:.0}x)",
+        cold_median * 1e6,
+        warm_median * 1e6,
+        cold_median / warm_median.max(1e-12),
+    );
+
+    // Batched discovery vs. a sequential loop over the same cold systems.
+    let seq = build(&connector, 8, 4096);
+    let sw = Instant::now();
+    for q in &queries {
+        seq.discover(&connector, q, 10).expect("sequential");
+    }
+    let sequential_secs = sw.elapsed().as_secs_f64();
+    drop(seq);
+    let batched = build(&connector, 8, 4096);
+    let sw = Instant::now();
+    let out = batched.discover_batch(&connector, &queries, 10).expect("batched");
+    let batch_secs = sw.elapsed().as_secs_f64();
+    assert_eq!(out.len(), queries.len());
+    drop(batched);
+    println!(
+        "bench: concurrent_discover/batch ... sequential {:.1}ms, discover_batch {:.1}ms",
+        sequential_secs * 1e3,
+        batch_secs * 1e3,
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "concurrent_discover",
+  "generated_by": "cargo bench --bench concurrent_discover",
+  "quick_mode": {quick},
+  "corpus": {{"name": "{name}", "tables": {tables}, "columns": {columns}}},
+  "workload": {{
+    "reader_threads": {readers},
+    "writer_threads": 1,
+    "reader_queries": {nq},
+    "churn_tables": {nchurn},
+    "window_secs": {window:.3},
+    "hardware_threads": {hw}
+  }},
+  "discover_throughput_8t": {{
+    "single_lock_baseline_qps": {baseline_qps:.1},
+    "sharded_qps": {sharded_qps:.1},
+    "speedup": {headline:.2}
+  }},
+  "sharding_isolated_8t": {{
+    "single_lock_qps": {single_cached_qps:.1},
+    "sharded_qps": {sharded2_qps:.1},
+    "speedup": {iso:.2}
+  }},
+  "query_latency_secs": {{
+    "cold_median": {cold_median:.6},
+    "warm_median": {warm_median:.6},
+    "speedup": {lat:.1}
+  }},
+  "batch_discover_secs": {{
+    "sequential": {sequential_secs:.4},
+    "batched": {batch_secs:.4}
+  }}
+}}
+"#,
+        name = corpus.name,
+        readers = READER_THREADS,
+        nq = queries.len(),
+        nchurn = churn_tables.len(),
+        window = window.as_secs_f64(),
+        hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        headline = sharded_qps / baseline_qps.max(1e-9),
+        iso = sharded2_qps / single_cached_qps.max(1e-9),
+        lat = cold_median / warm_median.max(1e-12),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    // CI smoke runs exercise the concurrent path but must not dirty the
+    // committed perf snapshot with quick-mode numbers.
+    if quick {
+        println!("bench: concurrent_discover ... quick mode, not rewriting {path}");
+    } else {
+        std::fs::write(path, json).expect("write BENCH_core.json");
+        println!("bench: concurrent_discover ... snapshot written to {path}");
+    }
+}

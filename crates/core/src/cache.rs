@@ -1,0 +1,324 @@
+//! Keyed embedding cache.
+//!
+//! The paper's Table 2 decomposition shows a discovery query's cost is
+//! dominated by the CDW scan and embedding inference, not the index lookup.
+//! Both phases are pure functions of `(column, sample spec, model seed,
+//! context weight)`, so repeating a query — a dashboard refresh, a
+//! warehouse-wide join-graph build revisiting hub columns — can skip them
+//! entirely. [`EmbeddingCache`] is a sharded LRU over exactly that key.
+//!
+//! Invalidation: `index_table` / `index_warehouse` re-scan a table's data,
+//! and `remove_table` drops it, so both evict every entry for the affected
+//! columns (any sample spec or context weight). Correctness never depends
+//! on the cache: eviction only forces the scan→embed path to run again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use wg_embed::Vector;
+use wg_store::{ColumnRef, SampleSpec};
+use wg_util::FxHashMap;
+
+/// Everything the scan→embed pipeline output depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EmbeddingKey {
+    /// The scanned column.
+    pub column: ColumnRef,
+    /// Sampling pushed into the scan.
+    pub sample: SampleSpec,
+    /// Embedding-model seed (embeddings from different seeds live in
+    /// different spaces).
+    pub seed: u64,
+    /// `f32::to_bits` of the §5.2.1 context blend weight — 0 values and
+    /// value-only embeddings (`joinability`) share the `0.0` key.
+    pub context_bits: u32,
+}
+
+impl EmbeddingKey {
+    /// Build a key from the pipeline inputs.
+    pub fn new(column: &ColumnRef, sample: SampleSpec, seed: u64, context_weight: f32) -> Self {
+        Self { column: column.clone(), sample, seed, context_bits: context_weight.to_bits() }
+    }
+}
+
+/// Cache hit/miss counters plus current occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to scan + embed.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+}
+
+struct Entry {
+    vector: Vector,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<EmbeddingKey, Entry>,
+}
+
+/// A sharded LRU cache from [`EmbeddingKey`] to column embeddings.
+///
+/// Keys hash to one of `N` shards, each behind its own mutex, so concurrent
+/// `discover` calls on different columns rarely contend. Recency is a
+/// global monotonic counter; eviction inside a full shard drops the entry
+/// with the smallest stamp (an `O(shard len)` scan — shards are small, and
+/// eviction only runs once a shard is at capacity).
+pub struct EmbeddingCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Entry budget per shard; sums exactly to the configured capacity
+    /// (the first `capacity % N` shards absorb the remainder), so total
+    /// occupancy never exceeds it.
+    shard_capacities: Vec<usize>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+const CACHE_SHARDS: usize = 8;
+
+impl EmbeddingCache {
+    /// Create a cache holding at most `capacity` entries overall.
+    /// `capacity == 0` disables the cache: `get` always misses and `put` is
+    /// a no-op.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacities: (0..CACHE_SHARDS)
+                .map(|i| capacity / CACHE_SHARDS + usize::from(i < capacity % CACHE_SHARDS))
+                .collect(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache can hold anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shard_capacities.iter().any(|&c| c > 0)
+    }
+
+    fn shard_of(&self, key: &EmbeddingKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = wg_util::hash::FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Look up a cached embedding, refreshing its recency. Counts a hit or
+    /// a miss.
+    pub fn get(&self, key: &EmbeddingKey) -> Option<Vector> {
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shards[self.shard_of(key)].lock();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                let v = entry.vector.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an embedding, evicting the shard's least
+    /// recently used entry if it is full.
+    pub fn put(&self, key: EmbeddingKey, vector: Vector) {
+        if !self.is_enabled() {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let idx = self.shard_of(&key);
+        let capacity = self.shard_capacities[idx];
+        if capacity == 0 {
+            // Tiny capacities leave some shards with no budget; keys that
+            // hash there simply are not cached.
+            return;
+        }
+        let mut shard = self.shards[idx].lock();
+        if shard.map.len() >= capacity && !shard.map.contains_key(&key) {
+            if let Some(victim) =
+                shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(key, Entry { vector, last_used: stamp });
+    }
+
+    /// Drop every entry for one column (all sample specs, seeds, weights).
+    pub fn invalidate_column(&self, column: &ColumnRef) {
+        for shard in &self.shards {
+            shard.lock().map.retain(|k, _| k.column != *column);
+        }
+    }
+
+    /// Drop every entry for any column of `database.table`.
+    pub fn invalidate_table(&self, database: &str, table: &str) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .map
+                .retain(|k, _| !(k.column.database == database && k.column.table == table));
+        }
+    }
+
+    /// Drop everything (restore-from-snapshot uses this: a snapshot may
+    /// come from a system whose warehouse content differs).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().map.clear();
+        }
+    }
+
+    /// Counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: self.shards.iter().map(|s| s.lock().map.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(db: &str, table: &str, column: &str) -> EmbeddingKey {
+        EmbeddingKey::new(&ColumnRef::new(db, table, column), SampleSpec::Full, 1, 0.0)
+    }
+
+    fn vec_of(x: f32) -> Vector {
+        Vector(vec![x; 4])
+    }
+
+    #[test]
+    fn get_put_roundtrip_and_counters() {
+        let cache = EmbeddingCache::new(64);
+        let k = key("db", "t", "c");
+        assert_eq!(cache.get(&k), None);
+        cache.put(k.clone(), vec_of(1.0));
+        assert_eq!(cache.get(&k), Some(vec_of(1.0)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_specs_are_distinct_entries() {
+        let cache = EmbeddingCache::new(64);
+        let r = ColumnRef::new("db", "t", "c");
+        let full = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.0);
+        let head = EmbeddingKey::new(&r, SampleSpec::Head(10), 1, 0.0);
+        let ctx = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.25);
+        cache.put(full.clone(), vec_of(1.0));
+        cache.put(head.clone(), vec_of(2.0));
+        cache.put(ctx.clone(), vec_of(3.0));
+        assert_eq!(cache.get(&full), Some(vec_of(1.0)));
+        assert_eq!(cache.get(&head), Some(vec_of(2.0)));
+        assert_eq!(cache.get(&ctx), Some(vec_of(3.0)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = EmbeddingCache::new(0);
+        assert!(!cache.is_enabled());
+        let k = key("db", "t", "c");
+        cache.put(k.clone(), vec_of(1.0));
+        assert_eq!(cache.get(&k), None);
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Capacity 8 over 8 shards = 1 entry per shard: inserting two keys
+        // that land in the same shard must evict the older one.
+        let cache = EmbeddingCache::new(8);
+        let keys: Vec<EmbeddingKey> = (0..64).map(|i| key("db", "t", &format!("c{i}"))).collect();
+        for (i, k) in keys.iter().enumerate() {
+            cache.put(k.clone(), vec_of(i as f32));
+        }
+        assert!(cache.stats().len <= 8, "capacity must bound occupancy");
+        // The most recently inserted key is always resident.
+        assert_eq!(cache.get(&keys[63]), Some(vec_of(63.0)));
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound_even_when_not_divisible_by_shards() {
+        for capacity in [1usize, 3, 5, 9, 13] {
+            let cache = EmbeddingCache::new(capacity);
+            assert!(cache.is_enabled());
+            for i in 0..100 {
+                cache.put(key("db", "t", &format!("c{i}")), vec_of(i as f32));
+            }
+            assert!(
+                cache.stats().len <= capacity,
+                "capacity {capacity} exceeded: {} resident",
+                cache.stats().len
+            );
+        }
+    }
+
+    #[test]
+    fn recency_refresh_protects_entries() {
+        let cache = EmbeddingCache::new(16); // 2 per shard
+        let a = key("db", "t", "a");
+        cache.put(a.clone(), vec_of(0.0));
+        // Keep touching `a` while flooding; it must survive in its shard.
+        for i in 0..100 {
+            cache.put(key("db", "t", &format!("x{i}")), vec_of(1.0));
+            assert_eq!(cache.get(&a), Some(vec_of(0.0)), "touched entry evicted at {i}");
+        }
+    }
+
+    #[test]
+    fn invalidation_scopes() {
+        let cache = EmbeddingCache::new(64);
+        cache.put(key("db", "t1", "a"), vec_of(1.0));
+        cache.put(key("db", "t1", "b"), vec_of(2.0));
+        cache.put(key("db", "t2", "a"), vec_of(3.0));
+        cache.invalidate_column(&ColumnRef::new("db", "t1", "a"));
+        assert_eq!(cache.get(&key("db", "t1", "a")), None);
+        assert_eq!(cache.get(&key("db", "t1", "b")), Some(vec_of(2.0)));
+        cache.invalidate_table("db", "t1");
+        assert_eq!(cache.get(&key("db", "t1", "b")), None);
+        assert_eq!(cache.get(&key("db", "t2", "a")), Some(vec_of(3.0)));
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = EmbeddingCache::new(128);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let k = key("db", "t", &format!("c{}", (t * 7 + i) % 50));
+                        if cache.get(&k).is_none() {
+                            cache.put(k, vec_of(i as f32));
+                        }
+                        if i % 40 == 0 {
+                            cache.invalidate_table("db", "t");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.stats().len <= 128);
+    }
+}

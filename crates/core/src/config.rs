@@ -32,6 +32,15 @@ pub struct WarpGateConfig {
     pub context_weight: f32,
     /// Indexing worker threads; 0 means "all available cores".
     pub threads: usize,
+    /// LSH index shards: items partition by id across this many
+    /// independently locked sub-indexes, so concurrent inserts and queries
+    /// scale past one writer. 0 means "one shard per worker thread";
+    /// 1 reproduces the single-lock layout.
+    pub shards: usize,
+    /// Embedding-cache capacity in entries (keyed by column × sample spec ×
+    /// seed × context weight). 0 disables the cache; repeated `discover` /
+    /// `joinability` calls then re-scan and re-embed every time.
+    pub cache_capacity: usize,
     /// Master seed (embedding space + LSH hyperplanes).
     pub seed: u64,
 }
@@ -48,6 +57,8 @@ impl Default for WarpGateConfig {
             exclude_same_table: true,
             context_weight: 0.0,
             threads: 0,
+            shards: 8,
+            cache_capacity: 4096,
             seed: 0x5747_4154,
         }
     }
@@ -71,12 +82,32 @@ impl WarpGateConfig {
         Self { context_weight: beta, ..self }
     }
 
+    /// Same configuration with a different index shard count.
+    pub fn with_shards(self, shards: usize) -> Self {
+        Self { shards, ..self }
+    }
+
+    /// Same configuration with a different embedding-cache capacity
+    /// (0 disables caching).
+    pub fn with_cache_capacity(self, cache_capacity: usize) -> Self {
+        Self { cache_capacity, ..self }
+    }
+
     /// Effective worker-thread count.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Effective index shard count (never 0).
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.effective_threads().max(1)
         }
     }
 }
@@ -103,5 +134,19 @@ mod tests {
     fn effective_threads_positive() {
         assert!(WarpGateConfig::default().effective_threads() >= 1);
         assert_eq!(WarpGateConfig { threads: 3, ..Default::default() }.effective_threads(), 3);
+    }
+
+    #[test]
+    fn effective_shards_positive() {
+        assert_eq!(WarpGateConfig::default().effective_shards(), 8);
+        assert_eq!(WarpGateConfig::default().with_shards(3).effective_shards(), 3);
+        let auto = WarpGateConfig { threads: 5, shards: 0, ..Default::default() };
+        assert_eq!(auto.effective_shards(), 5, "0 shards follows the thread count");
+    }
+
+    #[test]
+    fn cache_capacity_knob() {
+        assert!(WarpGateConfig::default().cache_capacity > 0, "cache on by default");
+        assert_eq!(WarpGateConfig::default().with_cache_capacity(0).cache_capacity, 0);
     }
 }

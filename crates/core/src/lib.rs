@@ -18,18 +18,28 @@
 //!   bucket sub-universe, re-rank by exact cosine, return scored
 //!   [`JoinCandidate`]s with a [`QueryTiming`] decomposition
 //!   (load / embed / lookup — the decomposition behind the paper's
-//!   Table 2 analysis).
+//!   Table 2 analysis). Repeated queries hit a keyed embedding cache
+//!   ([`cache`]) and skip the scan+embed phases entirely;
+//!   [`WarpGate::discover_batch`] pipelines many queries over the worker
+//!   pool for join-graph construction.
+//!
+//! Concurrency: embeddings live in a sharded LSH index
+//! ([`wg_lsh::ShardedLshIndex`]) so inserts from parallel indexing workers
+//! land on disjoint shards and queries only contend with writers on `1/N`
+//! of their probes.
 //!
 //! The crate also implements the product interaction the paper builds
 //! around discovery (§3.2): [`WarpGate::augment_via_lookup`] executes the
 //! cardinality-preserving lookup join that "Add column via lookup" performs
 //! once the user picks a recommendation.
 
+pub mod cache;
 pub mod config;
 pub mod persist;
 pub mod system;
 pub mod timing;
 
+pub use cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 pub use config::WarpGateConfig;
 pub use system::{Discovery, IndexReport, JoinCandidate, WarpGate};
 pub use timing::QueryTiming;

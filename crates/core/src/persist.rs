@@ -9,7 +9,7 @@
 use std::io::{Read, Write};
 use std::path::Path;
 
-use wg_lsh::SimHashLshIndex;
+use wg_lsh::ShardedLshIndex;
 use wg_store::{ColumnRef, StoreError, StoreResult};
 use wg_util::codec;
 
@@ -38,8 +38,11 @@ impl WarpGate {
     /// Restore index + registry from bytes produced by [`Self::to_bytes`].
     /// The receiving system must be configured with the same dimension (and
     /// should use the same seed, or query embeddings will not live in the
-    /// persisted index's space).
-    pub fn load_bytes(&self, bytes: &[u8]) -> StoreResult<()> {
+    /// persisted index's space). The snapshot is shard-count independent:
+    /// items redistribute into this system's configured shard layout on
+    /// load, so a snapshot saved with 8 shards restores fine into 1 (or
+    /// vice versa).
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> StoreResult<()> {
         let mut cursor = bytes;
         let version = codec::get_header(&mut cursor, MAGIC)?;
         if version != VERSION {
@@ -58,7 +61,7 @@ impl WarpGate {
         }
         let index_bytes = codec::get_bytes(&mut cursor)?;
         let mut index_cursor = &index_bytes[..];
-        let index = SimHashLshIndex::decode(&mut index_cursor)?;
+        let index = ShardedLshIndex::decode(&mut index_cursor, self.config().effective_shards())?;
         self.restore_from_persist(index, entries)
     }
 
@@ -71,7 +74,7 @@ impl WarpGate {
     }
 
     /// Load a snapshot from a file into this (already configured) system.
-    pub fn load_from_file(&self, path: impl AsRef<Path>) -> StoreResult<()> {
+    pub fn load_from_file(&mut self, path: impl AsRef<Path>) -> StoreResult<()> {
         let mut bytes = Vec::new();
         std::fs::File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
@@ -116,11 +119,28 @@ mod tests {
         let before = wg.discover(&c, &q, 3).unwrap().candidates;
 
         let bytes = wg.to_bytes();
-        let fresh = WarpGate::new(WarpGateConfig::default());
+        let mut fresh = WarpGate::new(WarpGateConfig::default());
         fresh.load_bytes(&bytes).unwrap();
         assert_eq!(fresh.len(), wg.len());
         let after = fresh.discover(&c, &q, 3).unwrap().candidates;
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn roundtrip_across_shard_counts() {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig::default().with_shards(8));
+        wg.index_warehouse(&c).unwrap();
+        let q = ColumnRef::new("db", "a", "x");
+        let want = wg.discover(&c, &q, 3).unwrap().candidates;
+        let bytes = wg.to_bytes();
+        for shards in [1usize, 3, 16] {
+            let mut fresh = WarpGate::new(WarpGateConfig::default().with_shards(shards));
+            fresh.load_bytes(&bytes).unwrap();
+            assert_eq!(fresh.len(), wg.len());
+            let got = fresh.discover(&c, &q, 3).unwrap().candidates;
+            assert_eq!(got, want, "results changed through a {shards}-shard reload");
+        }
     }
 
     #[test]
@@ -130,7 +150,7 @@ mod tests {
         wg.index_warehouse(&c).unwrap();
         wg.remove_table("db", "b");
         let bytes = wg.to_bytes();
-        let fresh = WarpGate::new(WarpGateConfig::default());
+        let mut fresh = WarpGate::new(WarpGateConfig::default());
         fresh.load_bytes(&bytes).unwrap();
         assert_eq!(fresh.len(), 1);
         // The removed table must not reappear.
@@ -145,7 +165,7 @@ mod tests {
         wg.index_warehouse(&c).unwrap();
         let path = std::env::temp_dir().join(format!("wg_snapshot_{}.bin", std::process::id()));
         wg.save_to_file(&path).unwrap();
-        let fresh = WarpGate::new(WarpGateConfig::default());
+        let mut fresh = WarpGate::new(WarpGateConfig::default());
         fresh.load_from_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(fresh.len(), 2);
@@ -153,20 +173,20 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_dim_mismatch() {
-        let wg = WarpGate::new(WarpGateConfig::default());
+        let mut wg = WarpGate::new(WarpGateConfig::default());
         assert!(wg.load_bytes(b"garbage").is_err());
 
         let c = connector();
         let wg64 = WarpGate::new(WarpGateConfig { dim: 64, ..Default::default() });
         wg64.index_warehouse(&c).unwrap();
         let bytes = wg64.to_bytes();
-        let wg128 = WarpGate::new(WarpGateConfig::default());
+        let mut wg128 = WarpGate::new(WarpGateConfig::default());
         assert!(wg128.load_bytes(&bytes).is_err(), "dimension mismatch must fail");
     }
 
     #[test]
     fn missing_file_errors() {
-        let wg = WarpGate::new(WarpGateConfig::default());
+        let mut wg = WarpGate::new(WarpGateConfig::default());
         assert!(wg.load_from_file("/nonexistent/path/snapshot.bin").is_err());
     }
 }

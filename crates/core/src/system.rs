@@ -5,13 +5,21 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use wg_embed::{ColumnEmbedder, EmbeddingModel, WebTableConfig, WebTableModel};
-use wg_lsh::{LshParams, SearchOutcome, SimHashLshIndex};
+use wg_lsh::{LshParams, SearchOutcome, ShardedLshIndex};
 use wg_store::{CdwConnector, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table};
 use wg_util::timing::Stopwatch;
 use wg_util::FxHashMap;
 
+use crate::cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 use crate::config::WarpGateConfig;
 use crate::timing::QueryTiming;
+
+/// How many scanned+embedded columns the indexing collector accumulates
+/// before flushing them through the registry lock and into the shards. One
+/// registry write-lock acquisition and at most one lock per touched shard
+/// amortize over this many items, while keeping each lock hold short
+/// enough that concurrent queries are never starved.
+const INDEX_FLUSH_BATCH: usize = 64;
 
 /// One ranked join recommendation.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,11 +87,18 @@ impl Registry {
 }
 
 /// The semantic join discovery system.
+///
+/// Internally the hot path is built for concurrency: embeddings live in a
+/// [`ShardedLshIndex`] (items partitioned by id across independently locked
+/// shards), query embeddings are memoized in a sharded LRU
+/// [`EmbeddingCache`], and the id → column-reference registry is the only
+/// globally locked structure (reads are shared; writes are batched).
 pub struct WarpGate {
     config: WarpGateConfig,
     embedder: ColumnEmbedder,
-    index: RwLock<SimHashLshIndex>,
+    index: ShardedLshIndex,
     registry: RwLock<Registry>,
+    cache: EmbeddingCache,
 }
 
 impl WarpGate {
@@ -101,17 +116,19 @@ impl WarpGate {
     /// BERT comparison swaps in [`wg_embed::MiniBertModel`] here).
     pub fn with_model(config: WarpGateConfig, model: Arc<dyn EmbeddingModel>) -> Self {
         assert_eq!(model.dim(), config.dim, "model dimension must match config");
-        let mut index = SimHashLshIndex::new(
+        let index = ShardedLshIndex::new(
             config.dim,
             LshParams::for_threshold(config.lsh_threshold, config.lsh_bits),
             config.seed ^ 0x1DB5,
+            config.effective_shards(),
         );
         index.set_probes(config.probes);
         Self {
             embedder: ColumnEmbedder::new(model, config.aggregation),
-            config,
-            index: RwLock::new(index),
+            index,
             registry: RwLock::new(Registry::default()),
+            cache: EmbeddingCache::new(config.cache_capacity),
+            config,
         }
     }
 
@@ -127,17 +144,22 @@ impl WarpGate {
 
     /// Number of indexed columns.
     pub fn len(&self) -> usize {
-        self.index.read().len()
+        self.index.len()
     }
 
     /// True when nothing is indexed.
     pub fn is_empty(&self) -> bool {
-        self.index.read().is_empty()
+        self.index.is_empty()
+    }
+
+    /// Embedding-cache hit/miss counters and occupancy.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Index every column of the connected warehouse: scan (sampled) →
     /// embed → insert. Scanning and embedding fan out over worker threads;
-    /// inserts funnel through the index lock.
+    /// inserts land in batches on the id-partitioned index shards.
     pub fn index_warehouse(&self, connector: &CdwConnector) -> StoreResult<IndexReport> {
         let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
         self.index_refs(connector, refs)
@@ -200,6 +222,16 @@ impl WarpGate {
         let threads = self.config.effective_threads().min(refs.len().max(1));
         let sample = self.config.sample;
 
+        // (Re-)indexing means these columns' warehouse data may have
+        // changed; cached query embeddings for them are stale.
+        let mut touched: wg_util::FxHashSet<(&str, &str)> = wg_util::fx_hash_set();
+        for r in &refs {
+            touched.insert((&r.database, &r.table));
+        }
+        for (database, table) in touched {
+            self.cache.invalidate_table(database, table);
+        }
+
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<ColumnRef>();
         for r in refs {
             work_tx.send(r).expect("channel open");
@@ -236,6 +268,27 @@ impl WarpGate {
 
             let mut indexed = 0usize;
             let mut skipped = 0usize;
+            // Batch insertions: one registry write-lock acquisition maps a
+            // whole batch of refs to ids, then the shard router takes each
+            // involved shard's lock once — instead of two global write
+            // locks per received column.
+            let mut pending: Vec<(ColumnRef, wg_embed::Vector)> =
+                Vec::with_capacity(INDEX_FLUSH_BATCH);
+            let flush = |pending: &mut Vec<(ColumnRef, wg_embed::Vector)>,
+                         indexed: &mut usize,
+                         skipped: &mut usize| {
+                if pending.is_empty() {
+                    return;
+                }
+                let batch: Vec<(u32, Vec<f32>)> = {
+                    let mut registry = self.registry.write();
+                    pending.drain(..).map(|(r, v)| (registry.insert(r), v.0)).collect()
+                };
+                let batch_len = batch.len();
+                let accepted = self.index.insert_batch(batch);
+                *indexed += accepted;
+                *skipped += batch_len - accepted;
+            };
             for item in done_rx.iter() {
                 let (r, vector) = match item {
                     Ok(pair) => pair,
@@ -248,13 +301,12 @@ impl WarpGate {
                     skipped += 1;
                     continue;
                 }
-                let id = self.registry.write().insert(r);
-                if self.index.write().insert(id, vector.as_slice()) {
-                    indexed += 1;
-                } else {
-                    skipped += 1;
+                pending.push((r, vector));
+                if pending.len() >= INDEX_FLUSH_BATCH {
+                    flush(&mut pending, &mut indexed, &mut skipped);
                 }
             }
+            flush(&mut pending, &mut indexed, &mut skipped);
             Ok(IndexReport {
                 columns_indexed: indexed,
                 columns_skipped: skipped,
@@ -266,29 +318,40 @@ impl WarpGate {
 
     /// Remove a table's columns from the index (e.g. after a drop). Returns
     /// how many columns were removed.
+    ///
+    /// Victims are collected under a shared read lock; the write locks
+    /// (registry, then the affected shards) are only held for the actual
+    /// mutation, so concurrent queries proceed through the scan.
     pub fn remove_table(&self, database: &str, table: &str) -> usize {
-        let mut registry = self.registry.write();
-        let victims: Vec<ColumnRef> = registry
-            .refs
-            .iter()
-            .flatten()
-            .filter(|r| r.database == database && r.table == table)
-            .cloned()
-            .collect();
-        let mut index = self.index.write();
-        let mut removed = 0;
-        for r in victims {
-            if let Some(id) = registry.remove(&r) {
-                if index.remove(id) {
-                    removed += 1;
-                }
-            }
+        let victims: Vec<ColumnRef> = {
+            let registry = self.registry.read();
+            registry
+                .refs
+                .iter()
+                .flatten()
+                .filter(|r| r.database == database && r.table == table)
+                .cloned()
+                .collect()
+        };
+        if victims.is_empty() {
+            self.cache.invalidate_table(database, table);
+            return 0;
         }
+        let ids: Vec<u32> = {
+            let mut registry = self.registry.write();
+            // A concurrent remove may have won the race for some victims;
+            // `Registry::remove` returning None keeps the count honest.
+            victims.iter().filter_map(|r| registry.remove(r)).collect()
+        };
+        let removed = self.index.remove_batch(&ids);
+        self.cache.invalidate_table(database, table);
         removed
     }
 
     /// Discovery query for a warehouse column: load (sampled) → embed →
-    /// LSH lookup → exact re-rank.
+    /// LSH lookup → exact re-rank. The scan and embed phases are skipped
+    /// when the query embedding is cached from an earlier call (see
+    /// [`QueryTiming::cache_hit`]).
     pub fn discover(
         &self,
         connector: &CdwConnector,
@@ -298,16 +361,33 @@ impl WarpGate {
         // Validate the target exists before paying for a scan.
         connector.warehouse().column(query)?;
         let mut timing = QueryTiming::default();
+        let key = EmbeddingKey::new(
+            query,
+            self.config.sample,
+            self.config.seed,
+            self.config.context_weight,
+        );
+        let vector = match self.cache.get(&key) {
+            Some(v) => {
+                timing.cache_hit = true;
+                v
+            }
+            None => {
+                let cost_before = connector.costs();
+                let sw = Stopwatch::start();
+                let column = connector.scan_column(query, self.config.sample)?;
+                timing.load_secs = sw.elapsed_secs();
+                timing.virtual_load_secs = connector.costs().since(&cost_before).virtual_secs;
 
-        let cost_before = connector.costs();
-        let sw = Stopwatch::start();
-        let column = connector.scan_column(query, self.config.sample)?;
-        timing.load_secs = sw.elapsed_secs();
-        timing.virtual_load_secs = connector.costs().since(&cost_before).virtual_secs;
-
-        let sw = Stopwatch::start();
-        let vector = self.embed_with_context(connector, query, &column);
-        timing.embed_secs = sw.elapsed_secs();
+                let sw = Stopwatch::start();
+                let vector = self.embed_with_context(connector, query, &column);
+                timing.embed_secs = sw.elapsed_secs();
+                // Zero vectors are cached too: the (empty) answer is just as
+                // repeatable, and skipping the re-scan is the whole point.
+                self.cache.put(key, vector.clone());
+                vector
+            }
+        };
 
         if vector.is_zero() {
             return Ok(Discovery {
@@ -320,6 +400,67 @@ impl WarpGate {
         let (candidates, outcome, lookup_secs) = self.search_vector(&vector, query, k);
         timing.lookup_secs = lookup_secs;
         Ok(Discovery { query: query.clone(), candidates, timing, outcome })
+    }
+
+    /// Batched discovery: answer many queries in one call, pipelining the
+    /// scan → embed phase over the worker pool while lookups proceed as
+    /// embeddings become ready. This is the warehouse-wide join-graph
+    /// workload: results come back in input order, and repeated or
+    /// previously seen query columns hit the embedding cache.
+    pub fn discover_batch(
+        &self,
+        connector: &CdwConnector,
+        queries: &[ColumnRef],
+        k: usize,
+    ) -> StoreResult<Vec<Discovery>> {
+        // Validate everything up front: one bad ref fails the batch before
+        // any column is scanned (and billed).
+        for q in queries {
+            connector.warehouse().column(q)?;
+        }
+        let threads = self.config.effective_threads().min(queries.len().max(1));
+        if threads <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.discover(connector, q, k)).collect();
+        }
+
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, ColumnRef)>();
+        for (i, q) in queries.iter().enumerate() {
+            work_tx.send((i, q.clone())).expect("channel open");
+        }
+        drop(work_tx);
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, StoreResult<Discovery>)>();
+        let abort = std::sync::atomic::AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                let abort = &abort;
+                scope.spawn(move || {
+                    for (i, q) in work_rx.iter() {
+                        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        if done_tx.send((i, self.discover(connector, &q, k))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            let mut slots: Vec<Option<Discovery>> = (0..queries.len()).map(|_| None).collect();
+            for (i, result) in done_rx.iter() {
+                match result {
+                    Ok(d) => slots[i] = Some(d),
+                    Err(e) => {
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(slots.into_iter().map(|d| d.expect("all slots filled")).collect())
+        })
     }
 
     /// Ad-hoc discovery from raw values (no warehouse column backing the
@@ -340,10 +481,9 @@ impl WarpGate {
         k: usize,
     ) -> (Vec<JoinCandidate>, SearchOutcome, f64) {
         let registry = self.registry.read();
-        let index = self.index.read();
         let exclude_same_table = self.config.exclude_same_table;
         let sw = Stopwatch::start();
-        let (hits, outcome) = index.search_with_outcome(vector.as_slice(), k, |id| {
+        let (hits, outcome) = self.index.search_with_outcome(vector.as_slice(), k, |id| {
             match registry.reference(id) {
                 // Tombstoned ids never match; the query column itself and
                 // (optionally) its table-mates are filtered out.
@@ -393,21 +533,43 @@ impl WarpGate {
     }
 
     /// Direct cosine similarity between two warehouse columns under this
-    /// system's embedding — the paper's `J(A,B)` made inspectable.
+    /// system's embedding — the paper's `J(A,B)` made inspectable. Embeds
+    /// values only (no schema-context blend); embeddings come from (and
+    /// feed) the cache under the value-only key.
     pub fn joinability(
         &self,
         connector: &CdwConnector,
         a: &ColumnRef,
         b: &ColumnRef,
     ) -> StoreResult<f32> {
-        let ca = connector.scan_column(a, self.config.sample)?;
-        let cb = connector.scan_column(b, self.config.sample)?;
-        Ok(self.embedder.embed_column(&ca).cosine(&self.embedder.embed_column(&cb)))
+        let va = self.value_embedding(connector, a)?;
+        let vb = self.value_embedding(connector, b)?;
+        Ok(va.cosine(&vb))
+    }
+
+    /// Cached value-only column embedding (context weight key `0.0`, which
+    /// coincides with [`Self::discover`]'s key when the system runs without
+    /// contextual blending — the paper's configuration).
+    fn value_embedding(
+        &self,
+        connector: &CdwConnector,
+        r: &ColumnRef,
+    ) -> StoreResult<wg_embed::Vector> {
+        let key = EmbeddingKey::new(r, self.config.sample, self.config.seed, 0.0);
+        if let Some(v) = self.cache.get(&key) {
+            return Ok(v);
+        }
+        let column = connector.scan_column(r, self.config.sample)?;
+        let vector = self.embedder.embed_column(&column);
+        self.cache.put(key, vector.clone());
+        Ok(vector)
     }
 
     pub(crate) fn snapshot_for_persist(&self) -> (Vec<u8>, Vec<(u32, ColumnRef)>) {
         let mut index_bytes = Vec::new();
-        self.index.read().encode(&mut index_bytes);
+        // The sharded index serializes to the same merged frame as the old
+        // single-lock index, so snapshots are independent of shard count.
+        self.index.encode(&mut index_bytes);
         let registry = self.registry.read();
         let mut entries: Vec<(u32, ColumnRef)> = registry
             .refs
@@ -420,8 +582,8 @@ impl WarpGate {
     }
 
     pub(crate) fn restore_from_persist(
-        &self,
-        index: SimHashLshIndex,
+        &mut self,
+        index: ShardedLshIndex,
         entries: Vec<(u32, ColumnRef)>,
     ) -> StoreResult<()> {
         if index.dim() != self.config.dim {
@@ -447,7 +609,10 @@ impl WarpGate {
             }
         }
         *self.registry.write() = registry;
-        *self.index.write() = index;
+        self.index = index;
+        // The snapshot may come from a system over different warehouse
+        // content; cached query embeddings are not trustworthy across it.
+        self.cache.clear();
         Ok(())
     }
 }
@@ -718,6 +883,141 @@ mod tests {
             "context should prefer the shipping-flavored table: {:?}",
             d.candidates
         );
+    }
+
+    #[test]
+    fn warm_cache_skips_scan_and_embed() {
+        let (wg, c) = system();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        let cold = wg.discover(&c, &q, 3).unwrap();
+        assert!(!cold.timing.cache_hit);
+        assert!(cold.timing.load_secs > 0.0);
+        assert!(cold.timing.embed_secs > 0.0);
+
+        let warm = wg.discover(&c, &q, 3).unwrap();
+        assert!(warm.timing.cache_hit, "second identical query must hit the cache");
+        assert_eq!(warm.timing.load_secs, 0.0, "warm query must not scan");
+        assert_eq!(warm.timing.embed_secs, 0.0, "warm query must not embed");
+        assert_eq!(warm.timing.virtual_load_secs, 0.0, "warm query must not touch the CDW");
+        assert_eq!(warm.candidates, cold.candidates, "cache must not change results");
+        let stats = wg.cache_stats();
+        assert!(stats.hits >= 1 && stats.misses >= 1);
+    }
+
+    #[test]
+    fn cache_disabled_by_zero_capacity() {
+        let c = connector();
+        let wg = WarpGate::new(WarpGateConfig::default().with_cache_capacity(0));
+        wg.index_warehouse(&c).unwrap();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        wg.discover(&c, &q, 3).unwrap();
+        let again = wg.discover(&c, &q, 3).unwrap();
+        assert!(!again.timing.cache_hit);
+        assert!(again.timing.load_secs > 0.0, "disabled cache must re-scan");
+    }
+
+    #[test]
+    fn reindex_invalidates_cached_query_embedding() {
+        let (wg, mut c) = system();
+        let q = ColumnRef::new("salesforce", "lead", "company");
+        let before = wg.discover(&c, &q, 3).unwrap();
+        assert!(wg.discover(&c, &q, 3).unwrap().timing.cache_hit);
+
+        // Replace the lead table's content; re-index must evict the stale
+        // query embedding so discovery sees the new values.
+        c.warehouse_mut().database_mut("salesforce").add_table(
+            Table::new(
+                "lead",
+                vec![Column::text(
+                    "company",
+                    (0..30).map(|i| format!("Zebra {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        wg.index_table(&c, "salesforce", "lead").unwrap();
+        let after = wg.discover(&c, &q, 3).unwrap();
+        assert!(!after.timing.cache_hit, "re-index must evict the cached embedding");
+        assert_ne!(before.candidates, after.candidates, "new column content must change discovery");
+    }
+
+    #[test]
+    fn remove_table_evicts_cached_embeddings() {
+        let (wg, c) = system();
+        let q = ColumnRef::new("stocks", "industries", "company_name");
+        wg.discover(&c, &q, 3).unwrap();
+        assert!(wg.discover(&c, &q, 3).unwrap().timing.cache_hit);
+        wg.remove_table("stocks", "industries");
+        // The warehouse still holds the table, so the query itself works —
+        // but its embedding must be freshly computed.
+        let d = wg.discover(&c, &q, 3).unwrap();
+        assert!(!d.timing.cache_hit, "remove_table must evict cache entries");
+    }
+
+    #[test]
+    fn discover_batch_matches_sequential_discover() {
+        let (wg, c) = system();
+        let queries = vec![
+            ColumnRef::new("salesforce", "account", "name"),
+            ColumnRef::new("salesforce", "lead", "company"),
+            ColumnRef::new("stocks", "industries", "company_name"),
+            ColumnRef::new("salesforce", "account", "name"), // repeat → cache
+        ];
+        let sequential: Vec<_> =
+            queries.iter().map(|q| wg.discover(&c, q, 4).unwrap().candidates).collect();
+        let batch = wg.discover_batch(&c, &queries, 4).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (i, d) in batch.iter().enumerate() {
+            assert_eq!(d.query, queries[i], "results must come back in input order");
+            assert_eq!(d.candidates, sequential[i], "batch diverges on query {i}");
+            assert!(d.timing.cache_hit, "batch after sequential must be fully cached");
+        }
+    }
+
+    #[test]
+    fn discover_batch_cold_and_single_threaded() {
+        let c = connector();
+        let wg =
+            WarpGate::new(WarpGateConfig { threads: 1, cache_capacity: 0, ..Default::default() });
+        wg.index_warehouse(&c).unwrap();
+        let queries = vec![
+            ColumnRef::new("salesforce", "account", "name"),
+            ColumnRef::new("stocks", "industries", "company_name"),
+        ];
+        let batch = wg.discover_batch(&c, &queries, 3).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|d| !d.candidates.is_empty()));
+    }
+
+    #[test]
+    fn discover_batch_rejects_unknown_query_upfront() {
+        let (wg, c) = system();
+        let cost_before = c.costs();
+        let queries =
+            vec![ColumnRef::new("salesforce", "account", "name"), ColumnRef::new("nope", "t", "c")];
+        assert!(matches!(wg.discover_batch(&c, &queries, 3), Err(StoreError::NotFound(_))));
+        assert_eq!(
+            c.costs().since(&cost_before).requests,
+            0,
+            "validation must reject the batch before any scan is billed"
+        );
+    }
+
+    #[test]
+    fn single_shard_results_match_default_sharding() {
+        let c = connector();
+        let sharded = WarpGate::new(WarpGateConfig::default().with_shards(8));
+        sharded.index_warehouse(&c).unwrap();
+        let single = WarpGate::new(WarpGateConfig::default().with_shards(1));
+        single.index_warehouse(&c).unwrap();
+        for q in [
+            ColumnRef::new("salesforce", "account", "name"),
+            ColumnRef::new("stocks", "industries", "company_name"),
+        ] {
+            let a = sharded.discover(&c, &q, 5).unwrap().candidates;
+            let b = single.discover(&c, &q, 5).unwrap().candidates;
+            assert_eq!(a, b, "shard count must not change discovery results");
+        }
     }
 
     #[test]

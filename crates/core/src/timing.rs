@@ -17,6 +17,10 @@ pub struct QueryTiming {
     /// Virtual CDW network latency charged for the load (not slept; see
     /// `wg_store::cdw`).
     pub virtual_load_secs: f64,
+    /// True when the query embedding came out of the system's embedding
+    /// cache: the scan and embed phases were skipped entirely, so
+    /// `load_secs`, `embed_secs`, and `virtual_load_secs` are all zero.
+    pub cache_hit: bool,
 }
 
 impl QueryTiming {
@@ -42,12 +46,15 @@ impl QueryTiming {
         }
     }
 
-    /// Component-wise sum (used to average over a query workload).
+    /// Component-wise sum (used to average over a query workload). The
+    /// cache flag ORs: an accumulated timing is "cached" if any constituent
+    /// query was.
     pub fn add(&mut self, other: &QueryTiming) {
         self.load_secs += other.load_secs;
         self.embed_secs += other.embed_secs;
         self.lookup_secs += other.lookup_secs;
         self.virtual_load_secs += other.virtual_load_secs;
+        self.cache_hit |= other.cache_hit;
     }
 
     /// Component-wise division by a count.
@@ -61,6 +68,7 @@ impl QueryTiming {
             embed_secs: self.embed_secs / d,
             lookup_secs: self.lookup_secs / d,
             virtual_load_secs: self.virtual_load_secs / d,
+            cache_hit: self.cache_hit,
         }
     }
 }
@@ -76,6 +84,7 @@ mod tests {
             embed_secs: 2.0,
             lookup_secs: 0.5,
             virtual_load_secs: 0.25,
+            ..QueryTiming::default()
         };
         assert!((t.total_secs() - 3.5).abs() < 1e-12);
         assert!((t.response_secs() - 3.75).abs() < 1e-12);
@@ -91,11 +100,22 @@ mod tests {
                 embed_secs: 4.0,
                 lookup_secs: 1.0,
                 virtual_load_secs: 0.4,
+                ..QueryTiming::default()
             });
         }
         let mean = acc.divide(4);
         assert!((mean.load_secs - 2.0).abs() < 1e-12);
         assert!((mean.embed_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_flag_ors_through_add() {
+        let mut acc = QueryTiming::default();
+        assert!(!acc.cache_hit);
+        acc.add(&QueryTiming { cache_hit: true, ..QueryTiming::default() });
+        acc.add(&QueryTiming::default());
+        assert!(acc.cache_hit);
+        assert!(acc.divide(2).cache_hit);
     }
 
     #[test]

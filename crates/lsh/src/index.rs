@@ -13,6 +13,11 @@ use crate::params::LshParams;
 use crate::simhash::{Signature, SimHasher};
 use crate::ItemId;
 
+/// Magic and version of the serialized index frame (shared with
+/// [`crate::ShardedLshIndex`], whose snapshot is the same frame).
+pub(crate) const FRAME_MAGIC: [u8; 4] = *b"WGLX";
+pub(crate) const FRAME_VERSION: u32 = 1;
+
 /// Diagnostics from one search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchOutcome {
@@ -74,6 +79,28 @@ impl SimHashLshIndex {
         self.hasher.dim()
     }
 
+    /// The hyperplane seed (see [`SimHasher::seed`]).
+    pub fn seed(&self) -> u64 {
+        self.hasher.seed()
+    }
+
+    /// Extra single-bit probes per band currently enabled.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// The signature generator. Shards of a [`crate::ShardedLshIndex`] are
+    /// built with identical geometry, which lets callers sign a query once
+    /// and probe every shard with the same signature.
+    pub fn hasher(&self) -> &SimHasher {
+        &self.hasher
+    }
+
+    /// Iterate over the stored `(id, vector)` pairs in arbitrary order.
+    pub fn items(&self) -> impl Iterator<Item = (ItemId, &[f32])> {
+        self.vectors.iter().map(|(&id, v)| (id, v.as_slice()))
+    }
+
     /// Number of stored items.
     pub fn len(&self) -> usize {
         self.vectors.len()
@@ -91,15 +118,26 @@ impl SimHashLshIndex {
         if vector.len() != self.dim() || vector.iter().all(|&x| x == 0.0) {
             return false;
         }
-        self.remove(id);
         let sig = self.hasher.sign(vector);
+        self.insert_signed(id, vector, sig);
+        true
+    }
+
+    /// Insert with a precomputed signature (must come from a hasher with
+    /// this index's geometry and seed). Lets batched callers compute the
+    /// expensive projection outside the index's lock; the remaining work is
+    /// bucket pushes and map inserts. The vector must already be validated
+    /// (non-zero, right dimension).
+    pub fn insert_signed(&mut self, id: ItemId, vector: &[f32], sig: Signature) {
+        debug_assert_eq!(vector.len(), self.dim());
+        debug_assert_eq!(sig.bits, self.params.bits());
+        self.remove(id);
         for (band, buckets) in self.bands.iter_mut().enumerate() {
             let key = sig.band_key(band, self.params.rows);
             buckets.entry(key).or_default().push(id);
         }
         self.vectors.insert(id, vector.to_vec());
         self.signatures.insert(id, sig);
-        true
     }
 
     /// Remove an item; true if it was present.
@@ -128,7 +166,12 @@ impl SimHashLshIndex {
     /// Collect the candidate set for a query vector (union of band buckets,
     /// plus multi-probe flips when enabled).
     pub fn candidates(&self, query: &[f32]) -> FxHashSet<ItemId> {
-        let sig = self.hasher.sign(query);
+        self.candidates_signed(&self.hasher.sign(query))
+    }
+
+    /// [`Self::candidates`] from a precomputed signature (must come from a
+    /// hasher with this index's geometry and seed).
+    pub fn candidates_signed(&self, sig: &Signature) -> FxHashSet<ItemId> {
         let mut out = FxHashSet::default();
         for (band, buckets) in self.bands.iter().enumerate() {
             let key = sig.band_key(band, self.params.rows);
@@ -164,7 +207,19 @@ impl SimHashLshIndex {
         k: usize,
         exclude: impl Fn(ItemId) -> bool,
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
-        let candidates = self.candidates(query);
+        self.search_signed_with_outcome(query, &self.hasher.sign(query), k, exclude)
+    }
+
+    /// [`Self::search_with_outcome`] from a precomputed signature, so a
+    /// sharded fan-out pays the signing cost once instead of per shard.
+    pub fn search_signed_with_outcome(
+        &self,
+        query: &[f32],
+        sig: &Signature,
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        let candidates = self.candidates_signed(sig);
         let total = candidates.len();
         let mut topk = TopK::new(k);
         let mut scored = 0usize;
@@ -218,7 +273,7 @@ impl SimHashLshIndex {
     /// Serialize the index (geometry, seed, vectors; signatures and buckets
     /// are rebuilt on load — they are derived data).
     pub fn encode(&self, buf: &mut Vec<u8>) {
-        codec::put_header(buf, *b"WGLX", 1);
+        codec::put_header(buf, FRAME_MAGIC, FRAME_VERSION);
         codec::put_u32(buf, self.dim() as u32);
         codec::put_u32(buf, self.params.bands as u32);
         codec::put_u32(buf, self.params.rows as u32);
@@ -236,8 +291,8 @@ impl SimHashLshIndex {
 
     /// Deserialize; inverse of [`Self::encode`].
     pub fn decode(buf: &mut &[u8]) -> CodecResult<Self> {
-        let version = codec::get_header(buf, *b"WGLX")?;
-        if version != 1 {
+        let version = codec::get_header(buf, FRAME_MAGIC)?;
+        if version != FRAME_VERSION {
             return Err(CodecError::Invalid(format!("unsupported index version {version}")));
         }
         let dim = codec::get_u32(buf)? as usize;

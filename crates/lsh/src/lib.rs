@@ -14,6 +14,9 @@
 //! * [`index`] — the banded [`SimHashLshIndex`] with exact cosine
 //!   re-ranking, optional multi-probe, incremental insert/remove, and
 //!   binary persistence;
+//! * [`shard`] — the concurrent [`ShardedLshIndex`]: items partitioned by
+//!   id across independently locked [`SimHashLshIndex`] shards, fan-out
+//!   search with single-signing and top-k merge;
 //! * [`exact`] — a brute-force index with the same search interface (the
 //!   ANN-quality baseline for ablations);
 //! * [`minhash`] — MinHash signatures and a banded MinHash LSH for *sets*,
@@ -26,6 +29,7 @@ pub mod index;
 pub mod minhash;
 pub mod params;
 pub mod pivot;
+pub mod shard;
 pub mod simhash;
 
 pub use exact::ExactIndex;
@@ -33,6 +37,7 @@ pub use index::{SearchOutcome, SimHashLshIndex};
 pub use minhash::{MinHashLshIndex, MinHashSignature, MinHasher};
 pub use params::LshParams;
 pub use pivot::PivotIndex;
+pub use shard::ShardedLshIndex;
 pub use simhash::{Signature, SimHasher};
 
 /// Item identifiers stored in the indexes. Callers keep the mapping from

@@ -1,0 +1,400 @@
+//! A sharded, concurrently accessible SimHash LSH index.
+//!
+//! [`SimHashLshIndex`] is single-threaded; WarpGate's original deployment
+//! put it behind one `RwLock`, which serialized every insert and made any
+//! writer (a table refresh, a drop) stall every in-flight query.
+//! [`ShardedLshIndex`] partitions items across `N` inner indexes by id
+//! (`id % N`), each behind its own lock:
+//!
+//! * **inserts** route to exactly one shard, so concurrent indexing workers
+//!   write to disjoint shards instead of funneling through one writer;
+//! * **searches** fan out over the shards, signing the query **once**
+//!   (every shard shares the same hyperplane geometry and seed) and merging
+//!   the per-shard top-k with a bounded heap, so a writer only ever blocks
+//!   the `1/N` of a query's probes that touch its shard;
+//! * **batched mutation** ([`Self::insert_batch`], [`Self::remove_batch`])
+//!   groups items by shard and takes each shard's lock once per batch.
+//!
+//! Results are bit-identical to a single [`SimHashLshIndex`] with the same
+//! seed: the shards partition the id space, every shard uses identical
+//! hyperplanes, and the merged top-k applies the same (score, id) ordering.
+
+use parking_lot::RwLock;
+use wg_util::codec::{self, CodecError, CodecResult};
+use wg_util::TopK;
+
+use crate::index::{SearchOutcome, SimHashLshIndex, FRAME_MAGIC, FRAME_VERSION};
+use crate::params::LshParams;
+use crate::simhash::SimHasher;
+use crate::ItemId;
+
+/// A set of [`SimHashLshIndex`] shards with identical geometry, each behind
+/// its own reader–writer lock. All methods take `&self`; interior locking
+/// makes the index shareable across threads.
+pub struct ShardedLshIndex {
+    /// Query-side signer; identical to every shard's internal hasher.
+    hasher: SimHasher,
+    params: LshParams,
+    shards: Vec<RwLock<SimHashLshIndex>>,
+}
+
+impl ShardedLshIndex {
+    /// Create an index with `shards` partitions for `dim`-dimensional
+    /// vectors. `shards` is clamped to at least 1; one shard reproduces the
+    /// single-lock layout exactly.
+    pub fn new(dim: usize, params: LshParams, seed: u64, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            hasher: SimHasher::new(dim, params.bits(), seed),
+            params,
+            shards: (0..shards)
+                .map(|_| RwLock::new(SimHashLshIndex::new(dim, params, seed)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Geometry in use.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.hasher.dim()
+    }
+
+    /// The hyperplane seed shared by every shard.
+    pub fn seed(&self) -> u64 {
+        self.hasher.seed()
+    }
+
+    /// Enable multi-probe on every shard (see
+    /// [`SimHashLshIndex::set_probes`]).
+    pub fn set_probes(&self, probes: usize) {
+        for shard in &self.shards {
+            shard.write().set_probes(probes);
+        }
+    }
+
+    /// Probes currently enabled (uniform across shards).
+    pub fn probes(&self) -> usize {
+        self.shards[0].read().probes()
+    }
+
+    /// Total number of stored items across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no shard stores anything.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    #[inline]
+    fn shard_of(&self, id: ItemId) -> usize {
+        id as usize % self.shards.len()
+    }
+
+    /// Insert (or replace) one item; see [`SimHashLshIndex::insert`].
+    pub fn insert(&self, id: ItemId, vector: &[f32]) -> bool {
+        self.shards[self.shard_of(id)].write().insert(id, vector)
+    }
+
+    /// Insert a batch, taking each involved shard's write lock **once**.
+    /// Signatures are computed up front, outside any lock, so the write
+    /// critical sections shrink to bucket pushes and map inserts. Returns
+    /// how many items were accepted (zero or mis-dimensioned vectors are
+    /// rejected, as in [`SimHashLshIndex::insert`]).
+    pub fn insert_batch(&self, items: Vec<(ItemId, Vec<f32>)>) -> usize {
+        let dim = self.dim();
+        let mut by_shard: Vec<Vec<(ItemId, Vec<f32>, crate::Signature)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut inserted = 0usize;
+        for (id, v) in items {
+            if v.len() != dim || v.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            let sig = self.hasher.sign(&v);
+            by_shard[self.shard_of(id)].push((id, v, sig));
+            inserted += 1;
+        }
+        for (shard, group) in self.shards.iter().zip(by_shard) {
+            if group.is_empty() {
+                continue;
+            }
+            let mut guard = shard.write();
+            for (id, v, sig) in group {
+                guard.insert_signed(id, &v, sig);
+            }
+        }
+        inserted
+    }
+
+    /// Remove one item; true if it was present.
+    pub fn remove(&self, id: ItemId) -> bool {
+        self.shards[self.shard_of(id)].write().remove(id)
+    }
+
+    /// Remove a batch, taking each involved shard's write lock once.
+    /// Returns how many ids were present.
+    pub fn remove_batch(&self, ids: &[ItemId]) -> usize {
+        let mut by_shard: Vec<Vec<ItemId>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &id in ids {
+            by_shard[self.shard_of(id)].push(id);
+        }
+        let mut removed = 0usize;
+        for (shard, group) in self.shards.iter().zip(by_shard) {
+            if group.is_empty() {
+                continue;
+            }
+            let mut guard = shard.write();
+            removed += group.into_iter().filter(|&id| guard.remove(id)).count();
+        }
+        removed
+    }
+
+    /// The stored vector for an id, cloned out of its shard.
+    pub fn vector(&self, id: ItemId) -> Option<Vec<f32>> {
+        self.shards[self.shard_of(id)].read().vector(id).map(<[f32]>::to_vec)
+    }
+
+    /// Top-k search across all shards: the query is signed once, each shard
+    /// contributes its local top-k under a read lock, and the partial
+    /// results merge through one more bounded heap. Equivalent to
+    /// [`SimHashLshIndex::search`] over the union of the shards.
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Vec<(ItemId, f32)> {
+        self.search_with_outcome(query, k, exclude).0
+    }
+
+    /// [`Self::search`] plus summed candidate-set diagnostics.
+    pub fn search_with_outcome(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        let sig = self.hasher.sign(query);
+        let mut merged = TopK::new(k);
+        let mut outcome = SearchOutcome { candidates: 0, scored: 0 };
+        for shard in &self.shards {
+            let guard = shard.read();
+            let (hits, o) = guard.search_signed_with_outcome(query, &sig, k, &exclude);
+            // Shards partition the id space, so the sums are exact counts.
+            outcome.candidates += o.candidates;
+            outcome.scored += o.scored;
+            for (id, score) in hits {
+                merged.push(score as f64, id);
+            }
+        }
+        let results = merged.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
+        (results, outcome)
+    }
+
+    /// Serialize to the same single-index frame [`SimHashLshIndex::encode`]
+    /// writes (ids merged and sorted), so snapshots are interchangeable
+    /// between sharded and unsharded deployments and independent of the
+    /// shard count at save time.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        codec::put_header(buf, FRAME_MAGIC, FRAME_VERSION);
+        codec::put_u32(buf, self.dim() as u32);
+        codec::put_u32(buf, self.params.bands as u32);
+        codec::put_u32(buf, self.params.rows as u32);
+        codec::put_u64(buf, self.hasher.seed());
+        codec::put_u32(buf, guards[0].probes() as u32);
+        let mut items: Vec<(ItemId, &[f32])> = guards.iter().flat_map(|g| g.items()).collect();
+        items.sort_unstable_by_key(|(id, _)| *id);
+        codec::put_len(buf, items.len());
+        for (id, v) in items {
+            codec::put_u32(buf, id);
+            codec::put_f32_slice(buf, v);
+        }
+    }
+
+    /// Deserialize a frame written by [`Self::encode`] (or by
+    /// [`SimHashLshIndex::encode`]) into `shards` partitions. The stored
+    /// geometry and seed win over the caller's defaults, exactly as in
+    /// [`SimHashLshIndex::decode`].
+    pub fn decode(buf: &mut &[u8], shards: usize) -> CodecResult<Self> {
+        let version = codec::get_header(buf, FRAME_MAGIC)?;
+        if version != FRAME_VERSION {
+            return Err(CodecError::Invalid(format!("unsupported index version {version}")));
+        }
+        let dim = codec::get_u32(buf)? as usize;
+        let bands = codec::get_u32(buf)? as usize;
+        let rows = codec::get_u32(buf)? as usize;
+        let seed = codec::get_u64(buf)?;
+        let probes = codec::get_u32(buf)? as usize;
+        if dim == 0 || bands == 0 || rows == 0 || rows > 64 {
+            return Err(CodecError::Invalid("bad index geometry".into()));
+        }
+        let index = Self::new(dim, LshParams { bands, rows }, seed, shards);
+        index.set_probes(probes);
+        let n = codec::get_len(buf)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = codec::get_u32(buf)?;
+            let v = codec::get_f32_vec(buf)?;
+            if v.len() != dim {
+                return Err(CodecError::Invalid("vector length mismatch".into()));
+            }
+            items.push((id, v));
+        }
+        index.insert_batch(items);
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_util::rng::{Rng64, Xoshiro256pp};
+
+    fn random_unit(dim: usize, rng: &mut Xoshiro256pp) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_gaussian() as f32).collect();
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for x in &mut v {
+            *x /= n;
+        }
+        v
+    }
+
+    fn populated(shards: usize, n: usize, seed: u64) -> (ShardedLshIndex, Vec<Vec<f32>>) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let index = ShardedLshIndex::new(64, LshParams::for_threshold(0.7, 128), 17, shards);
+        let vectors: Vec<Vec<f32>> = (0..n).map(|_| random_unit(64, &mut rng)).collect();
+        for (id, v) in vectors.iter().enumerate() {
+            assert!(index.insert(id as ItemId, v));
+        }
+        (index, vectors)
+    }
+
+    #[test]
+    fn matches_single_lock_index_exactly() {
+        let (sharded, vectors) = populated(8, 300, 1);
+        let mut single = SimHashLshIndex::new(64, LshParams::for_threshold(0.7, 128), 17);
+        for (id, v) in vectors.iter().enumerate() {
+            single.insert(id as ItemId, v);
+        }
+        let mut rng = Xoshiro256pp::new(2);
+        for _ in 0..20 {
+            let q = random_unit(64, &mut rng);
+            let (a, oa) = sharded.search_with_outcome(&q, 10, |id| id % 7 == 0);
+            let (b, ob) = single.search_with_outcome(&q, 10, |id| id % 7 == 0);
+            assert_eq!(a, b, "sharded results diverge from single-lock index");
+            assert_eq!(oa, ob, "outcome diagnostics diverge");
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let (one, _) = populated(1, 200, 3);
+        let (five, _) = populated(5, 200, 3);
+        let mut rng = Xoshiro256pp::new(4);
+        for _ in 0..10 {
+            let q = random_unit(64, &mut rng);
+            assert_eq!(one.search(&q, 5, |_| false), five.search(&q, 5, |_| false));
+        }
+    }
+
+    #[test]
+    fn insert_batch_routes_and_counts() {
+        let index = ShardedLshIndex::new(8, LshParams::for_threshold(0.5, 64), 5, 4);
+        let mut rng = Xoshiro256pp::new(5);
+        let mut items: Vec<(ItemId, Vec<f32>)> =
+            (0..40).map(|id| (id, random_unit(8, &mut rng))).collect();
+        items.push((40, vec![0.0; 8])); // rejected: zero vector
+        items.push((41, vec![1.0; 4])); // rejected: wrong dimension
+        assert_eq!(index.insert_batch(items), 40);
+        assert_eq!(index.len(), 40);
+    }
+
+    #[test]
+    fn remove_batch_and_replacement() {
+        let (index, vectors) = populated(3, 30, 6);
+        assert_eq!(index.remove_batch(&[0, 1, 2, 2, 99]), 3);
+        assert_eq!(index.len(), 27);
+        assert!(!index.remove(0));
+        // Replacement keeps len stable.
+        assert!(index.insert(5, &vectors[4]));
+        assert_eq!(index.len(), 27);
+        assert_eq!(index.vector(5), Some(vectors[4].clone()));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_any_shard_count() {
+        let (index, _) = populated(4, 120, 7);
+        let mut buf = Vec::new();
+        index.encode(&mut buf);
+
+        // Reload into a different shard count and into a plain index.
+        let mut r = &buf[..];
+        let reloaded = ShardedLshIndex::decode(&mut r, 9).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(reloaded.len(), 120);
+        let mut r = &buf[..];
+        let single = SimHashLshIndex::decode(&mut r).unwrap();
+        assert_eq!(single.len(), 120);
+
+        let mut rng = Xoshiro256pp::new(8);
+        for _ in 0..10 {
+            let q = random_unit(64, &mut rng);
+            let want = index.search(&q, 5, |_| false);
+            assert_eq!(reloaded.search(&q, 5, |_| false), want);
+            assert_eq!(single.search(&q, 5, |_| false), want);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut r: &[u8] = b"not an index";
+        assert!(ShardedLshIndex::decode(&mut r, 4).is_err());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_searches_lose_nothing() {
+        let index = ShardedLshIndex::new(32, LshParams::for_threshold(0.6, 64), 11, 8);
+        let per_thread = 50usize;
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let index = &index;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256pp::new(100 + t as u64);
+                    for i in 0..per_thread {
+                        let id = t * per_thread as u32 + i as u32;
+                        assert!(index.insert(id, &random_unit(32, &mut rng)));
+                        // Interleave searches with the other writers.
+                        let q = random_unit(32, &mut rng);
+                        let _ = index.search(&q, 3, |_| false);
+                    }
+                });
+            }
+        });
+        assert_eq!(index.len(), 4 * per_thread);
+    }
+
+    #[test]
+    fn probes_propagate_to_all_shards() {
+        let (index, _) = populated(4, 50, 9);
+        assert_eq!(index.probes(), 0);
+        index.set_probes(2);
+        assert_eq!(index.probes(), 2);
+        let mut rng = Xoshiro256pp::new(10);
+        let q = random_unit(64, &mut rng);
+        let (_, with_probes) = index.search_with_outcome(&q, 5, |_| false);
+        index.set_probes(0);
+        let (_, without) = index.search_with_outcome(&q, 5, |_| false);
+        assert!(with_probes.candidates >= without.candidates);
+    }
+}

@@ -13,7 +13,10 @@ use crate::column::Column;
 use crate::table::Table;
 
 /// How a scan should reduce the rows it returns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets specs key caches (the embedding cache in `warpgate_core`
+/// stores one entry per column × spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SampleSpec {
     /// No sampling: the full column/table is scanned (the expensive path
     /// the paper's Table 2 measures).

@@ -1,0 +1,198 @@
+//! Concurrency stress tests for the sharded hot path: threads mixing
+//! `discover`, `discover_batch`, `index_table`, and `remove_table` against
+//! one shared system. The invariants under test:
+//!
+//! * **no lost inserts** — after the churn settles and every table is
+//!   (re-)indexed, the index holds exactly one entry per warehouse column;
+//! * **no stale candidates** — once a table is removed (and the churn has
+//!   stopped), it never comes back in results, and re-indexed content is
+//!   discovered under its new embedding (the cache must not serve stale
+//!   vectors);
+//! * **no deadlocks/panics** — the mixed workload completes.
+
+use warpgate::prelude::*;
+
+/// A warehouse with a stable core (queried throughout) plus dedicated
+/// churn tables that writer threads refresh and drop concurrently.
+fn churn_warehouse(churn_tables: usize) -> Warehouse {
+    let mut w = Warehouse::new("stress");
+    w.database_mut("core").add_table(
+        Table::new(
+            "accounts",
+            vec![
+                Column::text("name", (0..60).map(|i| format!("Company {i}")).collect::<Vec<_>>()),
+                Column::ints("employees", (0..60).map(|i| i * 3).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    w.database_mut("core").add_table(
+        Table::new(
+            "industries",
+            vec![Column::text(
+                "company_name",
+                (0..50).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap(),
+    );
+    for t in 0..churn_tables {
+        w.database_mut("churn").add_table(
+            Table::new(
+                format!("t{t}"),
+                vec![Column::text(
+                    "company",
+                    (0..40).map(|i| format!("company {i} v{t}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+    }
+    w
+}
+
+#[test]
+fn mixed_discover_index_remove_stress() {
+    const CHURN_TABLES: usize = 3;
+    const ROUNDS: usize = 8;
+    const READER_THREADS: usize = 4;
+
+    let connector = CdwConnector::with_defaults(churn_warehouse(CHURN_TABLES));
+    let wg = WarpGate::new(WarpGateConfig { threads: 2, ..Default::default() });
+    wg.index_warehouse(&connector).unwrap();
+    let total_columns = connector.warehouse().iter_columns().count();
+    assert_eq!(wg.len(), total_columns);
+
+    let query = ColumnRef::new("core", "accounts", "name");
+    std::thread::scope(|scope| {
+        // Readers: discover + joinability + batch against the stable core.
+        for r in 0..READER_THREADS {
+            let wg = &wg;
+            let connector = &connector;
+            let query = &query;
+            scope.spawn(move || {
+                let other = ColumnRef::new("core", "industries", "company_name");
+                for i in 0..ROUNDS * 4 {
+                    let d = wg.discover(connector, query, 5).unwrap();
+                    // The stable cross-database variant must always be
+                    // present no matter what the writers are doing.
+                    assert!(
+                        d.candidates.iter().any(|c| c.reference == other),
+                        "reader {r} lost the stable candidate at iteration {i}: {:?}",
+                        d.candidates
+                    );
+                    if i % 3 == 0 {
+                        let j = wg.joinability(connector, query, &other).unwrap();
+                        assert!(j > 0.8, "joinability collapsed to {j}");
+                    }
+                    if i % 5 == 0 {
+                        let batch = wg
+                            .discover_batch(connector, &[query.clone(), other.clone()], 3)
+                            .unwrap();
+                        assert_eq!(batch.len(), 2);
+                    }
+                }
+            });
+        }
+        // Writers: each owns one churn table and repeatedly removes and
+        // re-indexes it (the CDW-with-high-update-rate pattern).
+        for t in 0..CHURN_TABLES {
+            let wg = &wg;
+            let connector = &connector;
+            scope.spawn(move || {
+                let table = format!("t{t}");
+                for _ in 0..ROUNDS {
+                    assert_eq!(wg.remove_table("churn", &table), 1);
+                    let report = wg.index_table(connector, "churn", &table).unwrap();
+                    assert_eq!(report.columns_indexed, 1);
+                }
+            });
+        }
+    });
+
+    // No lost inserts: every churn round ended with an index_table, so the
+    // index must hold exactly one live entry per warehouse column.
+    assert_eq!(wg.len(), total_columns, "inserts lost or duplicated under churn");
+
+    // Steady state answers are exact.
+    let d = wg.discover(&connector, &query, 10).unwrap();
+    assert!(d
+        .candidates
+        .iter()
+        .any(|c| c.reference == ColumnRef::new("core", "industries", "company_name")));
+}
+
+#[test]
+fn removed_tables_never_resurface() {
+    let connector = CdwConnector::with_defaults(churn_warehouse(4));
+    let wg = WarpGate::new(WarpGateConfig::default());
+    wg.index_warehouse(&connector).unwrap();
+    let query = ColumnRef::new("core", "accounts", "name");
+
+    std::thread::scope(|scope| {
+        // Concurrent removals of all churn tables while readers query.
+        for t in 0..4 {
+            let wg = &wg;
+            scope.spawn(move || {
+                assert_eq!(wg.remove_table("churn", &format!("t{t}")), 1);
+            });
+        }
+        for _ in 0..2 {
+            let wg = &wg;
+            let connector = &connector;
+            let query = &query;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    wg.discover(connector, query, 10).unwrap();
+                }
+            });
+        }
+    });
+
+    // After every removal has completed, no stale candidate may survive —
+    // neither from the index nor via a stale cached query embedding.
+    for _ in 0..2 {
+        let d = wg.discover(&connector, &query, 10).unwrap();
+        assert!(
+            d.candidates.iter().all(|c| c.reference.database != "churn"),
+            "removed table resurfaced: {:?}",
+            d.candidates
+        );
+    }
+    assert_eq!(wg.len(), connector.warehouse().iter_columns().count() - 4);
+}
+
+#[test]
+fn concurrent_batch_indexing_loses_nothing() {
+    // Many small tables indexed from parallel callers (not just parallel
+    // workers inside one call): the batched registry + shard routing must
+    // neither drop nor double-count columns.
+    let mut w = Warehouse::new("fanout");
+    for t in 0..12 {
+        w.database_mut("db").add_table(
+            Table::new(
+                format!("t{t}"),
+                vec![
+                    Column::text(
+                        "a",
+                        (0..20).map(|i| format!("value {t} {i}")).collect::<Vec<_>>(),
+                    ),
+                    Column::ints("b", (0..20).map(|i| i + t as i64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let connector = CdwConnector::with_defaults(w);
+    let wg = WarpGate::new(WarpGateConfig { threads: 2, ..Default::default() });
+    std::thread::scope(|scope| {
+        for t in 0..12 {
+            let wg = &wg;
+            let connector = &connector;
+            scope.spawn(move || {
+                wg.index_table(connector, "db", &format!("t{t}")).unwrap();
+            });
+        }
+    });
+    assert_eq!(wg.len(), 24, "12 tables × 2 columns must all be indexed exactly once");
+}

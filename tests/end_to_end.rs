@@ -112,7 +112,7 @@ fn persistence_round_trips_through_full_system() {
 
     let path = std::env::temp_dir().join(format!("wg_e2e_{}.idx", std::process::id()));
     wg.save_to_file(&path).unwrap();
-    let restored = WarpGate::new(WarpGateConfig::default());
+    let mut restored = WarpGate::new(WarpGateConfig::default());
     restored.load_from_file(&path).unwrap();
     std::fs::remove_file(&path).ok();
 
