@@ -15,7 +15,7 @@
 
 use wg_lsh::{MinHashLshIndex, MinHasher};
 use wg_profile::ColumnProfile;
-use wg_store::{CdwConnector, ColumnRef, SampleSpec, StoreError, StoreResult};
+use wg_store::{ColumnRef, SampleSpec, StoreError, StoreResult, WarehouseBackend};
 use wg_util::FxHashMap;
 
 /// Configuration for [`Aurum`].
@@ -79,19 +79,20 @@ pub struct Aurum {
 }
 
 impl Aurum {
-    /// Build the EKG over every column of the connected warehouse. This is
+    /// Build the EKG over every column of the backend's warehouse. This is
     /// the expensive offline phase: one scan per column plus pairwise edge
     /// detection via MinHash LSH.
-    pub fn build(connector: &CdwConnector, config: AurumConfig) -> StoreResult<Aurum> {
+    pub fn build(backend: &dyn WarehouseBackend, config: AurumConfig) -> StoreResult<Aurum> {
         assert!(config.minhash_k % config.bands == 0, "bands must divide minhash_k");
         let hasher = MinHasher::new(config.minhash_k, config.seed);
-        let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
+        let refs: Vec<ColumnRef> =
+            backend.list_tables()?.iter().flat_map(|m| m.column_refs()).collect();
 
         let mut profiles = Vec::with_capacity(refs.len());
         let mut id_of = FxHashMap::default();
         let mut lsh = MinHashLshIndex::new(config.bands, config.minhash_k / config.bands);
         for (id, r) in refs.iter().enumerate() {
-            let column = connector.scan_column(r, config.sample)?;
+            let column = backend.scan_column(r, config.sample)?;
             let profile = ColumnProfile::build(r.clone(), &column, &hasher);
             lsh.insert(id as u32, profile.content_signature.clone());
             id_of.insert(r.clone(), id as u32);
@@ -234,7 +235,7 @@ impl Aurum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wg_store::{CdwConfig, Column, Database, Table, Warehouse};
+    use wg_store::{CdwConfig, CdwConnector, Column, Database, Table, Warehouse};
 
     fn connector() -> CdwConnector {
         let mut w = Warehouse::new("w");

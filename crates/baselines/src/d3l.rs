@@ -21,7 +21,7 @@ use std::sync::Arc;
 use wg_embed::{Aggregation, ColumnEmbedder, WebTableConfig, WebTableModel};
 use wg_lsh::{LshParams, MinHashLshIndex, MinHasher, SimHashLshIndex};
 use wg_profile::ColumnProfile;
-use wg_store::{CdwConnector, Column, ColumnRef, SampleSpec, StoreError, StoreResult};
+use wg_store::{Column, ColumnRef, SampleSpec, StoreError, StoreResult, WarehouseBackend};
 use wg_util::timing::Stopwatch;
 use wg_util::{FxHashMap, FxHashSet, TopK};
 
@@ -100,8 +100,8 @@ pub struct D3l {
 }
 
 impl D3l {
-    /// Index every column of the connected warehouse.
-    pub fn build(connector: &CdwConnector, config: D3lConfig) -> StoreResult<D3l> {
+    /// Index every column of the backend's warehouse.
+    pub fn build(backend: &dyn WarehouseBackend, config: D3lConfig) -> StoreResult<D3l> {
         assert!(config.minhash_k % config.bands == 0, "bands must divide minhash_k");
         let rows = config.minhash_k / config.bands;
         let hasher = MinHasher::new(config.minhash_k, config.seed);
@@ -132,9 +132,10 @@ impl D3l {
             config,
         };
 
-        let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
+        let refs: Vec<ColumnRef> =
+            backend.list_tables()?.iter().flat_map(|m| m.column_refs()).collect();
         for r in refs {
-            let column = connector.scan_column(&r, config.sample)?;
+            let column = backend.scan_column(&r, config.sample)?;
             d3l.insert_column(r, &column);
         }
         Ok(d3l)
@@ -170,7 +171,7 @@ impl D3l {
     /// Discovery query for a warehouse column: load → profile → ensemble.
     pub fn query(
         &self,
-        connector: &CdwConnector,
+        backend: &dyn WarehouseBackend,
         query: &ColumnRef,
         k: usize,
     ) -> StoreResult<(Vec<D3lHit>, D3lQueryTiming)> {
@@ -179,11 +180,11 @@ impl D3l {
         }
         let mut timing = D3lQueryTiming::default();
 
-        let costs_before = connector.costs();
+        let costs_before = backend.costs();
         let sw = Stopwatch::start();
-        let column = connector.scan_column(query, self.config.sample)?;
+        let column = backend.scan_column(query, self.config.sample)?;
         timing.load_secs = sw.elapsed_secs();
-        timing.virtual_load_secs = connector.costs().since(&costs_before).virtual_secs;
+        timing.virtual_load_secs = backend.costs().since(&costs_before).virtual_secs;
 
         let sw = Stopwatch::start();
         let q_profile = ColumnProfile::build(query.clone(), &column, &self.hasher);
@@ -285,7 +286,7 @@ fn cosine(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wg_store::{CdwConfig, Column, Database, Table, Warehouse};
+    use wg_store::{CdwConfig, CdwConnector, Column, Database, Table, Warehouse};
 
     fn connector() -> CdwConnector {
         let mut w = Warehouse::new("w");

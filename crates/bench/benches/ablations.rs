@@ -16,19 +16,14 @@ use wg_bench::xs_fixture;
 use wg_corpora::Corpus;
 use wg_embed::{Aggregation, WebTableConfig, WebTableModel};
 use wg_eval::metrics::precision_recall_at_k;
-use wg_store::{CdwConnector, SampleSpec};
+use wg_store::SampleSpec;
 
-fn pr_at_5(corpus: &Corpus, connector: &CdwConnector, wg: &WarpGate) -> (f64, f64) {
+fn pr_at_5(corpus: &Corpus, wg: &WarpGate) -> (f64, f64) {
     let mut p = 0.0;
     let mut r = 0.0;
     for q in &corpus.queries {
-        let hits: Vec<_> = wg
-            .discover(connector, q, 5)
-            .unwrap()
-            .candidates
-            .into_iter()
-            .map(|c| c.reference)
-            .collect();
+        let hits: Vec<_> =
+            wg.discover(q, 5).unwrap().candidates.into_iter().map(|c| c.reference).collect();
         let (pi, ri) = precision_recall_at_k(&hits, corpus.truth.answers(q), 5);
         p += pi;
         r += ri;
@@ -45,21 +40,24 @@ fn ablation_lsh_threshold(c: &mut Criterion) {
         for probes in [0usize, 1, 2] {
             // Cache off: these loops time the cold discover path; a warm
             // cache would hide the phases the ablation sweeps.
-            let wg = WarpGate::new(WarpGateConfig {
-                lsh_threshold: threshold,
-                probes,
-                cache_capacity: 0,
-                ..WarpGateConfig::default()
-            });
-            wg.index_warehouse(&connector).unwrap();
-            let (p, r) = pr_at_5(&corpus, &connector, &wg);
+            let wg = WarpGate::with_backend(
+                WarpGateConfig {
+                    lsh_threshold: threshold,
+                    probes,
+                    cache_capacity: 0,
+                    ..WarpGateConfig::default()
+                },
+                connector.clone(),
+            );
+            wg.index_warehouse().unwrap();
+            let (p, r) = pr_at_5(&corpus, &wg);
             println!("  threshold {threshold:.1} probes {probes}: P {p:.3} R {r:.3}");
             if probes == 1 {
                 let q = corpus.queries[0].clone();
                 group.bench_with_input(
                     BenchmarkId::from_parameter(format!("t{threshold:.1}")),
                     &wg,
-                    |b, wg| b.iter(|| black_box(wg.discover(&connector, &q, 5).unwrap())),
+                    |b, wg| b.iter(|| black_box(wg.discover(&q, 5).unwrap())),
                 );
             }
         }
@@ -75,14 +73,20 @@ fn ablation_aggregation(c: &mut Criterion) {
     for agg in
         [Aggregation::MeanDistinct, Aggregation::FrequencyWeighted, Aggregation::Sif { a: 0.05 }]
     {
-        let wg = WarpGate::new(WarpGateConfig { aggregation: agg, ..Default::default() });
-        wg.index_warehouse(&connector).unwrap();
-        let (p, r) = pr_at_5(&corpus, &connector, &wg);
+        let wg = WarpGate::with_backend(
+            WarpGateConfig { aggregation: agg, ..Default::default() },
+            connector.clone(),
+        );
+        wg.index_warehouse().unwrap();
+        let (p, r) = pr_at_5(&corpus, &wg);
         println!("  {}: P {p:.3} R {r:.3}", agg.label());
         group.bench_function(agg.label(), |b| {
             b.iter(|| {
-                let wg = WarpGate::new(WarpGateConfig { aggregation: agg, ..Default::default() });
-                black_box(wg.index_warehouse(&connector).unwrap())
+                let wg = WarpGate::with_backend(
+                    WarpGateConfig { aggregation: agg, ..Default::default() },
+                    connector.clone(),
+                );
+                black_box(wg.index_warehouse().unwrap())
             })
         });
     }
@@ -99,12 +103,13 @@ fn ablation_dim(c: &mut Criterion) {
             WarpGateConfig { dim, cache_capacity: 0, ..WarpGateConfig::default() },
             Arc::new(model),
         );
-        wg.index_warehouse(&connector).unwrap();
-        let (p, r) = pr_at_5(&corpus, &connector, &wg);
+        wg.attach(connector.clone());
+        wg.index_warehouse().unwrap();
+        let (p, r) = pr_at_5(&corpus, &wg);
         println!("  dim {dim}: P {p:.3} R {r:.3}");
         let q = corpus.queries[0].clone();
         group.bench_with_input(BenchmarkId::from_parameter(dim), &wg, |b, wg| {
-            b.iter(|| black_box(wg.discover(&connector, &q, 5).unwrap()))
+            b.iter(|| black_box(wg.discover(&q, 5).unwrap()))
         });
     }
     group.finish();
@@ -119,13 +124,16 @@ fn ablation_sampling_strategy(c: &mut Criterion) {
         ("reservoir", SampleSpec::Reservoir { n: 100, seed: 7 }),
         ("distinct", SampleSpec::DistinctReservoir { n: 100, seed: 7 }),
     ] {
-        let wg = WarpGate::new(WarpGateConfig::default().with_sample(spec).with_cache_capacity(0));
-        wg.index_warehouse(&connector).unwrap();
-        let (p, r) = pr_at_5(&corpus, &connector, &wg);
+        let wg = WarpGate::with_backend(
+            WarpGateConfig::default().with_sample(spec).with_cache_capacity(0),
+            connector.clone(),
+        );
+        wg.index_warehouse().unwrap();
+        let (p, r) = pr_at_5(&corpus, &wg);
         println!("  {label}: P {p:.3} R {r:.3}");
         let q = corpus.queries[0].clone();
         group.bench_with_input(BenchmarkId::from_parameter(label), &wg, |b, wg| {
-            b.iter(|| black_box(wg.discover(&connector, &q, 5).unwrap()))
+            b.iter(|| black_box(wg.discover(&q, 5).unwrap()))
         });
     }
     group.finish();

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use warpgate_core::{WarpGate, WarpGateConfig};
 use wg_bench::xs_fixture;
-use wg_store::{CdwConnector, ColumnRef};
+use wg_store::{BackendHandle, ColumnRef};
 
 const READER_THREADS: usize = 8;
 
@@ -35,10 +35,12 @@ fn median(samples: &mut [f64]) -> f64 {
 }
 
 /// Build and fully index a system with the given knobs.
-fn build(connector: &CdwConnector, shards: usize, cache_capacity: usize) -> WarpGate {
-    let wg =
-        WarpGate::new(WarpGateConfig { shards, cache_capacity, threads: 2, ..Default::default() });
-    wg.index_warehouse(connector).expect("indexing");
+fn build(backend: &BackendHandle, shards: usize, cache_capacity: usize) -> WarpGate {
+    let wg = WarpGate::with_backend(
+        WarpGateConfig { shards, cache_capacity, threads: 2, ..Default::default() },
+        backend.clone(),
+    );
+    wg.index_warehouse().expect("indexing");
     wg
 }
 
@@ -47,7 +49,6 @@ fn build(connector: &CdwConnector, shards: usize, cache_capacity: usize) -> Warp
 /// `churn_tables` (remove + re-index). Returns queries/second.
 fn reader_throughput(
     wg: &WarpGate,
-    connector: &CdwConnector,
     queries: &[ColumnRef],
     churn_tables: &[(String, String)],
     window: Duration,
@@ -64,7 +65,7 @@ fn reader_throughput(
                 let mut i = r; // stagger starting offsets
                 while !stop.load(Ordering::Relaxed) {
                     let q = &queries[i % queries.len()];
-                    wg.discover(connector, q, 10).expect("discover");
+                    wg.discover(q, 10).expect("discover");
                     completed.fetch_add(1, Ordering::Relaxed);
                     i += 1;
                 }
@@ -78,7 +79,7 @@ fn reader_throughput(
                 while !stop.load(Ordering::Relaxed) {
                     let (db, table) = &churn_tables[i % churn_tables.len()];
                     wg.remove_table(db, table);
-                    wg.index_table(connector, db, table).expect("churn re-index");
+                    wg.index_table(db, table).expect("churn re-index");
                     i += 1;
                 }
             });
@@ -90,17 +91,17 @@ fn reader_throughput(
 }
 
 /// Per-query cold and warm latency on a fresh cached system.
-fn latency(wg: &WarpGate, connector: &CdwConnector, queries: &[ColumnRef]) -> (f64, f64) {
+fn latency(wg: &WarpGate, queries: &[ColumnRef]) -> (f64, f64) {
     let mut cold = Vec::with_capacity(queries.len());
     let mut warm = Vec::with_capacity(queries.len());
     for q in queries {
         let sw = Instant::now();
-        let d = wg.discover(connector, q, 10).expect("cold discover");
+        let d = wg.discover(q, 10).expect("cold discover");
         cold.push(sw.elapsed().as_secs_f64());
         assert!(!d.timing.cache_hit, "first query must be cold");
 
         let sw = Instant::now();
-        let d = wg.discover(connector, q, 10).expect("warm discover");
+        let d = wg.discover(q, 10).expect("warm discover");
         warm.push(sw.elapsed().as_secs_f64());
         assert!(d.timing.cache_hit, "second query must be warm");
         assert_eq!(d.timing.load_secs, 0.0);
@@ -124,8 +125,8 @@ fn main() {
     let query_tables: std::collections::HashSet<(String, String)> =
         queries.iter().map(|q| (q.database.clone(), q.table.clone())).collect();
     let mut churn_tables: Vec<(String, String)> = Vec::new();
-    for (r, _) in connector.warehouse().iter_columns() {
-        let key = (r.database.clone(), r.table.clone());
+    for meta in connector.list_tables().expect("list_tables") {
+        let key = (meta.database, meta.table);
         if !query_tables.contains(&key) && !churn_tables.contains(&key) {
             churn_tables.push(key);
             if churn_tables.len() == 2 {
@@ -144,14 +145,14 @@ fn main() {
     // Headline: the new hot path (shards + cache) vs. the pre-PR hot path
     // (one lock, no cache), same mixed workload.
     let baseline = build(&connector, 1, 0);
-    let baseline_qps = reader_throughput(&baseline, &connector, &queries, &churn_tables, window);
+    let baseline_qps = reader_throughput(&baseline, &queries, &churn_tables, window);
     drop(baseline);
     let sharded = build(&connector, 8, 4096);
     // Warm the cache: steady-state serving is the workload under test.
     for q in &queries {
-        sharded.discover(&connector, q, 10).expect("warm-up");
+        sharded.discover(q, 10).expect("warm-up");
     }
-    let sharded_qps = reader_throughput(&sharded, &connector, &queries, &churn_tables, window);
+    let sharded_qps = reader_throughput(&sharded, &queries, &churn_tables, window);
     drop(sharded);
     println!(
         "bench: concurrent_discover/throughput_8t ... single_lock_baseline {baseline_qps:.0} q/s, sharded+cache {sharded_qps:.0} q/s ({:.1}x)",
@@ -161,16 +162,15 @@ fn main() {
     // Isolated lock-layer comparison: cache on for both sides.
     let single_cached = build(&connector, 1, 4096);
     for q in &queries {
-        single_cached.discover(&connector, q, 10).expect("warm-up");
+        single_cached.discover(q, 10).expect("warm-up");
     }
-    let single_cached_qps =
-        reader_throughput(&single_cached, &connector, &queries, &churn_tables, window);
+    let single_cached_qps = reader_throughput(&single_cached, &queries, &churn_tables, window);
     drop(single_cached);
     let sharded2 = build(&connector, 8, 4096);
     for q in &queries {
-        sharded2.discover(&connector, q, 10).expect("warm-up");
+        sharded2.discover(q, 10).expect("warm-up");
     }
-    let sharded2_qps = reader_throughput(&sharded2, &connector, &queries, &churn_tables, window);
+    let sharded2_qps = reader_throughput(&sharded2, &queries, &churn_tables, window);
     drop(sharded2);
     println!(
         "bench: concurrent_discover/sharding_isolated_8t ... 1 shard {single_cached_qps:.0} q/s, 8 shards {sharded2_qps:.0} q/s ({:.2}x)",
@@ -179,7 +179,7 @@ fn main() {
 
     // Cold vs. warm latency (the cache in isolation, no writer).
     let fresh = build(&connector, 8, 4096);
-    let (cold_median, warm_median) = latency(&fresh, &connector, &queries);
+    let (cold_median, warm_median) = latency(&fresh, &queries);
     drop(fresh);
     println!(
         "bench: concurrent_discover/query_latency ... cold {:.1}us, warm {:.1}us ({:.0}x)",
@@ -192,13 +192,13 @@ fn main() {
     let seq = build(&connector, 8, 4096);
     let sw = Instant::now();
     for q in &queries {
-        seq.discover(&connector, q, 10).expect("sequential");
+        seq.discover(q, 10).expect("sequential");
     }
     let sequential_secs = sw.elapsed().as_secs_f64();
     drop(seq);
     let batched = build(&connector, 8, 4096);
     let sw = Instant::now();
-    let out = batched.discover_batch(&connector, &queries, 10).expect("batched");
+    let out = batched.discover_batch(&queries, 10).expect("batched");
     let batch_secs = sw.elapsed().as_secs_f64();
     assert_eq!(out.len(), queries.len());
     drop(batched);

@@ -4,14 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use wg_corpora::{build_testbed, TestbedSpec};
 use wg_eval::experiments::figure4;
 use wg_eval::systems::build_systems;
-use wg_store::{CdwConfig, CdwConnector, SampleSpec};
+use wg_store::{BackendHandle, CdwConfig, CdwConnector, SampleSpec};
 
 fn bench(c: &mut Criterion) {
     let corpus = build_testbed(&TestbedSpec::m(0.0005));
-    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free());
+    let connector: BackendHandle =
+        Arc::new(CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free()));
     let systems =
         build_systems(&connector, SampleSpec::DistinctReservoir { n: 1000, seed: 1 }).unwrap();
     let points = figure4::run_with_systems(&corpus, &connector, &systems);
@@ -22,7 +24,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for system in &systems {
         group.bench_function(system.name(), |b| {
-            b.iter(|| black_box(system.query(&connector, q, 10).unwrap()))
+            b.iter(|| black_box(system.query(connector.as_ref(), q, 10).unwrap()))
         });
     }
     group.finish();

@@ -1,0 +1,156 @@
+//! Incremental sync bench (ISSUE 3): after mutating 1 of N tables, how
+//! much cheaper is `WarpGate::sync()` than a full re-index?
+//!
+//! Custom harness (like `concurrent_discover`): builds an N-table
+//! warehouse behind the simulated-CDW backend, times a from-scratch
+//! `index_warehouse` against a `sync` that reconciles a single changed
+//! table, verifies the synced system ranks identically to a fresh
+//! rebuild, and records the ratio into the repo-root `BENCH_core.json`
+//! (appended as an `"incremental_sync"` section so the
+//! `concurrent_discover` numbers survive).
+//!
+//! `WG_BENCH_QUICK=1` shrinks repetitions for CI smoke runs and leaves
+//! the committed snapshot untouched.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_store::{BackendHandle, CdwConfig, CdwConnector, Column, ColumnRef, Table, Warehouse};
+
+const TABLES: usize = 32;
+const COLUMNS_PER_TABLE: usize = 4;
+const ROWS: usize = 120;
+
+fn warehouse() -> Warehouse {
+    let mut w = Warehouse::new("sync-bench");
+    for t in 0..TABLES {
+        let mut cols = Vec::with_capacity(COLUMNS_PER_TABLE);
+        for c in 0..COLUMNS_PER_TABLE {
+            cols.push(Column::text(
+                format!("col{c}"),
+                (0..ROWS).map(|r| format!("entity {t} {c} {r}")).collect::<Vec<_>>(),
+            ));
+        }
+        w.database_mut(&format!("db{}", t % 4))
+            .add_table(Table::new(format!("t{t}"), cols).unwrap());
+    }
+    w
+}
+
+fn mutate_one_table(connector: &CdwConnector, generation: usize) {
+    // New content for table t0 only; everything else stays bit-identical.
+    let cols: Vec<Column> = (0..COLUMNS_PER_TABLE)
+        .map(|c| {
+            Column::text(
+                format!("col{c}"),
+                (0..ROWS).map(|r| format!("fresh {generation} {c} {r}")).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    connector.warehouse_mut().database_mut("db0").add_table(Table::new("t0", cols).unwrap());
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let reps = if quick { 2 } else { 7 };
+
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let backend: BackendHandle = connector.clone();
+    let config = WarpGateConfig { threads: 2, ..Default::default() };
+
+    // Steady state: a fully indexed system.
+    let wg = WarpGate::with_backend(config, backend.clone());
+    wg.index_warehouse().expect("initial indexing");
+    let columns_total = wg.len();
+
+    let mut full_secs = Vec::with_capacity(reps);
+    let mut sync_secs = Vec::with_capacity(reps);
+    let mut sync_cost = None;
+    for generation in 0..reps {
+        mutate_one_table(&connector, generation);
+
+        // Full re-index from scratch (what a system without sync() does).
+        let fresh = WarpGate::with_backend(config, backend.clone());
+        let sw = Instant::now();
+        fresh.index_warehouse().expect("full re-index");
+        full_secs.push(sw.elapsed().as_secs_f64());
+
+        // Incremental sync on the live system.
+        connector.reset_costs();
+        let sw = Instant::now();
+        let report = wg.sync().expect("sync");
+        sync_secs.push(sw.elapsed().as_secs_f64());
+        assert_eq!(report.tables_updated, 1, "exactly one table changed");
+        assert_eq!(report.columns_indexed, COLUMNS_PER_TABLE);
+        assert_eq!(
+            report.cost.requests as usize, COLUMNS_PER_TABLE,
+            "sync must scan only the changed table's columns"
+        );
+        sync_cost = Some(report.cost);
+
+        // Correctness: the synced index ranks identically to the rebuild.
+        let q = ColumnRef::new("db0", "t0", "col0");
+        let a = wg.discover(&q, 5).expect("synced discover").candidates;
+        let b = fresh.discover(&q, 5).expect("fresh discover").candidates;
+        assert_eq!(a, b, "sync diverged from a from-scratch rebuild");
+    }
+
+    let full_median = median(&mut full_secs);
+    let sync_median = median(&mut sync_secs);
+    let ratio = full_median / sync_median.max(1e-12);
+    let cost = sync_cost.expect("at least one rep ran");
+    println!(
+        "bench: incremental_sync/1_of_{TABLES} ... full re-index {:.1}ms, sync {:.1}ms ({ratio:.1}x), sync scanned {} cols / {} bytes (warehouse: {columns_total} cols)",
+        full_median * 1e3,
+        sync_median * 1e3,
+        cost.requests,
+        cost.bytes_scanned,
+    );
+
+    let section = format!(
+        r#"  "incremental_sync": {{
+    "bench": "incremental_sync",
+    "generated_by": "cargo bench --bench incremental_sync",
+    "workload": {{
+      "tables": {TABLES},
+      "columns_per_table": {COLUMNS_PER_TABLE},
+      "rows_per_column": {ROWS},
+      "mutated_tables": 1,
+      "repetitions": {reps}
+    }},
+    "full_reindex_secs_median": {full_median:.6},
+    "sync_secs_median": {sync_median:.6},
+    "speedup": {ratio:.2},
+    "sync_scan_requests": {requests},
+    "sync_bytes_scanned": {bytes}
+  }}"#,
+        requests = cost.requests,
+        bytes = cost.bytes_scanned,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    if quick {
+        println!("bench: incremental_sync ... quick mode, not rewriting {path}");
+        return;
+    }
+    // Splice the section into BENCH_core.json, replacing any previous
+    // incremental_sync block (it is always kept as the last section).
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let base = match existing.find(",\n  \"incremental_sync\"") {
+        Some(i) => existing[..i].to_string(),
+        None => {
+            let trimmed = existing.trim_end().trim_end_matches('}').trim_end().to_string();
+            trimmed
+        }
+    };
+    let separator = if base.trim_end().ends_with('{') { "\n" } else { ",\n" };
+    let merged = format!("{base}{separator}{section}\n}}\n");
+    std::fs::write(path, merged).expect("write BENCH_core.json");
+    println!("bench: incremental_sync ... snapshot written to {path}");
+}

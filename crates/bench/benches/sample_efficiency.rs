@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     for (label, spec) in samples::sample_specs() {
         let system = build_warpgate(&connector, spec, None).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(&label), &system, |b, sys| {
-            b.iter(|| black_box(sys.query(&connector, q, 10).unwrap()))
+            b.iter(|| black_box(sys.query(connector.as_ref(), q, 10).unwrap()))
         });
     }
     group.finish();

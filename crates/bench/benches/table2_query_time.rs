@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_query_time/full_scan_query");
     for system in &systems {
         group.bench_function(system.name(), |b| {
-            b.iter(|| black_box(system.query(&connector, q, 10).unwrap()))
+            b.iter(|| black_box(system.query(connector.as_ref(), q, 10).unwrap()))
         });
     }
     group.finish();

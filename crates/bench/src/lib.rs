@@ -5,20 +5,24 @@
 //! All corpora here use small row scales so `cargo bench` completes in
 //! minutes; set `WG_ROW_SCALE_MULT` to push them up.
 
-use wg_corpora::{build_testbed, Corpus, TestbedSpec};
-use wg_store::{CdwConfig, CdwConnector};
+use std::sync::Arc;
 
-/// The XS testbed wrapped in a free connector — the standard bench fixture
-/// (fast to build, representative structure).
-pub fn xs_fixture() -> (Corpus, CdwConnector) {
+use wg_corpora::{build_testbed, Corpus, TestbedSpec};
+use wg_store::{BackendHandle, CdwConfig, CdwConnector};
+
+/// The XS testbed served through a free simulated-CDW backend — the
+/// standard bench fixture (fast to build, representative structure).
+pub fn xs_fixture() -> (Corpus, BackendHandle) {
     let corpus = build_testbed(&TestbedSpec::xs(0.1));
-    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free());
-    (corpus, connector)
+    let backend: BackendHandle =
+        Arc::new(CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free()));
+    (corpus, backend)
 }
 
 /// The XS testbed with the priced/latent CDW model (timing benches).
-pub fn xs_fixture_priced() -> (Corpus, CdwConnector) {
+pub fn xs_fixture_priced() -> (Corpus, BackendHandle) {
     let corpus = build_testbed(&TestbedSpec::xs(0.1));
-    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::default());
-    (corpus, connector)
+    let backend: BackendHandle =
+        Arc::new(CdwConnector::new(corpus.warehouse.clone(), CdwConfig::default()));
+    (corpus, backend)
 }

@@ -3,9 +3,11 @@
 //! The paper's Table 2 decomposition shows a discovery query's cost is
 //! dominated by the CDW scan and embedding inference, not the index lookup.
 //! Both phases are pure functions of `(column, sample spec, model seed,
-//! context weight)`, so repeating a query — a dashboard refresh, a
-//! warehouse-wide join-graph build revisiting hub columns — can skip them
-//! entirely. [`EmbeddingCache`] is a sharded LRU over exactly that key.
+//! context weight)` for a given attached backend, so repeating a query —
+//! a dashboard refresh, a warehouse-wide join-graph build revisiting hub
+//! columns — can skip them entirely. [`EmbeddingCache`] is a sharded LRU
+//! over exactly that key plus the backend attach epoch (entries from a
+//! previously attached backend are unreachable, not just evicted).
 //!
 //! Invalidation: `index_table` / `index_warehouse` re-scan a table's data,
 //! and `remove_table` drops it, so both evict every entry for the affected
@@ -32,12 +34,23 @@ pub struct EmbeddingKey {
     /// `f32::to_bits` of the §5.2.1 context blend weight — 0 values and
     /// value-only embeddings (`joinability`) share the `0.0` key.
     pub context_bits: u32,
+    /// The backend attach epoch the embedding was scanned under. `attach`
+    /// bumps the epoch, so an in-flight query racing a backend swap can
+    /// only insert under the *old* epoch — unreachable by every later
+    /// lookup, even though the swap already cleared the cache.
+    pub epoch: u64,
 }
 
 impl EmbeddingKey {
     /// Build a key from the pipeline inputs.
-    pub fn new(column: &ColumnRef, sample: SampleSpec, seed: u64, context_weight: f32) -> Self {
-        Self { column: column.clone(), sample, seed, context_bits: context_weight.to_bits() }
+    pub fn new(
+        column: &ColumnRef,
+        sample: SampleSpec,
+        seed: u64,
+        context_weight: f32,
+        epoch: u64,
+    ) -> Self {
+        Self { column: column.clone(), sample, seed, context_bits: context_weight.to_bits(), epoch }
     }
 }
 
@@ -199,7 +212,7 @@ mod tests {
     use super::*;
 
     fn key(db: &str, table: &str, column: &str) -> EmbeddingKey {
-        EmbeddingKey::new(&ColumnRef::new(db, table, column), SampleSpec::Full, 1, 0.0)
+        EmbeddingKey::new(&ColumnRef::new(db, table, column), SampleSpec::Full, 1, 0.0, 0)
     }
 
     fn vec_of(x: f32) -> Vector {
@@ -221,15 +234,21 @@ mod tests {
     fn distinct_specs_are_distinct_entries() {
         let cache = EmbeddingCache::new(64);
         let r = ColumnRef::new("db", "t", "c");
-        let full = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.0);
-        let head = EmbeddingKey::new(&r, SampleSpec::Head(10), 1, 0.0);
-        let ctx = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.25);
+        let full = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.0, 0);
+        let head = EmbeddingKey::new(&r, SampleSpec::Head(10), 1, 0.0, 0);
+        let ctx = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.25, 0);
+        let stale = EmbeddingKey::new(&r, SampleSpec::Full, 1, 0.0, 7);
         cache.put(full.clone(), vec_of(1.0));
         cache.put(head.clone(), vec_of(2.0));
         cache.put(ctx.clone(), vec_of(3.0));
+        cache.put(stale.clone(), vec_of(4.0));
         assert_eq!(cache.get(&full), Some(vec_of(1.0)));
         assert_eq!(cache.get(&head), Some(vec_of(2.0)));
         assert_eq!(cache.get(&ctx), Some(vec_of(3.0)));
+        // Epochs partition the key space: an entry inserted under another
+        // attach epoch never answers this epoch's lookups.
+        assert_eq!(cache.get(&stale), Some(vec_of(4.0)));
+        assert_ne!(cache.get(&full), cache.get(&stale));
     }
 
     #[test]

@@ -34,8 +34,11 @@ pub struct WarpGateConfig {
     pub threads: usize,
     /// LSH index shards: items partition by id across this many
     /// independently locked sub-indexes, so concurrent inserts and queries
-    /// scale past one writer. 0 means "one shard per worker thread";
-    /// 1 reproduces the single-lock layout.
+    /// scale past one writer. 0 (the default) resolves to
+    /// `std::thread::available_parallelism()` at system construction — the
+    /// index serves the whole machine, so it follows the hardware thread
+    /// count rather than the `threads` indexing knob. 1 reproduces the
+    /// single-lock layout.
     pub shards: usize,
     /// Embedding-cache capacity in entries (keyed by column × sample spec ×
     /// seed × context weight). 0 disables the cache; repeated `discover` /
@@ -57,7 +60,7 @@ impl Default for WarpGateConfig {
             exclude_same_table: true,
             context_weight: 0.0,
             threads: 0,
-            shards: 8,
+            shards: 0,
             cache_capacity: 4096,
             seed: 0x5747_4154,
         }
@@ -102,12 +105,16 @@ impl WarpGateConfig {
         }
     }
 
-    /// Effective index shard count (never 0).
+    /// Effective index shard count (never 0). The resolution rule for
+    /// `shards == 0` is pinned: it follows the machine's hardware thread
+    /// count (`std::thread::available_parallelism()`), independent of the
+    /// `threads` indexing knob — queries come from arbitrarily many
+    /// threads, not just the indexing pool.
     pub fn effective_shards(&self) -> usize {
         if self.shards > 0 {
             self.shards
         } else {
-            self.effective_threads().max(1)
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }
     }
 }
@@ -137,11 +144,17 @@ mod tests {
     }
 
     #[test]
-    fn effective_shards_positive() {
-        assert_eq!(WarpGateConfig::default().effective_shards(), 8);
-        assert_eq!(WarpGateConfig::default().with_shards(3).effective_shards(), 3);
+    fn effective_shards_resolution_rule_is_pinned() {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // The adaptive default: 0 resolves to the hardware thread count …
+        assert_eq!(WarpGateConfig::default().shards, 0, "adaptive sharding is the default");
+        assert_eq!(WarpGateConfig::default().effective_shards(), hw);
+        // … regardless of the indexing `threads` knob …
         let auto = WarpGateConfig { threads: 5, shards: 0, ..Default::default() };
-        assert_eq!(auto.effective_shards(), 5, "0 shards follows the thread count");
+        assert_eq!(auto.effective_shards(), hw, "0 shards follows hardware, not `threads`");
+        // … while explicit counts always win.
+        assert_eq!(WarpGateConfig::default().with_shards(3).effective_shards(), 3);
+        assert!(WarpGateConfig::default().effective_shards() >= 1);
     }
 
     #[test]

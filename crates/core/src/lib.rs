@@ -9,11 +9,12 @@
 //!
 //! Two pipelines (paper Fig. 2):
 //!
-//! * **Indexing** — scan every column through the CDW connector (with
-//!   sampling pushed down, §3.1.3), embed it ([`wg_embed`]), and insert the
-//!   embedding into a SimHash LSH index ([`wg_lsh`]) tuned to the paper's
-//!   0.7 cosine threshold. Indexing is parallel and incremental: tables can
-//!   be added and removed as the warehouse changes.
+//! * **Indexing** — scan every column through the attached
+//!   [`wg_store::WarehouseBackend`] (with sampling pushed down, §3.1.3),
+//!   embed it ([`wg_embed`]), and insert the embedding into a SimHash LSH
+//!   index ([`wg_lsh`]) tuned to the paper's 0.7 cosine threshold.
+//!   Indexing is parallel and incremental: [`WarpGate::sync`] diffs the
+//!   backend's per-table version tokens and re-scans only what changed.
 //! * **Search** — embed the query column the same way, look up the LSH
 //!   bucket sub-universe, re-rank by exact cosine, return scored
 //!   [`JoinCandidate`]s with a [`QueryTiming`] decomposition
@@ -41,5 +42,5 @@ pub mod timing;
 
 pub use cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 pub use config::WarpGateConfig;
-pub use system::{Discovery, IndexReport, JoinCandidate, WarpGate};
+pub use system::{Discovery, IndexReport, JoinCandidate, SyncReport, WarpGate};
 pub use timing::QueryTiming;

@@ -87,9 +87,10 @@ impl WarpGate {
 mod tests {
     use super::*;
     use crate::config::WarpGateConfig;
+    use std::sync::Arc;
     use wg_store::{CdwConfig, CdwConnector, Column, Database, Table, Warehouse};
 
-    fn connector() -> CdwConnector {
+    fn connector() -> Arc<CdwConnector> {
         let mut w = Warehouse::new("w");
         let mut db = Database::new("db");
         db.add_table(
@@ -107,38 +108,39 @@ mod tests {
             .unwrap(),
         );
         w.add_database(db);
-        CdwConnector::new(w, CdwConfig::free())
+        Arc::new(CdwConnector::new(w, CdwConfig::free()))
     }
 
     #[test]
     fn roundtrip_preserves_discovery() {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig::default());
-        wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
+        wg.index_warehouse().unwrap();
         let q = ColumnRef::new("db", "a", "x");
-        let before = wg.discover(&c, &q, 3).unwrap().candidates;
+        let before = wg.discover(&q, 3).unwrap().candidates;
 
         let bytes = wg.to_bytes();
-        let mut fresh = WarpGate::new(WarpGateConfig::default());
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), c);
         fresh.load_bytes(&bytes).unwrap();
         assert_eq!(fresh.len(), wg.len());
-        let after = fresh.discover(&c, &q, 3).unwrap().candidates;
+        let after = fresh.discover(&q, 3).unwrap().candidates;
         assert_eq!(before, after);
     }
 
     #[test]
     fn roundtrip_across_shard_counts() {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig::default().with_shards(8));
-        wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(WarpGateConfig::default().with_shards(8), c.clone());
+        wg.index_warehouse().unwrap();
         let q = ColumnRef::new("db", "a", "x");
-        let want = wg.discover(&c, &q, 3).unwrap().candidates;
+        let want = wg.discover(&q, 3).unwrap().candidates;
         let bytes = wg.to_bytes();
         for shards in [1usize, 3, 16] {
-            let mut fresh = WarpGate::new(WarpGateConfig::default().with_shards(shards));
+            let mut fresh =
+                WarpGate::with_backend(WarpGateConfig::default().with_shards(shards), c.clone());
             fresh.load_bytes(&bytes).unwrap();
             assert_eq!(fresh.len(), wg.len());
-            let got = fresh.discover(&c, &q, 3).unwrap().candidates;
+            let got = fresh.discover(&q, 3).unwrap().candidates;
             assert_eq!(got, want, "results changed through a {shards}-shard reload");
         }
     }
@@ -146,8 +148,8 @@ mod tests {
     #[test]
     fn roundtrip_after_removal_keeps_gaps() {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig::default());
-        wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c);
+        wg.index_warehouse().unwrap();
         wg.remove_table("db", "b");
         let bytes = wg.to_bytes();
         let mut fresh = WarpGate::new(WarpGateConfig::default());
@@ -161,8 +163,8 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig::default());
-        wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c);
+        wg.index_warehouse().unwrap();
         let path = std::env::temp_dir().join(format!("wg_snapshot_{}.bin", std::process::id()));
         wg.save_to_file(&path).unwrap();
         let mut fresh = WarpGate::new(WarpGateConfig::default());
@@ -172,13 +174,32 @@ mod tests {
     }
 
     #[test]
+    fn restore_invalidates_sync_state() {
+        // A snapshot may reflect warehouse content the backend no longer
+        // serves; the first sync after a restore must re-scan everything.
+        let c = connector();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
+        wg.index_warehouse().unwrap();
+        assert!(wg.sync().unwrap().is_noop(), "freshly indexed system syncs as a no-op");
+        let bytes = wg.to_bytes();
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), c);
+        fresh.load_bytes(&bytes).unwrap();
+        let report = fresh.sync().unwrap();
+        assert_eq!(
+            report.tables_added + report.tables_updated,
+            2,
+            "restored system must reconcile every backend table: {report:?}"
+        );
+    }
+
+    #[test]
     fn rejects_garbage_and_dim_mismatch() {
         let mut wg = WarpGate::new(WarpGateConfig::default());
         assert!(wg.load_bytes(b"garbage").is_err());
 
         let c = connector();
-        let wg64 = WarpGate::new(WarpGateConfig { dim: 64, ..Default::default() });
-        wg64.index_warehouse(&c).unwrap();
+        let wg64 = WarpGate::with_backend(WarpGateConfig { dim: 64, ..Default::default() }, c);
+        wg64.index_warehouse().unwrap();
         let bytes = wg64.to_bytes();
         let mut wg128 = WarpGate::new(WarpGateConfig::default());
         assert!(wg128.load_bytes(&bytes).is_err(), "dimension mismatch must fail");

@@ -6,7 +6,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use wg_embed::{ColumnEmbedder, EmbeddingModel, WebTableConfig, WebTableModel};
 use wg_lsh::{LshParams, SearchOutcome, ShardedLshIndex};
-use wg_store::{CdwConnector, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table};
+use wg_store::{
+    BackendHandle, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table, TableMeta,
+    WarehouseBackend,
+};
 use wg_util::timing::Stopwatch;
 use wg_util::FxHashMap;
 
@@ -53,8 +56,38 @@ pub struct IndexReport {
     pub columns_skipped: usize,
     /// Wall-clock seconds for the whole run.
     pub elapsed_secs: f64,
-    /// CDW scan costs incurred by the run.
+    /// Warehouse scan costs incurred by the run.
     pub cost: CostSnapshot,
+}
+
+/// Summary of one [`WarpGate::sync`] reconciliation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncReport {
+    /// Tables seen for the first time (scanned and indexed in full).
+    pub tables_added: usize,
+    /// Tables whose version token changed (re-scanned and re-indexed).
+    pub tables_updated: usize,
+    /// Tables that vanished from the backend (dropped from the index).
+    pub tables_removed: usize,
+    /// Columns (re-)embedded and inserted by this sync.
+    pub columns_indexed: usize,
+    /// Columns scanned but skipped (no embeddable content).
+    pub columns_skipped: usize,
+    /// Columns dropped (vanished tables plus vanished columns of changed
+    /// tables).
+    pub columns_removed: usize,
+    /// Wall-clock seconds for the reconciliation.
+    pub elapsed_secs: f64,
+    /// Warehouse scan costs incurred — proportional to what changed, not
+    /// to warehouse size.
+    pub cost: CostSnapshot,
+}
+
+impl SyncReport {
+    /// True when the backend matched the index and nothing was touched.
+    pub fn is_noop(&self) -> bool {
+        self.tables_added == 0 && self.tables_updated == 0 && self.tables_removed == 0
+    }
 }
 
 /// Maps dense item ids (what the LSH index stores) to column references.
@@ -84,9 +117,43 @@ impl Registry {
     fn reference(&self, id: u32) -> Option<&ColumnRef> {
         self.refs.get(id as usize).and_then(|r| r.as_ref())
     }
+
+    /// Live refs of one table (read-path helper for removal and sync).
+    fn table_refs(&self, database: &str, table: &str) -> Vec<ColumnRef> {
+        self.refs
+            .iter()
+            .flatten()
+            .filter(|r| r.database == database && r.table == table)
+            .cloned()
+            .collect()
+    }
+}
+
+/// What the index currently reflects, per table: the backend version token
+/// recorded when the table was last (re-)indexed, stamped with the attach
+/// epoch so swapping backends invalidates every recorded token at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TableState {
+    epoch: u64,
+    version: u64,
+}
+
+#[derive(Default)]
+struct SyncState {
+    /// Bumped on every `attach`; recorded tokens from older epochs never
+    /// compare equal, so `sync` re-scans everything after a backend swap.
+    epoch: u64,
+    tables: FxHashMap<(String, String), TableState>,
 }
 
 /// The semantic join discovery system.
+///
+/// A `WarpGate` is *attached* to one [`WarehouseBackend`] at a time
+/// ([`WarpGate::attach`] / [`WarpGate::detach`]) — the simulated CDW, a
+/// CSV directory, a fault-injecting wrapper, or any future real
+/// warehouse. All indexing and discovery flows through the attached
+/// backend; [`WarpGate::sync`] diffs the backend's version tokens against
+/// what the index reflects and re-scans only what changed.
 ///
 /// Internally the hot path is built for concurrency: embeddings live in a
 /// [`ShardedLshIndex`] (items partitioned by id across independently locked
@@ -99,10 +166,14 @@ pub struct WarpGate {
     index: ShardedLshIndex,
     registry: RwLock<Registry>,
     cache: EmbeddingCache,
+    backend: RwLock<Option<BackendHandle>>,
+    synced: RwLock<SyncState>,
 }
 
 impl WarpGate {
     /// Create a system with the default hashed web-table embedding model.
+    /// No backend is attached yet; call [`Self::attach`] (or use
+    /// [`Self::with_backend`]) before indexing or querying.
     pub fn new(config: WarpGateConfig) -> Self {
         let model = WebTableModel::new(WebTableConfig {
             dim: config.dim,
@@ -110,6 +181,13 @@ impl WarpGate {
             ..WebTableConfig::default()
         });
         Self::with_model(config, Arc::new(model))
+    }
+
+    /// Create a system and attach a warehouse backend in one step.
+    pub fn with_backend(config: WarpGateConfig, backend: BackendHandle) -> Self {
+        let wg = Self::new(config);
+        wg.attach(backend);
+        wg
     }
 
     /// Create a system with a caller-provided embedding model (the §4.4
@@ -128,8 +206,38 @@ impl WarpGate {
             index,
             registry: RwLock::new(Registry::default()),
             cache: EmbeddingCache::new(config.cache_capacity),
+            backend: RwLock::new(None),
+            synced: RwLock::new(SyncState::default()),
             config,
         }
+    }
+
+    /// Attach a warehouse backend, replacing any previous one. The index
+    /// is left intact, but the embedding cache is cleared and every
+    /// recorded table version is invalidated, so the next [`Self::sync`]
+    /// reconciles the index against the new backend in full (vanished
+    /// tables drop, everything present re-scans).
+    pub fn attach(&self, backend: BackendHandle) {
+        *self.backend.write() = Some(backend);
+        self.synced.write().epoch += 1;
+        // Same column names may hold different content on the new backend;
+        // cached embeddings are not trustworthy across the swap.
+        self.cache.clear();
+    }
+
+    /// Detach the current backend, returning it. Discovery and indexing
+    /// fail with [`StoreError::Backend`] until a backend is attached
+    /// again; the index itself stays queryable via
+    /// [`Self::discover_values`].
+    pub fn detach(&self) -> Option<BackendHandle> {
+        self.backend.write().take()
+    }
+
+    /// The attached backend, or an error if none is.
+    pub fn backend(&self) -> StoreResult<BackendHandle> {
+        self.backend.read().clone().ok_or_else(|| {
+            StoreError::Backend("no warehouse backend attached (call attach() first)".into())
+        })
     }
 
     /// The configuration in use.
@@ -157,33 +265,146 @@ impl WarpGate {
         self.cache.stats()
     }
 
-    /// Index every column of the connected warehouse: scan (sampled) →
+    /// The current attach epoch. Captured *before* resolving the backend
+    /// handle: `attach` stores the new backend first and bumps the epoch
+    /// second, so an epoch captured before the handle can never be newer
+    /// than the backend the run scans — any concurrent attach makes the
+    /// epoch move and the run's token commit is discarded.
+    fn run_epoch(&self) -> u64 {
+        self.synced.read().epoch
+    }
+
+    /// Record that the index now reflects these tables at these versions —
+    /// unless the attach epoch moved since `run_epoch` was captured, in
+    /// which case the tokens belong to a detached backend and recording
+    /// them would poison the next sync's diff; discard instead (the next
+    /// sync re-scans, which is the safe direction).
+    fn record_synced(&self, run_epoch: u64, metas: &[TableMeta]) {
+        let mut state = self.synced.write();
+        if state.epoch != run_epoch {
+            return;
+        }
+        for m in metas {
+            state.tables.insert(
+                (m.database.clone(), m.table.clone()),
+                TableState { epoch: run_epoch, version: m.version },
+            );
+        }
+    }
+
+    /// Index every column of the attached warehouse: scan (sampled) →
     /// embed → insert. Scanning and embedding fan out over worker threads;
     /// inserts land in batches on the id-partitioned index shards.
-    pub fn index_warehouse(&self, connector: &CdwConnector) -> StoreResult<IndexReport> {
-        let refs: Vec<ColumnRef> = connector.warehouse().iter_columns().map(|(r, _)| r).collect();
-        self.index_refs(connector, refs)
+    pub fn index_warehouse(&self) -> StoreResult<IndexReport> {
+        let run_epoch = self.run_epoch();
+        let backend = self.backend()?;
+        // Version tokens are fetched *before* scanning but recorded only
+        // after the run succeeds: if content changes mid-run the recorded
+        // token is the older one and the next sync re-scans
+        // (conservative), and a failed run records nothing at all.
+        let metas = backend.list_tables()?;
+        let refs: Vec<ColumnRef> = metas.iter().flat_map(|m| m.column_refs()).collect();
+        let report = self.index_refs(backend.as_ref(), refs)?;
+        self.record_synced(run_epoch, &metas);
+        Ok(report)
     }
 
     /// Index (or refresh) a single table — the incremental path for CDWs
     /// with high update rates.
-    pub fn index_table(
-        &self,
-        connector: &CdwConnector,
-        database: &str,
-        table: &str,
-    ) -> StoreResult<IndexReport> {
-        let t = connector.warehouse().table(database, table)?;
-        let refs: Vec<ColumnRef> =
-            t.columns().iter().map(|c| ColumnRef::new(database, table, c.name())).collect();
-        self.index_refs(connector, refs)
+    pub fn index_table(&self, database: &str, table: &str) -> StoreResult<IndexReport> {
+        let run_epoch = self.run_epoch();
+        let backend = self.backend()?;
+        let meta = backend.table_meta(database, table)?;
+        let report = self.index_refs(backend.as_ref(), meta.column_refs())?;
+        self.record_synced(run_epoch, std::slice::from_ref(&meta));
+        Ok(report)
+    }
+
+    /// Reconcile the index with the attached backend, touching only what
+    /// changed. Diffs the backend's table-version tokens against what the
+    /// index reflects:
+    ///
+    /// * tables whose token changed are re-scanned, re-embedded, and
+    ///   re-indexed (their cached query embeddings are evicted; their
+    ///   existing ids keep their shard placement, so only the affected
+    ///   LSH-shard entries are rewritten);
+    /// * columns that vanished from a changed table, and whole vanished
+    ///   tables, drop out of the registry, index, and cache;
+    /// * everything else — index entries, cache entries, shard contents —
+    ///   stays warm and untouched.
+    ///
+    /// Scan cost (and the returned [`SyncReport::cost`]) is therefore
+    /// proportional to the change set, not the warehouse.
+    pub fn sync(&self) -> StoreResult<SyncReport> {
+        let run_epoch = self.run_epoch();
+        let backend = self.backend()?;
+        let sw = Stopwatch::start();
+        let cost_before = backend.costs();
+        // Diff on the cheap change-token surface; full metadata (column
+        // lists) is fetched per table below, and only for the change set —
+        // on a file-backed backend this is the difference between hashing
+        // every file and parsing every file on a no-op sync.
+        let versions = backend.snapshot_versions()?;
+
+        let recorded = self.synced.read().tables.clone();
+        let mut report = SyncReport::default();
+
+        // Vanished tables drop out entirely.
+        let current: wg_util::FxHashSet<(&str, &str)> =
+            versions.iter().map(|v| (v.database.as_str(), v.table.as_str())).collect();
+        for (database, table) in recorded.keys() {
+            if !current.contains(&(database.as_str(), table.as_str())) {
+                report.columns_removed += self.remove_table(database, table);
+                report.tables_removed += 1;
+            }
+        }
+
+        // Added and changed tables re-index; unchanged tables are skipped.
+        let mut to_index: Vec<ColumnRef> = Vec::new();
+        let mut to_record: Vec<TableMeta> = Vec::new();
+        for v in &versions {
+            let key = (v.database.clone(), v.table.clone());
+            let known = match recorded.get(&key) {
+                Some(st) if st.epoch == run_epoch && st.version == v.version => continue,
+                Some(_) => true,
+                None => false,
+            };
+            let meta = backend.table_meta(&v.database, &v.table)?;
+            if known {
+                report.tables_updated += 1;
+                // Columns that vanished from the still-present table.
+                let live = self.registry.read().table_refs(&meta.database, &meta.table);
+                let vanished: Vec<ColumnRef> = live
+                    .into_iter()
+                    .filter(|r| !meta.columns.iter().any(|c| c == &r.column))
+                    .collect();
+                if !vanished.is_empty() {
+                    report.columns_removed += self.remove_refs(&vanished);
+                }
+            } else {
+                report.tables_added += 1;
+            }
+            to_index.extend(meta.column_refs());
+            to_record.push(meta);
+        }
+
+        let indexed = self.index_refs(backend.as_ref(), to_index)?;
+        // Tokens (fetched before the scans) are committed only now that
+        // the scans succeeded — a failed sync records nothing, so the next
+        // one retries the same change set.
+        self.record_synced(run_epoch, &to_record);
+        report.columns_indexed = indexed.columns_indexed;
+        report.columns_skipped = indexed.columns_skipped;
+        report.elapsed_secs = sw.elapsed_secs();
+        report.cost = backend.costs().since(&cost_before);
+        Ok(report)
     }
 
     /// Embed a scanned column, applying §5.2.1 schema-context blending
     /// when `context_weight > 0`. Context comes from free catalog metadata.
     fn embed_with_context(
         &self,
-        connector: &CdwConnector,
+        backend: &dyn WarehouseBackend,
         r: &ColumnRef,
         column: &wg_store::Column,
     ) -> wg_embed::Vector {
@@ -192,16 +413,9 @@ impl WarpGate {
         if beta <= 0.0 {
             return values;
         }
-        let siblings = connector
-            .warehouse()
-            .table(&r.database, &r.table)
-            .map(|t| {
-                t.columns()
-                    .iter()
-                    .map(|c| c.name().to_string())
-                    .filter(|n| n != &r.column)
-                    .collect()
-            })
+        let siblings = backend
+            .table_meta(&r.database, &r.table)
+            .map(|m| m.columns.into_iter().filter(|n| n != &r.column).collect())
             .unwrap_or_default();
         let context = wg_embed::ColumnContext {
             column_name: r.column.clone(),
@@ -214,11 +428,11 @@ impl WarpGate {
 
     fn index_refs(
         &self,
-        connector: &CdwConnector,
+        backend: &dyn WarehouseBackend,
         refs: Vec<ColumnRef>,
     ) -> StoreResult<IndexReport> {
         let sw = Stopwatch::start();
-        let cost_before = connector.costs();
+        let cost_before = backend.costs();
         let threads = self.config.effective_threads().min(refs.len().max(1));
         let sample = self.config.sample;
 
@@ -255,9 +469,9 @@ impl WarpGate {
                         if abort.load(std::sync::atomic::Ordering::Relaxed) {
                             break;
                         }
-                        let item = connector
+                        let item = backend
                             .scan_column(&r, sample)
-                            .map(|col| (r.clone(), self.embed_with_context(connector, &r, &col)));
+                            .map(|col| (r.clone(), self.embed_with_context(backend, &r, &col)));
                         if done_tx.send(item).is_err() {
                             break;
                         }
@@ -311,9 +525,26 @@ impl WarpGate {
                 columns_indexed: indexed,
                 columns_skipped: skipped,
                 elapsed_secs: sw.elapsed_secs(),
-                cost: connector.costs().since(&cost_before),
+                cost: backend.costs().since(&cost_before),
             })
         })
+    }
+
+    /// Drop specific columns from registry, index, and cache. Returns how
+    /// many were actually removed (a concurrent remove may win races).
+    fn remove_refs(&self, victims: &[ColumnRef]) -> usize {
+        if victims.is_empty() {
+            return 0;
+        }
+        let ids: Vec<u32> = {
+            let mut registry = self.registry.write();
+            victims.iter().filter_map(|r| registry.remove(r)).collect()
+        };
+        let removed = self.index.remove_batch(&ids);
+        for r in victims {
+            self.cache.invalidate_column(r);
+        }
+        removed
     }
 
     /// Remove a table's columns from the index (e.g. after a drop). Returns
@@ -323,27 +554,13 @@ impl WarpGate {
     /// (registry, then the affected shards) are only held for the actual
     /// mutation, so concurrent queries proceed through the scan.
     pub fn remove_table(&self, database: &str, table: &str) -> usize {
-        let victims: Vec<ColumnRef> = {
-            let registry = self.registry.read();
-            registry
-                .refs
-                .iter()
-                .flatten()
-                .filter(|r| r.database == database && r.table == table)
-                .cloned()
-                .collect()
-        };
+        let victims = self.registry.read().table_refs(database, table);
+        self.synced.write().tables.remove(&(database.to_string(), table.to_string()));
         if victims.is_empty() {
             self.cache.invalidate_table(database, table);
             return 0;
         }
-        let ids: Vec<u32> = {
-            let mut registry = self.registry.write();
-            // A concurrent remove may have won the race for some victims;
-            // `Registry::remove` returning None keeps the count honest.
-            victims.iter().filter_map(|r| registry.remove(r)).collect()
-        };
-        let removed = self.index.remove_batch(&ids);
+        let removed = self.remove_refs(&victims);
         self.cache.invalidate_table(database, table);
         removed
     }
@@ -352,20 +569,21 @@ impl WarpGate {
     /// LSH lookup → exact re-rank. The scan and embed phases are skipped
     /// when the query embedding is cached from an earlier call (see
     /// [`QueryTiming::cache_hit`]).
-    pub fn discover(
-        &self,
-        connector: &CdwConnector,
-        query: &ColumnRef,
-        k: usize,
-    ) -> StoreResult<Discovery> {
+    pub fn discover(&self, query: &ColumnRef, k: usize) -> StoreResult<Discovery> {
+        // Epoch before backend (see `run_epoch`): if an attach races this
+        // query, the embedding we compute lands under the old epoch's
+        // cache key, unreachable by post-attach lookups.
+        let epoch = self.run_epoch();
+        let backend = self.backend()?;
         // Validate the target exists before paying for a scan.
-        connector.warehouse().column(query)?;
+        backend.validate_column(query)?;
         let mut timing = QueryTiming::default();
         let key = EmbeddingKey::new(
             query,
             self.config.sample,
             self.config.seed,
             self.config.context_weight,
+            epoch,
         );
         let vector = match self.cache.get(&key) {
             Some(v) => {
@@ -373,14 +591,14 @@ impl WarpGate {
                 v
             }
             None => {
-                let cost_before = connector.costs();
+                let cost_before = backend.costs();
                 let sw = Stopwatch::start();
-                let column = connector.scan_column(query, self.config.sample)?;
+                let column = backend.scan_column(query, self.config.sample)?;
                 timing.load_secs = sw.elapsed_secs();
-                timing.virtual_load_secs = connector.costs().since(&cost_before).virtual_secs;
+                timing.virtual_load_secs = backend.costs().since(&cost_before).virtual_secs;
 
                 let sw = Stopwatch::start();
-                let vector = self.embed_with_context(connector, query, &column);
+                let vector = self.embed_with_context(backend.as_ref(), query, &column);
                 timing.embed_secs = sw.elapsed_secs();
                 // Zero vectors are cached too: the (empty) answer is just as
                 // repeatable, and skipping the re-scan is the whole point.
@@ -407,20 +625,16 @@ impl WarpGate {
     /// embeddings become ready. This is the warehouse-wide join-graph
     /// workload: results come back in input order, and repeated or
     /// previously seen query columns hit the embedding cache.
-    pub fn discover_batch(
-        &self,
-        connector: &CdwConnector,
-        queries: &[ColumnRef],
-        k: usize,
-    ) -> StoreResult<Vec<Discovery>> {
+    pub fn discover_batch(&self, queries: &[ColumnRef], k: usize) -> StoreResult<Vec<Discovery>> {
+        let backend = self.backend()?;
         // Validate everything up front: one bad ref fails the batch before
         // any column is scanned (and billed).
         for q in queries {
-            connector.warehouse().column(q)?;
+            backend.validate_column(q)?;
         }
         let threads = self.config.effective_threads().min(queries.len().max(1));
         if threads <= 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.discover(connector, q, k)).collect();
+            return queries.iter().map(|q| self.discover(q, k)).collect();
         }
 
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, ColumnRef)>();
@@ -441,7 +655,7 @@ impl WarpGate {
                         if abort.load(std::sync::atomic::Ordering::Relaxed) {
                             break;
                         }
-                        if done_tx.send((i, self.discover(connector, &q, k))).is_err() {
+                        if done_tx.send((i, self.discover(&q, k))).is_err() {
                             break;
                         }
                     }
@@ -464,7 +678,8 @@ impl WarpGate {
     }
 
     /// Ad-hoc discovery from raw values (no warehouse column backing the
-    /// query — e.g. a user-pasted list).
+    /// query — e.g. a user-pasted list). Works without an attached
+    /// backend: only the in-memory index is consulted.
     pub fn discover_values<S: AsRef<str>>(&self, values: &[S], k: usize) -> Vec<JoinCandidate> {
         let vector = self.embedder.embed_values(values);
         if vector.is_zero() {
@@ -510,14 +725,14 @@ impl WarpGate {
     /// variants.
     pub fn augment_via_lookup(
         &self,
-        connector: &CdwConnector,
         base: &Table,
         base_key: &str,
         candidate: &ColumnRef,
         add_columns: &[&str],
         norm: KeyNorm,
     ) -> StoreResult<Table> {
-        let lookup_table = connector.scan_table(
+        let backend = self.backend()?;
+        let lookup_table = backend.scan_table(
             &candidate.database,
             &candidate.table,
             wg_store::SampleSpec::Full,
@@ -536,14 +751,11 @@ impl WarpGate {
     /// system's embedding — the paper's `J(A,B)` made inspectable. Embeds
     /// values only (no schema-context blend); embeddings come from (and
     /// feed) the cache under the value-only key.
-    pub fn joinability(
-        &self,
-        connector: &CdwConnector,
-        a: &ColumnRef,
-        b: &ColumnRef,
-    ) -> StoreResult<f32> {
-        let va = self.value_embedding(connector, a)?;
-        let vb = self.value_embedding(connector, b)?;
+    pub fn joinability(&self, a: &ColumnRef, b: &ColumnRef) -> StoreResult<f32> {
+        let epoch = self.run_epoch();
+        let backend = self.backend()?;
+        let va = self.value_embedding(backend.as_ref(), a, epoch)?;
+        let vb = self.value_embedding(backend.as_ref(), b, epoch)?;
         Ok(va.cosine(&vb))
     }
 
@@ -552,14 +764,15 @@ impl WarpGate {
     /// contextual blending — the paper's configuration).
     fn value_embedding(
         &self,
-        connector: &CdwConnector,
+        backend: &dyn WarehouseBackend,
         r: &ColumnRef,
+        epoch: u64,
     ) -> StoreResult<wg_embed::Vector> {
-        let key = EmbeddingKey::new(r, self.config.sample, self.config.seed, 0.0);
+        let key = EmbeddingKey::new(r, self.config.sample, self.config.seed, 0.0, epoch);
         if let Some(v) = self.cache.get(&key) {
             return Ok(v);
         }
-        let column = connector.scan_column(r, self.config.sample)?;
+        let column = backend.scan_column(r, self.config.sample)?;
         let vector = self.embedder.embed_column(&column);
         self.cache.put(key, vector.clone());
         Ok(vector)
@@ -611,8 +824,13 @@ impl WarpGate {
         *self.registry.write() = registry;
         self.index = index;
         // The snapshot may come from a system over different warehouse
-        // content; cached query embeddings are not trustworthy across it.
+        // content; cached query embeddings are not trustworthy across it,
+        // and neither are recorded sync versions — the next sync() must
+        // re-scan everything the backend still serves.
         self.cache.clear();
+        let mut synced = self.synced.write();
+        synced.epoch += 1;
+        synced.tables.clear();
         Ok(())
     }
 }
@@ -620,9 +838,9 @@ impl WarpGate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wg_store::{CdwConfig, Column, Database, SampleSpec, Table, Warehouse};
+    use wg_store::{CdwConfig, CdwConnector, Column, Database, SampleSpec, Table, Warehouse};
 
-    fn connector() -> CdwConnector {
+    fn connector() -> Arc<CdwConnector> {
         let mut w = Warehouse::new("w");
         let mut sales = Database::new("salesforce");
         sales.add_table(
@@ -674,13 +892,14 @@ mod tests {
         );
         w.add_database(sales);
         w.add_database(stocks);
-        CdwConnector::new(w, CdwConfig::free())
+        Arc::new(CdwConnector::new(w, CdwConfig::free()))
     }
 
-    fn system() -> (WarpGate, CdwConnector) {
+    fn system() -> (WarpGate, Arc<CdwConnector>) {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig { threads: 2, ..Default::default() });
-        wg.index_warehouse(&c).unwrap();
+        let wg =
+            WarpGate::with_backend(WarpGateConfig { threads: 2, ..Default::default() }, c.clone());
+        wg.index_warehouse().unwrap();
         (wg, c)
     }
 
@@ -692,9 +911,9 @@ mod tests {
 
     #[test]
     fn discovers_format_variants_across_databases() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         let q = ColumnRef::new("salesforce", "account", "name");
-        let d = wg.discover(&c, &q, 3).unwrap();
+        let d = wg.discover(&q, 3).unwrap();
         assert!(!d.candidates.is_empty(), "no candidates found");
         let refs: Vec<String> = d.candidates.iter().map(|j| j.reference.to_string()).collect();
         assert!(
@@ -710,9 +929,9 @@ mod tests {
 
     #[test]
     fn excludes_query_and_table_mates() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         let q = ColumnRef::new("salesforce", "account", "name");
-        let d = wg.discover(&c, &q, 10).unwrap();
+        let d = wg.discover(&q, 10).unwrap();
         for j in &d.candidates {
             assert_ne!(j.reference, q);
             assert!(!j.reference.same_table(&q));
@@ -721,8 +940,8 @@ mod tests {
 
     #[test]
     fn timing_components_populated() {
-        let (wg, c) = system();
-        let d = wg.discover(&c, &ColumnRef::new("salesforce", "account", "name"), 3).unwrap();
+        let (wg, _c) = system();
+        let d = wg.discover(&ColumnRef::new("salesforce", "account", "name"), 3).unwrap();
         assert!(d.timing.load_secs > 0.0);
         assert!(d.timing.embed_secs > 0.0);
         assert!(d.timing.lookup_secs > 0.0);
@@ -732,20 +951,21 @@ mod tests {
     #[test]
     fn sampling_preserves_results() {
         let c = connector();
-        let full = WarpGate::new(WarpGateConfig::full_scan());
-        full.index_warehouse(&c).unwrap();
-        let sampled = WarpGate::new(
+        let full = WarpGate::with_backend(WarpGateConfig::full_scan(), c.clone());
+        full.index_warehouse().unwrap();
+        let sampled = WarpGate::with_backend(
             WarpGateConfig::default().with_sample(SampleSpec::DistinctReservoir { n: 10, seed: 7 }),
+            c.clone(),
         );
-        sampled.index_warehouse(&c).unwrap();
+        sampled.index_warehouse().unwrap();
         let q = ColumnRef::new("salesforce", "account", "name");
         // Both company-name variants are genuinely joinable; with a sample
         // of 10 values their ranks may swap (the paper reports ±1–2%
         // effectiveness variation). The sampled top hit must still be one
         // of the full-scan top hits.
         let full_top: Vec<ColumnRef> =
-            full.discover(&c, &q, 2).unwrap().candidates.into_iter().map(|j| j.reference).collect();
-        let top_sampled = sampled.discover(&c, &q, 1).unwrap().candidates[0].reference.clone();
+            full.discover(&q, 2).unwrap().candidates.into_iter().map(|j| j.reference).collect();
+        let top_sampled = sampled.discover(&q, 1).unwrap().candidates[0].reference.clone();
         assert!(
             full_top.contains(&top_sampled),
             "sampled top hit {top_sampled} not among full-scan top-2 {full_top:?}"
@@ -754,23 +974,23 @@ mod tests {
 
     #[test]
     fn incremental_add_and_remove() {
-        let (wg, mut c) = system();
+        let (wg, c) = system();
         let before = wg.len();
         c.warehouse_mut().database_mut("stocks").add_table(
             Table::new("tickers", vec![Column::text("symbol", ["AAPL", "MSFT", "GOOG"])]).unwrap(),
         );
-        wg.index_table(&c, "stocks", "tickers").unwrap();
+        wg.index_table("stocks", "tickers").unwrap();
         assert_eq!(wg.len(), before + 1);
         assert_eq!(wg.remove_table("stocks", "tickers"), 1);
         assert_eq!(wg.len(), before);
         // Removed table never comes back in results.
-        let d = wg.discover(&c, &ColumnRef::new("salesforce", "account", "name"), 10).unwrap();
+        let d = wg.discover(&ColumnRef::new("salesforce", "account", "name"), 10).unwrap();
         assert!(d.candidates.iter().all(|j| j.reference.table != "tickers"));
     }
 
     #[test]
     fn reindexing_a_table_replaces_vectors() {
-        let (wg, mut c) = system();
+        let (wg, c) = system();
         let before = wg.len();
         // Refresh the lead table with new content.
         c.warehouse_mut().database_mut("salesforce").add_table(
@@ -783,7 +1003,7 @@ mod tests {
             )
             .unwrap(),
         );
-        wg.index_table(&c, "salesforce", "lead").unwrap();
+        wg.index_table("salesforce", "lead").unwrap();
         assert_eq!(wg.len(), before, "refresh must not grow the index");
     }
 
@@ -805,7 +1025,7 @@ mod tests {
         let base = c.warehouse().table("salesforce", "account").unwrap().clone();
         let candidate = ColumnRef::new("stocks", "industries", "company_name");
         let augmented = wg
-            .augment_via_lookup(&c, &base, "name", &candidate, &["sector"], KeyNorm::CaseFold)
+            .augment_via_lookup(&base, "name", &candidate, &["sector"], KeyNorm::CaseFold)
             .unwrap();
         assert_eq!(augmented.num_rows(), base.num_rows());
         let sector = augmented.column("sector").unwrap();
@@ -816,22 +1036,38 @@ mod tests {
 
     #[test]
     fn joinability_is_symmetric_and_high_for_variants() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         let a = ColumnRef::new("salesforce", "account", "name");
         let b = ColumnRef::new("stocks", "industries", "company_name");
-        let ab = wg.joinability(&c, &a, &b).unwrap();
-        let ba = wg.joinability(&c, &b, &a).unwrap();
+        let ab = wg.joinability(&a, &b).unwrap();
+        let ba = wg.joinability(&b, &a).unwrap();
         assert!((ab - ba).abs() < 1e-6);
         assert!(ab > 0.8, "joinability {ab}");
     }
 
     #[test]
     fn unknown_query_errors() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         assert!(matches!(
-            wg.discover(&c, &ColumnRef::new("nope", "t", "c"), 3),
+            wg.discover(&ColumnRef::new("nope", "t", "c"), 3),
             Err(StoreError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn detached_system_errors_cleanly() {
+        let (wg, c) = system();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        let handle = wg.detach().expect("was attached");
+        assert!(matches!(wg.discover(&q, 3), Err(StoreError::Backend(_))));
+        assert!(matches!(wg.index_warehouse(), Err(StoreError::Backend(_))));
+        assert!(matches!(wg.sync(), Err(StoreError::Backend(_))));
+        // The in-memory index still answers ad-hoc value queries.
+        assert!(!wg.discover_values(&["Company 1", "Company 2"], 3).is_empty());
+        // Re-attach restores full service.
+        wg.attach(handle);
+        assert!(wg.discover(&q, 3).is_ok());
+        drop(c);
     }
 
     #[test]
@@ -872,11 +1108,11 @@ mod tests {
             )
             .unwrap(),
         );
-        let c = CdwConnector::new(w, wg_store::CdwConfig::free());
-        let wg = WarpGate::new(WarpGateConfig::default().with_context(0.25));
-        wg.index_warehouse(&c).unwrap();
+        let c = Arc::new(CdwConnector::new(w, wg_store::CdwConfig::free()));
+        let wg = WarpGate::with_backend(WarpGateConfig::default().with_context(0.25), c);
+        wg.index_warehouse().unwrap();
         let q = ColumnRef::new("ops", "shipments", "ship_city");
-        let d = wg.discover(&c, &q, 2).unwrap();
+        let d = wg.discover(&q, 2).unwrap();
         assert_eq!(
             d.candidates[0].reference,
             ColumnRef::new("logistics", "delivery_routes", "shipping_city"),
@@ -887,14 +1123,14 @@ mod tests {
 
     #[test]
     fn warm_cache_skips_scan_and_embed() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         let q = ColumnRef::new("salesforce", "account", "name");
-        let cold = wg.discover(&c, &q, 3).unwrap();
+        let cold = wg.discover(&q, 3).unwrap();
         assert!(!cold.timing.cache_hit);
         assert!(cold.timing.load_secs > 0.0);
         assert!(cold.timing.embed_secs > 0.0);
 
-        let warm = wg.discover(&c, &q, 3).unwrap();
+        let warm = wg.discover(&q, 3).unwrap();
         assert!(warm.timing.cache_hit, "second identical query must hit the cache");
         assert_eq!(warm.timing.load_secs, 0.0, "warm query must not scan");
         assert_eq!(warm.timing.embed_secs, 0.0, "warm query must not embed");
@@ -907,21 +1143,21 @@ mod tests {
     #[test]
     fn cache_disabled_by_zero_capacity() {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig::default().with_cache_capacity(0));
-        wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(WarpGateConfig::default().with_cache_capacity(0), c);
+        wg.index_warehouse().unwrap();
         let q = ColumnRef::new("salesforce", "account", "name");
-        wg.discover(&c, &q, 3).unwrap();
-        let again = wg.discover(&c, &q, 3).unwrap();
+        wg.discover(&q, 3).unwrap();
+        let again = wg.discover(&q, 3).unwrap();
         assert!(!again.timing.cache_hit);
         assert!(again.timing.load_secs > 0.0, "disabled cache must re-scan");
     }
 
     #[test]
     fn reindex_invalidates_cached_query_embedding() {
-        let (wg, mut c) = system();
+        let (wg, c) = system();
         let q = ColumnRef::new("salesforce", "lead", "company");
-        let before = wg.discover(&c, &q, 3).unwrap();
-        assert!(wg.discover(&c, &q, 3).unwrap().timing.cache_hit);
+        let before = wg.discover(&q, 3).unwrap();
+        assert!(wg.discover(&q, 3).unwrap().timing.cache_hit);
 
         // Replace the lead table's content; re-index must evict the stale
         // query embedding so discovery sees the new values.
@@ -935,28 +1171,28 @@ mod tests {
             )
             .unwrap(),
         );
-        wg.index_table(&c, "salesforce", "lead").unwrap();
-        let after = wg.discover(&c, &q, 3).unwrap();
+        wg.index_table("salesforce", "lead").unwrap();
+        let after = wg.discover(&q, 3).unwrap();
         assert!(!after.timing.cache_hit, "re-index must evict the cached embedding");
         assert_ne!(before.candidates, after.candidates, "new column content must change discovery");
     }
 
     #[test]
     fn remove_table_evicts_cached_embeddings() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         let q = ColumnRef::new("stocks", "industries", "company_name");
-        wg.discover(&c, &q, 3).unwrap();
-        assert!(wg.discover(&c, &q, 3).unwrap().timing.cache_hit);
+        wg.discover(&q, 3).unwrap();
+        assert!(wg.discover(&q, 3).unwrap().timing.cache_hit);
         wg.remove_table("stocks", "industries");
         // The warehouse still holds the table, so the query itself works —
         // but its embedding must be freshly computed.
-        let d = wg.discover(&c, &q, 3).unwrap();
+        let d = wg.discover(&q, 3).unwrap();
         assert!(!d.timing.cache_hit, "remove_table must evict cache entries");
     }
 
     #[test]
     fn discover_batch_matches_sequential_discover() {
-        let (wg, c) = system();
+        let (wg, _c) = system();
         let queries = vec![
             ColumnRef::new("salesforce", "account", "name"),
             ColumnRef::new("salesforce", "lead", "company"),
@@ -964,8 +1200,8 @@ mod tests {
             ColumnRef::new("salesforce", "account", "name"), // repeat → cache
         ];
         let sequential: Vec<_> =
-            queries.iter().map(|q| wg.discover(&c, q, 4).unwrap().candidates).collect();
-        let batch = wg.discover_batch(&c, &queries, 4).unwrap();
+            queries.iter().map(|q| wg.discover(q, 4).unwrap().candidates).collect();
+        let batch = wg.discover_batch(&queries, 4).unwrap();
         assert_eq!(batch.len(), queries.len());
         for (i, d) in batch.iter().enumerate() {
             assert_eq!(d.query, queries[i], "results must come back in input order");
@@ -977,14 +1213,16 @@ mod tests {
     #[test]
     fn discover_batch_cold_and_single_threaded() {
         let c = connector();
-        let wg =
-            WarpGate::new(WarpGateConfig { threads: 1, cache_capacity: 0, ..Default::default() });
-        wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(
+            WarpGateConfig { threads: 1, cache_capacity: 0, ..Default::default() },
+            c,
+        );
+        wg.index_warehouse().unwrap();
         let queries = vec![
             ColumnRef::new("salesforce", "account", "name"),
             ColumnRef::new("stocks", "industries", "company_name"),
         ];
-        let batch = wg.discover_batch(&c, &queries, 3).unwrap();
+        let batch = wg.discover_batch(&queries, 3).unwrap();
         assert_eq!(batch.len(), 2);
         assert!(batch.iter().all(|d| !d.candidates.is_empty()));
     }
@@ -993,9 +1231,14 @@ mod tests {
     fn discover_batch_rejects_unknown_query_upfront() {
         let (wg, c) = system();
         let cost_before = c.costs();
-        let queries =
-            vec![ColumnRef::new("salesforce", "account", "name"), ColumnRef::new("nope", "t", "c")];
-        assert!(matches!(wg.discover_batch(&c, &queries, 3), Err(StoreError::NotFound(_))));
+        // The invalid ref sits in the MIDDLE of otherwise valid queries:
+        // validation must reject the whole batch before any scan is billed.
+        let queries = vec![
+            ColumnRef::new("salesforce", "account", "name"),
+            ColumnRef::new("nope", "t", "c"),
+            ColumnRef::new("stocks", "industries", "company_name"),
+        ];
+        assert!(matches!(wg.discover_batch(&queries, 3), Err(StoreError::NotFound(_))));
         assert_eq!(
             c.costs().since(&cost_before).requests,
             0,
@@ -1006,28 +1249,242 @@ mod tests {
     #[test]
     fn single_shard_results_match_default_sharding() {
         let c = connector();
-        let sharded = WarpGate::new(WarpGateConfig::default().with_shards(8));
-        sharded.index_warehouse(&c).unwrap();
-        let single = WarpGate::new(WarpGateConfig::default().with_shards(1));
-        single.index_warehouse(&c).unwrap();
+        let sharded = WarpGate::with_backend(WarpGateConfig::default().with_shards(8), c.clone());
+        sharded.index_warehouse().unwrap();
+        let single = WarpGate::with_backend(WarpGateConfig::default().with_shards(1), c);
+        single.index_warehouse().unwrap();
         for q in [
             ColumnRef::new("salesforce", "account", "name"),
             ColumnRef::new("stocks", "industries", "company_name"),
         ] {
-            let a = sharded.discover(&c, &q, 5).unwrap().candidates;
-            let b = single.discover(&c, &q, 5).unwrap().candidates;
+            let a = sharded.discover(&q, 5).unwrap().candidates;
+            let b = single.discover(&q, 5).unwrap().candidates;
             assert_eq!(a, b, "shard count must not change discovery results");
         }
     }
 
     #[test]
+    fn zero_shards_resolve_to_available_parallelism_at_construction() {
+        let wg = WarpGate::new(WarpGateConfig { shards: 0, threads: 3, ..Default::default() });
+        let expected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // `shards: 0` follows the machine's thread count, not the worker
+        // `threads` knob — the index outlives any one indexing run.
+        assert_eq!(wg.index.shard_count(), expected);
+    }
+
+    #[test]
     fn index_report_counts() {
         let c = connector();
-        let wg = WarpGate::new(WarpGateConfig::default());
-        let report = wg.index_warehouse(&c).unwrap();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c);
+        let report = wg.index_warehouse().unwrap();
         assert_eq!(report.columns_indexed, 6);
         assert_eq!(report.columns_skipped, 0);
         assert!(report.cost.requests >= 6);
         assert!(report.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn sync_on_unchanged_warehouse_is_a_noop() {
+        let (wg, c) = system();
+        c.reset_costs();
+        let report = wg.sync().unwrap();
+        assert!(report.is_noop(), "nothing changed: {report:?}");
+        assert_eq!(report.columns_indexed, 0);
+        assert_eq!(report.cost.requests, 0, "a no-op sync must not scan anything");
+    }
+
+    #[test]
+    fn sync_reindexes_only_the_changed_table() {
+        let (wg, c) = system();
+        // Warm a cache entry on an untouched table to prove it survives.
+        let untouched = ColumnRef::new("stocks", "industries", "company_name");
+        wg.discover(&untouched, 3).unwrap();
+        assert!(wg.discover(&untouched, 3).unwrap().timing.cache_hit);
+
+        c.warehouse_mut().database_mut("salesforce").add_table(
+            Table::new(
+                "lead",
+                vec![Column::text(
+                    "company",
+                    (0..45).map(|i| format!("Updated {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        c.reset_costs();
+        let embeds_before = wg.embedder().embed_count();
+        let report = wg.sync().unwrap();
+        assert_eq!(report.tables_updated, 1);
+        assert_eq!(report.tables_added, 0);
+        assert_eq!(report.tables_removed, 0);
+        assert_eq!(report.columns_indexed, 1, "lead has one column");
+        assert_eq!(report.cost.requests, 1, "only the changed column scans");
+        assert_eq!(
+            wg.embedder().embed_count() - embeds_before,
+            1,
+            "only the changed column re-embeds"
+        );
+        // The untouched table's cache entry stayed warm.
+        assert!(
+            wg.discover(&untouched, 3).unwrap().timing.cache_hit,
+            "sync must not evict cache entries of unchanged tables"
+        );
+        // Discovery sees the new content.
+        let q = ColumnRef::new("salesforce", "lead", "company");
+        let d = wg.discover(&q, 3).unwrap();
+        assert!(!d.timing.cache_hit, "changed table's cached embedding must be evicted");
+    }
+
+    #[test]
+    fn sync_adds_and_removes_tables() {
+        let (wg, c) = system();
+        let before = wg.len();
+        {
+            let mut w = c.warehouse_mut();
+            w.database_mut("stocks").add_table(
+                Table::new("tickers", vec![Column::text("symbol", ["AAPL", "MSFT", "GOOG"])])
+                    .unwrap(),
+            );
+            w.database_mut("salesforce").remove_table("lead");
+        }
+        let report = wg.sync().unwrap();
+        assert_eq!(report.tables_added, 1);
+        assert_eq!(report.tables_removed, 1);
+        assert_eq!(report.tables_updated, 0);
+        assert_eq!(report.columns_indexed, 1);
+        assert_eq!(report.columns_removed, 1);
+        assert_eq!(wg.len(), before, "one column in, one column out");
+        // The vanished table never resurfaces; the new one ranks.
+        let d = wg.discover(&ColumnRef::new("salesforce", "account", "name"), 10).unwrap();
+        assert!(d.candidates.iter().all(|j| j.reference.table != "lead"));
+        let hits = wg.discover_values(&["AAPL", "MSFT"], 3);
+        assert!(hits.iter().any(|h| h.reference.table == "tickers"));
+    }
+
+    #[test]
+    fn sync_drops_vanished_columns_of_changed_tables() {
+        let (wg, c) = system();
+        // Replace the two-column account table with a one-column version.
+        c.warehouse_mut().database_mut("salesforce").add_table(
+            Table::new(
+                "account",
+                vec![Column::text(
+                    "name",
+                    (0..80).map(|i| format!("Company {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        let before = wg.len();
+        let report = wg.sync().unwrap();
+        assert_eq!(report.tables_updated, 1);
+        assert_eq!(report.columns_removed, 1, "the employees column vanished");
+        assert_eq!(report.columns_indexed, 1, "the surviving column re-indexed");
+        assert_eq!(wg.len(), before - 1);
+        // The vanished column never comes back in results.
+        let d = wg.discover(&ColumnRef::new("stocks", "prices", "close"), 10).unwrap();
+        assert!(d.candidates.iter().all(|j| j.reference.column != "employees"));
+    }
+
+    /// A minimal third-party backend: delegates to a CdwConnector but can
+    /// be switched into a failing mode — proof the trait is implementable
+    /// outside `wg_store`, and a handle on mid-run failures.
+    struct TogglableBackend {
+        inner: Arc<CdwConnector>,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl wg_store::WarehouseBackend for TogglableBackend {
+        fn name(&self) -> String {
+            format!("togglable:{}", wg_store::WarehouseBackend::name(self.inner.as_ref()))
+        }
+        fn list_tables(&self) -> StoreResult<Vec<TableMeta>> {
+            self.inner.list_tables()
+        }
+        fn table_meta(&self, database: &str, table: &str) -> StoreResult<TableMeta> {
+            wg_store::WarehouseBackend::table_meta(self.inner.as_ref(), database, table)
+        }
+        fn scan_column(&self, r: &ColumnRef, sample: SampleSpec) -> StoreResult<wg_store::Column> {
+            if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(StoreError::Backend("togglable backend is down".into()));
+            }
+            self.inner.scan_column(r, sample)
+        }
+        fn scan_table(
+            &self,
+            database: &str,
+            table: &str,
+            sample: SampleSpec,
+        ) -> StoreResult<Table> {
+            if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(StoreError::Backend("togglable backend is down".into()));
+            }
+            self.inner.scan_table(database, table, sample)
+        }
+        fn costs(&self) -> CostSnapshot {
+            self.inner.costs()
+        }
+        fn reset_costs(&self) {
+            self.inner.reset_costs()
+        }
+    }
+
+    #[test]
+    fn failed_index_run_records_nothing_so_sync_retries() {
+        let inner = connector();
+        let toggle =
+            Arc::new(TogglableBackend { inner, fail: std::sync::atomic::AtomicBool::new(true) });
+        let wg = WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() },
+            toggle.clone(),
+        );
+        assert!(matches!(wg.index_warehouse(), Err(StoreError::Backend(_))));
+        assert_eq!(wg.len(), 0);
+
+        // The backend comes back; the failed run must not have recorded
+        // any versions, so sync (same epoch, same backend) indexes all.
+        toggle.fail.store(false, std::sync::atomic::Ordering::Relaxed);
+        let report = wg.sync().unwrap();
+        assert_eq!(report.columns_indexed, 6, "sync must retry everything: {report:?}");
+        assert_eq!(wg.len(), 6);
+    }
+
+    #[test]
+    fn attach_swaps_backends_and_sync_reconciles() {
+        let (wg, _old) = system();
+        assert_eq!(wg.len(), 6);
+        // A different backend: one table survives by name (with different
+        // content), the rest vanish, one is new.
+        let mut w = Warehouse::new("w2");
+        w.database_mut("salesforce").add_table(
+            Table::new(
+                "account",
+                vec![Column::text(
+                    "name",
+                    (0..20).map(|i| format!("Fresh Co {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        w.database_mut("hr").add_table(
+            Table::new(
+                "people",
+                vec![Column::text(
+                    "full_name",
+                    (0..20).map(|i| format!("Person {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        let fresh = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+        wg.attach(fresh);
+        let report = wg.sync().unwrap();
+        // Everything the new backend serves was re-scanned (epoch bump),
+        // and the three old tables dropped.
+        assert_eq!(report.tables_removed, 3);
+        assert_eq!(report.tables_added + report.tables_updated, 2);
+        assert_eq!(wg.len(), 2);
+        let d = wg.discover(&ColumnRef::new("salesforce", "account", "name"), 10).unwrap();
+        assert!(d.candidates.iter().all(|j| j.reference.database != "stocks"));
     }
 }

@@ -6,6 +6,7 @@
 //! scheme is an explicit design knob because the paper leaves aggregation
 //! unspecified; `bench ablation_aggregation` compares them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use wg_store::Column;
@@ -66,12 +67,22 @@ impl Default for Aggregation {
 pub struct ColumnEmbedder {
     model: Arc<dyn EmbeddingModel>,
     aggregation: Aggregation,
+    /// Column/value-set embeddings computed so far. Shared across clones
+    /// (`Arc`) so a system-wide counter survives pipeline fan-out; used by
+    /// incremental-sync tests to prove only changed columns re-embed.
+    embeds: Arc<AtomicU64>,
 }
 
 impl ColumnEmbedder {
     /// Pair a model with an aggregation scheme.
     pub fn new(model: Arc<dyn EmbeddingModel>, aggregation: Aggregation) -> Self {
-        Self { model, aggregation }
+        Self { model, aggregation, embeds: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// How many column/value-set embeddings this embedder (including its
+    /// clones) has computed.
+    pub fn embed_count(&self) -> u64 {
+        self.embeds.load(Ordering::Relaxed)
     }
 
     /// Output dimension.
@@ -98,6 +109,7 @@ impl ColumnEmbedder {
 
     /// Embed from pre-computed `(value, count)` pairs.
     pub fn embed_value_counts(&self, values: &[(String, u32)], total_rows: u64) -> Vector {
+        self.embeds.fetch_add(1, Ordering::Relaxed);
         let mut acc = Vector::zeros(self.model.dim());
         let mut any = false;
         for (value, count) in values {
@@ -235,6 +247,16 @@ mod tests {
         let a = e.embed_values(&vals);
         let b = e.embed_column(&col);
         assert!(a.cosine(&b) > 0.999);
+    }
+
+    #[test]
+    fn embed_counter_shared_across_clones() {
+        let e = embedder(Aggregation::default());
+        assert_eq!(e.embed_count(), 0);
+        e.embed_column(&Column::text("c", ["a", "b"]));
+        let clone = e.clone();
+        clone.embed_values(&["x", "y"]);
+        assert_eq!(e.embed_count(), 2, "clones must share the counter");
     }
 
     #[test]

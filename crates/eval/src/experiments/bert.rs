@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use wg_corpora::Corpus;
 use wg_embed::{MiniBertConfig, MiniBertModel};
-use wg_store::{CdwConnector, SampleSpec};
+use wg_store::{BackendHandle, SampleSpec};
 
 use crate::experiments::KS;
 use crate::metrics::precision_recall_at_k;
@@ -38,15 +38,15 @@ fn specs() -> Vec<(String, SampleSpec)> {
 }
 
 /// Run both models over the corpus.
-pub fn run(corpus: &Corpus, connector: &CdwConnector) -> Vec<BertRow> {
+pub fn run(corpus: &Corpus, backend: &BackendHandle) -> Vec<BertRow> {
     let kmax = *KS.iter().max().expect("ks");
     let mut out = Vec::new();
     for model_name in ["web-table", "mini-bert"] {
         for (label, spec) in specs() {
             let system = match model_name {
-                "web-table" => build_warpgate(connector, spec, None),
+                "web-table" => build_warpgate(backend, spec, None),
                 _ => build_warpgate(
-                    connector,
+                    backend,
                     spec,
                     Some(Arc::new(MiniBertModel::new(MiniBertConfig::default()))),
                 ),
@@ -56,7 +56,7 @@ pub fn run(corpus: &Corpus, connector: &CdwConnector) -> Vec<BertRow> {
             let mut response = 0.0;
             let mut rankings = Vec::with_capacity(corpus.queries.len());
             for q in &corpus.queries {
-                let (hits, t) = system.query(connector, q, kmax).expect("query");
+                let (hits, t) = system.query(backend.as_ref(), q, kmax).expect("query");
                 embed += t.profile_secs;
                 response += t.response_secs();
                 rankings.push(hits);

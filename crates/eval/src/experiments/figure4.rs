@@ -2,7 +2,7 @@
 //! testbedS (a), testbedM (b) and Spider (c).
 
 use wg_corpora::Corpus;
-use wg_store::{CdwConnector, SampleSpec};
+use wg_store::{BackendHandle, SampleSpec};
 
 use crate::experiments::KS;
 use crate::metrics::precision_recall_at_k;
@@ -23,17 +23,16 @@ pub struct Fig4Point {
 }
 
 /// Run one panel: evaluate all three systems over the corpus queries.
-pub fn run(corpus: &Corpus, connector: &CdwConnector) -> Vec<Fig4Point> {
-    let systems =
-        build_systems(connector, SampleSpec::DistinctReservoir { n: 1_000, seed: 0x5A17 })
-            .expect("system construction");
-    run_with_systems(corpus, connector, &systems)
+pub fn run(corpus: &Corpus, backend: &BackendHandle) -> Vec<Fig4Point> {
+    let systems = build_systems(backend, SampleSpec::DistinctReservoir { n: 1_000, seed: 0x5A17 })
+        .expect("system construction");
+    run_with_systems(corpus, backend, &systems)
 }
 
 /// Evaluate pre-built systems (shared with Table 2, which reuses them).
 pub fn run_with_systems(
     corpus: &Corpus,
-    connector: &CdwConnector,
+    backend: &BackendHandle,
     systems: &[Box<dyn System>],
 ) -> Vec<Fig4Point> {
     let kmax = *KS.iter().max().expect("non-empty ks");
@@ -47,7 +46,7 @@ pub fn run_with_systems(
             .enumerate()
             .map(|(qi, q)| {
                 let (hits, _) = system
-                    .query(connector, q, kmax)
+                    .query(backend.as_ref(), q, kmax)
                     .unwrap_or_else(|e| panic!("{} failed on {q}: {e}", system.name()));
                 (qi, hits)
             })

@@ -9,19 +9,21 @@ pub mod sigma_adhoc;
 pub mod table1;
 pub mod table2;
 
-use wg_store::{CdwConfig, CdwConnector};
+use std::sync::Arc;
+
+use wg_store::{BackendHandle, CdwConfig, CdwConnector};
 
 /// The k values the paper sweeps in Figure 4.
 pub const KS: &[usize] = &[2, 3, 5, 10];
 
-/// Wrap a corpus warehouse in a connector with the default (priced,
-/// virtually-latent) CDW model used by all timing experiments.
-pub fn connect(warehouse: wg_store::Warehouse) -> CdwConnector {
-    CdwConnector::new(warehouse, CdwConfig::default())
+/// Wrap a corpus warehouse in a simulated-CDW backend with the default
+/// (priced, virtually-latent) cost model used by all timing experiments.
+pub fn connect(warehouse: wg_store::Warehouse) -> BackendHandle {
+    Arc::new(CdwConnector::new(warehouse, CdwConfig::default()))
 }
 
 /// Wrap with a free CDW (effectiveness-only experiments where virtual
 /// latency would just add noise to no benefit).
-pub fn connect_free(warehouse: wg_store::Warehouse) -> CdwConnector {
-    CdwConnector::new(warehouse, CdwConfig::free())
+pub fn connect_free(warehouse: wg_store::Warehouse) -> BackendHandle {
+    Arc::new(CdwConnector::new(warehouse, CdwConfig::free()))
 }

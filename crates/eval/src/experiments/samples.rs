@@ -8,7 +8,7 @@
 //! that effectiveness barely moves while both times collapse.
 
 use wg_corpora::Corpus;
-use wg_store::{CdwConnector, SampleSpec};
+use wg_store::{BackendHandle, SampleSpec};
 
 use crate::experiments::KS;
 use crate::metrics::precision_recall_at_k;
@@ -39,16 +39,16 @@ pub fn sample_specs() -> Vec<(String, SampleSpec)> {
 }
 
 /// Run the sweep on one corpus.
-pub fn run(corpus: &Corpus, connector: &CdwConnector) -> Vec<SampleRow> {
+pub fn run(corpus: &Corpus, backend: &BackendHandle) -> Vec<SampleRow> {
     let kmax = *KS.iter().max().expect("ks");
     let mut out = Vec::new();
     for (label, spec) in sample_specs() {
-        let system = build_warpgate(connector, spec, None).expect("warpgate build");
+        let system = build_warpgate(backend, spec, None).expect("warpgate build");
         let mut lookup = 0.0;
         let mut response = 0.0;
         let mut rankings = Vec::with_capacity(corpus.queries.len());
         for q in &corpus.queries {
-            let (hits, t) = system.query(connector, q, kmax).expect("query");
+            let (hits, t) = system.query(backend.as_ref(), q, kmax).expect("query");
             lookup += t.lookup_secs;
             response += t.response_secs();
             rankings.push(hits);

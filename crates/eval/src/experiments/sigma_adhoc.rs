@@ -2,7 +2,7 @@
 //! Database — Joey's sales-campaign scenario executed end to end.
 
 use warpgate_core::{WarpGate, WarpGateConfig};
-use wg_store::{CdwConnector, ColumnRef, KeyNorm, SampleSpec, Table};
+use wg_store::{BackendHandle, ColumnRef, KeyNorm, SampleSpec, Table};
 
 use crate::report;
 
@@ -18,15 +18,18 @@ pub struct AdhocResult {
 
 /// Run the walkthrough: index the corpus, query ACCOUNT.Name, then execute
 /// "Add column via lookup" against the INDUSTRIES recommendation.
-pub fn run(connector: &CdwConnector) -> AdhocResult {
-    let wg = WarpGate::new(WarpGateConfig {
-        sample: SampleSpec::DistinctReservoir { n: 1_000, seed: 0x5A17 },
-        ..WarpGateConfig::default()
-    });
-    wg.index_warehouse(connector).expect("indexing");
+pub fn run(backend: &BackendHandle) -> AdhocResult {
+    let wg = WarpGate::with_backend(
+        WarpGateConfig {
+            sample: SampleSpec::DistinctReservoir { n: 1_000, seed: 0x5A17 },
+            ..WarpGateConfig::default()
+        },
+        backend.clone(),
+    );
+    wg.index_warehouse().expect("indexing");
 
     let query = ColumnRef::new("SALESFORCE", "ACCOUNT", "Name");
-    let discovery = wg.discover(connector, &query, 3).expect("discover");
+    let discovery = wg.discover(&query, 3).expect("discover");
     let recommendations: Vec<(ColumnRef, f32)> =
         discovery.candidates.iter().map(|c| (c.reference.clone(), c.score)).collect();
 
@@ -39,16 +42,9 @@ pub fn run(connector: &CdwConnector) -> AdhocResult {
         .unwrap_or(&recommendations[0].0)
         .clone();
 
-    let base = connector.scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full).expect("scan base");
+    let base = backend.scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full).expect("scan base");
     let augmented = wg
-        .augment_via_lookup(
-            connector,
-            &base,
-            "Name",
-            &candidate,
-            &["Industry Group"],
-            KeyNorm::AlphaNum,
-        )
+        .augment_via_lookup(&base, "Name", &candidate, &["Industry Group"], KeyNorm::AlphaNum)
         .expect("lookup join");
     let sector = augmented.column("Industry Group").expect("added column");
     let enriched_rows = (0..sector.len()).filter(|&i| !sector.get(i).is_null()).count();

@@ -7,7 +7,7 @@
 //! what restores the "loading dominates" structure on scaled-down corpora.
 
 use wg_corpora::Corpus;
-use wg_store::{CdwConnector, SampleSpec};
+use wg_store::{BackendHandle, SampleSpec};
 
 use crate::report;
 use crate::systems::{build_systems, SysTiming, System};
@@ -30,15 +30,15 @@ pub struct Table2Row {
 }
 
 /// Run the timing workload: every query at k = 10 against every system.
-pub fn run(corpus: &Corpus, connector: &CdwConnector) -> Vec<Table2Row> {
-    let systems = build_systems(connector, SampleSpec::Full).expect("system construction");
-    run_with_systems(corpus, connector, &systems)
+pub fn run(corpus: &Corpus, backend: &BackendHandle) -> Vec<Table2Row> {
+    let systems = build_systems(backend, SampleSpec::Full).expect("system construction");
+    run_with_systems(corpus, backend, &systems)
 }
 
 /// Timing over pre-built systems.
 pub fn run_with_systems(
     corpus: &Corpus,
-    connector: &CdwConnector,
+    backend: &BackendHandle,
     systems: &[Box<dyn System>],
 ) -> Vec<Table2Row> {
     let mut out = Vec::new();
@@ -47,7 +47,7 @@ pub fn run_with_systems(
         let mut n = 0usize;
         for q in &corpus.queries {
             let (_, t) = system
-                .query(connector, q, 10)
+                .query(backend.as_ref(), q, 10)
                 .unwrap_or_else(|e| panic!("{} failed on {q}: {e}", system.name()));
             acc.load_secs += t.load_secs + t.virtual_load_secs;
             acc.profile_secs += t.profile_secs;

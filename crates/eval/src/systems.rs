@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use warpgate_core::{WarpGate, WarpGateConfig};
 use wg_baselines::{Aurum, AurumConfig, D3l, D3lConfig};
-use wg_store::{CdwConnector, ColumnRef, SampleSpec, StoreResult};
+use wg_store::{BackendHandle, ColumnRef, SampleSpec, StoreResult, WarehouseBackend};
 use wg_util::timing::Stopwatch;
 
 /// Timing decomposition common to all systems. Components a system does
@@ -33,7 +33,9 @@ impl SysTiming {
     }
 }
 
-/// A discovery system under evaluation.
+/// A discovery system under evaluation. Queries go through the shared
+/// [`WarehouseBackend`] the systems were built over (WarpGate holds its
+/// own attached handle to the same backend).
 pub trait System: Send + Sync {
     /// Display name ("Aurum", "D3L", "WarpGate").
     fn name(&self) -> &str;
@@ -41,7 +43,7 @@ pub trait System: Send + Sync {
     /// Ranked candidates for a query column, with timing.
     fn query(
         &self,
-        connector: &CdwConnector,
+        backend: &dyn WarehouseBackend,
         q: &ColumnRef,
         k: usize,
     ) -> StoreResult<(Vec<ColumnRef>, SysTiming)>;
@@ -57,7 +59,7 @@ impl System for AurumSystem {
 
     fn query(
         &self,
-        _connector: &CdwConnector,
+        _backend: &dyn WarehouseBackend,
         q: &ColumnRef,
         k: usize,
     ) -> StoreResult<(Vec<ColumnRef>, SysTiming)> {
@@ -78,11 +80,11 @@ impl System for D3lSystem {
 
     fn query(
         &self,
-        connector: &CdwConnector,
+        backend: &dyn WarehouseBackend,
         q: &ColumnRef,
         k: usize,
     ) -> StoreResult<(Vec<ColumnRef>, SysTiming)> {
-        let (hits, t) = self.0.query(connector, q, k)?;
+        let (hits, t) = self.0.query(backend, q, k)?;
         let timing = SysTiming {
             load_secs: t.load_secs,
             profile_secs: t.profile_secs,
@@ -93,7 +95,10 @@ impl System for D3lSystem {
     }
 }
 
-/// WarpGate behind the [`System`] interface.
+/// WarpGate behind the [`System`] interface. WarpGate queries through its
+/// *attached* backend (the one `build_systems` handed it), so the
+/// `backend` parameter is unused here — pass the same handle the system
+/// was built over.
 pub struct WarpGateSystem(pub WarpGate);
 
 impl System for WarpGateSystem {
@@ -103,11 +108,11 @@ impl System for WarpGateSystem {
 
     fn query(
         &self,
-        connector: &CdwConnector,
+        _backend: &dyn WarehouseBackend,
         q: &ColumnRef,
         k: usize,
     ) -> StoreResult<(Vec<ColumnRef>, SysTiming)> {
-        let d = self.0.discover(connector, q, k)?;
+        let d = self.0.discover(q, k)?;
         let timing = SysTiming {
             load_secs: d.timing.load_secs,
             profile_secs: d.timing.embed_secs,
@@ -128,17 +133,16 @@ impl System for WarpGateSystem {
 /// harness replays the same queries repeatedly. A warm cache would
 /// silently measure a different system.
 pub fn build_systems(
-    connector: &CdwConnector,
+    backend: &BackendHandle,
     query_sample: SampleSpec,
 ) -> StoreResult<Vec<Box<dyn System>>> {
-    let aurum = Aurum::build(connector, AurumConfig::default())?;
-    let d3l = D3l::build(connector, D3lConfig::default())?;
-    let warpgate = WarpGate::new(WarpGateConfig {
-        sample: query_sample,
-        cache_capacity: 0,
-        ..WarpGateConfig::default()
-    });
-    warpgate.index_warehouse(connector)?;
+    let aurum = Aurum::build(backend.as_ref(), AurumConfig::default())?;
+    let d3l = D3l::build(backend.as_ref(), D3lConfig::default())?;
+    let warpgate = WarpGate::with_backend(
+        WarpGateConfig { sample: query_sample, cache_capacity: 0, ..WarpGateConfig::default() },
+        backend.clone(),
+    );
+    warpgate.index_warehouse()?;
     Ok(vec![
         Box::new(AurumSystem(aurum)),
         Box::new(D3lSystem(d3l)),
@@ -149,7 +153,7 @@ pub fn build_systems(
 /// Build just WarpGate with a given sample spec and embedding model choice.
 /// Cache disabled for the same cold-query reason as [`build_systems`].
 pub fn build_warpgate(
-    connector: &CdwConnector,
+    backend: &BackendHandle,
     sample: SampleSpec,
     model: Option<Arc<dyn wg_embed::EmbeddingModel>>,
 ) -> StoreResult<WarpGateSystem> {
@@ -158,7 +162,8 @@ pub fn build_warpgate(
         Some(m) => WarpGate::with_model(config, m),
         None => WarpGate::new(config),
     };
-    wg.index_warehouse(connector)?;
+    wg.attach(backend.clone());
+    wg.index_warehouse()?;
     Ok(WarpGateSystem(wg))
 }
 
@@ -166,18 +171,19 @@ pub fn build_warpgate(
 mod tests {
     use super::*;
     use wg_corpora::TestbedSpec;
-    use wg_store::CdwConfig;
+    use wg_store::{CdwConfig, CdwConnector};
 
     #[test]
     fn all_systems_answer_queries() {
         let corpus = wg_corpora::build_testbed(&TestbedSpec::xs(0.05));
-        let connector = CdwConnector::new(corpus.warehouse, CdwConfig::free());
+        let backend: BackendHandle =
+            Arc::new(CdwConnector::new(corpus.warehouse, CdwConfig::free()));
         let systems =
-            build_systems(&connector, SampleSpec::DistinctReservoir { n: 500, seed: 1 }).unwrap();
+            build_systems(&backend, SampleSpec::DistinctReservoir { n: 500, seed: 1 }).unwrap();
         assert_eq!(systems.len(), 3);
         let q = &corpus.queries[0];
         for s in &systems {
-            let (hits, timing) = s.query(&connector, q, 5).unwrap();
+            let (hits, timing) = s.query(backend.as_ref(), q, 5).unwrap();
             assert!(hits.len() <= 5, "{} overflowed k", s.name());
             assert!(timing.response_secs() >= 0.0);
         }

@@ -7,9 +7,25 @@
 
 use std::fmt;
 
+use crate::backend::TableMeta;
 use crate::column::Column;
 use crate::error::{StoreError, StoreResult};
 use crate::table::Table;
+
+/// Content fingerprint of a table: changes whenever the table's name,
+/// schema, or data changes; identical content hashes identically. This is
+/// the version token the simulated CDW reports through
+/// [`crate::WarehouseBackend::snapshot_versions`].
+fn table_fingerprint(table: &Table) -> u64 {
+    let mut acc = wg_util::stable_hash_str(table.name());
+    for c in table.columns() {
+        acc = wg_util::hash::combine64(acc, wg_util::stable_hash_str(c.name()));
+        let mut bytes = Vec::with_capacity(c.approx_bytes() + 16);
+        c.encode(&mut bytes);
+        acc = wg_util::hash::combine64(acc, wg_util::stable_hash64(&bytes));
+    }
+    acc
+}
 
 /// Fully-qualified column address: `database.table.column`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,17 +60,20 @@ impl fmt::Display for ColumnRef {
     }
 }
 
-/// A named database: a set of tables.
+/// A named database: a set of tables, each carrying a content version.
 #[derive(Debug, Clone)]
 pub struct Database {
     name: String,
     tables: Vec<Table>,
+    /// Content fingerprint per table, parallel to `tables`. Maintained by
+    /// `add_table`/`remove_table` so backends can report what changed.
+    versions: Vec<u64>,
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), tables: Vec::new() }
+        Self { name: name.into(), tables: Vec::new(), versions: Vec::new() }
     }
 
     /// Database name.
@@ -64,17 +83,35 @@ impl Database {
 
     /// Add a table; replaces any existing table of the same name (CDW data
     /// "has high update rates" — replacement is the common refresh path).
+    /// The table's content version is (re)computed here.
     pub fn add_table(&mut self, table: Table) {
+        let version = table_fingerprint(&table);
         if let Some(pos) = self.tables.iter().position(|t| t.name() == table.name()) {
             self.tables[pos] = table;
+            self.versions[pos] = version;
         } else {
             self.tables.push(table);
+            self.versions.push(version);
         }
     }
 
     /// Remove a table by name, returning it if present.
     pub fn remove_table(&mut self, name: &str) -> Option<Table> {
-        self.tables.iter().position(|t| t.name() == name).map(|pos| self.tables.remove(pos))
+        self.tables.iter().position(|t| t.name() == name).map(|pos| {
+            self.versions.remove(pos);
+            self.tables.remove(pos)
+        })
+    }
+
+    /// Content-version token for a table, if present. Identical content
+    /// yields identical tokens; any data or schema change yields a new one.
+    pub fn table_version(&self, name: &str) -> Option<u64> {
+        self.tables.iter().position(|t| t.name() == name).map(|pos| self.versions[pos])
+    }
+
+    /// Tables zipped with their version tokens, in catalog order.
+    fn tables_with_versions(&self) -> impl Iterator<Item = (&Table, u64)> + '_ {
+        self.tables.iter().zip(self.versions.iter().copied())
     }
 
     /// All tables.
@@ -149,6 +186,38 @@ impl Warehouse {
     /// Resolve a column reference.
     pub fn column(&self, r: &ColumnRef) -> StoreResult<&Column> {
         self.table(&r.database, &r.table)?.column(&r.column)
+    }
+
+    /// Catalog metadata (columns + content-version token) for every table,
+    /// in catalog order (deterministic). This is what the simulated CDW
+    /// serves as free information-schema queries.
+    pub fn table_metas(&self) -> Vec<TableMeta> {
+        self.databases
+            .iter()
+            .flat_map(|db| {
+                db.tables_with_versions().map(move |(t, version)| TableMeta {
+                    database: db.name().to_string(),
+                    table: t.name().to_string(),
+                    columns: t.columns().iter().map(|c| c.name().to_string()).collect(),
+                    version,
+                })
+            })
+            .collect()
+    }
+
+    /// Metadata for one table.
+    pub fn table_meta(&self, database: &str, table: &str) -> StoreResult<TableMeta> {
+        let db = self.database(database)?;
+        let (t, version) = db
+            .tables_with_versions()
+            .find(|(t, _)| t.name() == table)
+            .ok_or_else(|| StoreError::NotFound(format!("table '{database}.{table}'")))?;
+        Ok(TableMeta {
+            database: database.to_string(),
+            table: table.to_string(),
+            columns: t.columns().iter().map(|c| c.name().to_string()).collect(),
+            version,
+        })
     }
 
     /// Iterate every column in the warehouse with its address, in catalog
@@ -255,6 +324,42 @@ mod tests {
         assert!(w.database_mut("sales").remove_table("leads").is_some());
         assert!(w.database_mut("sales").remove_table("leads").is_none());
         assert_eq!(w.num_tables(), 1);
+    }
+
+    #[test]
+    fn content_versions_track_table_changes() {
+        let mut w = wh();
+        let v1 = w.database("sales").unwrap().table_version("leads").unwrap();
+        // Re-adding identical content keeps the token stable.
+        w.database_mut("sales")
+            .add_table(Table::new("leads", vec![Column::text("company", ["a"])]).unwrap());
+        let v2 = w.database("sales").unwrap().table_version("leads").unwrap();
+        assert_eq!(v1, v2, "identical content must keep the same version token");
+        // Changing the data changes the token.
+        w.database_mut("sales")
+            .add_table(Table::new("leads", vec![Column::text("company", ["a", "b"])]).unwrap());
+        let v3 = w.database("sales").unwrap().table_version("leads").unwrap();
+        assert_ne!(v2, v3, "content change must produce a new version token");
+        // Renaming a column (schema change) also changes the token.
+        w.database_mut("sales")
+            .add_table(Table::new("leads", vec![Column::text("firm", ["a", "b"])]).unwrap());
+        let v4 = w.database("sales").unwrap().table_version("leads").unwrap();
+        assert_ne!(v3, v4, "schema change must produce a new version token");
+        // Removal drops the version entry alongside the table.
+        w.database_mut("sales").remove_table("leads");
+        assert_eq!(w.database("sales").unwrap().table_version("leads"), None);
+    }
+
+    #[test]
+    fn table_metas_cover_the_catalog() {
+        let w = wh();
+        let metas = w.table_metas();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].table, "accounts");
+        assert_eq!(metas[0].columns, vec!["name", "id"]);
+        let one = w.table_meta("sales", "accounts").unwrap();
+        assert_eq!(one, metas[0]);
+        assert!(w.table_meta("sales", "nope").is_err());
     }
 
     #[test]

@@ -16,9 +16,16 @@
 //! Sampling is pushed into the connector ([`CdwConnector::scan_column`]
 //! takes a [`SampleSpec`]) so a sampled scan genuinely serializes fewer
 //! bytes — exactly the cost structure the paper's §4.4 exploits.
+//!
+//! `CdwConnector` is one implementation of [`crate::WarehouseBackend`];
+//! the warehouse sits behind a lock so a shared handle supports catalog
+//! refreshes (`warehouse_mut`) while indexing threads scan.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::backend::{TableMeta, WarehouseBackend};
 use crate::catalog::{ColumnRef, Warehouse};
 use crate::column::Column;
 use crate::error::StoreResult;
@@ -66,7 +73,9 @@ pub struct CostMeter {
 }
 
 impl CostMeter {
-    fn charge(&self, config: &CdwConfig, bytes: usize) {
+    /// Record one scan request of `bytes` serialized bytes under the given
+    /// pricing model.
+    pub fn charge(&self, config: &CdwConfig, bytes: usize) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         let secs =
@@ -94,7 +103,7 @@ impl CostMeter {
 }
 
 /// A point-in-time view of accumulated scan costs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostSnapshot {
     /// Number of scan requests issued.
     pub requests: u64,
@@ -107,32 +116,98 @@ pub struct CostSnapshot {
 }
 
 impl CostSnapshot {
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Saturating: a meter reset
+    /// between the two snapshots yields zeros for the affected counters,
+    /// never negative deltas (or an underflow panic).
     pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         CostSnapshot {
-            requests: self.requests - earlier.requests,
-            bytes_scanned: self.bytes_scanned - earlier.bytes_scanned,
-            virtual_secs: self.virtual_secs - earlier.virtual_secs,
-            usd: self.usd - earlier.usd,
+            requests: self.requests.saturating_sub(earlier.requests),
+            bytes_scanned: self.bytes_scanned.saturating_sub(earlier.bytes_scanned),
+            virtual_secs: (self.virtual_secs - earlier.virtual_secs).max(0.0),
+            usd: (self.usd - earlier.usd).max(0.0),
+        }
+    }
+
+    /// Element-wise sum (used by wrapper backends that add their own
+    /// charges on top of an inner backend's).
+    pub fn plus(&self, other: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            requests: self.requests + other.requests,
+            bytes_scanned: self.bytes_scanned + other.bytes_scanned,
+            virtual_secs: self.virtual_secs + other.virtual_secs,
+            usd: self.usd + other.usd,
         }
     }
 }
 
+/// Serialize a sampled column through the wire codec, charge the meter for
+/// the bytes moved, and parse it back — the round trip every scan of a
+/// remote warehouse pays. Shared by [`CdwConnector`] and
+/// [`crate::CsvBackend`] so both bill identically.
+pub(crate) fn wire_scan_column(
+    column: &Column,
+    sample: SampleSpec,
+    config: &CdwConfig,
+    meter: &CostMeter,
+) -> StoreResult<Column> {
+    let sampled = sample.apply(column);
+    let mut wire = Vec::with_capacity(sampled.approx_bytes() + 64);
+    sampled.encode(&mut wire);
+    meter.charge(config, wire.len());
+    let mut cursor = &wire[..];
+    Ok(Column::decode(&mut cursor)?)
+}
+
+/// Table-granularity variant of [`wire_scan_column`]: one request, all
+/// columns share the row sample.
+pub(crate) fn wire_scan_table(
+    table: &Table,
+    sample: SampleSpec,
+    config: &CdwConfig,
+    meter: &CostMeter,
+) -> StoreResult<Table> {
+    let sampled = sample.apply_table(table);
+    let mut wire = Vec::with_capacity(sampled.approx_bytes() + 64);
+    wg_util::codec::put_len(&mut wire, sampled.num_columns());
+    for c in sampled.columns() {
+        c.encode(&mut wire);
+    }
+    meter.charge(config, wire.len());
+    let mut cursor = &wire[..];
+    let n = wg_util::codec::get_len(&mut cursor)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        cols.push(Column::decode(&mut cursor)?);
+    }
+    Table::new(sampled.name(), cols)
+}
+
 /// Connector to a (simulated) cloud data warehouse.
 ///
-/// Owns the warehouse plus the metering state; hand `&CdwConnector` to as
-/// many indexing threads as needed — the meter is atomic.
-#[derive(Debug)]
+/// Owns the warehouse plus the metering state; share it as
+/// `Arc<CdwConnector>` (or a [`crate::BackendHandle`]) across as many
+/// indexing threads as needed — the meter is atomic and the catalog sits
+/// behind a read/write lock so refreshes ([`Self::warehouse_mut`]) work
+/// through a shared handle.
 pub struct CdwConnector {
-    warehouse: Warehouse,
+    warehouse: RwLock<Warehouse>,
     config: CdwConfig,
     meter: CostMeter,
+}
+
+impl std::fmt::Debug for CdwConnector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CdwConnector")
+            .field("warehouse", &self.warehouse.read().name().to_string())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CdwConnector {
     /// Wrap a warehouse with the given latency/pricing model.
     pub fn new(warehouse: Warehouse, config: CdwConfig) -> Self {
-        Self { warehouse, config, meter: CostMeter::default() }
+        Self { warehouse: RwLock::new(warehouse), config, meter: CostMeter::default() }
     }
 
     /// Wrap with the default model.
@@ -141,14 +216,16 @@ impl CdwConnector {
     }
 
     /// Catalog access (schema browsing is free: metadata queries are not
-    /// billed as scans by CDW vendors).
-    pub fn warehouse(&self) -> &Warehouse {
-        &self.warehouse
+    /// billed as scans by CDW vendors). Returns a read guard — hold it
+    /// only for the duration of the lookup.
+    pub fn warehouse(&self) -> RwLockReadGuard<'_, Warehouse> {
+        self.warehouse.read()
     }
 
-    /// Mutable catalog access for data refresh scenarios.
-    pub fn warehouse_mut(&mut self) -> &mut Warehouse {
-        &mut self.warehouse
+    /// Mutable catalog access for data refresh scenarios. Works through a
+    /// shared handle: concurrent scans block until the refresh is done.
+    pub fn warehouse_mut(&self) -> RwLockWriteGuard<'_, Warehouse> {
+        self.warehouse.write()
     }
 
     /// The latency/pricing model.
@@ -160,13 +237,9 @@ impl CdwConnector {
     /// through a serialize/deserialize round trip, exactly like data pulled
     /// from a real warehouse.
     pub fn scan_column(&self, r: &ColumnRef, sample: SampleSpec) -> StoreResult<Column> {
-        let col = self.warehouse.column(r)?;
-        let sampled = sample.apply(col);
-        let mut wire = Vec::with_capacity(sampled.approx_bytes() + 64);
-        sampled.encode(&mut wire);
-        self.meter.charge(&self.config, wire.len());
-        let mut cursor = &wire[..];
-        Ok(Column::decode(&mut cursor)?)
+        let warehouse = self.warehouse.read();
+        let col = warehouse.column(r)?;
+        wire_scan_column(col, sample, &self.config, &self.meter)
     }
 
     /// Scan a whole table (one request; all columns share the row sample).
@@ -176,21 +249,9 @@ impl CdwConnector {
         table: &str,
         sample: SampleSpec,
     ) -> StoreResult<Table> {
-        let t = self.warehouse.table(database, table)?;
-        let sampled = sample.apply_table(t);
-        let mut wire = Vec::with_capacity(sampled.approx_bytes() + 64);
-        wg_util::codec::put_len(&mut wire, sampled.num_columns());
-        for c in sampled.columns() {
-            c.encode(&mut wire);
-        }
-        self.meter.charge(&self.config, wire.len());
-        let mut cursor = &wire[..];
-        let n = wg_util::codec::get_len(&mut cursor)?;
-        let mut cols = Vec::with_capacity(n);
-        for _ in 0..n {
-            cols.push(Column::decode(&mut cursor)?);
-        }
-        Table::new(sampled.name(), cols)
+        let warehouse = self.warehouse.read();
+        let t = warehouse.table(database, table)?;
+        wire_scan_table(t, sample, &self.config, &self.meter)
     }
 
     /// Current accumulated costs.
@@ -202,6 +263,41 @@ impl CdwConnector {
     /// be billed separately).
     pub fn reset_costs(&self) {
         self.meter.reset();
+    }
+}
+
+impl WarehouseBackend for CdwConnector {
+    fn name(&self) -> String {
+        self.warehouse.read().name().to_string()
+    }
+
+    fn list_tables(&self) -> StoreResult<Vec<TableMeta>> {
+        Ok(self.warehouse.read().table_metas())
+    }
+
+    fn table_meta(&self, database: &str, table: &str) -> StoreResult<TableMeta> {
+        self.warehouse.read().table_meta(database, table)
+    }
+
+    fn scan_column(&self, r: &ColumnRef, sample: SampleSpec) -> StoreResult<Column> {
+        CdwConnector::scan_column(self, r, sample)
+    }
+
+    fn scan_table(&self, database: &str, table: &str, sample: SampleSpec) -> StoreResult<Table> {
+        CdwConnector::scan_table(self, database, table, sample)
+    }
+
+    fn costs(&self) -> CostSnapshot {
+        CdwConnector::costs(self)
+    }
+
+    fn reset_costs(&self) {
+        CdwConnector::reset_costs(self)
+    }
+
+    fn validate_column(&self, r: &ColumnRef) -> StoreResult<()> {
+        // Cheaper than the default table_meta path: one catalog lookup.
+        self.warehouse.read().column(r).map(|_| ())
     }
 }
 
@@ -285,6 +381,84 @@ mod tests {
     }
 
     #[test]
+    fn since_reports_exact_deltas() {
+        // Direct CostSnapshot::since coverage: every field is the
+        // component-wise difference.
+        let a = CostSnapshot { requests: 2, bytes_scanned: 100, virtual_secs: 0.5, usd: 0.01 };
+        let b = CostSnapshot { requests: 5, bytes_scanned: 350, virtual_secs: 1.25, usd: 0.04 };
+        let d = b.since(&a);
+        assert_eq!(d.requests, 3);
+        assert_eq!(d.bytes_scanned, 250);
+        assert!((d.virtual_secs - 0.75).abs() < 1e-12);
+        assert!((d.usd - 0.03).abs() < 1e-12);
+        // since(self) is zero.
+        assert_eq!(
+            b.since(&b),
+            CostSnapshot { requests: 0, bytes_scanned: 0, virtual_secs: 0.0, usd: 0.0 }
+        );
+    }
+
+    #[test]
+    fn since_saturates_when_meter_was_reset_in_between() {
+        let c = connector();
+        let r = ColumnRef::new("db", "t", "n");
+        for _ in 0..5 {
+            c.scan_column(&r, SampleSpec::Full).unwrap();
+        }
+        let before = c.costs();
+        c.reset_costs();
+        c.scan_column(&r, SampleSpec::Full).unwrap();
+        let after = c.costs();
+        // `after` is numerically below `before`; the delta must clamp to
+        // zero rather than underflow.
+        let d = after.since(&before);
+        assert_eq!(d.requests, 0);
+        assert_eq!(d.bytes_scanned, 0);
+        assert_eq!(d.virtual_secs, 0.0);
+        assert_eq!(d.usd, 0.0);
+    }
+
+    #[test]
+    fn reset_racing_concurrent_scans_never_goes_negative() {
+        // CostMeter::reset racing scans: snapshots taken while another
+        // thread resets must never produce negative deltas, and the final
+        // state stays consistent (requests/bytes both from post-reset
+        // scans only, never a torn mixture with more requests than bytes
+        // can account for).
+        let c = std::sync::Arc::new(connector());
+        let r = ColumnRef::new("db", "t", "n");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                let r = r.clone();
+                scope.spawn(move || {
+                    let mut last = c.costs();
+                    for _ in 0..50 {
+                        c.scan_column(&r, SampleSpec::Full).unwrap();
+                        let now = c.costs();
+                        // Saturating `since` guarantees no negative deltas
+                        // even when a reset landed between the snapshots.
+                        let d = now.since(&last);
+                        assert!(d.virtual_secs >= 0.0);
+                        assert!(d.usd >= 0.0);
+                        last = now;
+                    }
+                });
+            }
+            let c = std::sync::Arc::clone(&c);
+            scope.spawn(move || {
+                for _ in 0..25 {
+                    c.reset_costs();
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        let end = c.costs();
+        assert!(end.requests <= 200, "requests can only shrink via reset");
+        assert!(end.virtual_secs >= 0.0 && end.usd >= 0.0);
+    }
+
+    #[test]
     fn scan_table_keeps_alignment() {
         let c = connector();
         let t = c.scan_table("db", "t", SampleSpec::Reservoir { n: 10, seed: 1 }).unwrap();
@@ -312,5 +486,34 @@ mod tests {
         assert_eq!(s.virtual_secs, 0.0);
         assert_eq!(s.usd, 0.0);
         assert_eq!(s.requests, 1);
+    }
+
+    #[test]
+    fn warehouse_mut_works_through_shared_handle() {
+        let c = connector();
+        c.warehouse_mut()
+            .database_mut("db")
+            .add_table(Table::new("extra", vec![Column::ints("x", vec![1, 2])]).unwrap());
+        assert_eq!(c.warehouse().num_tables(), 2);
+        let col = c.scan_column(&ColumnRef::new("db", "extra", "x"), SampleSpec::Full).unwrap();
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn backend_surface_matches_catalog() {
+        let c = connector();
+        let b: &dyn WarehouseBackend = &c;
+        assert_eq!(b.name(), "test");
+        let metas = b.list_tables().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].columns, vec!["name", "n"]);
+        let versions = b.snapshot_versions().unwrap();
+        assert_eq!(versions[0].version, metas[0].version);
+        // Mutating the table through the connector changes the token.
+        c.warehouse_mut()
+            .database_mut("db")
+            .add_table(Table::new("t", vec![Column::ints("n", vec![9])]).unwrap());
+        let fresh = b.snapshot_versions().unwrap();
+        assert_ne!(fresh[0].version, versions[0].version);
     }
 }

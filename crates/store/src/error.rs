@@ -15,6 +15,9 @@ pub enum StoreError {
     Join(String),
     /// A wire frame or persisted artifact failed to decode.
     Codec(CodecError),
+    /// A warehouse backend failed: I/O on a file-backed backend, an
+    /// injected fault, or an operation that needs an attached backend.
+    Backend(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Schema(msg) => write!(f, "schema error: {msg}"),
             StoreError::Join(msg) => write!(f, "join error: {msg}"),
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Backend(msg) => write!(f, "backend error: {msg}"),
         }
     }
 }

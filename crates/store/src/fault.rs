@@ -1,0 +1,246 @@
+//! Fault- and latency-injecting wrapper backend.
+//!
+//! Cloud warehouses fail: queries time out, warehouses suspend, quotas
+//! trip. [`FaultInjector`] wraps any [`WarehouseBackend`] and injects
+//! *deterministic* scan failures and extra virtual latency, so resilience
+//! scenarios (indexing aborts, retry loops, sync over a flaky link) are
+//! testable without a flaky test suite.
+//!
+//! Only the billed scan surface misbehaves; metadata calls always pass
+//! through, mirroring how catalog queries hit a different (and far more
+//! reliable) service tier than warehouse compute.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backend::{BackendHandle, TableMeta, TableVersion, WarehouseBackend};
+use crate::catalog::ColumnRef;
+use crate::cdw::CostSnapshot;
+use crate::column::Column;
+use crate::error::{StoreError, StoreResult};
+use crate::sample::SampleSpec;
+use crate::table::Table;
+
+/// What the injector does to scans. The default plan injects nothing, so a
+/// wrapped backend behaves identically to the inner one (the parity suite
+/// pins this).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail every Nth matching scan (1 = every scan, 0 = never).
+    pub fail_every: u64,
+    /// Restrict faults to scans of one `(database, table)`; `None` targets
+    /// every scan.
+    pub only_table: Option<(String, String)>,
+    /// Extra virtual latency charged per successful matching scan,
+    /// seconds — a degraded-link model.
+    pub extra_latency_secs: f64,
+}
+
+impl FaultPlan {
+    /// Fail every `n`th scan, everywhere.
+    pub fn fail_every(n: u64) -> Self {
+        Self { fail_every: n, ..Self::default() }
+    }
+
+    /// Add `secs` of virtual latency to every scan, failing none.
+    pub fn slow(secs: f64) -> Self {
+        Self { extra_latency_secs: secs, ..Self::default() }
+    }
+
+    fn matches(&self, database: &str, table: &str) -> bool {
+        match &self.only_table {
+            None => true,
+            Some((db, t)) => db == database && t == table,
+        }
+    }
+}
+
+/// A [`WarehouseBackend`] decorator injecting faults per a [`FaultPlan`].
+pub struct FaultInjector {
+    inner: BackendHandle,
+    plan: FaultPlan,
+    /// Matching scans attempted (failed ones included).
+    scans: AtomicU64,
+    /// Faults injected so far.
+    faults: AtomicU64,
+    /// Injected virtual latency, nanoseconds.
+    injected_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("inner", &self.inner.name())
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultInjector {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: BackendHandle, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            scans: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            injected_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// How many faults have been injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Decide the fate of one matching scan: count it, then either inject
+    /// a fault or charge the extra latency.
+    fn gate(&self, database: &str, table: &str, what: &str) -> StoreResult<()> {
+        if !self.plan.matches(database, table) {
+            return Ok(());
+        }
+        let n = self.scans.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.fail_every > 0 && n % self.plan.fail_every == 0 {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Backend(format!(
+                "injected fault on scan #{n} ({what} of {database}.{table})"
+            )));
+        }
+        if self.plan.extra_latency_secs > 0.0 {
+            self.injected_nanos
+                .fetch_add((self.plan.extra_latency_secs * 1e9) as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+impl WarehouseBackend for FaultInjector {
+    fn name(&self) -> String {
+        format!("faulty:{}", self.inner.name())
+    }
+
+    fn list_tables(&self) -> StoreResult<Vec<TableMeta>> {
+        self.inner.list_tables()
+    }
+
+    fn table_meta(&self, database: &str, table: &str) -> StoreResult<TableMeta> {
+        self.inner.table_meta(database, table)
+    }
+
+    fn scan_column(&self, r: &ColumnRef, sample: SampleSpec) -> StoreResult<Column> {
+        self.gate(&r.database, &r.table, "scan_column")?;
+        self.inner.scan_column(r, sample)
+    }
+
+    fn scan_table(&self, database: &str, table: &str, sample: SampleSpec) -> StoreResult<Table> {
+        self.gate(database, table, "scan_table")?;
+        self.inner.scan_table(database, table, sample)
+    }
+
+    fn costs(&self) -> CostSnapshot {
+        let injected = CostSnapshot {
+            virtual_secs: self.injected_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            ..CostSnapshot::default()
+        };
+        self.inner.costs().plus(&injected)
+    }
+
+    fn reset_costs(&self) {
+        self.inner.reset_costs();
+        self.injected_nanos.store(0, Ordering::Relaxed);
+    }
+
+    fn validate_column(&self, r: &ColumnRef) -> StoreResult<()> {
+        self.inner.validate_column(r)
+    }
+
+    fn snapshot_versions(&self) -> StoreResult<Vec<TableVersion>> {
+        self.inner.snapshot_versions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Database, Warehouse};
+    use crate::cdw::{CdwConfig, CdwConnector};
+    use std::sync::Arc;
+
+    fn inner() -> BackendHandle {
+        let mut w = Warehouse::new("w");
+        let mut db = Database::new("db");
+        db.add_table(
+            Table::new(
+                "t",
+                vec![Column::text("a", (0..20).map(|i| format!("v{i}")).collect::<Vec<_>>())],
+            )
+            .unwrap(),
+        );
+        db.add_table(Table::new("u", vec![Column::ints("b", (0..20).collect())]).unwrap());
+        w.add_database(db);
+        Arc::new(CdwConnector::new(w, CdwConfig::free()))
+    }
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let f = FaultInjector::new(inner(), FaultPlan::default());
+        let r = ColumnRef::new("db", "t", "a");
+        for _ in 0..10 {
+            assert!(f.scan_column(&r, SampleSpec::Full).is_ok());
+        }
+        assert_eq!(f.faults_injected(), 0);
+        assert_eq!(f.costs().requests, 10);
+    }
+
+    #[test]
+    fn fail_every_n_is_deterministic() {
+        let f = FaultInjector::new(inner(), FaultPlan::fail_every(3));
+        let r = ColumnRef::new("db", "t", "a");
+        let outcomes: Vec<bool> =
+            (0..9).map(|_| f.scan_column(&r, SampleSpec::Full).is_ok()).collect();
+        assert_eq!(outcomes, vec![true, true, false, true, true, false, true, true, false]);
+        assert_eq!(f.faults_injected(), 3);
+    }
+
+    #[test]
+    fn faults_scope_to_one_table() {
+        let plan = FaultPlan {
+            fail_every: 1,
+            only_table: Some(("db".into(), "t".into())),
+            extra_latency_secs: 0.0,
+        };
+        let f = FaultInjector::new(inner(), plan);
+        assert!(f.scan_column(&ColumnRef::new("db", "t", "a"), SampleSpec::Full).is_err());
+        assert!(f.scan_column(&ColumnRef::new("db", "u", "b"), SampleSpec::Full).is_ok());
+        assert!(f.scan_table("db", "u", SampleSpec::Full).is_ok());
+        assert!(f.scan_table("db", "t", SampleSpec::Full).is_err());
+    }
+
+    #[test]
+    fn extra_latency_lands_in_costs_and_resets() {
+        let f = FaultInjector::new(inner(), FaultPlan::slow(0.25));
+        let r = ColumnRef::new("db", "t", "a");
+        f.scan_column(&r, SampleSpec::Full).unwrap();
+        f.scan_column(&r, SampleSpec::Full).unwrap();
+        let c = f.costs();
+        assert!(c.virtual_secs >= 0.5, "injected latency missing: {c:?}");
+        assert_eq!(c.requests, 2, "inner billing must pass through");
+        f.reset_costs();
+        assert_eq!(f.costs().virtual_secs, 0.0);
+        assert_eq!(f.costs().requests, 0);
+    }
+
+    #[test]
+    fn metadata_never_faults() {
+        let f = FaultInjector::new(inner(), FaultPlan::fail_every(1));
+        assert!(f.list_tables().is_ok());
+        assert!(f.table_meta("db", "t").is_ok());
+        assert!(f.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
+        assert!(f.snapshot_versions().is_ok());
+        assert_eq!(f.faults_injected(), 0);
+    }
+}

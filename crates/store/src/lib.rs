@@ -16,24 +16,34 @@
 //! * a simulated **CDW connector** ([`cdw`]) that serializes every scan
 //!   through a wire codec (real work proportional to bytes moved) and
 //!   meters requests, bytes scanned, virtual network latency and
-//!   usage-based dollar cost.
+//!   usage-based dollar cost;
+//! * the pluggable **warehouse-backend trait** ([`backend`]) those pieces
+//!   plug into, with a directory/CSV-backed implementation
+//!   ([`csv_backend`]) and a fault/latency-injecting wrapper ([`fault`])
+//!   alongside the simulated CDW.
 
+pub mod backend;
 pub mod catalog;
 pub mod cdw;
 pub mod column;
 pub mod csv;
+pub mod csv_backend;
 pub mod dtype;
 pub mod error;
+pub mod fault;
 pub mod join;
 pub mod sample;
 pub mod table;
 pub mod value;
 
+pub use backend::{BackendHandle, TableMeta, TableVersion, WarehouseBackend};
 pub use catalog::{ColumnRef, Database, Warehouse};
-pub use cdw::{CdwConfig, CdwConnector, CostSnapshot};
+pub use cdw::{CdwConfig, CdwConnector, CostMeter, CostSnapshot};
 pub use column::{Column, ColumnData, TextColumn};
+pub use csv_backend::CsvBackend;
 pub use dtype::DataType;
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultInjector, FaultPlan};
 pub use join::{containment, jaccard, JoinType, KeyNorm};
 pub use sample::SampleSpec;
 pub use table::Table;

@@ -33,9 +33,9 @@ fn main() {
         ("distinct 1000", SampleSpec::DistinctReservoir { n: 1000, seed: 7 }),
         ("head 100", SampleSpec::Head(100)),
     ] {
-        let connector = CdwConnector::with_defaults(corpus.warehouse.clone());
-        let wg = WarpGate::new(WarpGateConfig::default().with_sample(sample));
-        let report = wg.index_warehouse(&connector).expect("indexing");
+        let connector = std::sync::Arc::new(CdwConnector::with_defaults(corpus.warehouse.clone()));
+        let wg = WarpGate::with_backend(WarpGateConfig::default().with_sample(sample), connector);
+        let report = wg.index_warehouse().expect("indexing");
         let costs = report.cost;
         println!(
             "{:<22} {:>12.2} {:>12.6} {:>13.2}s {:>11.2}s",

@@ -14,7 +14,8 @@ use warpgate::prelude::*;
 
 fn main() {
     let corpus = build_spider(0.1, 0x5919);
-    let connector = CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free());
+    let connector =
+        std::sync::Arc::new(CdwConnector::new(corpus.warehouse.clone(), CdwConfig::free()));
     println!(
         "spider-style corpus: {} tables / {} columns / {} FK queries\n",
         corpus.warehouse.num_tables(),
@@ -23,9 +24,9 @@ fn main() {
     );
 
     // Build both systems over the same warehouse.
-    let warpgate = WarpGate::new(WarpGateConfig::default());
-    warpgate.index_warehouse(&connector).expect("warpgate indexing");
-    let aurum = Aurum::build(&connector, AurumConfig::default()).expect("aurum build");
+    let warpgate = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    warpgate.index_warehouse().expect("warpgate indexing");
+    let aurum = Aurum::build(connector.as_ref(), AurumConfig::default()).expect("aurum build");
     println!(
         "Aurum EKG: {} columns, {} edges (content {} / schema {})",
         aurum.num_columns(),
@@ -43,7 +44,7 @@ fn main() {
         for q in &corpus.queries {
             let answers = corpus.truth.answers(q);
             let wg_hits: Vec<ColumnRef> = warpgate
-                .discover(&connector, q, k)
+                .discover(q, k)
                 .expect("discover")
                 .candidates
                 .into_iter()
@@ -79,7 +80,7 @@ fn main() {
         warpgate::store::containment(&fk, &pk, KeyNorm::Exact),
         warpgate::store::jaccard(&fk, &pk, KeyNorm::Exact),
     );
-    let top = warpgate.discover(&connector, q, 3).expect("discover");
+    let top = warpgate.discover(q, 3).expect("discover");
     println!("  WarpGate top-3 for the FK:");
     for c in &top.candidates {
         println!("    {}  ({:.3})", c.reference, c.score);

@@ -49,11 +49,13 @@ fn main() {
         .expect("valid table"),
     );
 
-    // 2. Connect (the connector meters scans like a real pay-per-byte CDW)
-    //    and build the WarpGate index: sample → embed → SimHash LSH.
-    let connector = CdwConnector::with_defaults(warehouse);
-    let warpgate = WarpGate::new(WarpGateConfig::default());
-    let report = warpgate.index_warehouse(&connector).expect("indexing");
+    // 2. Attach the warehouse backend (the simulated CDW meters scans like
+    //    a real pay-per-byte warehouse; a `CsvBackend` or any other
+    //    `WarehouseBackend` plugs into the same seam) and build the
+    //    WarpGate index: sample → embed → SimHash LSH.
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(warehouse));
+    let warpgate = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    let report = warpgate.index_warehouse().expect("indexing");
     println!(
         "indexed {} columns in {:.1} ms ({} scan requests, {} bytes billed)\n",
         report.columns_indexed,
@@ -64,7 +66,7 @@ fn main() {
 
     // 3. Top-k semantic join discovery for crm.accounts.name.
     let query = ColumnRef::new("crm", "accounts", "name");
-    let discovery = warpgate.discover(&connector, &query, 3).expect("discover");
+    let discovery = warpgate.discover(&query, 3).expect("discover");
     println!("top-{} recommendations for {query}:", discovery.candidates.len());
     for (rank, c) in discovery.candidates.iter().enumerate() {
         println!("  {}. {}  (similarity {:.3})", rank + 1, c.reference, c.score);
@@ -82,7 +84,7 @@ fn main() {
     let best = &discovery.candidates[0].reference;
     let base = connector.scan_table("crm", "accounts", SampleSpec::Full).expect("scan base table");
     let augmented = warpgate
-        .augment_via_lookup(&connector, &base, "name", best, &["sector"], KeyNorm::AlphaNum)
+        .augment_via_lookup(&base, "name", best, &["sector"], KeyNorm::AlphaNum)
         .expect("lookup join");
     println!("\naccounts augmented via lookup join with {best}:\n");
     println!("{}", augmented.render(10));

@@ -17,15 +17,15 @@ use warpgate::prelude::*;
 fn main() {
     // The Sigma Sample Database stand-in: 98 tables across 6 databases.
     let corpus = build_sigma(0.02, 0x51);
-    let connector = CdwConnector::with_defaults(corpus.warehouse);
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(corpus.warehouse));
     println!(
         "warehouse: {} tables, {} columns\n",
         connector.warehouse().num_tables(),
         connector.warehouse().num_columns()
     );
 
-    let warpgate = WarpGate::new(WarpGateConfig::default());
-    let report = warpgate.index_warehouse(&connector).expect("indexing");
+    let warpgate = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    let report = warpgate.index_warehouse().expect("indexing");
     println!(
         "indexed {} columns in {:.2} s (billed ${:.6} for {} MB scanned)\n",
         report.columns_indexed,
@@ -36,7 +36,7 @@ fn main() {
 
     // Step 1+2 (Fig. 3): right-click ACCOUNT.Name → "Add column via lookup".
     let query = ColumnRef::new("SALESFORCE", "ACCOUNT", "Name");
-    let discovery = warpgate.discover(&connector, &query, 3).expect("discover");
+    let discovery = warpgate.discover(&query, 3).expect("discover");
     println!("join path recommendations for {query}:");
     println!("  {:<28} {:<14} {:<12} similarity", "column", "table", "database");
     for c in &discovery.candidates {
@@ -61,7 +61,6 @@ fn main() {
         connector.scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full).expect("scan ACCOUNT");
     let enriched = warpgate
         .augment_via_lookup(
-            &connector,
             &account,
             "Name",
             industries,
@@ -76,14 +75,7 @@ fn main() {
     // and compute a mean closing price per account.
     let prices_ref = ColumnRef::new("STOCKS", "PRICES", "Ticker");
     let with_prices = warpgate
-        .augment_via_lookup(
-            &connector,
-            &enriched,
-            "Ticker",
-            &prices_ref,
-            &["Close"],
-            KeyNorm::Exact,
-        )
+        .augment_via_lookup(&enriched, "Ticker", &prices_ref, &["Close"], KeyNorm::Exact)
         .expect("price chain join");
 
     // Shortlist: Information Technology accounts with a known price.

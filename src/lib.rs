@@ -36,14 +36,19 @@
 //!     .unwrap(),
 //! );
 //!
-//! // Connect, index, discover.
-//! let connector = CdwConnector::with_defaults(warehouse);
-//! let wg = WarpGate::new(WarpGateConfig::default());
-//! wg.index_warehouse(&connector).unwrap();
+//! // Attach a backend (here: the simulated CDW), index, discover.
+//! let backend: BackendHandle = std::sync::Arc::new(CdwConnector::with_defaults(warehouse));
+//! let wg = WarpGate::with_backend(WarpGateConfig::default(), backend);
+//! wg.index_warehouse().unwrap();
 //! let query = ColumnRef::new("crm", "accounts", "name");
-//! let discovery = wg.discover(&connector, &query, 3).unwrap();
+//! let discovery = wg.discover(&query, 3).unwrap();
 //! assert_eq!(discovery.candidates[0].reference.table, "industries");
 //! ```
+//!
+//! Any [`store::WarehouseBackend`] plugs into the same seam: the simulated
+//! CDW above, a `CsvBackend` over a directory of exports, or a
+//! `FaultInjector` wrapping either. `WarpGate::sync()` keeps the index
+//! incremental as the attached warehouse changes.
 //!
 //! ## Workspace map
 //!
@@ -74,11 +79,14 @@ pub use wg_util as util;
 
 /// The types most applications need, importable in one line.
 pub mod prelude {
-    pub use warpgate_core::{Discovery, JoinCandidate, QueryTiming, WarpGate, WarpGateConfig};
+    pub use warpgate_core::{
+        Discovery, JoinCandidate, QueryTiming, SyncReport, WarpGate, WarpGateConfig,
+    };
     pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
     pub use wg_store::{
-        CdwConfig, CdwConnector, Column, ColumnRef, Database, JoinType, KeyNorm, SampleSpec, Table,
-        Warehouse,
+        BackendHandle, CdwConfig, CdwConnector, Column, ColumnRef, CsvBackend, Database,
+        FaultInjector, FaultPlan, JoinType, KeyNorm, SampleSpec, Table, TableMeta, Warehouse,
+        WarehouseBackend,
     };
 }
 
@@ -92,9 +100,10 @@ mod tests {
         warehouse
             .database_mut("db")
             .add_table(Table::new("t", vec![Column::text("c", ["x", "y"])]).unwrap());
-        let connector = CdwConnector::new(warehouse, CdwConfig::free());
-        let wg = WarpGate::new(WarpGateConfig::default());
-        let report = wg.index_warehouse(&connector).unwrap();
+        let backend: BackendHandle =
+            std::sync::Arc::new(CdwConnector::new(warehouse, CdwConfig::free()));
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), backend);
+        let report = wg.index_warehouse().unwrap();
         assert_eq!(report.columns_indexed, 1);
     }
 }

@@ -1,0 +1,210 @@
+//! Backend-parity suite: the same warehouse served through every
+//! `WarehouseBackend` implementation must produce identical discovery
+//! rankings.
+//!
+//! Covered backends:
+//!
+//! * `CdwConnector` — the simulated cloud data warehouse;
+//! * `CsvBackend` — the warehouse exported to `<db>/<table>.csv` files;
+//! * `FaultInjector` — the wrapper backend (transparent plan for parity,
+//!   plus dedicated resilience checks).
+
+use std::sync::Arc;
+
+use warpgate::prelude::*;
+
+/// A warehouse whose columns round-trip CSV exactly: text that never
+/// parses as numbers, integers, and floats with fractional parts.
+fn parity_warehouse() -> Warehouse {
+    let mut w = Warehouse::new("parity");
+    w.database_mut("crm").add_table(
+        Table::new(
+            "accounts",
+            vec![
+                Column::text("name", (0..50).map(|i| format!("Company {i}")).collect::<Vec<_>>()),
+                Column::ints("employees", (0..50).map(|i| i * 7).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    w.database_mut("crm").add_table(
+        Table::new(
+            "leads",
+            vec![Column::text(
+                "company",
+                (0..40).map(|i| format!("company {i}")).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap(),
+    );
+    w.database_mut("finance").add_table(
+        Table::new(
+            "industries",
+            vec![
+                Column::text(
+                    "company_name",
+                    (0..45).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>(),
+                ),
+                Column::text(
+                    "sector",
+                    (0..45).map(|i| format!("Sector {}", i % 5)).collect::<Vec<_>>(),
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+    w.database_mut("finance").add_table(
+        Table::new(
+            "metrics",
+            vec![
+                Column::floats("revenue", (0..30).map(|i| 1000.5 + i as f64).collect()),
+                Column::floats("income", (0..30).map(|i| 1010.25 + i as f64).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    w
+}
+
+fn queries() -> Vec<ColumnRef> {
+    vec![
+        ColumnRef::new("crm", "accounts", "name"),
+        ColumnRef::new("crm", "leads", "company"),
+        ColumnRef::new("finance", "industries", "company_name"),
+        ColumnRef::new("finance", "metrics", "revenue"),
+    ]
+}
+
+fn rankings(backend: BackendHandle) -> Vec<Vec<(ColumnRef, f32)>> {
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), backend);
+    let report = wg.index_warehouse().unwrap();
+    assert_eq!(report.columns_indexed, 7);
+    queries()
+        .iter()
+        .map(|q| {
+            wg.discover(q, 5)
+                .unwrap()
+                .candidates
+                .into_iter()
+                .map(|c| (c.reference, c.score))
+                .collect()
+        })
+        .collect()
+}
+
+fn csv_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("wg_parity_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+#[test]
+fn all_three_backends_produce_identical_rankings() {
+    let w = parity_warehouse();
+
+    // 1. Simulated CDW.
+    let cdw: BackendHandle = Arc::new(CdwConnector::new(w.clone(), CdwConfig::free()));
+    let cdw_rankings = rankings(cdw);
+
+    // 2. CSV directory serving the exported warehouse.
+    let root = csv_root("rank");
+    CsvBackend::export_warehouse(&w, &root).unwrap();
+    let csv: BackendHandle = Arc::new(CsvBackend::open(&root, CdwConfig::free()).unwrap());
+    let csv_rankings = rankings(csv);
+
+    // 3. Fault injector with a transparent plan around a fresh CDW.
+    let inner: BackendHandle = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+    let wrapped: BackendHandle = Arc::new(FaultInjector::new(inner, FaultPlan::default()));
+    let fault_rankings = rankings(wrapped);
+
+    for (qi, q) in queries().iter().enumerate() {
+        assert_eq!(
+            cdw_rankings[qi], csv_rankings[qi],
+            "CSV backend diverged from the simulated CDW on {q}"
+        );
+        assert_eq!(
+            cdw_rankings[qi], fault_rankings[qi],
+            "fault-wrapped backend diverged from the simulated CDW on {q}"
+        );
+        // The float query (metrics.revenue) may legitimately come back
+        // empty — its only numeric peer is same-table and excluded; what
+        // matters is that every backend agrees. Text queries must hit.
+        if q.database == "crm" || q.table == "industries" {
+            assert!(!cdw_rankings[qi].is_empty(), "no candidates for {q}");
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn joinability_agrees_across_backends() {
+    let w = parity_warehouse();
+    let root = csv_root("join");
+    CsvBackend::export_warehouse(&w, &root).unwrap();
+
+    let a = ColumnRef::new("crm", "accounts", "name");
+    let b = ColumnRef::new("finance", "industries", "company_name");
+    let mut scores = Vec::new();
+    let backends: Vec<BackendHandle> = vec![
+        Arc::new(CdwConnector::new(w, CdwConfig::free())),
+        Arc::new(CsvBackend::open(&root, CdwConfig::free()).unwrap()),
+    ];
+    for backend in backends {
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), backend);
+        wg.index_warehouse().unwrap();
+        scores.push(wg.joinability(&a, &b).unwrap());
+    }
+    assert_eq!(scores[0], scores[1], "joinability must not depend on the backend");
+    assert!(scores[0] > 0.8);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn injected_faults_abort_indexing_without_billing_everything() {
+    let inner: BackendHandle = Arc::new(CdwConnector::new(parity_warehouse(), CdwConfig::free()));
+    let faulty = Arc::new(FaultInjector::new(inner, FaultPlan::fail_every(2)));
+    let backend: BackendHandle = faulty.clone();
+    let wg = WarpGate::with_backend(WarpGateConfig { threads: 1, ..Default::default() }, backend);
+    let err = wg.index_warehouse().expect_err("every 2nd scan fails");
+    assert!(err.to_string().contains("injected fault"), "unexpected error: {err}");
+    assert!(faulty.faults_injected() >= 1);
+    // The abort flag keeps the run from scanning (and billing) the whole
+    // warehouse after the first failure: 7 columns exist, the fault fires
+    // on scan #2, so at most a couple of requests ever reach the meter.
+    assert!(
+        faulty.costs().requests < 7,
+        "indexing kept billing after the injected failure: {:?}",
+        faulty.costs()
+    );
+}
+
+#[test]
+fn recovery_after_faults_via_sync() {
+    // A flaky link fails mid-index; re-attaching a healthy handle to the
+    // same warehouse and syncing must converge to the full index.
+    let inner: BackendHandle = Arc::new(CdwConnector::new(parity_warehouse(), CdwConfig::free()));
+    let flaky: BackendHandle =
+        Arc::new(FaultInjector::new(inner.clone(), FaultPlan::fail_every(3)));
+    let wg = WarpGate::with_backend(WarpGateConfig { threads: 1, ..Default::default() }, flaky);
+    wg.index_warehouse().expect_err("flaky link fails the bulk load");
+
+    wg.attach(inner);
+    let report = wg.sync().unwrap();
+    assert_eq!(report.columns_indexed, 7, "sync over the healthy link completes the index");
+    let d = wg.discover(&ColumnRef::new("crm", "accounts", "name"), 3).unwrap();
+    assert!(!d.candidates.is_empty());
+}
+
+#[test]
+fn degraded_link_latency_shows_up_in_query_timing() {
+    let inner: BackendHandle = Arc::new(CdwConnector::new(parity_warehouse(), CdwConfig::free()));
+    let slow: BackendHandle = Arc::new(FaultInjector::new(inner, FaultPlan::slow(0.05)));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), slow);
+    wg.index_warehouse().unwrap();
+    let d = wg.discover(&ColumnRef::new("crm", "accounts", "name"), 3).unwrap();
+    assert!(
+        d.timing.virtual_load_secs >= 0.05,
+        "injected latency missing from query timing: {:?}",
+        d.timing
+    );
+}

@@ -57,9 +57,12 @@ fn mixed_discover_index_remove_stress() {
     const ROUNDS: usize = 8;
     const READER_THREADS: usize = 4;
 
-    let connector = CdwConnector::with_defaults(churn_warehouse(CHURN_TABLES));
-    let wg = WarpGate::new(WarpGateConfig { threads: 2, ..Default::default() });
-    wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(churn_warehouse(CHURN_TABLES)));
+    let wg = WarpGate::with_backend(
+        WarpGateConfig { threads: 2, ..Default::default() },
+        connector.clone(),
+    );
+    wg.index_warehouse().unwrap();
     let total_columns = connector.warehouse().iter_columns().count();
     assert_eq!(wg.len(), total_columns);
 
@@ -68,12 +71,11 @@ fn mixed_discover_index_remove_stress() {
         // Readers: discover + joinability + batch against the stable core.
         for r in 0..READER_THREADS {
             let wg = &wg;
-            let connector = &connector;
             let query = &query;
             scope.spawn(move || {
                 let other = ColumnRef::new("core", "industries", "company_name");
                 for i in 0..ROUNDS * 4 {
-                    let d = wg.discover(connector, query, 5).unwrap();
+                    let d = wg.discover(query, 5).unwrap();
                     // The stable cross-database variant must always be
                     // present no matter what the writers are doing.
                     assert!(
@@ -82,13 +84,11 @@ fn mixed_discover_index_remove_stress() {
                         d.candidates
                     );
                     if i % 3 == 0 {
-                        let j = wg.joinability(connector, query, &other).unwrap();
+                        let j = wg.joinability(query, &other).unwrap();
                         assert!(j > 0.8, "joinability collapsed to {j}");
                     }
                     if i % 5 == 0 {
-                        let batch = wg
-                            .discover_batch(connector, &[query.clone(), other.clone()], 3)
-                            .unwrap();
+                        let batch = wg.discover_batch(&[query.clone(), other.clone()], 3).unwrap();
                         assert_eq!(batch.len(), 2);
                     }
                 }
@@ -98,12 +98,11 @@ fn mixed_discover_index_remove_stress() {
         // re-indexes it (the CDW-with-high-update-rate pattern).
         for t in 0..CHURN_TABLES {
             let wg = &wg;
-            let connector = &connector;
             scope.spawn(move || {
                 let table = format!("t{t}");
                 for _ in 0..ROUNDS {
                     assert_eq!(wg.remove_table("churn", &table), 1);
-                    let report = wg.index_table(connector, "churn", &table).unwrap();
+                    let report = wg.index_table("churn", &table).unwrap();
                     assert_eq!(report.columns_indexed, 1);
                 }
             });
@@ -115,7 +114,7 @@ fn mixed_discover_index_remove_stress() {
     assert_eq!(wg.len(), total_columns, "inserts lost or duplicated under churn");
 
     // Steady state answers are exact.
-    let d = wg.discover(&connector, &query, 10).unwrap();
+    let d = wg.discover(&query, 10).unwrap();
     assert!(d
         .candidates
         .iter()
@@ -124,9 +123,9 @@ fn mixed_discover_index_remove_stress() {
 
 #[test]
 fn removed_tables_never_resurface() {
-    let connector = CdwConnector::with_defaults(churn_warehouse(4));
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(churn_warehouse(4)));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
     let query = ColumnRef::new("core", "accounts", "name");
 
     std::thread::scope(|scope| {
@@ -139,11 +138,10 @@ fn removed_tables_never_resurface() {
         }
         for _ in 0..2 {
             let wg = &wg;
-            let connector = &connector;
             let query = &query;
             scope.spawn(move || {
                 for _ in 0..10 {
-                    wg.discover(connector, query, 10).unwrap();
+                    wg.discover(query, 10).unwrap();
                 }
             });
         }
@@ -152,7 +150,7 @@ fn removed_tables_never_resurface() {
     // After every removal has completed, no stale candidate may survive —
     // neither from the index nor via a stale cached query embedding.
     for _ in 0..2 {
-        let d = wg.discover(&connector, &query, 10).unwrap();
+        let d = wg.discover(&query, 10).unwrap();
         assert!(
             d.candidates.iter().all(|c| c.reference.database != "churn"),
             "removed table resurfaced: {:?}",
@@ -183,14 +181,13 @@ fn concurrent_batch_indexing_loses_nothing() {
             .unwrap(),
         );
     }
-    let connector = CdwConnector::with_defaults(w);
-    let wg = WarpGate::new(WarpGateConfig { threads: 2, ..Default::default() });
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(w));
+    let wg = WarpGate::with_backend(WarpGateConfig { threads: 2, ..Default::default() }, connector);
     std::thread::scope(|scope| {
         for t in 0..12 {
             let wg = &wg;
-            let connector = &connector;
             scope.spawn(move || {
-                wg.index_table(connector, "db", &format!("t{t}")).unwrap();
+                wg.index_table("db", &format!("t{t}")).unwrap();
             });
         }
     });

@@ -11,8 +11,8 @@ fn corpus() -> warpgate::corpora::Corpus {
     build_testbed(&TestbedSpec::xs(0.1))
 }
 
-fn free_connector(w: Warehouse) -> CdwConnector {
-    CdwConnector::new(w, CdwConfig::free())
+fn free_connector(w: Warehouse) -> std::sync::Arc<CdwConnector> {
+    std::sync::Arc::new(CdwConnector::new(w, CdwConfig::free()))
 }
 
 fn mean_pr(
@@ -37,20 +37,13 @@ fn warpgate_beats_syntactic_baseline_on_semantic_corpus() {
     let corpus = corpus();
     let connector = free_connector(corpus.warehouse.clone());
 
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
-    let aurum = Aurum::build(&connector, AurumConfig::default()).unwrap();
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
+    let aurum = Aurum::build(connector.as_ref(), AurumConfig::default()).unwrap();
 
     let (wg_p, wg_r) = mean_pr(
         &corpus,
-        |q| {
-            wg.discover(&connector, q, 10)
-                .unwrap()
-                .candidates
-                .into_iter()
-                .map(|c| c.reference)
-                .collect()
-        },
+        |q| wg.discover(q, 10).unwrap().candidates.into_iter().map(|c| c.reference).collect(),
         10,
     );
     let (au_p, au_r) = mean_pr(
@@ -67,25 +60,25 @@ fn warpgate_beats_syntactic_baseline_on_semantic_corpus() {
 fn warpgate_at_least_matches_d3l() {
     let corpus = corpus();
     let connector = free_connector(corpus.warehouse.clone());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
-    let d3l = D3l::build(&connector, D3lConfig::default()).unwrap();
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
+    let d3l = D3l::build(connector.as_ref(), D3lConfig::default()).unwrap();
 
     let (wg_p, wg_r) = mean_pr(
         &corpus,
-        |q| {
-            wg.discover(&connector, q, 5)
-                .unwrap()
-                .candidates
-                .into_iter()
-                .map(|c| c.reference)
-                .collect()
-        },
+        |q| wg.discover(q, 5).unwrap().candidates.into_iter().map(|c| c.reference).collect(),
         5,
     );
     let (d3_p, d3_r) = mean_pr(
         &corpus,
-        |q| d3l.query(&connector, q, 5).unwrap().0.into_iter().map(|h| h.reference).collect(),
+        |q| {
+            d3l.query(connector.as_ref(), q, 5)
+                .unwrap()
+                .0
+                .into_iter()
+                .map(|h| h.reference)
+                .collect()
+        },
         5,
     );
     // XS is the smallest fixture, so allow a modest wobble here; the
@@ -98,26 +91,21 @@ fn warpgate_at_least_matches_d3l() {
 fn persistence_round_trips_through_full_system() {
     let corpus = corpus();
     let connector = free_connector(corpus.warehouse.clone());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
 
     let q = &corpus.queries[0];
-    let before: Vec<_> = wg
-        .discover(&connector, q, 5)
-        .unwrap()
-        .candidates
-        .into_iter()
-        .map(|c| (c.reference, c.score))
-        .collect();
+    let before: Vec<_> =
+        wg.discover(q, 5).unwrap().candidates.into_iter().map(|c| (c.reference, c.score)).collect();
 
     let path = std::env::temp_dir().join(format!("wg_e2e_{}.idx", std::process::id()));
     wg.save_to_file(&path).unwrap();
-    let mut restored = WarpGate::new(WarpGateConfig::default());
+    let mut restored = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
     restored.load_from_file(&path).unwrap();
     std::fs::remove_file(&path).ok();
 
     let after: Vec<_> = restored
-        .discover(&connector, q, 5)
+        .discover(q, 5)
         .unwrap()
         .candidates
         .into_iter()
@@ -129,9 +117,9 @@ fn persistence_round_trips_through_full_system() {
 #[test]
 fn incremental_updates_are_visible_to_discovery() {
     let corpus = corpus();
-    let mut connector = free_connector(corpus.warehouse.clone());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let connector = free_connector(corpus.warehouse.clone());
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
 
     // Pick a query and clone one of its answers into a brand-new table.
     let q = corpus.queries[0].clone();
@@ -141,9 +129,9 @@ fn incremental_updates_are_visible_to_discovery() {
         .warehouse_mut()
         .database_mut("nextiajd")
         .add_table(Table::new("fresh_table", vec![answer_col.renamed("fresh_copy")]).unwrap());
-    wg.index_table(&connector, "nextiajd", "fresh_table").unwrap();
+    wg.index_table("nextiajd", "fresh_table").unwrap();
 
-    let hits = wg.discover(&connector, &q, 10).unwrap();
+    let hits = wg.discover(&q, 10).unwrap();
     assert!(
         hits.candidates
             .iter()
@@ -154,7 +142,7 @@ fn incremental_updates_are_visible_to_discovery() {
 
     // Remove it again; it must disappear from results.
     assert_eq!(wg.remove_table("nextiajd", "fresh_table"), 1);
-    let hits = wg.discover(&connector, &q, 10).unwrap();
+    let hits = wg.discover(&q, 10).unwrap();
     assert!(hits.candidates.iter().all(|c| c.reference.table != "fresh_table"));
 }
 
@@ -162,14 +150,18 @@ fn incremental_updates_are_visible_to_discovery() {
 fn indexing_is_deterministic_across_thread_counts() {
     let corpus = corpus();
     let connector = free_connector(corpus.warehouse.clone());
-    let one = WarpGate::new(WarpGateConfig { threads: 1, ..Default::default() });
-    one.index_warehouse(&connector).unwrap();
-    let many = WarpGate::new(WarpGateConfig { threads: 4, ..Default::default() });
-    many.index_warehouse(&connector).unwrap();
+    let one = WarpGate::with_backend(
+        WarpGateConfig { threads: 1, ..Default::default() },
+        connector.clone(),
+    );
+    one.index_warehouse().unwrap();
+    let many =
+        WarpGate::with_backend(WarpGateConfig { threads: 4, ..Default::default() }, connector);
+    many.index_warehouse().unwrap();
     assert_eq!(one.len(), many.len());
     for q in corpus.queries.iter().take(5) {
-        let a = one.discover(&connector, q, 5).unwrap().candidates;
-        let b = many.discover(&connector, q, 5).unwrap().candidates;
+        let a = one.discover(q, 5).unwrap().candidates;
+        let b = many.discover(q, 5).unwrap().candidates;
         assert_eq!(a, b, "thread count changed results for {q}");
     }
 }
@@ -177,14 +169,14 @@ fn indexing_is_deterministic_across_thread_counts() {
 #[test]
 fn scan_costs_accumulate_across_the_pipeline() {
     let corpus = corpus();
-    let connector = CdwConnector::with_defaults(corpus.warehouse.clone());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    let report = wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(corpus.warehouse.clone()));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    let report = wg.index_warehouse().unwrap();
     assert_eq!(report.cost.requests as usize, 257, "one scan per column");
     assert!(report.cost.usd > 0.0);
 
     connector.reset_costs();
-    wg.discover(&connector, &corpus.queries[0], 5).unwrap();
+    wg.discover(&corpus.queries[0], 5).unwrap();
     let query_cost = connector.costs();
     assert_eq!(query_cost.requests, 1, "a query scans exactly its own column");
 }

@@ -8,14 +8,14 @@ use warpgate::prelude::*;
 #[test]
 fn joey_walkthrough_end_to_end() {
     let corpus = build_sigma(0.02, 0x51);
-    let connector = CdwConnector::new(corpus.warehouse, CdwConfig::free());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::new(corpus.warehouse, CdwConfig::free()));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
 
     // Step 1-2: recommendations for ACCOUNT.Name include both the
     // same-database LEAD.Company and the cross-database INDUSTRIES variant.
     let query = ColumnRef::new("SALESFORCE", "ACCOUNT", "Name");
-    let discovery = wg.discover(&connector, &query, 3).unwrap();
+    let discovery = wg.discover(&query, 3).unwrap();
     let tables: Vec<&str> =
         discovery.candidates.iter().map(|c| c.reference.table.as_str()).collect();
     assert!(tables.contains(&"LEAD"), "LEAD.Company not in top-3: {tables:?}");
@@ -34,7 +34,6 @@ fn joey_walkthrough_end_to_end() {
     let account = connector.scan_table("SALESFORCE", "ACCOUNT", SampleSpec::Full).unwrap();
     let enriched = wg
         .augment_via_lookup(
-            &connector,
             &account,
             "Name",
             industries,
@@ -53,9 +52,8 @@ fn joey_walkthrough_end_to_end() {
 
     // The chained join: Ticker leads to stock prices in the same database.
     let prices = ColumnRef::new("STOCKS", "PRICES", "Ticker");
-    let with_prices = wg
-        .augment_via_lookup(&connector, &enriched, "Ticker", &prices, &["Close"], KeyNorm::Exact)
-        .unwrap();
+    let with_prices =
+        wg.augment_via_lookup(&enriched, "Ticker", &prices, &["Close"], KeyNorm::Exact).unwrap();
     assert_eq!(with_prices.num_rows(), account.num_rows());
     let close = with_prices.column("Close").unwrap();
     let priced = (0..close.len()).filter(|&i| !close.get(i).is_null()).count();
@@ -72,11 +70,11 @@ fn joey_walkthrough_end_to_end() {
 #[test]
 fn adhoc_queries_answer_quickly_with_sampling() {
     let corpus = build_sigma(0.02, 0x51);
-    let connector = CdwConnector::with_defaults(corpus.warehouse);
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(corpus.warehouse));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
     for q in &corpus.queries {
-        let d = wg.discover(&connector, q, 3).unwrap();
+        let d = wg.discover(q, 3).unwrap();
         assert!(
             d.timing.response_secs() < 0.5,
             "{q} answered in {:.3}s — not interactive",
@@ -90,9 +88,9 @@ fn discover_values_matches_column_backed_query() {
     // A user pasting values by hand should land in the same neighborhood as
     // querying the backing column.
     let corpus = build_sigma(0.02, 0x51);
-    let connector = CdwConnector::new(corpus.warehouse, CdwConfig::free());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::new(corpus.warehouse, CdwConfig::free()));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
 
     let pasted: Vec<String> =
         (0..40u64).map(|i| warpgate::corpora::Domain::Company.value(i)).collect();

@@ -48,14 +48,15 @@ fn two_database_warehouse() -> Warehouse {
 
 #[test]
 fn facade_discovers_the_join_target_first() {
-    let connector = CdwConnector::with_defaults(two_database_warehouse());
-    let wg = WarpGate::new(WarpGateConfig::default());
+    let backend: BackendHandle =
+        std::sync::Arc::new(CdwConnector::with_defaults(two_database_warehouse()));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), backend);
 
-    let report = wg.index_warehouse(&connector).unwrap();
+    let report = wg.index_warehouse().unwrap();
     assert!(report.columns_indexed >= 4, "indexed {}", report.columns_indexed);
 
     let query = ColumnRef::new("crm", "accounts", "name");
-    let discovery = wg.discover(&connector, &query, 3).unwrap();
+    let discovery = wg.discover(&query, 3).unwrap();
 
     assert!(!discovery.candidates.is_empty(), "no candidates at all");
     assert!(discovery.candidates.len() <= 3, "k=3 overflowed");
@@ -71,15 +72,33 @@ fn facade_discovers_the_join_target_first() {
 
 #[test]
 fn facade_augments_via_lookup_join() {
-    let connector = CdwConnector::with_defaults(two_database_warehouse());
-    let wg = WarpGate::new(WarpGateConfig::default());
-    wg.index_warehouse(&connector).unwrap();
+    let connector = std::sync::Arc::new(CdwConnector::with_defaults(two_database_warehouse()));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().unwrap();
 
     let base = connector.warehouse().table("crm", "accounts").unwrap().clone();
     let candidate = ColumnRef::new("finance", "industries", "company");
-    let augmented = wg
-        .augment_via_lookup(&connector, &base, "name", &candidate, &["sector"], KeyNorm::CaseFold)
-        .unwrap();
+    let augmented =
+        wg.augment_via_lookup(&base, "name", &candidate, &["sector"], KeyNorm::CaseFold).unwrap();
     assert_eq!(augmented.num_rows(), base.num_rows());
     assert!(!augmented.column("sector").unwrap().get(0).is_null());
+}
+
+#[test]
+fn facade_serves_the_same_warehouse_from_a_csv_directory() {
+    // The same warehouse exported to disk and served through the CSV
+    // backend must produce the same top recommendation.
+    let root = std::env::temp_dir().join(format!("wg_smoke_csv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    CsvBackend::export_warehouse(&two_database_warehouse(), &root).unwrap();
+    let backend: BackendHandle =
+        std::sync::Arc::new(CsvBackend::open(&root, CdwConfig::default()).unwrap());
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), backend);
+    wg.index_warehouse().unwrap();
+    let discovery = wg.discover(&ColumnRef::new("crm", "accounts", "name"), 3).unwrap();
+    assert_eq!(
+        discovery.candidates[0].reference,
+        ColumnRef::new("finance", "industries", "company")
+    );
+    std::fs::remove_dir_all(&root).ok();
 }
