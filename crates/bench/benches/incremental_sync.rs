@@ -114,7 +114,7 @@ fn main() {
     );
 
     let section = format!(
-        r#"  "incremental_sync": {{
+        r#"{{
     "bench": "incremental_sync",
     "generated_by": "cargo bench --bench incremental_sync",
     "workload": {{
@@ -139,18 +139,8 @@ fn main() {
         println!("bench: incremental_sync ... quick mode, not rewriting {path}");
         return;
     }
-    // Splice the section into BENCH_core.json, replacing any previous
-    // incremental_sync block (it is always kept as the last section).
-    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
-    let base = match existing.find(",\n  \"incremental_sync\"") {
-        Some(i) => existing[..i].to_string(),
-        None => {
-            let trimmed = existing.trim_end().trim_end_matches('}').trim_end().to_string();
-            trimmed
-        }
-    };
-    let separator = if base.trim_end().ends_with('{') { "\n" } else { ",\n" };
-    let merged = format!("{base}{separator}{section}\n}}\n");
-    std::fs::write(path, merged).expect("write BENCH_core.json");
+    // Replace this bench's section in BENCH_core.json, leaving every
+    // other bench's numbers untouched.
+    wg_bench::merge_bench_section(path, "incremental_sync", &section);
     println!("bench: incremental_sync ... snapshot written to {path}");
 }

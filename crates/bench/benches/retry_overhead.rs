@@ -1,0 +1,146 @@
+//! Retry-middleware overhead bench (ISSUE 4): what does wrapping the
+//! backend stack in `RetryBackend` cost — on a healthy link (pure
+//! indirection) and on a flaky one (faults absorbed, backoff charged)?
+//!
+//! Three full `index_warehouse` runs over the same warehouse:
+//!
+//! * `bare` — `CdwConnector` alone (the pre-middleware stack);
+//! * `retry_healthy` — `RetryBackend(CdwConnector)`: the closure +
+//!   dispatch overhead of the middleware with zero faults;
+//! * `retry_flaky` — `RetryBackend(FaultInjector(CdwConnector))` with
+//!   every 5th scan faulting: the resilient path, with retry counts and
+//!   charged backoff reported alongside wall-clock.
+//!
+//! Writes a `"retry_overhead"` section into the repo-root
+//! `BENCH_core.json` via the shared section merger. `WG_BENCH_QUICK=1`
+//! shrinks repetitions and leaves the committed snapshot untouched.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_store::{
+    BackendHandle, CdwConfig, CdwConnector, Column, CostSnapshot, FaultInjector, FaultPlan,
+    RetryBackend, RetryPolicy, Table, Warehouse,
+};
+
+const TABLES: usize = 32;
+const COLUMNS_PER_TABLE: usize = 4;
+const ROWS: usize = 120;
+const FAIL_EVERY: u64 = 5;
+
+fn warehouse() -> Warehouse {
+    let mut w = Warehouse::new("retry-bench");
+    for t in 0..TABLES {
+        let mut cols = Vec::with_capacity(COLUMNS_PER_TABLE);
+        for c in 0..COLUMNS_PER_TABLE {
+            cols.push(Column::text(
+                format!("col{c}"),
+                (0..ROWS).map(|r| format!("entity {t} {c} {r}")).collect::<Vec<_>>(),
+            ));
+        }
+        w.database_mut(&format!("db{}", t % 4))
+            .add_table(Table::new(format!("t{t}"), cols).unwrap());
+    }
+    w
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Time `reps` full index runs over `make_backend`'s stack; returns the
+/// median seconds and the last run's cost snapshot.
+fn index_runs(reps: usize, make_backend: impl Fn() -> BackendHandle) -> (f64, CostSnapshot) {
+    let mut secs = Vec::with_capacity(reps);
+    let mut cost = CostSnapshot::default();
+    for _ in 0..reps {
+        let backend = make_backend();
+        let wg = WarpGate::with_backend(
+            WarpGateConfig { threads: 2, ..Default::default() },
+            backend.clone(),
+        );
+        let sw = Instant::now();
+        let report = wg.index_warehouse().expect("indexing");
+        secs.push(sw.elapsed().as_secs_f64());
+        assert_eq!(report.columns_indexed, TABLES * COLUMNS_PER_TABLE);
+        cost = report.cost;
+    }
+    (median(&mut secs), cost)
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let reps = if quick { 2 } else { 7 };
+    let w = warehouse();
+
+    let (bare_secs, _bare_cost) = index_runs(reps, || {
+        let bare: BackendHandle = Arc::new(CdwConnector::new(w.clone(), CdwConfig::free()));
+        bare
+    });
+
+    let (healthy_secs, healthy_cost) = index_runs(reps, || {
+        let inner: BackendHandle = Arc::new(CdwConnector::new(w.clone(), CdwConfig::free()));
+        let wrapped: BackendHandle = Arc::new(RetryBackend::with_defaults(inner));
+        wrapped
+    });
+    assert_eq!(healthy_cost.retries, 0, "a healthy link must never retry");
+
+    // Flaky link: every 5th scan faults; the default policy (4 attempts)
+    // absorbs them all, so indexing still completes.
+    let (flaky_secs, flaky_cost) = index_runs(reps, || {
+        let inner: BackendHandle = Arc::new(CdwConnector::new(w.clone(), CdwConfig::free()));
+        let flaky: BackendHandle =
+            Arc::new(FaultInjector::new(inner, FaultPlan::fail_every(FAIL_EVERY)));
+        let wrapped: BackendHandle = Arc::new(RetryBackend::new(flaky, RetryPolicy::default()));
+        wrapped
+    });
+    assert!(flaky_cost.retries > 0, "the flaky run must have retried");
+
+    let healthy_overhead_pct = (healthy_secs / bare_secs.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "bench: retry_overhead/healthy ... bare {:.1}ms, retry-wrapped {:.1}ms ({healthy_overhead_pct:+.1}% wall-clock)",
+        bare_secs * 1e3,
+        healthy_secs * 1e3,
+    );
+    println!(
+        "bench: retry_overhead/flaky_1_in_{FAIL_EVERY} ... {:.1}ms wall-clock, {} scans billed, {} retries, {:.2}s backoff charged (virtual)",
+        flaky_secs * 1e3,
+        flaky_cost.requests,
+        flaky_cost.retries,
+        flaky_cost.virtual_secs,
+    );
+
+    let section = format!(
+        r#"{{
+    "bench": "retry_overhead",
+    "generated_by": "cargo bench --bench retry_overhead",
+    "workload": {{
+      "tables": {TABLES},
+      "columns_per_table": {COLUMNS_PER_TABLE},
+      "rows_per_column": {ROWS},
+      "fail_every": {FAIL_EVERY},
+      "repetitions": {reps}
+    }},
+    "bare_index_secs_median": {bare_secs:.6},
+    "retry_healthy_index_secs_median": {healthy_secs:.6},
+    "retry_healthy_overhead_pct": {healthy_overhead_pct:.2},
+    "retry_flaky_index_secs_median": {flaky_secs:.6},
+    "retry_flaky_scan_requests": {requests},
+    "retry_flaky_retries": {retries},
+    "retry_flaky_backoff_virtual_secs": {backoff:.4}
+  }}"#,
+        requests = flaky_cost.requests,
+        retries = flaky_cost.retries,
+        backoff = flaky_cost.virtual_secs,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    if quick {
+        println!("bench: retry_overhead ... quick mode, not rewriting {path}");
+        return;
+    }
+    wg_bench::merge_bench_section(path, "retry_overhead", &section);
+    println!("bench: retry_overhead ... snapshot written to {path}");
+}

@@ -1,0 +1,455 @@
+//! Scheduled-sync daemon: the service loop that keeps a [`WarpGate`]
+//! index fresh without anyone calling [`WarpGate::sync`] by hand.
+//!
+//! A [`SyncDaemon`] owns one background thread that periodically
+//! reconciles the system against its attached backend. Around the bare
+//! `sync()` call it adds what a production refresh loop needs:
+//!
+//! * **Retry-aware error handling** — a failed sync records nothing (the
+//!   system's token-commit discipline guarantees that), so the daemon
+//!   simply counts the failure and lets the next tick retry the same
+//!   change set. Transient-failure *retrying within* a single sync is the
+//!   backend middleware's job (`wg_store::RetryBackend`); the daemon
+//!   handles the case where a whole sync still failed.
+//! * **Circuit breaking** — after [`SyncDaemonConfig::failure_threshold`]
+//!   consecutive failures the circuit *opens*: syncs are skipped for
+//!   [`SyncDaemonConfig::open_intervals`] ticks (no pointless load on a
+//!   down backend), then one *half-open* probe runs. A successful probe
+//!   closes the circuit; a failed one re-opens it for another cooldown.
+//! * **Observability** — every counter, the circuit state, cumulative
+//!   scan costs and retry counts, the last error, and the last
+//!   [`SyncReport`] are visible through [`SyncDaemon::report`] at any
+//!   time.
+//! * **Clean shutdown** — [`SyncDaemon::shutdown`] (or dropping the
+//!   daemon) wakes the loop immediately, joins the thread, and returns
+//!   the final report. A sync in flight completes first; none is ever
+//!   torn mid-run.
+//!
+//! The state machine (see DESIGN.md §7):
+//!
+//! ```text
+//!          sync ok                       sync failed, consecutive < threshold
+//!        ┌─────────┐                     ┌─────────┐
+//!        ▼         │                     ▼         │
+//!      CLOSED ─────┴──── failures ≥ threshold ──▶ OPEN ◀────────┐
+//!        ▲                                         │ cooldown   │ probe
+//!        │                                         ▼ elapsed    │ failed
+//!        └────────────── probe ok ──────────── HALF-OPEN ───────┘
+//! ```
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use wg_store::CostSnapshot;
+
+use crate::system::{SyncReport, WarpGate};
+
+/// Tunables of a [`SyncDaemon`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncDaemonConfig {
+    /// Time between sync ticks.
+    pub interval: Duration,
+    /// Consecutive sync failures that open the circuit.
+    pub failure_threshold: u32,
+    /// Ticks the circuit stays open before a half-open probe.
+    pub open_intervals: u32,
+}
+
+impl Default for SyncDaemonConfig {
+    fn default() -> Self {
+        Self { interval: Duration::from_secs(30), failure_threshold: 3, open_intervals: 4 }
+    }
+}
+
+impl SyncDaemonConfig {
+    /// Same config with a different tick interval.
+    pub fn with_interval(self, interval: Duration) -> Self {
+        Self { interval, ..self }
+    }
+}
+
+/// Circuit-breaker state of the daemon's sync loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CircuitState {
+    /// Healthy: every tick syncs.
+    #[default]
+    Closed,
+    /// Tripped: ticks skip syncing until the cooldown elapses.
+    Open,
+    /// Cooldown over: the next tick runs a single probe sync.
+    HalfOpen,
+}
+
+/// Point-in-time view of everything the daemon has done. Cheap to clone;
+/// obtained via [`SyncDaemon::report`].
+#[derive(Debug, Clone, Default)]
+pub struct DaemonReport {
+    /// Scheduler wakeups processed (interval expiries + explicit wakes).
+    pub ticks: u64,
+    /// Syncs actually started (ticks minus circuit-open skips).
+    pub syncs_attempted: u64,
+    /// Syncs that completed successfully.
+    pub syncs_ok: u64,
+    /// Syncs that returned an error.
+    pub syncs_failed: u64,
+    /// Ticks skipped because the circuit was open.
+    pub skipped_while_open: u64,
+    /// Current run of back-to-back failures (resets on success).
+    pub consecutive_failures: u32,
+    /// Current circuit state.
+    pub circuit: CircuitState,
+    /// Transitions *into* Open: initial Closed → Open trips plus failed
+    /// half-open probes that re-open (a backend that stays down keeps
+    /// incrementing this once per probe cycle).
+    pub circuit_opened: u64,
+    /// Half-open probes that succeeded and closed the circuit.
+    pub circuit_closed: u64,
+    /// Cumulative tables added across successful syncs.
+    pub tables_added: u64,
+    /// Cumulative tables re-indexed across successful syncs.
+    pub tables_updated: u64,
+    /// Cumulative tables dropped across successful syncs.
+    pub tables_removed: u64,
+    /// Cumulative columns (re-)indexed.
+    pub columns_indexed: u64,
+    /// Cumulative columns removed.
+    pub columns_removed: u64,
+    /// Cumulative scan costs of the daemon's syncs; `cost.retries` is the
+    /// total retry count the backend middleware reported through them.
+    pub cost: CostSnapshot,
+    /// Message of the most recent sync error, if any ever occurred.
+    pub last_error: Option<String>,
+    /// The most recent successful sync's report.
+    pub last_report: Option<SyncReport>,
+}
+
+impl DaemonReport {
+    /// True when the daemon has observed the backend at least once and the
+    /// latest observation was healthy.
+    pub fn is_healthy(&self) -> bool {
+        self.circuit == CircuitState::Closed && self.syncs_ok > 0
+    }
+}
+
+struct Inner {
+    stop: bool,
+    wake: bool,
+    /// Ticks left before an open circuit half-opens.
+    cooldown_remaining: u32,
+    report: DaemonReport,
+}
+
+struct Shared {
+    wg: Arc<WarpGate>,
+    config: SyncDaemonConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// Handle to a running scheduled-sync loop. See the module docs.
+pub struct SyncDaemon {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SyncDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncDaemon").field("config", &self.shared.config).finish_non_exhaustive()
+    }
+}
+
+impl SyncDaemon {
+    /// Start the daemon over `wg`. The first sync runs one interval after
+    /// spawn (call [`Self::wake`] for an immediate tick).
+    pub fn spawn(wg: Arc<WarpGate>, config: SyncDaemonConfig) -> Self {
+        assert!(config.failure_threshold >= 1, "failure_threshold must be at least 1");
+        let shared = Arc::new(Shared {
+            wg,
+            config,
+            inner: Mutex::new(Inner {
+                stop: false,
+                wake: false,
+                cooldown_remaining: 0,
+                report: DaemonReport::default(),
+            }),
+            cv: Condvar::new(),
+        });
+        let loop_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("wg-sync-daemon".into())
+            .spawn(move || run_loop(&loop_shared))
+            .expect("spawn sync daemon thread");
+        Self { shared, handle: Some(handle) }
+    }
+
+    /// Snapshot of the daemon's counters and circuit state.
+    pub fn report(&self) -> DaemonReport {
+        self.shared.inner.lock().expect("daemon state lock").report.clone()
+    }
+
+    /// Trigger a tick now instead of waiting out the interval. (The tick
+    /// still honors the circuit breaker.)
+    pub fn wake(&self) {
+        let mut inner = self.shared.inner.lock().expect("daemon state lock");
+        inner.wake = true;
+        drop(inner);
+        self.shared.cv.notify_all();
+    }
+
+    /// Stop the loop, join the thread, and return the final report. A sync
+    /// in flight completes before the daemon exits.
+    pub fn shutdown(mut self) -> DaemonReport {
+        self.stop_and_join();
+        self.shared.inner.lock().expect("daemon state lock").report.clone()
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().expect("daemon state lock");
+            inner.stop = true;
+        }
+        self.cv_notify();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn cv_notify(&self) {
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for SyncDaemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn run_loop(shared: &Shared) {
+    loop {
+        // Sleep until the interval elapses, a wake is requested, or
+        // shutdown begins. Predicate loop: condvars may wake spuriously,
+        // and an early wakeup must re-wait the *remaining* interval
+        // rather than tick off-schedule.
+        {
+            let mut inner = shared.inner.lock().expect("daemon state lock");
+            let deadline = std::time::Instant::now() + shared.config.interval;
+            while !inner.stop && !inner.wake {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, _) =
+                    shared.cv.wait_timeout(inner, remaining).expect("daemon state lock");
+                inner = guard;
+            }
+            if inner.stop {
+                return;
+            }
+            inner.wake = false;
+            inner.report.ticks += 1;
+        }
+        tick(shared);
+    }
+}
+
+/// One scheduler tick: advance the circuit breaker and, unless the
+/// circuit is open, run a sync. The sync itself runs without holding the
+/// state lock, so `report()` and `wake()` stay responsive mid-sync.
+fn tick(shared: &Shared) {
+    let attempt = {
+        let mut inner = shared.inner.lock().expect("daemon state lock");
+        match inner.report.circuit {
+            CircuitState::Closed | CircuitState::HalfOpen => true,
+            CircuitState::Open => {
+                inner.report.skipped_while_open += 1;
+                inner.cooldown_remaining = inner.cooldown_remaining.saturating_sub(1);
+                if inner.cooldown_remaining == 0 {
+                    inner.report.circuit = CircuitState::HalfOpen;
+                }
+                false
+            }
+        }
+    };
+    if !attempt {
+        return;
+    }
+
+    let outcome = shared.wg.sync();
+
+    let mut inner = shared.inner.lock().expect("daemon state lock");
+    let report = &mut inner.report;
+    report.syncs_attempted += 1;
+    match outcome {
+        Ok(sync) => {
+            report.syncs_ok += 1;
+            report.consecutive_failures = 0;
+            if report.circuit == CircuitState::HalfOpen {
+                report.circuit = CircuitState::Closed;
+                report.circuit_closed += 1;
+            }
+            report.tables_added += sync.tables_added as u64;
+            report.tables_updated += sync.tables_updated as u64;
+            report.tables_removed += sync.tables_removed as u64;
+            report.columns_indexed += sync.columns_indexed as u64;
+            report.columns_removed += sync.columns_removed as u64;
+            report.cost = report.cost.plus(&sync.cost);
+            report.last_report = Some(sync);
+        }
+        Err(e) => {
+            report.syncs_failed += 1;
+            report.consecutive_failures += 1;
+            report.last_error = Some(e.to_string());
+            let trip = match report.circuit {
+                // A failed half-open probe re-opens immediately.
+                CircuitState::HalfOpen => true,
+                CircuitState::Closed => {
+                    report.consecutive_failures >= shared.config.failure_threshold
+                }
+                CircuitState::Open => false,
+            };
+            if trip {
+                report.circuit = CircuitState::Open;
+                report.circuit_opened += 1;
+                inner.cooldown_remaining = shared.config.open_intervals;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WarpGateConfig;
+    use std::time::Instant;
+    use wg_store::{
+        BackendHandle, CdwConfig, CdwConnector, Column, Database, FaultInjector, FaultPlan, Table,
+        Warehouse,
+    };
+
+    fn connector() -> std::sync::Arc<CdwConnector> {
+        let mut w = Warehouse::new("w");
+        let mut db = Database::new("db");
+        db.add_table(
+            Table::new(
+                "t",
+                vec![Column::text("c", (0..30).map(|i| format!("v{i}")).collect::<Vec<_>>())],
+            )
+            .unwrap(),
+        );
+        w.add_database(db);
+        std::sync::Arc::new(CdwConnector::new(w, CdwConfig::free()))
+    }
+
+    fn fast_config() -> SyncDaemonConfig {
+        SyncDaemonConfig {
+            interval: Duration::from_millis(2),
+            failure_threshold: 2,
+            open_intervals: 2,
+        }
+    }
+
+    /// Poll `report()` until `pred` holds or a generous deadline passes.
+    fn wait_for(daemon: &SyncDaemon, pred: impl Fn(&DaemonReport) -> bool) -> DaemonReport {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let r = daemon.report();
+            if pred(&r) {
+                return r;
+            }
+            assert!(Instant::now() < deadline, "daemon never reached state: {r:?}");
+            daemon.wake();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn daemon_syncs_periodically_and_shuts_down_cleanly() {
+        let c = connector();
+        let backend: BackendHandle = c.clone();
+        let wg = Arc::new(WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() },
+            backend,
+        ));
+        let daemon = SyncDaemon::spawn(wg.clone(), fast_config());
+        let r = wait_for(&daemon, |r| r.syncs_ok >= 2);
+        assert!(r.is_healthy());
+        // First sync indexed the whole warehouse; later ones were no-ops.
+        assert_eq!(r.tables_added, 1);
+        assert_eq!(wg.len(), 1);
+        let fin = daemon.shutdown();
+        assert!(fin.syncs_ok >= r.syncs_ok);
+        // After shutdown the thread is gone; the report is final.
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_and_recovers() {
+        let c = connector();
+        let healthy: BackendHandle = c.clone();
+        let flaky: BackendHandle =
+            Arc::new(FaultInjector::new(healthy.clone(), FaultPlan::fail_every(1)));
+        // Nothing indexed yet, so every sync must scan — and every scan
+        // fails: consecutive failures mount until the circuit opens.
+        let wg = Arc::new(WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() },
+            flaky,
+        ));
+        let daemon = SyncDaemon::spawn(wg.clone(), fast_config());
+
+        let r = wait_for(&daemon, |r| r.circuit == CircuitState::Open);
+        assert!(r.syncs_failed >= 2, "threshold is 2: {r:?}");
+        assert_eq!(r.circuit_opened, 1);
+        assert!(r.last_error.as_deref().unwrap_or("").contains("injected fault"));
+
+        // While open, ticks skip (no new sync attempts pile up against the
+        // dead backend).
+        let r = wait_for(&daemon, |r| r.skipped_while_open >= 1);
+        assert!(r.syncs_attempted <= r.ticks);
+
+        // Heal the backend: attach the raw connector. The next half-open
+        // probe succeeds and closes the circuit; the index converges.
+        wg.attach(healthy);
+        let r = wait_for(&daemon, |r| r.circuit == CircuitState::Closed && r.syncs_ok >= 1);
+        assert_eq!(r.circuit_closed, 1, "recovery must come through a half-open probe");
+        assert_eq!(wg.len(), 1, "index converged after recovery");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_circuit() {
+        let c = connector();
+        let inner: BackendHandle = c;
+        let flaky: BackendHandle = Arc::new(FaultInjector::new(inner, FaultPlan::fail_every(1)));
+        let wg = Arc::new(WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() },
+            flaky,
+        ));
+        let daemon = SyncDaemon::spawn(wg, fast_config());
+        // Backend never heals: open → half-open probe fails → open again.
+        let r = wait_for(&daemon, |r| r.circuit_opened >= 2);
+        assert_eq!(r.circuit_closed, 0);
+        assert!(r.syncs_failed >= 3, "threshold failures plus a failed probe: {r:?}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn wake_triggers_an_immediate_tick() {
+        let c = connector();
+        let backend: BackendHandle = c;
+        let wg = Arc::new(WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() },
+            backend,
+        ));
+        // An hour-long interval: only wake() can drive ticks.
+        let daemon = SyncDaemon::spawn(
+            wg,
+            SyncDaemonConfig::default().with_interval(Duration::from_secs(3600)),
+        );
+        assert_eq!(daemon.report().ticks, 0);
+        daemon.wake();
+        let r = wait_for(&daemon, |r| r.syncs_ok >= 1);
+        assert!(r.ticks >= 1);
+        let report = daemon.shutdown();
+        assert!(report.is_healthy());
+    }
+}

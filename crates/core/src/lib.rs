@@ -33,14 +33,21 @@
 //! around discovery (§3.2): [`WarpGate::augment_via_lookup`] executes the
 //! cardinality-preserving lookup join that "Add column via lookup" performs
 //! once the user picks a recommendation.
+//!
+//! For long-running service deployments, [`SyncDaemon`] wraps
+//! [`WarpGate::sync`] in a scheduled background loop with circuit
+//! breaking and an observable [`DaemonReport`]; pair it with
+//! `wg_store::RetryBackend` for per-call resilience.
 
 pub mod cache;
 pub mod config;
+pub mod daemon;
 pub mod persist;
 pub mod system;
 pub mod timing;
 
 pub use cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 pub use config::WarpGateConfig;
+pub use daemon::{CircuitState, DaemonReport, SyncDaemon, SyncDaemonConfig};
 pub use system::{Discovery, IndexReport, JoinCandidate, SyncReport, WarpGate};
 pub use timing::QueryTiming;

@@ -595,7 +595,9 @@ impl WarpGate {
                 let sw = Stopwatch::start();
                 let column = backend.scan_column(query, self.config.sample)?;
                 timing.load_secs = sw.elapsed_secs();
-                timing.virtual_load_secs = backend.costs().since(&cost_before).virtual_secs;
+                let cost_delta = backend.costs().since(&cost_before);
+                timing.virtual_load_secs = cost_delta.virtual_secs;
+                timing.retries = cost_delta.retries;
 
                 let sw = Stopwatch::start();
                 let vector = self.embed_with_context(backend.as_ref(), query, &column);

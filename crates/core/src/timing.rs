@@ -15,8 +15,13 @@ pub struct QueryTiming {
     /// Real seconds spent in the LSH lookup + exact re-rank.
     pub lookup_secs: f64,
     /// Virtual CDW network latency charged for the load (not slept; see
-    /// `wg_store::cdw`).
+    /// `wg_store::cdw`). Includes any backoff delay charged by retry
+    /// middleware in the backend stack.
     pub virtual_load_secs: f64,
+    /// Scan attempts repeated by retry middleware while loading the query
+    /// column (0 on a healthy link or a bare backend). Sums through
+    /// [`Self::add`].
+    pub retries: u64,
     /// True when the query embedding came out of the system's embedding
     /// cache: the scan and embed phases were skipped entirely, so
     /// `load_secs`, `embed_secs`, and `virtual_load_secs` are all zero.
@@ -54,10 +59,13 @@ impl QueryTiming {
         self.embed_secs += other.embed_secs;
         self.lookup_secs += other.lookup_secs;
         self.virtual_load_secs += other.virtual_load_secs;
+        self.retries += other.retries;
         self.cache_hit |= other.cache_hit;
     }
 
-    /// Component-wise division by a count.
+    /// Component-wise division by a count. The retry count stays a total
+    /// (an integer mean would round to uselessness at low rates), and the
+    /// cache flag keeps its accumulated OR.
     pub fn divide(&self, n: usize) -> QueryTiming {
         if n == 0 {
             return *self;
@@ -68,6 +76,7 @@ impl QueryTiming {
             embed_secs: self.embed_secs / d,
             lookup_secs: self.lookup_secs / d,
             virtual_load_secs: self.virtual_load_secs / d,
+            retries: self.retries,
             cache_hit: self.cache_hit,
         }
     }
@@ -106,6 +115,15 @@ mod tests {
         let mean = acc.divide(4);
         assert!((mean.load_secs - 2.0).abs() < 1e-12);
         assert!((mean.embed_secs - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_sum_through_add_and_survive_divide() {
+        let mut acc = QueryTiming::default();
+        acc.add(&QueryTiming { retries: 2, ..QueryTiming::default() });
+        acc.add(&QueryTiming { retries: 1, ..QueryTiming::default() });
+        assert_eq!(acc.retries, 3);
+        assert_eq!(acc.divide(2).retries, 3, "divide keeps the total retry count");
     }
 
     #[test]

@@ -11,19 +11,25 @@ pub mod table2;
 
 use std::sync::Arc;
 
-use wg_store::{BackendHandle, CdwConfig, CdwConnector};
+use wg_store::{BackendHandle, CdwConfig, CdwConnector, RetryBackend};
 
 /// The k values the paper sweeps in Figure 4.
 pub const KS: &[usize] = &[2, 3, 5, 10];
 
-/// Wrap a corpus warehouse in a simulated-CDW backend with the default
-/// (priced, virtually-latent) cost model used by all timing experiments.
+/// Wrap a corpus warehouse in the standard middleware stack:
+/// `RetryBackend(CdwConnector)` with the default (priced,
+/// virtually-latent) cost model used by all timing experiments. The
+/// simulated CDW never fails, so the retry layer is pure composition
+/// proof here — zero retries, zero extra cost — but every experiment now
+/// exercises the same stack a resilient deployment runs.
 pub fn connect(warehouse: wg_store::Warehouse) -> BackendHandle {
-    Arc::new(CdwConnector::new(warehouse, CdwConfig::default()))
+    let inner: BackendHandle = Arc::new(CdwConnector::new(warehouse, CdwConfig::default()));
+    Arc::new(RetryBackend::with_defaults(inner))
 }
 
-/// Wrap with a free CDW (effectiveness-only experiments where virtual
-/// latency would just add noise to no benefit).
+/// Same stack over a free CDW (effectiveness-only experiments where
+/// virtual latency would just add noise to no benefit).
 pub fn connect_free(warehouse: wg_store::Warehouse) -> BackendHandle {
-    Arc::new(CdwConnector::new(warehouse, CdwConfig::free()))
+    let inner: BackendHandle = Arc::new(CdwConnector::new(warehouse, CdwConfig::free()));
+    Arc::new(RetryBackend::with_defaults(inner))
 }

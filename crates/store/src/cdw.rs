@@ -91,6 +91,7 @@ impl CostMeter {
             bytes_scanned: bytes,
             virtual_secs: self.virtual_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             usd: bytes as f64 / 1e12 * config.usd_per_tb,
+            retries: 0,
         }
     }
 
@@ -113,6 +114,10 @@ pub struct CostSnapshot {
     pub virtual_secs: f64,
     /// Accumulated usage cost, dollars.
     pub usd: f64,
+    /// Retried calls recorded by retry middleware in the backend stack
+    /// (0 for bare backends). Each unit is one repeated attempt; the
+    /// backoff delay those retries cost is folded into `virtual_secs`.
+    pub retries: u64,
 }
 
 impl CostSnapshot {
@@ -125,6 +130,7 @@ impl CostSnapshot {
             bytes_scanned: self.bytes_scanned.saturating_sub(earlier.bytes_scanned),
             virtual_secs: (self.virtual_secs - earlier.virtual_secs).max(0.0),
             usd: (self.usd - earlier.usd).max(0.0),
+            retries: self.retries.saturating_sub(earlier.retries),
         }
     }
 
@@ -136,6 +142,7 @@ impl CostSnapshot {
             bytes_scanned: self.bytes_scanned + other.bytes_scanned,
             virtual_secs: self.virtual_secs + other.virtual_secs,
             usd: self.usd + other.usd,
+            retries: self.retries + other.retries,
         }
     }
 }
@@ -384,18 +391,30 @@ mod tests {
     fn since_reports_exact_deltas() {
         // Direct CostSnapshot::since coverage: every field is the
         // component-wise difference.
-        let a = CostSnapshot { requests: 2, bytes_scanned: 100, virtual_secs: 0.5, usd: 0.01 };
-        let b = CostSnapshot { requests: 5, bytes_scanned: 350, virtual_secs: 1.25, usd: 0.04 };
+        let a = CostSnapshot {
+            requests: 2,
+            bytes_scanned: 100,
+            virtual_secs: 0.5,
+            usd: 0.01,
+            retries: 1,
+        };
+        let b = CostSnapshot {
+            requests: 5,
+            bytes_scanned: 350,
+            virtual_secs: 1.25,
+            usd: 0.04,
+            retries: 3,
+        };
         let d = b.since(&a);
         assert_eq!(d.requests, 3);
         assert_eq!(d.bytes_scanned, 250);
         assert!((d.virtual_secs - 0.75).abs() < 1e-12);
         assert!((d.usd - 0.03).abs() < 1e-12);
+        assert_eq!(d.retries, 2);
         // since(self) is zero.
-        assert_eq!(
-            b.since(&b),
-            CostSnapshot { requests: 0, bytes_scanned: 0, virtual_secs: 0.0, usd: 0.0 }
-        );
+        assert_eq!(b.since(&b), CostSnapshot::default());
+        // plus is component-wise, retries included.
+        assert_eq!(a.plus(&b).retries, 4);
     }
 
     #[test]

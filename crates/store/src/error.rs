@@ -1,23 +1,74 @@
-//! Error type for store operations.
+//! Error type for store operations, classified for retry middleware.
+//!
+//! Every [`StoreError`] is either **transient** (the same call may succeed
+//! if repeated — a flaky link, a suspended warehouse, an injected fault)
+//! or **fatal** (repeating the call cannot help — a missing table, a
+//! schema violation, corrupt bytes). [`StoreError::is_retryable`] is the
+//! single source of truth for that classification; retry middleware like
+//! [`crate::RetryBackend`] keys off it and nothing else.
+//!
+//! The enum is `#[non_exhaustive]`: downstream crates must match with a
+//! wildcard arm, so adding a variant here can never silently fall through
+//! an external match. *Inside* this crate every match stays exhaustive on
+//! purpose — a new variant then fails to compile until it is classified in
+//! `is_retryable`, displayed, and wired through the remote-backend codec.
 
 use wg_util::codec::CodecError;
 
 /// Errors from catalog lookups, CSV parsing, joins and CDW scans.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StoreError {
-    /// A database, table or column was not found.
+    /// A database, table or column was not found. Fatal.
     NotFound(String),
-    /// CSV input violated the expected structure.
-    Csv { line: usize, message: String },
-    /// Columns of mismatched lengths, duplicate names, etc.
+    /// CSV input violated the expected structure. Fatal.
+    Csv {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Columns of mismatched lengths, duplicate names, etc. Fatal.
     Schema(String),
-    /// A join was requested on incompatible or missing keys.
+    /// A join was requested on incompatible or missing keys. Fatal.
     Join(String),
-    /// A wire frame or persisted artifact failed to decode.
+    /// A wire frame or persisted artifact failed to decode. Fatal (the
+    /// bytes will not un-corrupt themselves).
     Codec(CodecError),
-    /// A warehouse backend failed: I/O on a file-backed backend, an
-    /// injected fault, or an operation that needs an attached backend.
+    /// A warehouse backend failed in a way a retry cannot fix:
+    /// misconfiguration, unreadable files, no backend attached. Fatal.
     Backend(String),
+    /// A transient backend failure: connection reset, timeout, suspended
+    /// warehouse, injected fault. **Retryable** — the only variant that is.
+    Unavailable(String),
+    /// Retry middleware exhausted its attempt or backoff budget; wraps the
+    /// last transient error. Fatal (the budget is spent).
+    RetriesExhausted {
+        /// Total attempts made, the initial call included.
+        attempts: u32,
+        /// The transient error the final attempt died on.
+        last: Box<StoreError>,
+    },
+}
+
+impl StoreError {
+    /// Whether retrying the failed call may succeed. This is the
+    /// classification [`crate::RetryBackend`] acts on: transient failures
+    /// retry with backoff, everything else propagates immediately.
+    pub fn is_retryable(&self) -> bool {
+        // Exhaustive on purpose: a new variant must be classified here
+        // before the crate compiles again.
+        match self {
+            StoreError::Unavailable(_) => true,
+            StoreError::NotFound(_)
+            | StoreError::Csv { .. }
+            | StoreError::Schema(_)
+            | StoreError::Join(_)
+            | StoreError::Codec(_)
+            | StoreError::Backend(_)
+            | StoreError::RetriesExhausted { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -31,6 +82,10 @@ impl std::fmt::Display for StoreError {
             StoreError::Join(msg) => write!(f, "join error: {msg}"),
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
             StoreError::Backend(msg) => write!(f, "backend error: {msg}"),
+            StoreError::Unavailable(msg) => write!(f, "backend unavailable: {msg}"),
+            StoreError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -39,6 +94,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Codec(e) => Some(e),
+            StoreError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -63,11 +119,48 @@ mod tests {
         assert!(StoreError::Csv { line: 3, message: "unterminated quote".into() }
             .to_string()
             .contains("line 3"));
+        assert!(StoreError::Unavailable("link down".into()).to_string().contains("unavailable"));
+        let exhausted = StoreError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(StoreError::Unavailable("still down".into())),
+        };
+        let msg = exhausted.to_string();
+        assert!(msg.contains("4 attempts") && msg.contains("still down"), "{msg}");
     }
 
     #[test]
     fn codec_error_converts() {
         let e: StoreError = CodecError::UnexpectedEof.into();
         assert!(matches!(e, StoreError::Codec(_)));
+    }
+
+    #[test]
+    fn only_unavailable_is_retryable() {
+        assert!(StoreError::Unavailable("timeout".into()).is_retryable());
+        for fatal in [
+            StoreError::NotFound("x".into()),
+            StoreError::Csv { line: 1, message: "m".into() },
+            StoreError::Schema("s".into()),
+            StoreError::Join("j".into()),
+            StoreError::Codec(CodecError::UnexpectedEof),
+            StoreError::Backend("b".into()),
+            StoreError::RetriesExhausted {
+                attempts: 3,
+                last: Box::new(StoreError::Unavailable("u".into())),
+            },
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal} must be fatal");
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_exposes_cause_via_source() {
+        use std::error::Error;
+        let e = StoreError::RetriesExhausted {
+            attempts: 2,
+            last: Box::new(StoreError::Unavailable("flaky".into())),
+        };
+        let src = e.source().expect("has a source");
+        assert!(src.to_string().contains("flaky"));
     }
 }

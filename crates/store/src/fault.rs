@@ -106,7 +106,11 @@ impl FaultInjector {
         let n = self.scans.fetch_add(1, Ordering::Relaxed) + 1;
         if self.plan.fail_every > 0 && n % self.plan.fail_every == 0 {
             self.faults.fetch_add(1, Ordering::Relaxed);
-            return Err(StoreError::Backend(format!(
+            // Injected faults model the transient class of failure
+            // (timeouts, suspended warehouses), so they are retryable —
+            // which is what lets `RetryBackend` prove itself against this
+            // wrapper.
+            return Err(StoreError::Unavailable(format!(
                 "injected fault on scan #{n} ({what} of {database}.{table})"
             )));
         }

@@ -20,7 +20,14 @@
 //! * the pluggable **warehouse-backend trait** ([`backend`]) those pieces
 //!   plug into, with a directory/CSV-backed implementation
 //!   ([`csv_backend`]) and a fault/latency-injecting wrapper ([`fault`])
-//!   alongside the simulated CDW.
+//!   alongside the simulated CDW;
+//! * the **service middleware** layered over that trait: a retrying
+//!   decorator with exponential backoff and deterministic jitter
+//!   ([`retry`]) and a TCP wire-protocol server/client pair ([`remote`])
+//!   that serves any backend to a WarpGate node across the network.
+//!   Every [`error::StoreError`] is classified retryable vs. fatal
+//!   ([`error::StoreError::is_retryable`]), which is the contract the
+//!   middleware composes on.
 
 pub mod backend;
 pub mod catalog;
@@ -32,6 +39,8 @@ pub mod dtype;
 pub mod error;
 pub mod fault;
 pub mod join;
+pub mod remote;
+pub mod retry;
 pub mod sample;
 pub mod table;
 pub mod value;
@@ -45,6 +54,8 @@ pub use dtype::DataType;
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjector, FaultPlan};
 pub use join::{containment, jaccard, JoinType, KeyNorm};
+pub use remote::{RemoteBackend, RemoteBackendServer};
+pub use retry::{RetryBackend, RetryClock, RetryPolicy, SystemClock, VirtualClock};
 pub use sample::SampleSpec;
 pub use table::Table;
 pub use value::{Value, ValueRef};

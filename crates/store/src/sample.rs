@@ -70,6 +70,47 @@ impl SampleSpec {
         }
     }
 
+    /// Encode for the remote-backend wire protocol: a tag byte plus the
+    /// spec's parameters. See [`crate::remote`] for the frame layout.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        use wg_util::codec::{put_u64, put_u8};
+        match *self {
+            SampleSpec::Full => put_u8(buf, 0),
+            SampleSpec::Head(n) => {
+                put_u8(buf, 1);
+                put_u64(buf, n as u64);
+            }
+            SampleSpec::Reservoir { n, seed } => {
+                put_u8(buf, 2);
+                put_u64(buf, n as u64);
+                put_u64(buf, seed);
+            }
+            SampleSpec::DistinctReservoir { n, seed } => {
+                put_u8(buf, 3);
+                put_u64(buf, n as u64);
+                put_u64(buf, seed);
+            }
+        }
+    }
+
+    /// Decode the wire form written by [`Self::encode`].
+    pub fn decode(buf: &mut &[u8]) -> wg_util::codec::CodecResult<SampleSpec> {
+        use wg_util::codec::{get_u64, get_u8, CodecError};
+        Ok(match get_u8(buf)? {
+            0 => SampleSpec::Full,
+            1 => SampleSpec::Head(get_u64(buf)? as usize),
+            2 => {
+                let n = get_u64(buf)? as usize;
+                SampleSpec::Reservoir { n, seed: get_u64(buf)? }
+            }
+            3 => {
+                let n = get_u64(buf)? as usize;
+                SampleSpec::DistinctReservoir { n, seed: get_u64(buf)? }
+            }
+            tag => return Err(CodecError::Invalid(format!("unknown SampleSpec tag {tag}"))),
+        })
+    }
+
     /// Apply to a whole table: one row selection shared across columns so
     /// rows stay aligned. `DistinctReservoir` falls back to plain reservoir
     /// at table granularity (distinctness is a per-column notion).
@@ -251,5 +292,23 @@ mod tests {
         assert_eq!(SampleSpec::Full.target(), None);
         assert_eq!(SampleSpec::Head(5).target(), Some(5));
         assert_eq!(SampleSpec::Reservoir { n: 9, seed: 0 }.target(), Some(9));
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_every_variant() {
+        for spec in [
+            SampleSpec::Full,
+            SampleSpec::Head(17),
+            SampleSpec::Reservoir { n: 100, seed: 0xABCD },
+            SampleSpec::DistinctReservoir { n: 1000, seed: 0x5A17 },
+        ] {
+            let mut buf = Vec::new();
+            spec.encode(&mut buf);
+            let mut cursor = &buf[..];
+            assert_eq!(SampleSpec::decode(&mut cursor).unwrap(), spec);
+            assert!(cursor.is_empty(), "trailing bytes after {spec:?}");
+        }
+        let mut bad: &[u8] = &[9];
+        assert!(SampleSpec::decode(&mut bad).is_err());
     }
 }

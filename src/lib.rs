@@ -46,9 +46,14 @@
 //! ```
 //!
 //! Any [`store::WarehouseBackend`] plugs into the same seam: the simulated
-//! CDW above, a `CsvBackend` over a directory of exports, or a
-//! `FaultInjector` wrapping either. `WarpGate::sync()` keeps the index
-//! incremental as the attached warehouse changes.
+//! CDW above, a `CsvBackend` over a directory of exports, a
+//! `FaultInjector` wrapping either, a `RetryBackend` adding
+//! backoff-with-jitter resilience, or a `RemoteBackend` reaching a
+//! warehouse served over TCP by a `RemoteBackendServer`.
+//! `WarpGate::sync()` keeps the index incremental as the attached
+//! warehouse changes, and `SyncDaemon` runs that reconciliation on a
+//! schedule with circuit breaking (see the `resilient_service` example
+//! for the full stack).
 //!
 //! ## Workspace map
 //!
@@ -80,13 +85,15 @@ pub use wg_util as util;
 /// The types most applications need, importable in one line.
 pub mod prelude {
     pub use warpgate_core::{
-        Discovery, JoinCandidate, QueryTiming, SyncReport, WarpGate, WarpGateConfig,
+        CircuitState, DaemonReport, Discovery, JoinCandidate, QueryTiming, SyncDaemon,
+        SyncDaemonConfig, SyncReport, WarpGate, WarpGateConfig,
     };
     pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
     pub use wg_store::{
         BackendHandle, CdwConfig, CdwConnector, Column, ColumnRef, CsvBackend, Database,
-        FaultInjector, FaultPlan, JoinType, KeyNorm, SampleSpec, Table, TableMeta, Warehouse,
-        WarehouseBackend,
+        FaultInjector, FaultPlan, JoinType, KeyNorm, RemoteBackend, RemoteBackendServer,
+        RetryBackend, RetryPolicy, SampleSpec, StoreError, SystemClock, Table, TableMeta,
+        Warehouse, WarehouseBackend,
     };
 }
 

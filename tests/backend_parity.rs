@@ -7,7 +7,12 @@
 //! * `CdwConnector` — the simulated cloud data warehouse;
 //! * `CsvBackend` — the warehouse exported to `<db>/<table>.csv` files;
 //! * `FaultInjector` — the wrapper backend (transparent plan for parity,
-//!   plus dedicated resilience checks).
+//!   plus dedicated resilience checks);
+//! * `RetryBackend` — the retry middleware (transparent over a healthy
+//!   inner backend; resilience scenarios live in `retry_backend.rs`);
+//! * `RemoteBackend` — the wire-protocol client talking to a loopback
+//!   `RemoteBackendServer` (deeper protocol checks in
+//!   `remote_backend.rs`).
 
 use std::sync::Arc;
 
@@ -99,7 +104,7 @@ fn csv_root(tag: &str) -> std::path::PathBuf {
 }
 
 #[test]
-fn all_three_backends_produce_identical_rankings() {
+fn all_backends_produce_identical_rankings() {
     let w = parity_warehouse();
 
     // 1. Simulated CDW.
@@ -113,9 +118,22 @@ fn all_three_backends_produce_identical_rankings() {
     let csv_rankings = rankings(csv);
 
     // 3. Fault injector with a transparent plan around a fresh CDW.
-    let inner: BackendHandle = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+    let inner: BackendHandle = Arc::new(CdwConnector::new(w.clone(), CdwConfig::free()));
     let wrapped: BackendHandle = Arc::new(FaultInjector::new(inner, FaultPlan::default()));
     let fault_rankings = rankings(wrapped);
+
+    // 4. Retry middleware around a healthy CDW (no faults → transparent).
+    let inner: BackendHandle = Arc::new(CdwConnector::new(w.clone(), CdwConfig::free()));
+    let retry: BackendHandle = Arc::new(RetryBackend::with_defaults(inner));
+    let retry_rankings = rankings(retry);
+
+    // 5. The same warehouse served over loopback TCP.
+    let served: BackendHandle = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+    let server = RemoteBackendServer::serve(served, "127.0.0.1:0").expect("loopback server");
+    let remote: BackendHandle =
+        Arc::new(RemoteBackend::connect(server.local_addr().to_string()).expect("connect"));
+    let remote_rankings = rankings(remote);
+    server.shutdown();
 
     for (qi, q) in queries().iter().enumerate() {
         assert_eq!(
@@ -125,6 +143,14 @@ fn all_three_backends_produce_identical_rankings() {
         assert_eq!(
             cdw_rankings[qi], fault_rankings[qi],
             "fault-wrapped backend diverged from the simulated CDW on {q}"
+        );
+        assert_eq!(
+            cdw_rankings[qi], retry_rankings[qi],
+            "retry-wrapped backend diverged from the simulated CDW on {q}"
+        );
+        assert_eq!(
+            cdw_rankings[qi], remote_rankings[qi],
+            "remote (TCP) backend diverged from the simulated CDW on {q}"
         );
         // The float query (metrics.revenue) may legitimately come back
         // empty — its only numeric peer is same-table and excluded; what

@@ -1,0 +1,184 @@
+//! Resilient-stack integration: `RetryBackend(FaultInjector(CdwConnector))`
+//! completes a full `index_warehouse` + `sync()` despite fail-every-Nth
+//! scans, with billed-scan counts pinned.
+//!
+//! Single-threaded indexing keeps the fault sequence deterministic, so
+//! every count below is exact, not a bound.
+
+use std::sync::Arc;
+
+use warpgate::prelude::*;
+
+/// 4 tables / 7 columns, mirroring the parity fixture.
+fn warehouse() -> Warehouse {
+    let mut w = Warehouse::new("flaky");
+    w.database_mut("crm").add_table(
+        Table::new(
+            "accounts",
+            vec![
+                Column::text("name", (0..50).map(|i| format!("Company {i}")).collect::<Vec<_>>()),
+                Column::ints("employees", (0..50).map(|i| i * 7).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    w.database_mut("crm").add_table(
+        Table::new(
+            "leads",
+            vec![Column::text(
+                "company",
+                (0..40).map(|i| format!("company {i}")).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap(),
+    );
+    w.database_mut("finance").add_table(
+        Table::new(
+            "industries",
+            vec![
+                Column::text(
+                    "company_name",
+                    (0..45).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>(),
+                ),
+                Column::text(
+                    "sector",
+                    (0..45).map(|i| format!("Sector {}", i % 5)).collect::<Vec<_>>(),
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+    w.database_mut("finance").add_table(
+        Table::new(
+            "metrics",
+            vec![
+                Column::floats("revenue", (0..30).map(|i| 1000.5 + i as f64).collect()),
+                Column::floats("income", (0..30).map(|i| 1010.25 + i as f64).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    w
+}
+
+struct Stack {
+    connector: Arc<CdwConnector>,
+    fault: Arc<FaultInjector>,
+    retry: Arc<RetryBackend>,
+    wg: WarpGate,
+}
+
+/// `RetryBackend(FaultInjector(CdwConnector))`, fail-every-`n`, 1 thread.
+fn stack(n: u64) -> Stack {
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let inner: BackendHandle = connector.clone();
+    let fault = Arc::new(FaultInjector::new(inner, FaultPlan::fail_every(n)));
+    let fault_handle: BackendHandle = fault.clone();
+    let retry = Arc::new(RetryBackend::new(
+        fault_handle,
+        RetryPolicy { base_delay_secs: 0.001, ..RetryPolicy::default() },
+    ));
+    let retry_handle: BackendHandle = retry.clone();
+    let wg = WarpGate::with_backend(
+        WarpGateConfig { threads: 1, ..WarpGateConfig::default() },
+        retry_handle,
+    );
+    Stack { connector, fault, retry, wg }
+}
+
+#[test]
+fn full_index_and_sync_complete_despite_faults_with_pinned_billing() {
+    let s = stack(3);
+
+    // --- index_warehouse over the flaky link -------------------------
+    //
+    // 7 columns need 7 successful scans. With every 3rd gate attempt
+    // failing, the attempt sequence is S S F S S F S S F S: 10 attempts,
+    // 3 faults, 3 retries — and exactly 7 scans ever reach the inner
+    // connector's meter (failed attempts are rejected before any byte
+    // moves).
+    let report = s.wg.index_warehouse().expect("indexing must survive fail-every-3rd");
+    assert_eq!(report.columns_indexed, 7);
+    assert_eq!(s.fault.faults_injected(), 3, "deterministic fault sequence");
+    assert_eq!(s.retry.retries(), 3, "every fault costs exactly one retry");
+    assert_eq!(s.connector.costs().requests, 7, "failed attempts must not bill the warehouse");
+    // The report's cost view carries the retry count and backoff charge.
+    assert_eq!(report.cost.requests, 7);
+    assert_eq!(report.cost.retries, 3);
+    assert!(report.cost.virtual_secs > 0.0, "backoff must be charged as virtual latency");
+
+    // --- incremental sync over the same flaky link -------------------
+    s.connector.warehouse_mut().database_mut("crm").add_table(
+        Table::new(
+            "accounts",
+            vec![
+                Column::text("name", (0..20).map(|i| format!("Fresh {i}")).collect::<Vec<_>>()),
+                Column::ints("employees", (0..20).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    s.connector.reset_costs();
+    let sync = s.wg.sync().expect("sync must survive the flaky link");
+    assert_eq!(sync.tables_updated, 1);
+    assert_eq!(sync.columns_indexed, 2, "only the mutated table re-scans");
+    // Gate attempts 11..: S F S → 2 billed scans, 1 fault, 1 retry.
+    assert_eq!(s.connector.costs().requests, 2, "sync bills only the change set");
+    assert_eq!(s.fault.faults_injected(), 4);
+    assert_eq!(sync.cost.retries, 1, "the sync-phase retry is attributed to the sync");
+
+    // The resilient stack converges to the same rankings as a clean
+    // rebuild over the final warehouse state.
+    let clean: BackendHandle =
+        Arc::new(CdwConnector::new(s.connector.warehouse().clone(), CdwConfig::free()));
+    let fresh =
+        WarpGate::with_backend(WarpGateConfig { threads: 1, ..WarpGateConfig::default() }, clean);
+    fresh.index_warehouse().expect("clean rebuild");
+    for q in [
+        ColumnRef::new("crm", "accounts", "name"),
+        ColumnRef::new("finance", "industries", "company_name"),
+    ] {
+        let a = s.wg.discover(&q, 5).expect("flaky-stack discover").candidates;
+        let b = fresh.discover(&q, 5).expect("clean discover").candidates;
+        assert_eq!(a, b, "resilient stack diverged from the clean rebuild on {q}");
+    }
+}
+
+#[test]
+fn discovery_queries_retry_and_report_it_in_timing() {
+    let s = stack(2);
+    s.wg.index_warehouse().expect("every fault is followed by a good retry");
+
+    // Cold query on an always-flapping link: the scan's first attempt may
+    // fault, the retry completes, and QueryTiming carries the count.
+    let mut saw_retry = false;
+    for q in [
+        ColumnRef::new("crm", "accounts", "name"),
+        ColumnRef::new("crm", "leads", "company"),
+        ColumnRef::new("finance", "industries", "sector"),
+    ] {
+        let d = s.wg.discover(&q, 3).expect("discover over flaky link");
+        saw_retry |= d.timing.retries > 0;
+    }
+    assert!(saw_retry, "at least one cold query must have hit a fault and retried");
+}
+
+#[test]
+fn budget_exhaustion_fails_cleanly_and_stops_billing() {
+    // A dead link (every scan faults) behind a 2-attempt retry layer:
+    // indexing fails with RetriesExhausted, and the abort path keeps the
+    // run from hammering the dead backend for every remaining column.
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let inner: BackendHandle = connector.clone();
+    let dead: BackendHandle = Arc::new(FaultInjector::new(inner, FaultPlan::fail_every(1)));
+    let retry: BackendHandle = Arc::new(RetryBackend::new(
+        dead,
+        RetryPolicy { max_attempts: 2, base_delay_secs: 0.001, ..RetryPolicy::default() },
+    ));
+    let wg =
+        WarpGate::with_backend(WarpGateConfig { threads: 1, ..WarpGateConfig::default() }, retry);
+    let err = wg.index_warehouse().expect_err("a dead link cannot index");
+    assert!(matches!(err, StoreError::RetriesExhausted { attempts: 2, .. }), "got {err:?}");
+    assert_eq!(connector.costs().requests, 0, "no scan ever succeeded, none may bill");
+    assert_eq!(wg.len(), 0);
+}
