@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_bench::median;
 use wg_store::{BackendHandle, CdwConfig, CdwConnector, Column, ColumnRef, Table, Warehouse};
 
 const TABLES: usize = 32;
@@ -49,11 +50,6 @@ fn mutate_one_table(connector: &CdwConnector, generation: usize) {
         })
         .collect();
     connector.warehouse_mut().database_mut("db0").add_table(Table::new("t0", cols).unwrap());
-}
-
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
 }
 
 fn main() {

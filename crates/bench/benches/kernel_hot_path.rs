@@ -1,0 +1,343 @@
+//! Hot-path kernel bench (ISSUE 5): sign throughput, exact-re-rank
+//! throughput, embed latency, and allocations per warm discover.
+//!
+//! The "before" sides are live replicas of the pre-kernel implementations,
+//! measured in the same process on the same data:
+//!
+//! * **sign baseline** — hyperplanes in the old row-major `bits × dim`
+//!   layout, one strict scalar pass over the query per plane (the loop
+//!   `SimHasher::sign` used to run 128 times per signature);
+//! * **re-rank baseline** — stored vectors in a `FxHashMap<u32, Vec<f32>>`
+//!   pointer-chase, candidates collected into a fresh `FxHashSet` per
+//!   query, each candidate scored with the old fused strict-scalar cosine
+//!   (`wg_util::kernel::reference::cosine`).
+//!
+//! Both sides consume signatures from the same (new) hasher so the
+//! comparison isolates the layer under test; the bench asserts the two
+//! sides return identical top-k ids before timing anything.
+//!
+//! Allocation pressure is measured with `wg_bench::alloc` (the counting
+//! global allocator this binary registers): warm `discover` calls against
+//! a fully cached system pin the steady-state allocations per query.
+//!
+//! `WG_BENCH_QUICK=1` shrinks repetition counts for CI smoke runs and
+//! leaves `BENCH_core.json` untouched.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_bench::{median, merge_bench_section, xs_fixture};
+use wg_embed::{ColumnEmbedder, EmbeddingModel, MiniBertModel, WebTableConfig, WebTableModel};
+use wg_lsh::{LshParams, Signature, SimHashLshIndex, SimHasher};
+use wg_store::ColumnRef;
+use wg_util::hash::combine64;
+use wg_util::kernel::reference;
+use wg_util::rng::Rng64;
+use wg_util::{FxHashMap, FxHashSet, SplitMix64, TopK};
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: wg_bench::alloc::CountingAllocator = wg_bench::alloc::CountingAllocator;
+
+const DIM: usize = 128;
+const BITS: usize = 128;
+const SEED: u64 = 0x5747_4154 ^ 0x1DB5; // the default WarpGate index seed
+
+/// The pre-kernel LSH hot path, reconstructed faithfully for a live
+/// baseline: row-major planes, strict scalar signing, hash-map vector
+/// storage, hash-set candidate collection, fused scalar cosine.
+struct OldIndex {
+    planes: Vec<f32>, // bits × dim, row-major by plane
+    params: LshParams,
+    vectors: FxHashMap<u32, Vec<f32>>,
+    bands: Vec<FxHashMap<u64, Vec<u32>>>,
+}
+
+impl OldIndex {
+    fn new(params: LshParams, seed: u64) -> Self {
+        let bits = params.bits();
+        let mut planes = Vec::with_capacity(bits * DIM);
+        for b in 0..bits {
+            let mut rng = SplitMix64::new(combine64(seed, b as u64));
+            for _ in 0..DIM {
+                planes.push(rng.gen_gaussian() as f32);
+            }
+        }
+        Self {
+            planes,
+            params,
+            vectors: FxHashMap::default(),
+            bands: (0..params.bands).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    fn sign(&self, v: &[f32]) -> Signature {
+        let bits = self.params.bits();
+        let mut words = vec![0u64; bits.div_ceil(64)];
+        for b in 0..bits {
+            let plane = &self.planes[b * DIM..(b + 1) * DIM];
+            if reference::dot(v, plane) >= 0.0 {
+                words[b / 64] |= 1 << (b % 64);
+            }
+        }
+        Signature { words, bits }
+    }
+
+    fn insert(&mut self, id: u32, v: &[f32], sig: &Signature) {
+        for (band, buckets) in self.bands.iter_mut().enumerate() {
+            buckets.entry(sig.band_key(band, self.params.rows)).or_default().push(id);
+        }
+        self.vectors.insert(id, v.to_vec());
+    }
+
+    fn search_signed(&self, query: &[f32], sig: &Signature, k: usize) -> (Vec<(u32, f32)>, usize) {
+        let mut candidates = FxHashSet::default();
+        for (band, buckets) in self.bands.iter().enumerate() {
+            let key = sig.band_key(band, self.params.rows);
+            if let Some(ids) = buckets.get(&key) {
+                candidates.extend(ids.iter().copied());
+            }
+            // Probe 1, as the default WarpGate config enables.
+            if let Some(ids) = buckets.get(&(key ^ 1)) {
+                candidates.extend(ids.iter().copied());
+            }
+        }
+        let scored = candidates.len();
+        let mut topk = TopK::new(k);
+        for id in candidates {
+            topk.push(reference::cosine(query, &self.vectors[&id]) as f64, id);
+        }
+        (topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect(), scored)
+    }
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let reps = if quick { 3 } else { 20 };
+
+    // ---- corpus embeddings ------------------------------------------------
+    let (corpus, backend) = xs_fixture();
+    let config = WarpGateConfig::default();
+    let embedder = ColumnEmbedder::new(
+        Arc::new(WebTableModel::new(WebTableConfig {
+            dim: DIM,
+            seed: config.seed,
+            ..WebTableConfig::default()
+        })),
+        config.aggregation,
+    );
+    let mut vectors: Vec<Vec<f32>> = Vec::new();
+    for meta in backend.list_tables().expect("list_tables") {
+        for r in meta.column_refs() {
+            let col = backend.scan_column(&r, config.sample).expect("scan");
+            let v = embedder.embed_column(&col);
+            if !v.is_zero() {
+                vectors.push(v.0);
+            }
+        }
+    }
+    let queries: Vec<Vec<f32>> = corpus
+        .queries
+        .iter()
+        .map(|r| {
+            let col = backend.scan_column(r, config.sample).expect("scan query");
+            embedder.embed_column(&col).0
+        })
+        .filter(|v| v.iter().any(|&x| x != 0.0))
+        .collect();
+    assert!(!vectors.is_empty() && !queries.is_empty());
+
+    // ---- sign throughput --------------------------------------------------
+    let params = LshParams::for_threshold(config.lsh_threshold, BITS);
+    let hasher = SimHasher::new(DIM, params.bits(), SEED);
+    let mut old = OldIndex::new(params, SEED);
+    let mut index = SimHashLshIndex::new(DIM, params, SEED);
+    index.set_probes(1); // OldIndex::search_signed probes key^1, the default config
+    for (id, v) in vectors.iter().enumerate() {
+        let sig = hasher.sign(v);
+        old.insert(id as u32, v, &sig);
+        index.insert_signed(id as u32, v, sig);
+    }
+    // Ranking parity under the reassociation contract: rank-for-rank, ids
+    // must match unless the two candidates' cosines sit within float
+    // tolerance of each other (a genuine tie can legally order either way
+    // when strict-scalar and kernel rounding disagree by ~1e-6).
+    for q in &queries {
+        let sig = hasher.sign(q);
+        let (want, _) = old.search_signed(q, &sig, 10);
+        let (got, _) = index.search_signed_with_outcome(q, &sig, 10, |_| false);
+        assert_eq!(got.len(), want.len(), "arena re-rank returns a different candidate count");
+        for (rank, ((gid, gscore), (wid, wscore))) in got.iter().zip(&want).enumerate() {
+            assert!(
+                gid == wid || (gscore - wscore).abs() <= 1e-5,
+                "rank {rank}: arena gave {gid} ({gscore}), baseline gave {wid} ({wscore}) — \
+                 divergence beyond float-reassociation tolerance"
+            );
+        }
+    }
+
+    for (v, q) in vectors.iter().zip(&queries) {
+        black_box(hasher.sign(v));
+        black_box(old.sign(q));
+    }
+    let time_signs = |f: &dyn Fn(&[f32]) -> Signature| {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let sw = Instant::now();
+            for v in &vectors {
+                black_box(f(v));
+            }
+            samples.push(vectors.len() as f64 / sw.elapsed().as_secs_f64());
+        }
+        median(&mut samples)
+    };
+    let scalar_vps = time_signs(&|v| old.sign(v));
+    let kernel_vps = time_signs(&|v| hasher.sign(v));
+    println!(
+        "bench: kernel_hot_path/sign ... scalar {scalar_vps:.0} vec/s, kernel {kernel_vps:.0} vec/s ({:.1}x)",
+        kernel_vps / scalar_vps.max(1e-9)
+    );
+
+    // ---- re-rank throughput ----------------------------------------------
+    let sigs: Vec<Signature> = queries.iter().map(|q| hasher.sign(q)).collect();
+    let mut scored_total = 0usize;
+    for (q, sig) in queries.iter().zip(&sigs) {
+        let (_, o) = index.search_signed_with_outcome(q, sig, 10, |_| false);
+        scored_total += o.scored;
+        black_box(old.search_signed(q, sig, 10));
+    }
+    let mean_candidates = scored_total as f64 / queries.len() as f64;
+
+    let rerank_reps = reps * 20;
+    let time_rerank = |f: &dyn Fn(&[f32], &Signature) -> usize| {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut scored = 0usize;
+            let sw = Instant::now();
+            for _ in 0..rerank_reps {
+                for (q, sig) in queries.iter().zip(&sigs) {
+                    scored += f(q, sig);
+                }
+            }
+            samples.push(scored as f64 / sw.elapsed().as_secs_f64());
+        }
+        median(&mut samples)
+    };
+    let baseline_cps = time_rerank(&|q, sig| {
+        let (hits, scored) = old.search_signed(q, sig, 10);
+        black_box(hits);
+        scored
+    });
+    let arena_cps = time_rerank(&|q, sig| {
+        let (hits, o) = index.search_signed_with_outcome(q, sig, 10, |_| false);
+        black_box(hits);
+        o.scored
+    });
+    println!(
+        "bench: kernel_hot_path/rerank ... hashmap+scalar {baseline_cps:.0} cand/s, arena+kernel {arena_cps:.0} cand/s ({:.1}x, {mean_candidates:.1} cand/query)",
+        arena_cps / baseline_cps.max(1e-9)
+    );
+
+    // ---- embed latency ----------------------------------------------------
+    let bert = MiniBertModel::default_model();
+    let web = WebTableModel::default_model();
+    let texts: Vec<String> = (0..64).map(|i| format!("Sample Company {i} Incorporated")).collect();
+    for t in &texts {
+        black_box(bert.embed_text(t));
+        black_box(web.embed_text(t));
+    }
+    let time_embed = |f: &dyn Fn(&str) -> wg_embed::Vector| {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let sw = Instant::now();
+            for t in &texts {
+                black_box(f(t));
+            }
+            samples.push(sw.elapsed().as_secs_f64() / texts.len() as f64);
+        }
+        median(&mut samples)
+    };
+    let bert_us = time_embed(&|t| bert.embed_text(t)) * 1e6;
+    let web_us = time_embed(&|t| web.embed_text(t)) * 1e6;
+    println!("bench: kernel_hot_path/embed ... mini-bert {bert_us:.1} us/text, web-table {web_us:.2} us/text");
+
+    // ---- allocations per warm discover ------------------------------------
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), backend.clone());
+    wg.index_warehouse().expect("indexing");
+    let refs: Vec<ColumnRef> = corpus.queries.clone();
+    for q in &refs {
+        let d = wg.discover(q, 10).expect("cold discover");
+        black_box(d);
+    }
+    for q in &refs {
+        assert!(wg.discover(q, 10).expect("warm discover").timing.cache_hit);
+    }
+    let alloc_rounds = if quick { 3 } else { 50 };
+    #[cfg(feature = "alloc-count")]
+    let (allocs_per_discover, bytes_per_discover) = {
+        wg_bench::alloc::start();
+        for _ in 0..alloc_rounds {
+            for q in &refs {
+                black_box(wg.discover(q, 10).expect("warm discover"));
+            }
+        }
+        let (a, b) = wg_bench::alloc::stop();
+        let n = (alloc_rounds * refs.len()) as f64;
+        (a as f64 / n, b as f64 / n)
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let (allocs_per_discover, bytes_per_discover) = (-1.0f64, -1.0f64);
+    println!(
+        "bench: kernel_hot_path/allocs ... {allocs_per_discover:.1} allocations ({bytes_per_discover:.0} bytes) per warm discover"
+    );
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let section = format!(
+        r#"{{
+    "bench": "kernel_hot_path",
+    "generated_by": "cargo bench --bench kernel_hot_path",
+    "quick_mode": {quick},
+    "workload": {{
+      "corpus": "{name}",
+      "vectors": {nvec},
+      "dim": {DIM},
+      "bits": {BITS},
+      "queries": {nq},
+      "mean_candidates_per_query": {mean_candidates:.1},
+      "hardware_threads": {hw}
+    }},
+    "sign_throughput_vps": {{
+      "scalar_baseline": {scalar_vps:.0},
+      "kernel": {kernel_vps:.0},
+      "speedup": {sign_speedup:.2}
+    }},
+    "rerank_throughput_cps": {{
+      "hashmap_scalar_baseline": {baseline_cps:.0},
+      "arena_kernel": {arena_cps:.0},
+      "speedup": {rerank_speedup:.2}
+    }},
+    "embed_latency_us": {{
+      "mini_bert": {bert_us:.1},
+      "web_table": {web_us:.2}
+    }},
+    "warm_discover_allocations": {{
+      "allocations_per_query": {allocs_per_discover:.1},
+      "bytes_per_query": {bytes_per_discover:.0}
+    }}
+  }}"#,
+        name = corpus.name,
+        nvec = vectors.len(),
+        nq = queries.len(),
+        sign_speedup = kernel_vps / scalar_vps.max(1e-9),
+        rerank_speedup = arena_cps / baseline_cps.max(1e-9),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    if quick {
+        println!("bench: kernel_hot_path ... quick mode, not rewriting {path}");
+    } else {
+        merge_bench_section(path, "kernel_hot_path", &section);
+        println!("bench: kernel_hot_path ... section merged into {path}");
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use warpgate_core::{WarpGate, WarpGateConfig};
+use wg_bench::median;
 use wg_store::{
     BackendHandle, CdwConfig, CdwConnector, Column, CostSnapshot, FaultInjector, FaultPlan,
     RetryBackend, RetryPolicy, Table, Warehouse,
@@ -43,11 +44,6 @@ fn warehouse() -> Warehouse {
             .add_table(Table::new(format!("t{t}"), cols).unwrap());
     }
     w
-}
-
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
 }
 
 /// Time `reps` full index runs over `make_backend`'s stack; returns the

@@ -10,6 +10,9 @@ use std::sync::Arc;
 use wg_corpora::{build_testbed, Corpus, TestbedSpec};
 use wg_store::{BackendHandle, CdwConfig, CdwConnector};
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
+
 /// The XS testbed served through a free simulated-CDW backend — the
 /// standard bench fixture (fast to build, representative structure).
 pub fn xs_fixture() -> (Corpus, BackendHandle) {
@@ -25,6 +28,16 @@ pub fn xs_fixture_priced() -> (Corpus, BackendHandle) {
     let backend: BackendHandle =
         Arc::new(CdwConnector::new(corpus.warehouse.clone(), CdwConfig::default()));
     (corpus, backend)
+}
+
+/// Median of a sample set (sorts in place; the upper-middle element for
+/// even lengths). Shared by every custom-harness bench so summary
+/// statistics cannot silently diverge between them. Panics on empty
+/// input or NaN samples — both are bench bugs, not data conditions.
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN bench sample"));
+    samples[samples.len() / 2]
 }
 
 /// Merge one named top-level section into the repo's `BENCH_core.json`,

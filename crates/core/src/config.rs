@@ -101,7 +101,7 @@ impl WarpGateConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            wg_util::hardware_threads()
         }
     }
 
@@ -114,7 +114,7 @@ impl WarpGateConfig {
         if self.shards > 0 {
             self.shards
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            wg_util::hardware_threads()
         }
     }
 }

@@ -577,6 +577,19 @@ impl WarpGate {
         let backend = self.backend()?;
         // Validate the target exists before paying for a scan.
         backend.validate_column(query)?;
+        self.discover_validated(&backend, epoch, query, k)
+    }
+
+    /// [`Self::discover`] after validation — the shared body for single
+    /// queries and batch workers (which validate the whole batch up front
+    /// and must not re-pay a catalog lookup per query).
+    fn discover_validated(
+        &self,
+        backend: &BackendHandle,
+        epoch: u64,
+        query: &ColumnRef,
+        k: usize,
+    ) -> StoreResult<Discovery> {
         let mut timing = QueryTiming::default();
         let key = EmbeddingKey::new(
             query,
@@ -622,12 +635,30 @@ impl WarpGate {
         Ok(Discovery { query: query.clone(), candidates, timing, outcome })
     }
 
-    /// Batched discovery: answer many queries in one call, pipelining the
-    /// scan → embed phase over the worker pool while lookups proceed as
-    /// embeddings become ready. This is the warehouse-wide join-graph
-    /// workload: results come back in input order, and repeated or
-    /// previously seen query columns hit the embedding cache.
+    /// Batched discovery: answer many queries in one call, fanning the
+    /// scan → embed → lookup pipeline out over worker threads. This is the
+    /// warehouse-wide join-graph workload: results come back in input
+    /// order, and repeated or previously seen query columns hit the
+    /// embedding cache.
+    ///
+    /// Work is claimed in **chunks**, not dispatched per column: the batch
+    /// is cut into contiguous chunks a few per worker, workers claim the
+    /// next unclaimed chunk off one atomic counter, and the calling thread
+    /// claims alongside the spawned workers. Small batches therefore pay
+    /// `threads − 1` thread spawns and one atomic increment per *chunk*,
+    /// instead of two channel hops plus a scheduler wakeup per *query* —
+    /// the overhead that made batched discovery slower than a sequential
+    /// loop on small batches — while a chunk of slow cold scans cannot
+    /// gate the batch on one worker (the others drain the remaining
+    /// chunks). Queries are validated once, up front, and workers skip the
+    /// per-query catalog lookup. The configured `threads` value is
+    /// honored even past the hardware thread count: against a blocking
+    /// backend (e.g. a remote warehouse over TCP) oversubscription is
+    /// how in-flight scans overlap; the default (`threads == 0`)
+    /// resolves to one worker per hardware thread, which is right for
+    /// the in-process compute-bound backends.
     pub fn discover_batch(&self, queries: &[ColumnRef], k: usize) -> StoreResult<Vec<Discovery>> {
+        let epoch = self.run_epoch();
         let backend = self.backend()?;
         // Validate everything up front: one bad ref fails the batch before
         // any column is scanned (and billed).
@@ -636,47 +667,73 @@ impl WarpGate {
         }
         let threads = self.config.effective_threads().min(queries.len().max(1));
         if threads <= 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.discover(q, k)).collect();
+            return queries
+                .iter()
+                .map(|q| self.discover_validated(&backend, epoch, q, k))
+                .collect();
         }
 
-        let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, ColumnRef)>();
-        for (i, q) in queries.iter().enumerate() {
-            work_tx.send((i, q.clone())).expect("channel open");
-        }
-        drop(work_tx);
-        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, StoreResult<Discovery>)>();
+        // ~4 chunks per worker: coarse enough that claiming stays
+        // negligible, fine enough that a straggling chunk rebalances.
+        let chunk = queries.len().div_ceil(threads * 4).max(1);
+        let chunks: Vec<&[ColumnRef]> = queries.chunks(chunk).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let abort = std::sync::atomic::AtomicBool::new(false);
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let work_rx = work_rx.clone();
-                let done_tx = done_tx.clone();
-                let abort = &abort;
-                scope.spawn(move || {
-                    for (i, q) in work_rx.iter() {
-                        if abort.load(std::sync::atomic::Ordering::Relaxed) {
-                            break;
-                        }
-                        if done_tx.send((i, self.discover(&q, k))).is_err() {
-                            break;
+        // Each worker claims chunks until none are left (or a failure
+        // elsewhere raises the abort flag, so nobody keeps pulling — and
+        // billing — remaining columns) and returns its chunk results for
+        // the in-order scatter below.
+        let run = || -> StoreResult<Vec<(usize, Vec<Discovery>)>> {
+            let mut produced = Vec::new();
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(qs) = chunks.get(i) else {
+                    return Ok(produced);
+                };
+                let mut out = Vec::with_capacity(qs.len());
+                for q in *qs {
+                    if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Ok(produced);
+                    }
+                    match self.discover_validated(&backend, epoch, q, k) {
+                        Ok(d) => out.push(d),
+                        Err(e) => {
+                            abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                            return Err(e);
                         }
                     }
-                });
+                }
+                produced.push((i, out));
             }
-            drop(done_tx);
+        };
 
-            let mut slots: Vec<Option<Discovery>> = (0..queries.len()).map(|_| None).collect();
-            for (i, result) in done_rx.iter() {
-                match result {
-                    Ok(d) => slots[i] = Some(d),
+        let mut slots: Vec<Option<Discovery>> = (0..queries.len()).map(|_| None).collect();
+        let first_error = std::thread::scope(|scope| {
+            let run = &run;
+            let handles: Vec<_> = (1..threads).map(|_| scope.spawn(run)).collect();
+            let mut err = None;
+            for outcome in std::iter::once(run())
+                .chain(handles.into_iter().map(|h| h.join().expect("batch worker panicked")))
+            {
+                match outcome {
+                    Ok(produced) => {
+                        for (i, out) in produced {
+                            for (j, d) in out.into_iter().enumerate() {
+                                slots[i * chunk + j] = Some(d);
+                            }
+                        }
+                    }
                     Err(e) => {
-                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                        return Err(e);
+                        err.get_or_insert(e);
                     }
                 }
             }
-            Ok(slots.into_iter().map(|d| d.expect("all slots filled")).collect())
-        })
+            err
+        });
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(slots.into_iter().map(|d| d.expect("all slots filled")).collect())
     }
 
     /// Ad-hoc discovery from raw values (no warehouse column backing the

@@ -15,6 +15,7 @@
 //! needs (see DESIGN.md §1 for the substitution argument).
 
 use wg_util::hash::combine64;
+use wg_util::kernel::{self, scratch};
 use wg_util::rng::Rng64;
 use wg_util::SplitMix64;
 
@@ -80,18 +81,12 @@ impl Matrix {
         m
     }
 
-    /// `out = x · M` for a row vector `x` (len == rows).
+    /// `out = x · M` for a row vector `x` (len == rows), via the shared
+    /// blocked GEMV kernel.
     fn apply(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.rows);
         debug_assert_eq!(out.len(), self.cols);
-        out.fill(0.0);
-        // Row-major walk: out += x[r] * row_r, contiguous and vectorizable.
-        for (r, &xv) in x.iter().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (o, &w) in out.iter_mut().zip(row) {
-                *o += xv * w;
-            }
-        }
+        kernel::gemv(x, &self.data, self.cols, out);
     }
 }
 
@@ -109,8 +104,8 @@ pub struct MiniBertModel {
     config: MiniBertConfig,
     token_embedder: WebTableModel,
     layers: Vec<EncoderLayer>,
-    /// Sinusoidal positional encodings, pre-scaled.
-    positions: Vec<Vec<f32>>,
+    /// Sinusoidal positional encodings, pre-scaled, flat `max_seq × dim`.
+    positions: Vec<f32>,
 }
 
 impl MiniBertModel {
@@ -135,17 +130,16 @@ impl MiniBertModel {
             .collect();
 
         // Standard sinusoidal positions, scaled down so word identity
-        // dominates position.
+        // dominates position. Stored flat so the forward pass can add them
+        // with one contiguous axpy per token.
         let pos_scale = 0.05f32;
         let positions = (0..config.max_seq)
-            .map(|p| {
-                (0..d)
-                    .map(|i| {
-                        let rate = 10_000f32.powf(-((i / 2 * 2) as f32) / d as f32);
-                        let angle = p as f32 * rate;
-                        pos_scale * if i % 2 == 0 { angle.sin() } else { angle.cos() }
-                    })
-                    .collect()
+            .flat_map(|p| {
+                (0..d).map(move |i| {
+                    let rate = 10_000f32.powf(-((i / 2 * 2) as f32) / d as f32);
+                    let angle = p as f32 * rate;
+                    pos_scale * if i % 2 == 0 { angle.sin() } else { angle.cos() }
+                })
             })
             .collect();
 
@@ -180,50 +174,50 @@ impl MiniBertModel {
         0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh())
     }
 
-    /// Full encoder forward pass over a sequence of token vectors.
-    fn forward(&self, mut seq: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    /// Full encoder forward pass over `n` token vectors stored flat in
+    /// `seq` (`n × dim`, updated in place).
+    ///
+    /// All intermediate state lives in thread-local scratch buffers and
+    /// all matrix work goes through the blocked GEMV kernel, so a warm
+    /// forward pass performs no heap allocation.
+    fn forward_flat(&self, seq: &mut [f32], n: usize) {
         let d = self.config.dim;
         let heads = self.config.heads;
         let dh = d / heads;
-        let n = seq.len();
+        debug_assert_eq!(seq.len(), n * d);
 
         // Add positional encodings.
-        for (i, x) in seq.iter_mut().enumerate() {
-            for (v, p) in x.iter_mut().zip(&self.positions[i]) {
-                *v += p;
-            }
+        for i in 0..n {
+            kernel::axpy(&mut seq[i * d..(i + 1) * d], 1.0, &self.positions[i * d..(i + 1) * d]);
         }
 
-        let mut q = vec![vec![0.0f32; d]; n];
-        let mut k = vec![vec![0.0f32; d]; n];
-        let mut v = vec![vec![0.0f32; d]; n];
-        let mut attn_out = vec![vec![0.0f32; d]; n];
-        let mut proj = vec![0.0f32; d];
-        let mut ffn_hidden = vec![0.0f32; d * self.config.ffn_mult];
+        let mut q = scratch::take_f32(n * d);
+        let mut k = scratch::take_f32(n * d);
+        let mut v = scratch::take_f32(n * d);
+        let mut attn_out = scratch::take_f32(n * d);
+        let mut proj = scratch::take_f32(d);
+        let mut ffn_hidden = scratch::take_f32(d * self.config.ffn_mult);
+        let mut scores = scratch::take_f32(n);
 
         for layer in &self.layers {
             // Projections.
             for i in 0..n {
-                layer.wq.apply(&seq[i], &mut q[i]);
-                layer.wk.apply(&seq[i], &mut k[i]);
-                layer.wv.apply(&seq[i], &mut v[i]);
+                let x = &seq[i * d..(i + 1) * d];
+                layer.wq.apply(x, &mut q[i * d..(i + 1) * d]);
+                layer.wk.apply(x, &mut k[i * d..(i + 1) * d]);
+                layer.wv.apply(x, &mut v[i * d..(i + 1) * d]);
             }
             // Scaled dot-product attention, per head.
             let scale = 1.0 / (dh as f32).sqrt();
             for i in 0..n {
-                attn_out[i].fill(0.0);
+                attn_out[i * d..(i + 1) * d].fill(0.0);
                 for h in 0..heads {
                     let hs = h * dh;
                     // Scores against every position.
-                    let mut scores: Vec<f32> = (0..n)
-                        .map(|j| {
-                            let mut s = 0.0;
-                            for t in 0..dh {
-                                s += q[i][hs + t] * k[j][hs + t];
-                            }
-                            s * scale
-                        })
-                        .collect();
+                    let qi = &q[i * d + hs..i * d + hs + dh];
+                    for j in 0..n {
+                        scores[j] = kernel::dot(qi, &k[j * d + hs..j * d + hs + dh]) * scale;
+                    }
                     // Softmax.
                     let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                     let mut total = 0.0;
@@ -232,35 +226,40 @@ impl MiniBertModel {
                         total += *s;
                     }
                     for (j, s) in scores.iter().enumerate() {
-                        let w = s / total;
-                        for t in 0..dh {
-                            attn_out[i][hs + t] += w * v[j][hs + t];
-                        }
+                        kernel::axpy(
+                            &mut attn_out[i * d + hs..i * d + hs + dh],
+                            s / total,
+                            &v[j * d + hs..j * d + hs + dh],
+                        );
                     }
                 }
             }
             // Output projection + residual + LN; then FFN + residual + LN.
             for i in 0..n {
-                layer.wo.apply(&attn_out[i], &mut proj);
-                for (x, p) in seq[i].iter_mut().zip(&proj) {
-                    // Residual dominates: attention contributes at half
-                    // weight so the encoder smooths rather than scrambles.
-                    *x += 0.5 * p;
-                }
-                Self::layer_norm(&mut seq[i]);
+                let x = &mut seq[i * d..(i + 1) * d];
+                layer.wo.apply(&attn_out[i * d..(i + 1) * d], &mut proj);
+                // Residual dominates: attention contributes at half weight
+                // so the encoder smooths rather than scrambles.
+                kernel::axpy(x, 0.5, &proj);
+                Self::layer_norm(x);
 
-                layer.w1.apply(&seq[i], &mut ffn_hidden);
+                layer.w1.apply(x, &mut ffn_hidden);
                 for h in ffn_hidden.iter_mut() {
                     *h = Self::gelu(*h);
                 }
                 layer.w2.apply(&ffn_hidden, &mut proj);
-                for (x, p) in seq[i].iter_mut().zip(&proj) {
-                    *x += p;
-                }
-                Self::layer_norm(&mut seq[i]);
+                kernel::axpy(x, 1.0, &proj);
+                Self::layer_norm(x);
             }
         }
-        seq
+
+        scratch::put_f32(scores);
+        scratch::put_f32(ffn_hidden);
+        scratch::put_f32(proj);
+        scratch::put_f32(attn_out);
+        scratch::put_f32(v);
+        scratch::put_f32(k);
+        scratch::put_f32(q);
     }
 }
 
@@ -277,20 +276,21 @@ impl EmbeddingModel for MiniBertModel {
         if tokens.is_empty() {
             return Vector::zeros(self.config.dim);
         }
-        let seq: Vec<Vec<f32>> = tokens
-            .iter()
-            .take(self.config.max_seq)
-            .map(|t| self.token_embedder.token_vector(t).0)
-            .collect();
-        let out = self.forward(seq);
-        // Mean pool + normalize.
-        let mut pooled = Vector::zeros(self.config.dim);
-        for x in &out {
-            for (p, v) in pooled.0.iter_mut().zip(x) {
-                *p += v;
-            }
+        let d = self.config.dim;
+        let n = tokens.len().min(self.config.max_seq);
+        let mut seq = scratch::take_f32(n * d);
+        for (i, t) in tokens.iter().take(n).enumerate() {
+            self.token_embedder.token_vector_into(t, &mut seq[i * d..(i + 1) * d]);
         }
-        pooled.scale(1.0 / out.len() as f32);
+        self.forward_flat(&mut seq, n);
+        // Mean pool + normalize. The pooled output is the only per-embed
+        // allocation; everything upstream ran on scratch buffers.
+        let mut pooled = Vector::zeros(d);
+        for i in 0..n {
+            kernel::axpy(&mut pooled.0, 1.0, &seq[i * d..(i + 1) * d]);
+        }
+        scratch::put_f32(seq);
+        pooled.scale(1.0 / n as f32);
         pooled.normalize();
         pooled
     }

@@ -2,7 +2,10 @@
 //!
 //! A thin wrapper over `Vec<f32>` with the operations the pipelines need:
 //! dot, L2 norm, cosine, in-place scaled accumulation and normalization.
-//! Loops are written over exact-size slices so LLVM auto-vectorizes them.
+//! All arithmetic routes through the shared `wg_util::kernel` layer, so
+//! every caller gets the same 8-lane vectorized loops.
+
+use wg_util::kernel;
 
 /// A dense embedding vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,12 +31,12 @@ impl Vector {
     /// not a data condition).
     pub fn dot(&self, other: &Vector) -> f32 {
         assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
-        dot_slices(&self.0, &other.0)
+        kernel::dot(&self.0, &other.0)
     }
 
     /// Euclidean norm.
     pub fn norm(&self) -> f32 {
-        dot_slices(&self.0, &self.0).sqrt()
+        kernel::norm_sq(&self.0).sqrt()
     }
 
     /// Cosine similarity in `[-1, 1]`; zero vectors yield 0.0.
@@ -48,16 +51,12 @@ impl Vector {
     /// `self += weight * other`.
     pub fn add_scaled(&mut self, other: &Vector, weight: f32) {
         assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a += weight * b;
-        }
+        kernel::axpy(&mut self.0, weight, &other.0);
     }
 
     /// Scale all components in place.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.0 {
-            *a *= s;
-        }
+        kernel::scale(&mut self.0, s);
     }
 
     /// Normalize to unit length in place; zero vectors are left unchanged.
@@ -80,25 +79,6 @@ impl Vector {
     pub fn is_zero(&self) -> bool {
         self.0.iter().all(|&x| x == 0.0)
     }
-}
-
-#[inline]
-fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
-    // Process in chunks of 8 to expose independent accumulators to the
-    // auto-vectorizer; the remainder is handled scalar.
-    let mut chunks_a = a.chunks_exact(8);
-    let mut chunks_b = b.chunks_exact(8);
-    let mut acc = [0.0f32; 8];
-    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        for i in 0..8 {
-            acc[i] += ca[i] * cb[i];
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        sum += x * y;
-    }
-    sum
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 
 use parking_lot::RwLock;
 use wg_util::hash::combine64;
+use wg_util::kernel;
 use wg_util::rng::Rng64;
 use wg_util::{FxHashMap, SplitMix64};
 
@@ -117,15 +118,27 @@ impl WebTableModel {
 
     /// Vector for one token, via the cache.
     pub fn token_vector(&self, token: &str) -> Vector {
+        let mut v = Vector::zeros(self.config.dim);
+        self.token_vector_into(token, &mut v.0);
+        v
+    }
+
+    /// [`Self::token_vector`] written into a caller-provided slice (length
+    /// `dim`). On a cache hit this is a map read plus one `memcpy` — no
+    /// heap allocation — which is what makes warm embedding passes
+    /// allocation-free.
+    pub fn token_vector_into(&self, token: &str, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.config.dim);
         if let Some(v) = self.cache.read().get(token) {
-            return v.clone();
+            out.copy_from_slice(&v.0);
+            return;
         }
         let v = self.compute_token(token);
+        out.copy_from_slice(&v.0);
         let mut cache = self.cache.write();
         if cache.len() < self.config.cache_capacity {
-            cache.insert(token.to_string(), v.clone());
+            cache.insert(token.to_string(), v);
         }
-        v
     }
 }
 
@@ -143,10 +156,15 @@ impl EmbeddingModel for WebTableModel {
         if tokens.is_empty() {
             return acc;
         }
+        // One reusable scratch slot per thread: warm token vectors copy
+        // into it and accumulate via the axpy kernel instead of cloning a
+        // fresh Vec per token.
+        let mut tmp = kernel::scratch::take_f32(self.config.dim);
         for t in tokens {
-            let v = self.token_vector(t);
-            acc.add_scaled(&v, 1.0);
+            self.token_vector_into(t, &mut tmp);
+            kernel::axpy(&mut acc.0, 1.0, &tmp);
         }
+        kernel::scratch::put_f32(tmp);
         acc.normalize();
         acc
     }

@@ -1,0 +1,212 @@
+//! A contiguous slab of same-dimension vectors keyed by [`ItemId`].
+//!
+//! The LSH index used to keep its stored vectors in a
+//! `FxHashMap<ItemId, Vec<f32>>` — every exact-cosine re-rank chased a
+//! pointer per candidate into a heap allocation placed wherever the
+//! allocator felt like it. [`VectorArena`] stores all vectors back-to-back
+//! in one `Vec<f32>` (`slot × dim` addressing) with an id → slot map and a
+//! free-list: re-ranking a sorted slot list streams cache-line-sequential
+//! memory, removals recycle slots without shifting anything, and per-slot
+//! L2 norms are maintained on insert so cosine scoring is one dot product
+//! per candidate instead of a dot plus two norm passes.
+
+use wg_util::kernel;
+use wg_util::FxHashMap;
+
+use crate::ItemId;
+
+/// Contiguous vector storage with slot reuse. No `Default`: a zero-dim
+/// arena is meaningless, so construction goes through [`Self::new`],
+/// which enforces `dim > 0`.
+#[derive(Debug, Clone)]
+pub struct VectorArena {
+    dim: usize,
+    /// Slot-major slab: slot `s` occupies `data[s*dim .. (s+1)*dim]`.
+    data: Vec<f32>,
+    /// Per-slot L2 norm (0.0 for free slots).
+    norms: Vec<f32>,
+    /// Per-slot owner; `None` marks a free slot.
+    ids: Vec<Option<ItemId>>,
+    slot_of: FxHashMap<ItemId, u32>,
+    /// Recyclable slots, popped LIFO on insert.
+    free: Vec<u32>,
+}
+
+impl VectorArena {
+    /// An empty arena for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            dim,
+            data: Vec::new(),
+            norms: Vec::new(),
+            ids: Vec::new(),
+            slot_of: FxHashMap::default(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live vectors.
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// True when no vector is stored.
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
+    /// Number of slots (live + free) — the iteration bound for slot-order
+    /// scans.
+    pub fn slot_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Insert (or overwrite in place) the vector for `id`; returns its
+    /// slot. Panics on dimension mismatch — validation happens above.
+    pub fn insert(&mut self, id: ItemId, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        let slot = match self.slot_of.get(&id) {
+            Some(&s) => s,
+            None => {
+                let s = match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        let s = self.ids.len() as u32;
+                        self.ids.push(None);
+                        self.norms.push(0.0);
+                        self.data.resize(self.data.len() + self.dim, 0.0);
+                        s
+                    }
+                };
+                self.slot_of.insert(id, s);
+                self.ids[s as usize] = Some(id);
+                s
+            }
+        };
+        let start = slot as usize * self.dim;
+        self.data[start..start + self.dim].copy_from_slice(vector);
+        self.norms[slot as usize] = kernel::norm_sq(vector).sqrt();
+        slot
+    }
+
+    /// Remove `id`, recycling its slot; true if it was present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        let Some(slot) = self.slot_of.remove(&id) else {
+            return false;
+        };
+        self.ids[slot as usize] = None;
+        self.norms[slot as usize] = 0.0;
+        self.free.push(slot);
+        true
+    }
+
+    /// The slot holding `id`, if present.
+    #[inline]
+    pub fn slot(&self, id: ItemId) -> Option<u32> {
+        self.slot_of.get(&id).copied()
+    }
+
+    /// The stored vector for `id`, if present.
+    pub fn get(&self, id: ItemId) -> Option<&[f32]> {
+        self.slot(id).map(|s| self.vector_at(s))
+    }
+
+    /// The vector stored at `slot` (garbage for free slots — pair with
+    /// [`Self::id_at`]).
+    #[inline]
+    pub fn vector_at(&self, slot: u32) -> &[f32] {
+        let start = slot as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// The L2 norm of the vector at `slot` (0.0 for free slots).
+    #[inline]
+    pub fn norm_at(&self, slot: u32) -> f32 {
+        self.norms[slot as usize]
+    }
+
+    /// The id owning `slot`, or `None` for a free slot.
+    #[inline]
+    pub fn id_at(&self, slot: u32) -> Option<ItemId> {
+        self.ids[slot as usize]
+    }
+
+    /// Iterate live `(id, vector)` pairs in slot order (ascending memory
+    /// addresses — the streaming-friendly order).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &[f32])> {
+        self.ids.iter().enumerate().filter_map(move |(s, id)| {
+            id.map(|id| (id, &self.data[s * self.dim..(s + 1) * self.dim]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_norm() {
+        let mut a = VectorArena::new(2);
+        assert!(a.is_empty());
+        let s = a.insert(7, &[3.0, 4.0]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(7), Some(&[3.0, 4.0][..]));
+        assert_eq!(a.norm_at(s), 5.0);
+        assert_eq!(a.id_at(s), Some(7));
+    }
+
+    #[test]
+    fn overwrite_keeps_slot() {
+        let mut a = VectorArena::new(2);
+        let s1 = a.insert(1, &[1.0, 0.0]);
+        let s2 = a.insert(1, &[0.0, 2.0]);
+        assert_eq!(s1, s2, "replacement must reuse the slot");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(1), Some(&[0.0, 2.0][..]));
+        assert_eq!(a.norm_at(s2), 2.0);
+    }
+
+    #[test]
+    fn remove_recycles_slots_lifo() {
+        let mut a = VectorArena::new(1);
+        let s0 = a.insert(10, &[1.0]);
+        let s1 = a.insert(11, &[2.0]);
+        assert!(a.remove(10));
+        assert!(!a.remove(10));
+        assert_eq!(a.id_at(s0), None);
+        assert_eq!(a.norm_at(s0), 0.0);
+        // The freed slot is reused before the slab grows.
+        let s2 = a.insert(12, &[3.0]);
+        assert_eq!(s2, s0);
+        assert_eq!(a.slot_count(), 2);
+        assert_eq!(a.slot(11), Some(s1));
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered_and_skips_free() {
+        let mut a = VectorArena::new(1);
+        for id in [5u32, 3, 9, 1] {
+            a.insert(id, &[id as f32]);
+        }
+        a.remove(9);
+        let got: Vec<ItemId> = a.iter().map(|(id, _)| id).collect();
+        // Insertion filled slots 0..4 in call order; slot 2 (id 9) is free.
+        assert_eq!(got, vec![5, 3, 1]);
+        // Reinsertion lands in the freed middle slot.
+        a.insert(9, &[9.0]);
+        let got: Vec<ItemId> = a.iter().map(|(id, _)| id).collect();
+        assert_eq!(got, vec![5, 3, 9, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        VectorArena::new(3).insert(0, &[1.0]);
+    }
+}

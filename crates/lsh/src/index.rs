@@ -7,8 +7,10 @@
 //! WarpGate track CDWs with high update rates without rebuild storms.
 
 use wg_util::codec::{self, CodecError, CodecResult};
-use wg_util::{FxHashMap, FxHashSet, TopK};
+use wg_util::kernel::{self, scratch};
+use wg_util::{FxHashMap, TopK};
 
+use crate::arena::VectorArena;
 use crate::params::LshParams;
 use crate::simhash::{Signature, SimHasher};
 use crate::ItemId;
@@ -33,8 +35,9 @@ pub struct SimHashLshIndex {
     params: LshParams,
     /// Extra single-bit-flip probes per band (0 = plain LSH).
     probes: usize,
-    /// Stored vectors for exact re-ranking.
-    vectors: FxHashMap<ItemId, Vec<f32>>,
+    /// Stored vectors in one contiguous slab; exact re-ranking streams
+    /// this in slot order.
+    vectors: VectorArena,
     /// Stored signatures (needed for removal and persistence).
     signatures: FxHashMap<ItemId, Signature>,
     /// One bucket map per band: band key -> ids.
@@ -50,7 +53,7 @@ impl SimHashLshIndex {
             hasher,
             params,
             probes: 0,
-            vectors: FxHashMap::default(),
+            vectors: VectorArena::new(dim),
             signatures: FxHashMap::default(),
             bands: (0..params.bands).map(|_| FxHashMap::default()).collect(),
         }
@@ -98,7 +101,7 @@ impl SimHashLshIndex {
 
     /// Iterate over the stored `(id, vector)` pairs in arbitrary order.
     pub fn items(&self) -> impl Iterator<Item = (ItemId, &[f32])> {
-        self.vectors.iter().map(|(&id, v)| (id, v.as_slice()))
+        self.vectors.iter()
     }
 
     /// Number of stored items.
@@ -136,7 +139,7 @@ impl SimHashLshIndex {
             let key = sig.band_key(band, self.params.rows);
             buckets.entry(key).or_default().push(id);
         }
-        self.vectors.insert(id, vector.to_vec());
+        self.vectors.insert(id, vector);
         self.signatures.insert(id, sig);
     }
 
@@ -145,7 +148,7 @@ impl SimHashLshIndex {
         let Some(sig) = self.signatures.remove(&id) else {
             return false;
         };
-        self.vectors.remove(&id);
+        self.vectors.remove(id);
         for (band, buckets) in self.bands.iter_mut().enumerate() {
             let key = sig.band_key(band, self.params.rows);
             if let Some(ids) = buckets.get_mut(&key) {
@@ -160,32 +163,43 @@ impl SimHashLshIndex {
 
     /// The stored vector for an id, if present.
     pub fn vector(&self, id: ItemId) -> Option<&[f32]> {
-        self.vectors.get(&id).map(|v| v.as_slice())
+        self.vectors.get(id)
     }
 
     /// Collect the candidate set for a query vector (union of band buckets,
-    /// plus multi-probe flips when enabled).
-    pub fn candidates(&self, query: &[f32]) -> FxHashSet<ItemId> {
+    /// plus multi-probe flips when enabled). Returns ids sorted ascending.
+    pub fn candidates(&self, query: &[f32]) -> Vec<ItemId> {
         self.candidates_signed(&self.hasher.sign(query))
     }
 
     /// [`Self::candidates`] from a precomputed signature (must come from a
     /// hasher with this index's geometry and seed).
-    pub fn candidates_signed(&self, sig: &Signature) -> FxHashSet<ItemId> {
-        let mut out = FxHashSet::default();
+    pub fn candidates_signed(&self, sig: &Signature) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        self.candidates_signed_into(sig, &mut out);
+        out
+    }
+
+    /// [`Self::candidates_signed`] into a caller-provided buffer (cleared
+    /// first): band-bucket hits are appended raw, then sorted and deduped
+    /// in place — no per-query hash-set allocation. The search path feeds
+    /// this a thread-local scratch buffer.
+    pub fn candidates_signed_into(&self, sig: &Signature, out: &mut Vec<ItemId>) {
+        out.clear();
         for (band, buckets) in self.bands.iter().enumerate() {
             let key = sig.band_key(band, self.params.rows);
             if let Some(ids) = buckets.get(&key) {
-                out.extend(ids.iter().copied());
+                out.extend_from_slice(ids);
             }
             for flip in 0..self.probes {
                 let probe_key = key ^ (1u64 << flip);
                 if let Some(ids) = buckets.get(&probe_key) {
-                    out.extend(ids.iter().copied());
+                    out.extend_from_slice(ids);
                 }
             }
         }
-        out
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Top-k search: LSH candidate generation then exact cosine re-rank.
@@ -212,6 +226,11 @@ impl SimHashLshIndex {
 
     /// [`Self::search_with_outcome`] from a precomputed signature, so a
     /// sharded fan-out pays the signing cost once instead of per shard.
+    ///
+    /// Candidates collect into a reusable sorted-dedup scratch buffer,
+    /// map to arena slots, and are scored in ascending-slot order so the
+    /// exact re-rank streams the vector slab sequentially. The query norm
+    /// is computed once; stored norms come precomputed from the arena.
     pub fn search_signed_with_outcome(
         &self,
         query: &[f32],
@@ -219,38 +238,62 @@ impl SimHashLshIndex {
         k: usize,
         exclude: impl Fn(ItemId) -> bool,
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
-        let candidates = self.candidates_signed(sig);
+        let mut candidates = scratch::take_ids();
+        self.candidates_signed_into(sig, &mut candidates);
         let total = candidates.len();
-        let mut topk = TopK::new(k);
-        let mut scored = 0usize;
-        for id in candidates {
+        let qnorm = kernel::norm_sq(query).sqrt();
+        let mut slots = scratch::take_ids();
+        for &id in &candidates {
             if exclude(id) {
                 continue;
             }
-            scored += 1;
-            let v = &self.vectors[&id];
-            topk.push(cosine(query, v) as f64, id);
+            slots.push(self.vectors.slot(id).expect("bucketed id must be stored"));
         }
+        let scored = slots.len();
+        slots.sort_unstable();
+        let mut topk = TopK::new(k);
+        for &slot in &slots {
+            let id = self.vectors.id_at(slot).expect("live slot");
+            topk.push(self.score_slot(query, qnorm, slot) as f64, id);
+        }
+        scratch::put_ids(slots);
+        scratch::put_ids(candidates);
         let results = topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
         (results, SearchOutcome { candidates: total, scored })
     }
 
     /// Exact search over *all* stored vectors (ignores the LSH buckets) —
-    /// the ANN-quality reference used in ablations.
+    /// the ANN-quality reference used in ablations. Streams the arena in
+    /// slot order.
     pub fn search_exact(
         &self,
         query: &[f32],
         k: usize,
         exclude: impl Fn(ItemId) -> bool,
     ) -> Vec<(ItemId, f32)> {
+        let qnorm = kernel::norm_sq(query).sqrt();
         let mut topk = TopK::new(k);
-        for (&id, v) in &self.vectors {
+        for slot in 0..self.vectors.slot_count() as u32 {
+            let Some(id) = self.vectors.id_at(slot) else {
+                continue;
+            };
             if exclude(id) {
                 continue;
             }
-            topk.push(cosine(query, v) as f64, id);
+            topk.push(self.score_slot(query, qnorm, slot) as f64, id);
         }
         topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect()
+    }
+
+    /// Exact cosine of the query against one arena slot: a single kernel
+    /// dot over contiguous memory, divided by the precomputed norms.
+    #[inline]
+    fn score_slot(&self, query: &[f32], qnorm: f32, slot: u32) -> f32 {
+        let denom = qnorm * self.vectors.norm_at(slot);
+        if denom <= f32::MIN_POSITIVE {
+            return 0.0;
+        }
+        (kernel::dot(query, self.vectors.vector_at(slot)) / denom).clamp(-1.0, 1.0)
     }
 
     /// Bucket-occupancy statistics: `(num_buckets, max_bucket, mean_bucket)`
@@ -280,12 +323,14 @@ impl SimHashLshIndex {
         codec::put_u64(buf, self.hasher.seed());
         codec::put_u32(buf, self.probes as u32);
         codec::put_len(buf, self.vectors.len());
-        // Deterministic output: sort by id.
-        let mut ids: Vec<ItemId> = self.vectors.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
+        // Deterministic output: sort by id. The byte layout is unchanged
+        // across the HashMap → arena migration, so old snapshots load and
+        // new snapshots load into old readers.
+        let mut items: Vec<(ItemId, &[f32])> = self.vectors.iter().collect();
+        items.sort_unstable_by_key(|(id, _)| *id);
+        for (id, v) in items {
             codec::put_u32(buf, id);
-            codec::put_f32_slice(buf, &self.vectors[&id]);
+            codec::put_f32_slice(buf, v);
         }
     }
 
@@ -315,24 +360,6 @@ impl SimHashLshIndex {
             index.insert(id, &v);
         }
         Ok(index)
-    }
-}
-
-#[inline]
-fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let mut dot = 0.0f32;
-    let mut na = 0.0f32;
-    let mut nb = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    let denom = (na * nb).sqrt();
-    if denom <= f32::MIN_POSITIVE {
-        0.0
-    } else {
-        (dot / denom).clamp(-1.0, 1.0)
     }
 }
 
@@ -454,7 +481,7 @@ mod tests {
         for id in 20..320 {
             index.insert(id, &random_unit(64, &mut rng));
         }
-        let lsh: FxHashSet<ItemId> =
+        let lsh: wg_util::FxHashSet<ItemId> =
             index.search(&base, 20, |_| false).into_iter().map(|(id, _)| id).collect();
         let exact: Vec<ItemId> =
             index.search_exact(&base, 20, |_| false).into_iter().map(|(id, _)| id).collect();

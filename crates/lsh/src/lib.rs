@@ -10,6 +10,10 @@
 //! This crate provides:
 //!
 //! * [`simhash`] — signature generation and Hamming/cosine estimation;
+//!   hyperplanes live in one contiguous transposed matrix signed in a
+//!   single blocked GEMV pass (`wg_util::kernel`);
+//! * [`arena`] — the contiguous [`VectorArena`] slab backing exact
+//!   re-ranking (id → slot map, free-list slot reuse, precomputed norms);
 //! * [`params`] — derivation of `(bands, rows)` from a target threshold;
 //! * [`index`] — the banded [`SimHashLshIndex`] with exact cosine
 //!   re-ranking, optional multi-probe, incremental insert/remove, and
@@ -24,6 +28,7 @@
 //! * [`pivot`] — the §5.2.3 "block-and-verify" alternative: exact top-k
 //!   with triangle-inequality pruning against pivot vectors.
 
+pub mod arena;
 pub mod exact;
 pub mod index;
 pub mod minhash;
@@ -32,6 +37,7 @@ pub mod pivot;
 pub mod shard;
 pub mod simhash;
 
+pub use arena::VectorArena;
 pub use exact::ExactIndex;
 pub use index::{SearchOutcome, SimHashLshIndex};
 pub use minhash::{MinHashLshIndex, MinHashSignature, MinHasher};

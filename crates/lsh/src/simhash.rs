@@ -7,6 +7,7 @@
 //! an unbiased estimator of their angle.
 
 use wg_util::hash::combine64;
+use wg_util::kernel::{self, scratch};
 use wg_util::rng::Rng64;
 use wg_util::SplitMix64;
 
@@ -59,23 +60,30 @@ impl Signature {
 pub struct SimHasher {
     dim: usize,
     bits: usize,
-    /// Hyperplanes stored row-major: `bits × dim`.
-    planes: Vec<f32>,
+    /// Hyperplanes stored **transposed** as one contiguous `dim × bits`
+    /// row-major matrix: `planes_t[d * bits + b]` is component `d` of
+    /// hyperplane `b`. This layout lets [`Self::sign`] compute all `bits`
+    /// projections in a single blocked GEMV pass over the query (one pass
+    /// over the data instead of one per plane).
+    planes_t: Vec<f32>,
     seed: u64,
 }
 
 impl SimHasher {
     /// Create a hasher for `dim`-dimensional vectors with `bits` planes.
+    /// Plane entries are streamed per-plane from seeded generators (the
+    /// same streams as always), then stored transposed — the geometry a
+    /// given seed produces is unchanged.
     pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
         assert!(dim > 0 && bits > 0);
-        let mut planes = Vec::with_capacity(bits * dim);
+        let mut planes_t = vec![0.0f32; bits * dim];
         for b in 0..bits {
             let mut rng = SplitMix64::new(combine64(seed, b as u64));
-            for _ in 0..dim {
-                planes.push(rng.gen_gaussian() as f32);
+            for d in 0..dim {
+                planes_t[d * bits + b] = rng.gen_gaussian() as f32;
             }
         }
-        Self { dim, bits, planes, seed }
+        Self { dim, bits, planes_t, seed }
     }
 
     /// Vector dimension this hasher expects.
@@ -95,16 +103,53 @@ impl SimHasher {
     }
 
     /// Sign the vector. Panics on dimension mismatch.
+    ///
+    /// All `bits` projections come from one blocked [`kernel::gemv`] pass
+    /// over the transposed plane matrix. Inserts and queries sign through
+    /// this same kernel, so signatures are self-consistent; against the
+    /// scalar reference ([`Self::project_scalar`]) the projections agree
+    /// within float-reassociation tolerance, which can flip a bit only
+    /// when a projection sits within that tolerance of zero (measure-zero
+    /// for real embeddings — see DESIGN.md §8).
     pub fn sign(&self, v: &[f32]) -> Signature {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut proj = scratch::take_f32(self.bits);
+        kernel::gemv(v, &self.planes_t, self.bits, &mut proj);
         let mut words = vec![0u64; self.bits.div_ceil(64)];
-        for b in 0..self.bits {
-            let plane = &self.planes[b * self.dim..(b + 1) * self.dim];
-            let mut dot = 0.0f32;
-            for (x, p) in v.iter().zip(plane) {
-                dot += x * p;
+        for (b, &d) in proj.iter().enumerate() {
+            if d >= 0.0 {
+                words[b / 64] |= 1 << (b % 64);
             }
-            if dot >= 0.0 {
+        }
+        scratch::put_f32(proj);
+        Signature { words, bits: self.bits }
+    }
+
+    /// All `bits` hyperplane projections of `v` via the blocked kernel
+    /// (the pre-sign values [`Self::sign`] thresholds).
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut proj = vec![0.0f32; self.bits];
+        kernel::gemv(v, &self.planes_t, self.bits, &mut proj);
+        proj
+    }
+
+    /// Scalar reference projections: one strict left-to-right pass per
+    /// plane, the exact summation order of the pre-kernel implementation.
+    /// Kept public for the parity property tests and perf baselines.
+    pub fn project_scalar(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let mut proj = vec![0.0f32; self.bits];
+        kernel::reference::gemv(v, &self.planes_t, self.bits, &mut proj);
+        proj
+    }
+
+    /// [`Self::sign`] computed from the scalar reference projections.
+    pub fn sign_scalar(&self, v: &[f32]) -> Signature {
+        let proj = self.project_scalar(v);
+        let mut words = vec![0u64; self.bits.div_ceil(64)];
+        for (b, &d) in proj.iter().enumerate() {
+            if d >= 0.0 {
                 words[b / 64] |= 1 << (b % 64);
             }
         }
@@ -206,5 +251,25 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dim_panics() {
         SimHasher::new(8, 16, 0).sign(&[0.0; 4]);
+    }
+
+    #[test]
+    fn kernel_projections_track_scalar_reference() {
+        let h = SimHasher::new(96, 128, 77);
+        let mut rng = Xoshiro256pp::new(11);
+        for _ in 0..10 {
+            let v = random_unit(96, &mut rng);
+            let fast = h.project(&v);
+            let slow = h.project_scalar(&v);
+            let (sig, sig_ref) = (h.sign(&v), h.sign_scalar(&v));
+            for (b, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                let tol = 1e-4 * (1.0 + s.abs());
+                assert!((f - s).abs() <= tol, "bit {b}: {f} vs {s}");
+                // Away from the sign boundary the bits must agree exactly.
+                if s.abs() > tol {
+                    assert_eq!(sig.bit(b), sig_ref.bit(b), "bit {b} flipped at {s}");
+                }
+            }
+        }
     }
 }

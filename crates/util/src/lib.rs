@@ -12,9 +12,13 @@
 //! * [`topk`] — a bounded max-result heap for top-k selection.
 //! * [`timing`] — tiny wall-clock timers and summary statistics used by the
 //!   evaluation harness.
+//! * [`kernel`] — vectorization-friendly `dot`/`axpy`/`gemv` kernels over
+//!   contiguous buffers, scalar reference implementations, and
+//!   thread-local scratch pools (the embed → sign → re-rank hot path).
 
 pub mod codec;
 pub mod hash;
+pub mod kernel;
 pub mod rng;
 pub mod timing;
 pub mod topk;
@@ -22,3 +26,16 @@ pub mod topk;
 pub use hash::{fx_hash_map, fx_hash_set, stable_hash64, stable_hash_str, FxHashMap, FxHashSet};
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use topk::TopK;
+
+/// The machine's hardware thread count, resolved once and cached.
+///
+/// `std::thread::available_parallelism()` is not free — on Linux it
+/// re-reads the cgroup CPU quota files on every call (≈ 10 µs in a
+/// container), which is real money on a per-query path. The value cannot
+/// change meaningfully for our purposes (thread-pool and shard sizing),
+/// so hot paths should use this cached resolution.
+pub fn hardware_threads() -> usize {
+    use std::sync::OnceLock;
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
