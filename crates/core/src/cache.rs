@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use wg_embed::Vector;
-use wg_store::{ColumnRef, SampleSpec};
+use wg_store::{BackendId, ColumnRef, SampleSpec, TableRef};
 use wg_util::FxHashMap;
 
 /// Everything the scan→embed pipeline output depends on.
@@ -179,13 +179,21 @@ impl EmbeddingCache {
         }
     }
 
-    /// Drop every entry for any column of `database.table`.
-    pub fn invalidate_table(&self, database: &str, table: &str) {
+    /// Drop every entry for any column of one (namespaced) table.
+    pub fn invalidate_table(&self, table: &TableRef) {
         for shard in &self.shards {
-            shard
-                .lock()
-                .map
-                .retain(|k, _| !(k.column.database == database && k.column.table == table));
+            shard.lock().map.retain(|k, _| !table.contains(&k.column));
+        }
+    }
+
+    /// Drop every entry scanned from one backend namespace. Detach uses
+    /// this: a different warehouse re-attached under the same name must
+    /// never be answered from the old warehouse's embeddings, and eager
+    /// eviction (rather than relying on the epoch partition alone) frees
+    /// the capacity immediately.
+    pub fn invalidate_backend(&self, backend: BackendId) {
+        for shard in &self.shards {
+            shard.lock().map.retain(|k, _| k.column.backend != backend);
         }
     }
 
@@ -312,11 +320,32 @@ mod tests {
         cache.invalidate_column(&ColumnRef::new("db", "t1", "a"));
         assert_eq!(cache.get(&key("db", "t1", "a")), None);
         assert_eq!(cache.get(&key("db", "t1", "b")), Some(vec_of(2.0)));
-        cache.invalidate_table("db", "t1");
+        cache.invalidate_table(&TableRef::new("db", "t1"));
         assert_eq!(cache.get(&key("db", "t1", "b")), None);
         assert_eq!(cache.get(&key("db", "t2", "a")), Some(vec_of(3.0)));
         cache.clear();
         assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn backend_invalidation_is_namespace_scoped() {
+        let cache = EmbeddingCache::new(64);
+        let lake = BackendId::named("cache-test-lake");
+        let scoped = |t: &str, c: &str| {
+            EmbeddingKey::new(&ColumnRef::scoped(lake, "db", t, c), SampleSpec::Full, 1, 0.0, 0)
+        };
+        cache.put(key("db", "t1", "a"), vec_of(1.0));
+        cache.put(scoped("t1", "a"), vec_of(2.0));
+        cache.put(scoped("t2", "b"), vec_of(3.0));
+        // Table invalidation honors the namespace: the default-backend
+        // entry for the same db.table survives.
+        cache.invalidate_table(&TableRef::scoped(lake, "db", "t1"));
+        assert_eq!(cache.get(&key("db", "t1", "a")), Some(vec_of(1.0)));
+        assert_eq!(cache.get(&scoped("t1", "a")), None);
+        assert_eq!(cache.get(&scoped("t2", "b")), Some(vec_of(3.0)));
+        cache.invalidate_backend(lake);
+        assert_eq!(cache.get(&scoped("t2", "b")), None);
+        assert_eq!(cache.get(&key("db", "t1", "a")), Some(vec_of(1.0)));
     }
 
     #[test]
@@ -332,7 +361,7 @@ mod tests {
                             cache.put(k, vec_of(i as f32));
                         }
                         if i % 40 == 0 {
-                            cache.invalidate_table("db", "t");
+                            cache.invalidate_table(&TableRef::new("db", "t"));
                         }
                     }
                 });

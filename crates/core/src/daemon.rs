@@ -2,8 +2,8 @@
 //! index fresh without anyone calling [`WarpGate::sync`] by hand.
 //!
 //! A [`SyncDaemon`] owns one background thread that periodically
-//! reconciles the system against its attached backend. Around the bare
-//! `sync()` call it adds what a production refresh loop needs:
+//! reconciles the system against its attached backends. Around the bare
+//! per-backend sync call it adds what a production refresh loop needs:
 //!
 //! * **Retry-aware error handling** — a failed sync records nothing (the
 //!   system's token-commit discipline guarantees that), so the daemon
@@ -11,12 +11,19 @@
 //!   change set. Transient-failure *retrying within* a single sync is the
 //!   backend middleware's job (`wg_store::RetryBackend`); the daemon
 //!   handles the case where a whole sync still failed.
-//! * **Circuit breaking** — after [`SyncDaemonConfig::failure_threshold`]
-//!   consecutive failures the circuit *opens*: syncs are skipped for
-//!   [`SyncDaemonConfig::open_intervals`] ticks (no pointless load on a
-//!   down backend), then one *half-open* probe runs. A successful probe
-//!   closes the circuit; a failed one re-opens it for another cooldown.
-//! * **Observability** — every counter, the circuit state, cumulative
+//! * **Per-backend circuit breaking** — each attached backend gets its own
+//!   breaker: after [`SyncDaemonConfig::failure_threshold`] consecutive
+//!   failures *of that backend* its circuit opens and its syncs are
+//!   skipped for [`SyncDaemonConfig::open_intervals`] ticks (no pointless
+//!   load on a down warehouse), then one half-open probe runs. A dead data
+//!   lake never stops the CDW's refresh loop. The aggregate
+//!   [`DaemonReport::circuit`] is the worst state across breakers;
+//!   [`SyncDaemon::backend_report`] exposes each one.
+//! * **Scheduling** — [`SyncSchedule::All`] reconciles every backend each
+//!   tick; [`SyncSchedule::RoundRobin`] visits one backend per tick in
+//!   rotation, spreading scan load across intervals for deployments with
+//!   many warehouses.
+//! * **Observability** — every counter, the circuit states, cumulative
 //!   scan costs and retry counts, the last error, and the last
 //!   [`SyncReport`] are visible through [`SyncDaemon::report`] at any
 //!   time.
@@ -25,7 +32,7 @@
 //!   the final report. A sync in flight completes first; none is ever
 //!   torn mid-run.
 //!
-//! The state machine (see DESIGN.md §7):
+//! The per-breaker state machine (see DESIGN.md §7):
 //!
 //! ```text
 //!          sync ok                       sync failed, consecutive < threshold
@@ -40,24 +47,44 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use wg_store::CostSnapshot;
+use wg_store::{BackendId, CostSnapshot};
+use wg_util::FxHashMap;
 
 use crate::system::{SyncReport, WarpGate};
+
+/// Which attached backends a daemon tick reconciles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncSchedule {
+    /// Every attached backend, every tick.
+    #[default]
+    All,
+    /// One backend per tick, rotating through the attach set in id order.
+    /// With N backends each gets probed every N intervals — same steady
+    /// state coverage, scan load spread out in time.
+    RoundRobin,
+}
 
 /// Tunables of a [`SyncDaemon`].
 #[derive(Debug, Clone, Copy)]
 pub struct SyncDaemonConfig {
     /// Time between sync ticks.
     pub interval: Duration,
-    /// Consecutive sync failures that open the circuit.
+    /// Consecutive failures of one backend that open its circuit.
     pub failure_threshold: u32,
-    /// Ticks the circuit stays open before a half-open probe.
+    /// Ticks a backend's circuit stays open before a half-open probe.
     pub open_intervals: u32,
+    /// Which backends each tick reconciles.
+    pub schedule: SyncSchedule,
 }
 
 impl Default for SyncDaemonConfig {
     fn default() -> Self {
-        Self { interval: Duration::from_secs(30), failure_threshold: 3, open_intervals: 4 }
+        Self {
+            interval: Duration::from_secs(30),
+            failure_threshold: 3,
+            open_intervals: 4,
+            schedule: SyncSchedule::All,
+        }
     }
 }
 
@@ -66,43 +93,102 @@ impl SyncDaemonConfig {
     pub fn with_interval(self, interval: Duration) -> Self {
         Self { interval, ..self }
     }
+
+    /// Same config with a different schedule.
+    pub fn with_schedule(self, schedule: SyncSchedule) -> Self {
+        Self { schedule, ..self }
+    }
 }
 
-/// Circuit-breaker state of the daemon's sync loop.
+/// Circuit-breaker state of one backend's sync loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CircuitState {
-    /// Healthy: every tick syncs.
+    /// Healthy: every scheduled tick syncs.
     #[default]
     Closed,
-    /// Tripped: ticks skip syncing until the cooldown elapses.
+    /// Tripped: ticks skip this backend until the cooldown elapses.
     Open,
-    /// Cooldown over: the next tick runs a single probe sync.
+    /// Cooldown over: the next scheduled tick runs a single probe sync.
     HalfOpen,
 }
 
+impl CircuitState {
+    /// Severity order for the aggregate report (Open > HalfOpen > Closed).
+    fn severity(self) -> u8 {
+        match self {
+            CircuitState::Closed => 0,
+            CircuitState::HalfOpen => 1,
+            CircuitState::Open => 2,
+        }
+    }
+}
+
+/// One backend's breaker: its circuit state plus the per-backend slice of
+/// the daemon's counters. Exposed through [`DaemonReport::backends`] and
+/// [`SyncDaemon::backend_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendCircuit {
+    /// The backend namespace this breaker guards.
+    pub backend: BackendId,
+    /// Current circuit state.
+    pub circuit: CircuitState,
+    /// Current run of back-to-back failures (resets on success).
+    pub consecutive_failures: u32,
+    /// This backend's successful syncs.
+    pub syncs_ok: u64,
+    /// This backend's failed syncs.
+    pub syncs_failed: u64,
+    /// Scheduled attempts skipped because this circuit was open.
+    pub skipped_while_open: u64,
+    /// Transitions *into* Open (initial trips plus failed probes).
+    pub circuit_opened: u64,
+    /// Half-open probes that succeeded and closed the circuit.
+    pub circuit_closed: u64,
+    /// Message of this backend's most recent sync error, if any.
+    pub last_error: Option<String>,
+}
+
+impl BackendCircuit {
+    fn new(backend: BackendId) -> Self {
+        Self {
+            backend,
+            circuit: CircuitState::Closed,
+            consecutive_failures: 0,
+            syncs_ok: 0,
+            syncs_failed: 0,
+            skipped_while_open: 0,
+            circuit_opened: 0,
+            circuit_closed: 0,
+            last_error: None,
+        }
+    }
+}
+
 /// Point-in-time view of everything the daemon has done. Cheap to clone;
-/// obtained via [`SyncDaemon::report`].
+/// obtained via [`SyncDaemon::report`]. Counters aggregate across
+/// backends; [`Self::backends`] carries the per-backend slices.
 #[derive(Debug, Clone, Default)]
 pub struct DaemonReport {
     /// Scheduler wakeups processed (interval expiries + explicit wakes).
     pub ticks: u64,
-    /// Syncs actually started (ticks minus circuit-open skips).
+    /// Syncs actually started (scheduled attempts minus circuit-open skips).
     pub syncs_attempted: u64,
     /// Syncs that completed successfully.
     pub syncs_ok: u64,
     /// Syncs that returned an error.
     pub syncs_failed: u64,
-    /// Ticks skipped because the circuit was open.
+    /// Scheduled attempts skipped because the backend's circuit was open.
     pub skipped_while_open: u64,
-    /// Current run of back-to-back failures (resets on success).
+    /// Worst current failure run across backends (resets on success).
     pub consecutive_failures: u32,
-    /// Current circuit state.
+    /// Worst current circuit state across backends: Open if any backend's
+    /// breaker is open, HalfOpen if any is probing, Closed otherwise.
     pub circuit: CircuitState,
-    /// Transitions *into* Open: initial Closed → Open trips plus failed
-    /// half-open probes that re-open (a backend that stays down keeps
-    /// incrementing this once per probe cycle).
+    /// Transitions *into* Open across all breakers: initial Closed → Open
+    /// trips plus failed half-open probes that re-open (a backend that
+    /// stays down keeps incrementing this once per probe cycle).
     pub circuit_opened: u64,
-    /// Half-open probes that succeeded and closed the circuit.
+    /// Half-open probes that succeeded and closed a circuit.
     pub circuit_closed: u64,
     /// Cumulative tables added across successful syncs.
     pub tables_added: u64,
@@ -121,21 +207,36 @@ pub struct DaemonReport {
     pub last_error: Option<String>,
     /// The most recent successful sync's report.
     pub last_report: Option<SyncReport>,
+    /// Per-backend breaker states and counters, in [`BackendId`] order.
+    pub backends: Vec<BackendCircuit>,
 }
 
 impl DaemonReport {
-    /// True when the daemon has observed the backend at least once and the
-    /// latest observation was healthy.
+    /// True when the daemon has observed its backends at least once and
+    /// every breaker is currently healthy.
     pub fn is_healthy(&self) -> bool {
         self.circuit == CircuitState::Closed && self.syncs_ok > 0
+    }
+}
+
+struct Breaker {
+    stats: BackendCircuit,
+    /// Ticks left before this open circuit half-opens.
+    cooldown_remaining: u32,
+}
+
+impl Breaker {
+    fn new(backend: BackendId) -> Self {
+        Self { stats: BackendCircuit::new(backend), cooldown_remaining: 0 }
     }
 }
 
 struct Inner {
     stop: bool,
     wake: bool,
-    /// Ticks left before an open circuit half-opens.
-    cooldown_remaining: u32,
+    /// Round-robin position across ticks (index into the attach set).
+    rr_cursor: usize,
+    breakers: FxHashMap<BackendId, Breaker>,
     report: DaemonReport,
 }
 
@@ -169,7 +270,8 @@ impl SyncDaemon {
             inner: Mutex::new(Inner {
                 stop: false,
                 wake: false,
-                cooldown_remaining: 0,
+                rr_cursor: 0,
+                breakers: FxHashMap::default(),
                 report: DaemonReport::default(),
             }),
             cv: Condvar::new(),
@@ -182,13 +284,26 @@ impl SyncDaemon {
         Self { shared, handle: Some(handle) }
     }
 
-    /// Snapshot of the daemon's counters and circuit state.
+    /// Snapshot of the daemon's counters and circuit states.
     pub fn report(&self) -> DaemonReport {
         self.shared.inner.lock().expect("daemon state lock").report.clone()
     }
 
+    /// One named backend's breaker state and counters, if the daemon has
+    /// scheduled it at least once.
+    pub fn backend_report(&self, name: &str) -> Option<BackendCircuit> {
+        let id = wg_util::names::lookup(name).map(BackendId::from_bits)?;
+        self.shared
+            .inner
+            .lock()
+            .expect("daemon state lock")
+            .breakers
+            .get(&id)
+            .map(|b| b.stats.clone())
+    }
+
     /// Trigger a tick now instead of waiting out the interval. (The tick
-    /// still honors the circuit breaker.)
+    /// still honors the circuit breakers.)
     pub fn wake(&self) {
         let mut inner = self.shared.inner.lock().expect("daemon state lock");
         inner.wake = true;
@@ -253,68 +368,118 @@ fn run_loop(shared: &Shared) {
     }
 }
 
-/// One scheduler tick: advance the circuit breaker and, unless the
-/// circuit is open, run a sync. The sync itself runs without holding the
-/// state lock, so `report()` and `wake()` stay responsive mid-sync.
+/// One scheduler tick: pick the scheduled backends, advance each one's
+/// circuit breaker, and run its sync unless the circuit is open. Each
+/// sync runs without holding the state lock, so `report()` and `wake()`
+/// stay responsive mid-sync.
 fn tick(shared: &Shared) {
-    let attempt = {
+    let targets: Vec<BackendId> = {
         let mut inner = shared.inner.lock().expect("daemon state lock");
-        match inner.report.circuit {
-            CircuitState::Closed | CircuitState::HalfOpen => true,
-            CircuitState::Open => {
-                inner.report.skipped_while_open += 1;
-                inner.cooldown_remaining = inner.cooldown_remaining.saturating_sub(1);
-                if inner.cooldown_remaining == 0 {
-                    inner.report.circuit = CircuitState::HalfOpen;
+        let attached = shared.wg.attached_backends();
+        if attached.is_empty() {
+            // Nothing attached: still attempt the default namespace so the
+            // failure (and its error message) surfaces in the report, as
+            // the single-backend daemon always did.
+            vec![BackendId::DEFAULT]
+        } else {
+            match shared.config.schedule {
+                SyncSchedule::All => attached,
+                SyncSchedule::RoundRobin => {
+                    let pick = attached[inner.rr_cursor % attached.len()];
+                    inner.rr_cursor = inner.rr_cursor.wrapping_add(1);
+                    vec![pick]
                 }
-                false
             }
         }
     };
-    if !attempt {
-        return;
-    }
 
-    let outcome = shared.wg.sync();
-
-    let mut inner = shared.inner.lock().expect("daemon state lock");
-    let report = &mut inner.report;
-    report.syncs_attempted += 1;
-    match outcome {
-        Ok(sync) => {
-            report.syncs_ok += 1;
-            report.consecutive_failures = 0;
-            if report.circuit == CircuitState::HalfOpen {
-                report.circuit = CircuitState::Closed;
-                report.circuit_closed += 1;
-            }
-            report.tables_added += sync.tables_added as u64;
-            report.tables_updated += sync.tables_updated as u64;
-            report.tables_removed += sync.tables_removed as u64;
-            report.columns_indexed += sync.columns_indexed as u64;
-            report.columns_removed += sync.columns_removed as u64;
-            report.cost = report.cost.plus(&sync.cost);
-            report.last_report = Some(sync);
-        }
-        Err(e) => {
-            report.syncs_failed += 1;
-            report.consecutive_failures += 1;
-            report.last_error = Some(e.to_string());
-            let trip = match report.circuit {
-                // A failed half-open probe re-opens immediately.
-                CircuitState::HalfOpen => true,
-                CircuitState::Closed => {
-                    report.consecutive_failures >= shared.config.failure_threshold
+    for id in targets {
+        let attempt = {
+            let mut guard = shared.inner.lock().expect("daemon state lock");
+            let inner = &mut *guard;
+            let breaker = inner.breakers.entry(id).or_insert_with(|| Breaker::new(id));
+            match breaker.stats.circuit {
+                CircuitState::Closed | CircuitState::HalfOpen => true,
+                CircuitState::Open => {
+                    breaker.stats.skipped_while_open += 1;
+                    inner.report.skipped_while_open += 1;
+                    breaker.cooldown_remaining = breaker.cooldown_remaining.saturating_sub(1);
+                    if breaker.cooldown_remaining == 0 {
+                        breaker.stats.circuit = CircuitState::HalfOpen;
+                    }
+                    false
                 }
-                CircuitState::Open => false,
-            };
-            if trip {
-                report.circuit = CircuitState::Open;
-                report.circuit_opened += 1;
-                inner.cooldown_remaining = shared.config.open_intervals;
+            }
+        };
+        if !attempt {
+            continue;
+        }
+
+        let outcome = shared.wg.sync_backend_id(id);
+
+        let mut guard = shared.inner.lock().expect("daemon state lock");
+        let inner = &mut *guard;
+        let breaker = inner.breakers.get_mut(&id).expect("breaker installed before attempt");
+        let report = &mut inner.report;
+        report.syncs_attempted += 1;
+        match outcome {
+            Ok(sync) => {
+                report.syncs_ok += 1;
+                breaker.stats.syncs_ok += 1;
+                breaker.stats.consecutive_failures = 0;
+                if breaker.stats.circuit == CircuitState::HalfOpen {
+                    breaker.stats.circuit = CircuitState::Closed;
+                    breaker.stats.circuit_closed += 1;
+                    report.circuit_closed += 1;
+                }
+                report.tables_added += sync.tables_added as u64;
+                report.tables_updated += sync.tables_updated as u64;
+                report.tables_removed += sync.tables_removed as u64;
+                report.columns_indexed += sync.columns_indexed as u64;
+                report.columns_removed += sync.columns_removed as u64;
+                report.cost = report.cost.plus(&sync.cost);
+                report.last_report = Some(sync);
+            }
+            Err(e) => {
+                let message = e.to_string();
+                report.syncs_failed += 1;
+                breaker.stats.syncs_failed += 1;
+                breaker.stats.consecutive_failures += 1;
+                breaker.stats.last_error = Some(message.clone());
+                report.last_error = Some(message);
+                let trip = match breaker.stats.circuit {
+                    // A failed half-open probe re-opens immediately.
+                    CircuitState::HalfOpen => true,
+                    CircuitState::Closed => {
+                        breaker.stats.consecutive_failures >= shared.config.failure_threshold
+                    }
+                    CircuitState::Open => false,
+                };
+                if trip {
+                    breaker.stats.circuit = CircuitState::Open;
+                    breaker.stats.circuit_opened += 1;
+                    report.circuit_opened += 1;
+                    breaker.cooldown_remaining = shared.config.open_intervals;
+                }
             }
         }
     }
+
+    // Refresh the aggregate view: worst circuit, worst failure run, and
+    // the per-backend slices in id order.
+    let mut guard = shared.inner.lock().expect("daemon state lock");
+    let inner = &mut *guard;
+    let mut backends: Vec<BackendCircuit> =
+        inner.breakers.values().map(|b| b.stats.clone()).collect();
+    backends.sort_by_key(|b| b.backend.bits());
+    inner.report.circuit = backends
+        .iter()
+        .map(|b| b.circuit)
+        .max_by_key(|c| c.severity())
+        .unwrap_or(CircuitState::Closed);
+    inner.report.consecutive_failures =
+        backends.iter().map(|b| b.consecutive_failures).max().unwrap_or(0);
+    inner.report.backends = backends;
 }
 
 #[cfg(test)]
@@ -346,6 +511,7 @@ mod tests {
             interval: Duration::from_millis(2),
             failure_threshold: 2,
             open_intervals: 2,
+            schedule: SyncSchedule::All,
         }
     }
 
@@ -407,7 +573,8 @@ mod tests {
         assert!(r.syncs_attempted <= r.ticks);
 
         // Heal the backend: attach the raw connector. The next half-open
-        // probe succeeds and closes the circuit; the index converges.
+        // probe succeeds and closes the circuit; the index converges. (The
+        // default name keeps its breaker across the re-attach.)
         wg.attach(healthy);
         let r = wait_for(&daemon, |r| r.circuit == CircuitState::Closed && r.syncs_ok >= 1);
         assert_eq!(r.circuit_closed, 1, "recovery must come through a half-open probe");
@@ -451,5 +618,51 @@ mod tests {
         assert!(r.ticks >= 1);
         let report = daemon.shutdown();
         assert!(report.is_healthy());
+    }
+
+    #[test]
+    fn one_dead_backend_does_not_stop_the_others() {
+        let c = connector();
+        let healthy: BackendHandle = c.clone();
+        let dead: BackendHandle =
+            Arc::new(FaultInjector::new(connector(), FaultPlan::fail_every(1)));
+        let wg = Arc::new(WarpGate::new(WarpGateConfig { threads: 1, ..Default::default() }));
+        wg.attach_named("daemon-test-good", healthy);
+        wg.attach_named("daemon-test-dead", dead);
+        let daemon = SyncDaemon::spawn(wg.clone(), fast_config());
+
+        // The dead warehouse's breaker opens; the healthy one keeps
+        // syncing right through it.
+        let r = wait_for(&daemon, |r| {
+            r.backends.iter().any(|b| b.circuit == CircuitState::Open) && r.syncs_ok >= 2
+        });
+        let good = daemon.backend_report("daemon-test-good").unwrap();
+        let bad = daemon.backend_report("daemon-test-dead").unwrap();
+        assert_eq!(good.circuit, CircuitState::Closed);
+        assert_eq!(good.syncs_failed, 0);
+        assert!(good.syncs_ok >= 2);
+        assert_eq!(bad.circuit, CircuitState::Open);
+        assert!(bad.syncs_failed >= 2);
+        assert!(bad.last_error.as_deref().unwrap_or("").contains("injected fault"));
+        // Aggregate view reports the worst breaker.
+        assert_eq!(r.circuit, CircuitState::Open);
+        assert_eq!(wg.len(), 1, "the healthy warehouse's column is indexed");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn round_robin_visits_backends_alternately() {
+        let wg = Arc::new(WarpGate::new(WarpGateConfig { threads: 1, ..Default::default() }));
+        wg.attach_named("daemon-test-rr-a", connector());
+        wg.attach_named("daemon-test-rr-b", connector());
+        let daemon = SyncDaemon::spawn(wg, fast_config().with_schedule(SyncSchedule::RoundRobin));
+        let r = wait_for(&daemon, |r| {
+            r.backends.len() == 2 && r.backends.iter().all(|b| b.syncs_ok >= 2)
+        });
+        // One backend per tick: attempts can never outrun ticks.
+        assert!(r.syncs_attempted <= r.ticks, "{r:?}");
+        let per_backend: u64 = r.backends.iter().map(|b| b.syncs_ok + b.syncs_failed).sum();
+        assert_eq!(per_backend, r.syncs_attempted);
+        daemon.shutdown();
     }
 }

@@ -35,9 +35,15 @@
 //! once the user picks a recommendation.
 //!
 //! For long-running service deployments, [`SyncDaemon`] wraps
-//! [`WarpGate::sync`] in a scheduled background loop with circuit
-//! breaking and an observable [`DaemonReport`]; pair it with
+//! [`WarpGate::sync`] in a scheduled background loop with per-backend
+//! circuit breaking and an observable [`DaemonReport`]; pair it with
 //! `wg_store::RetryBackend` for per-call resilience.
+//!
+//! Federation (§9 of DESIGN.md): [`WarpGate::attach_named`] registers any
+//! number of backends under interned names; refs, cache keys, sync epochs,
+//! and index item ids are all namespaced by `wg_store::BackendId`, queries
+//! scope with `wg_lsh::DiscoverScope`, and per-backend sync/cost slices
+//! surface through [`SyncReport::per_backend`].
 
 pub mod cache;
 pub mod config;
@@ -48,6 +54,8 @@ pub mod timing;
 
 pub use cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 pub use config::WarpGateConfig;
-pub use daemon::{CircuitState, DaemonReport, SyncDaemon, SyncDaemonConfig};
+pub use daemon::{
+    BackendCircuit, CircuitState, DaemonReport, SyncDaemon, SyncDaemonConfig, SyncSchedule,
+};
 pub use system::{Discovery, IndexReport, JoinCandidate, SyncReport, WarpGate};
 pub use timing::QueryTiming;

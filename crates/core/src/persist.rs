@@ -5,63 +5,113 @@
 //! index (vectors + geometry + seed) plus the id → column-reference
 //! registry; because the embedding model itself is deterministic and
 //! derived from the config seed, nothing model-side needs to be stored.
+//!
+//! Two frame versions exist (see DESIGN.md §9):
+//!
+//! * **v1** — the pre-federation format: entries are bare
+//!   `(id, database, table, column)` tuples. Still written whenever every
+//!   indexed column lives in the `"default"` namespace (byte-identical to
+//!   what the pre-federation writer produced), and still read — old
+//!   snapshots load with every ref in the default namespace.
+//! * **v2** — federated: entries carry their backend *name* (via
+//!   [`ColumnRef::encode`]), and the index payload is the WGLX v2 frame
+//!   with its backend-name table. Names are the authoritative identity
+//!   across processes; the loader re-interns each name and **recomposes
+//!   every item id** from the local interner's bits plus the saved
+//!   per-backend local part, because the saving process's bit assignment
+//!   need not match this one's.
 
 use std::io::{Read, Write};
 use std::path::Path;
 
-use wg_lsh::ShardedLshIndex;
-use wg_store::{ColumnRef, StoreError, StoreResult};
+use wg_lsh::{compose_item_id, item_local, ShardedLshIndex};
+use wg_store::{BackendId, ColumnRef, StoreError, StoreResult};
 use wg_util::codec;
 
 use crate::system::WarpGate;
 
 const MAGIC: [u8; 4] = *b"WGSY";
 const VERSION: u32 = 1;
+const VERSION_FEDERATED: u32 = 2;
 
 impl WarpGate {
-    /// Serialize the index + registry to a byte buffer.
+    /// Serialize the index + registry to a byte buffer. All-default
+    /// contents produce the pre-federation v1 frame, byte for byte; any
+    /// other namespace upgrades the frame to v2.
     pub fn to_bytes(&self) -> Vec<u8> {
         let (index_bytes, entries) = self.snapshot_for_persist();
+        let federated = entries.iter().any(|(_, r)| !r.backend.is_default());
         let mut buf = Vec::with_capacity(index_bytes.len() + 64 * entries.len() + 64);
-        codec::put_header(&mut buf, MAGIC, VERSION);
-        codec::put_len(&mut buf, entries.len());
-        for (id, r) in &entries {
-            codec::put_u32(&mut buf, *id);
-            codec::put_str(&mut buf, &r.database);
-            codec::put_str(&mut buf, &r.table);
-            codec::put_str(&mut buf, &r.column);
+        if federated {
+            codec::put_header(&mut buf, MAGIC, VERSION_FEDERATED);
+            codec::put_len(&mut buf, entries.len());
+            for (id, r) in &entries {
+                codec::put_u32(&mut buf, *id);
+                r.encode(&mut buf);
+            }
+        } else {
+            codec::put_header(&mut buf, MAGIC, VERSION);
+            codec::put_len(&mut buf, entries.len());
+            for (id, r) in &entries {
+                codec::put_u32(&mut buf, *id);
+                codec::put_str(&mut buf, &r.database);
+                codec::put_str(&mut buf, &r.table);
+                codec::put_str(&mut buf, &r.column);
+            }
         }
         codec::put_bytes(&mut buf, &index_bytes);
         buf
     }
 
-    /// Restore index + registry from bytes produced by [`Self::to_bytes`].
-    /// The receiving system must be configured with the same dimension (and
-    /// should use the same seed, or query embeddings will not live in the
-    /// persisted index's space). The snapshot is shard-count independent:
-    /// items redistribute into this system's configured shard layout on
-    /// load, so a snapshot saved with 8 shards restores fine into 1 (or
-    /// vice versa).
+    /// Restore index + registry from bytes produced by [`Self::to_bytes`]
+    /// (either frame version). The receiving system must be configured
+    /// with the same dimension (and should use the same seed, or query
+    /// embeddings will not live in the persisted index's space). The
+    /// snapshot is shard-count independent: items redistribute into this
+    /// system's configured shard layout on load, so a snapshot saved with
+    /// 8 shards restores fine into 1 (or vice versa).
     pub fn load_bytes(&mut self, bytes: &[u8]) -> StoreResult<()> {
         let mut cursor = bytes;
         let version = codec::get_header(&mut cursor, MAGIC)?;
-        if version != VERSION {
-            return Err(StoreError::Codec(wg_util::codec::CodecError::Invalid(format!(
-                "unsupported snapshot version {version}"
-            ))));
-        }
         let n = codec::get_len(&mut cursor)?;
         let mut entries = Vec::with_capacity(n);
-        for _ in 0..n {
-            let id = codec::get_u32(&mut cursor)?;
-            let database = codec::get_str(&mut cursor)?;
-            let table = codec::get_str(&mut cursor)?;
-            let column = codec::get_str(&mut cursor)?;
-            entries.push((id, ColumnRef::new(database, table, column)));
+        match version {
+            VERSION => {
+                for _ in 0..n {
+                    let id = codec::get_u32(&mut cursor)?;
+                    let database = codec::get_str(&mut cursor)?;
+                    let table = codec::get_str(&mut cursor)?;
+                    let column = codec::get_str(&mut cursor)?;
+                    entries.push((id, ColumnRef::new(database, table, column)));
+                }
+            }
+            VERSION_FEDERATED => {
+                for _ in 0..n {
+                    let saved_id = codec::get_u32(&mut cursor)?;
+                    let r = ColumnRef::decode(&mut cursor)?;
+                    // The saved id's high bits are the *saving* process's
+                    // interner assignment; only the name travels. Recompose
+                    // against this process's bits for the (re-interned)
+                    // backend, keeping the saved per-backend local part.
+                    let id = compose_item_id(r.backend.bits(), item_local(saved_id));
+                    entries.push((id, r));
+                }
+            }
+            v => {
+                return Err(StoreError::Codec(wg_util::codec::CodecError::Invalid(format!(
+                    "unsupported snapshot version {v}"
+                ))))
+            }
         }
         let index_bytes = codec::get_bytes(&mut cursor)?;
         let mut index_cursor = &index_bytes[..];
-        let index = ShardedLshIndex::decode(&mut index_cursor, self.config().effective_shards())?;
+        // The same name-authoritative remap applies inside the index frame
+        // (v1 index payloads have no name table and resolve nothing).
+        let index = ShardedLshIndex::decode_with_backends(
+            &mut index_cursor,
+            self.config().effective_shards(),
+            |name| Ok(BackendId::named(name).bits()),
+        )?;
         self.restore_from_persist(index, entries)
     }
 
@@ -209,5 +259,76 @@ mod tests {
     fn missing_file_errors() {
         let mut wg = WarpGate::new(WarpGateConfig::default());
         assert!(wg.load_from_file("/nonexistent/path/snapshot.bin").is_err());
+    }
+
+    #[test]
+    fn all_default_snapshots_stay_version_1() {
+        // Back-compat pin: a system whose every column lives in the
+        // default namespace writes the pre-federation frame — old readers
+        // keep working, and old snapshots keep loading (into the default
+        // namespace), indefinitely.
+        let c = connector();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
+        wg.index_warehouse().unwrap();
+        let bytes = wg.to_bytes();
+        let mut cursor = &bytes[..];
+        assert_eq!(codec::get_header(&mut cursor, MAGIC).unwrap(), VERSION);
+
+        // Old bytes → default namespace, and a re-encode does not upgrade
+        // the frame.
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), c);
+        fresh.load_bytes(&bytes).unwrap();
+        let q = ColumnRef::new("db", "a", "x");
+        let d = fresh.discover(&q, 3).unwrap();
+        assert!(d.candidates.iter().all(|j| j.reference.backend.is_default()));
+        let reencoded = fresh.to_bytes();
+        let mut cursor = &reencoded[..];
+        assert_eq!(codec::get_header(&mut cursor, MAGIC).unwrap(), VERSION);
+        let mut again = WarpGate::with_backend(WarpGateConfig::default(), connector());
+        again.load_bytes(&reencoded).unwrap();
+        assert_eq!(again.discover(&q, 3).unwrap().candidates, d.candidates);
+    }
+
+    #[test]
+    fn federated_snapshot_roundtrip_preserves_namespaces() {
+        let cdw = connector();
+        let mut lake_w = Warehouse::new("lake");
+        lake_w.database_mut("raw").add_table(
+            Table::new(
+                "dump",
+                vec![Column::text(
+                    "x_variant",
+                    (0..50).map(|i| format!("Val {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        let lake_c = Arc::new(CdwConnector::new(lake_w, CdwConfig::free()));
+
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), cdw.clone());
+        let lake = wg.attach_named("persist-test-lake", lake_c.clone());
+        wg.index_warehouse().unwrap();
+        assert_eq!(wg.len(), 3);
+        let q = ColumnRef::new("db", "a", "x");
+        let before = wg.discover(&q, 5).unwrap().candidates;
+        assert!(
+            before.iter().any(|j| j.reference.backend == lake),
+            "fixture must produce a cross-namespace hit: {before:?}"
+        );
+
+        let bytes = wg.to_bytes();
+        let mut cursor = &bytes[..];
+        assert_eq!(codec::get_header(&mut cursor, MAGIC).unwrap(), VERSION_FEDERATED);
+
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), cdw);
+        fresh.attach_named("persist-test-lake", lake_c);
+        fresh.load_bytes(&bytes).unwrap();
+        assert_eq!(fresh.len(), 3);
+        assert_eq!(fresh.discover(&q, 5).unwrap().candidates, before);
+        // Scoped discovery still addresses the restored namespace.
+        let scoped =
+            fresh.discover_scoped(&q, 5, &wg_lsh::DiscoverScope::include([lake.bits()])).unwrap();
+        assert!(!scoped.candidates.is_empty());
+        assert!(scoped.candidates.iter().all(|j| j.reference.backend == lake));
     }
 }

@@ -1,14 +1,22 @@
 //! The WarpGate system facade: indexing pipeline, search pipeline, and the
 //! lookup-join product interaction.
+//!
+//! Federation: a system holds a registry of *named* warehouse backends
+//! ([`WarpGate::attach_named`]), each interned to a [`BackendId`] that
+//! namespaces everything downstream — column refs, index item ids (high
+//! bits, see `wg_lsh::compose_item_id`), embedding-cache keys, sync
+//! epochs, and recorded version tokens. The legacy single-backend API
+//! ([`WarpGate::attach`] / [`WarpGate::detach`]) is the `"default"`
+//! namespace of the same machinery.
 
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use wg_embed::{ColumnEmbedder, EmbeddingModel, WebTableConfig, WebTableModel};
-use wg_lsh::{LshParams, SearchOutcome, ShardedLshIndex};
+use wg_lsh::{compose_item_id, DiscoverScope, LshParams, SearchOutcome, ShardedLshIndex};
 use wg_store::{
-    BackendHandle, ColumnRef, CostSnapshot, KeyNorm, StoreError, StoreResult, Table, TableMeta,
-    WarehouseBackend,
+    BackendHandle, BackendId, BackendRegistry, ColumnRef, CostSnapshot, KeyNorm, StoreError,
+    StoreResult, Table, TableMeta, TableRef, WarehouseBackend,
 };
 use wg_util::timing::Stopwatch;
 use wg_util::FxHashMap;
@@ -41,7 +49,8 @@ pub struct Discovery {
     pub query: ColumnRef,
     /// Ranked candidates, best first.
     pub candidates: Vec<JoinCandidate>,
-    /// Wall-clock decomposition.
+    /// Wall-clock decomposition; `timing.backend` attributes the scan to
+    /// the query column's namespace.
     pub timing: QueryTiming,
     /// LSH candidate-set diagnostics.
     pub outcome: SearchOutcome,
@@ -61,7 +70,7 @@ pub struct IndexReport {
 }
 
 /// Summary of one [`WarpGate::sync`] reconciliation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SyncReport {
     /// Tables seen for the first time (scanned and indexed in full).
     pub tables_added: usize,
@@ -81,6 +90,11 @@ pub struct SyncReport {
     /// Warehouse scan costs incurred — proportional to what changed, not
     /// to warehouse size.
     pub cost: CostSnapshot,
+    /// Per-backend slices of a federated [`WarpGate::sync`] run, in
+    /// [`BackendId`] order: each entry's counters and cost bill exactly
+    /// one namespace. Empty for single-backend reports (the entries
+    /// themselves, and everything [`WarpGate::sync_backend`] returns).
+    pub per_backend: Vec<(BackendId, SyncReport)>,
 }
 
 impl SyncReport {
@@ -88,13 +102,29 @@ impl SyncReport {
     pub fn is_noop(&self) -> bool {
         self.tables_added == 0 && self.tables_updated == 0 && self.tables_removed == 0
     }
+
+    /// Fold one backend's reconciliation into this federated total.
+    fn absorb(&mut self, id: BackendId, one: SyncReport) {
+        self.tables_added += one.tables_added;
+        self.tables_updated += one.tables_updated;
+        self.tables_removed += one.tables_removed;
+        self.columns_indexed += one.columns_indexed;
+        self.columns_skipped += one.columns_skipped;
+        self.columns_removed += one.columns_removed;
+        self.cost = self.cost.plus(&one.cost);
+        self.per_backend.push((id, one));
+    }
 }
 
-/// Maps dense item ids (what the LSH index stores) to column references.
+/// Maps index item ids to column references. Ids are namespaced: the high
+/// bits are the ref's backend, the low bits a per-backend counter that is
+/// never reused (removal tombstones the id, matching the old dense-vec
+/// registry's semantics while keeping each namespace's range compact).
 #[derive(Default)]
 struct Registry {
-    refs: Vec<Option<ColumnRef>>,
+    ref_of: FxHashMap<u32, ColumnRef>,
     id_of: FxHashMap<ColumnRef, u32>,
+    next_local: FxHashMap<u16, u32>,
 }
 
 impl Registry {
@@ -102,30 +132,38 @@ impl Registry {
         if let Some(&id) = self.id_of.get(&r) {
             return id;
         }
-        let id = self.refs.len() as u32;
+        let bits = r.backend.bits();
+        let local = self.next_local.entry(bits).or_insert(0);
+        let id = compose_item_id(bits, *local);
+        *local += 1;
         self.id_of.insert(r.clone(), id);
-        self.refs.push(Some(r));
+        self.ref_of.insert(id, r);
         id
+    }
+
+    /// Re-install a persisted `(id, ref)` pair, advancing the namespace's
+    /// counter past it so later inserts never collide.
+    fn insert_at(&mut self, id: u32, r: ColumnRef) {
+        let next = self.next_local.entry(wg_lsh::item_backend(id)).or_insert(0);
+        *next = (*next).max(wg_lsh::item_local(id) + 1);
+        self.id_of.insert(r.clone(), id);
+        self.ref_of.insert(id, r);
     }
 
     fn remove(&mut self, r: &ColumnRef) -> Option<u32> {
         let id = self.id_of.remove(r)?;
-        self.refs[id as usize] = None;
+        self.ref_of.remove(&id);
         Some(id)
     }
 
     fn reference(&self, id: u32) -> Option<&ColumnRef> {
-        self.refs.get(id as usize).and_then(|r| r.as_ref())
+        self.ref_of.get(&id)
     }
 
-    /// Live refs of one table (read-path helper for removal and sync).
-    fn table_refs(&self, database: &str, table: &str) -> Vec<ColumnRef> {
-        self.refs
-            .iter()
-            .flatten()
-            .filter(|r| r.database == database && r.table == table)
-            .cloned()
-            .collect()
+    /// Live refs of one (namespaced) table — read-path helper for removal
+    /// and sync.
+    fn table_refs(&self, table: &TableRef) -> Vec<ColumnRef> {
+        self.ref_of.values().filter(|r| table.contains(r)).cloned().collect()
     }
 }
 
@@ -138,22 +176,35 @@ struct TableState {
     version: u64,
 }
 
+/// Sync bookkeeping of one backend namespace. Epochs and version tokens
+/// are per backend: re-attaching the data lake never disturbs what the
+/// CDW's sync has reconciled.
 #[derive(Default)]
-struct SyncState {
-    /// Bumped on every `attach`; recorded tokens from older epochs never
-    /// compare equal, so `sync` re-scans everything after a backend swap.
+struct BackendSyncState {
+    /// Bumped on every attach (and detach) of this name; recorded tokens
+    /// from older epochs never compare equal, so the next sync re-scans
+    /// everything the namespace's backend serves.
     epoch: u64,
     tables: FxHashMap<(String, String), TableState>,
 }
 
+#[derive(Default)]
+struct SyncState {
+    backends: FxHashMap<BackendId, BackendSyncState>,
+}
+
 /// The semantic join discovery system.
 ///
-/// A `WarpGate` is *attached* to one [`WarehouseBackend`] at a time
-/// ([`WarpGate::attach`] / [`WarpGate::detach`]) — the simulated CDW, a
-/// CSV directory, a fault-injecting wrapper, or any future real
-/// warehouse. All indexing and discovery flows through the attached
-/// backend; [`WarpGate::sync`] diffs the backend's version tokens against
-/// what the index reflects and re-scans only what changed.
+/// A `WarpGate` holds a registry of named [`WarehouseBackend`]s
+/// ([`WarpGate::attach_named`] / [`WarpGate::detach_named`]) — simulated
+/// CDWs, CSV directories, fault-injecting wrappers, remote warehouses over
+/// TCP — each under its own namespace. Indexing and discovery flow through
+/// whichever backend a column ref names; [`WarpGate::sync`] diffs every
+/// backend's version tokens against what the index reflects and re-scans
+/// only what changed, per backend ([`WarpGate::sync_backend`] reconciles
+/// one). The legacy single-backend calls ([`WarpGate::attach`],
+/// [`WarpGate::detach`], un-namespaced refs) address the `"default"`
+/// namespace.
 ///
 /// Internally the hot path is built for concurrency: embeddings live in a
 /// [`ShardedLshIndex`] (items partitioned by id across independently locked
@@ -166,7 +217,7 @@ pub struct WarpGate {
     index: ShardedLshIndex,
     registry: RwLock<Registry>,
     cache: EmbeddingCache,
-    backend: RwLock<Option<BackendHandle>>,
+    backends: BackendRegistry,
     synced: RwLock<SyncState>,
 }
 
@@ -183,7 +234,8 @@ impl WarpGate {
         Self::with_model(config, Arc::new(model))
     }
 
-    /// Create a system and attach a warehouse backend in one step.
+    /// Create a system and attach a warehouse backend (as `"default"`) in
+    /// one step.
     pub fn with_backend(config: WarpGateConfig, backend: BackendHandle) -> Self {
         let wg = Self::new(config);
         wg.attach(backend);
@@ -206,38 +258,90 @@ impl WarpGate {
             index,
             registry: RwLock::new(Registry::default()),
             cache: EmbeddingCache::new(config.cache_capacity),
-            backend: RwLock::new(None),
+            backends: BackendRegistry::new(),
             synced: RwLock::new(SyncState::default()),
             config,
         }
     }
 
-    /// Attach a warehouse backend, replacing any previous one. The index
-    /// is left intact, but the embedding cache is cleared and every
-    /// recorded table version is invalidated, so the next [`Self::sync`]
-    /// reconciles the index against the new backend in full (vanished
-    /// tables drop, everything present re-scans).
-    pub fn attach(&self, backend: BackendHandle) {
-        *self.backend.write() = Some(backend);
-        self.synced.write().epoch += 1;
+    /// Attach a warehouse backend under a namespace name, replacing any
+    /// previous backend of that name and returning the interned
+    /// [`BackendId`]. The namespace's indexed items are left intact, but
+    /// its embedding-cache entries are evicted and every recorded table
+    /// version is invalidated (epoch bump), so the next [`Self::sync`]
+    /// reconciles the namespace against the new backend in full (vanished
+    /// tables drop, everything present re-scans). Other namespaces are
+    /// untouched.
+    ///
+    /// Ordering matters for the epoch discipline: the handle is stored
+    /// *first* and the epoch bumped *second*, so an epoch captured before
+    /// resolving a handle can never be newer than the backend a run scans
+    /// (see [`Self::record_synced`]).
+    pub fn attach_named(&self, name: &str, backend: BackendHandle) -> BackendId {
+        let (id, _previous) = self.backends.attach(name, backend);
+        self.synced.write().backends.entry(id).or_default().epoch += 1;
         // Same column names may hold different content on the new backend;
-        // cached embeddings are not trustworthy across the swap.
-        self.cache.clear();
+        // cached embeddings are not trustworthy across the swap. Eager
+        // eviction also frees their capacity (the epoch in the cache key
+        // already made them unreachable).
+        self.cache.invalidate_backend(id);
+        id
     }
 
-    /// Detach the current backend, returning it. Discovery and indexing
-    /// fail with [`StoreError::Backend`] until a backend is attached
-    /// again; the index itself stays queryable via
+    /// Attach a warehouse backend as the `"default"` namespace, replacing
+    /// any previous one — the legacy single-backend API.
+    pub fn attach(&self, backend: BackendHandle) {
+        self.attach_named(wg_util::names::DEFAULT_NAME, backend);
+    }
+
+    /// Detach the backend under `name`, returning it. The namespace's
+    /// recorded version tokens are invalidated (epoch bump — they describe
+    /// a backend that is gone) and its cached embeddings evicted eagerly,
+    /// so a *different* warehouse re-attached under the same name can
+    /// never be served stale state; the recorded table *keys* survive so
+    /// the first sync after a re-attach still drops vanished tables.
+    /// Indexed items stay queryable via value search and scoped discovery
+    /// from other namespaces.
+    pub fn detach_named(&self, name: &str) -> Option<BackendHandle> {
+        let handle = self.backends.detach(name)?;
+        // `detach` returned Some, so the name was attached before and is
+        // already interned.
+        let id = BackendId::named(name);
+        if let Some(state) = self.synced.write().backends.get_mut(&id) {
+            state.epoch += 1;
+        }
+        self.cache.invalidate_backend(id);
+        Some(handle)
+    }
+
+    /// Detach the `"default"` backend, returning it — the legacy
+    /// single-backend API. Discovery and indexing against the default
+    /// namespace fail with [`StoreError::Backend`] until a backend is
+    /// attached again; the index itself stays queryable via
     /// [`Self::discover_values`].
     pub fn detach(&self) -> Option<BackendHandle> {
-        self.backend.write().take()
+        self.detach_named(wg_util::names::DEFAULT_NAME)
     }
 
-    /// The attached backend, or an error if none is.
+    /// The `"default"` backend, or an error if none is attached.
     pub fn backend(&self) -> StoreResult<BackendHandle> {
-        self.backend.read().clone().ok_or_else(|| {
-            StoreError::Backend("no warehouse backend attached (call attach() first)".into())
+        self.backend_for(BackendId::DEFAULT)
+    }
+
+    /// The backend attached under a namespace, or an error naming it.
+    pub fn backend_for(&self, id: BackendId) -> StoreResult<BackendHandle> {
+        self.backends.get(id).ok_or_else(|| {
+            if id.is_default() {
+                StoreError::Backend("no warehouse backend attached (call attach() first)".into())
+            } else {
+                StoreError::Backend(format!("backend '{}' is not attached", id.name()))
+            }
         })
+    }
+
+    /// Ids of every attached backend, sorted.
+    pub fn attached_backends(&self) -> Vec<BackendId> {
+        self.backends.ids()
     }
 
     /// The configuration in use.
@@ -250,7 +354,7 @@ impl WarpGate {
         &self.embedder
     }
 
-    /// Number of indexed columns.
+    /// Number of indexed columns (across all namespaces).
     pub fn len(&self) -> usize {
         self.index.len()
     }
@@ -265,64 +369,136 @@ impl WarpGate {
         self.cache.stats()
     }
 
-    /// The current attach epoch. Captured *before* resolving the backend
-    /// handle: `attach` stores the new backend first and bumps the epoch
-    /// second, so an epoch captured before the handle can never be newer
-    /// than the backend the run scans — any concurrent attach makes the
-    /// epoch move and the run's token commit is discarded.
-    fn run_epoch(&self) -> u64 {
-        self.synced.read().epoch
+    /// The sorted attach set, or the legacy "nothing attached" error.
+    fn require_attached(&self) -> StoreResult<Vec<BackendId>> {
+        let ids = self.backends.ids();
+        if ids.is_empty() {
+            return Err(StoreError::Backend(
+                "no warehouse backend attached (call attach() first)".into(),
+            ));
+        }
+        Ok(ids)
+    }
+
+    /// One namespace's current attach epoch (0 if never attached).
+    /// Captured *before* resolving the backend handle: `attach_named`
+    /// stores the new backend first and bumps the epoch second, so an
+    /// epoch captured before the handle can never be newer than the
+    /// backend the run scans — any concurrent attach makes the epoch move
+    /// and the run's token commit is discarded.
+    fn run_epoch(&self, id: BackendId) -> u64 {
+        self.synced.read().backends.get(&id).map(|s| s.epoch).unwrap_or(0)
     }
 
     /// Record that the index now reflects these tables at these versions —
-    /// unless the attach epoch moved since `run_epoch` was captured, in
-    /// which case the tokens belong to a detached backend and recording
-    /// them would poison the next sync's diff; discard instead (the next
-    /// sync re-scans, which is the safe direction).
-    fn record_synced(&self, run_epoch: u64, metas: &[TableMeta]) {
+    /// unless the namespace's attach epoch moved since `run_epoch` was
+    /// captured, in which case the tokens belong to a detached backend and
+    /// recording them would poison the next sync's diff; discard instead
+    /// (the next sync re-scans, which is the safe direction).
+    fn record_synced(&self, id: BackendId, run_epoch: u64, metas: &[TableMeta]) {
         let mut state = self.synced.write();
-        if state.epoch != run_epoch {
+        let be = state.backends.entry(id).or_default();
+        if be.epoch != run_epoch {
             return;
         }
         for m in metas {
-            state.tables.insert(
+            be.tables.insert(
                 (m.database.clone(), m.table.clone()),
                 TableState { epoch: run_epoch, version: m.version },
             );
         }
     }
 
-    /// Index every column of the attached warehouse: scan (sampled) →
-    /// embed → insert. Scanning and embedding fan out over worker threads;
-    /// inserts land in batches on the id-partitioned index shards.
+    /// Index every column of every attached warehouse: scan (sampled) →
+    /// embed → insert, one backend at a time. Scanning and embedding fan
+    /// out over worker threads; inserts land in batches on the
+    /// id-partitioned index shards.
     pub fn index_warehouse(&self) -> StoreResult<IndexReport> {
-        let run_epoch = self.run_epoch();
-        let backend = self.backend()?;
+        let ids = self.require_attached()?;
+        let sw = Stopwatch::start();
+        let mut report = IndexReport {
+            columns_indexed: 0,
+            columns_skipped: 0,
+            elapsed_secs: 0.0,
+            cost: CostSnapshot::default(),
+        };
+        for id in ids {
+            let one = self.index_backend(id)?;
+            report.columns_indexed += one.columns_indexed;
+            report.columns_skipped += one.columns_skipped;
+            report.cost = report.cost.plus(&one.cost);
+        }
+        report.elapsed_secs = sw.elapsed_secs();
+        Ok(report)
+    }
+
+    /// Index every column of one attached backend.
+    pub fn index_backend(&self, id: BackendId) -> StoreResult<IndexReport> {
+        let run_epoch = self.run_epoch(id);
+        let backend = self.backend_for(id)?;
         // Version tokens are fetched *before* scanning but recorded only
         // after the run succeeds: if content changes mid-run the recorded
         // token is the older one and the next sync re-scans
         // (conservative), and a failed run records nothing at all.
         let metas = backend.list_tables()?;
-        let refs: Vec<ColumnRef> = metas.iter().flat_map(|m| m.column_refs()).collect();
+        let refs: Vec<ColumnRef> = metas.iter().flat_map(|m| m.scoped_column_refs(id)).collect();
         let report = self.index_refs(backend.as_ref(), refs)?;
-        self.record_synced(run_epoch, &metas);
+        self.record_synced(id, run_epoch, &metas);
         Ok(report)
     }
 
-    /// Index (or refresh) a single table — the incremental path for CDWs
-    /// with high update rates.
+    /// Index (or refresh) a single default-namespace table — the
+    /// incremental path for CDWs with high update rates.
     pub fn index_table(&self, database: &str, table: &str) -> StoreResult<IndexReport> {
-        let run_epoch = self.run_epoch();
-        let backend = self.backend()?;
-        let meta = backend.table_meta(database, table)?;
-        let report = self.index_refs(backend.as_ref(), meta.column_refs())?;
-        self.record_synced(run_epoch, std::slice::from_ref(&meta));
+        self.index_table_scoped(&TableRef::new(database, table))
+    }
+
+    /// Index (or refresh) a single table in its ref's namespace.
+    pub fn index_table_scoped(&self, table: &TableRef) -> StoreResult<IndexReport> {
+        let id = table.backend;
+        let run_epoch = self.run_epoch(id);
+        let backend = self.backend_for(id)?;
+        let meta = backend.table_meta(&table.database, &table.table)?;
+        let report = self.index_refs(backend.as_ref(), meta.scoped_column_refs(id))?;
+        self.record_synced(id, run_epoch, std::slice::from_ref(&meta));
         Ok(report)
     }
 
-    /// Reconcile the index with the attached backend, touching only what
-    /// changed. Diffs the backend's table-version tokens against what the
-    /// index reflects:
+    /// Reconcile the index with every attached backend, touching only what
+    /// changed. Each namespace diffs independently against its own
+    /// recorded version tokens (see [`Self::sync_backend`] for the
+    /// per-table mechanics); the returned report aggregates the run and
+    /// carries each backend's slice in [`SyncReport::per_backend`], so
+    /// scan costs stay attributed to the namespace that billed them.
+    pub fn sync(&self) -> StoreResult<SyncReport> {
+        let ids = self.require_attached()?;
+        let sw = Stopwatch::start();
+        let mut total = SyncReport::default();
+        for id in ids {
+            let one = self.sync_one(id)?;
+            total.absorb(id, one);
+        }
+        total.elapsed_secs = sw.elapsed_secs();
+        Ok(total)
+    }
+
+    /// Reconcile one named backend, leaving every other namespace — index
+    /// entries, cache entries, recorded tokens — untouched. Errors if no
+    /// backend is attached under `name`.
+    pub fn sync_backend(&self, name: &str) -> StoreResult<SyncReport> {
+        let id = wg_util::names::lookup(name)
+            .map(BackendId::from_bits)
+            .ok_or_else(|| StoreError::Backend(format!("backend '{name}' is not attached")))?;
+        self.sync_backend_id(id)
+    }
+
+    /// [`Self::sync_backend`] by interned id.
+    pub fn sync_backend_id(&self, id: BackendId) -> StoreResult<SyncReport> {
+        self.sync_one(id)
+    }
+
+    /// Diff one namespace's version tokens and re-scan only its change
+    /// set:
     ///
     /// * tables whose token changed are re-scanned, re-embedded, and
     ///   re-indexed (their cached query embeddings are evicted; their
@@ -335,9 +511,9 @@ impl WarpGate {
     ///
     /// Scan cost (and the returned [`SyncReport::cost`]) is therefore
     /// proportional to the change set, not the warehouse.
-    pub fn sync(&self) -> StoreResult<SyncReport> {
-        let run_epoch = self.run_epoch();
-        let backend = self.backend()?;
+    fn sync_one(&self, id: BackendId) -> StoreResult<SyncReport> {
+        let run_epoch = self.run_epoch(id);
+        let backend = self.backend_for(id)?;
         let sw = Stopwatch::start();
         let cost_before = backend.costs();
         // Diff on the cheap change-token surface; full metadata (column
@@ -346,7 +522,8 @@ impl WarpGate {
         // every file and parsing every file on a no-op sync.
         let versions = backend.snapshot_versions()?;
 
-        let recorded = self.synced.read().tables.clone();
+        let recorded: FxHashMap<(String, String), TableState> =
+            self.synced.read().backends.get(&id).map(|s| s.tables.clone()).unwrap_or_default();
         let mut report = SyncReport::default();
 
         // Vanished tables drop out entirely.
@@ -354,7 +531,8 @@ impl WarpGate {
             versions.iter().map(|v| (v.database.as_str(), v.table.as_str())).collect();
         for (database, table) in recorded.keys() {
             if !current.contains(&(database.as_str(), table.as_str())) {
-                report.columns_removed += self.remove_table(database, table);
+                report.columns_removed +=
+                    self.remove_table_scoped(&TableRef::scoped(id, database, table));
                 report.tables_removed += 1;
             }
         }
@@ -373,7 +551,11 @@ impl WarpGate {
             if known {
                 report.tables_updated += 1;
                 // Columns that vanished from the still-present table.
-                let live = self.registry.read().table_refs(&meta.database, &meta.table);
+                let live = self.registry.read().table_refs(&TableRef::scoped(
+                    id,
+                    &meta.database,
+                    &meta.table,
+                ));
                 let vanished: Vec<ColumnRef> = live
                     .into_iter()
                     .filter(|r| !meta.columns.iter().any(|c| c == &r.column))
@@ -384,7 +566,7 @@ impl WarpGate {
             } else {
                 report.tables_added += 1;
             }
-            to_index.extend(meta.column_refs());
+            to_index.extend(meta.scoped_column_refs(id));
             to_record.push(meta);
         }
 
@@ -392,7 +574,7 @@ impl WarpGate {
         // Tokens (fetched before the scans) are committed only now that
         // the scans succeeded — a failed sync records nothing, so the next
         // one retries the same change set.
-        self.record_synced(run_epoch, &to_record);
+        self.record_synced(id, run_epoch, &to_record);
         report.columns_indexed = indexed.columns_indexed;
         report.columns_skipped = indexed.columns_skipped;
         report.elapsed_secs = sw.elapsed_secs();
@@ -438,12 +620,12 @@ impl WarpGate {
 
         // (Re-)indexing means these columns' warehouse data may have
         // changed; cached query embeddings for them are stale.
-        let mut touched: wg_util::FxHashSet<(&str, &str)> = wg_util::fx_hash_set();
+        let mut touched: wg_util::FxHashSet<(BackendId, &str, &str)> = wg_util::fx_hash_set();
         for r in &refs {
-            touched.insert((&r.database, &r.table));
+            touched.insert((r.backend, &r.database, &r.table));
         }
-        for (database, table) in touched {
-            self.cache.invalidate_table(database, table);
+        for (backend_id, database, table) in touched {
+            self.cache.invalidate_table(&TableRef::scoped(backend_id, database, table));
         }
 
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<ColumnRef>();
@@ -547,50 +729,73 @@ impl WarpGate {
         removed
     }
 
-    /// Remove a table's columns from the index (e.g. after a drop). Returns
-    /// how many columns were removed.
+    /// Remove a default-namespace table's columns from the index (e.g.
+    /// after a drop). Returns how many columns were removed.
+    pub fn remove_table(&self, database: &str, table: &str) -> usize {
+        self.remove_table_scoped(&TableRef::new(database, table))
+    }
+
+    /// Remove one (namespaced) table's columns from the index. Returns how
+    /// many columns were removed.
     ///
     /// Victims are collected under a shared read lock; the write locks
     /// (registry, then the affected shards) are only held for the actual
     /// mutation, so concurrent queries proceed through the scan.
-    pub fn remove_table(&self, database: &str, table: &str) -> usize {
-        let victims = self.registry.read().table_refs(database, table);
-        self.synced.write().tables.remove(&(database.to_string(), table.to_string()));
+    pub fn remove_table_scoped(&self, table: &TableRef) -> usize {
+        let victims = self.registry.read().table_refs(table);
+        if let Some(state) = self.synced.write().backends.get_mut(&table.backend) {
+            state.tables.remove(&(table.database.clone(), table.table.clone()));
+        }
         if victims.is_empty() {
-            self.cache.invalidate_table(database, table);
+            self.cache.invalidate_table(table);
             return 0;
         }
         let removed = self.remove_refs(&victims);
-        self.cache.invalidate_table(database, table);
+        self.cache.invalidate_table(table);
         removed
     }
 
     /// Discovery query for a warehouse column: load (sampled) → embed →
-    /// LSH lookup → exact re-rank. The scan and embed phases are skipped
-    /// when the query embedding is cached from an earlier call (see
-    /// [`QueryTiming::cache_hit`]).
+    /// LSH lookup → exact re-rank, over every attached namespace. The scan
+    /// and embed phases are skipped when the query embedding is cached
+    /// from an earlier call (see [`QueryTiming::cache_hit`]).
     pub fn discover(&self, query: &ColumnRef, k: usize) -> StoreResult<Discovery> {
+        self.discover_scoped(query, k, &DiscoverScope::All)
+    }
+
+    /// [`Self::discover`] restricted to a backend scope: "find joins for
+    /// this CDW column in the data lake only", or "everywhere but where it
+    /// came from". The scope is pushed into LSH candidate generation —
+    /// out-of-scope namespaces cost no exact scoring — and only the query
+    /// column's own backend is ever scanned (and billed).
+    pub fn discover_scoped(
+        &self,
+        query: &ColumnRef,
+        k: usize,
+        scope: &DiscoverScope,
+    ) -> StoreResult<Discovery> {
         // Epoch before backend (see `run_epoch`): if an attach races this
         // query, the embedding we compute lands under the old epoch's
         // cache key, unreachable by post-attach lookups.
-        let epoch = self.run_epoch();
-        let backend = self.backend()?;
+        let epoch = self.run_epoch(query.backend);
+        let backend = self.backend_for(query.backend)?;
         // Validate the target exists before paying for a scan.
         backend.validate_column(query)?;
-        self.discover_validated(&backend, epoch, query, k)
+        self.discover_validated(&backend, epoch, query, k, scope)
     }
 
-    /// [`Self::discover`] after validation — the shared body for single
-    /// queries and batch workers (which validate the whole batch up front
-    /// and must not re-pay a catalog lookup per query).
+    /// [`Self::discover_scoped`] after validation — the shared body for
+    /// single queries and batch workers (which validate the whole batch up
+    /// front and must not re-pay a catalog lookup per query).
     fn discover_validated(
         &self,
         backend: &BackendHandle,
         epoch: u64,
         query: &ColumnRef,
         k: usize,
+        scope: &DiscoverScope,
     ) -> StoreResult<Discovery> {
-        let mut timing = QueryTiming::default();
+        let mut timing = QueryTiming { backend: Some(query.backend), ..QueryTiming::default() };
         let key = EmbeddingKey::new(
             query,
             self.config.sample,
@@ -630,7 +835,7 @@ impl WarpGate {
                 outcome: SearchOutcome { candidates: 0, scored: 0 },
             });
         }
-        let (candidates, outcome, lookup_secs) = self.search_vector(&vector, query, k);
+        let (candidates, outcome, lookup_secs) = self.search_vector(&vector, query, k, scope);
         timing.lookup_secs = lookup_secs;
         Ok(Discovery { query: query.clone(), candidates, timing, outcome })
     }
@@ -639,7 +844,8 @@ impl WarpGate {
     /// scan → embed → lookup pipeline out over worker threads. This is the
     /// warehouse-wide join-graph workload: results come back in input
     /// order, and repeated or previously seen query columns hit the
-    /// embedding cache.
+    /// embedding cache. Queries may span namespaces; each scans only its
+    /// own backend.
     ///
     /// Work is claimed in **chunks**, not dispatched per column: the batch
     /// is cut into contiguous chunks a few per worker, workers claim the
@@ -658,18 +864,38 @@ impl WarpGate {
     /// resolves to one worker per hardware thread, which is right for
     /// the in-process compute-bound backends.
     pub fn discover_batch(&self, queries: &[ColumnRef], k: usize) -> StoreResult<Vec<Discovery>> {
-        let epoch = self.run_epoch();
-        let backend = self.backend()?;
-        // Validate everything up front: one bad ref fails the batch before
-        // any column is scanned (and billed).
+        self.discover_batch_scoped(queries, k, &DiscoverScope::All)
+    }
+
+    /// [`Self::discover_batch`] restricted to a backend scope.
+    pub fn discover_batch_scoped(
+        &self,
+        queries: &[ColumnRef],
+        k: usize,
+        scope: &DiscoverScope,
+    ) -> StoreResult<Vec<Discovery>> {
+        // Resolve each involved namespace once, epoch before handle (see
+        // `run_epoch`), then validate everything up front: one bad ref
+        // fails the batch before any column is scanned (and billed).
+        let mut resolved: FxHashMap<BackendId, (u64, BackendHandle)> = wg_util::fx_hash_map();
         for q in queries {
-            backend.validate_column(q)?;
+            if let std::collections::hash_map::Entry::Vacant(slot) = resolved.entry(q.backend) {
+                let epoch = self.run_epoch(q.backend);
+                let backend = self.backend_for(q.backend)?;
+                slot.insert((epoch, backend));
+            }
+        }
+        for q in queries {
+            resolved[&q.backend].1.validate_column(q)?;
         }
         let threads = self.config.effective_threads().min(queries.len().max(1));
         if threads <= 1 || queries.len() <= 1 {
             return queries
                 .iter()
-                .map(|q| self.discover_validated(&backend, epoch, q, k))
+                .map(|q| {
+                    let (epoch, backend) = &resolved[&q.backend];
+                    self.discover_validated(backend, *epoch, q, k, scope)
+                })
                 .collect();
         }
 
@@ -695,7 +921,8 @@ impl WarpGate {
                     if abort.load(std::sync::atomic::Ordering::Relaxed) {
                         return Ok(produced);
                     }
-                    match self.discover_validated(&backend, epoch, q, k) {
+                    let (epoch, backend) = &resolved[&q.backend];
+                    match self.discover_validated(backend, *epoch, q, k, scope) {
                         Ok(d) => out.push(d),
                         Err(e) => {
                             abort.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -740,12 +967,22 @@ impl WarpGate {
     /// query — e.g. a user-pasted list). Works without an attached
     /// backend: only the in-memory index is consulted.
     pub fn discover_values<S: AsRef<str>>(&self, values: &[S], k: usize) -> Vec<JoinCandidate> {
+        self.discover_values_scoped(values, k, &DiscoverScope::All)
+    }
+
+    /// [`Self::discover_values`] restricted to a backend scope.
+    pub fn discover_values_scoped<S: AsRef<str>>(
+        &self,
+        values: &[S],
+        k: usize,
+        scope: &DiscoverScope,
+    ) -> Vec<JoinCandidate> {
         let vector = self.embedder.embed_values(values);
         if vector.is_zero() {
             return Vec::new();
         }
         let nowhere = ColumnRef::new("", "", "");
-        self.search_vector(&vector, &nowhere, k).0
+        self.search_vector(&vector, &nowhere, k, scope).0
     }
 
     fn search_vector(
@@ -753,18 +990,20 @@ impl WarpGate {
         vector: &wg_embed::Vector,
         query: &ColumnRef,
         k: usize,
+        scope: &DiscoverScope,
     ) -> (Vec<JoinCandidate>, SearchOutcome, f64) {
         let registry = self.registry.read();
         let exclude_same_table = self.config.exclude_same_table;
         let sw = Stopwatch::start();
-        let (hits, outcome) = self.index.search_with_outcome(vector.as_slice(), k, |id| {
-            match registry.reference(id) {
-                // Tombstoned ids never match; the query column itself and
-                // (optionally) its table-mates are filtered out.
-                None => true,
-                Some(r) => r == query || (exclude_same_table && r.same_table(query)),
-            }
-        });
+        let (hits, outcome) =
+            self.index.search_scoped_with_outcome(vector.as_slice(), k, scope, |id| {
+                match registry.reference(id) {
+                    // Tombstoned ids never match; the query column itself and
+                    // (optionally) its table-mates are filtered out.
+                    None => true,
+                    Some(r) => r == query || (exclude_same_table && r.same_table(query)),
+                }
+            });
         let lookup_secs = sw.elapsed_secs();
         let candidates = hits
             .into_iter()
@@ -777,7 +1016,10 @@ impl WarpGate {
 
     /// Execute the product interaction of Fig. 3 step 3 ("Add column via
     /// lookup"): pull the candidate's table and lookup-join the selected
-    /// columns onto the base table, preserving its cardinality.
+    /// columns onto the base table, preserving its cardinality. The
+    /// candidate's table is fetched from *its own* namespace's backend, so
+    /// a cross-warehouse augmentation pulls from the warehouse the
+    /// candidate actually lives in.
     ///
     /// `norm` controls the key transformation — [`KeyNorm::AlphaNum`]
     /// realizes the "joinable after transformation" semantics for format
@@ -790,7 +1032,7 @@ impl WarpGate {
         add_columns: &[&str],
         norm: KeyNorm,
     ) -> StoreResult<Table> {
-        let backend = self.backend()?;
+        let backend = self.backend_for(candidate.backend)?;
         let lookup_table = backend.scan_table(
             &candidate.database,
             &candidate.table,
@@ -807,15 +1049,22 @@ impl WarpGate {
     }
 
     /// Direct cosine similarity between two warehouse columns under this
-    /// system's embedding — the paper's `J(A,B)` made inspectable. Embeds
-    /// values only (no schema-context blend); embeddings come from (and
-    /// feed) the cache under the value-only key.
+    /// system's embedding — the paper's `J(A,B)` made inspectable, and
+    /// cross-warehouse capable (each ref scans its own namespace's
+    /// backend). Embeds values only (no schema-context blend); embeddings
+    /// come from (and feed) the cache under the value-only key.
     pub fn joinability(&self, a: &ColumnRef, b: &ColumnRef) -> StoreResult<f32> {
-        let epoch = self.run_epoch();
-        let backend = self.backend()?;
-        let va = self.value_embedding(backend.as_ref(), a, epoch)?;
-        let vb = self.value_embedding(backend.as_ref(), b, epoch)?;
+        let va = self.scoped_value_embedding(a)?;
+        let vb = self.scoped_value_embedding(b)?;
         Ok(va.cosine(&vb))
+    }
+
+    /// Resolve a ref's own namespace (epoch before handle) and compute its
+    /// value-only embedding.
+    fn scoped_value_embedding(&self, r: &ColumnRef) -> StoreResult<wg_embed::Vector> {
+        let epoch = self.run_epoch(r.backend);
+        let backend = self.backend_for(r.backend)?;
+        self.value_embedding(backend.as_ref(), r, epoch)
     }
 
     /// Cached value-only column embedding (context weight key `0.0`, which
@@ -839,16 +1088,13 @@ impl WarpGate {
 
     pub(crate) fn snapshot_for_persist(&self) -> (Vec<u8>, Vec<(u32, ColumnRef)>) {
         let mut index_bytes = Vec::new();
-        // The sharded index serializes to the same merged frame as the old
-        // single-lock index, so snapshots are independent of shard count.
-        self.index.encode(&mut index_bytes);
+        // All-default contents serialize to the same merged v1 frame as
+        // before federation (byte-identical snapshots); any other
+        // namespace upgrades the frame to v2 with a backend-name table.
+        self.index.encode_with_backends(&mut index_bytes, |bits| BackendId::from_bits(bits).name());
         let registry = self.registry.read();
-        let mut entries: Vec<(u32, ColumnRef)> = registry
-            .refs
-            .iter()
-            .enumerate()
-            .filter_map(|(id, r)| r.as_ref().map(|r| (id as u32, r.clone())))
-            .collect();
+        let mut entries: Vec<(u32, ColumnRef)> =
+            registry.ref_of.iter().map(|(id, r)| (*id, r.clone())).collect();
         entries.sort_by_key(|(id, _)| *id);
         (index_bytes, entries)
     }
@@ -867,29 +1113,20 @@ impl WarpGate {
         }
         let mut registry = Registry::default();
         for (id, r) in entries {
-            // Ids were assigned densely at save time in ascending order;
-            // re-inserting in that order reproduces them.
-            let got = registry.insert(r);
-            if got != id {
-                // Gaps from removed columns: pad with tombstones.
-                while registry.refs.len() as u32 <= id {
-                    registry.refs.push(None);
-                }
-                let r = registry.refs[got as usize].take().expect("just inserted");
-                registry.id_of.insert(r.clone(), id);
-                registry.refs[id as usize] = Some(r);
-            }
+            registry.insert_at(id, r);
         }
         *self.registry.write() = registry;
         self.index = index;
         // The snapshot may come from a system over different warehouse
         // content; cached query embeddings are not trustworthy across it,
         // and neither are recorded sync versions — the next sync() must
-        // re-scan everything the backend still serves.
+        // re-scan everything each backend still serves.
         self.cache.clear();
         let mut synced = self.synced.write();
-        synced.epoch += 1;
-        synced.tables.clear();
+        for state in synced.backends.values_mut() {
+            state.epoch += 1;
+            state.tables.clear();
+        }
         Ok(())
     }
 }
@@ -1005,6 +1242,7 @@ mod tests {
         assert!(d.timing.embed_secs > 0.0);
         assert!(d.timing.lookup_secs > 0.0);
         assert!(d.timing.total_secs() < 5.0, "unexpectedly slow");
+        assert_eq!(d.timing.backend, Some(BackendId::DEFAULT), "scan bills the query's namespace");
     }
 
     #[test]
@@ -1545,5 +1783,190 @@ mod tests {
         assert_eq!(wg.len(), 2);
         let d = wg.discover(&ColumnRef::new("salesforce", "account", "name"), 10).unwrap();
         assert!(d.candidates.iter().all(|j| j.reference.database != "stocks"));
+    }
+
+    // ── Federation ────────────────────────────────────────────────────
+
+    /// A second warehouse whose tables hold format variants of the default
+    /// connector's company names, so cross-namespace discovery has real
+    /// joins to find.
+    fn lake_connector() -> Arc<CdwConnector> {
+        let mut w = Warehouse::new("lake");
+        w.database_mut("raw").add_table(
+            Table::new(
+                "exports",
+                vec![Column::text(
+                    "company",
+                    (0..50).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        Arc::new(CdwConnector::new(w, CdwConfig::free()))
+    }
+
+    #[test]
+    fn named_attach_indexes_into_its_own_namespace() {
+        let (wg, _c) = system();
+        let lake = wg.attach_named("system-test-lake", lake_connector());
+        assert!(!lake.is_default());
+        assert_eq!(wg.attached_backends().len(), 2);
+        let before = wg.len();
+        wg.sync().unwrap();
+        assert_eq!(wg.len(), before + 1, "the lake's one column joined the index");
+
+        // Cross-namespace discovery: the default CDW's query column finds
+        // the lake's format variant.
+        let q = ColumnRef::new("salesforce", "account", "name");
+        let d = wg.discover(&q, 10).unwrap();
+        let lake_ref = ColumnRef::scoped(lake, "raw", "exports", "company");
+        assert!(
+            d.candidates.iter().any(|j| j.reference == lake_ref),
+            "lake variant missing from {:?}",
+            d.candidates
+        );
+
+        // Scoping to the lake returns only lake candidates; excluding it
+        // returns none of them.
+        let only = wg.discover_scoped(&q, 10, &DiscoverScope::include([lake.bits()])).unwrap();
+        assert!(!only.candidates.is_empty());
+        assert!(only.candidates.iter().all(|j| j.reference.backend == lake));
+        let none = wg.discover_scoped(&q, 10, &DiscoverScope::exclude([lake.bits()])).unwrap();
+        assert!(none.candidates.iter().all(|j| j.reference.backend != lake));
+    }
+
+    #[test]
+    fn sync_backend_touches_only_its_namespace() {
+        let (wg, c) = system();
+        let lake_c = lake_connector();
+        wg.attach_named("system-test-lake2", lake_c.clone());
+        wg.sync().unwrap();
+
+        // Mutate BOTH warehouses, then sync only the lake.
+        c.warehouse_mut()
+            .database_mut("salesforce")
+            .add_table(Table::new("fresh", vec![Column::text("x", ["a", "b", "c"])]).unwrap());
+        lake_c.warehouse_mut().database_mut("raw").add_table(
+            Table::new(
+                "exports",
+                vec![Column::text(
+                    "company",
+                    (0..40).map(|i| format!("Updated Co {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        c.reset_costs();
+        lake_c.reset_costs();
+        let report = wg.sync_backend("system-test-lake2").unwrap();
+        assert_eq!(report.tables_updated, 1);
+        assert_eq!(c.costs().requests, 0, "the default CDW must not be scanned");
+        assert!(lake_c.costs().requests >= 1, "the lake re-scans its changed table");
+
+        // The default namespace's pending change is still there for its
+        // own sync.
+        let rest = wg.sync().unwrap();
+        assert_eq!(rest.tables_added, 1, "the CDW's new table syncs separately: {rest:?}");
+    }
+
+    #[test]
+    fn per_backend_sync_slices_attribute_costs() {
+        let wg = WarpGate::new(WarpGateConfig { threads: 1, ..Default::default() });
+        let cdw = wg.attach_named("system-test-slice-cdw", connector());
+        let lake = wg.attach_named("system-test-slice-lake", lake_connector());
+        let report = wg.sync().unwrap();
+        assert_eq!(report.per_backend.len(), 2);
+        let slice_of = |id: BackendId| {
+            report.per_backend.iter().find(|(b, _)| *b == id).map(|(_, r)| r).unwrap()
+        };
+        assert_eq!(slice_of(cdw).columns_indexed, 6);
+        assert_eq!(slice_of(lake).columns_indexed, 1);
+        assert!(slice_of(cdw).cost.requests >= 6);
+        assert!(slice_of(lake).cost.requests >= 1);
+        assert_eq!(
+            report.columns_indexed,
+            report.per_backend.iter().map(|(_, r)| r.columns_indexed).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn detach_named_evicts_cache_and_tokens_for_reattach() {
+        let wg = WarpGate::new(WarpGateConfig { threads: 1, ..Default::default() });
+        let lake = wg.attach_named("system-test-swap", lake_connector());
+        wg.sync().unwrap();
+        let q = ColumnRef::scoped(lake, "raw", "exports", "company");
+        wg.discover(&q, 3).unwrap();
+        assert!(wg.discover(&q, 3).unwrap().timing.cache_hit);
+
+        let detached = wg.detach_named("system-test-swap");
+        assert!(detached.is_some());
+        assert!(matches!(wg.discover(&q, 3), Err(StoreError::Backend(_))));
+
+        // A *different* warehouse re-attaches under the same name: same
+        // table name, different content. Nothing stale may survive.
+        let mut w = Warehouse::new("lake2");
+        w.database_mut("raw").add_table(
+            Table::new(
+                "exports",
+                vec![Column::text(
+                    "company",
+                    (0..30).map(|i| format!("Other {i}")).collect::<Vec<_>>(),
+                )],
+            )
+            .unwrap(),
+        );
+        let id2 =
+            wg.attach_named("system-test-swap", Arc::new(CdwConnector::new(w, CdwConfig::free())));
+        assert_eq!(id2, lake, "a name keeps its namespace across re-attach");
+        let report = wg.sync().unwrap();
+        assert_eq!(
+            report.tables_updated + report.tables_added,
+            1,
+            "epoch bump forces the re-attached table to re-scan: {report:?}"
+        );
+        let d = wg.discover(&q, 3).unwrap();
+        assert!(!d.timing.cache_hit, "the old warehouse's embedding must not serve the new one");
+    }
+
+    #[test]
+    fn racing_attach_discards_in_flight_sync_tokens() {
+        // The epoch guard: a sync captures its epoch, scans the OLD
+        // backend, and tries to commit tokens after attach_named swapped
+        // in a NEW backend. The commit must be discarded — otherwise the
+        // next sync would treat the old backend's versions as current and
+        // skip re-scanning the new backend's content.
+        let wg = WarpGate::new(WarpGateConfig { threads: 1, ..Default::default() });
+        let id = wg.attach_named("system-test-race", lake_connector());
+        let stale_epoch = wg.run_epoch(id);
+        let metas = wg.backend_for(id).unwrap().list_tables().unwrap();
+
+        // The swap lands while the (simulated) sync run is in flight.
+        wg.attach_named("system-test-race", lake_connector());
+        wg.record_synced(id, stale_epoch, &metas);
+        assert!(
+            wg.synced.read().backends.get(&id).unwrap().tables.is_empty(),
+            "stale-epoch token commit must be discarded"
+        );
+
+        // And the very next sync re-scans everything the new backend serves.
+        let report = wg.sync_backend("system-test-race").unwrap();
+        assert_eq!(report.tables_added + report.tables_updated, 1, "{report:?}");
+    }
+
+    #[test]
+    fn cross_namespace_joinability_and_augment() {
+        let (wg, c) = system();
+        let lake = wg.attach_named("system-test-xjoin", lake_connector());
+        wg.sync().unwrap();
+        let a = ColumnRef::new("salesforce", "account", "name");
+        let b = ColumnRef::scoped(lake, "raw", "exports", "company");
+        let j = wg.joinability(&a, &b).unwrap();
+        assert!(j > 0.8, "cross-warehouse joinability {j}");
+
+        // Augment a default-namespace table with a lake candidate: the
+        // lookup table must be fetched from the lake's backend.
+        let base = c.warehouse().table("salesforce", "account").unwrap().clone();
+        let augmented = wg.augment_via_lookup(&base, "name", &b, &[], KeyNorm::CaseFold).unwrap();
+        assert_eq!(augmented.num_rows(), base.num_rows());
     }
 }

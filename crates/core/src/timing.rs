@@ -1,5 +1,7 @@
 //! Query timing decomposition.
 
+use wg_store::BackendId;
+
 /// Wall-clock decomposition of one discovery query.
 ///
 /// The paper's Table 2 analysis rests on exactly this split: index lookup
@@ -26,6 +28,12 @@ pub struct QueryTiming {
     /// cache: the scan and embed phases were skipped entirely, so
     /// `load_secs`, `embed_secs`, and `virtual_load_secs` are all zero.
     pub cache_hit: bool,
+    /// The backend namespace whose scan these costs bill to, when a single
+    /// one is attributable: the query column's backend for `discover`, the
+    /// synced backend for a per-backend [`crate::SyncReport`] slice.
+    /// `None` when the timing aggregates across backends (see
+    /// [`Self::add`]) or predates attribution.
+    pub backend: Option<BackendId>,
 }
 
 impl QueryTiming {
@@ -61,6 +69,11 @@ impl QueryTiming {
         self.virtual_load_secs += other.virtual_load_secs;
         self.retries += other.retries;
         self.cache_hit |= other.cache_hit;
+        // Attribution survives only while every constituent billed the
+        // same namespace; mixing backends yields an unattributed total.
+        if self.backend != other.backend {
+            self.backend = None;
+        }
     }
 
     /// Component-wise division by a count. The retry count stays a total
@@ -78,6 +91,7 @@ impl QueryTiming {
             virtual_load_secs: self.virtual_load_secs / d,
             retries: self.retries,
             cache_hit: self.cache_hit,
+            backend: self.backend,
         }
     }
 }
@@ -134,6 +148,17 @@ mod tests {
         acc.add(&QueryTiming::default());
         assert!(acc.cache_hit);
         assert!(acc.divide(2).cache_hit);
+    }
+
+    #[test]
+    fn backend_attribution_survives_same_backend_sums_only() {
+        let wh = Some(BackendId::named("timing-test-wh"));
+        let mut acc = QueryTiming { backend: wh, ..QueryTiming::default() };
+        acc.add(&QueryTiming { backend: wh, load_secs: 1.0, ..QueryTiming::default() });
+        assert_eq!(acc.backend, wh, "same-backend sums stay attributed");
+        assert_eq!(acc.divide(2).backend, wh);
+        acc.add(&QueryTiming::default());
+        assert_eq!(acc.backend, None, "mixing namespaces drops attribution");
     }
 
     #[test]

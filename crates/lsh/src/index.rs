@@ -12,6 +12,7 @@ use wg_util::{FxHashMap, TopK};
 
 use crate::arena::VectorArena;
 use crate::params::LshParams;
+use crate::scope::DiscoverScope;
 use crate::simhash::{Signature, SimHasher};
 use crate::ItemId;
 
@@ -19,6 +20,13 @@ use crate::ItemId;
 /// [`crate::ShardedLshIndex`], whose snapshot is the same frame).
 pub(crate) const FRAME_MAGIC: [u8; 4] = *b"WGLX";
 pub(crate) const FRAME_VERSION: u32 = 1;
+
+/// Version of the federated frame: v1 plus a backend table mapping the
+/// high bits of stored ids to backend names, written by
+/// [`crate::ShardedLshIndex::encode_with_backends`] only when some item
+/// lives outside the default namespace (all-default snapshots stay v1,
+/// byte-identical to the legacy layout).
+pub(crate) const FRAME_VERSION_FEDERATED: u32 = 2;
 
 /// Diagnostics from one search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,16 +193,39 @@ impl SimHashLshIndex {
     /// in place — no per-query hash-set allocation. The search path feeds
     /// this a thread-local scratch buffer.
     pub fn candidates_signed_into(&self, sig: &Signature, out: &mut Vec<ItemId>) {
+        self.candidates_signed_scoped_into(sig, &DiscoverScope::All, out);
+    }
+
+    /// [`Self::candidates_signed_into`] with a backend scope pushed into
+    /// candidate generation: out-of-scope ids are dropped as the buckets
+    /// are read, before the sort/dedup and before any exact scoring — an
+    /// excluded backend contributes zero work past the bucket probe. The
+    /// `All` scope takes the filter-free `extend_from_slice` path, so
+    /// unscoped searches pay nothing for this seam.
+    pub fn candidates_signed_scoped_into(
+        &self,
+        sig: &Signature,
+        scope: &DiscoverScope,
+        out: &mut Vec<ItemId>,
+    ) {
         out.clear();
+        let unscoped = scope.is_all();
+        let gather = |ids: &[ItemId], out: &mut Vec<ItemId>| {
+            if unscoped {
+                out.extend_from_slice(ids);
+            } else {
+                out.extend(ids.iter().copied().filter(|&id| scope.admits(id)));
+            }
+        };
         for (band, buckets) in self.bands.iter().enumerate() {
             let key = sig.band_key(band, self.params.rows);
             if let Some(ids) = buckets.get(&key) {
-                out.extend_from_slice(ids);
+                gather(ids, out);
             }
             for flip in 0..self.probes {
                 let probe_key = key ^ (1u64 << flip);
                 if let Some(ids) = buckets.get(&probe_key) {
-                    out.extend_from_slice(ids);
+                    gather(ids, out);
                 }
             }
         }
@@ -238,8 +269,23 @@ impl SimHashLshIndex {
         k: usize,
         exclude: impl Fn(ItemId) -> bool,
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        self.search_signed_scoped_with_outcome(query, sig, k, &DiscoverScope::All, exclude)
+    }
+
+    /// [`Self::search_signed_with_outcome`] restricted to a backend scope.
+    /// The scope filters during candidate generation (cheap, per-bucket);
+    /// `exclude` filters the survivors (arbitrary caller predicate, e.g.
+    /// same-table suppression).
+    pub fn search_signed_scoped_with_outcome(
+        &self,
+        query: &[f32],
+        sig: &Signature,
+        k: usize,
+        scope: &DiscoverScope,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
         let mut candidates = scratch::take_ids();
-        self.candidates_signed_into(sig, &mut candidates);
+        self.candidates_signed_scoped_into(sig, scope, &mut candidates);
         let total = candidates.len();
         let qnorm = kernel::norm_sq(query).sqrt();
         let mut slots = scratch::take_ids();

@@ -23,10 +23,13 @@ use parking_lot::RwLock;
 use wg_util::codec::{self, CodecError, CodecResult};
 use wg_util::TopK;
 
-use crate::index::{SearchOutcome, SimHashLshIndex, FRAME_MAGIC, FRAME_VERSION};
+use crate::index::{
+    SearchOutcome, SimHashLshIndex, FRAME_MAGIC, FRAME_VERSION, FRAME_VERSION_FEDERATED,
+};
 use crate::params::LshParams;
+use crate::scope::DiscoverScope;
 use crate::simhash::SimHasher;
-use crate::ItemId;
+use crate::{compose_item_id, item_backend, item_local, ItemId};
 
 /// A set of [`SimHashLshIndex`] shards with identical geometry, each behind
 /// its own reader–writer lock. All methods take `&self`; interior locking
@@ -184,12 +187,27 @@ impl ShardedLshIndex {
         k: usize,
         exclude: impl Fn(ItemId) -> bool,
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        self.search_scoped_with_outcome(query, k, &DiscoverScope::All, exclude)
+    }
+
+    /// [`Self::search_with_outcome`] restricted to a backend scope: the
+    /// scope drops out-of-scope ids during each shard's candidate
+    /// generation (before exact scoring), so excluded backends cost
+    /// nothing past the bucket probes.
+    pub fn search_scoped_with_outcome(
+        &self,
+        query: &[f32],
+        k: usize,
+        scope: &DiscoverScope,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
         let sig = self.hasher.sign(query);
         let mut merged = TopK::new(k);
         let mut outcome = SearchOutcome { candidates: 0, scored: 0 };
         for shard in &self.shards {
             let guard = shard.read();
-            let (hits, o) = guard.search_signed_with_outcome(query, &sig, k, &exclude);
+            let (hits, o) =
+                guard.search_signed_scoped_with_outcome(query, &sig, k, scope, &exclude);
             // Shards partition the id space, so the sums are exact counts.
             outcome.candidates += o.candidates;
             outcome.scored += o.scored;
@@ -199,6 +217,24 @@ impl ShardedLshIndex {
         }
         let results = merged.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
         (results, outcome)
+    }
+
+    /// Remove every item whose id lives in one backend namespace (high
+    /// bits = `backend_bits`), returning how many were removed. This is
+    /// the per-backend invalidation the federated id layout buys: no
+    /// caller-side id bookkeeping, one write-lock pass per shard.
+    pub fn remove_backend(&self, backend_bits: u16) -> usize {
+        let mut removed = 0usize;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            let doomed: Vec<ItemId> = guard
+                .items()
+                .map(|(id, _)| id)
+                .filter(|&id| item_backend(id) == backend_bits)
+                .collect();
+            removed += doomed.into_iter().filter(|&id| guard.remove(id)).count();
+        }
+        removed
     }
 
     /// Serialize to the same single-index frame [`SimHashLshIndex::encode`]
@@ -225,10 +261,71 @@ impl ShardedLshIndex {
     /// Deserialize a frame written by [`Self::encode`] (or by
     /// [`SimHashLshIndex::encode`]) into `shards` partitions. The stored
     /// geometry and seed win over the caller's defaults, exactly as in
-    /// [`SimHashLshIndex::decode`].
+    /// [`SimHashLshIndex::decode`]. Rejects federated (v2) frames — use
+    /// [`Self::decode_with_backends`] for those.
     pub fn decode(buf: &mut &[u8], shards: usize) -> CodecResult<Self> {
+        Self::decode_with_backends(buf, shards, |name| {
+            if name == "default" {
+                Ok(0)
+            } else {
+                Err(CodecError::Invalid(format!(
+                    "federated snapshot names backend '{name}' — decode_with_backends required"
+                )))
+            }
+        })
+    }
+
+    /// Serialize with a backend table. When every stored id lives in the
+    /// default namespace (backend bits 0) this writes the **byte-identical
+    /// v1 frame** of [`Self::encode`] — pre-federation readers keep
+    /// working and the legacy-snapshot pins stay exact. Otherwise it
+    /// writes a v2 frame: v1's geometry header, then a table mapping each
+    /// distinct backend-bit value to its attach name (via `name_of`), then
+    /// the items. Names, not bits, are authoritative across processes —
+    /// the interner assigns bits in attach order, which the loading
+    /// process need not share.
+    pub fn encode_with_backends(&self, buf: &mut Vec<u8>, name_of: impl Fn(u16) -> String) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut items: Vec<(ItemId, &[f32])> = guards.iter().flat_map(|g| g.items()).collect();
+        items.sort_unstable_by_key(|(id, _)| *id);
+        let mut backends: Vec<u16> = items.iter().map(|(id, _)| item_backend(*id)).collect();
+        backends.sort_unstable();
+        backends.dedup();
+        if backends.is_empty() || backends == [0] {
+            drop(guards);
+            return self.encode(buf);
+        }
+        codec::put_header(buf, FRAME_MAGIC, FRAME_VERSION_FEDERATED);
+        codec::put_u32(buf, self.dim() as u32);
+        codec::put_u32(buf, self.params.bands as u32);
+        codec::put_u32(buf, self.params.rows as u32);
+        codec::put_u64(buf, self.hasher.seed());
+        codec::put_u32(buf, guards[0].probes() as u32);
+        codec::put_len(buf, backends.len());
+        for &bits in &backends {
+            codec::put_u32(buf, bits as u32);
+            codec::put_str(buf, &name_of(bits));
+        }
+        codec::put_len(buf, items.len());
+        for (id, v) in items {
+            codec::put_u32(buf, id);
+            codec::put_f32_slice(buf, v);
+        }
+    }
+
+    /// Deserialize either frame version. v1 loads as-is (every id already
+    /// lives in the default namespace). v2 reads the backend table, asks
+    /// `resolve` for the loading process's bits for each *name*, and
+    /// remaps each item's high bits accordingly — so a snapshot taken in a
+    /// process that attached `lake` second loads correctly into one that
+    /// attached it fifth.
+    pub fn decode_with_backends(
+        buf: &mut &[u8],
+        shards: usize,
+        mut resolve: impl FnMut(&str) -> CodecResult<u16>,
+    ) -> CodecResult<Self> {
         let version = codec::get_header(buf, FRAME_MAGIC)?;
-        if version != FRAME_VERSION {
+        if version != FRAME_VERSION && version != FRAME_VERSION_FEDERATED {
             return Err(CodecError::Invalid(format!("unsupported index version {version}")));
         }
         let dim = codec::get_u32(buf)? as usize;
@@ -239,12 +336,34 @@ impl ShardedLshIndex {
         if dim == 0 || bands == 0 || rows == 0 || rows > 64 {
             return Err(CodecError::Invalid("bad index geometry".into()));
         }
+        // v2: stored backend bits -> this process's bits, by name.
+        let mut remap: Vec<(u16, u16)> = Vec::new();
+        if version == FRAME_VERSION_FEDERATED {
+            let k = codec::get_len(buf)?;
+            for _ in 0..k {
+                let stored_bits = codec::get_u32(buf)?;
+                if stored_bits > u16::MAX as u32 {
+                    return Err(CodecError::Invalid("backend bits out of range".into()));
+                }
+                let name = codec::get_str(buf)?;
+                remap.push((stored_bits as u16, resolve(&name)?));
+            }
+        }
         let index = Self::new(dim, LshParams { bands, rows }, seed, shards);
         index.set_probes(probes);
         let n = codec::get_len(buf)?;
         let mut items = Vec::with_capacity(n);
         for _ in 0..n {
-            let id = codec::get_u32(buf)?;
+            let mut id = codec::get_u32(buf)?;
+            if version == FRAME_VERSION_FEDERATED {
+                let stored = item_backend(id);
+                let Some(&(_, local_bits)) = remap.iter().find(|(from, _)| *from == stored) else {
+                    return Err(CodecError::Invalid(format!(
+                        "item id {id} references backend bits {stored} missing from the table"
+                    )));
+                };
+                id = compose_item_id(local_bits, item_local(id));
+            }
             let v = codec::get_f32_vec(buf)?;
             if v.len() != dim {
                 return Err(CodecError::Invalid("vector length mismatch".into()));
@@ -382,6 +501,109 @@ mod tests {
             }
         });
         assert_eq!(index.len(), 4 * per_thread);
+    }
+
+    /// An index holding 60 near-duplicate vectors (perturbations of one
+    /// base, so they collide in the LSH buckets) spread across three
+    /// backend namespaces (20 each), plus the vectors for re-querying.
+    fn federated(seed: u64) -> (ShardedLshIndex, Vec<Vec<f32>>) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let index = ShardedLshIndex::new(64, LshParams::for_threshold(0.7, 128), 17, 4);
+        let base = random_unit(64, &mut rng);
+        let vectors: Vec<Vec<f32>> = (0..60)
+            .map(|_| {
+                let mut v: Vec<f32> =
+                    base.iter().map(|x| x + 0.08 * rng.gen_gaussian() as f32).collect();
+                let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                for x in &mut v {
+                    *x /= n;
+                }
+                v
+            })
+            .collect();
+        for (i, v) in vectors.iter().enumerate() {
+            let backend = (i % 3) as u16 + 1; // namespaces 1, 2, 3
+            assert!(index.insert(compose_item_id(backend, (i / 3) as u32), v));
+        }
+        (index, vectors)
+    }
+
+    #[test]
+    fn scoped_search_restricts_to_admitted_backends() {
+        let (index, vectors) = federated(20);
+        let q = &vectors[0];
+        let all = index.search_scoped_with_outcome(q, 60, &DiscoverScope::All, |_| false).0;
+        assert!(all.iter().any(|(id, _)| item_backend(*id) == 1));
+        let only2 =
+            index.search_scoped_with_outcome(q, 60, &DiscoverScope::include([2]), |_| false);
+        assert!(!only2.0.is_empty());
+        assert!(only2.0.iter().all(|(id, _)| item_backend(*id) == 2));
+        // Scope admits exactly the subset of the unscoped result set.
+        let from_all: Vec<_> =
+            all.iter().copied().filter(|(id, _)| item_backend(*id) == 2).collect();
+        assert_eq!(only2.0, from_all);
+        let not2 = index.search_scoped_with_outcome(q, 60, &DiscoverScope::exclude([2]), |_| false);
+        assert!(not2.0.iter().all(|(id, _)| item_backend(*id) != 2));
+        // Pushdown: the scoped searches never scored out-of-scope items.
+        let unscoped_outcome = index.search_with_outcome(q, 60, |_| false).1;
+        assert!(only2.1.scored <= unscoped_outcome.scored);
+        assert_eq!(only2.1.scored + not2.1.scored, unscoped_outcome.scored);
+    }
+
+    #[test]
+    fn remove_backend_drops_exactly_one_namespace() {
+        let (index, _) = federated(21);
+        assert_eq!(index.len(), 60);
+        assert_eq!(index.remove_backend(2), 20);
+        assert_eq!(index.len(), 40);
+        assert_eq!(index.remove_backend(2), 0, "second removal finds nothing");
+        let (hits, _) =
+            index.search_scoped_with_outcome(&vec![1.0; 64], 60, &DiscoverScope::All, |_| false);
+        assert!(hits.iter().all(|(id, _)| item_backend(*id) != 2));
+    }
+
+    #[test]
+    fn all_default_encode_with_backends_is_byte_identical_v1() {
+        let (index, _) = populated(3, 80, 22);
+        let mut v1 = Vec::new();
+        index.encode(&mut v1);
+        let mut via_backends = Vec::new();
+        index.encode_with_backends(&mut via_backends, |_| unreachable!("no non-default ids"));
+        assert_eq!(via_backends, v1, "all-default snapshots must stay v1 byte-identical");
+    }
+
+    #[test]
+    fn federated_encode_round_trips_with_remap() {
+        let (index, vectors) = federated(23);
+        let mut buf = Vec::new();
+        index.encode_with_backends(&mut buf, |bits| format!("wh{bits}"));
+
+        // Plain decode must refuse: the frame names non-default backends.
+        assert!(ShardedLshIndex::decode(&mut &buf[..], 4).is_err());
+
+        // The loading process assigns different bits to the same names.
+        let reassign = |name: &str| -> CodecResult<u16> {
+            match name {
+                "wh1" => Ok(9),
+                "wh2" => Ok(4),
+                "wh3" => Ok(7),
+                other => Err(CodecError::Invalid(format!("unknown backend '{other}'"))),
+            }
+        };
+        let mut r = &buf[..];
+        let loaded = ShardedLshIndex::decode_with_backends(&mut r, 2, reassign).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(loaded.len(), 60);
+        // Old namespace 1 is now 9, with locals preserved.
+        let q = &vectors[0];
+        let want = index.search_scoped_with_outcome(q, 60, &DiscoverScope::include([1]), |_| false);
+        let got = loaded.search_scoped_with_outcome(q, 60, &DiscoverScope::include([9]), |_| false);
+        assert_eq!(want.0.len(), got.0.len());
+        for ((a, sa), (b, sb)) in want.0.iter().zip(&got.0) {
+            assert_eq!(item_local(*a), item_local(*b));
+            assert_eq!(item_backend(*b), 9);
+            assert_eq!(sa, sb);
+        }
     }
 
     #[test]

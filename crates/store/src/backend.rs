@@ -34,7 +34,7 @@
 
 use std::sync::Arc;
 
-use crate::catalog::ColumnRef;
+use crate::catalog::{BackendId, ColumnRef};
 use crate::cdw::CostSnapshot;
 use crate::column::Column;
 use crate::error::{StoreError, StoreResult};
@@ -62,11 +62,21 @@ pub struct TableMeta {
 }
 
 impl TableMeta {
-    /// Fully-qualified refs for every column of this table.
+    /// Fully-qualified refs for every column of this table, in the default
+    /// namespace.
     pub fn column_refs(&self) -> Vec<ColumnRef> {
+        self.scoped_column_refs(BackendId::DEFAULT)
+    }
+
+    /// Fully-qualified refs for every column of this table, homed in a
+    /// backend namespace. Backends themselves report backend-relative
+    /// metadata; the federation layer scopes it at attach time.
+    pub fn scoped_column_refs(&self, backend: BackendId) -> Vec<ColumnRef> {
         self.columns
             .iter()
-            .map(|c| ColumnRef::new(self.database.clone(), self.table.clone(), c.clone()))
+            .map(|c| {
+                ColumnRef::scoped(backend, self.database.clone(), self.table.clone(), c.clone())
+            })
             .collect()
     }
 }
@@ -196,6 +206,11 @@ mod tests {
         assert_eq!(
             meta.column_refs(),
             vec![ColumnRef::new("db", "t", "a"), ColumnRef::new("db", "t", "b")]
+        );
+        let lake = BackendId::named("backend-test-lake");
+        assert_eq!(
+            meta.scoped_column_refs(lake),
+            vec![ColumnRef::scoped(lake, "db", "t", "a"), ColumnRef::scoped(lake, "db", "t", "b")]
         );
     }
 }

@@ -4,13 +4,23 @@
 //! databases, each holding tables. [`ColumnRef`] is the fully-qualified
 //! `database.table.column` address used across the workspace — it is what a
 //! discovery query names and what recommendations point back to.
+//!
+//! Under federation a system holds *many* warehouses at once, each
+//! attached under a name; [`BackendId`] is that name interned to a small
+//! copyable integer (`wg_util::names`), and every [`ColumnRef`] /
+//! [`TableRef`] carries one. Un-namespaced refs (the entire pre-federation
+//! API surface) belong to the [`BackendId::DEFAULT`] namespace, and both
+//! `Display` and parsing keep the legacy `db.table.col` form for it —
+//! namespaced refs render as `warehouse:db.table.col`.
 
 use std::fmt;
+use std::str::FromStr;
 
 use crate::backend::TableMeta;
 use crate::column::Column;
 use crate::error::{StoreError, StoreResult};
 use crate::table::Table;
+use wg_util::codec::{self, CodecResult};
 
 /// Content fingerprint of a table: changes whenever the table's name,
 /// schema, or data changes; identical content hashes identically. This is
@@ -27,9 +37,66 @@ fn table_fingerprint(table: &Table) -> u64 {
     acc
 }
 
-/// Fully-qualified column address: `database.table.column`.
+/// A named backend's identity: the attach name interned to a small
+/// integer via `wg_util::names`. Copyable, order-stable, and embeddable
+/// in the high bits of an LSH item id (see `wg_lsh`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BackendId(u16);
+
+impl BackendId {
+    /// The legacy single-backend namespace (`"default"`, interner id 0).
+    pub const DEFAULT: BackendId = BackendId(0);
+
+    /// The id for an attach name, interning it on first use. Stable for
+    /// the process lifetime; `"default"` always maps to
+    /// [`BackendId::DEFAULT`].
+    pub fn named(name: &str) -> Self {
+        BackendId(wg_util::names::intern(name))
+    }
+
+    /// The raw interner bits — what `wg_lsh` packs into item ids.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rebuild from raw bits (inverse of [`Self::bits`]). Only bits that
+    /// came out of this process's interner are meaningful.
+    pub fn from_bits(bits: u16) -> Self {
+        BackendId(bits)
+    }
+
+    /// The attach name behind this id.
+    pub fn name(self) -> String {
+        wg_util::names::resolve(self.0)
+    }
+
+    /// Whether this is the legacy `"default"` namespace.
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BackendId({}:{})", self.0, self.name())
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Fully-qualified column address: `[warehouse:]database.table.column`.
+///
+/// The `backend` field is declared first so the derived ordering groups
+/// refs by namespace before database/table/column.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
+    /// The backend namespace this column lives in ([`BackendId::DEFAULT`]
+    /// for un-namespaced refs).
+    pub backend: BackendId,
     /// Database name.
     pub database: String,
     /// Table name.
@@ -39,24 +106,147 @@ pub struct ColumnRef {
 }
 
 impl ColumnRef {
-    /// Construct from parts.
+    /// Construct from parts, in the [`BackendId::DEFAULT`] namespace —
+    /// the pre-federation constructor every legacy call site keeps using.
     pub fn new(
         database: impl Into<String>,
         table: impl Into<String>,
         column: impl Into<String>,
     ) -> Self {
-        Self { database: database.into(), table: table.into(), column: column.into() }
+        Self::scoped(BackendId::DEFAULT, database, table, column)
     }
 
-    /// Whether two refs point into the same table.
+    /// Construct in an explicit backend namespace.
+    pub fn scoped(
+        backend: BackendId,
+        database: impl Into<String>,
+        table: impl Into<String>,
+        column: impl Into<String>,
+    ) -> Self {
+        Self { backend, database: database.into(), table: table.into(), column: column.into() }
+    }
+
+    /// The same address re-homed into another namespace.
+    pub fn with_backend(mut self, backend: BackendId) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Whether two refs point into the same table *of the same backend* —
+    /// identically named tables in different warehouses are different
+    /// tables.
     pub fn same_table(&self, other: &ColumnRef) -> bool {
-        self.database == other.database && self.table == other.table
+        self.backend == other.backend
+            && self.database == other.database
+            && self.table == other.table
+    }
+
+    /// The table this column belongs to.
+    pub fn table_ref(&self) -> TableRef {
+        TableRef {
+            backend: self.backend,
+            database: self.database.clone(),
+            table: self.table.clone(),
+        }
+    }
+
+    /// Wire-encode (namespaced): backend *name* plus the three parts. The
+    /// name, not the bits, goes on the wire — interner ids are
+    /// process-local.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_str(buf, &self.backend.name());
+        codec::put_str(buf, &self.database);
+        codec::put_str(buf, &self.table);
+        codec::put_str(buf, &self.column);
+    }
+
+    /// Wire-decode; inverse of [`Self::encode`]. The backend name is
+    /// re-interned in the receiving process.
+    pub fn decode(buf: &mut &[u8]) -> CodecResult<Self> {
+        let backend = BackendId::named(&codec::get_str(buf)?);
+        Ok(Self {
+            backend,
+            database: codec::get_str(buf)?,
+            table: codec::get_str(buf)?,
+            column: codec::get_str(buf)?,
+        })
     }
 }
 
 impl fmt::Display for ColumnRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.backend.is_default() {
+            write!(f, "{}:", self.backend.name())?;
+        }
         write!(f, "{}.{}.{}", self.database, self.table, self.column)
+    }
+}
+
+impl FromStr for ColumnRef {
+    type Err = StoreError;
+
+    /// Parse `warehouse:db.table.col` or the legacy `db.table.col` (which
+    /// lands in the default namespace).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (backend, rest) = match s.split_once(':') {
+            Some((w, rest)) if !w.is_empty() => (BackendId::named(w), rest),
+            Some(_) => {
+                return Err(StoreError::Schema(format!("empty warehouse name in '{s}'")));
+            }
+            None => (BackendId::DEFAULT, s),
+        };
+        let parts: Vec<&str> = rest.split('.').collect();
+        match parts.as_slice() {
+            [db, t, c] if !db.is_empty() && !t.is_empty() && !c.is_empty() => {
+                Ok(ColumnRef::scoped(backend, *db, *t, *c))
+            }
+            _ => Err(StoreError::Schema(format!(
+                "expected [warehouse:]database.table.column, got '{s}'"
+            ))),
+        }
+    }
+}
+
+/// Fully-qualified table address: `[warehouse:]database.table`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableRef {
+    /// The backend namespace this table lives in.
+    pub backend: BackendId,
+    /// Database name.
+    pub database: String,
+    /// Table name.
+    pub table: String,
+}
+
+impl TableRef {
+    /// Construct in the default namespace.
+    pub fn new(database: impl Into<String>, table: impl Into<String>) -> Self {
+        Self::scoped(BackendId::DEFAULT, database, table)
+    }
+
+    /// Construct in an explicit backend namespace.
+    pub fn scoped(
+        backend: BackendId,
+        database: impl Into<String>,
+        table: impl Into<String>,
+    ) -> Self {
+        Self { backend, database: database.into(), table: table.into() }
+    }
+
+    /// Whether `column` lives in this table.
+    pub fn contains(&self, column: &ColumnRef) -> bool {
+        self.backend == column.backend
+            && self.database == column.database
+            && self.table == column.table
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.backend.is_default() {
+            write!(f, "{}:", self.backend.name())?;
+        }
+        write!(f, "{}.{}", self.database, self.table)
     }
 }
 
@@ -281,6 +471,72 @@ mod tests {
         assert_eq!(r.to_string(), "db.t.c");
         assert!(r.same_table(&ColumnRef::new("db", "t", "other")));
         assert!(!r.same_table(&ColumnRef::new("db2", "t", "c")));
+    }
+
+    #[test]
+    fn backend_id_defaults_and_names() {
+        assert!(BackendId::DEFAULT.is_default());
+        assert_eq!(BackendId::default(), BackendId::DEFAULT);
+        assert_eq!(BackendId::named("default"), BackendId::DEFAULT);
+        assert_eq!(BackendId::DEFAULT.name(), "default");
+        let cdw = BackendId::named("catalog-test-cdw");
+        assert!(!cdw.is_default());
+        assert_eq!(BackendId::named("catalog-test-cdw"), cdw, "interning is idempotent");
+        assert_eq!(BackendId::from_bits(cdw.bits()), cdw);
+        assert_eq!(cdw.name(), "catalog-test-cdw");
+        assert_eq!(cdw.to_string(), "catalog-test-cdw");
+    }
+
+    #[test]
+    fn namespaced_display_and_same_table() {
+        let cdw = BackendId::named("catalog-test-cdw");
+        let r = ColumnRef::scoped(cdw, "db", "t", "c");
+        assert_eq!(r.to_string(), "catalog-test-cdw:db.t.c");
+        // Same db.table under different backends is NOT the same table.
+        assert!(!r.same_table(&ColumnRef::new("db", "t", "c")));
+        assert!(r.same_table(&ColumnRef::scoped(cdw, "db", "t", "other")));
+        let tr = r.table_ref();
+        assert_eq!(tr, TableRef::scoped(cdw, "db", "t"));
+        assert_eq!(tr.to_string(), "catalog-test-cdw:db.t");
+        assert!(tr.contains(&r));
+        assert!(!tr.contains(&ColumnRef::new("db", "t", "c")));
+        assert!(!TableRef::new("db", "t").contains(&r));
+        assert_eq!(r.clone().with_backend(BackendId::DEFAULT), ColumnRef::new("db", "t", "c"));
+    }
+
+    #[test]
+    fn column_ref_parsing_round_trips() {
+        let plain: ColumnRef = "db.t.c".parse().unwrap();
+        assert_eq!(plain, ColumnRef::new("db", "t", "c"));
+        let scoped: ColumnRef = "catalog-test-lake:db.t.c".parse().unwrap();
+        assert_eq!(
+            scoped,
+            ColumnRef::scoped(BackendId::named("catalog-test-lake"), "db", "t", "c")
+        );
+        // Display → parse is the identity for both forms.
+        assert_eq!(plain.to_string().parse::<ColumnRef>().unwrap(), plain);
+        assert_eq!(scoped.to_string().parse::<ColumnRef>().unwrap(), scoped);
+        for bad in ["", "db.t", "db.t.c.d", "db..c", ":db.t.c", "w:db.t", "w:"] {
+            assert!(bad.parse::<ColumnRef>().is_err(), "'{bad}' must not parse");
+        }
+    }
+
+    #[test]
+    fn column_ref_codec_round_trips() {
+        for r in [
+            ColumnRef::new("db", "t", "c"),
+            ColumnRef::scoped(BackendId::named("catalog-test-cdw"), "sales", "accounts", "name"),
+        ] {
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            let mut cursor = buf.as_slice();
+            assert_eq!(ColumnRef::decode(&mut cursor).unwrap(), r);
+            assert!(cursor.is_empty());
+        }
+        let mut truncated = Vec::new();
+        ColumnRef::new("db", "t", "c").encode(&mut truncated);
+        truncated.truncate(truncated.len() - 1);
+        assert!(ColumnRef::decode(&mut truncated.as_slice()).is_err());
     }
 
     #[test]

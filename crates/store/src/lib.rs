@@ -39,6 +39,7 @@ pub mod dtype;
 pub mod error;
 pub mod fault;
 pub mod join;
+pub mod registry;
 pub mod remote;
 pub mod retry;
 pub mod sample;
@@ -46,7 +47,7 @@ pub mod table;
 pub mod value;
 
 pub use backend::{BackendHandle, TableMeta, TableVersion, WarehouseBackend};
-pub use catalog::{ColumnRef, Database, Warehouse};
+pub use catalog::{BackendId, ColumnRef, Database, TableRef, Warehouse};
 pub use cdw::{CdwConfig, CdwConnector, CostMeter, CostSnapshot};
 pub use column::{Column, ColumnData, TextColumn};
 pub use csv_backend::CsvBackend;
@@ -54,6 +55,7 @@ pub use dtype::DataType;
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjector, FaultPlan};
 pub use join::{containment, jaccard, JoinType, KeyNorm};
+pub use registry::BackendRegistry;
 pub use remote::{RemoteBackend, RemoteBackendServer};
 pub use retry::{RetryBackend, RetryClock, RetryPolicy, SystemClock, VirtualClock};
 pub use sample::SampleSpec;

@@ -1,0 +1,159 @@
+//! The named-backend registry behind federated discovery.
+//!
+//! A federated WarpGate node holds many warehouses at once — a CDW
+//! simulator, a CSV data lake, a remote WGRP endpoint — each attached
+//! under a stable name. [`BackendRegistry`] is that map: attach names
+//! intern to [`BackendId`]s (`wg_util::names`), and the registry stores
+//! one [`BackendHandle`] per live id. Detaching removes the handle but
+//! never the id — interner ids are append-only, so a re-attached name
+//! maps back onto its old namespace and its previously indexed items stay
+//! addressable.
+//!
+//! The registry is deliberately dumb: it knows nothing about sync epochs,
+//! caches, or indexes. Those live in `warpgate_core`, keyed by the same
+//! [`BackendId`]s this map hands out.
+
+use parking_lot::RwLock;
+
+use wg_util::FxHashMap;
+
+use crate::backend::BackendHandle;
+use crate::catalog::BackendId;
+use crate::error::{StoreError, StoreResult};
+
+/// A thread-safe map of named, attached warehouse backends.
+#[derive(Default)]
+pub struct BackendRegistry {
+    backends: RwLock<FxHashMap<BackendId, BackendHandle>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach `handle` under `name`, returning the namespace id. Replaces
+    /// (and returns) any backend previously attached under the same name.
+    pub fn attach(&self, name: &str, handle: BackendHandle) -> (BackendId, Option<BackendHandle>) {
+        let id = BackendId::named(name);
+        let previous = self.backends.write().insert(id, handle);
+        (id, previous)
+    }
+
+    /// Detach the backend under `name`, returning its handle if one was
+    /// attached. The name keeps its [`BackendId`] forever.
+    pub fn detach(&self, name: &str) -> Option<BackendHandle> {
+        let id = wg_util::names::lookup(name).map(BackendId::from_bits)?;
+        self.backends.write().remove(&id)
+    }
+
+    /// The handle attached under `id`, if any.
+    pub fn get(&self, id: BackendId) -> Option<BackendHandle> {
+        self.backends.read().get(&id).cloned()
+    }
+
+    /// The handle attached under `id`, or a `NotFound` error naming the
+    /// namespace — the resolution step every billed operation starts with.
+    pub fn require(&self, id: BackendId) -> StoreResult<BackendHandle> {
+        self.get(id)
+            .ok_or_else(|| StoreError::NotFound(format!("backend '{}' is not attached", id.name())))
+    }
+
+    /// Ids of every attached backend, sorted (deterministic iteration
+    /// order for sync schedules and reports).
+    pub fn ids(&self) -> Vec<BackendId> {
+        let mut ids: Vec<BackendId> = self.backends.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `(id, handle)` for every attached backend, sorted by id. A snapshot:
+    /// concurrent attach/detach after this call is not reflected.
+    pub fn snapshot(&self) -> Vec<(BackendId, BackendHandle)> {
+        let mut entries: Vec<(BackendId, BackendHandle)> =
+            self.backends.read().iter().map(|(id, h)| (*id, h.clone())).collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        entries
+    }
+
+    /// Number of attached backends.
+    pub fn len(&self) -> usize {
+        self.backends.read().len()
+    }
+
+    /// Whether no backend is attached.
+    pub fn is_empty(&self) -> bool {
+        self.backends.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.ids().iter().map(|id| id.name()).collect();
+        f.debug_struct("BackendRegistry").field("attached", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::catalog::Warehouse;
+    use crate::cdw::{CdwConfig, CdwConnector};
+
+    fn handle(name: &str) -> BackendHandle {
+        Arc::new(CdwConnector::new(Warehouse::new(name), CdwConfig::free()))
+    }
+
+    #[test]
+    fn attach_get_detach_round_trip() {
+        let reg = BackendRegistry::new();
+        assert!(reg.is_empty());
+        let (id, prev) = reg.attach("registry-test-a", handle("a"));
+        assert!(prev.is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(id).is_some());
+        assert!(reg.require(id).is_ok());
+        let detached = reg.detach("registry-test-a");
+        assert!(detached.is_some());
+        assert!(reg.get(id).is_none());
+        let err = match reg.require(id) {
+            Err(e) => e,
+            Ok(_) => panic!("require after detach must fail"),
+        };
+        assert!(err.to_string().contains("registry-test-a"), "error names the namespace: {err}");
+    }
+
+    #[test]
+    fn reattach_replaces_and_keeps_id() {
+        let reg = BackendRegistry::new();
+        let (id1, _) = reg.attach("registry-test-b", handle("first"));
+        let (id2, prev) = reg.attach("registry-test-b", handle("second"));
+        assert_eq!(id1, id2, "a name keeps its id across re-attach");
+        assert_eq!(prev.unwrap().name(), "first");
+        assert_eq!(reg.get(id1).unwrap().name(), "second");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn detach_unknown_name_is_none_and_does_not_intern() {
+        let reg = BackendRegistry::new();
+        assert!(reg.detach("registry-test-never-attached-xyz").is_none());
+        assert_eq!(wg_util::names::lookup("registry-test-never-attached-xyz"), None);
+    }
+
+    #[test]
+    fn ids_and_snapshot_are_sorted() {
+        let reg = BackendRegistry::new();
+        let (ic, _) = reg.attach("registry-test-c", handle("c"));
+        let (id, _) = reg.attach("registry-test-d", handle("d"));
+        let mut expect = vec![ic, id];
+        expect.sort_unstable();
+        assert_eq!(reg.ids(), expect);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.iter().map(|(id, _)| *id).collect::<Vec<_>>(), expect);
+    }
+}

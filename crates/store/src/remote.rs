@@ -96,7 +96,11 @@ fn put_column_ref(buf: &mut Vec<u8>, r: &ColumnRef) {
 }
 
 fn get_column_ref(buf: &mut &[u8]) -> CodecResult<ColumnRef> {
-    Ok(ColumnRef { database: get_str(buf)?, table: get_str(buf)?, column: get_str(buf)? })
+    // WGRP addresses are backend-relative by design: the server serves ONE
+    // backend and must not care which namespace the caller attached it
+    // under, so the wire carries no backend name and refs land in the
+    // default namespace on both sides.
+    Ok(ColumnRef::new(get_str(buf)?, get_str(buf)?, get_str(buf)?))
 }
 
 fn put_table_meta(buf: &mut Vec<u8>, m: &TableMeta) {

@@ -15,10 +15,14 @@
 //! * [`kernel`] — vectorization-friendly `dot`/`axpy`/`gemv` kernels over
 //!   contiguous buffers, scalar reference implementations, and
 //!   thread-local scratch pools (the embed → sign → re-rank hot path).
+//! * [`names`] — the process-wide backend-name interner behind federated
+//!   namespaces (`"default"` pinned to id 0, 256-name cap matching the
+//!   LSH item-id bit budget).
 
 pub mod codec;
 pub mod hash;
 pub mod kernel;
+pub mod names;
 pub mod rng;
 pub mod timing;
 pub mod topk;

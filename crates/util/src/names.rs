@@ -1,0 +1,107 @@
+//! Process-wide backend-name interning.
+//!
+//! Federated discovery addresses columns as `warehouse:db.table.col`. The
+//! warehouse component is carried everywhere — inside every `ColumnRef`,
+//! inside every LSH item id, inside every cache key — so it must be a
+//! small copyable integer, not a `String`. This module is the single
+//! name ↔ id table behind that integer.
+//!
+//! Properties:
+//!
+//! * **Global and append-only.** A name, once seen, keeps its id for the
+//!   process lifetime; ids are never reused. That is what makes the id
+//!   safe to embed in the high bits of an LSH item id (`wg_lsh`): two
+//!   live handles can never collide on bits, and a *re-attached* name
+//!   maps back onto its old id so its indexed items remain addressable.
+//! * **`"default"` is pinned to id 0.** Bits 0 is therefore both "the
+//!   legacy single-backend namespace" and the namespace every
+//!   pre-federation snapshot or un-namespaced `ColumnRef` lands in —
+//!   no translation step needed for old data.
+//! * **Capped at 256 names** ([`MAX_NAMES`]) because the LSH item-id
+//!   layout reserves 8 bits for the backend (see `wg_lsh`). The cap is a
+//!   per-process ceiling on *distinct names ever used*, not on
+//!   simultaneously attached backends.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Hard ceiling on distinct interned names per process: the LSH item-id
+/// layout gives the backend 8 bits.
+pub const MAX_NAMES: usize = 256;
+
+/// The name every un-namespaced reference belongs to, pinned to id 0.
+pub const DEFAULT_NAME: &str = "default";
+
+fn table() -> &'static Mutex<Vec<String>> {
+    static TABLE: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(vec![DEFAULT_NAME.to_string()]))
+}
+
+/// Intern a name, returning its stable id. Idempotent; `"default"` always
+/// returns 0.
+///
+/// # Panics
+///
+/// Panics when a *new* name would exceed [`MAX_NAMES`] — that means the
+/// process churned through 256 distinct backend names, which is a
+/// misuse (e.g. generating a fresh name per sync tick), not a workload.
+pub fn intern(name: &str) -> u16 {
+    let mut t = table().lock().expect("name table lock");
+    if let Some(pos) = t.iter().position(|n| n == name) {
+        return pos as u16;
+    }
+    assert!(
+        t.len() < MAX_NAMES,
+        "backend name table full ({MAX_NAMES} distinct names): names are interned for the \
+         process lifetime, so generate stable backend names, not fresh ones"
+    );
+    t.push(name.to_string());
+    (t.len() - 1) as u16
+}
+
+/// The id for a name, if it was ever interned. Does not intern.
+pub fn lookup(name: &str) -> Option<u16> {
+    let t = table().lock().expect("name table lock");
+    t.iter().position(|n| n == name).map(|p| p as u16)
+}
+
+/// The name behind an id. Ids only come from [`intern`], so an unknown id
+/// means corrupted data (e.g. a snapshot decoded without remapping); it
+/// resolves to a diagnostic placeholder rather than panicking in Display
+/// paths.
+pub fn resolve(id: u16) -> String {
+    let t = table().lock().expect("name table lock");
+    t.get(id as usize).cloned().unwrap_or_else(|| format!("backend#{id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_pinned_to_zero() {
+        assert_eq!(intern(DEFAULT_NAME), 0);
+        assert_eq!(lookup(DEFAULT_NAME), Some(0));
+        assert_eq!(resolve(0), DEFAULT_NAME);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_stable() {
+        let a = intern("names-test-cdw");
+        let b = intern("names-test-lake");
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        assert_eq!(intern("names-test-cdw"), a, "same name must keep its id");
+        assert_eq!(resolve(a), "names-test-cdw");
+        assert_eq!(lookup("names-test-lake"), Some(b));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(lookup("names-test-never-interned"), None);
+    }
+
+    #[test]
+    fn unknown_id_resolves_to_placeholder() {
+        assert_eq!(resolve(u16::MAX), format!("backend#{}", u16::MAX));
+    }
+}

@@ -85,15 +85,16 @@ pub use wg_util as util;
 /// The types most applications need, importable in one line.
 pub mod prelude {
     pub use warpgate_core::{
-        CircuitState, DaemonReport, Discovery, JoinCandidate, QueryTiming, SyncDaemon,
-        SyncDaemonConfig, SyncReport, WarpGate, WarpGateConfig,
+        BackendCircuit, CircuitState, DaemonReport, Discovery, JoinCandidate, QueryTiming,
+        SyncDaemon, SyncDaemonConfig, SyncReport, SyncSchedule, WarpGate, WarpGateConfig,
     };
     pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
+    pub use wg_lsh::DiscoverScope;
     pub use wg_store::{
-        BackendHandle, CdwConfig, CdwConnector, Column, ColumnRef, CsvBackend, Database,
-        FaultInjector, FaultPlan, JoinType, KeyNorm, RemoteBackend, RemoteBackendServer,
-        RetryBackend, RetryPolicy, SampleSpec, StoreError, SystemClock, Table, TableMeta,
-        Warehouse, WarehouseBackend,
+        BackendHandle, BackendId, BackendRegistry, CdwConfig, CdwConnector, Column, ColumnRef,
+        CsvBackend, Database, FaultInjector, FaultPlan, JoinType, KeyNorm, RemoteBackend,
+        RemoteBackendServer, RetryBackend, RetryPolicy, SampleSpec, StoreError, SystemClock, Table,
+        TableMeta, TableRef, Warehouse, WarehouseBackend,
     };
 }
 

@@ -221,6 +221,100 @@ fn recovery_after_faults_via_sync() {
     assert!(!d.candidates.is_empty());
 }
 
+/// Split the parity warehouse into three single-database warehouses —
+/// the federated counterpart of the merged fixture.
+fn split_warehouses() -> Vec<Warehouse> {
+    let merged = parity_warehouse();
+    merged
+        .databases()
+        .iter()
+        .map(|db| {
+            let mut w = Warehouse::new(db.name());
+            for table in db.tables() {
+                w.database_mut(db.name()).add_table(table.clone());
+            }
+            w
+        })
+        .collect()
+}
+
+#[test]
+fn three_named_backends_rank_like_one_merged_backend() {
+    // Oracle: the whole corpus behind one default backend.
+    let merged: BackendHandle = Arc::new(CdwConnector::new(parity_warehouse(), CdwConfig::free()));
+    let oracle = WarpGate::with_backend(WarpGateConfig::default(), merged);
+    oracle.index_warehouse().unwrap();
+
+    // Federation: each database attached as its own named warehouse.
+    let federated = WarpGate::new(WarpGateConfig::default());
+    let mut ids = Vec::new();
+    for w in split_warehouses() {
+        let name = format!("parity-fed-{}", w.name());
+        let backend: BackendHandle = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+        ids.push(federated.attach_named(&name, backend));
+    }
+    federated.index_warehouse().unwrap();
+    assert_eq!(federated.len(), oracle.len());
+
+    for q in queries() {
+        let id = ids[split_warehouses().iter().position(|w| w.name() == q.database).unwrap()];
+        let scoped = q.clone().with_backend(id);
+        let got: Vec<(String, f32)> = federated
+            .discover(&scoped, 5)
+            .unwrap()
+            .candidates
+            .into_iter()
+            .map(|c| {
+                (
+                    format!(
+                        "{}.{}.{}",
+                        c.reference.database, c.reference.table, c.reference.column
+                    ),
+                    c.score,
+                )
+            })
+            .collect();
+        let want: Vec<(String, f32)> = oracle
+            .discover(&q, 5)
+            .unwrap()
+            .candidates
+            .into_iter()
+            .map(|c| (c.reference.to_string(), c.score))
+            .collect();
+        assert_eq!(got, want, "federated all-scope ranking diverged from the merged oracle on {q}");
+    }
+}
+
+#[test]
+fn scope_filters_rankings_without_billing_excluded_backends() {
+    let federated = WarpGate::new(WarpGateConfig::default());
+    let mut backends = Vec::new();
+    for w in split_warehouses() {
+        let name = format!("parity-scope-{}", w.name());
+        let conn = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+        let id = federated.attach_named(&name, conn.clone());
+        backends.push((id, conn));
+    }
+    federated.index_warehouse().unwrap();
+    let (crm, _) = backends[0];
+    let (finance, finance_conn) = (backends[1].0, backends[1].1.clone());
+
+    let q = ColumnRef::scoped(crm, "crm", "accounts", "name");
+    finance_conn.reset_costs();
+    let included =
+        federated.discover_scoped(&q, 10, &DiscoverScope::include([finance.bits()])).unwrap();
+    assert!(!included.candidates.is_empty(), "finance holds a joinable variant");
+    assert!(included.candidates.iter().all(|c| c.reference.backend == finance));
+    let excluded =
+        federated.discover_scoped(&q, 10, &DiscoverScope::exclude([finance.bits()])).unwrap();
+    assert!(excluded.candidates.iter().all(|c| c.reference.backend != finance));
+    assert_eq!(
+        finance_conn.costs().requests,
+        0,
+        "scoped discovery must never scan (or bill) a non-query backend"
+    );
+}
+
 #[test]
 fn degraded_link_latency_shows_up_in_query_timing() {
     let inner: BackendHandle = Arc::new(CdwConnector::new(parity_warehouse(), CdwConfig::free()));

@@ -44,7 +44,12 @@ fn warehouse() -> Warehouse {
 }
 
 fn fast_daemon_config() -> SyncDaemonConfig {
-    SyncDaemonConfig { interval: Duration::from_millis(5), failure_threshold: 2, open_intervals: 2 }
+    SyncDaemonConfig {
+        interval: Duration::from_millis(5),
+        failure_threshold: 2,
+        open_intervals: 2,
+        schedule: SyncSchedule::All,
+    }
 }
 
 /// Poll the daemon's report until `pred` holds (waking it each round so
