@@ -1,0 +1,162 @@
+//! Crash-recovery bench (ISSUE 7): what does durability cost, and what
+//! does a restart save?
+//!
+//! Custom harness (like `incremental_sync`): builds an N-table warehouse
+//! behind the simulated CDW, then measures the three sides of the
+//! durable-node story on the same fixture:
+//!
+//! * **checkpoint** — serializing the indexed system through the
+//!   checksummed atomic writer (`Checkpointer::checkpoint`);
+//! * **recover** — a restarted node loading that checkpoint from disk
+//!   (`Checkpointer::recover`) versus re-indexing from scratch;
+//! * **restart sync** — the first `sync()` after recovery with 1 of N
+//!   tables mutated, CostMeter-verified to bill only the mutated table's
+//!   columns (against the full warehouse scan a token-less restart pays).
+//!
+//! Results land in the repo-root `BENCH_core.json` as a
+//! `"crash_recovery"` section. `WG_BENCH_QUICK=1` shrinks repetitions and
+//! leaves the committed snapshot untouched.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use warpgate_core::{Checkpointer, RecoverySource, WarpGate, WarpGateConfig};
+use wg_bench::median;
+use wg_store::{BackendHandle, CdwConfig, CdwConnector, Column, ColumnRef, Table, Warehouse};
+
+const TABLES: usize = 32;
+const COLUMNS_PER_TABLE: usize = 4;
+const ROWS: usize = 120;
+
+fn warehouse() -> Warehouse {
+    let mut w = Warehouse::new("crash-bench");
+    for t in 0..TABLES {
+        let mut cols = Vec::with_capacity(COLUMNS_PER_TABLE);
+        for c in 0..COLUMNS_PER_TABLE {
+            cols.push(Column::text(
+                format!("col{c}"),
+                (0..ROWS).map(|r| format!("entity {t} {c} {r}")).collect::<Vec<_>>(),
+            ));
+        }
+        w.database_mut(&format!("db{}", t % 4))
+            .add_table(Table::new(format!("t{t}"), cols).unwrap());
+    }
+    w
+}
+
+fn mutate_one_table(connector: &CdwConnector, generation: usize) {
+    let cols: Vec<Column> = (0..COLUMNS_PER_TABLE)
+        .map(|c| {
+            Column::text(
+                format!("col{c}"),
+                (0..ROWS).map(|r| format!("fresh {generation} {c} {r}")).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    connector.warehouse_mut().database_mut("db0").add_table(Table::new("t0", cols).unwrap());
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let reps = if quick { 2 } else { 7 };
+
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let backend: BackendHandle = connector.clone();
+    let config = WarpGateConfig { threads: 2, ..Default::default() };
+
+    let dir = std::env::temp_dir().join(format!("wg_bench_crash_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let ckpt = Checkpointer::new(dir.join("snapshot.bin"));
+
+    // Steady state: a fully indexed, checkpointed node.
+    let wg = WarpGate::with_backend(config, backend.clone());
+    let sw = Instant::now();
+    wg.index_warehouse().expect("initial indexing");
+    let cold_index_secs = sw.elapsed().as_secs_f64();
+    let columns_total = wg.len();
+    let snapshot_bytes = wg.to_bytes().len();
+
+    let mut checkpoint_secs = Vec::with_capacity(reps);
+    let mut recover_secs = Vec::with_capacity(reps);
+    let mut restart_sync_cost = None;
+    for generation in 0..reps {
+        // Checkpoint the live node (rotation + fsync included).
+        let sw = Instant::now();
+        ckpt.checkpoint(&wg).expect("checkpoint");
+        checkpoint_secs.push(sw.elapsed().as_secs_f64());
+
+        // "Crash": a fresh node recovers from disk instead of re-indexing.
+        let mut restarted = WarpGate::with_backend(config, backend.clone());
+        let sw = Instant::now();
+        let report = ckpt.recover(&mut restarted).expect("recover");
+        recover_secs.push(sw.elapsed().as_secs_f64());
+        assert_eq!(report.source, RecoverySource::Primary);
+        assert_eq!(report.columns, columns_total);
+
+        // The restart-billing story: mutate 1 table, then the recovered
+        // node's first sync re-scans only that table. Without persisted
+        // tokens it would re-scan all TABLES × COLUMNS_PER_TABLE columns.
+        mutate_one_table(&connector, generation);
+        connector.reset_costs();
+        let sync = restarted.sync().expect("restart sync");
+        assert_eq!(sync.tables_updated, 1, "exactly one table changed");
+        assert_eq!(
+            sync.cost.requests as usize, COLUMNS_PER_TABLE,
+            "restart sync must bill only the mutated table's columns"
+        );
+        restart_sync_cost = Some(sync.cost);
+
+        // Keep the live node current so the next generation's checkpoint
+        // reflects the mutation (and rankings stay comparable).
+        wg.sync().expect("live node sync");
+        let q = ColumnRef::new("db0", "t0", "col0");
+        let a = restarted.discover(&q, 5).expect("restarted discover").candidates;
+        let b = wg.discover(&q, 5).expect("live discover").candidates;
+        assert_eq!(a, b, "recovered node diverged from the live node");
+    }
+
+    let checkpoint_median = median(&mut checkpoint_secs);
+    let recover_median = median(&mut recover_secs);
+    let speedup = cold_index_secs / recover_median.max(1e-12);
+    let cost = restart_sync_cost.expect("at least one rep ran");
+    println!(
+        "bench: crash_recovery/{TABLES}_tables ... checkpoint {:.1}ms, recover {:.1}ms vs cold index {:.1}ms ({speedup:.1}x), restart sync scanned {} cols (warehouse: {columns_total} cols, snapshot {snapshot_bytes} bytes)",
+        checkpoint_median * 1e3,
+        recover_median * 1e3,
+        cold_index_secs * 1e3,
+        cost.requests,
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    let section = format!(
+        r#"{{
+    "bench": "crash_recovery",
+    "generated_by": "cargo bench --bench crash_recovery",
+    "workload": {{
+      "tables": {TABLES},
+      "columns_per_table": {COLUMNS_PER_TABLE},
+      "rows_per_column": {ROWS},
+      "mutated_tables_after_restart": 1,
+      "repetitions": {reps}
+    }},
+    "snapshot_bytes": {snapshot_bytes},
+    "checkpoint_secs_median": {checkpoint_median:.6},
+    "recover_secs_median": {recover_median:.6},
+    "cold_index_secs": {cold_index_secs:.6},
+    "recover_vs_cold_index_speedup": {speedup:.2},
+    "restart_sync_scan_requests": {requests},
+    "restart_sync_bytes_scanned": {bytes}
+  }}"#,
+        requests = cost.requests,
+        bytes = cost.bytes_scanned,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    if quick {
+        println!("bench: crash_recovery ... quick mode, not rewriting {path}");
+        return;
+    }
+    wg_bench::merge_bench_section(path, "crash_recovery", &section);
+    println!("bench: crash_recovery ... snapshot written to {path}");
+}

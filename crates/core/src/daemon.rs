@@ -27,6 +27,13 @@
 //!   scan costs and retry counts, the last error, and the last
 //!   [`SyncReport`] are visible through [`SyncDaemon::report`] at any
 //!   time.
+//! * **Checkpointing** — with a [`CheckpointPolicy`] (set via
+//!   [`SyncDaemonConfig::with_checkpoint`]) the daemon persists the system
+//!   through a rotating [`crate::durability::Checkpointer`] after every N
+//!   successful syncs, and flushes one final checkpoint on shutdown. A
+//!   failed checkpoint (unwritable path, full disk) never panics the loop
+//!   — it is counted in [`DaemonReport::checkpoint_failures`] and surfaces
+//!   through [`DaemonReport::last_error`].
 //! * **Clean shutdown** — [`SyncDaemon::shutdown`] (or dropping the
 //!   daemon) wakes the loop immediately, joins the thread, and returns
 //!   the final report. A sync in flight completes first; none is ever
@@ -44,12 +51,14 @@
 //!        └────────────── probe ok ──────────── HALF-OPEN ───────┘
 //! ```
 
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use wg_store::{BackendId, CostSnapshot};
 use wg_util::FxHashMap;
 
+use crate::durability::Checkpointer;
 use crate::system::{SyncReport, WarpGate};
 
 /// Which attached backends a daemon tick reconciles.
@@ -64,8 +73,21 @@ pub enum SyncSchedule {
     RoundRobin,
 }
 
+/// Periodic durable snapshots of the synced system (see
+/// [`crate::durability::Checkpointer`] for the on-disk rotation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Newest-generation snapshot path; the previous generation rotates
+    /// to `<path>.prev`.
+    pub path: PathBuf,
+    /// Checkpoint after this many successful syncs (minimum 1). Shutdown
+    /// always flushes a final checkpoint if any sync succeeded since the
+    /// last one.
+    pub every_n_syncs: u32,
+}
+
 /// Tunables of a [`SyncDaemon`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SyncDaemonConfig {
     /// Time between sync ticks.
     pub interval: Duration,
@@ -75,6 +97,8 @@ pub struct SyncDaemonConfig {
     pub open_intervals: u32,
     /// Which backends each tick reconciles.
     pub schedule: SyncSchedule,
+    /// Durable snapshot policy; `None` (the default) never checkpoints.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for SyncDaemonConfig {
@@ -84,6 +108,7 @@ impl Default for SyncDaemonConfig {
             failure_threshold: 3,
             open_intervals: 4,
             schedule: SyncSchedule::All,
+            checkpoint: None,
         }
     }
 }
@@ -97,6 +122,13 @@ impl SyncDaemonConfig {
     /// Same config with a different schedule.
     pub fn with_schedule(self, schedule: SyncSchedule) -> Self {
         Self { schedule, ..self }
+    }
+
+    /// Same config, checkpointing to `path` after every `every_n_syncs`
+    /// successful syncs (clamped to at least 1).
+    pub fn with_checkpoint(self, path: impl Into<PathBuf>, every_n_syncs: u32) -> Self {
+        let policy = CheckpointPolicy { path: path.into(), every_n_syncs: every_n_syncs.max(1) };
+        Self { checkpoint: Some(policy), ..self }
     }
 }
 
@@ -203,6 +235,10 @@ pub struct DaemonReport {
     /// Cumulative scan costs of the daemon's syncs; `cost.retries` is the
     /// total retry count the backend middleware reported through them.
     pub cost: CostSnapshot,
+    /// Checkpoints written successfully (periodic plus the shutdown flush).
+    pub checkpoints_written: u64,
+    /// Checkpoints that failed to write; the error is in `last_error`.
+    pub checkpoint_failures: u64,
     /// Message of the most recent sync error, if any ever occurred.
     pub last_error: Option<String>,
     /// The most recent successful sync's report.
@@ -236,6 +272,9 @@ struct Inner {
     wake: bool,
     /// Round-robin position across ticks (index into the attach set).
     rr_cursor: usize,
+    /// Successful syncs since the last checkpoint (only tracked when a
+    /// [`CheckpointPolicy`] is configured).
+    syncs_since_checkpoint: u64,
     breakers: FxHashMap<BackendId, Breaker>,
     report: DaemonReport,
 }
@@ -271,6 +310,7 @@ impl SyncDaemon {
                 stop: false,
                 wake: false,
                 rr_cursor: 0,
+                syncs_since_checkpoint: 0,
                 breakers: FxHashMap::default(),
                 report: DaemonReport::default(),
             }),
@@ -359,12 +399,50 @@ fn run_loop(shared: &Shared) {
                 inner = guard;
             }
             if inner.stop {
+                // Final flush: the index the daemon maintained must not
+                // die with the process if anything changed since the last
+                // checkpoint. Runs on the daemon thread so `Drop` only
+                // ever joins — an unwritable path is recorded, not thrown.
+                drop(inner);
+                maybe_checkpoint(shared, true);
                 return;
             }
             inner.wake = false;
             inner.report.ticks += 1;
         }
         tick(shared);
+        maybe_checkpoint(shared, false);
+    }
+}
+
+/// Write a checkpoint if the policy says so: every `every_n_syncs`
+/// successful syncs, or on shutdown (`force`) whenever any sync succeeded
+/// since the last one. The snapshot is taken without holding the state
+/// lock, so `report()`/`wake()` stay responsive during large writes.
+fn maybe_checkpoint(shared: &Shared, force: bool) {
+    let Some(policy) = &shared.config.checkpoint else { return };
+    {
+        let inner = shared.inner.lock().expect("daemon state lock");
+        let due = if force {
+            inner.syncs_since_checkpoint > 0
+        } else {
+            inner.syncs_since_checkpoint >= u64::from(policy.every_n_syncs)
+        };
+        if !due {
+            return;
+        }
+    }
+    let result = Checkpointer::new(&policy.path).checkpoint(&shared.wg);
+    let mut inner = shared.inner.lock().expect("daemon state lock");
+    match result {
+        Ok(()) => {
+            inner.syncs_since_checkpoint = 0;
+            inner.report.checkpoints_written += 1;
+        }
+        Err(e) => {
+            inner.report.checkpoint_failures += 1;
+            inner.report.last_error = Some(format!("checkpoint to {:?}: {e}", policy.path));
+        }
     }
 }
 
@@ -424,6 +502,7 @@ fn tick(shared: &Shared) {
         report.syncs_attempted += 1;
         match outcome {
             Ok(sync) => {
+                inner.syncs_since_checkpoint += 1;
                 report.syncs_ok += 1;
                 breaker.stats.syncs_ok += 1;
                 breaker.stats.consecutive_failures = 0;
@@ -512,6 +591,7 @@ mod tests {
             failure_threshold: 2,
             open_intervals: 2,
             schedule: SyncSchedule::All,
+            checkpoint: None,
         }
     }
 

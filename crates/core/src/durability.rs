@@ -1,0 +1,464 @@
+//! Crash-safe snapshot plumbing: atomic writes, checkpoint rotation with
+//! fallback recovery, and a deterministic torn-write chaos harness.
+//!
+//! A deployed discovery node persists its state so a restart does not
+//! re-scan — and re-bill — every attached warehouse. That only helps if
+//! the persisted artifact survives the restart's *cause*: a crash may
+//! interrupt the very write that was saving the state. The guarantees
+//! this module layers over [`crate::WarpGate::save_to_file`]:
+//!
+//! 1. **Atomicity** ([`atomic_write`]): bytes stream into a sibling
+//!    `*.tmp` file, are fsynced, and the temp is renamed over the
+//!    destination. POSIX `rename(2)` is atomic within a filesystem, so at
+//!    every instant the destination holds either the complete old bytes
+//!    or the complete new bytes — never a prefix of either. A mid-write
+//!    crash (or a full disk) strands at most a temp file.
+//! 2. **Detection** (the WGFT footer, see [`wg_util::checksum`]): if
+//!    bytes *do* rot — a torn sector, a bit flip — the loader rejects the
+//!    file with [`StoreError::SnapshotCorrupt`] instead of installing
+//!    garbage.
+//! 3. **Recovery** ([`Checkpointer`]): each checkpoint rotates the
+//!    previous snapshot to `<path>.prev` before installing the new one,
+//!    so a corrupt newest generation falls back to the one before it.
+//!    The rotation is rename-only; the decision table lives in
+//!    DESIGN.md §10.
+//! 4. **Proof** ([`TornWriter`]): the chaos harness enumerates every
+//!    crash offset of a checkpoint write (and every single-bit flip of
+//!    the result) as concrete on-disk states, so a property test can
+//!    assert that recovery always lands on a complete old or new state.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use wg_store::{StoreError, StoreResult};
+
+use crate::system::WarpGate;
+
+/// Suffix of the in-flight temp file next to a snapshot path.
+const TMP_SUFFIX: &str = ".tmp";
+/// Suffix of the previous checkpoint generation next to a snapshot path.
+const PREV_SUFFIX: &str = ".prev";
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// Stream snapshot bytes into a writer in bounded chunks.
+///
+/// This is the seam the mid-write failure tests inject into: a writer
+/// that errors after N bytes exercises exactly the partial-write path a
+/// full disk produces, and the error must propagate (no swallowed
+/// short writes).
+pub fn stream_snapshot(bytes: &[u8], w: &mut dyn Write) -> io::Result<()> {
+    for chunk in bytes.chunks(64 * 1024) {
+        w.write_all(chunk)?;
+    }
+    w.flush()
+}
+
+/// Write `bytes` to `path` atomically: temp sibling → fsync → rename.
+///
+/// On any failure the destination is untouched (the historical
+/// `File::create(path)` truncated the old snapshot before the first byte
+/// of the new one landed — the bug this replaces) and the temp file is
+/// cleaned up on a best-effort basis.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = sibling(path, TMP_SUFFIX);
+    let write = (|| {
+        let file = fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(file);
+        stream_snapshot(bytes, &mut w)?;
+        // Data must be on disk before the rename publishes it; a rename
+        // that survives a crash while the data didn't would install a
+        // torn file under the *final* name — the one state the scheme
+        // exists to prevent.
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    write?;
+    // Persist the rename itself (the directory entry). Failure here is
+    // not fatal to this process — the data is safe under one name or the
+    // other — so a filesystem that refuses directory fsync is tolerated.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
+/// Where a recovery found its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The newest checkpoint loaded clean.
+    Primary,
+    /// The newest was missing or corrupt; the `.prev` generation loaded.
+    Previous,
+}
+
+/// What [`Checkpointer::recover`] restored and how.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Which generation the state came from.
+    pub source: RecoverySource,
+    /// Columns in the restored index.
+    pub columns: usize,
+    /// The error the primary failed with, when `source` is
+    /// [`RecoverySource::Previous`] — surfaced so operators learn the
+    /// newest generation was lost even though the node came back up.
+    pub primary_error: Option<StoreError>,
+}
+
+/// Rotating two-generation checkpoint writer and its recovery path.
+///
+/// `checkpoint()` keeps exactly two generations next to each other:
+/// `<path>` (newest) and `<path>.prev` (the one before). The rotation is
+/// three renames deep at most and never rewrites a published file:
+///
+/// ```text
+/// write <path>.tmp  (fsync)        — crash here: both generations intact
+/// rename <path>   → <path>.prev    — crash here: newest absent, prev = old
+/// rename <path>.tmp → <path>       — crash here: done anyway
+/// ```
+///
+/// `recover()` inverts it: load `<path>`; if that is missing or corrupt,
+/// load `<path>.prev`; report which one won. Combined with the loader's
+/// no-partial-mutation guarantee, every crash state enumerated by
+/// [`TornWriter`] recovers to a complete old or new snapshot.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    path: PathBuf,
+}
+
+impl Checkpointer {
+    /// A checkpointer writing generations at `path` / `path.prev`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The newest-generation path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The previous-generation path (`<path>.prev`).
+    pub fn previous_path(&self) -> PathBuf {
+        sibling(&self.path, PREV_SUFFIX)
+    }
+
+    /// Snapshot `wg` into the newest generation, rotating the current
+    /// newest (if any) to `.prev` first.
+    pub fn checkpoint(&self, wg: &WarpGate) -> io::Result<()> {
+        let bytes = wg.to_bytes();
+        let tmp = sibling(&self.path, TMP_SUFFIX);
+        let write = (|| {
+            let file = fs::File::create(&tmp)?;
+            let mut w = io::BufWriter::new(file);
+            stream_snapshot(&bytes, &mut w)?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()
+        })();
+        if let Err(e) = write {
+            fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        // Rotate only once the new generation is safely on disk: demoting
+        // the old snapshot before that could leave zero loadable
+        // generations after a crash.
+        if self.path.exists() {
+            fs::rename(&self.path, self.previous_path())?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore `wg` from the newest loadable generation.
+    ///
+    /// Decision table (also DESIGN.md §10):
+    ///
+    /// | `<path>`        | `<path>.prev`  | outcome                           |
+    /// |-----------------|----------------|-----------------------------------|
+    /// | loads           | —              | `Primary`                         |
+    /// | missing/corrupt | loads          | `Previous` + the primary's error  |
+    /// | corrupt         | missing/corrupt| the primary's error               |
+    /// | missing         | missing        | `NotFound`                        |
+    ///
+    /// In-flight `.tmp` files are never consulted: an un-renamed temp was
+    /// never published, so its contents were never promised.
+    pub fn recover(&self, wg: &mut WarpGate) -> StoreResult<RecoveryReport> {
+        let primary_error = match wg.load_from_file(&self.path) {
+            Ok(()) => {
+                return Ok(RecoveryReport {
+                    source: RecoverySource::Primary,
+                    columns: wg.len(),
+                    primary_error: None,
+                })
+            }
+            Err(e) => e,
+        };
+        match wg.load_from_file(self.previous_path()) {
+            Ok(()) => Ok(RecoveryReport {
+                source: RecoverySource::Previous,
+                columns: wg.len(),
+                primary_error: Some(primary_error),
+            }),
+            // The newest generation's failure is the interesting one: a
+            // corrupt primary with a missing prev should read as "your
+            // snapshot is corrupt", not "file not found".
+            Err(prev_error) => match (&primary_error, &prev_error) {
+                (StoreError::NotFound(_), _) => Err(prev_error),
+                _ => Err(primary_error),
+            },
+        }
+    }
+}
+
+/// One concrete on-disk state a crash (or bit rot) can leave behind.
+///
+/// `None` means the file does not exist in this state. Materializing a
+/// state writes/removes the three generation files under a checkpoint
+/// path so recovery can be exercised against it.
+#[derive(Debug, Clone)]
+pub struct CrashState {
+    /// Human-readable provenance, for assertion messages.
+    pub label: String,
+    /// Contents of `<path>` in this state.
+    pub primary: Option<Vec<u8>>,
+    /// Contents of `<path>.prev` in this state.
+    pub previous: Option<Vec<u8>>,
+    /// Contents of `<path>.tmp` in this state.
+    pub temp: Option<Vec<u8>>,
+}
+
+impl CrashState {
+    /// Write this state's files under `checkpoint_path` (removing files
+    /// the state says are absent).
+    pub fn materialize(&self, checkpoint_path: &Path) -> io::Result<()> {
+        let files = [
+            (checkpoint_path.to_path_buf(), &self.primary),
+            (sibling(checkpoint_path, PREV_SUFFIX), &self.previous),
+            (sibling(checkpoint_path, TMP_SUFFIX), &self.temp),
+        ];
+        for (path, contents) in files {
+            match contents {
+                Some(bytes) => fs::write(&path, bytes)?,
+                None => match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic torn-write enumerator: every on-disk state a crash can
+/// leave while [`Checkpointer::checkpoint`] replaces `old` with `new`.
+///
+/// The rotation has exactly three classes of interruption point, all
+/// enumerated by [`TornWriter::crash_states`]:
+///
+/// * **during the temp write** — one state per byte prefix of `new`
+///   (including the empty prefix): the temp holds `new[..k]`, the
+///   published generations are untouched;
+/// * **between the two renames** — the newest name is momentarily absent,
+///   `.prev` holds `old`, the temp holds all of `new`;
+/// * **after completion** — `<path>` = `new`, `.prev` = `old`.
+///
+/// [`TornWriter::bit_flip_states`] separately yields the completed state
+/// with every single bit of the newest generation flipped — the media-rot
+/// cases where the footer checksum, not write atomicity, is the defense.
+#[derive(Debug, Clone)]
+pub struct TornWriter {
+    old: Option<Vec<u8>>,
+    new: Vec<u8>,
+}
+
+impl TornWriter {
+    /// A replayable checkpoint that overwrites `old` (the currently
+    /// published snapshot, if any) with `new`.
+    pub fn new(old: Option<Vec<u8>>, new: Vec<u8>) -> Self {
+        Self { old, new }
+    }
+
+    /// Every crash-interruption state of the rotation, in write order.
+    pub fn crash_states(&self) -> Vec<CrashState> {
+        let mut states = Vec::with_capacity(self.new.len() + 3);
+        for k in 0..=self.new.len() {
+            states.push(CrashState {
+                label: format!("crash after {k}/{} temp bytes", self.new.len()),
+                primary: self.old.clone(),
+                previous: None,
+                temp: Some(self.new[..k].to_vec()),
+            });
+        }
+        if self.old.is_some() {
+            states.push(CrashState {
+                label: "crash between demote and promote renames".into(),
+                primary: None,
+                previous: self.old.clone(),
+                temp: Some(self.new.clone()),
+            });
+        }
+        states.push(CrashState {
+            label: "completed rotation".into(),
+            primary: Some(self.new.clone()),
+            previous: self.old.clone(),
+            temp: None,
+        });
+        states
+    }
+
+    /// The completed rotation with bit `bit` of byte `offset` of the
+    /// newest generation flipped, for every byte offset — one flipped bit
+    /// per byte keeps the sweep linear while still touching every byte of
+    /// every frame (header, entries, index, sync state, footer).
+    pub fn bit_flip_states(&self) -> Vec<CrashState> {
+        (0..self.new.len())
+            .map(|offset| {
+                let mut flipped = self.new.clone();
+                flipped[offset] ^= 1 << (offset % 8);
+                CrashState {
+                    label: format!("bit {} of byte {offset} flipped", offset % 8),
+                    primary: Some(flipped),
+                    previous: self.old.clone(),
+                    temp: None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Errors after `limit` bytes, like a disk running full mid-write.
+    struct FailingWriter {
+        written: usize,
+        limit: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let room = self.limit.saturating_sub(self.written);
+            if room == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            let n = buf.len().min(room);
+            self.written += n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wg_durability_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stream_snapshot_propagates_mid_write_failures() {
+        let bytes = vec![0xAB; 200 * 1024];
+        let mut w = FailingWriter { written: 0, limit: 100 * 1024 };
+        let err = stream_snapshot(&bytes, &mut w).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert_eq!(w.written, 100 * 1024, "must have failed mid-stream, not up front");
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_failure() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("snapshot.bin");
+        atomic_write(&path, b"generation one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"generation one");
+        atomic_write(&path, b"generation two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"generation two");
+
+        // Block the temp path with a directory: the write fails before a
+        // single destination byte moves, and the old snapshot survives —
+        // the regression the bare `File::create(path)` writer had.
+        let tmp = sibling(&path, TMP_SUFFIX);
+        fs::create_dir_all(&tmp).unwrap();
+        assert!(atomic_write(&path, b"generation three").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"generation two", "failed write must not truncate");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn siblings_attach_suffixes_to_the_file_name() {
+        let p = Path::new("/var/lib/wg/snapshot.bin");
+        assert_eq!(sibling(p, TMP_SUFFIX), Path::new("/var/lib/wg/snapshot.bin.tmp"));
+        assert_eq!(sibling(p, PREV_SUFFIX), Path::new("/var/lib/wg/snapshot.bin.prev"));
+    }
+
+    #[test]
+    fn crash_states_enumerate_every_offset() {
+        let torn = TornWriter::new(Some(b"old".to_vec()), b"newer".to_vec());
+        let states = torn.crash_states();
+        // 6 prefixes (0..=5) + between-renames + completed.
+        assert_eq!(states.len(), 8);
+        assert!(states[..6].iter().all(|s| s.primary.as_deref() == Some(b"old" as &[u8])));
+        let between = &states[6];
+        assert!(between.primary.is_none());
+        assert_eq!(between.previous.as_deref(), Some(b"old" as &[u8]));
+        assert_eq!(between.temp.as_deref(), Some(b"newer" as &[u8]));
+        let done = &states[7];
+        assert_eq!(done.primary.as_deref(), Some(b"newer" as &[u8]));
+        assert_eq!(done.previous.as_deref(), Some(b"old" as &[u8]));
+
+        // First-ever checkpoint: no old generation, no between-renames
+        // state (there is nothing to demote).
+        let first = TornWriter::new(None, b"new".to_vec());
+        assert_eq!(first.crash_states().len(), 5);
+    }
+
+    #[test]
+    fn bit_flip_states_touch_every_byte() {
+        let torn = TornWriter::new(None, vec![0u8; 16]);
+        let flips = torn.bit_flip_states();
+        assert_eq!(flips.len(), 16);
+        for (i, s) in flips.iter().enumerate() {
+            let p = s.primary.as_ref().unwrap();
+            assert_eq!(p[i], 1 << (i % 8), "exactly one bit of byte {i} flipped");
+            assert_eq!(p.iter().filter(|&&b| b != 0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn materialize_round_trips_states() {
+        let dir = tmp_dir("materialize");
+        let path = dir.join("snapshot.bin");
+        let state = CrashState {
+            label: "test".into(),
+            primary: Some(b"p".to_vec()),
+            previous: None,
+            temp: Some(b"t".to_vec()),
+        };
+        state.materialize(&path).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"p");
+        assert!(!sibling(&path, PREV_SUFFIX).exists());
+        assert_eq!(fs::read(sibling(&path, TMP_SUFFIX)).unwrap(), b"t");
+
+        // Re-materializing a different state removes what it declares absent.
+        let gone = CrashState { label: "gone".into(), primary: None, previous: None, temp: None };
+        gone.materialize(&path).unwrap();
+        assert!(!path.exists() && !sibling(&path, TMP_SUFFIX).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

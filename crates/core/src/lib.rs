@@ -44,10 +44,18 @@
 //! and index item ids are all namespaced by `wg_store::BackendId`, queries
 //! scope with `wg_lsh::DiscoverScope`, and per-backend sync/cost slices
 //! surface through [`SyncReport::per_backend`].
+//!
+//! Durability (§10 of DESIGN.md): snapshots are checksummed and written
+//! atomically, persisted sync tokens let a restarted node's first `sync()`
+//! bill only genuinely changed tables, [`Checkpointer`] rotates two
+//! generations with corrupt-newest fallback, and [`TornWriter`] replays a
+//! checkpoint crashing at every byte offset so the recovery guarantees are
+//! machine-checked rather than asserted.
 
 pub mod cache;
 pub mod config;
 pub mod daemon;
+pub mod durability;
 pub mod persist;
 pub mod system;
 pub mod timing;
@@ -55,7 +63,12 @@ pub mod timing;
 pub use cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 pub use config::WarpGateConfig;
 pub use daemon::{
-    BackendCircuit, CircuitState, DaemonReport, SyncDaemon, SyncDaemonConfig, SyncSchedule,
+    BackendCircuit, CheckpointPolicy, CircuitState, DaemonReport, SyncDaemon, SyncDaemonConfig,
+    SyncSchedule,
+};
+pub use durability::{
+    atomic_write, stream_snapshot, Checkpointer, CrashState, RecoveryReport, RecoverySource,
+    TornWriter,
 };
 pub use system::{Discovery, IndexReport, JoinCandidate, SyncReport, WarpGate};
 pub use timing::QueryTiming;

@@ -20,19 +20,51 @@
 //!   every item id** from the local interner's bits plus the saved
 //!   per-backend local part, because the saving process's bit assignment
 //!   need not match this one's.
+//!
+//! Since the durability work (DESIGN.md §10) every written snapshot also
+//! carries, *after* the index payload:
+//!
+//! * a **WGST sync-state frame** — per backend name, the table → version
+//!   tokens the index currently reflects, so a restarted node's first
+//!   `sync()` re-scans only tables that actually changed instead of
+//!   re-billing the whole warehouse; and
+//! * a trailing **WGFT integrity footer** (see [`wg_util::checksum`]) —
+//!   magic, body length and CRC-32 over everything before it, so torn or
+//!   bit-rotted files are rejected before a single body byte is trusted.
+//!
+//! Both are strictly additive: the v1/v2 header version is unchanged, and
+//! footerless pre-durability files (which also lack WGST) still load —
+//! with the historical behavior of invalidating all sync state. Every
+//! integrity failure surfaces as [`StoreError::SnapshotCorrupt`] with the
+//! byte offset where parsing went wrong; the loader parses into locals and
+//! installs state only on full success, so a corrupt file never leaves the
+//! system half-mutated (which is what lets recovery fall back to the
+//! previous checkpoint generation, see [`crate::durability`]).
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 use wg_lsh::{compose_item_id, item_local, ShardedLshIndex};
 use wg_store::{BackendId, ColumnRef, StoreError, StoreResult};
-use wg_util::codec;
+use wg_util::{checksum, codec};
 
-use crate::system::WarpGate;
+use crate::system::{PersistedBackendSync, WarpGate};
 
 const MAGIC: [u8; 4] = *b"WGSY";
 const VERSION: u32 = 1;
 const VERSION_FEDERATED: u32 = 2;
+
+/// Magic of the appended sync-state frame.
+const SYNC_MAGIC: [u8; 4] = *b"WGST";
+const SYNC_VERSION: u32 = 1;
+
+/// A parse failure at a known position in the snapshot body: the offset
+/// pins *where* the bytes stopped making sense, which with a verified
+/// checksum should never happen (and without one is the whole diagnosis).
+fn corrupt(what: &str, body: &[u8], cursor: &[u8], e: impl std::fmt::Display) -> StoreError {
+    let offset = body.len() - cursor.len();
+    StoreError::SnapshotCorrupt(format!("{what} at byte offset {offset}: {e}"))
+}
 
 impl WarpGate {
     /// Serialize the index + registry to a byte buffer. All-default
@@ -60,6 +92,22 @@ impl WarpGate {
             }
         }
         codec::put_bytes(&mut buf, &index_bytes);
+        // Durable sync tokens: written even when empty so the frame layout
+        // is uniform; only pre-durability files lack it.
+        let sync = self.sync_state_for_persist();
+        codec::put_header(&mut buf, SYNC_MAGIC, SYNC_VERSION);
+        codec::put_len(&mut buf, sync.len());
+        for backend in &sync {
+            codec::put_str(&mut buf, &backend.name);
+            codec::put_u64(&mut buf, backend.epoch);
+            codec::put_len(&mut buf, backend.tables.len());
+            for (database, table, version) in &backend.tables {
+                codec::put_str(&mut buf, database);
+                codec::put_str(&mut buf, table);
+                codec::put_u64(&mut buf, *version);
+            }
+        }
+        checksum::append_footer(&mut buf);
         buf
     }
 
@@ -71,24 +119,38 @@ impl WarpGate {
     /// system's configured shard layout on load, so a snapshot saved with
     /// 8 shards restores fine into 1 (or vice versa).
     pub fn load_bytes(&mut self, bytes: &[u8]) -> StoreResult<()> {
-        let mut cursor = bytes;
-        let version = codec::get_header(&mut cursor, MAGIC)?;
-        let n = codec::get_len(&mut cursor)?;
-        let mut entries = Vec::with_capacity(n);
+        // A checksum mismatch or torn footer is fatal for these bytes —
+        // it is never downgraded to a legacy (footerless) parse. Files
+        // that simply have no footer fall through to the body parse,
+        // whose own bounds checks reject truncations.
+        let (body, _integrity) = checksum::split_footer(bytes)
+            .map_err(|e| StoreError::SnapshotCorrupt(format!("integrity footer: {e}")))?;
+        let mut cursor = body;
+        let version = codec::get_header(&mut cursor, MAGIC)
+            .map_err(|e| corrupt("snapshot header", body, cursor, e))?;
+        let n = codec::get_len(&mut cursor)
+            .map_err(|e| corrupt("registry entry count", body, cursor, e))?;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
         match version {
             VERSION => {
-                for _ in 0..n {
-                    let id = codec::get_u32(&mut cursor)?;
-                    let database = codec::get_str(&mut cursor)?;
-                    let table = codec::get_str(&mut cursor)?;
-                    let column = codec::get_str(&mut cursor)?;
+                for i in 0..n {
+                    let id = codec::get_u32(&mut cursor)
+                        .map_err(|e| corrupt(&format!("entry #{i} id"), body, cursor, e))?;
+                    let database = codec::get_str(&mut cursor)
+                        .map_err(|e| corrupt(&format!("entry #{i} database"), body, cursor, e))?;
+                    let table = codec::get_str(&mut cursor)
+                        .map_err(|e| corrupt(&format!("entry #{i} table"), body, cursor, e))?;
+                    let column = codec::get_str(&mut cursor)
+                        .map_err(|e| corrupt(&format!("entry #{i} column"), body, cursor, e))?;
                     entries.push((id, ColumnRef::new(database, table, column)));
                 }
             }
             VERSION_FEDERATED => {
-                for _ in 0..n {
-                    let saved_id = codec::get_u32(&mut cursor)?;
-                    let r = ColumnRef::decode(&mut cursor)?;
+                for i in 0..n {
+                    let saved_id = codec::get_u32(&mut cursor)
+                        .map_err(|e| corrupt(&format!("entry #{i} id"), body, cursor, e))?;
+                    let r = ColumnRef::decode(&mut cursor)
+                        .map_err(|e| corrupt(&format!("entry #{i} ref"), body, cursor, e))?;
                     // The saved id's high bits are the *saving* process's
                     // interner assignment; only the name travels. Recompose
                     // against this process's bits for the (re-interned)
@@ -98,12 +160,13 @@ impl WarpGate {
                 }
             }
             v => {
-                return Err(StoreError::Codec(wg_util::codec::CodecError::Invalid(format!(
+                return Err(StoreError::SnapshotCorrupt(format!(
                     "unsupported snapshot version {v}"
-                ))))
+                )))
             }
         }
-        let index_bytes = codec::get_bytes(&mut cursor)?;
+        let index_bytes =
+            codec::get_bytes(&mut cursor).map_err(|e| corrupt("index payload", body, cursor, e))?;
         let mut index_cursor = &index_bytes[..];
         // The same name-authoritative remap applies inside the index frame
         // (v1 index payloads have no name table and resolve nothing).
@@ -111,19 +174,33 @@ impl WarpGate {
             &mut index_cursor,
             self.config().effective_shards(),
             |name| Ok(BackendId::named(name).bits()),
-        )?;
-        self.restore_from_persist(index, entries)
+        )
+        .map_err(|e| corrupt("index frame", body, cursor, e))?;
+        // Optional durable sync tokens; pre-durability files end here.
+        let sync =
+            if cursor.is_empty() { None } else { Some(parse_sync_frame(body, &mut cursor)?) };
+        if !cursor.is_empty() {
+            return Err(corrupt("snapshot end", body, cursor, "trailing bytes after last frame"));
+        }
+        // Everything parsed into locals; only now touch system state.
+        self.restore_from_persist(index, entries, sync)
     }
 
-    /// Write the snapshot to a file.
+    /// Write the snapshot to a file, atomically: the bytes stream into a
+    /// sibling temp file which is fsynced and renamed over `path`, so a
+    /// crash — or a full disk — mid-write can never destroy a snapshot
+    /// that was already there (see [`crate::durability::atomic_write`]).
     pub fn save_to_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let bytes = self.to_bytes();
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        f.write_all(&bytes)?;
-        f.flush()
+        crate::durability::atomic_write(path, &self.to_bytes())
     }
 
     /// Load a snapshot from a file into this (already configured) system.
+    ///
+    /// A missing/unreadable file is [`StoreError::NotFound`]; a present
+    /// file that fails its checksum or parse is
+    /// [`StoreError::SnapshotCorrupt`] — callers that checkpoint (see
+    /// [`crate::durability::Checkpointer`]) use the distinction to fall
+    /// back to the previous generation.
     pub fn load_from_file(&mut self, path: impl AsRef<Path>) -> StoreResult<()> {
         let mut bytes = Vec::new();
         std::fs::File::open(path)
@@ -131,6 +208,40 @@ impl WarpGate {
             .map_err(|e| StoreError::NotFound(format!("snapshot file: {e}")))?;
         self.load_bytes(&bytes)
     }
+}
+
+/// Parse the WGST frame the cursor is sitting on. `body` is the full
+/// snapshot body, for offset reporting only.
+fn parse_sync_frame(body: &[u8], cursor: &mut &[u8]) -> StoreResult<Vec<PersistedBackendSync>> {
+    let version = codec::get_header(cursor, SYNC_MAGIC)
+        .map_err(|e| corrupt("sync-state header", body, cursor, e))?;
+    if version != SYNC_VERSION {
+        return Err(StoreError::SnapshotCorrupt(format!(
+            "unsupported sync-state frame version {version}"
+        )));
+    }
+    let n = codec::get_len(cursor).map_err(|e| corrupt("sync-state backends", body, cursor, e))?;
+    let mut backends = Vec::with_capacity(n.min(1 << 10));
+    for i in 0..n {
+        let name = codec::get_str(cursor)
+            .map_err(|e| corrupt(&format!("sync backend #{i} name"), body, cursor, e))?;
+        let epoch = codec::get_u64(cursor)
+            .map_err(|e| corrupt(&format!("sync backend #{i} epoch"), body, cursor, e))?;
+        let t = codec::get_len(cursor)
+            .map_err(|e| corrupt(&format!("sync backend #{i} tables"), body, cursor, e))?;
+        let mut tables = Vec::with_capacity(t.min(1 << 16));
+        for j in 0..t {
+            let database = codec::get_str(cursor)
+                .map_err(|e| corrupt(&format!("sync token #{i}.{j} database"), body, cursor, e))?;
+            let table = codec::get_str(cursor)
+                .map_err(|e| corrupt(&format!("sync token #{i}.{j} table"), body, cursor, e))?;
+            let ver = codec::get_u64(cursor)
+                .map_err(|e| corrupt(&format!("sync token #{i}.{j} version"), body, cursor, e))?;
+            tables.push((database, table, ver));
+        }
+        backends.push(PersistedBackendSync { name, epoch, tables });
+    }
+    Ok(backends)
 }
 
 #[cfg(test)]
@@ -224,9 +335,10 @@ mod tests {
     }
 
     #[test]
-    fn restore_invalidates_sync_state() {
-        // A snapshot may reflect warehouse content the backend no longer
-        // serves; the first sync after a restore must re-scan everything.
+    fn restore_carries_sync_tokens_so_unchanged_content_syncs_as_noop() {
+        // The tentpole behavior: persisted version tokens survive the
+        // restart, so the first sync of a restored system over unchanged
+        // warehouse content re-bills *nothing*.
         let c = connector();
         let wg = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
         wg.index_warehouse().unwrap();
@@ -235,11 +347,98 @@ mod tests {
         let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), c);
         fresh.load_bytes(&bytes).unwrap();
         let report = fresh.sync().unwrap();
+        assert!(
+            report.is_noop(),
+            "restored tokens must make an unchanged-content sync a no-op: {report:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_snapshots_without_sync_frame_invalidate_sync_state() {
+        // Pre-durability files carry no WGST frame (and no footer); they
+        // must keep their historical behavior — the first sync after the
+        // restore conservatively re-scans every backend table.
+        let c = connector();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
+        wg.index_warehouse().unwrap();
+        wg.sync().unwrap();
+        let bytes = wg.to_bytes();
+        // Reconstruct what the old writer produced: header + entries +
+        // index payload, nothing after.
+        let mut cursor = &bytes[..];
+        codec::get_header(&mut cursor, MAGIC).unwrap();
+        let n = codec::get_len(&mut cursor).unwrap();
+        for _ in 0..n {
+            codec::get_u32(&mut cursor).unwrap();
+            codec::get_str(&mut cursor).unwrap();
+            codec::get_str(&mut cursor).unwrap();
+            codec::get_str(&mut cursor).unwrap();
+        }
+        codec::get_bytes(&mut cursor).unwrap();
+        let legacy = bytes[..bytes.len() - cursor.len()].to_vec();
+
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), c);
+        fresh.load_bytes(&legacy).unwrap();
+        let report = fresh.sync().unwrap();
         assert_eq!(
             report.tables_added + report.tables_updated,
             2,
-            "restored system must reconcile every backend table: {report:?}"
+            "legacy restore must reconcile every backend table: {report:?}"
         );
+    }
+
+    #[test]
+    fn restored_tokens_rescan_only_what_changed() {
+        // The billing story: after a restart, mutate one of the two
+        // tables — sync must re-scan that table only.
+        let mut w = Warehouse::new("w");
+        let mut db = Database::new("db");
+        for t in ["a", "b"] {
+            db.add_table(
+                Table::new(
+                    t,
+                    vec![Column::text(
+                        "x",
+                        (0..40).map(|i| format!("{t} {i}")).collect::<Vec<_>>(),
+                    )],
+                )
+                .unwrap(),
+            );
+        }
+        w.add_database(db);
+        let c = Arc::new(CdwConnector::new(w, CdwConfig::free()));
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
+        wg.index_warehouse().unwrap();
+        let bytes = wg.to_bytes();
+
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), c.clone());
+        fresh.load_bytes(&bytes).unwrap();
+        c.warehouse_mut().database_mut("db").add_table(
+            Table::new("b", vec![Column::text("x", vec!["changed".to_string(); 40])]).unwrap(),
+        );
+        let report = fresh.sync().unwrap();
+        assert_eq!(report.tables_updated, 1, "only the mutated table re-scans: {report:?}");
+        assert_eq!(report.tables_added, 0, "{report:?}");
+    }
+
+    #[test]
+    fn snapshots_carry_the_integrity_footer() {
+        let c = connector();
+        let wg = WarpGate::with_backend(WarpGateConfig::default(), c);
+        wg.index_warehouse().unwrap();
+        let bytes = wg.to_bytes();
+        let (body, check) = wg_util::checksum::split_footer(&bytes).unwrap();
+        assert_eq!(check, wg_util::checksum::FooterCheck::Verified);
+        assert_eq!(body.len() + wg_util::checksum::FOOTER_LEN, bytes.len());
+
+        // Corrupt one body byte: the checksum catches it, the error is
+        // typed, and the target system stays untouched.
+        let mut corrupted = bytes.clone();
+        corrupted[10] ^= 0x40;
+        let mut fresh = WarpGate::with_backend(WarpGateConfig::default(), connector());
+        let err = fresh.load_bytes(&corrupted).unwrap_err();
+        assert!(matches!(err, StoreError::SnapshotCorrupt(_)), "{err}");
+        assert_eq!(fresh.len(), 0, "failed load must not partially mutate");
     }
 
     #[test]

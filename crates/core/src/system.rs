@@ -1099,10 +1099,37 @@ impl WarpGate {
         (index_bytes, entries)
     }
 
+    /// The durable slice of the sync bookkeeping: per backend *name*, the
+    /// attach epoch and every table → version token recorded under that
+    /// (current) epoch. Stale tokens from older epochs describe backends
+    /// that are gone and are not worth carrying across a restart; backends
+    /// with no live tokens are omitted entirely. Deterministically ordered
+    /// so identical states serialize to identical bytes.
+    pub(crate) fn sync_state_for_persist(&self) -> Vec<PersistedBackendSync> {
+        let state = self.synced.read();
+        let mut out: Vec<PersistedBackendSync> = Vec::new();
+        for (id, be) in &state.backends {
+            let mut tables: Vec<(String, String, u64)> = be
+                .tables
+                .iter()
+                .filter(|(_, st)| st.epoch == be.epoch)
+                .map(|((db, t), st)| (db.clone(), t.clone(), st.version))
+                .collect();
+            if tables.is_empty() {
+                continue;
+            }
+            tables.sort();
+            out.push(PersistedBackendSync { name: id.name(), epoch: be.epoch, tables });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
     pub(crate) fn restore_from_persist(
         &mut self,
         index: ShardedLshIndex,
         entries: Vec<(u32, ColumnRef)>,
+        sync: Option<Vec<PersistedBackendSync>>,
     ) -> StoreResult<()> {
         if index.dim() != self.config.dim {
             return Err(StoreError::Schema(format!(
@@ -1118,17 +1145,46 @@ impl WarpGate {
         *self.registry.write() = registry;
         self.index = index;
         // The snapshot may come from a system over different warehouse
-        // content; cached query embeddings are not trustworthy across it,
-        // and neither are recorded sync versions — the next sync() must
-        // re-scan everything each backend still serves.
+        // content; cached query embeddings are not trustworthy across it.
         self.cache.clear();
+        // Neither are any tokens recorded *before* the restore: bump every
+        // namespace's epoch and drop its tables, exactly as if each
+        // backend had been re-attached.
         let mut synced = self.synced.write();
         for state in synced.backends.values_mut() {
             state.epoch += 1;
             state.tables.clear();
         }
+        // Then adopt the snapshot's durable tokens (if the frame was
+        // present) under each namespace's *live* epoch: the tokens assert
+        // "the index now installed reflects these table versions", which
+        // holds for whatever backend is currently attached under the name
+        // — version tokens are content fingerprints, and a mismatching
+        // backend simply fails the token diff and re-scans. A backend
+        // attached *after* this restore bumps its epoch again and
+        // invalidates its adopted tokens (the conservative direction).
+        for persisted in sync.into_iter().flatten() {
+            let id = BackendId::named(&persisted.name);
+            let be = synced.backends.entry(id).or_default();
+            let epoch = be.epoch;
+            for (database, table, version) in persisted.tables {
+                be.tables.insert((database, table), TableState { epoch, version });
+            }
+        }
         Ok(())
     }
+}
+
+/// One backend's durable sync slice as it travels through the WGST
+/// snapshot frame (see `persist.rs`): the backend *name* (ids are
+/// process-local), the attach epoch it was saved under (diagnostic — the
+/// loader adopts its own live epoch), and the table → version tokens that
+/// were current at save time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PersistedBackendSync {
+    pub(crate) name: String,
+    pub(crate) epoch: u64,
+    pub(crate) tables: Vec<(String, String, u64)>,
 }
 
 #[cfg(test)]

@@ -38,6 +38,11 @@ pub enum StoreError {
     /// A warehouse backend failed in a way a retry cannot fix:
     /// misconfiguration, unreadable files, no backend attached. Fatal.
     Backend(String),
+    /// A persisted snapshot failed its integrity check: checksum mismatch,
+    /// torn frame, truncation, or trailing garbage. Fatal for *this* file —
+    /// recovery falls back to the previous checkpoint generation instead
+    /// of retrying (see `warpgate_core::durability`).
+    SnapshotCorrupt(String),
     /// A transient backend failure: connection reset, timeout, suspended
     /// warehouse, injected fault. **Retryable** — the only variant that is.
     Unavailable(String),
@@ -66,6 +71,7 @@ impl StoreError {
             | StoreError::Join(_)
             | StoreError::Codec(_)
             | StoreError::Backend(_)
+            | StoreError::SnapshotCorrupt(_)
             | StoreError::RetriesExhausted { .. } => false,
         }
     }
@@ -82,6 +88,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Join(msg) => write!(f, "join error: {msg}"),
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
             StoreError::Backend(msg) => write!(f, "backend error: {msg}"),
+            StoreError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
             StoreError::Unavailable(msg) => write!(f, "backend unavailable: {msg}"),
             StoreError::RetriesExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
@@ -144,6 +151,7 @@ mod tests {
             StoreError::Join("j".into()),
             StoreError::Codec(CodecError::UnexpectedEof),
             StoreError::Backend("b".into()),
+            StoreError::SnapshotCorrupt("checksum mismatch".into()),
             StoreError::RetriesExhausted {
                 attempts: 3,
                 last: Box::new(StoreError::Unavailable("u".into())),

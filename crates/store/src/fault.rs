@@ -6,9 +6,15 @@
 //! scenarios (indexing aborts, retry loops, sync over a flaky link) are
 //! testable without a flaky test suite.
 //!
-//! Only the billed scan surface misbehaves; metadata calls always pass
-//! through, mirroring how catalog queries hit a different (and far more
-//! reliable) service tier than warehouse compute.
+//! By default only the billed scan surface misbehaves; metadata calls
+//! pass through, mirroring how catalog queries hit a different (and far
+//! more reliable) service tier than warehouse compute. Durability tests
+//! that need the catalog tier itself to die — "the backend vanished
+//! between a checkpoint and the next sync" — opt in via
+//! [`FaultPlan::metadata_fail_every`], which gates `list_tables` /
+//! `table_meta` / `snapshot_versions` on their own deterministic counter
+//! (scan faulting is unaffected, and `validate_column` stays reliable so
+//! query validation never flakes).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -33,12 +39,23 @@ pub struct FaultPlan {
     /// Extra virtual latency charged per successful matching scan,
     /// seconds — a degraded-link model.
     pub extra_latency_secs: f64,
+    /// Fail every Nth *metadata* call — `list_tables`, `table_meta`,
+    /// `snapshot_versions` — on a counter separate from the scan gate
+    /// (1 = every call, 0 = never, the default). `only_table` scoping does
+    /// not apply (the catalog tier fails as a whole), and
+    /// `validate_column` is never faulted.
+    pub metadata_fail_every: u64,
 }
 
 impl FaultPlan {
     /// Fail every `n`th scan, everywhere.
     pub fn fail_every(n: u64) -> Self {
         Self { fail_every: n, ..Self::default() }
+    }
+
+    /// Fail every `n`th metadata call, leaving scans healthy.
+    pub fn fail_metadata_every(n: u64) -> Self {
+        Self { metadata_fail_every: n, ..Self::default() }
     }
 
     /// Add `secs` of virtual latency to every scan, failing none.
@@ -60,7 +77,11 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Matching scans attempted (failed ones included).
     scans: AtomicU64,
-    /// Faults injected so far.
+    /// Metadata calls attempted (failed ones included) — a separate
+    /// stream, so enabling metadata faults never shifts the deterministic
+    /// scan-fault schedule.
+    meta_calls: AtomicU64,
+    /// Faults injected so far (scan and metadata combined).
     faults: AtomicU64,
     /// Injected virtual latency, nanoseconds.
     injected_nanos: AtomicU64,
@@ -82,6 +103,7 @@ impl FaultInjector {
             inner,
             plan,
             scans: AtomicU64::new(0),
+            meta_calls: AtomicU64::new(0),
             faults: AtomicU64::new(0),
             injected_nanos: AtomicU64::new(0),
         }
@@ -120,6 +142,21 @@ impl FaultInjector {
         }
         Ok(())
     }
+
+    /// Decide the fate of one metadata call (the catalog tier).
+    fn gate_metadata(&self, what: &str) -> StoreResult<()> {
+        if self.plan.metadata_fail_every == 0 {
+            return Ok(());
+        }
+        let n = self.meta_calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % self.plan.metadata_fail_every == 0 {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Unavailable(format!(
+                "injected fault on metadata call #{n} ({what})"
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl WarehouseBackend for FaultInjector {
@@ -128,10 +165,12 @@ impl WarehouseBackend for FaultInjector {
     }
 
     fn list_tables(&self) -> StoreResult<Vec<TableMeta>> {
+        self.gate_metadata("list_tables")?;
         self.inner.list_tables()
     }
 
     fn table_meta(&self, database: &str, table: &str) -> StoreResult<TableMeta> {
+        self.gate_metadata("table_meta")?;
         self.inner.table_meta(database, table)
     }
 
@@ -163,6 +202,7 @@ impl WarehouseBackend for FaultInjector {
     }
 
     fn snapshot_versions(&self) -> StoreResult<Vec<TableVersion>> {
+        self.gate_metadata("snapshot_versions")?;
         self.inner.snapshot_versions()
     }
 }
@@ -215,7 +255,7 @@ mod tests {
         let plan = FaultPlan {
             fail_every: 1,
             only_table: Some(("db".into(), "t".into())),
-            extra_latency_secs: 0.0,
+            ..FaultPlan::default()
         };
         let f = FaultInjector::new(inner(), plan);
         assert!(f.scan_column(&ColumnRef::new("db", "t", "a"), SampleSpec::Full).is_err());
@@ -239,12 +279,52 @@ mod tests {
     }
 
     #[test]
-    fn metadata_never_faults() {
+    fn metadata_never_faults_by_default() {
         let f = FaultInjector::new(inner(), FaultPlan::fail_every(1));
         assert!(f.list_tables().is_ok());
         assert!(f.table_meta("db", "t").is_ok());
         assert!(f.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
         assert!(f.snapshot_versions().is_ok());
         assert_eq!(f.faults_injected(), 0);
+    }
+
+    #[test]
+    fn metadata_faults_are_deterministic_and_leave_scans_healthy() {
+        let f = FaultInjector::new(inner(), FaultPlan::fail_metadata_every(3));
+        // The three metadata entry points share one counter: every third
+        // call dies, whatever mix of calls made up the stream.
+        let outcomes = [
+            f.list_tables().is_ok(),
+            f.table_meta("db", "t").is_ok(),
+            f.snapshot_versions().is_ok(),
+            f.snapshot_versions().is_ok(),
+            f.list_tables().is_ok(),
+            f.table_meta("db", "u").is_ok(),
+        ];
+        assert_eq!(outcomes, [true, true, false, true, true, false]);
+        assert_eq!(f.faults_injected(), 2);
+        // Scans ride a separate counter and separate plan knob.
+        let r = ColumnRef::new("db", "t", "a");
+        for _ in 0..5 {
+            assert!(f.scan_column(&r, SampleSpec::Full).is_ok());
+        }
+        // Validation is never part of the metadata fault surface.
+        assert!(f.validate_column(&r).is_ok());
+    }
+
+    #[test]
+    fn metadata_faults_do_not_shift_the_scan_schedule() {
+        // Same scan outcomes as `fail_every_n_is_deterministic`, even with
+        // metadata faulting enabled and interleaved metadata calls.
+        let plan = FaultPlan { metadata_fail_every: 2, ..FaultPlan::fail_every(3) };
+        let f = FaultInjector::new(inner(), plan);
+        let r = ColumnRef::new("db", "t", "a");
+        let outcomes: Vec<bool> = (0..9)
+            .map(|_| {
+                let _ = f.list_tables();
+                f.scan_column(&r, SampleSpec::Full).is_ok()
+            })
+            .collect();
+        assert_eq!(outcomes, vec![true, true, false, true, true, false, true, true, false]);
     }
 }

@@ -181,6 +181,10 @@ fn put_store_error(buf: &mut Vec<u8>, e: &StoreError) {
             put_u32(buf, *attempts);
             put_store_error(buf, last);
         }
+        StoreError::SnapshotCorrupt(m) => {
+            put_u8(buf, 8);
+            put_str(buf, m);
+        }
     }
 }
 
@@ -203,6 +207,7 @@ fn get_store_error(buf: &mut &[u8]) -> CodecResult<StoreError> {
             let last = get_store_error(buf)?;
             StoreError::RetriesExhausted { attempts, last: Box::new(last) }
         }
+        8 => StoreError::SnapshotCorrupt(get_str(buf)?),
         tag => return Err(CodecError::Invalid(format!("unknown StoreError tag {tag}"))),
     })
 }
@@ -813,6 +818,7 @@ mod tests {
             StoreError::Schema("dup".into()),
             StoreError::Join("no key".into()),
             StoreError::Backend("boom".into()),
+            StoreError::SnapshotCorrupt("checksum mismatch at byte 42".into()),
             StoreError::Unavailable("flap".into()),
             StoreError::RetriesExhausted {
                 attempts: 3,

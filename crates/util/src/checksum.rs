@@ -1,0 +1,259 @@
+//! Content checksums and the snapshot integrity footer.
+//!
+//! Persisted artifacts (WGSY snapshots) end with a fixed-size **footer
+//! frame** that lets a loader distinguish "this is the complete file the
+//! writer produced" from "this is a torn or bit-rotted impostor" before a
+//! single body byte is interpreted:
+//!
+//! ```text
+//! ┌────────────────────────────── body ─────────────────────────────┐
+//! │ WGSY header │ entries │ index frame │ optional sync-state frame │
+//! └─────────────────────────────────────────────────────────────────┘
+//! ┌──────────────────────── footer (20 bytes) ──────────────────────┐
+//! │ magic "WGFT" │ version u32 │ body_len u64 │ crc32(body) u32     │
+//! └─────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The checksum is CRC-32 (IEEE 802.3, reflected, the `cksum`/zlib
+//! polynomial) implemented here table-driven and dependency-free — the
+//! whole workspace is offline, and CRC32's burst-error detection is
+//! exactly what torn writes and single-bit flips look like. It is **not**
+//! cryptographic and does not pretend to be: the threat model is storage
+//! corruption, not adversaries.
+//!
+//! Back-compat is structural: pre-footer files simply do not end with the
+//! magic/length pattern, so [`split_footer`] classifies them as
+//! [`FooterCheck::Absent`] and loaders fall back to the legacy
+//! (unchecked) parse. A footer whose magic and length match but whose
+//! checksum does not is *corruption*, never "legacy".
+
+use crate::codec::CodecError;
+
+/// Reflected IEEE CRC-32 polynomial (zlib, PNG, `cksum -o 3`).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, generated at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ CRC32_POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 state: feed bytes with [`Crc32::update`], read the
+/// digest with [`Crc32::finalize`]. One-shot hashing goes through
+/// [`crc32`].
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (the standard all-ones preset).
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Absorb a chunk. Chunking never changes the digest:
+    /// `update(a); update(b)` equals `update(ab)`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything absorbed so far (final xor applied; the
+    /// state itself is untouched, so more updates may follow).
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+/// Magic opening the integrity footer frame.
+pub const FOOTER_MAGIC: [u8; 4] = *b"WGFT";
+/// Footer frame version.
+pub const FOOTER_VERSION: u32 = 1;
+/// Exact encoded footer size: magic (4) + version (4) + body_len (8) +
+/// crc32 (4).
+pub const FOOTER_LEN: usize = 20;
+
+/// Outcome of [`split_footer`] when the bytes are *not* corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FooterCheck {
+    /// A footer was present and the body checksum verified.
+    Verified,
+    /// No footer: a pre-footer (legacy) artifact. The caller gets the
+    /// whole input back as the body and must parse it unchecked.
+    Absent,
+}
+
+/// Append the integrity footer over everything currently in `buf`.
+pub fn append_footer(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    let body_len = buf.len() as u64;
+    buf.extend_from_slice(&FOOTER_MAGIC);
+    buf.extend_from_slice(&FOOTER_VERSION.to_le_bytes());
+    buf.extend_from_slice(&body_len.to_le_bytes());
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Classify and strip the integrity footer.
+///
+/// * Footer present and checksum verifies → `Ok((body, Verified))`.
+/// * No plausible footer (too short, wrong magic, or a length field that
+///   does not match the file — e.g. a legacy artifact, or a footer'd file
+///   truncated mid-body) → `Ok((input, Absent))`: the caller parses the
+///   whole input with legacy (bounds-checked but unchecksummed) rules,
+///   which rejects truncations on its own.
+/// * Footer structurally present (magic *and* matching length) but the
+///   checksum or version disagrees → `Err`: the body was altered after it
+///   was written. This is never reinterpreted as legacy — downgrading a
+///   checksum failure to an unchecked parse would defeat the footer.
+pub fn split_footer(bytes: &[u8]) -> Result<(&[u8], FooterCheck), CodecError> {
+    if bytes.len() < FOOTER_LEN {
+        return Ok((bytes, FooterCheck::Absent));
+    }
+    let foot = &bytes[bytes.len() - FOOTER_LEN..];
+    if foot[..4] != FOOTER_MAGIC {
+        return Ok((bytes, FooterCheck::Absent));
+    }
+    let version = u32::from_le_bytes(foot[4..8].try_into().expect("4 bytes"));
+    let body_len = u64::from_le_bytes(foot[8..16].try_into().expect("8 bytes"));
+    let stored_crc = u32::from_le_bytes(foot[16..20].try_into().expect("4 bytes"));
+    if body_len != (bytes.len() - FOOTER_LEN) as u64 {
+        // Magic collided but the length disagrees: either a legacy body
+        // that happens to end in "WGFT" or a truncated footer'd file. The
+        // legacy parse handles both (truncations fail its bounds checks).
+        return Ok((bytes, FooterCheck::Absent));
+    }
+    if version != FOOTER_VERSION {
+        return Err(CodecError::Invalid(format!(
+            "snapshot footer version {version} is not supported (expected {FOOTER_VERSION})"
+        )));
+    }
+    let body = &bytes[..bytes.len() - FOOTER_LEN];
+    let actual = crc32(body);
+    if actual != stored_crc {
+        return Err(CodecError::Invalid(format!(
+            "snapshot checksum mismatch over {} body bytes: stored {stored_crc:#010x}, \
+             computed {actual:#010x}",
+            body.len()
+        )));
+    }
+    Ok((body, FooterCheck::Verified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        // The canonical CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let want = crc32(&data);
+        for split in 0..=data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let mut buf = b"hello snapshot body".to_vec();
+        let body_len = buf.len();
+        append_footer(&mut buf);
+        assert_eq!(buf.len(), body_len + FOOTER_LEN);
+        let (body, check) = split_footer(&buf).unwrap();
+        assert_eq!(check, FooterCheck::Verified);
+        assert_eq!(body, b"hello snapshot body");
+    }
+
+    #[test]
+    fn footerless_bytes_classify_as_absent() {
+        for bytes in [&b""[..], b"short", b"a body long enough to hold a footer but without one"] {
+            let (body, check) = split_footer(bytes).unwrap();
+            assert_eq!(check, FooterCheck::Absent);
+            assert_eq!(body, bytes);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let mut buf = b"the quick brown fox jumps over the lazy dog".to_vec();
+        append_footer(&mut buf);
+        let body_end = buf.len() - FOOTER_LEN;
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                let mut broken = buf.clone();
+                broken[i] ^= 1 << bit;
+                match split_footer(&broken) {
+                    // Body or checksum-field damage must be detected.
+                    Err(_) => {}
+                    // Magic/length damage makes the footer unrecognizable;
+                    // that downgrades to Absent (the legacy parser then
+                    // rejects the stray tail bytes) but may never verify.
+                    Ok((_, FooterCheck::Absent)) => {
+                        assert!(i >= body_end, "flip inside the body at {i} slipped through");
+                    }
+                    Ok((_, FooterCheck::Verified)) => {
+                        panic!("bit {bit} of byte {i} flipped yet the checksum verified")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_never_verify() {
+        let mut buf = vec![7u8; 64];
+        append_footer(&mut buf);
+        for len in 0..buf.len() {
+            match split_footer(&buf[..len]) {
+                Ok((_, FooterCheck::Verified)) => panic!("truncation to {len} verified"),
+                Ok((_, FooterCheck::Absent)) | Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_footer_version_is_an_error_not_legacy() {
+        let mut buf = b"body".to_vec();
+        append_footer(&mut buf);
+        let version_at = buf.len() - FOOTER_LEN + 4;
+        buf[version_at] = 9;
+        assert!(split_footer(&buf).is_err());
+    }
+}

@@ -85,8 +85,9 @@ pub use wg_util as util;
 /// The types most applications need, importable in one line.
 pub mod prelude {
     pub use warpgate_core::{
-        BackendCircuit, CircuitState, DaemonReport, Discovery, JoinCandidate, QueryTiming,
-        SyncDaemon, SyncDaemonConfig, SyncReport, SyncSchedule, WarpGate, WarpGateConfig,
+        BackendCircuit, CheckpointPolicy, Checkpointer, CircuitState, CrashState, DaemonReport,
+        Discovery, JoinCandidate, QueryTiming, RecoveryReport, RecoverySource, SyncDaemon,
+        SyncDaemonConfig, SyncReport, SyncSchedule, TornWriter, WarpGate, WarpGateConfig,
     };
     pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
     pub use wg_lsh::DiscoverScope;

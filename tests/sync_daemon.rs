@@ -49,6 +49,7 @@ fn fast_daemon_config() -> SyncDaemonConfig {
         failure_threshold: 2,
         open_intervals: 2,
         schedule: SyncSchedule::All,
+        checkpoint: None,
     }
 }
 
