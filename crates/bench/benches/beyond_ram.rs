@@ -1,0 +1,250 @@
+//! Beyond-RAM serving bench (ISSUE 9): what does paging cost, and what do
+//! zone maps save?
+//!
+//! Custom harness (like `crash_recovery`): builds a clustered warehouse
+//! whose vector payload is ~10× larger than the tightest block-cache
+//! budget, snapshots it into paged segments, and serves an identical
+//! query stream at three corpus-to-budget ratios (1×, 4×, 10×):
+//!
+//! * **cold pass** — first touch after a lazy restore, every candidate
+//!   block read from disk through the cache;
+//! * **warm pass** — the same stream again, hit rate set by the budget;
+//! * **zone-map pruning** — candidate blocks skipped because their
+//!   padded upper bound provably cannot reach the current top-k; the
+//!   bench asserts ≥50% of cold candidate blocks are pruned.
+//!
+//! Every pass asserts bit-identical rankings against the all-in-RAM
+//! system and a peak resident set within the budget. Results land in the
+//! repo-root `BENCH_core.json` as a `"beyond_ram"` section.
+//! `WG_BENCH_QUICK=1` shrinks repetitions and leaves the committed
+//! snapshot untouched.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use warpgate_core::{JoinCandidate, WarpGate, WarpGateConfig};
+use wg_bench::median;
+use wg_store::{CdwConfig, CdwConnector, Column, ColumnRef, Table, Warehouse};
+
+const DIM: usize = 64;
+const BLOCK_ROWS: usize = 8;
+const TABLES: usize = 64;
+const COLUMNS_PER_TABLE: usize = 4;
+const FAMILIES: usize = 8;
+const ROWS: usize = 40;
+/// Value-window offsets within a family span most of the window, so
+/// member overlap runs a gradient from ~100% down to ~15%.
+const SHIFT_SPAN: usize = 30;
+const TOP_K: usize = 3;
+
+/// Clustered corpus: columns fall into large value families whose
+/// members' value windows are shifted across [`SHIFT_SPAN`], giving each
+/// query a few near-duplicate partners and a long tail of weak ones —
+/// the regime where a tight top-k lets zone maps prune the tail's
+/// blocks without reading them.
+fn warehouse() -> Warehouse {
+    let mut w = Warehouse::new("beyond-ram-bench");
+    for t in 0..TABLES {
+        let cols: Vec<Column> = (0..COLUMNS_PER_TABLE)
+            .map(|c| {
+                let ordinal = t * COLUMNS_PER_TABLE + c;
+                let family = ordinal % FAMILIES;
+                let shift = (ordinal / FAMILIES * 5) % SHIFT_SPAN;
+                let values: Vec<String> =
+                    (0..ROWS).map(|i| format!("fam{family} item {}", i + shift)).collect();
+                Column::text(format!("col{c}"), values)
+            })
+            .collect();
+        w.database_mut("db").add_table(Table::new(format!("t{t}"), cols).unwrap());
+    }
+    w
+}
+
+struct RatioResult {
+    ratio: usize,
+    budget_bytes: usize,
+    cold_query_secs: f64,
+    warm_query_secs: f64,
+    cold_blocks_read: u64,
+    cold_blocks_pruned: u64,
+    warm_hit_rate: f64,
+    evictions: u64,
+    peak_resident_bytes: usize,
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let warm_reps = if quick { 1 } else { 3 };
+
+    let config = WarpGateConfig { dim: DIM, threads: 1, ..Default::default() }
+        .with_shards(1)
+        .with_block_rows(BLOCK_ROWS);
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+
+    // Reference: the all-in-RAM system pins the expected rankings.
+    let ram = WarpGate::with_backend(config, connector.clone());
+    let sw = Instant::now();
+    ram.index_warehouse().expect("indexing");
+    let ram_index_secs = sw.elapsed().as_secs_f64();
+    let corpus_bytes = ram.len() * DIM * 4;
+
+    let queries: Vec<ColumnRef> = (0..TABLES)
+        .flat_map(|t| (0..COLUMNS_PER_TABLE).map(move |c| (t, c)))
+        .filter(|(t, c)| (t * COLUMNS_PER_TABLE + c) % 7 == 0)
+        .map(|(t, c)| ColumnRef::new("db", format!("t{t}"), format!("col{c}")))
+        .collect();
+    let want: Vec<Vec<JoinCandidate>> =
+        queries.iter().map(|q| ram.discover(q, TOP_K).expect("ram discover").candidates).collect();
+
+    let dir = std::env::temp_dir().join(format!("wg_bench_beyond_ram_{}", std::process::id()));
+    let segments = ram.save_paged(&dir).expect("save_paged");
+
+    let mut results = Vec::new();
+    for ratio in [1usize, 4, 10] {
+        let budget = corpus_bytes / ratio;
+        let cfg = config.with_block_cache_bytes(budget);
+        let mut paged = WarpGate::with_backend(cfg, connector.clone());
+        paged.load_paged(&dir).expect("load_paged");
+        assert_eq!(paged.cold_len(), ram.len(), "restore must be fully paged");
+
+        // Cold pass: first touch after the lazy restore.
+        let mut cold_secs = Vec::with_capacity(queries.len());
+        let mut cold_read = 0u64;
+        let mut cold_pruned = 0u64;
+        for (q, expect) in queries.iter().zip(&want) {
+            let sw = Instant::now();
+            let d = paged.discover(q, TOP_K).expect("cold discover");
+            cold_secs.push(sw.elapsed().as_secs_f64());
+            assert_eq!(&d.candidates, expect, "cold pass diverged from RAM at {q}");
+            cold_read += d.timing.blocks_read;
+            cold_pruned += d.timing.blocks_pruned;
+        }
+
+        // Warm passes: the budget decides the hit rate.
+        let before = paged.block_cache_stats();
+        let mut warm_secs = Vec::with_capacity(queries.len() * warm_reps);
+        for _ in 0..warm_reps {
+            for (q, expect) in queries.iter().zip(&want) {
+                let sw = Instant::now();
+                let d = paged.discover(q, TOP_K).expect("warm discover");
+                warm_secs.push(sw.elapsed().as_secs_f64());
+                assert_eq!(&d.candidates, expect, "warm pass diverged from RAM at {q}");
+            }
+        }
+        let after = paged.block_cache_stats();
+        let warm_traffic = (after.hits + after.misses) - (before.hits + before.misses);
+        let warm_hits = after.hits - before.hits;
+        assert!(
+            after.peak_resident_bytes <= budget,
+            "ratio {ratio}: peak {} exceeds the {budget}-byte budget",
+            after.peak_resident_bytes
+        );
+
+        results.push(RatioResult {
+            ratio,
+            budget_bytes: budget,
+            cold_query_secs: median(&mut cold_secs),
+            warm_query_secs: median(&mut warm_secs),
+            cold_blocks_read: cold_read,
+            cold_blocks_pruned: cold_pruned,
+            warm_hit_rate: warm_hits as f64 / warm_traffic.max(1) as f64,
+            evictions: after.evictions,
+            peak_resident_bytes: after.peak_resident_bytes,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The acceptance bar: zone maps must prune at least half of the cold
+    // candidate blocks (pruning is a pre-read decision, so the rate is
+    // budget-independent; check the tightest ratio).
+    let tight = results.last().expect("three ratios ran");
+    let prune_rate = tight.cold_blocks_pruned as f64
+        / (tight.cold_blocks_read + tight.cold_blocks_pruned).max(1) as f64;
+    assert!(
+        prune_rate >= 0.5,
+        "zone maps pruned only {:.0}% of cold candidate blocks ({} pruned / {} read)",
+        prune_rate * 100.0,
+        tight.cold_blocks_pruned,
+        tight.cold_blocks_read
+    );
+
+    for r in &results {
+        println!(
+            "bench: beyond_ram/{}x ... cold {:.2}ms, warm {:.2}ms per query, {} read / {} pruned cold blocks, warm hit rate {:.0}%, peak resident {} B (budget {} B)",
+            r.ratio,
+            r.cold_query_secs * 1e3,
+            r.warm_query_secs * 1e3,
+            r.cold_blocks_read,
+            r.cold_blocks_pruned,
+            r.warm_hit_rate * 100.0,
+            r.peak_resident_bytes,
+            r.budget_bytes,
+        );
+    }
+    println!(
+        "bench: beyond_ram ... corpus {corpus_bytes} B in {segments} segments, zone-map prune rate {:.0}%",
+        prune_rate * 100.0
+    );
+
+    let ratio_sections: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{
+        "corpus_over_budget": {ratio},
+        "budget_bytes": {budget},
+        "cold_query_secs_median": {cold:.6},
+        "warm_query_secs_median": {warm:.6},
+        "cold_blocks_read": {read},
+        "cold_blocks_pruned": {pruned},
+        "warm_hit_rate": {hit:.3},
+        "evictions": {ev},
+        "peak_resident_bytes": {peak}
+      }}"#,
+                ratio = r.ratio,
+                budget = r.budget_bytes,
+                cold = r.cold_query_secs,
+                warm = r.warm_query_secs,
+                read = r.cold_blocks_read,
+                pruned = r.cold_blocks_pruned,
+                hit = r.warm_hit_rate,
+                ev = r.evictions,
+                peak = r.peak_resident_bytes,
+            )
+        })
+        .collect();
+    let section = format!(
+        r#"{{
+    "bench": "beyond_ram",
+    "generated_by": "cargo bench --bench beyond_ram",
+    "workload": {{
+      "tables": {TABLES},
+      "columns_per_table": {COLUMNS_PER_TABLE},
+      "families": {FAMILIES},
+      "rows_per_column": {ROWS},
+      "dim": {DIM},
+      "block_rows": {BLOCK_ROWS},
+      "queries": {queries},
+      "top_k": {TOP_K},
+      "warm_repetitions": {warm_reps}
+    }},
+    "corpus_bytes": {corpus_bytes},
+    "segments": {segments},
+    "ram_index_secs": {ram_index_secs:.6},
+    "zone_map_prune_rate_cold": {prune_rate:.3},
+    "ratios": [
+      {ratios}
+    ]
+  }}"#,
+        queries = queries.len(),
+        ratios = ratio_sections.join(",\n      "),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    if quick {
+        println!("bench: beyond_ram ... quick mode, not rewriting {path}");
+        return;
+    }
+    wg_bench::merge_bench_section(path, "beyond_ram", &section);
+    println!("bench: beyond_ram ... snapshot written to {path}");
+}

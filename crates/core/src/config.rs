@@ -44,6 +44,14 @@ pub struct WarpGateConfig {
     /// seed × context weight). 0 disables the cache; repeated `discover` /
     /// `joinability` calls then re-scan and re-embed every time.
     pub cache_capacity: usize,
+    /// Rows per block when sealing the index into paged segment files
+    /// ([`crate::WarpGate::save_paged`]): the unit of disk I/O, cache
+    /// residency, and zone-map pruning in the beyond-RAM tier.
+    pub block_rows: usize,
+    /// Byte budget of the block cache serving paged segments. Blocks past
+    /// the budget evict LRU; 0 means unbounded (everything read stays
+    /// resident — the all-in-RAM behavior).
+    pub block_cache_bytes: usize,
     /// Master seed (embedding space + LSH hyperplanes).
     pub seed: u64,
 }
@@ -62,6 +70,8 @@ impl Default for WarpGateConfig {
             threads: 0,
             shards: 0,
             cache_capacity: 4096,
+            block_rows: 64,
+            block_cache_bytes: 4 << 20,
             seed: 0x5747_4154,
         }
     }
@@ -94,6 +104,19 @@ impl WarpGateConfig {
     /// (0 disables caching).
     pub fn with_cache_capacity(self, cache_capacity: usize) -> Self {
         Self { cache_capacity, ..self }
+    }
+
+    /// Same configuration with a different paged-segment block size
+    /// (rows per block; must be positive).
+    pub fn with_block_rows(self, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block_rows must be positive");
+        Self { block_rows, ..self }
+    }
+
+    /// Same configuration with a different block-cache byte budget
+    /// (0 means unbounded).
+    pub fn with_block_cache_bytes(self, block_cache_bytes: usize) -> Self {
+        Self { block_cache_bytes, ..self }
     }
 
     /// Effective worker-thread count.
@@ -161,5 +184,20 @@ mod tests {
     fn cache_capacity_knob() {
         assert!(WarpGateConfig::default().cache_capacity > 0, "cache on by default");
         assert_eq!(WarpGateConfig::default().with_cache_capacity(0).cache_capacity, 0);
+    }
+
+    #[test]
+    fn paged_tier_knobs() {
+        let c = WarpGateConfig::default();
+        assert!(c.block_rows > 0, "blocks can never be empty");
+        assert!(c.block_cache_bytes > 0, "cache is bounded by default");
+        assert_eq!(c.with_block_rows(16).block_rows, 16);
+        assert_eq!(c.with_block_cache_bytes(0).block_cache_bytes, 0, "0 = unbounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "block_rows must be positive")]
+    fn zero_block_rows_rejected() {
+        WarpGateConfig::default().with_block_rows(0);
     }
 }

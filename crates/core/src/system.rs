@@ -219,6 +219,10 @@ pub struct WarpGate {
     cache: EmbeddingCache,
     backends: BackendRegistry,
     synced: RwLock<SyncState>,
+    /// Byte-budgeted LRU over paged-segment blocks; shared by every
+    /// segment [`Self::load_paged`] attaches so the budget bounds the
+    /// whole system's cold resident set, not one segment's.
+    block_cache: Arc<wg_lsh::BlockCache>,
 }
 
 impl WarpGate {
@@ -246,13 +250,7 @@ impl WarpGate {
     /// BERT comparison swaps in [`wg_embed::MiniBertModel`] here).
     pub fn with_model(config: WarpGateConfig, model: Arc<dyn EmbeddingModel>) -> Self {
         assert_eq!(model.dim(), config.dim, "model dimension must match config");
-        let index = ShardedLshIndex::new(
-            config.dim,
-            LshParams::for_threshold(config.lsh_threshold, config.lsh_bits),
-            config.seed ^ 0x1DB5,
-            config.effective_shards(),
-        );
-        index.set_probes(config.probes);
+        let index = build_index(&config);
         Self {
             embedder: ColumnEmbedder::new(model, config.aggregation),
             index,
@@ -260,6 +258,7 @@ impl WarpGate {
             cache: EmbeddingCache::new(config.cache_capacity),
             backends: BackendRegistry::new(),
             synced: RwLock::new(SyncState::default()),
+            block_cache: wg_lsh::BlockCache::new(config.block_cache_bytes),
             config,
         }
     }
@@ -300,8 +299,13 @@ impl WarpGate {
     /// so a *different* warehouse re-attached under the same name can
     /// never be served stale state; the recorded table *keys* survive so
     /// the first sync after a re-attach still drops vanished tables.
-    /// Indexed items stay queryable via value search and scoped discovery
-    /// from other namespaces.
+    /// Hot (RAM-resident) indexed items stay queryable via value search
+    /// and scoped discovery from other namespaces; the namespace's
+    /// **paged** items are dropped — their segments were sealed from the
+    /// departing backend's content, and keeping disk-resident rows alive
+    /// past the detach is exactly the stale-reattach hazard the epoch
+    /// bump exists to prevent. Emptied segments retire and their
+    /// cache-resident blocks are evicted.
     pub fn detach_named(&self, name: &str) -> Option<BackendHandle> {
         let handle = self.backends.detach(name)?;
         // `detach` returned Some, so the name was attached before and is
@@ -311,6 +315,7 @@ impl WarpGate {
             state.epoch += 1;
         }
         self.cache.invalidate_backend(id);
+        self.index.drop_cold_backend(id.bits());
         Some(handle)
     }
 
@@ -367,6 +372,29 @@ impl WarpGate {
     /// Embedding-cache hit/miss counters and occupancy.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Block-cache counters of the paged tier (all zero until
+    /// [`Self::load_paged`] attaches segments and queries read blocks).
+    pub fn block_cache_stats(&self) -> wg_lsh::CacheStats {
+        self.block_cache.stats()
+    }
+
+    /// The shared paged-tier block cache (for persistence plumbing).
+    pub(crate) fn block_cache(&self) -> &Arc<wg_lsh::BlockCache> {
+        &self.block_cache
+    }
+
+    /// Indexed columns currently served from the paged (disk-backed)
+    /// tier.
+    pub fn cold_len(&self) -> usize {
+        self.index.cold_len()
+    }
+
+    /// Live attached paged segments (counted once per shard keeping live
+    /// rows from them).
+    pub fn cold_segment_count(&self) -> usize {
+        self.index.cold_segment_count()
     }
 
     /// The sorted attach set, or the legacy "nothing attached" error.
@@ -832,11 +860,13 @@ impl WarpGate {
                 query: query.clone(),
                 candidates: Vec::new(),
                 timing,
-                outcome: SearchOutcome { candidates: 0, scored: 0 },
+                outcome: SearchOutcome::default(),
             });
         }
         let (candidates, outcome, lookup_secs) = self.search_vector(&vector, query, k, scope);
         timing.lookup_secs = lookup_secs;
+        timing.blocks_read = outcome.blocks_read as u64;
+        timing.blocks_pruned = outcome.blocks_pruned as u64;
         Ok(Discovery { query: query.clone(), candidates, timing, outcome })
     }
 
@@ -1092,11 +1122,30 @@ impl WarpGate {
         // before federation (byte-identical snapshots); any other
         // namespace upgrades the frame to v2 with a backend-name table.
         self.index.encode_with_backends(&mut index_bytes, |bits| BackendId::from_bits(bits).name());
+        (index_bytes, self.registry_entries_for_persist())
+    }
+
+    /// The registry as sorted `(id, ref)` pairs — the durable mapping both
+    /// snapshot formats carry.
+    pub(crate) fn registry_entries_for_persist(&self) -> Vec<(u32, ColumnRef)> {
         let registry = self.registry.read();
         let mut entries: Vec<(u32, ColumnRef)> =
             registry.ref_of.iter().map(|(id, r)| (*id, r.clone())).collect();
         entries.sort_by_key(|(id, _)| *id);
-        (index_bytes, entries)
+        entries
+    }
+
+    /// The live LSH index (persistence plumbing: sealing segments, reading
+    /// geometry).
+    pub(crate) fn lsh_index(&self) -> &ShardedLshIndex {
+        &self.index
+    }
+
+    /// An empty index with this system's exact geometry (dim, banding,
+    /// seed, probes, shard count) — what a paged restore attaches
+    /// segments into.
+    pub(crate) fn fresh_index(&self) -> ShardedLshIndex {
+        build_index(&self.config)
     }
 
     /// The durable slice of the sync bookkeeping: per backend *name*, the
@@ -1173,6 +1222,20 @@ impl WarpGate {
         }
         Ok(())
     }
+}
+
+/// Construct the sharded LSH index a config describes (used at system
+/// construction and by paged restores, which must reproduce the exact
+/// geometry the sealed signatures were generated under).
+fn build_index(config: &WarpGateConfig) -> ShardedLshIndex {
+    let index = ShardedLshIndex::new(
+        config.dim,
+        LshParams::for_threshold(config.lsh_threshold, config.lsh_bits),
+        config.seed ^ 0x1DB5,
+        config.effective_shards(),
+    );
+    index.set_probes(config.probes);
+    index
 }
 
 /// One backend's durable sync slice as it travels through the WGST

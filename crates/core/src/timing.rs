@@ -24,6 +24,12 @@ pub struct QueryTiming {
     /// column (0 on a healthy link or a bare backend). Sums through
     /// [`Self::add`].
     pub retries: u64,
+    /// Segment blocks the lookup read from the paged tier (0 when every
+    /// candidate was RAM-resident). Sums through [`Self::add`].
+    pub blocks_read: u64,
+    /// Segment blocks the lookup skipped because their zone map proved
+    /// they could not reach the running top-k. Sums through [`Self::add`].
+    pub blocks_pruned: u64,
     /// True when the query embedding came out of the system's embedding
     /// cache: the scan and embed phases were skipped entirely, so
     /// `load_secs`, `embed_secs`, and `virtual_load_secs` are all zero.
@@ -68,6 +74,8 @@ impl QueryTiming {
         self.lookup_secs += other.lookup_secs;
         self.virtual_load_secs += other.virtual_load_secs;
         self.retries += other.retries;
+        self.blocks_read += other.blocks_read;
+        self.blocks_pruned += other.blocks_pruned;
         self.cache_hit |= other.cache_hit;
         // Attribution survives only while every constituent billed the
         // same namespace; mixing backends yields an unattributed total.
@@ -76,9 +84,9 @@ impl QueryTiming {
         }
     }
 
-    /// Component-wise division by a count. The retry count stays a total
-    /// (an integer mean would round to uselessness at low rates), and the
-    /// cache flag keeps its accumulated OR.
+    /// Component-wise division by a count. The retry and block counters
+    /// stay totals (an integer mean would round to uselessness at low
+    /// rates), and the cache flag keeps its accumulated OR.
     pub fn divide(&self, n: usize) -> QueryTiming {
         if n == 0 {
             return *self;
@@ -90,6 +98,8 @@ impl QueryTiming {
             lookup_secs: self.lookup_secs / d,
             virtual_load_secs: self.virtual_load_secs / d,
             retries: self.retries,
+            blocks_read: self.blocks_read,
+            blocks_pruned: self.blocks_pruned,
             cache_hit: self.cache_hit,
             backend: self.backend,
         }
@@ -138,6 +148,18 @@ mod tests {
         acc.add(&QueryTiming { retries: 1, ..QueryTiming::default() });
         assert_eq!(acc.retries, 3);
         assert_eq!(acc.divide(2).retries, 3, "divide keeps the total retry count");
+    }
+
+    #[test]
+    fn block_counters_sum_through_add_and_survive_divide() {
+        let mut acc = QueryTiming::default();
+        acc.add(&QueryTiming { blocks_read: 3, blocks_pruned: 5, ..QueryTiming::default() });
+        acc.add(&QueryTiming { blocks_read: 1, blocks_pruned: 2, ..QueryTiming::default() });
+        assert_eq!(acc.blocks_read, 4);
+        assert_eq!(acc.blocks_pruned, 7);
+        let mean = acc.divide(2);
+        assert_eq!(mean.blocks_read, 4, "divide keeps block totals");
+        assert_eq!(mean.blocks_pruned, 7);
     }
 
     #[test]

@@ -6,15 +6,17 @@
 //! top-k. Insertion and removal are incremental, which is what lets
 //! WarpGate track CDWs with high update rates without rebuild storms.
 
+use std::sync::Arc;
 use wg_util::codec::{self, CodecError, CodecResult};
 use wg_util::kernel::{self, scratch};
 use wg_util::{FxHashMap, TopK};
 
 use crate::arena::VectorArena;
+use crate::paged::{SegmentRow, VectorSegment};
 use crate::params::LshParams;
 use crate::scope::DiscoverScope;
 use crate::simhash::{Signature, SimHasher};
-use crate::ItemId;
+use crate::{item_backend, ItemId};
 
 /// Magic and version of the serialized index frame (shared with
 /// [`crate::ShardedLshIndex`], whose snapshot is the same frame).
@@ -29,12 +31,36 @@ pub(crate) const FRAME_VERSION: u32 = 1;
 pub(crate) const FRAME_VERSION_FEDERATED: u32 = 2;
 
 /// Diagnostics from one search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SearchOutcome {
     /// Distinct candidates that came out of the band buckets.
     pub candidates: usize,
-    /// How many survived the exclusion filter and were scored exactly.
+    /// How many survived the exclusion filter and were scored exactly
+    /// (zone-map-pruned cold rows are never scored and do not count).
     pub scored: usize,
+    /// Cold blocks whose payload was fetched for exact scoring.
+    pub blocks_read: usize,
+    /// Cold blocks skipped because their zone map proved no row could
+    /// reach the current top-k.
+    pub blocks_pruned: usize,
+}
+
+/// Where a cold row lives: segment slot, block, row-in-block.
+#[derive(Debug, Clone, Copy)]
+struct ColdLoc {
+    seg: u32,
+    block: u32,
+    row: u32,
+}
+
+/// The paged tier of one index: attached segments plus an id locator.
+/// Signatures and band entries for cold rows live in the index's normal
+/// maps (they are resident metadata); only vector payloads stay on disk.
+struct ColdStore {
+    /// Attached segments; detaching a backend can retire a slot to `None`
+    /// without renumbering the `ColdLoc.seg` indexes of the survivors.
+    segments: Vec<Option<Arc<VectorSegment>>>,
+    locator: FxHashMap<ItemId, ColdLoc>,
 }
 
 /// An LSH index over unit vectors keyed by [`ItemId`].
@@ -46,10 +72,13 @@ pub struct SimHashLshIndex {
     /// Stored vectors in one contiguous slab; exact re-ranking streams
     /// this in slot order.
     vectors: VectorArena,
-    /// Stored signatures (needed for removal and persistence).
+    /// Stored signatures (needed for removal and persistence). Covers hot
+    /// *and* cold items — removal works uniformly across tiers.
     signatures: FxHashMap<ItemId, Signature>,
     /// One bucket map per band: band key -> ids.
     bands: Vec<FxHashMap<u64, Vec<ItemId>>>,
+    /// Paged tier, present once a segment has been attached.
+    cold: Option<ColdStore>,
 }
 
 impl SimHashLshIndex {
@@ -64,6 +93,7 @@ impl SimHashLshIndex {
             vectors: VectorArena::new(dim),
             signatures: FxHashMap::default(),
             bands: (0..params.bands).map(|_| FxHashMap::default()).collect(),
+            cold: None,
         }
     }
 
@@ -107,19 +137,30 @@ impl SimHashLshIndex {
         &self.hasher
     }
 
-    /// Iterate over the stored `(id, vector)` pairs in arbitrary order.
+    /// Iterate over the **hot** (arena-resident) `(id, vector)` pairs in
+    /// arbitrary order. Cold items are listed by [`Self::cold_items`].
     pub fn items(&self) -> impl Iterator<Item = (ItemId, &[f32])> {
         self.vectors.iter()
     }
 
-    /// Number of stored items.
+    /// Number of stored items, hot and cold.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.signatures.len()
     }
 
-    /// True when no items are stored.
+    /// True when no items are stored in either tier.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.signatures.is_empty()
+    }
+
+    /// Number of items served from the paged tier.
+    pub fn cold_len(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.locator.len())
+    }
+
+    /// Number of live (non-retired) attached segments.
+    pub fn cold_segment_count(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.segments.iter().flatten().count())
     }
 
     /// Insert (or replace) an item. Zero vectors are rejected — they carry
@@ -143,20 +184,30 @@ impl SimHashLshIndex {
         debug_assert_eq!(vector.len(), self.dim());
         debug_assert_eq!(sig.bits, self.params.bits());
         self.remove(id);
-        for (band, buckets) in self.bands.iter_mut().enumerate() {
-            let key = sig.band_key(band, self.params.rows);
-            buckets.entry(key).or_default().push(id);
-        }
+        self.index_into_bands(id, &sig);
         self.vectors.insert(id, vector);
         self.signatures.insert(id, sig);
     }
 
-    /// Remove an item; true if it was present.
+    /// Push `id` into its band buckets.
+    fn index_into_bands(&mut self, id: ItemId, sig: &Signature) {
+        for (band, buckets) in self.bands.iter_mut().enumerate() {
+            let key = sig.band_key(band, self.params.rows);
+            buckets.entry(key).or_default().push(id);
+        }
+    }
+
+    /// Remove an item (from either tier); true if it was present. Removing
+    /// a cold item drops its resident metadata and locator entry — the
+    /// on-disk row becomes unreachable dead weight until the next seal.
     pub fn remove(&mut self, id: ItemId) -> bool {
         let Some(sig) = self.signatures.remove(&id) else {
             return false;
         };
         self.vectors.remove(id);
+        if let Some(cold) = &mut self.cold {
+            cold.locator.remove(&id);
+        }
         for (band, buckets) in self.bands.iter_mut().enumerate() {
             let key = sig.band_key(band, self.params.rows);
             if let Some(ids) = buckets.get_mut(&key) {
@@ -169,9 +220,209 @@ impl SimHashLshIndex {
         true
     }
 
-    /// The stored vector for an id, if present.
+    /// Remove every item whose id lives in one backend namespace, across
+    /// both tiers, then retire attached segments left with zero live rows
+    /// (their cache-resident blocks are dropped with them). Returns how
+    /// many items were removed.
+    pub fn remove_backend(&mut self, backend_bits: u16) -> usize {
+        let doomed: Vec<ItemId> = self
+            .signatures
+            .keys()
+            .copied()
+            .filter(|&id| item_backend(id) == backend_bits)
+            .collect();
+        let removed = doomed.into_iter().filter(|&id| self.remove(id)).count();
+        self.retire_dead_segments();
+        removed
+    }
+
+    /// Drop one backend's **cold** items only: their band entries,
+    /// signatures, and locator rows go, emptied segments retire, and the
+    /// retired segments' cache-resident blocks are evicted. Hot
+    /// (arena-resident) items of the backend are untouched. Returns how
+    /// many cold items were dropped.
+    pub fn drop_cold_backend(&mut self, backend_bits: u16) -> usize {
+        let Some(cold) = &self.cold else {
+            return 0;
+        };
+        let doomed: Vec<ItemId> =
+            cold.locator.keys().copied().filter(|&id| item_backend(id) == backend_bits).collect();
+        let removed = doomed.into_iter().filter(|&id| self.remove(id)).count();
+        self.retire_dead_segments();
+        removed
+    }
+
+    /// Retire segments no live cold row points into, evicting their
+    /// cached blocks. Locator indexes of surviving segments are untouched
+    /// (retirement leaves a `None` slot instead of renumbering).
+    fn retire_dead_segments(&mut self) {
+        let Some(cold) = &mut self.cold else {
+            return;
+        };
+        let mut live = vec![false; cold.segments.len()];
+        for loc in cold.locator.values() {
+            live[loc.seg as usize] = true;
+        }
+        for (slot, seg) in cold.segments.iter_mut().enumerate() {
+            if !live[slot] {
+                if let Some(seg) = seg.take() {
+                    seg.evict_from_cache();
+                }
+            }
+        }
+        if cold.locator.is_empty() {
+            self.cold = None;
+        }
+    }
+
+    /// Attach a sealed segment to the paged tier: every row `admit`
+    /// accepts is indexed into the band buckets from its **resident**
+    /// signature (no payload read — hydration stays lazy) and becomes
+    /// searchable, served from disk through the block cache. Rows replace
+    /// any same-id item already stored (newest attach wins). Returns how
+    /// many rows were attached.
+    pub fn attach_segment(
+        &mut self,
+        segment: Arc<VectorSegment>,
+        admit: impl Fn(ItemId) -> bool,
+    ) -> CodecResult<usize> {
+        self.attach_segment_mapped(segment, |id| admit(id).then_some(id))
+    }
+
+    /// [`Self::attach_segment`] with id remapping: `map` returns the id a
+    /// row is installed under (or `None` to skip it). Rows are located by
+    /// position, never by stored id, so a loader whose backend-name
+    /// interner assigned different bits than the sealing process can
+    /// recompose ids without rewriting the segment file.
+    pub fn attach_segment_mapped(
+        &mut self,
+        segment: Arc<VectorSegment>,
+        map: impl Fn(ItemId) -> Option<ItemId>,
+    ) -> CodecResult<usize> {
+        if segment.dim() != self.dim() {
+            return Err(CodecError::Invalid(format!(
+                "segment dim {} does not match index dim {}",
+                segment.dim(),
+                self.dim()
+            )));
+        }
+        if segment.sig_bits() != self.params.bits() {
+            return Err(CodecError::Invalid(format!(
+                "segment signature width {} does not match index width {}",
+                segment.sig_bits(),
+                self.params.bits()
+            )));
+        }
+        let cold = self.cold.get_or_insert_with(|| ColdStore {
+            segments: Vec::new(),
+            locator: FxHashMap::default(),
+        });
+        let seg_slot = cold.segments.len() as u32;
+        cold.segments.push(Some(segment.clone()));
+        let mut attached = 0usize;
+        for block in 0..segment.block_count() {
+            let rows = segment.block_meta(block).ids.len();
+            for row in 0..rows {
+                let Some(id) = map(segment.block_meta(block).ids[row]) else {
+                    continue;
+                };
+                let sig = segment.signature_of(block, row);
+                self.remove(id);
+                self.index_into_bands(id, &sig);
+                self.signatures.insert(id, sig);
+                self.cold
+                    .as_mut()
+                    .expect("cold store just created")
+                    .locator
+                    .insert(id, ColdLoc { seg: seg_slot, block: block as u32, row: row as u32 });
+                attached += 1;
+            }
+        }
+        if attached == 0 {
+            // Nothing admitted: retire the slot immediately.
+            self.retire_dead_segments();
+        }
+        Ok(attached)
+    }
+
+    /// The stored vector for an id, if **hot** (arena-resident). Cold
+    /// items return `None` here; use [`Self::vector_owned`] to read
+    /// through the paged tier.
     pub fn vector(&self, id: ItemId) -> Option<&[f32]> {
         self.vectors.get(id)
+    }
+
+    /// The stored vector for an id from either tier, cloned. Cold reads go
+    /// through the block cache; a segment-level I/O failure here panics
+    /// (segments were validated at open — losing one mid-flight is an
+    /// environment failure the index cannot recover from).
+    pub fn vector_owned(&self, id: ItemId) -> Option<Vec<f32>> {
+        if let Some(v) = self.vectors.get(id) {
+            return Some(v.to_vec());
+        }
+        let cold = self.cold.as_ref()?;
+        let loc = cold.locator.get(&id)?;
+        let seg = cold.segments[loc.seg as usize].as_ref().expect("locator points at live segment");
+        let data = seg
+            .block(loc.block as usize)
+            .unwrap_or_else(|e| panic!("paged tier lost a sealed block: {e}"));
+        let dim = self.dim();
+        let start = loc.row as usize * dim;
+        Some(data[start..start + dim].to_vec())
+    }
+
+    /// All cold `(id, vector)` pairs, reading each involved block once.
+    /// Used by the persistence paths, which must include cold rows in
+    /// snapshots; panics on segment I/O failure like [`Self::vector_owned`].
+    pub fn cold_items(&self) -> Vec<(ItemId, Vec<f32>)> {
+        let Some(cold) = &self.cold else {
+            return Vec::new();
+        };
+        let dim = self.dim();
+        let mut by_block: FxHashMap<(u32, u32), Vec<(u32, ItemId)>> = FxHashMap::default();
+        for (&id, loc) in &cold.locator {
+            by_block.entry((loc.seg, loc.block)).or_default().push((loc.row, id));
+        }
+        let mut out = Vec::with_capacity(cold.locator.len());
+        for ((seg_slot, block), rows) in by_block {
+            let seg =
+                cold.segments[seg_slot as usize].as_ref().expect("locator points at live segment");
+            let data = seg
+                .block(block as usize)
+                .unwrap_or_else(|e| panic!("paged tier lost a sealed block: {e}"));
+            for (row, id) in rows {
+                let start = row as usize * dim;
+                out.push((id, data[start..start + dim].to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Export every stored row (hot and cold) with its signature and norm,
+    /// ready for [`crate::paged::write_vector_segment`]. Cold rows read
+    /// through the cache.
+    pub fn export_rows(&self) -> Vec<SegmentRow> {
+        let mut out = Vec::with_capacity(self.len());
+        for (id, v) in self.vectors.iter() {
+            let slot = self.vectors.slot(id).expect("iterated id is stored");
+            out.push(SegmentRow {
+                id,
+                signature: self.signatures[&id].clone(),
+                norm: self.vectors.norm_at(slot),
+                vector: v.to_vec(),
+            });
+        }
+        if let Some(cold) = &self.cold {
+            for (id, vector) in self.cold_items() {
+                let loc = cold.locator[&id];
+                let seg = cold.segments[loc.seg as usize]
+                    .as_ref()
+                    .expect("locator points at live segment");
+                let norm = seg.block_meta(loc.block as usize).norms[loc.row as usize];
+                out.push(SegmentRow { id, signature: self.signatures[&id].clone(), norm, vector });
+            }
+        }
+        out
     }
 
     /// Collect the candidate set for a query vector (union of band buckets,
@@ -289,14 +540,28 @@ impl SimHashLshIndex {
         let total = candidates.len();
         let qnorm = kernel::norm_sq(query).sqrt();
         let mut slots = scratch::take_ids();
+        let mut cold_rows: Vec<(u32, u32, u32, ItemId)> = Vec::new();
         for &id in &candidates {
             if exclude(id) {
                 continue;
             }
-            slots.push(self.vectors.slot(id).expect("bucketed id must be stored"));
+            match self.vectors.slot(id) {
+                Some(slot) => slots.push(slot),
+                None => {
+                    let loc = self
+                        .cold
+                        .as_ref()
+                        .and_then(|c| c.locator.get(&id))
+                        .copied()
+                        .expect("bucketed id must be stored");
+                    cold_rows.push((loc.seg, loc.block, loc.row, id));
+                }
+            }
         }
-        let scored = slots.len();
+        let mut scored = slots.len();
         slots.sort_unstable();
+        // Hot pass first: the arena streams sequentially, and a full heap
+        // raises the threshold before any cold block is considered.
         let mut topk = TopK::new(k);
         for &slot in &slots {
             let id = self.vectors.id_at(slot).expect("live slot");
@@ -304,8 +569,88 @@ impl SimHashLshIndex {
         }
         scratch::put_ids(slots);
         scratch::put_ids(candidates);
+        let (blocks_read, blocks_pruned) =
+            self.score_cold_rows(query, qnorm, cold_rows, &mut topk, &mut scored);
         let results = topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
-        (results, SearchOutcome { candidates: total, scored })
+        (results, SearchOutcome { candidates: total, scored, blocks_read, blocks_pruned })
+    }
+
+    /// Cold pass of the exact re-rank: group candidate rows by block,
+    /// visit blocks in descending zone-map upper bound (tight blocks fill
+    /// the heap early, raising the threshold for the rest), and skip any
+    /// block whose bound falls strictly below a *full* heap's threshold.
+    ///
+    /// Correctness of the skip: the bound dominates every exact f32 score
+    /// in the block (see [`crate::paged::ZoneMap::cosine_upper_bound`]) and
+    /// the heap threshold only rises, so every skipped row scores strictly
+    /// below the final k-th result — the returned top-k is bit-identical
+    /// to scoring everything, by [`TopK`]'s push-order independence.
+    fn score_cold_rows(
+        &self,
+        query: &[f32],
+        qnorm: f32,
+        mut cold_rows: Vec<(u32, u32, u32, ItemId)>,
+        topk: &mut TopK<ItemId>,
+        scored: &mut usize,
+    ) -> (usize, usize) {
+        if cold_rows.is_empty() {
+            return (0, 0);
+        }
+        let cold = self.cold.as_ref().expect("cold candidates imply a cold store");
+        let dim = self.dim();
+        cold_rows.sort_unstable();
+        // Group boundaries over the (seg, block)-sorted rows, with the
+        // zone-map bound for each group.
+        let mut groups: Vec<(f64, usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        while start < cold_rows.len() {
+            let (seg_slot, block, ..) = cold_rows[start];
+            let mut end = start + 1;
+            while end < cold_rows.len() && cold_rows[end].0 == seg_slot && cold_rows[end].1 == block
+            {
+                end += 1;
+            }
+            let seg =
+                cold.segments[seg_slot as usize].as_ref().expect("locator points at live segment");
+            let ub = seg.block_meta(block as usize).zone.cosine_upper_bound(query, qnorm);
+            groups.push((ub, start, end));
+            start = end;
+        }
+        groups.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut blocks_read = 0usize;
+        let mut blocks_pruned = 0usize;
+        for (ub, start, end) in groups {
+            if let Some(threshold) = topk.threshold() {
+                if ub < threshold {
+                    blocks_pruned += 1;
+                    continue;
+                }
+            }
+            let (seg_slot, block, ..) = cold_rows[start];
+            let seg =
+                cold.segments[seg_slot as usize].as_ref().expect("locator points at live segment");
+            let meta = seg.block_meta(block as usize);
+            let data = seg
+                .block(block as usize)
+                .unwrap_or_else(|e| panic!("paged tier lost a sealed block: {e}"));
+            blocks_read += 1;
+            for &(_, _, row, id) in &cold_rows[start..end] {
+                let row = row as usize;
+                // Exact replica of `score_slot` over the paged row: same
+                // kernel dot, same stored norm, same clamp — bit-identical
+                // to the hot path.
+                let denom = qnorm * meta.norms[row];
+                let score = if denom <= f32::MIN_POSITIVE {
+                    0.0
+                } else {
+                    (kernel::dot(query, &data[row * dim..(row + 1) * dim]) / denom).clamp(-1.0, 1.0)
+                };
+                topk.push(score as f64, id);
+                *scored += 1;
+            }
+        }
+        (blocks_read, blocks_pruned)
     }
 
     /// Exact search over *all* stored vectors (ignores the LSH buckets) —
@@ -327,6 +672,42 @@ impl SimHashLshIndex {
                 continue;
             }
             topk.push(self.score_slot(query, qnorm, slot) as f64, id);
+        }
+        if let Some(cold) = &self.cold {
+            // The reference baseline must not prune: score every live cold
+            // row through the cache.
+            let mut rows: Vec<(u32, u32, u32, ItemId)> = cold
+                .locator
+                .iter()
+                .filter(|(&id, _)| !exclude(id))
+                .map(|(&id, loc)| (loc.seg, loc.block, loc.row, id))
+                .collect();
+            rows.sort_unstable();
+            let dim = self.dim();
+            let mut i = 0usize;
+            while i < rows.len() {
+                let (seg_slot, block, ..) = rows[i];
+                let seg = cold.segments[seg_slot as usize]
+                    .as_ref()
+                    .expect("locator points at live segment");
+                let meta = seg.block_meta(block as usize);
+                let data = seg
+                    .block(block as usize)
+                    .unwrap_or_else(|e| panic!("paged tier lost a sealed block: {e}"));
+                while i < rows.len() && rows[i].0 == seg_slot && rows[i].1 == block {
+                    let (_, _, row, id) = rows[i];
+                    let row = row as usize;
+                    let denom = qnorm * meta.norms[row];
+                    let score = if denom <= f32::MIN_POSITIVE {
+                        0.0
+                    } else {
+                        (kernel::dot(query, &data[row * dim..(row + 1) * dim]) / denom)
+                            .clamp(-1.0, 1.0)
+                    };
+                    topk.push(score as f64, id);
+                    i += 1;
+                }
+            }
         }
         topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect()
     }
@@ -368,15 +749,22 @@ impl SimHashLshIndex {
         codec::put_u32(buf, self.params.rows as u32);
         codec::put_u64(buf, self.hasher.seed());
         codec::put_u32(buf, self.probes as u32);
-        codec::put_len(buf, self.vectors.len());
+        codec::put_len(buf, self.len());
         // Deterministic output: sort by id. The byte layout is unchanged
         // across the HashMap → arena migration, so old snapshots load and
-        // new snapshots load into old readers.
-        let mut items: Vec<(ItemId, &[f32])> = self.vectors.iter().collect();
-        items.sort_unstable_by_key(|(id, _)| *id);
-        for (id, v) in items {
+        // new snapshots load into old readers. Cold rows are hydrated
+        // through the cache so the frame is complete regardless of tier.
+        let mut ids: Vec<ItemId> = self.signatures.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
             codec::put_u32(buf, id);
-            codec::put_f32_slice(buf, v);
+            match self.vectors.get(id) {
+                Some(v) => codec::put_f32_slice(buf, v),
+                None => {
+                    let v = self.vector_owned(id).expect("stored id has a vector in some tier");
+                    codec::put_f32_slice(buf, &v);
+                }
+            }
         }
     }
 
@@ -571,6 +959,139 @@ mod tests {
     fn decode_rejects_garbage() {
         let mut r: &[u8] = b"not an index";
         assert!(SimHashLshIndex::decode(&mut r).is_err());
+    }
+
+    fn clustered(
+        dim: usize,
+        families: usize,
+        members: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(families * members);
+        for _ in 0..families {
+            let base = random_unit(dim, rng);
+            for _ in 0..members {
+                out.push(perturb(&base, 0.05, rng));
+            }
+        }
+        out
+    }
+
+    fn seal_and_attach(
+        source: &SimHashLshIndex,
+        tag: &str,
+        block_rows: usize,
+        cache_budget: usize,
+    ) -> (SimHashLshIndex, std::sync::Arc<crate::paged::BlockCache>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("wg-index-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("seg.wgs");
+        crate::paged::write_vector_segment(
+            &path,
+            source.dim(),
+            source.params().bits(),
+            block_rows,
+            source.export_rows(),
+        )
+        .expect("seal");
+        let cache = crate::paged::BlockCache::new(cache_budget);
+        let seg = std::sync::Arc::new(
+            crate::paged::VectorSegment::open(&path, cache.clone()).expect("open"),
+        );
+        let mut paged = SimHashLshIndex::new(source.dim(), source.params(), source.seed());
+        paged.set_probes(source.probes());
+        paged.attach_segment(seg, |_| true).expect("attach");
+        (paged, cache, dir)
+    }
+
+    #[test]
+    fn paged_tier_matches_hot_tier_bit_for_bit() {
+        let mut rng = Xoshiro256pp::new(31);
+        let mut hot = SimHashLshIndex::for_threshold(32, 0.7, 41);
+        for (id, v) in clustered(32, 20, 10, &mut rng).into_iter().enumerate() {
+            hot.insert(id as ItemId, &v);
+        }
+        let (paged, cache, dir) = seal_and_attach(&hot, "parity", 16, 0);
+        assert_eq!(paged.len(), hot.len());
+        assert_eq!(paged.cold_len(), hot.len());
+        // Lazy hydration: attaching reads directory metadata only.
+        assert_eq!(cache.stats().resident_blocks, 0);
+
+        let mut read = 0usize;
+        let mut pruned = 0usize;
+        for q in 0..50 {
+            let query = random_unit(32, &mut rng);
+            let (a, oa) = hot.search_with_outcome(&query, 5, |id| id % 11 == 0);
+            let (b, ob) = paged.search_with_outcome(&query, 5, |id| id % 11 == 0);
+            assert_eq!(a, b, "query {q}: paged ranking diverged");
+            assert_eq!(oa.candidates, ob.candidates);
+            // Pruned rows are unscored; the hot path scored everything.
+            assert!(ob.scored <= oa.scored);
+            read += ob.blocks_read;
+            pruned += ob.blocks_pruned;
+        }
+        assert!(read > 0, "cold blocks never hydrated");
+        let _ = pruned;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_tiers_search_as_one_index() {
+        let mut rng = Xoshiro256pp::new(33);
+        let vectors = clustered(32, 12, 10, &mut rng);
+        // Reference: everything hot.
+        let mut reference = SimHashLshIndex::for_threshold(32, 0.7, 43);
+        for (id, v) in vectors.iter().enumerate() {
+            reference.insert(id as ItemId, v);
+        }
+        // Under test: even ids sealed cold, odd ids inserted hot.
+        let mut cold_source = SimHashLshIndex::for_threshold(32, 0.7, 43);
+        for (id, v) in vectors.iter().enumerate().filter(|(id, _)| id % 2 == 0) {
+            cold_source.insert(id as ItemId, v);
+        }
+        let (mut mixed, _cache, dir) = seal_and_attach(&cold_source, "mixed", 8, 0);
+        for (id, v) in vectors.iter().enumerate().filter(|(id, _)| id % 2 == 1) {
+            mixed.insert(id as ItemId, v);
+        }
+        assert_eq!(mixed.len(), vectors.len());
+        for _ in 0..30 {
+            let query = random_unit(32, &mut rng);
+            assert_eq!(reference.search(&query, 7, |_| false), mixed.search(&query, 7, |_| false));
+        }
+        // Re-inserting a cold id hot replaces it (newest wins).
+        let replacement = random_unit(32, &mut rng);
+        assert!(mixed.insert(0, &replacement));
+        assert_eq!(mixed.len(), vectors.len());
+        assert_eq!(mixed.vector_owned(0).as_deref(), Some(&replacement[..]));
+        // Removing a cold id makes it unsearchable.
+        assert!(mixed.remove(2));
+        assert!(mixed.search(&vectors[2], vectors.len(), |_| false).iter().all(|(id, _)| *id != 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_backend_retires_dead_segments() {
+        let mut rng = Xoshiro256pp::new(35);
+        let mut source = SimHashLshIndex::for_threshold(32, 0.7, 45);
+        for i in 0..40u32 {
+            let backend = (i % 2) as u16 + 1;
+            let id = crate::compose_item_id(backend, i / 2);
+            source.insert(id, &random_unit(32, &mut rng));
+        }
+        let (mut paged, cache, dir) = seal_and_attach(&source, "detach", 8, 0);
+        // Warm the cache.
+        let q = random_unit(32, &mut rng);
+        let _ = paged.search(&q, 10, |_| false);
+        assert_eq!(paged.cold_segment_count(), 1);
+
+        assert_eq!(paged.remove_backend(1), 20);
+        assert_eq!(paged.cold_len(), 20);
+        assert_eq!(paged.cold_segment_count(), 1, "backend 2 still lives in the segment");
+        assert_eq!(paged.remove_backend(2), 20);
+        assert_eq!(paged.cold_len(), 0);
+        assert_eq!(paged.cold_segment_count(), 0, "dead segment must retire");
+        assert_eq!(cache.stats().resident_blocks, 0, "retirement drops cached blocks");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`shard`] — the concurrent [`ShardedLshIndex`]: items partitioned by
 //!   id across independently locked [`SimHashLshIndex`] shards, fan-out
 //!   search with single-signing and top-k merge;
+//! * [`paged`] — the beyond-RAM tier: sealed segment files with per-block
+//!   zone maps, a shared byte-budgeted [`BlockCache`], and lazy block
+//!   hydration feeding the exact re-ranker without full residency;
 //! * [`exact`] — a brute-force index with the same search interface (the
 //!   ANN-quality baseline for ablations);
 //! * [`minhash`] — MinHash signatures and a banded MinHash LSH for *sets*,
@@ -32,6 +35,7 @@ pub mod arena;
 pub mod exact;
 pub mod index;
 pub mod minhash;
+pub mod paged;
 pub mod params;
 pub mod pivot;
 pub mod scope;
@@ -42,6 +46,7 @@ pub use arena::VectorArena;
 pub use exact::ExactIndex;
 pub use index::{SearchOutcome, SimHashLshIndex};
 pub use minhash::{MinHashLshIndex, MinHashSignature, MinHasher};
+pub use paged::{BlockCache, CacheStats, SegmentRow, VectorSegment, ZoneMap};
 pub use params::LshParams;
 pub use pivot::PivotIndex;
 pub use scope::DiscoverScope;

@@ -1,0 +1,694 @@
+//! The paged (beyond-RAM) vector tier: segment files, zone maps, and the
+//! bounded block cache.
+//!
+//! A sealed **vector segment** holds `block_rows × dim` f32 blocks inside a
+//! checksummed [`wg_util::segment::Segment`] container. Everything a search
+//! needs *before* exact scoring — ids, signatures, per-row norms, and a
+//! per-block [`ZoneMap`] — lives in the segment directory and stays
+//! resident from `open`; the vector payloads themselves page in on demand
+//! through a shared byte-budgeted LRU [`BlockCache`].
+//!
+//! Rows are sealed in **signature order** (lexicographic over the packed
+//! SimHash words, ties by id), so rows that collide in the LSH buckets —
+//! i.e. rows that are *similar* — land in the same blocks. That coherence
+//! is what makes the zone maps sharp: each block's centroid/radius bound
+//! (`dot(q,v) ≤ dot(q,c) + ‖q‖·r`) is tight when the block's rows hug
+//! their centroid, and a block of near-duplicates has a tiny radius.
+//!
+//! Pruning contract: [`ZoneMap::cosine_upper_bound`] returns a value `≥`
+//! the exact f32 cosine the re-ranker would compute for *any* row in the
+//! block (the bound is evaluated in f64 and padded with [`UB_SLACK`] to
+//! absorb the f32 kernel-dot rounding). The search path may therefore skip
+//! a block only when the top-k heap is full **and** the bound is strictly
+//! below the current threshold — every skipped row provably scores below
+//! the final k-th result, so paged rankings are bit-identical to the
+//! all-in-RAM path.
+
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use wg_util::codec::{self, CodecResult};
+use wg_util::segment::{atomic_write_bytes, Segment, SegmentBuilder, SegmentError};
+use wg_util::FxHashMap;
+
+use crate::simhash::Signature;
+use crate::ItemId;
+
+/// Dimensions per zone-map stripe: the directory stores component min/max
+/// per 8-dim stripe instead of per dim, an 8× smaller footprint for a
+/// slightly looser (still sound) bound.
+pub const STRIPE_WIDTH: usize = 8;
+
+/// Absolute slack added to every zone-map upper bound. The bound itself is
+/// computed in f64 from exact f32 block statistics; the slack covers the
+/// rounding of the f32 kernel dot it must dominate (≈ dim · ε ≈ 1.5e-5 at
+/// dim 128 for unit vectors — 1e-3 dominates it by ~60×).
+pub const UB_SLACK: f64 = 1e-3;
+
+/// Per-block statistics proving what scores the block *cannot* reach.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    /// Smallest stored row norm in the block.
+    pub norm_min: f32,
+    /// Largest stored row norm in the block.
+    pub norm_max: f32,
+    /// Mean of the block's rows (rounded to f32; the radius is measured
+    /// against this stored value, so its rounding is already covered).
+    pub centroid: Vec<f32>,
+    /// Upper bound on `‖v − centroid‖` over the block's rows.
+    pub radius: f32,
+    /// Per-stripe component minimum over the block's rows.
+    pub stripe_lo: Vec<f32>,
+    /// Per-stripe component maximum over the block's rows.
+    pub stripe_hi: Vec<f32>,
+}
+
+impl ZoneMap {
+    /// Compute the zone map for a set of rows (each `dim` long) with their
+    /// precomputed norms.
+    pub fn build(dim: usize, rows: &[&[f32]], norms: &[f32]) -> ZoneMap {
+        assert!(!rows.is_empty(), "zone map over an empty block");
+        let stripes = dim.div_ceil(STRIPE_WIDTH);
+        let mut norm_min = f32::INFINITY;
+        let mut norm_max = f32::NEG_INFINITY;
+        for &n in norms {
+            norm_min = norm_min.min(n);
+            norm_max = norm_max.max(n);
+        }
+        let mut mean = vec![0.0f64; dim];
+        let mut stripe_lo = vec![f32::INFINITY; stripes];
+        let mut stripe_hi = vec![f32::NEG_INFINITY; stripes];
+        for row in rows {
+            for (d, &x) in row.iter().enumerate() {
+                mean[d] += x as f64;
+                let s = d / STRIPE_WIDTH;
+                stripe_lo[s] = stripe_lo[s].min(x);
+                stripe_hi[s] = stripe_hi[s].max(x);
+            }
+        }
+        let inv = 1.0 / rows.len() as f64;
+        let centroid: Vec<f32> = mean.iter().map(|&m| (m * inv) as f32).collect();
+        // Radius against the *stored* (f32-rounded) centroid, in f64, then
+        // bumped before the f32 round so the stored value never undershoots.
+        let mut r_sq = 0.0f64;
+        for row in rows {
+            let mut d_sq = 0.0f64;
+            for (&x, &c) in row.iter().zip(&centroid) {
+                let d = x as f64 - c as f64;
+                d_sq += d * d;
+            }
+            r_sq = r_sq.max(d_sq);
+        }
+        let radius = (r_sq.sqrt() * (1.0 + 1e-6) + 1e-9) as f32;
+        ZoneMap { norm_min, norm_max, centroid, radius, stripe_lo, stripe_hi }
+    }
+
+    /// An upper bound (in f64, [`UB_SLACK`]-padded, capped at 1.0) on the
+    /// exact cosine any row of this block can score against `query`. Sound
+    /// for the re-ranker's f32 arithmetic; degenerate norms fall back to
+    /// the trivial bound 1.0 (never prune what we cannot bound).
+    pub fn cosine_upper_bound(&self, query: &[f32], qnorm: f32) -> f64 {
+        let qn = qnorm as f64;
+        if qn <= f32::MIN_POSITIVE as f64 {
+            return 1.0;
+        }
+        // Ball bound: dot(q, v) = dot(q, c) + dot(q, v − c) ≤ dot(q, c) + ‖q‖·r.
+        let mut dot_c = 0.0f64;
+        for (&q, &c) in query.iter().zip(&self.centroid) {
+            dot_c += q as f64 * c as f64;
+        }
+        let ball = dot_c + qn * self.radius as f64;
+        // Box bound: per-dim max of q_d·lo and q_d·hi with stripe extrema.
+        let mut boxed = 0.0f64;
+        for (d, &q) in query.iter().enumerate() {
+            let s = d / STRIPE_WIDTH;
+            let q = q as f64;
+            boxed += (q * self.stripe_lo[s] as f64).max(q * self.stripe_hi[s] as f64);
+        }
+        let dot_ub = ball.min(boxed);
+        // Dividing an upper bound needs the norm that *maximizes* the
+        // quotient: the smallest norm when the bound is ≥ 0, the largest
+        // when it is negative.
+        let denom_norm = if dot_ub >= 0.0 { self.norm_min } else { self.norm_max };
+        if denom_norm as f64 <= f32::MIN_POSITIVE as f64 {
+            return 1.0;
+        }
+        (dot_ub / (qn * denom_norm as f64) + UB_SLACK).min(1.0)
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_f32(buf, self.norm_min);
+        codec::put_f32(buf, self.norm_max);
+        codec::put_f32_slice(buf, &self.centroid);
+        codec::put_f32(buf, self.radius);
+        codec::put_f32_slice(buf, &self.stripe_lo);
+        codec::put_f32_slice(buf, &self.stripe_hi);
+    }
+
+    fn decode(buf: &mut &[u8]) -> CodecResult<ZoneMap> {
+        Ok(ZoneMap {
+            norm_min: codec::get_f32(buf)?,
+            norm_max: codec::get_f32(buf)?,
+            centroid: codec::get_f32_vec(buf)?,
+            radius: codec::get_f32(buf)?,
+            stripe_lo: codec::get_f32_vec(buf)?,
+            stripe_hi: codec::get_f32_vec(buf)?,
+        })
+    }
+}
+
+/// Point-in-time counters from a [`BlockCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block fetches served from memory.
+    pub hits: u64,
+    /// Block fetches that went to disk.
+    pub misses: u64,
+    /// Blocks evicted to stay under budget (or dropped with a segment).
+    pub evictions: u64,
+    /// Blocks currently resident.
+    pub resident_blocks: usize,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// High-water mark of resident bytes.
+    pub peak_resident_bytes: usize,
+}
+
+struct CacheEntry {
+    data: Arc<Vec<f32>>,
+    bytes: usize,
+    stamp: u64,
+}
+
+struct CacheInner {
+    map: FxHashMap<(u32, u32), CacheEntry>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    peak_bytes: usize,
+}
+
+/// A byte-budgeted LRU over `(segment, block)` payloads, shared by every
+/// segment of a paged index (and across shards — the budget is global).
+///
+/// Admission is unconditional: the requested block is inserted, then the
+/// least-recently-used *other* blocks are evicted until the budget holds
+/// again. One block larger than the whole budget therefore stays resident
+/// until the next admission — the alternative (refusing to cache it) would
+/// re-read it on every query.
+pub struct BlockCache {
+    budget_bytes: usize,
+    next_segment: AtomicU32,
+    inner: Mutex<CacheInner>,
+}
+
+impl BlockCache {
+    /// A cache admitting up to `budget_bytes` of payload (0 = unbounded).
+    pub fn new(budget_bytes: usize) -> Arc<BlockCache> {
+        Arc::new(BlockCache {
+            budget_bytes,
+            next_segment: AtomicU32::new(0),
+            inner: Mutex::new(CacheInner {
+                map: FxHashMap::default(),
+                tick: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                peak_bytes: 0,
+            }),
+        })
+    }
+
+    /// The configured byte budget (0 = unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Hand out a process-unique id for a segment about to share this
+    /// cache; the id namespaces the segment's blocks in the key space.
+    pub fn register_segment(&self) -> u32 {
+        self.next_segment.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_blocks: inner.map.len(),
+            resident_bytes: inner.bytes,
+            peak_resident_bytes: inner.peak_bytes,
+        }
+    }
+
+    /// Fetch a block, loading and admitting it on miss.
+    pub fn get_or_load(
+        &self,
+        key: (u32, u32),
+        load: impl FnOnce() -> Result<Vec<f32>, SegmentError>,
+    ) -> Result<Arc<Vec<f32>>, SegmentError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.stamp = tick;
+            inner.hits += 1;
+            return Ok(entry.data.clone());
+        }
+        // Load under the lock: correctness first (no double-load races),
+        // and the search path is read-dominated once warm.
+        let data = Arc::new(load()?);
+        let bytes = data.len() * std::mem::size_of::<f32>();
+        inner.misses += 1;
+        inner.bytes += bytes;
+        inner.map.insert(key, CacheEntry { data: data.clone(), bytes, stamp: tick });
+        if self.budget_bytes > 0 {
+            while inner.bytes > self.budget_bytes && inner.map.len() > 1 {
+                let (&victim, _) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .expect("non-empty cache has an LRU entry");
+                let evicted = inner.map.remove(&victim).expect("victim present");
+                inner.bytes -= evicted.bytes;
+                inner.evictions += 1;
+            }
+        }
+        inner.peak_bytes = inner.peak_bytes.max(inner.bytes);
+        Ok(data)
+    }
+
+    /// Drop every resident block of one segment (detach, re-seal).
+    /// Returns how many blocks were dropped.
+    pub fn evict_segment(&self, segment: u32) -> usize {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<(u32, u32)> =
+            inner.map.keys().copied().filter(|&(s, _)| s == segment).collect();
+        for key in &doomed {
+            let entry = inner.map.remove(key).expect("key just listed");
+            inner.bytes -= entry.bytes;
+            inner.evictions += 1;
+        }
+        doomed.len()
+    }
+}
+
+/// One row headed into [`write_vector_segment`].
+#[derive(Debug, Clone)]
+pub struct SegmentRow {
+    /// Item id.
+    pub id: ItemId,
+    /// SimHash signature (geometry must match the index that will attach
+    /// the segment).
+    pub signature: Signature,
+    /// Precomputed L2 norm, exactly as the [`crate::VectorArena`] stores it
+    /// — cold scoring must reproduce the hot path bit for bit.
+    pub norm: f32,
+    /// The vector itself.
+    pub vector: Vec<f32>,
+}
+
+/// Directory-resident metadata for one block of a [`VectorSegment`].
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Row ids, in row order.
+    pub ids: Vec<ItemId>,
+    /// Per-row norms, aligned with `ids`.
+    pub norms: Vec<f32>,
+    /// Packed signature words, `words_per_sig` per row.
+    pub sig_words: Vec<u64>,
+    /// The block's pruning statistics.
+    pub zone: ZoneMap,
+}
+
+/// Seal rows into a segment file at `path` (written atomically).
+///
+/// Rows are sorted by (signature words, id) before blocking so LSH-similar
+/// rows share blocks — see the module docs for why that makes the zone
+/// maps effective. Returns the number of blocks written.
+pub fn write_vector_segment(
+    path: &Path,
+    dim: usize,
+    sig_bits: usize,
+    block_rows: usize,
+    mut rows: Vec<SegmentRow>,
+) -> std::io::Result<usize> {
+    assert!(dim > 0 && block_rows > 0, "segment geometry must be positive");
+    for row in &rows {
+        assert_eq!(row.vector.len(), dim, "row dimension mismatch");
+        assert_eq!(row.signature.bits, sig_bits, "row signature width mismatch");
+    }
+    rows.sort_unstable_by(|a, b| a.signature.words.cmp(&b.signature.words).then(a.id.cmp(&b.id)));
+
+    let mut header_meta = Vec::new();
+    codec::put_u32(&mut header_meta, dim as u32);
+    codec::put_u32(&mut header_meta, sig_bits as u32);
+    codec::put_u32(&mut header_meta, block_rows as u32);
+    let mut builder = SegmentBuilder::new(&header_meta);
+
+    let mut n_blocks = 0usize;
+    for chunk in rows.chunks(block_rows) {
+        let views: Vec<&[f32]> = chunk.iter().map(|r| r.vector.as_slice()).collect();
+        let norms: Vec<f32> = chunk.iter().map(|r| r.norm).collect();
+        let zone = ZoneMap::build(dim, &views, &norms);
+        let ids: Vec<ItemId> = chunk.iter().map(|r| r.id).collect();
+        let mut sig_words = Vec::with_capacity(chunk.len() * chunk[0].signature.words.len());
+        for r in chunk {
+            sig_words.extend_from_slice(&r.signature.words);
+        }
+        let mut meta = Vec::new();
+        codec::put_u32_slice(&mut meta, &ids);
+        codec::put_f32_slice(&mut meta, &norms);
+        codec::put_u64_slice(&mut meta, &sig_words);
+        zone.encode(&mut meta);
+        let mut payload = Vec::with_capacity(chunk.len() * dim * 4);
+        for v in &views {
+            for &x in *v {
+                payload.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        builder.push_block(&payload, &meta);
+        n_blocks += 1;
+    }
+    atomic_write_bytes(path, &builder.finish())?;
+    Ok(n_blocks)
+}
+
+/// An opened vector segment: directory metadata resident, payload blocks
+/// fetched lazily through the shared [`BlockCache`].
+pub struct VectorSegment {
+    cache_id: u32,
+    segment: Segment,
+    dim: usize,
+    sig_bits: usize,
+    blocks: Vec<BlockMeta>,
+    cache: Arc<BlockCache>,
+}
+
+impl std::fmt::Debug for VectorSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorSegment")
+            .field("path", &self.segment.path())
+            .field("blocks", &self.blocks.len())
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+impl VectorSegment {
+    /// Open a sealed segment, validating geometry and directory metadata.
+    /// No payload block is read here — hydration is lazy.
+    pub fn open(path: &Path, cache: Arc<BlockCache>) -> Result<VectorSegment, SegmentError> {
+        let segment = Segment::open(path)?;
+        let mut h = segment.header_meta();
+        let dim = codec::get_u32(&mut h)? as usize;
+        let sig_bits = codec::get_u32(&mut h)? as usize;
+        let block_rows = codec::get_u32(&mut h)? as usize;
+        if dim == 0 || sig_bits == 0 || block_rows == 0 {
+            return Err(SegmentError::Corrupt("bad vector-segment geometry".into()));
+        }
+        let words_per_sig = sig_bits.div_ceil(64);
+        let mut blocks = Vec::with_capacity(segment.block_count());
+        for b in 0..segment.block_count() {
+            let mut m = segment.block_meta(b);
+            let ids = codec::get_u32_vec(&mut m)?;
+            let norms = codec::get_f32_vec(&mut m)?;
+            let sig_words = codec::get_u64_vec(&mut m)?;
+            let zone = ZoneMap::decode(&mut m)?;
+            let rows = ids.len();
+            if rows == 0 || rows > block_rows {
+                return Err(SegmentError::Corrupt(format!("block {b} has {rows} rows")));
+            }
+            if norms.len() != rows
+                || sig_words.len() != rows * words_per_sig
+                || zone.centroid.len() != dim
+                || segment.block_payload_len(b) != rows * dim * 4
+            {
+                return Err(SegmentError::Corrupt(format!("block {b} metadata is inconsistent")));
+            }
+            blocks.push(BlockMeta { ids, norms, sig_words, zone });
+        }
+        let cache_id = cache.register_segment();
+        Ok(VectorSegment { cache_id, segment, dim, sig_bits, blocks, cache })
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signature width the rows were signed with.
+    pub fn sig_bits(&self) -> usize {
+        self.sig_bits
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total rows across blocks.
+    pub fn row_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ids.len()).sum()
+    }
+
+    /// Directory metadata for one block.
+    pub fn block_meta(&self, block: usize) -> &BlockMeta {
+        &self.blocks[block]
+    }
+
+    /// Reconstruct the signature of one row from the resident words.
+    pub fn signature_of(&self, block: usize, row: usize) -> Signature {
+        let words_per_sig = self.sig_bits.div_ceil(64);
+        let start = row * words_per_sig;
+        Signature {
+            words: self.blocks[block].sig_words[start..start + words_per_sig].to_vec(),
+            bits: self.sig_bits,
+        }
+    }
+
+    /// Fetch one block's vectors through the cache (row-major,
+    /// `rows × dim`), verifying the payload checksum on a cold read.
+    pub fn block(&self, block: usize) -> Result<Arc<Vec<f32>>, SegmentError> {
+        let rows = self.blocks[block].ids.len();
+        let dim = self.dim;
+        self.cache.get_or_load((self.cache_id, block as u32), || {
+            let bytes = self.segment.read_block(block)?;
+            if bytes.len() != rows * dim * 4 {
+                return Err(SegmentError::Corrupt(format!(
+                    "block {block} payload is {} bytes, expected {}",
+                    bytes.len(),
+                    rows * dim * 4
+                )));
+            }
+            let mut out = Vec::with_capacity(rows * dim);
+            for chunk in bytes.chunks_exact(4) {
+                out.push(f32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+            }
+            Ok(out)
+        })
+    }
+
+    /// Drop this segment's cache-resident blocks; returns how many were
+    /// resident.
+    pub fn evict_from_cache(&self) -> usize {
+        self.cache.evict_segment(self.cache_id)
+    }
+
+    /// The shared cache this segment pages through.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simhash::SimHasher;
+    use wg_util::kernel;
+    use wg_util::rng::{Rng64, Xoshiro256pp};
+
+    fn unit(dim: usize, rng: &mut Xoshiro256pp) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_gaussian() as f32).collect();
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for x in &mut v {
+            *x /= n;
+        }
+        v
+    }
+
+    fn rows_for(dim: usize, n: usize, seed: u64) -> Vec<SegmentRow> {
+        let mut rng = Xoshiro256pp::new(seed);
+        let hasher = SimHasher::new(dim, 64, 7);
+        (0..n)
+            .map(|i| {
+                let vector = unit(dim, &mut rng);
+                SegmentRow {
+                    id: i as ItemId,
+                    signature: hasher.sign(&vector),
+                    norm: kernel::norm_sq(&vector).sqrt(),
+                    vector,
+                }
+            })
+            .collect()
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wg-paged-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join("vectors.seg")
+    }
+
+    #[test]
+    fn zone_map_bound_dominates_every_exact_score() {
+        let dim = 32;
+        let mut rng = Xoshiro256pp::new(11);
+        for trial in 0..20 {
+            let rows: Vec<Vec<f32>> = (0..16).map(|_| unit(dim, &mut rng)).collect();
+            let views: Vec<&[f32]> = rows.iter().map(|v| v.as_slice()).collect();
+            let norms: Vec<f32> = views.iter().map(|v| kernel::norm_sq(v).sqrt()).collect();
+            let zone = ZoneMap::build(dim, &views, &norms);
+            for _ in 0..50 {
+                let q = unit(dim, &mut rng);
+                let qnorm = kernel::norm_sq(&q).sqrt();
+                let ub = zone.cosine_upper_bound(&q, qnorm);
+                for (v, &n) in views.iter().zip(&norms) {
+                    let denom = qnorm * n;
+                    let score = if denom <= f32::MIN_POSITIVE {
+                        0.0
+                    } else {
+                        (kernel::dot(&q, v) / denom).clamp(-1.0, 1.0)
+                    };
+                    assert!(score as f64 <= ub, "trial {trial}: score {score} exceeds bound {ub}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seal_open_roundtrip_preserves_rows_and_stays_lazy() {
+        let dim = 16;
+        let rows = rows_for(dim, 37, 3);
+        let path = temp_path("roundtrip");
+        let blocks = write_vector_segment(&path, dim, 64, 8, rows.clone()).expect("seal");
+        assert_eq!(blocks, 37usize.div_ceil(8));
+
+        let cache = BlockCache::new(0);
+        let seg = VectorSegment::open(&path, cache.clone()).expect("open");
+        assert_eq!(seg.row_count(), 37);
+        assert_eq!(seg.dim(), dim);
+        // Lazy: opening reads directory metadata only.
+        assert_eq!(cache.stats().resident_blocks, 0);
+
+        let by_id: FxHashMap<ItemId, &SegmentRow> = rows.iter().map(|r| (r.id, r)).collect();
+        for b in 0..seg.block_count() {
+            let meta = seg.block_meta(b).clone();
+            let data = seg.block(b).expect("read block");
+            for (r, &id) in meta.ids.iter().enumerate() {
+                let want = by_id[&id];
+                assert_eq!(&data[r * dim..(r + 1) * dim], want.vector.as_slice());
+                assert_eq!(meta.norms[r], want.norm);
+                assert_eq!(seg.signature_of(b, r), want.signature);
+            }
+        }
+        assert!(cache.stats().resident_blocks > 0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn cache_budget_bounds_residency_and_counts() {
+        let dim = 16;
+        let rows = rows_for(dim, 64, 4);
+        let path = temp_path("budget");
+        write_vector_segment(&path, dim, 64, 8, rows).expect("seal");
+        // Budget of exactly two 8×16 f32 blocks.
+        let block_bytes = 8 * dim * 4;
+        let cache = BlockCache::new(2 * block_bytes);
+        let seg = VectorSegment::open(&path, cache.clone()).expect("open");
+        assert_eq!(seg.block_count(), 8);
+        for round in 0..3 {
+            for b in 0..seg.block_count() {
+                seg.block(b).expect("read");
+                let stats = cache.stats();
+                assert!(
+                    stats.resident_bytes <= 2 * block_bytes,
+                    "round {round}: resident {} exceeds budget",
+                    stats.resident_bytes
+                );
+                assert!(stats.resident_blocks <= 2);
+            }
+        }
+        let stats = cache.stats();
+        // A 2-block LRU scanned cyclically over 8 blocks never hits.
+        assert_eq!(stats.misses, 24);
+        assert_eq!(stats.evictions, 22);
+        assert_eq!(stats.peak_resident_bytes, 2 * block_bytes);
+
+        // Re-reading the most recent block is a pure hit.
+        seg.block(7).expect("read");
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn evict_segment_drops_only_that_segment() {
+        let dim = 8;
+        let path_a = temp_path("evict-a");
+        let path_b = temp_path("evict-b");
+        write_vector_segment(&path_a, dim, 64, 4, rows_for(dim, 8, 5)).expect("seal a");
+        write_vector_segment(&path_b, dim, 64, 4, rows_for(dim, 8, 6)).expect("seal b");
+        let cache = BlockCache::new(0);
+        let a = VectorSegment::open(&path_a, cache.clone()).expect("open a");
+        let b = VectorSegment::open(&path_b, cache.clone()).expect("open b");
+        for s in [&a, &b] {
+            for blk in 0..s.block_count() {
+                s.block(blk).expect("read");
+            }
+        }
+        assert_eq!(cache.stats().resident_blocks, 4);
+        assert_eq!(a.evict_from_cache(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.resident_blocks, 2);
+        // B's blocks still hit.
+        b.block(0).expect("read");
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(path_a.parent().unwrap()).ok();
+        std::fs::remove_dir_all(path_b.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn oversized_block_stays_until_next_admission() {
+        let dim = 16;
+        let path = temp_path("oversized");
+        write_vector_segment(&path, dim, 64, 8, rows_for(dim, 16, 7)).expect("seal");
+        let cache = BlockCache::new(1); // budget smaller than any block
+        let seg = VectorSegment::open(&path, cache.clone()).expect("open");
+        seg.block(0).expect("read");
+        assert_eq!(cache.stats().resident_blocks, 1, "sole block is pinned");
+        seg.block(1).expect("read");
+        let stats = cache.stats();
+        assert_eq!(stats.resident_blocks, 1, "admission displaced the previous block");
+        assert_eq!(stats.evictions, 1);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn open_rejects_mismatched_geometry_blobs() {
+        let path = temp_path("badgeom");
+        let mut header = Vec::new();
+        codec::put_u32(&mut header, 0); // dim 0
+        codec::put_u32(&mut header, 64);
+        codec::put_u32(&mut header, 8);
+        let builder = SegmentBuilder::new(&header);
+        atomic_write_bytes(&path, &builder.finish()).expect("write");
+        assert!(VectorSegment::open(&path, BlockCache::new(0)).is_err());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -19,17 +19,48 @@
 //! seed: the shards partition the id space, every shard uses identical
 //! hyperplanes, and the merged top-k applies the same (score, id) ordering.
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
+use std::sync::Arc;
 use wg_util::codec::{self, CodecError, CodecResult};
 use wg_util::TopK;
 
 use crate::index::{
     SearchOutcome, SimHashLshIndex, FRAME_MAGIC, FRAME_VERSION, FRAME_VERSION_FEDERATED,
 };
+use crate::paged::{SegmentRow, VectorSegment};
 use crate::params::LshParams;
 use crate::scope::DiscoverScope;
 use crate::simhash::SimHasher;
 use crate::{compose_item_id, item_backend, item_local, ItemId};
+
+/// A row gathered for encoding: hot rows borrow the shard's arena, cold
+/// rows are hydrated into owned buffers.
+enum EncodedRow<'a> {
+    Hot(&'a [f32]),
+    Cold(Vec<f32>),
+}
+
+impl EncodedRow<'_> {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            EncodedRow::Hot(v) => v,
+            EncodedRow::Cold(v) => v,
+        }
+    }
+}
+
+/// Every stored row across the locked shards, both tiers.
+fn gather_rows<'a>(
+    guards: &'a [RwLockReadGuard<'a, SimHashLshIndex>],
+) -> Vec<(ItemId, EncodedRow<'a>)> {
+    let mut items: Vec<(ItemId, EncodedRow<'a>)> = Vec::new();
+    for g in guards {
+        items.extend(g.items().map(|(id, v)| (id, EncodedRow::Hot(v))));
+        items.extend(g.cold_items().into_iter().map(|(id, v)| (id, EncodedRow::Cold(v))));
+    }
+    items.sort_unstable_by_key(|(id, _)| *id);
+    items
+}
 
 /// A set of [`SimHashLshIndex`] shards with identical geometry, each behind
 /// its own reader–writer lock. All methods take `&self`; interior locking
@@ -162,9 +193,58 @@ impl ShardedLshIndex {
         removed
     }
 
-    /// The stored vector for an id, cloned out of its shard.
+    /// The stored vector for an id, cloned out of its shard (cold items
+    /// read through the block cache).
     pub fn vector(&self, id: ItemId) -> Option<Vec<f32>> {
-        self.shards[self.shard_of(id)].read().vector(id).map(<[f32]>::to_vec)
+        self.shards[self.shard_of(id)].read().vector_owned(id)
+    }
+
+    /// Attach sealed segments to every shard's paged tier. Each shard
+    /// admits only the ids it owns (`id % shards`), so one segment file
+    /// can serve any shard count; the segments share one block cache.
+    /// Returns the total rows attached.
+    pub fn attach_segments(&self, segments: &[Arc<VectorSegment>]) -> CodecResult<usize> {
+        self.attach_segments_mapped(segments, Some)
+    }
+
+    /// [`Self::attach_segments`] with id remapping: `map` returns the id a
+    /// row installs under (or `None` to skip it); rows route to the shard
+    /// owning the **mapped** id. Lets a loader recompose backend bits
+    /// assigned by a different process's name interner (see
+    /// [`SimHashLshIndex::attach_segment_mapped`]).
+    pub fn attach_segments_mapped(
+        &self,
+        segments: &[Arc<VectorSegment>],
+        map: impl Fn(ItemId) -> Option<ItemId> + Copy,
+    ) -> CodecResult<usize> {
+        let n = self.shards.len();
+        let mut attached = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard.write();
+            for segment in segments {
+                attached += guard.attach_segment_mapped(segment.clone(), |id| {
+                    map(id).filter(|&mapped| mapped as usize % n == i)
+                })?;
+            }
+        }
+        Ok(attached)
+    }
+
+    /// Export every stored row grouped by shard, ready for sealing into
+    /// per-shard segment files.
+    pub fn export_segment_rows(&self) -> Vec<Vec<SegmentRow>> {
+        self.shards.iter().map(|s| s.read().export_rows()).collect()
+    }
+
+    /// Items currently served from the paged tier, across shards.
+    pub fn cold_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().cold_len()).sum()
+    }
+
+    /// Live attached segments across shards (a segment attached to every
+    /// shard counts once per shard that kept live rows from it).
+    pub fn cold_segment_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().cold_segment_count()).sum()
     }
 
     /// Top-k search across all shards: the query is signed once, each shard
@@ -203,7 +283,7 @@ impl ShardedLshIndex {
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
         let sig = self.hasher.sign(query);
         let mut merged = TopK::new(k);
-        let mut outcome = SearchOutcome { candidates: 0, scored: 0 };
+        let mut outcome = SearchOutcome::default();
         for shard in &self.shards {
             let guard = shard.read();
             let (hits, o) =
@@ -211,6 +291,8 @@ impl ShardedLshIndex {
             // Shards partition the id space, so the sums are exact counts.
             outcome.candidates += o.candidates;
             outcome.scored += o.scored;
+            outcome.blocks_read += o.blocks_read;
+            outcome.blocks_pruned += o.blocks_pruned;
             for (id, score) in hits {
                 merged.push(score as f64, id);
             }
@@ -226,15 +308,19 @@ impl ShardedLshIndex {
     pub fn remove_backend(&self, backend_bits: u16) -> usize {
         let mut removed = 0usize;
         for shard in &self.shards {
-            let mut guard = shard.write();
-            let doomed: Vec<ItemId> = guard
-                .items()
-                .map(|(id, _)| id)
-                .filter(|&id| item_backend(id) == backend_bits)
-                .collect();
-            removed += doomed.into_iter().filter(|&id| guard.remove(id)).count();
+            // Delegates to the tier-aware removal: cold items drop too,
+            // and attached segments left without live rows are retired
+            // along with their cache-resident blocks.
+            removed += shard.write().remove_backend(backend_bits);
         }
         removed
+    }
+
+    /// Drop one backend's **cold** items across shards, retiring emptied
+    /// segments and evicting their cache-resident blocks; hot items of the
+    /// backend stay. Returns how many cold items were dropped.
+    pub fn drop_cold_backend(&self, backend_bits: u16) -> usize {
+        self.shards.iter().map(|s| s.write().drop_cold_backend(backend_bits)).sum()
     }
 
     /// Serialize to the same single-index frame [`SimHashLshIndex::encode`]
@@ -249,12 +335,11 @@ impl ShardedLshIndex {
         codec::put_u32(buf, self.params.rows as u32);
         codec::put_u64(buf, self.hasher.seed());
         codec::put_u32(buf, guards[0].probes() as u32);
-        let mut items: Vec<(ItemId, &[f32])> = guards.iter().flat_map(|g| g.items()).collect();
-        items.sort_unstable_by_key(|(id, _)| *id);
+        let items = gather_rows(&guards);
         codec::put_len(buf, items.len());
         for (id, v) in items {
             codec::put_u32(buf, id);
-            codec::put_f32_slice(buf, v);
+            codec::put_f32_slice(buf, v.as_slice());
         }
     }
 
@@ -263,7 +348,7 @@ impl ShardedLshIndex {
     /// geometry and seed win over the caller's defaults, exactly as in
     /// [`SimHashLshIndex::decode`]. Rejects federated (v2) frames — use
     /// [`Self::decode_with_backends`] for those.
-    pub fn decode(buf: &mut &[u8], shards: usize) -> CodecResult<Self> {
+    pub fn decode(buf: &mut impl codec::Buf, shards: usize) -> CodecResult<Self> {
         Self::decode_with_backends(buf, shards, |name| {
             if name == "default" {
                 Ok(0)
@@ -286,8 +371,7 @@ impl ShardedLshIndex {
     /// process need not share.
     pub fn encode_with_backends(&self, buf: &mut Vec<u8>, name_of: impl Fn(u16) -> String) {
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-        let mut items: Vec<(ItemId, &[f32])> = guards.iter().flat_map(|g| g.items()).collect();
-        items.sort_unstable_by_key(|(id, _)| *id);
+        let items = gather_rows(&guards);
         let mut backends: Vec<u16> = items.iter().map(|(id, _)| item_backend(*id)).collect();
         backends.sort_unstable();
         backends.dedup();
@@ -309,7 +393,7 @@ impl ShardedLshIndex {
         codec::put_len(buf, items.len());
         for (id, v) in items {
             codec::put_u32(buf, id);
-            codec::put_f32_slice(buf, v);
+            codec::put_f32_slice(buf, v.as_slice());
         }
     }
 
@@ -320,7 +404,7 @@ impl ShardedLshIndex {
     /// process that attached `lake` second loads correctly into one that
     /// attached it fifth.
     pub fn decode_with_backends(
-        buf: &mut &[u8],
+        buf: &mut impl codec::Buf,
         shards: usize,
         mut resolve: impl FnMut(&str) -> CodecResult<u16>,
     ) -> CodecResult<Self> {

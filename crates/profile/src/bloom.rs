@@ -1,0 +1,314 @@
+//! Blocked profile scans with q-gram bloom pruning (paper §6 baselines).
+//!
+//! Profile-based discovery systems answer "which columns have a related
+//! *name*?" by comparing q-gram sets pairwise — O(corpus) set
+//! intersections per query. This module blocks profiles the same way the
+//! paged vector tier blocks embeddings, and attaches to each block the
+//! **union bloom** of its columns' name q-grams. A scan consults the bloom
+//! first: if *no* query gram can be present in a block, every profile in
+//! that block has q-gram Jaccard exactly 0 with the query, so for any
+//! positive similarity threshold the block is skipped without reading it.
+//!
+//! Blooms have no false negatives, so pruning is sound: a false positive
+//! costs one block read, never a missed candidate. The
+//! [`pruned scan == full scan`](ProfileStore::scan_names) invariant is
+//! pinned by tests.
+
+use wg_util::stable_hash64;
+use wg_util::FxHashSet;
+
+use crate::profile::ColumnProfile;
+use crate::qgram::qgram_jaccard;
+
+/// Bloom filter words per block (256 bits total).
+const BLOOM_WORDS: usize = 4;
+const BLOOM_BITS: u64 = (BLOOM_WORDS * 64) as u64;
+
+/// A 256-bit bloom filter over name q-grams, k = 2.
+///
+/// Sized for block-level unions: a block of 64 columns contributes a few
+/// hundred distinct trigrams, keeping the false-positive rate low enough
+/// that pruning stays effective while the filter costs 32 bytes per block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QGramBloom {
+    bits: [u64; BLOOM_WORDS],
+}
+
+impl QGramBloom {
+    /// The empty filter (matches nothing).
+    pub fn new() -> QGramBloom {
+        QGramBloom::default()
+    }
+
+    /// Build a filter containing every gram in `grams`.
+    pub fn from_grams<'a>(grams: impl IntoIterator<Item = &'a str>) -> QGramBloom {
+        let mut b = QGramBloom::new();
+        for g in grams {
+            b.insert(g);
+        }
+        b
+    }
+
+    /// Two probe positions derived from one stable hash
+    /// (Kirsch–Mitzenmacher): the low and high halves index independently.
+    fn probes(gram: &str) -> (u64, u64) {
+        let h = stable_hash64(gram.as_bytes());
+        (h & 0xFFFF_FFFF, h >> 32)
+    }
+
+    fn set(&mut self, probe: u64) {
+        let bit = probe % BLOOM_BITS;
+        self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    fn get(&self, probe: u64) -> bool {
+        let bit = probe % BLOOM_BITS;
+        self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Add one gram.
+    pub fn insert(&mut self, gram: &str) {
+        let (a, b) = Self::probes(gram);
+        self.set(a);
+        self.set(b);
+    }
+
+    /// `false` means the gram is *provably* absent; `true` means it may be
+    /// present (no false negatives, bounded false positives).
+    pub fn may_contain(&self, gram: &str) -> bool {
+        let (a, b) = Self::probes(gram);
+        self.get(a) && self.get(b)
+    }
+
+    /// Absorb every gram of `other` (bitwise or).
+    pub fn union(&mut self, other: &QGramBloom) {
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+    }
+
+    /// True if nothing was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+}
+
+/// Read/prune accounting for one or more [`ProfileStore`] scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Blocks whose profiles were actually compared against the query.
+    pub blocks_read: u64,
+    /// Blocks skipped because the bloom proved zero q-gram overlap.
+    pub blocks_pruned: u64,
+}
+
+struct ProfileBlock {
+    profiles: Vec<ColumnProfile>,
+    /// Union of `name_grams` over every profile in the block.
+    name_bloom: QGramBloom,
+}
+
+/// Column profiles grouped into fixed-size blocks, each summarized by the
+/// union bloom of its name q-grams so name-similarity scans can skip
+/// blocks that provably cannot contribute a candidate.
+pub struct ProfileStore {
+    blocks: Vec<ProfileBlock>,
+    len: usize,
+}
+
+impl ProfileStore {
+    /// Seal `profiles` into blocks of up to `block_rows` profiles each.
+    ///
+    /// Profiles are ordered by fully-qualified reference first, so columns
+    /// from the same table — which share naming conventions — land in the
+    /// same block and the per-block gram vocabulary stays narrow.
+    pub fn seal(mut profiles: Vec<ColumnProfile>, block_rows: usize) -> ProfileStore {
+        assert!(block_rows > 0, "block_rows must be positive");
+        profiles.sort_by(|a, b| a.reference.cmp(&b.reference));
+        let len = profiles.len();
+        let mut blocks = Vec::with_capacity(len.div_ceil(block_rows));
+        let mut profiles = profiles.into_iter().peekable();
+        while profiles.peek().is_some() {
+            let chunk: Vec<ColumnProfile> = profiles.by_ref().take(block_rows).collect();
+            let mut name_bloom = QGramBloom::new();
+            for p in &chunk {
+                for g in &p.name_grams {
+                    name_bloom.insert(g);
+                }
+            }
+            blocks.push(ProfileBlock { profiles: chunk, name_bloom });
+        }
+        ProfileStore { blocks, len }
+    }
+
+    /// Total profiles stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of sealed blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Every profile whose name q-gram Jaccard with `query_grams` is at
+    /// least `min_similarity`, with the similarity attached.
+    ///
+    /// For `min_similarity > 0` a block is pruned when the bloom proves no
+    /// query gram occurs anywhere in it — then every Jaccard in the block
+    /// is 0 and cannot reach the threshold. A non-positive threshold (or
+    /// an empty query) admits zero-overlap columns, so every block is
+    /// read. Results are identical to a full scan either way.
+    pub fn scan_names<'a>(
+        &'a self,
+        query_grams: &FxHashSet<String>,
+        min_similarity: f64,
+        stats: &mut ScanStats,
+    ) -> Vec<(&'a ColumnProfile, f64)> {
+        let can_prune = min_similarity > 0.0 && !query_grams.is_empty();
+        let mut out = Vec::new();
+        for block in &self.blocks {
+            if can_prune && !query_grams.iter().any(|g| block.name_bloom.may_contain(g)) {
+                stats.blocks_pruned += 1;
+                continue;
+            }
+            stats.blocks_read += 1;
+            for p in &block.profiles {
+                let sim = qgram_jaccard(query_grams, &p.name_grams);
+                if sim >= min_similarity {
+                    out.push((p, sim));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qgram::name_qgrams;
+    use wg_lsh::MinHasher;
+    use wg_store::{Column, ColumnRef};
+
+    fn profile(table: &str, name: &str) -> ColumnProfile {
+        let col = Column::text(name, vec![format!("{name} v1"), format!("{name} v2")]);
+        ColumnProfile::build(ColumnRef::new("db", table, name), &col, &MinHasher::new(16, 7))
+    }
+
+    #[test]
+    fn bloom_never_forgets_an_inserted_gram() {
+        let names = ["customer_id", "order_total", "ship_date", "warehouse_zone_code"];
+        let mut bloom = QGramBloom::new();
+        let mut all = Vec::new();
+        for n in names {
+            for g in name_qgrams(n, 3) {
+                bloom.insert(&g);
+                all.push(g);
+            }
+        }
+        for g in &all {
+            assert!(bloom.may_contain(g), "false negative for {g:?}");
+        }
+    }
+
+    #[test]
+    fn bloom_union_covers_both_sides_and_excludes_strangers() {
+        let a = QGramBloom::from_grams(name_qgrams("customer_id", 3).iter().map(|s| s.as_str()));
+        let b = QGramBloom::from_grams(name_qgrams("unit_price", 3).iter().map(|s| s.as_str()));
+        let mut u = a;
+        u.union(&b);
+        for g in name_qgrams("customer_id", 3).iter().chain(&name_qgrams("unit_price", 3)) {
+            assert!(u.may_contain(g));
+        }
+        // A disjoint vocabulary should be (almost entirely) excluded: with
+        // ~30 grams in a 256-bit filter the per-probe fp rate is small.
+        let stranger = name_qgrams("zzqxjvwk", 3);
+        let hits = stranger.iter().filter(|g| u.may_contain(g)).count();
+        assert!(hits < stranger.len() / 2, "{hits}/{} false positives", stranger.len());
+        assert!(QGramBloom::new().is_empty());
+        assert!(!u.is_empty());
+    }
+
+    /// A corpus where naming conventions cluster by table: `orders` and
+    /// `invoices` share money vocabulary; `shelf` uses a letter set fully
+    /// disjoint from it (even the padded boundary grams differ), so its
+    /// block is provably prunable for money queries.
+    fn clustered_profiles() -> Vec<ColumnProfile> {
+        let mut out = Vec::new();
+        for t in ["orders", "invoices"] {
+            for c in ["amount_total", "amount_tax", "amount_due", "currency_code"] {
+                out.push(profile(t, c));
+            }
+        }
+        for c in ["xshelf", "yshelf", "zshelf", "shelfrow"] {
+            out.push(profile("shelf", c));
+        }
+        out
+    }
+
+    #[test]
+    fn pruned_scan_matches_full_scan_and_actually_prunes() {
+        let profiles = clustered_profiles();
+        let store = ProfileStore::seal(profiles.clone(), 4);
+        assert_eq!(store.len(), profiles.len());
+        assert_eq!(store.block_count(), 3);
+
+        let query = name_qgrams("amount_paid", 3);
+        let threshold = 0.2;
+        let mut full: Vec<(ColumnRef, f64)> = profiles
+            .iter()
+            .filter_map(|p| {
+                let sim = qgram_jaccard(&query, &p.name_grams);
+                (sim >= threshold).then(|| (p.reference.clone(), sim))
+            })
+            .collect();
+        full.sort_by(|a, b| a.0.cmp(&b.0));
+        assert!(!full.is_empty(), "fixture must produce candidates");
+
+        let mut stats = ScanStats::default();
+        let mut pruned: Vec<(ColumnRef, f64)> = store
+            .scan_names(&query, threshold, &mut stats)
+            .into_iter()
+            .map(|(p, sim)| (p.reference.clone(), sim))
+            .collect();
+        pruned.sort_by(|a, b| a.0.cmp(&b.0));
+
+        assert_eq!(pruned, full, "bloom pruning changed the result set");
+        assert_eq!(stats.blocks_read + stats.blocks_pruned, store.block_count() as u64);
+        assert!(stats.blocks_pruned > 0, "the shelf block shares no grams and must be pruned");
+    }
+
+    #[test]
+    fn zero_threshold_reads_every_block() {
+        // Jaccard 0 passes a 0.0 threshold, so pruning would drop valid
+        // results; the scan must fall back to reading everything.
+        let store = ProfileStore::seal(clustered_profiles(), 4);
+        let query = name_qgrams("amount_paid", 3);
+        let mut stats = ScanStats::default();
+        let hits = store.scan_names(&query, 0.0, &mut stats);
+        assert_eq!(hits.len(), store.len(), "threshold 0 admits every column");
+        assert_eq!(stats.blocks_pruned, 0);
+        assert_eq!(stats.blocks_read, store.block_count() as u64);
+    }
+
+    #[test]
+    fn empty_store_and_empty_query() {
+        let store = ProfileStore::seal(Vec::new(), 8);
+        assert!(store.is_empty());
+        let mut stats = ScanStats::default();
+        assert!(store.scan_names(&name_qgrams("x", 3), 0.5, &mut stats).is_empty());
+        assert_eq!(stats, ScanStats::default());
+
+        let store = ProfileStore::seal(clustered_profiles(), 4);
+        let empty = FxHashSet::default();
+        let hits = store.scan_names(&empty, 0.5, &mut stats);
+        assert!(hits.is_empty(), "empty query matches nothing above 0");
+        assert_eq!(stats.blocks_read, store.block_count() as u64, "no pruning without grams");
+    }
+}

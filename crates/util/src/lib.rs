@@ -22,6 +22,9 @@
 //!   integrity footer (magic + body length + checksum) that lets loaders
 //!   reject torn or bit-rotted files before interpreting a single body
 //!   byte.
+//! * [`segment`] — checksummed block-addressed segment files: the on-disk
+//!   container behind the paged storage tier, read with positioned I/O so
+//!   cold blocks never need to be resident.
 
 pub mod checksum;
 pub mod codec;
@@ -29,6 +32,7 @@ pub mod hash;
 pub mod kernel;
 pub mod names;
 pub mod rng;
+pub mod segment;
 pub mod timing;
 pub mod topk;
 

@@ -1,0 +1,443 @@
+//! Checksummed, block-addressed segment files.
+//!
+//! A **segment** is the on-disk unit of the paged storage tier: an
+//! append-once container of opaque byte blocks, each independently
+//! CRC-32-checked, plus a directory that carries per-block metadata
+//! (offsets, lengths, checksums, and an opaque caller-defined meta blob
+//! such as a zone map). Readers open the directory once and then fetch
+//! individual blocks with positioned reads — no mmap, no full-file
+//! residency:
+//!
+//! ```text
+//! ┌ preamble (8 bytes) ──────────────────────────────────────────────┐
+//! │ magic "WGSG" │ version u32                                       │
+//! ├ blocks ──────────────────────────────────────────────────────────┤
+//! │ block 0 payload … │ crc32(payload) u32                           │
+//! │ block 1 payload … │ crc32(payload) u32                           │
+//! │ …                                                                │
+//! ├ directory ───────────────────────────────────────────────────────┤
+//! │ magic "WGSD" │ version u32 │ header_meta bytes │ n_blocks        │
+//! │ per block: offset u64 │ payload_len u32 │ crc u32 │ meta bytes   │
+//! ├ trailer (24 bytes) ──────────────────────────────────────────────┤
+//! │ magic "WGSE" │ version u32 │ dir_offset u64 │ dir_len u32 │      │
+//! │ crc32(directory) u32                                             │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Integrity story: the trailer is fixed-size and self-checking (magic +
+//! version + a CRC over the directory), the directory holds every block's
+//! CRC, and each block read re-verifies its CRC before the payload is
+//! interpreted. A torn write therefore fails at `open` (bad trailer or
+//! directory), and a bit flip fails either at `open` or at the first read
+//! of the damaged block — a partially-visible block set is impossible
+//! because the directory is written last and validated first.
+
+use crate::checksum::{crc32, Crc32};
+use crate::codec::{self, CodecError};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic opening a segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"WGSG";
+/// Magic opening the directory frame.
+pub const DIRECTORY_MAGIC: [u8; 4] = *b"WGSD";
+/// Magic opening the fixed-size trailer.
+pub const TRAILER_MAGIC: [u8; 4] = *b"WGSE";
+/// Segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Preamble size: magic (4) + version (4).
+pub const PREAMBLE_LEN: usize = 8;
+/// Trailer size: magic (4) + version (4) + dir_offset (8) + dir_len (4) +
+/// dir_crc (4).
+pub const TRAILER_LEN: usize = 24;
+
+/// Failure opening or reading a segment.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// The underlying file could not be read.
+    Io(std::io::Error),
+    /// The bytes on disk are not a complete, intact segment.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "segment I/O error: {e}"),
+            SegmentError::Corrupt(msg) => write!(f, "corrupt segment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(e: std::io::Error) -> Self {
+        SegmentError::Io(e)
+    }
+}
+
+impl From<CodecError> for SegmentError {
+    fn from(e: CodecError) -> Self {
+        SegmentError::Corrupt(e.to_string())
+    }
+}
+
+/// Location and integrity data for one block, parsed from the directory.
+#[derive(Debug, Clone)]
+struct BlockInfo {
+    /// Payload start, absolute file offset.
+    offset: u64,
+    /// Payload length in bytes (excluding the trailing CRC word).
+    payload_len: u32,
+    /// Expected CRC-32 of the payload.
+    crc: u32,
+    /// Opaque caller metadata (zone maps, id lists, …).
+    meta: Vec<u8>,
+}
+
+/// Incremental writer: push blocks, then [`SegmentBuilder::finish`] into
+/// the complete byte image (written atomically by the caller).
+pub struct SegmentBuilder {
+    bytes: Vec<u8>,
+    directory: Vec<u8>,
+    n_blocks: u32,
+}
+
+impl SegmentBuilder {
+    /// Start a segment whose directory carries `header_meta` (an opaque
+    /// caller blob describing the whole segment, e.g. geometry).
+    pub fn new(header_meta: &[u8]) -> Self {
+        let mut bytes = Vec::new();
+        codec::put_header(&mut bytes, SEGMENT_MAGIC, SEGMENT_VERSION);
+        let mut directory = Vec::new();
+        codec::put_header(&mut directory, DIRECTORY_MAGIC, SEGMENT_VERSION);
+        codec::put_bytes(&mut directory, header_meta);
+        SegmentBuilder { bytes, directory, n_blocks: 0 }
+    }
+
+    /// Append one block with its payload and opaque per-block metadata.
+    pub fn push_block(&mut self, payload: &[u8], meta: &[u8]) {
+        let offset = self.bytes.len() as u64;
+        let crc = crc32(payload);
+        self.bytes.extend_from_slice(payload);
+        self.bytes.extend_from_slice(&crc.to_le_bytes());
+        codec::put_u64(&mut self.directory, offset);
+        codec::put_len(&mut self.directory, payload.len());
+        codec::put_u32(&mut self.directory, crc);
+        codec::put_bytes(&mut self.directory, meta);
+        self.n_blocks += 1;
+    }
+
+    /// Seal the segment: directory + trailer appended, full image returned.
+    pub fn finish(mut self) -> Vec<u8> {
+        // Block count goes right after the header meta; the directory was
+        // built block-by-block, so splice the count in before the entries.
+        let mut directory = Vec::with_capacity(self.directory.len() + 4);
+        let entries_at = {
+            // header (8) + length-prefixed header_meta
+            let mut r = &self.directory[PREAMBLE_LEN..];
+            let before = r.len();
+            let _ = codec::get_bytes(&mut r).expect("builder wrote header meta");
+            PREAMBLE_LEN + (before - r.len())
+        };
+        directory.extend_from_slice(&self.directory[..entries_at]);
+        codec::put_u32(&mut directory, self.n_blocks);
+        directory.extend_from_slice(&self.directory[entries_at..]);
+
+        let dir_offset = self.bytes.len() as u64;
+        let dir_crc = crc32(&directory);
+        let dir_len = directory.len() as u32;
+        self.bytes.extend_from_slice(&directory);
+        self.bytes.extend_from_slice(&TRAILER_MAGIC);
+        self.bytes.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        self.bytes.extend_from_slice(&dir_offset.to_le_bytes());
+        self.bytes.extend_from_slice(&dir_len.to_le_bytes());
+        self.bytes.extend_from_slice(&dir_crc.to_le_bytes());
+        self.bytes
+    }
+}
+
+/// An open segment: directory resident, payloads fetched on demand with
+/// positioned reads and re-verified per block.
+pub struct Segment {
+    path: PathBuf,
+    file: Mutex<File>,
+    header_meta: Vec<u8>,
+    blocks: Vec<BlockInfo>,
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("path", &self.path)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl Segment {
+    /// Open a segment file, validating preamble, trailer, and directory.
+    /// Block payloads are *not* read here.
+    pub fn open(path: &Path) -> Result<Segment, SegmentError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < (PREAMBLE_LEN + TRAILER_LEN) as u64 {
+            return Err(SegmentError::Corrupt(format!(
+                "{} bytes is too short to be a segment",
+                file_len
+            )));
+        }
+
+        let mut preamble = [0u8; PREAMBLE_LEN];
+        file.read_exact(&mut preamble)?;
+        if preamble[..4] != SEGMENT_MAGIC {
+            return Err(SegmentError::Corrupt("bad segment magic".into()));
+        }
+        let version = u32::from_le_bytes(preamble[4..8].try_into().expect("4 bytes"));
+        if version != SEGMENT_VERSION {
+            return Err(SegmentError::Corrupt(format!("unsupported segment version {version}")));
+        }
+
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+        file.read_exact(&mut trailer)?;
+        if trailer[..4] != TRAILER_MAGIC {
+            return Err(SegmentError::Corrupt("bad trailer magic (torn write?)".into()));
+        }
+        let tver = u32::from_le_bytes(trailer[4..8].try_into().expect("4 bytes"));
+        if tver != SEGMENT_VERSION {
+            return Err(SegmentError::Corrupt(format!("unsupported trailer version {tver}")));
+        }
+        let dir_offset = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+        let dir_len = u32::from_le_bytes(trailer[16..20].try_into().expect("4 bytes")) as u64;
+        let dir_crc = u32::from_le_bytes(trailer[20..24].try_into().expect("4 bytes"));
+        if dir_offset < PREAMBLE_LEN as u64
+            || dir_offset.checked_add(dir_len).and_then(|end| end.checked_add(TRAILER_LEN as u64))
+                != Some(file_len)
+        {
+            return Err(SegmentError::Corrupt(format!(
+                "directory at {dir_offset}+{dir_len} does not fit a {file_len}-byte file"
+            )));
+        }
+
+        let mut directory = vec![0u8; dir_len as usize];
+        file.seek(SeekFrom::Start(dir_offset))?;
+        file.read_exact(&mut directory)?;
+        if crc32(&directory) != dir_crc {
+            return Err(SegmentError::Corrupt("directory checksum mismatch".into()));
+        }
+
+        let mut r = &directory[..];
+        let dver = codec::get_header(&mut r, DIRECTORY_MAGIC)?;
+        if dver != SEGMENT_VERSION {
+            return Err(SegmentError::Corrupt(format!("unsupported directory version {dver}")));
+        }
+        let header_meta = codec::get_bytes(&mut r)?;
+        let n_blocks = codec::get_u32(&mut r)?;
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for i in 0..n_blocks {
+            let offset = codec::get_u64(&mut r)?;
+            let payload_len = codec::get_len(&mut r)? as u32;
+            let crc = codec::get_u32(&mut r)?;
+            let meta = codec::get_bytes(&mut r)?;
+            let end = offset
+                .checked_add(payload_len as u64)
+                .and_then(|e| e.checked_add(4))
+                .ok_or_else(|| SegmentError::Corrupt(format!("block {i} offset overflow")))?;
+            if offset < PREAMBLE_LEN as u64 || end > dir_offset {
+                return Err(SegmentError::Corrupt(format!(
+                    "block {i} at {offset}+{payload_len} escapes the data region"
+                )));
+            }
+            blocks.push(BlockInfo { offset, payload_len, crc, meta });
+        }
+        if !r.is_empty() {
+            return Err(SegmentError::Corrupt(format!("{} trailing directory bytes", r.len())));
+        }
+
+        Ok(Segment { path: path.to_path_buf(), file: Mutex::new(file), header_meta, blocks })
+    }
+
+    /// The segment-wide metadata blob the writer stored.
+    pub fn header_meta(&self) -> &[u8] {
+        &self.header_meta
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Per-block metadata blob (resident since `open`).
+    pub fn block_meta(&self, block: usize) -> &[u8] {
+        &self.blocks[block].meta
+    }
+
+    /// Payload length of one block in bytes.
+    pub fn block_payload_len(&self, block: usize) -> usize {
+        self.blocks[block].payload_len as usize
+    }
+
+    /// The file this segment was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read one block's payload with a positioned read, verifying its
+    /// CRC-32 before returning.
+    pub fn read_block(&self, block: usize) -> Result<Vec<u8>, SegmentError> {
+        let info = self
+            .blocks
+            .get(block)
+            .ok_or_else(|| SegmentError::Corrupt(format!("block {block} out of range")))?;
+        let mut payload = vec![0u8; info.payload_len as usize + 4];
+        {
+            let mut file = self.file.lock().expect("segment file lock");
+            file.seek(SeekFrom::Start(info.offset))?;
+            file.read_exact(&mut payload)?;
+        }
+        let stored =
+            u32::from_le_bytes(payload[info.payload_len as usize..].try_into().expect("4 bytes"));
+        payload.truncate(info.payload_len as usize);
+        if stored != info.crc || crc32(&payload) != info.crc {
+            return Err(SegmentError::Corrupt(format!(
+                "block {block} checksum mismatch at offset {}",
+                info.offset
+            )));
+        }
+        Ok(payload)
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp sibling, fsync, rename, then a
+/// best-effort fsync of the parent directory so the rename itself is
+/// durable. Readers either see the old file or the complete new one.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Streaming CRC-32 over an already-open reader, in bounded chunks.
+/// Returns the digest of exactly `len` bytes.
+pub fn crc32_reader(reader: &mut impl Read, len: u64) -> std::io::Result<u32> {
+    let mut crc = Crc32::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut left = len;
+    while left > 0 {
+        let take = buf.len().min(left as usize);
+        reader.read_exact(&mut buf[..take])?;
+        crc.update(&buf[..take]);
+        left -= take as u64;
+    }
+    Ok(crc.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wg-segment-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn build_sample() -> Vec<u8> {
+        let mut b = SegmentBuilder::new(b"header-meta");
+        b.push_block(b"first block payload", b"meta-0");
+        b.push_block(b"", b"meta-empty");
+        b.push_block(&[0xAB; 1000], b"");
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_blocks_and_meta() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("seg.wgs");
+        atomic_write_bytes(&path, &build_sample()).expect("write");
+        let seg = Segment::open(&path).expect("open");
+        assert_eq!(seg.header_meta(), b"header-meta");
+        assert_eq!(seg.block_count(), 3);
+        assert_eq!(seg.block_meta(0), b"meta-0");
+        assert_eq!(seg.block_meta(1), b"meta-empty");
+        assert_eq!(seg.read_block(0).expect("block 0"), b"first block payload");
+        assert_eq!(seg.read_block(1).expect("block 1"), b"");
+        assert_eq!(seg.read_block(2).expect("block 2"), vec![0xAB; 1000]);
+        assert!(seg.read_block(3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_fails_open() {
+        let dir = temp_dir("trunc");
+        let bytes = build_sample();
+        let path = dir.join("seg.wgs");
+        for len in 0..bytes.len() {
+            atomic_write_bytes(&path, &bytes[..len]).expect("write");
+            assert!(Segment::open(&path).is_err(), "truncation to {len} bytes opened");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught_at_open_or_read() {
+        let dir = temp_dir("flip");
+        let bytes = build_sample();
+        let path = dir.join("seg.wgs");
+        for i in 0..bytes.len() {
+            let mut broken = bytes.clone();
+            broken[i] ^= 1 << (i % 8);
+            atomic_write_bytes(&path, &broken).expect("write");
+            match Segment::open(&path) {
+                Err(_) => {}
+                Ok(seg) => {
+                    let damaged = (0..seg.block_count()).any(|b| seg.read_block(b).is_err());
+                    assert!(damaged, "flip at byte {i} went undetected");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let dir = temp_dir("empty");
+        let path = dir.join("seg.wgs");
+        atomic_write_bytes(&path, &SegmentBuilder::new(b"").finish()).expect("write");
+        let seg = Segment::open(&path).expect("open");
+        assert_eq!(seg.block_count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot() {
+        let dir = temp_dir("crc");
+        let path = dir.join("blob");
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        atomic_write_bytes(&path, &data).expect("write");
+        let mut f = File::open(&path).expect("open");
+        assert_eq!(crc32_reader(&mut f, data.len() as u64).expect("crc"), crc32(&data));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,7 +18,7 @@
 //! * `SyncDaemon` checkpoints on policy, flushes a final checkpoint on
 //!   shutdown, and records (never panics on) an unwritable path.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -475,4 +475,162 @@ fn metadata_faults_fail_sync_cleanly_and_tokens_survive() {
     wg.attach(healthy);
     assert!(!wg.sync().unwrap().is_noop());
     assert!(wg.sync().unwrap().is_noop());
+}
+
+// ---------------------------------------------------------------------
+// Paged-segment chaos: torn block writes and media rot (ISSUE 9).
+// ---------------------------------------------------------------------
+
+/// Two paged generations of the same corpus shape: directories `old_dir`
+/// and `new_dir` each hold a matching (manifest, segment) pair, plus the
+/// rankings each generation serves.
+struct PagedGenerations {
+    config: WarpGateConfig,
+    connector: Arc<CdwConnector>,
+    old_dir: PathBuf,
+    new_dir: PathBuf,
+    old_rank: Vec<JoinCandidate>,
+    new_rank: Vec<JoinCandidate>,
+    query: ColumnRef,
+}
+
+fn paged_generations(tag: &str) -> PagedGenerations {
+    // One shard and one-row blocks: a single segment file whose every row
+    // is its own block, so torn writes can tear *between* blocks.
+    let config = WarpGateConfig { dim: 64, threads: 1, ..Default::default() }
+        .with_shards(1)
+        .with_block_rows(1);
+    let c = Arc::new(CdwConnector::new(small_warehouse(tag), CdwConfig::free()));
+    let wg = WarpGate::with_backend(config, c.clone());
+    wg.index_warehouse().unwrap();
+    let old_dir = tmp_dir(&format!("{tag}-gen-old"));
+    wg.save_paged(&old_dir).unwrap();
+    mutate_table_b(&c);
+    wg.sync().unwrap();
+    let new_dir = tmp_dir(&format!("{tag}-gen-new"));
+    wg.save_paged(&new_dir).unwrap();
+
+    let query = ColumnRef::new("db", "a", "x");
+    let mut node = WarpGate::with_backend(config, c.clone());
+    node.load_paged(&old_dir).unwrap();
+    let old_rank = node.discover(&query, 3).unwrap().candidates;
+    node.load_paged(&new_dir).unwrap();
+    let new_rank = node.discover(&query, 3).unwrap().candidates;
+    assert_ne!(old_rank, new_rank, "generations must be distinguishable by ranking");
+    PagedGenerations { config, connector: c, old_dir, new_dir, old_rank, new_rank, query }
+}
+
+/// A scratch paged directory holding `manifest_from`'s manifest with the
+/// given segment bytes (or no segment file at all).
+fn stage_paged(dir: &Path, manifest_from: &Path, seg: Option<&[u8]>) {
+    std::fs::copy(
+        manifest_from.join(warpgate_core::persist::PAGED_MANIFEST),
+        dir.join(warpgate_core::persist::PAGED_MANIFEST),
+    )
+    .unwrap();
+    let seg_path = dir.join("seg-0.seg");
+    match seg {
+        Some(bytes) => std::fs::write(&seg_path, bytes).unwrap(),
+        None => {
+            let _ = std::fs::remove_file(&seg_path);
+        }
+    }
+}
+
+#[test]
+fn torn_segment_writes_never_expose_a_partial_block_set() {
+    let fx = paged_generations("seg-torn");
+    let old_seg = std::fs::read(fx.old_dir.join("seg-0.seg")).unwrap();
+    let new_seg = std::fs::read(fx.new_dir.join("seg-0.seg")).unwrap();
+    let dir = tmp_dir("seg-torn-live");
+    let torn = TornWriter::new(Some(old_seg.clone()), new_seg.clone());
+
+    for state in torn.crash_states() {
+        // Map the checkpoint-rotation state onto the segment file: what
+        // the publish path (`<dir>/seg-0.seg`) holds in that state, with
+        // the manifest generation it was sealed against.
+        let (seg, manifest_dir, want) = match &state.primary {
+            Some(bytes) if bytes == &new_seg => {
+                (Some(&new_seg[..]), &fx.new_dir, Some(&fx.new_rank))
+            }
+            Some(bytes) => (Some(&bytes[..]), &fx.old_dir, Some(&fx.old_rank)),
+            None => (None, &fx.old_dir, None),
+        };
+        stage_paged(&dir, manifest_dir, seg);
+        let mut node = WarpGate::with_backend(fx.config, fx.connector.clone());
+        match (node.load_paged(&dir), want) {
+            (Ok(()), Some(rank)) => {
+                let got = node.discover(&fx.query, 3).unwrap().candidates;
+                assert_eq!(&got, rank, "{}: must serve a complete generation", state.label);
+            }
+            (Err(e), None) => {
+                // The mid-rotation window (publish path momentarily
+                // absent): a typed error, never a guess.
+                assert!(matches!(e, StoreError::SnapshotCorrupt(_)), "{}: {e}", state.label);
+                assert_eq!(node.len(), 0, "{}: no partial state", state.label);
+            }
+            (Ok(()), None) => panic!("{}: loaded with no published segment", state.label),
+            (Err(e), Some(_)) => panic!("{}: complete generation must load: {e}", state.label),
+        }
+    }
+
+    // An in-place torn write (no atomic rename underneath, or a filesystem
+    // that reorders data vs rename): the publish path itself holds a bare
+    // prefix of the new segment. The directory frame is written last and
+    // validated first, so every prefix must fail at open — a subset of the
+    // new blocks may never masquerade as a complete set.
+    for cut in (0..new_seg.len()).step_by(41).chain([new_seg.len() - 1]) {
+        stage_paged(&dir, &fx.new_dir, Some(&new_seg[..cut]));
+        let mut node = WarpGate::with_backend(fx.config, fx.connector.clone());
+        let err = node.load_paged(&dir).unwrap_err();
+        assert!(
+            matches!(err, StoreError::SnapshotCorrupt(_)),
+            "segment prefix {cut}: unexpected error class {err}"
+        );
+        assert_eq!(node.len(), 0, "segment prefix {cut}: partial state installed");
+    }
+
+    for d in [&fx.old_dir, &fx.new_dir, &dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn bit_flipped_segments_fail_at_open_or_first_read_never_silently() {
+    let fx = paged_generations("seg-flip");
+    let new_seg = std::fs::read(fx.new_dir.join("seg-0.seg")).unwrap();
+    let dir = tmp_dir("seg-flip-live");
+    let torn = TornWriter::new(None, new_seg.clone());
+
+    for state in torn.bit_flip_states() {
+        let flipped = state.primary.as_ref().expect("flip states publish a primary");
+        stage_paged(&dir, &fx.new_dir, Some(flipped));
+        let mut node = WarpGate::with_backend(fx.config, fx.connector.clone());
+        match node.load_paged(&dir) {
+            Err(e) => {
+                // Metadata rot: the segment's own checksums reject it at
+                // open, before any state installs.
+                assert!(matches!(e, StoreError::SnapshotCorrupt(_)), "{}: {e}", state.label);
+                assert_eq!(node.len(), 0, "{}: no partial state", state.label);
+            }
+            Ok(()) => {
+                // Payload rot: lazy loading means open can't see it, so
+                // the block CRC must refuse the read — or the flipped
+                // block is provably never consulted and the ranking is
+                // exactly the sealed generation's. Silently serving an
+                // altered vector is the one forbidden outcome.
+                let label = state.label.clone();
+                let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    node.discover(&fx.query, 3).unwrap().candidates
+                }));
+                if let Ok(candidates) = got {
+                    assert_eq!(candidates, fx.new_rank, "{label}: flipped payload served");
+                }
+            }
+        }
+    }
+
+    for d in [&fx.old_dir, &fx.new_dir, &dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
 }

@@ -361,3 +361,76 @@ fn legacy_snapshot_loads_into_the_default_namespace() {
         "all-default contents must keep writing the v1 frame"
     );
 }
+
+#[test]
+fn detaching_a_namespace_drops_its_paged_tier() {
+    // ISSUE 9 extension of the stale-reattach guarantee: when the index
+    // serves from sealed segments, `detach_named` must drop the departing
+    // namespace's disk-resident rows too — paged items were sealed from
+    // that backend's content, and serving them past the detach would be
+    // exactly the staleness the epoch guard exists to prevent.
+    let mut fed = Federation::stand_up("paged-detach");
+    fed.wg.index_warehouse().unwrap();
+    let total = fed.wg.len();
+
+    let dir =
+        std::env::temp_dir().join(format!("wg_federation_paged_detach_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    fed.wg.save_paged(&dir).unwrap();
+    fed.wg.load_paged(&dir).unwrap();
+    assert_eq!(fed.wg.cold_len(), total, "every restored row serves from the paged tier");
+
+    // Warm the block cache and pin that the lake namespace serves.
+    let q = ColumnRef::scoped(fed.cdw, "crm", "accounts", "name");
+    let lake_scope = DiscoverScope::include([fed.lake.bits()]);
+    let before = fed.wg.discover_scoped(&q, 5, &lake_scope).unwrap();
+    assert!(!before.candidates.is_empty(), "lake must serve before the detach");
+    assert!(fed.wg.block_cache_stats().resident_blocks > 0, "re-rank hydrated blocks");
+
+    // Detach the lake: its paged rows drop immediately.
+    let lake_name = fed.lake.name();
+    assert!(fed.wg.detach_named(&lake_name).is_some());
+    assert_eq!(fed.wg.cold_len(), total - 1, "the lake's cold row must drop");
+    assert_eq!(fed.wg.len(), total - 1);
+    let after = fed.wg.discover_scoped(&q, 5, &lake_scope).unwrap();
+    assert!(after.candidates.is_empty(), "a detached namespace's paged rows must not serve");
+
+    // A different warehouse under the same name: sync serves only the new
+    // content (hot), and the old sealed rows stay gone.
+    let mut replacement = Warehouse::new("lake2");
+    replacement.database_mut("exports").add_table(
+        Table::new(
+            "dump",
+            vec![Column::text(
+                "company_name",
+                (0..20).map(|i| format!("Fresh {i}")).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap(),
+    );
+    let id = fed
+        .wg
+        .attach_named(&lake_name, Arc::new(CdwConnector::new(replacement, CdwConfig::free())));
+    assert_eq!(id, fed.lake, "a name keeps its namespace across re-attach");
+    fed.wg.sync_backend(&lake_name).unwrap();
+    assert_eq!(fed.wg.cold_len(), total - 1, "re-synced content is hot, not paged");
+    let swapped = fed.wg.discover_scoped(&q, 5, &lake_scope).unwrap();
+    assert!(
+        swapped.candidates.iter().all(|c| c.reference.column == "company_name"),
+        "only the replacement's rows may serve: {swapped:?}"
+    );
+    assert_ne!(flat(&swapped.candidates), flat(&before.candidates), "nothing stale survives");
+
+    // Detach the remaining sealed namespaces: the paged tier drains
+    // completely — segments retire and their cached blocks evict.
+    assert!(fed.wg.detach_named(&fed.cdw.name()).is_some());
+    assert!(fed.wg.detach_named(&fed.remote.name()).is_some());
+    assert_eq!(fed.wg.cold_len(), 0, "no cold rows may outlive their backends");
+    assert_eq!(fed.wg.cold_segment_count(), 0, "emptied segments must retire");
+    assert_eq!(
+        fed.wg.block_cache_stats().resident_blocks,
+        0,
+        "retired segments must evict their cache-resident blocks"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
