@@ -1,0 +1,305 @@
+//! Overload-shedding bench (ISSUE 10): the graceful-degradation curve.
+//!
+//! One admission slot (`admission_cap: 1`) serves a warehouse whose every
+//! scan stalls 2ms of *real* wall-clock (`FaultPlan::hang`), so service
+//! time is stall-dominated and stable even on the 1-core CI box. Client
+//! threads offering 1x/2x/8x the cap loop over the corpus queries; shed
+//! clients honor the `Overloaded` backoff hint. Per load level the bench
+//! records goodput (admitted queries/second), offered load, shed rate,
+//! and admitted/shed p99 latency — the shedding curve — and enforces the
+//! acceptance criteria in-process:
+//!
+//! * at 8x load, admitted p99 stays within 3x the unloaded p99;
+//! * goodput at 8x stays >= 80% of the unloaded (1x) rate;
+//! * shed requests fail fast — typed `Overloaded`, never a hang past the
+//!   bounded queue wait;
+//! * admitted answers under load are bit-identical to the unloaded run;
+//! * shed requests never reach the backend (no partial bills).
+//!
+//! `WG_BENCH_QUICK=1` shrinks the windows and relaxes the *statistical*
+//! bounds (sub-second samples on a shared runner are noisy); the
+//! structural asserts — typed sheds, billing, bit-identical answers —
+//! hold in both modes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use warpgate_core::{JoinCandidate, QueryOptions, WarpGate, WarpGateConfig};
+use wg_bench::xs_fixture;
+use wg_store::{BackendHandle, ColumnRef, FaultInjector, FaultPlan, StoreError};
+
+/// Real stall per scan — the synthetic "warehouse round-trip".
+const STALL_MS: u64 = 2;
+const CAP: usize = 1;
+const QUEUE: usize = 1;
+const WAIT_MS: u64 = 50;
+const RETRY_MS: u64 = 2;
+
+/// Nearest-rank percentile (sorts in place).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN bench sample"));
+    let idx = ((samples.len() as f64 - 1.0) * p).ceil() as usize;
+    samples[idx]
+}
+
+struct LoadResult {
+    threads: usize,
+    elapsed: f64,
+    admitted: u64,
+    shed: u64,
+    admitted_p99: f64,
+    shed_p99: f64,
+    max_latency: f64,
+}
+
+impl LoadResult {
+    fn goodput(&self) -> f64 {
+        self.admitted as f64 / self.elapsed
+    }
+    fn offered(&self) -> f64 {
+        (self.admitted + self.shed) as f64 / self.elapsed
+    }
+}
+
+/// Offer `threads`x the admission cap for `window`: each thread loops
+/// over the queries, recording per-request latency; a shed request backs
+/// off for the server's hinted interval (which also keeps shed spinning
+/// from starving the admitted request's CPU on a 1-core box). The first
+/// admitted answer per query lands in `witness` for the bit-identical
+/// comparison.
+fn run_load(
+    wg: &WarpGate,
+    queries: &[ColumnRef],
+    threads: usize,
+    window: Duration,
+    witness: &Mutex<HashMap<usize, Vec<JoinCandidate>>>,
+) -> LoadResult {
+    let stop = AtomicBool::new(false);
+    let admitted_lat: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let shed_lat: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stop = &stop;
+            let admitted_lat = &admitted_lat;
+            let shed_lat = &shed_lat;
+            scope.spawn(move || {
+                let mut mine_ok = Vec::new();
+                let mut mine_shed = Vec::new();
+                let mut i = t; // stagger starting offsets
+                while !stop.load(Ordering::Relaxed) {
+                    let qi = i % queries.len();
+                    i += 1;
+                    let sw = Instant::now();
+                    match wg.discover_opts(&queries[qi], 10, &QueryOptions::default()) {
+                        Ok(d) => {
+                            mine_ok.push(sw.elapsed().as_secs_f64());
+                            witness.lock().unwrap().entry(qi).or_insert(d.candidates);
+                        }
+                        Err(StoreError::Overloaded { retry_after_ms }) => {
+                            mine_shed.push(sw.elapsed().as_secs_f64());
+                            std::thread::sleep(Duration::from_millis(retry_after_ms));
+                        }
+                        Err(e) => panic!("only typed sheds may fail a request: {e:?}"),
+                    }
+                }
+                admitted_lat.lock().unwrap().extend(mine_ok);
+                shed_lat.lock().unwrap().extend(mine_shed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut admitted = admitted_lat.into_inner().unwrap();
+    let mut shed = shed_lat.into_inner().unwrap();
+    let max_latency = admitted.iter().chain(shed.iter()).copied().fold(0.0f64, f64::max);
+    LoadResult {
+        threads,
+        elapsed,
+        admitted: admitted.len() as u64,
+        shed: shed.len() as u64,
+        admitted_p99: percentile(&mut admitted, 0.99),
+        shed_p99: if shed.is_empty() { 0.0 } else { percentile(&mut shed, 0.99) },
+        max_latency,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("WG_BENCH_QUICK").is_ok();
+    let window = if quick { Duration::from_millis(400) } else { Duration::from_secs(2) };
+    let (p99_limit, goodput_floor) = if quick { (10.0, 0.3) } else { (3.0, 0.8) };
+
+    let (corpus, connector) = xs_fixture();
+    let queries: Vec<ColumnRef> = corpus.queries.iter().take(16).cloned().collect();
+    assert!(!queries.is_empty(), "corpus has no queries");
+
+    // Index fast against the raw connector, then serve through the
+    // stalling wrapper: every *serving* scan blocks STALL_MS for real.
+    // The cache is off so every admitted discover pays exactly one scan —
+    // which is what makes "shed requests bill nothing" falsifiable.
+    let wg = WarpGate::with_backend(
+        WarpGateConfig {
+            cache_capacity: 0,
+            threads: 1,
+            admission_cap: CAP,
+            admission_queue: QUEUE,
+            admission_wait_ms: WAIT_MS,
+            admission_retry_after_ms: RETRY_MS,
+            ..Default::default()
+        },
+        connector.clone(),
+    );
+    wg.index_warehouse().expect("indexing");
+    let slow: BackendHandle =
+        Arc::new(FaultInjector::new(connector.clone(), FaultPlan::hang(STALL_MS as f64 / 1e3)));
+    wg.attach(slow);
+
+    // The unloaded reference answers, computed sequentially (no
+    // contention, every request admitted).
+    let control: Vec<Vec<JoinCandidate>> =
+        queries.iter().map(|q| wg.discover(q, 10).expect("control discover").candidates).collect();
+
+    let mut results: Vec<LoadResult> = Vec::new();
+    let mut identical_checks = 0usize;
+    for threads in [1usize, 2, 8] {
+        let witness = Mutex::new(HashMap::new());
+        let before = connector.costs();
+        let r = run_load(&wg, &queries, threads, window, &witness);
+        assert_eq!(
+            connector.costs().since(&before).requests,
+            r.admitted,
+            "only admitted requests may bill scans at {threads} threads"
+        );
+        for (qi, cands) in witness.into_inner().unwrap() {
+            assert_eq!(
+                cands, control[qi],
+                "admitted answers under {threads}-thread load must be bit-identical to the \
+                 unloaded run ({})",
+                queries[qi]
+            );
+            identical_checks += 1;
+        }
+        println!(
+            "bench: overload_shedding/load_{threads}x ... goodput {:.0}/s, offered {:.0}/s, shed {} ({:.0}%), admitted p99 {:.2}ms, shed p99 {:.2}ms",
+            r.goodput(),
+            r.offered(),
+            r.shed,
+            100.0 * r.shed as f64 / (r.admitted + r.shed).max(1) as f64,
+            r.admitted_p99 * 1e3,
+            r.shed_p99 * 1e3,
+        );
+        results.push(r);
+    }
+
+    // The acceptance criteria, enforced where the numbers are minted.
+    let unloaded = &results[0];
+    let loaded = &results[2];
+    assert_eq!(unloaded.shed, 0, "a single sequential caller can never exceed cap 1");
+    assert!(loaded.shed > 0, "8 callers over cap 1 must shed");
+    let p99_ratio = loaded.admitted_p99 / unloaded.admitted_p99.max(1e-9);
+    assert!(
+        p99_ratio <= p99_limit,
+        "admitted p99 degraded {p99_ratio:.2}x at 8x load (limit {p99_limit}x): \
+         {:.2}ms vs {:.2}ms unloaded",
+        loaded.admitted_p99 * 1e3,
+        unloaded.admitted_p99 * 1e3,
+    );
+    let goodput_fraction = loaded.goodput() / unloaded.goodput().max(1e-9);
+    assert!(
+        goodput_fraction >= goodput_floor,
+        "goodput collapsed to {:.0}% of the unloaded rate at 8x load (floor {:.0}%)",
+        goodput_fraction * 100.0,
+        goodput_floor * 100.0,
+    );
+    // Fail fast, not hang: no shed outlived the bounded queue wait by more
+    // than a scheduler margin, and no request of any kind hung.
+    assert!(
+        loaded.shed_p99 <= (WAIT_MS as f64 / 1e3) + 0.05,
+        "shed requests must fail fast, saw p99 {:.1}ms",
+        loaded.shed_p99 * 1e3,
+    );
+    for r in &results {
+        assert!(
+            r.max_latency < 1.0,
+            "no request may hang: {:.3}s at {} threads",
+            r.max_latency,
+            r.threads
+        );
+    }
+    assert!(identical_checks > 0, "the bit-identical comparison must actually run");
+    println!(
+        "bench: overload_shedding/acceptance ... p99 ratio {p99_ratio:.2}x (limit {p99_limit}x), goodput {:.0}% (floor {:.0}%), {identical_checks} bit-identical answers",
+        goodput_fraction * 100.0,
+        goodput_floor * 100.0,
+    );
+
+    let stats = wg.admission_stats().expect("admission is on");
+    let loads_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"threads": {}, "offered_qps": {:.1}, "goodput_qps": {:.1}, "shed": {}, "shed_fraction": {:.4}, "admitted_p99_ms": {:.3}, "shed_p99_ms": {:.3}, "max_latency_ms": {:.3}}}"#,
+                r.threads,
+                r.offered(),
+                r.goodput(),
+                r.shed,
+                r.shed as f64 / (r.admitted + r.shed).max(1) as f64,
+                r.admitted_p99 * 1e3,
+                r.shed_p99 * 1e3,
+                r.max_latency * 1e3,
+            )
+        })
+        .collect();
+    let section = format!(
+        r#"{{
+    "bench": "overload_shedding",
+    "generated_by": "cargo bench --bench overload_shedding",
+    "quick_mode": {quick},
+    "config": {{
+      "admission_cap": {CAP},
+      "admission_queue": {QUEUE},
+      "admission_wait_ms": {WAIT_MS},
+      "retry_after_ms": {RETRY_MS},
+      "scan_stall_ms": {STALL_MS},
+      "queries": {nq},
+      "window_secs": {window:.3},
+      "hardware_threads": {hw}
+    }},
+    "shedding_curve": [
+      {loads}
+    ],
+    "acceptance": {{
+      "admitted_p99_ratio_at_8x": {p99_ratio:.3},
+      "admitted_p99_limit": {p99_limit},
+      "goodput_fraction_at_8x": {goodput_fraction:.3},
+      "goodput_floor": {goodput_floor},
+      "bit_identical_answers": {identical_checks}
+    }},
+    "admission_stats": {{
+      "admitted": {admitted},
+      "queued_admitted": {queued_admitted},
+      "shed_queue_full": {shed_queue_full},
+      "shed_timeout": {shed_timeout}
+    }}
+  }}"#,
+        nq = queries.len(),
+        window = window.as_secs_f64(),
+        hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        loads = loads_json.join(",\n      "),
+        admitted = stats.admitted,
+        queued_admitted = stats.queued_admitted,
+        shed_queue_full = stats.shed_queue_full,
+        shed_timeout = stats.shed_timeout,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    if quick {
+        println!("bench: overload_shedding ... quick mode, not rewriting {path}");
+    } else {
+        wg_bench::merge_bench_section(path, "overload_shedding", &section);
+        println!("bench: overload_shedding ... section merged into {path}");
+    }
+}

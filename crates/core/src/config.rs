@@ -52,6 +52,19 @@ pub struct WarpGateConfig {
     /// the budget evict LRU; 0 means unbounded (everything read stays
     /// resident — the all-in-RAM behavior).
     pub block_cache_bytes: usize,
+    /// Admission-control concurrency cap across the public entry points
+    /// (`discover*`, `joinability`, `sync*`). 0 (the default) disables
+    /// admission control entirely — no cap, no queue, no shedding.
+    pub admission_cap: usize,
+    /// Requests allowed to wait for an admission slot beyond the cap
+    /// (only meaningful with `admission_cap > 0`).
+    pub admission_queue: usize,
+    /// Longest a queued request waits for admission before shedding with
+    /// the retryable `Overloaded`, milliseconds.
+    pub admission_wait_ms: u64,
+    /// Backoff hint carried in shed requests' `Overloaded` errors,
+    /// milliseconds.
+    pub admission_retry_after_ms: u64,
     /// Master seed (embedding space + LSH hyperplanes).
     pub seed: u64,
 }
@@ -72,6 +85,10 @@ impl Default for WarpGateConfig {
             cache_capacity: 4096,
             block_rows: 64,
             block_cache_bytes: 4 << 20,
+            admission_cap: 0,
+            admission_queue: 8,
+            admission_wait_ms: 100,
+            admission_retry_after_ms: 50,
             seed: 0x5747_4154,
         }
     }
@@ -117,6 +134,16 @@ impl WarpGateConfig {
     /// (0 means unbounded).
     pub fn with_block_cache_bytes(self, block_cache_bytes: usize) -> Self {
         Self { block_cache_bytes, ..self }
+    }
+
+    /// Same configuration with admission control enabled: at most `cap`
+    /// concurrent entry-point calls, up to `queue` more waiting at most
+    /// `wait_ms` milliseconds before shedding with the retryable
+    /// `Overloaded`. `cap` must be positive (disable by not calling
+    /// this — the default config has admission off).
+    pub fn with_admission(self, cap: usize, queue: usize, wait_ms: u64) -> Self {
+        assert!(cap > 0, "admission cap must be positive");
+        Self { admission_cap: cap, admission_queue: queue, admission_wait_ms: wait_ms, ..self }
     }
 
     /// Effective worker-thread count.
@@ -199,5 +226,19 @@ mod tests {
     #[should_panic(expected = "block_rows must be positive")]
     fn zero_block_rows_rejected() {
         WarpGateConfig::default().with_block_rows(0);
+    }
+
+    #[test]
+    fn admission_off_by_default_and_builder_enables() {
+        let c = WarpGateConfig::default();
+        assert_eq!(c.admission_cap, 0, "admission control must be opt-in");
+        let on = c.with_admission(2, 4, 75);
+        assert_eq!((on.admission_cap, on.admission_queue, on.admission_wait_ms), (2, 4, 75));
+    }
+
+    #[test]
+    #[should_panic(expected = "admission cap must be positive")]
+    fn zero_admission_cap_rejected() {
+        WarpGateConfig::default().with_admission(0, 4, 75);
     }
 }

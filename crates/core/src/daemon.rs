@@ -99,6 +99,16 @@ pub struct SyncDaemonConfig {
     pub schedule: SyncSchedule,
     /// Durable snapshot policy; `None` (the default) never checkpoints.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Per-sync time budget; `None` (the default) lets a sync run as long
+    /// as it takes. With a budget, each backend sync runs under a
+    /// cooperative [`wg_util::Deadline`]: expiry stops it *between* column
+    /// scans (zero further scans billed, nothing recorded — the next tick
+    /// retries the same change set), fails the sync with
+    /// `DeadlineExceeded`, and counts in
+    /// [`DaemonReport::deadline_exceeded`]. A slow warehouse can then
+    /// never pin the refresh loop past its interval; the breaker treats
+    /// the timeout as an ordinary failure.
+    pub tick_deadline: Option<Duration>,
 }
 
 impl Default for SyncDaemonConfig {
@@ -109,6 +119,7 @@ impl Default for SyncDaemonConfig {
             open_intervals: 4,
             schedule: SyncSchedule::All,
             checkpoint: None,
+            tick_deadline: None,
         }
     }
 }
@@ -129,6 +140,12 @@ impl SyncDaemonConfig {
     pub fn with_checkpoint(self, path: impl Into<PathBuf>, every_n_syncs: u32) -> Self {
         let policy = CheckpointPolicy { path: path.into(), every_n_syncs: every_n_syncs.max(1) };
         Self { checkpoint: Some(policy), ..self }
+    }
+
+    /// Same config with a per-sync time budget (see
+    /// [`Self::tick_deadline`]).
+    pub fn with_tick_deadline(self, budget: Duration) -> Self {
+        Self { tick_deadline: Some(budget), ..self }
     }
 }
 
@@ -239,6 +256,9 @@ pub struct DaemonReport {
     pub checkpoints_written: u64,
     /// Checkpoints that failed to write; the error is in `last_error`.
     pub checkpoint_failures: u64,
+    /// Syncs that ran out of their [`SyncDaemonConfig::tick_deadline`]
+    /// budget (a subset of `syncs_failed`; always 0 without a budget).
+    pub deadline_exceeded: u64,
     /// Message of the most recent sync error, if any ever occurred.
     pub last_error: Option<String>,
     /// The most recent successful sync's report.
@@ -493,7 +513,12 @@ fn tick(shared: &Shared) {
             continue;
         }
 
-        let outcome = shared.wg.sync_backend_id(id);
+        let outcome = match shared.config.tick_deadline {
+            Some(budget) => {
+                shared.wg.sync_backend_id_deadline(id, wg_util::Deadline::within(budget))
+            }
+            None => shared.wg.sync_backend_id(id),
+        };
 
         let mut guard = shared.inner.lock().expect("daemon state lock");
         let inner = &mut *guard;
@@ -520,6 +545,9 @@ fn tick(shared: &Shared) {
                 report.last_report = Some(sync);
             }
             Err(e) => {
+                if matches!(e, wg_store::StoreError::DeadlineExceeded { .. }) {
+                    report.deadline_exceeded += 1;
+                }
                 let message = e.to_string();
                 report.syncs_failed += 1;
                 breaker.stats.syncs_failed += 1;
@@ -592,6 +620,7 @@ mod tests {
             open_intervals: 2,
             schedule: SyncSchedule::All,
             checkpoint: None,
+            tick_deadline: None,
         }
     }
 
@@ -676,6 +705,26 @@ mod tests {
         let r = wait_for(&daemon, |r| r.circuit_opened >= 2);
         assert_eq!(r.circuit_closed, 0);
         assert!(r.syncs_failed >= 3, "threshold failures plus a failed probe: {r:?}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn tick_deadline_fails_the_sync_and_counts_separately() {
+        let c = connector();
+        let backend: BackendHandle = c;
+        let wg = Arc::new(WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() },
+            backend,
+        ));
+        // A zero budget is already expired at the first pre-scan check:
+        // the change-set sync must fail typed, bill no scans, and record
+        // nothing (every later tick retries the same change set).
+        let daemon =
+            SyncDaemon::spawn(wg.clone(), fast_config().with_tick_deadline(Duration::ZERO));
+        let r = wait_for(&daemon, |r| r.deadline_exceeded >= 2);
+        assert_eq!(r.syncs_ok, 0, "an expired budget never completes a change-set sync");
+        assert!(r.last_error.as_deref().unwrap_or("").contains("deadline exceeded"));
+        assert_eq!(wg.len(), 0, "nothing was indexed under the expired budget");
         daemon.shutdown();
     }
 

@@ -45,6 +45,15 @@
 //! scope with `wg_lsh::DiscoverScope`, and per-backend sync/cost slices
 //! surface through [`SyncReport::per_backend`].
 //!
+//! Overload resilience (§12 of DESIGN.md): the [`admission`] module adds
+//! a concurrency cap with a bounded FIFO wait queue
+//! ([`AdmissionController`]), per-tenant token-bucket quotas over billed
+//! scans/bytes ([`QuotaPolicy`]), and cooperative request deadlines
+//! (`wg_util::Deadline`) checked at every pipeline phase boundary — all
+//! wired through [`QueryOptions`] into `discover`/`discover_batch`/
+//! `joinability`/`sync`, with opt-in degraded (warm-cache-only) serving
+//! under admission pressure, always flagged in [`QueryTiming::degraded`].
+//!
 //! Durability (§10 of DESIGN.md): snapshots are checksummed and written
 //! atomically, persisted sync tokens let a restarted node's first `sync()`
 //! bill only genuinely changed tables, [`Checkpointer`] rotates two
@@ -52,6 +61,7 @@
 //! checkpoint crashing at every byte offset so the recovery guarantees are
 //! machine-checked rather than asserted.
 
+pub mod admission;
 pub mod cache;
 pub mod config;
 pub mod daemon;
@@ -60,6 +70,10 @@ pub mod persist;
 pub mod system;
 pub mod timing;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, QuotaPolicy, TenantId,
+    TenantQuota,
+};
 pub use cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 pub use config::WarpGateConfig;
 pub use daemon::{
@@ -70,5 +84,5 @@ pub use durability::{
     atomic_write, stream_snapshot, Checkpointer, CrashState, RecoveryReport, RecoverySource,
     TornWriter,
 };
-pub use system::{Discovery, IndexReport, JoinCandidate, SyncReport, WarpGate};
+pub use system::{Discovery, IndexReport, JoinCandidate, QueryOptions, SyncReport, WarpGate};
 pub use timing::QueryTiming;

@@ -18,9 +18,13 @@ use wg_store::{
     BackendHandle, BackendId, BackendRegistry, ColumnRef, CostSnapshot, KeyNorm, StoreError,
     StoreResult, Table, TableMeta, TableRef, WarehouseBackend,
 };
+use wg_util::deadline::{Deadline, Phase};
 use wg_util::timing::Stopwatch;
 use wg_util::FxHashMap;
 
+use crate::admission::{
+    AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, QuotaPolicy, TenantId,
+};
 use crate::cache::{CacheStats, EmbeddingCache, EmbeddingKey};
 use crate::config::WarpGateConfig;
 use crate::timing::QueryTiming;
@@ -54,6 +58,34 @@ pub struct Discovery {
     pub timing: QueryTiming,
     /// LSH candidate-set diagnostics.
     pub outcome: SearchOutcome,
+}
+
+/// Per-request serving options for the overload-resilient entry points
+/// ([`WarpGate::discover_opts`], [`WarpGate::discover_batch_opts`],
+/// [`WarpGate::joinability_opts`]) — DESIGN.md §12.
+///
+/// The default (`QueryOptions::default()`) reproduces the legacy calls
+/// exactly: unscoped, no deadline, anonymous tenant, no degraded serving.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Which backend namespaces the lookup may answer from.
+    pub scope: DiscoverScope,
+    /// Cooperative request budget, checked at every pipeline phase
+    /// boundary (validate → scan → embed → candidate-gen → re-rank →
+    /// block-read). An expired deadline fails with
+    /// [`StoreError::DeadlineExceeded`] *before* the next billed scan or
+    /// cold block read — never mid-phase.
+    pub deadline: Deadline,
+    /// Tenant the request bills to, for [`QuotaPolicy`] enforcement.
+    /// `None` is anonymous: never quota-checked, never debited.
+    pub tenant: Option<TenantId>,
+    /// When admission control sheds this request, opt into a **degraded**
+    /// warm-cache-only answer instead of the `Overloaded` error: if the
+    /// query embedding is cached, the index lookup (which bills no scans)
+    /// still runs and the result is flagged [`QueryTiming::degraded`]. On
+    /// a cache miss the `Overloaded` error propagates — degradation is
+    /// opt-in and never silent, but it is also never a cold scan.
+    pub allow_degraded: bool,
 }
 
 /// Summary of one indexing run.
@@ -223,6 +255,15 @@ pub struct WarpGate {
     /// segment [`Self::load_paged`] attaches so the budget bounds the
     /// whole system's cold resident set, not one segment's.
     block_cache: Arc<wg_lsh::BlockCache>,
+    /// Concurrency gate over the public entry points (`discover*`,
+    /// `joinability*`, `sync*`), present only when
+    /// [`WarpGateConfig::admission_cap`] is positive. `None` = admission
+    /// off, zero overhead on the legacy paths.
+    admission: Option<AdmissionController>,
+    /// Per-tenant token buckets over billed scans/bytes. Tenants without
+    /// a configured [`crate::TenantQuota`] are unlimited, so the policy
+    /// is inert until [`QuotaPolicy::set_quota`] is called.
+    quotas: QuotaPolicy,
 }
 
 impl WarpGate {
@@ -259,7 +300,39 @@ impl WarpGate {
             backends: BackendRegistry::new(),
             synced: RwLock::new(SyncState::default()),
             block_cache: wg_lsh::BlockCache::new(config.block_cache_bytes),
+            admission: (config.admission_cap > 0).then(|| {
+                AdmissionController::new(AdmissionConfig {
+                    cap: config.admission_cap,
+                    queue: config.admission_queue,
+                    max_wait: std::time::Duration::from_millis(config.admission_wait_ms),
+                    retry_after_ms: config.admission_retry_after_ms,
+                })
+            }),
+            quotas: QuotaPolicy::new(),
             config,
+        }
+    }
+
+    /// The per-tenant quota policy. Configure tenants with
+    /// [`QuotaPolicy::set_quota`]; enforcement happens on every
+    /// `*_opts` call that names a tenant.
+    pub fn quotas(&self) -> &QuotaPolicy {
+        &self.quotas
+    }
+
+    /// Admission-control counters and gauges, or `None` when admission is
+    /// off ([`WarpGateConfig::admission_cap`] == 0).
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats())
+    }
+
+    /// Acquire an admission slot for one entry-point call, or pass
+    /// through (`Ok(None)`) when admission is off. Shed requests fail
+    /// with the retryable [`StoreError::Overloaded`].
+    fn acquire_admission(&self) -> StoreResult<Option<AdmissionPermit<'_>>> {
+        match &self.admission {
+            None => Ok(None),
+            Some(a) => a.acquire().map(Some),
         }
     }
 
@@ -499,11 +572,25 @@ impl WarpGate {
     /// carries each backend's slice in [`SyncReport::per_backend`], so
     /// scan costs stay attributed to the namespace that billed them.
     pub fn sync(&self) -> StoreResult<SyncReport> {
+        self.sync_deadline(Deadline::none())
+    }
+
+    /// [`Self::sync`] under a cooperative deadline: the run checks the
+    /// budget before every column scan, so an expired deadline stops the
+    /// reconciliation *between* scans — zero further columns billed — and
+    /// fails with [`StoreError::DeadlineExceeded`]. Nothing is recorded
+    /// for the interrupted backend (tokens commit only after its scans
+    /// succeed), so the next sync retries the same change set.
+    ///
+    /// Counts against admission like every entry point (a long sync holds
+    /// one slot for its whole run).
+    pub fn sync_deadline(&self, deadline: Deadline) -> StoreResult<SyncReport> {
         let ids = self.require_attached()?;
+        let _permit = self.acquire_admission()?;
         let sw = Stopwatch::start();
         let mut total = SyncReport::default();
         for id in ids {
-            let one = self.sync_one(id)?;
+            let one = self.sync_one(id, deadline)?;
             total.absorb(id, one);
         }
         total.elapsed_secs = sw.elapsed_secs();
@@ -522,7 +609,18 @@ impl WarpGate {
 
     /// [`Self::sync_backend`] by interned id.
     pub fn sync_backend_id(&self, id: BackendId) -> StoreResult<SyncReport> {
-        self.sync_one(id)
+        self.sync_backend_id_deadline(id, Deadline::none())
+    }
+
+    /// [`Self::sync_backend_id`] under a cooperative deadline (see
+    /// [`Self::sync_deadline`] for the stop-between-scans contract).
+    pub fn sync_backend_id_deadline(
+        &self,
+        id: BackendId,
+        deadline: Deadline,
+    ) -> StoreResult<SyncReport> {
+        let _permit = self.acquire_admission()?;
+        self.sync_one(id, deadline)
     }
 
     /// Diff one namespace's version tokens and re-scan only its change
@@ -539,7 +637,7 @@ impl WarpGate {
     ///
     /// Scan cost (and the returned [`SyncReport::cost`]) is therefore
     /// proportional to the change set, not the warehouse.
-    fn sync_one(&self, id: BackendId) -> StoreResult<SyncReport> {
+    fn sync_one(&self, id: BackendId, deadline: Deadline) -> StoreResult<SyncReport> {
         let run_epoch = self.run_epoch(id);
         let backend = self.backend_for(id)?;
         let sw = Stopwatch::start();
@@ -598,7 +696,7 @@ impl WarpGate {
             to_record.push(meta);
         }
 
-        let indexed = self.index_refs(backend.as_ref(), to_index)?;
+        let indexed = self.index_refs_deadline(backend.as_ref(), to_index, deadline)?;
         // Tokens (fetched before the scans) are committed only now that
         // the scans succeeded — a failed sync records nothing, so the next
         // one retries the same change set.
@@ -641,6 +739,18 @@ impl WarpGate {
         backend: &dyn WarehouseBackend,
         refs: Vec<ColumnRef>,
     ) -> StoreResult<IndexReport> {
+        self.index_refs_deadline(backend, refs, Deadline::none())
+    }
+
+    /// [`Self::index_refs`] under a cooperative deadline: every worker
+    /// checks the budget before each `scan_column`, so expiry stops the
+    /// run between scans with zero further columns billed.
+    fn index_refs_deadline(
+        &self,
+        backend: &dyn WarehouseBackend,
+        refs: Vec<ColumnRef>,
+        deadline: Deadline,
+    ) -> StoreResult<IndexReport> {
         let sw = Stopwatch::start();
         let cost_before = backend.costs();
         let threads = self.config.effective_threads().min(refs.len().max(1));
@@ -679,8 +789,10 @@ impl WarpGate {
                         if abort.load(std::sync::atomic::Ordering::Relaxed) {
                             break;
                         }
-                        let item = backend
-                            .scan_column(&r, sample)
+                        let item = deadline
+                            .check(Phase::Scan)
+                            .map_err(deadline_err)
+                            .and_then(|()| backend.scan_column(&r, sample))
                             .map(|col| (r.clone(), self.embed_with_context(backend, &r, &col)));
                         if done_tx.send(item).is_err() {
                             break;
@@ -802,6 +914,30 @@ impl WarpGate {
         k: usize,
         scope: &DiscoverScope,
     ) -> StoreResult<Discovery> {
+        self.discover_opts(query, k, &QueryOptions { scope: scope.clone(), ..Default::default() })
+    }
+
+    /// [`Self::discover`] with full per-request serving options (§12):
+    /// scope, cooperative deadline, tenant quota billing, and opt-in
+    /// degraded serving under admission pressure. With default options
+    /// this is exactly [`Self::discover`].
+    ///
+    /// Request flow: deadline gate → tenant quota gate → validate →
+    /// admission (shed ⇒ `Overloaded`, or the degraded path when opted
+    /// in) → scan → embed → lookup, with the deadline re-checked at every
+    /// phase boundary. Quota debits are **post-paid**: the tenant is
+    /// billed the scans/bytes the backend actually metered for this call,
+    /// which may push its bucket negative (recovered by refill).
+    pub fn discover_opts(
+        &self,
+        query: &ColumnRef,
+        k: usize,
+        opts: &QueryOptions,
+    ) -> StoreResult<Discovery> {
+        opts.deadline.check(Phase::Validate).map_err(deadline_err)?;
+        if let Some(tenant) = opts.tenant {
+            self.quotas.admit(tenant)?;
+        }
         // Epoch before backend (see `run_epoch`): if an attach races this
         // query, the embedding we compute lands under the old epoch's
         // cache key, unreachable by post-attach lookups.
@@ -809,19 +945,90 @@ impl WarpGate {
         let backend = self.backend_for(query.backend)?;
         // Validate the target exists before paying for a scan.
         backend.validate_column(query)?;
-        self.discover_validated(&backend, epoch, query, k, scope)
+        let permit = match self.acquire_admission() {
+            Ok(p) => p,
+            Err(shed) => {
+                if opts.allow_degraded {
+                    if let Some(d) = self.discover_degraded(epoch, query, k, opts)? {
+                        return Ok(d);
+                    }
+                }
+                return Err(shed);
+            }
+        };
+        let cost_before = backend.costs();
+        let result =
+            self.discover_validated_deadline(&backend, epoch, query, k, &opts.scope, opts.deadline);
+        drop(permit);
+        if let Some(tenant) = opts.tenant {
+            // Billed even when the call failed mid-flight: scans the
+            // backend metered happened regardless of the outcome.
+            let delta = backend.costs().since(&cost_before);
+            self.quotas.debit(tenant, delta.requests, delta.bytes_scanned);
+        }
+        result
     }
 
-    /// [`Self::discover_scoped`] after validation — the shared body for
-    /// single queries and batch workers (which validate the whole batch up
-    /// front and must not re-pay a catalog lookup per query).
-    fn discover_validated(
+    /// The degraded (warm-cache-only) answer for a shed request that
+    /// opted in: if the query embedding is cached, run the index lookup —
+    /// which bills no scans and needs no admission slot — and flag the
+    /// result [`QueryTiming::degraded`]. `Ok(None)` = cache miss, the
+    /// caller propagates the original `Overloaded`.
+    fn discover_degraded(
+        &self,
+        epoch: u64,
+        query: &ColumnRef,
+        k: usize,
+        opts: &QueryOptions,
+    ) -> StoreResult<Option<Discovery>> {
+        let key = EmbeddingKey::new(
+            query,
+            self.config.sample,
+            self.config.seed,
+            self.config.context_weight,
+            epoch,
+        );
+        let Some(vector) = self.cache.get(&key) else {
+            return Ok(None);
+        };
+        let mut timing = QueryTiming {
+            backend: Some(query.backend),
+            cache_hit: true,
+            degraded: true,
+            ..QueryTiming::default()
+        };
+        if vector.is_zero() {
+            return Ok(Some(Discovery {
+                query: query.clone(),
+                candidates: Vec::new(),
+                timing,
+                outcome: SearchOutcome::default(),
+            }));
+        }
+        let (candidates, outcome, lookup_secs) =
+            self.search_vector_deadline(&vector, query, k, &opts.scope, opts.deadline)?;
+        timing.lookup_secs = lookup_secs;
+        timing.blocks_read = outcome.blocks_read as u64;
+        timing.blocks_pruned = outcome.blocks_pruned as u64;
+        Ok(Some(Discovery { query: query.clone(), candidates, timing, outcome }))
+    }
+
+    /// [`Self::discover_opts`] after validation and admission — the shared
+    /// body for single queries and batch workers (which validate the whole
+    /// batch up front and must not re-pay a catalog lookup per query). The
+    /// cooperative deadline is checked at each phase boundary: before the
+    /// billed scan, before embedding, and inside the lookup
+    /// (candidate-gen / re-rank / each cold block read). Expiry fails
+    /// with [`StoreError::DeadlineExceeded`] naming the phase that would
+    /// have run next.
+    fn discover_validated_deadline(
         &self,
         backend: &BackendHandle,
         epoch: u64,
         query: &ColumnRef,
         k: usize,
         scope: &DiscoverScope,
+        deadline: Deadline,
     ) -> StoreResult<Discovery> {
         let mut timing = QueryTiming { backend: Some(query.backend), ..QueryTiming::default() };
         let key = EmbeddingKey::new(
@@ -837,6 +1044,7 @@ impl WarpGate {
                 v
             }
             None => {
+                deadline.check(Phase::Scan).map_err(deadline_err)?;
                 let cost_before = backend.costs();
                 let sw = Stopwatch::start();
                 let column = backend.scan_column(query, self.config.sample)?;
@@ -845,6 +1053,7 @@ impl WarpGate {
                 timing.virtual_load_secs = cost_delta.virtual_secs;
                 timing.retries = cost_delta.retries;
 
+                deadline.check(Phase::Embed).map_err(deadline_err)?;
                 let sw = Stopwatch::start();
                 let vector = self.embed_with_context(backend.as_ref(), query, &column);
                 timing.embed_secs = sw.elapsed_secs();
@@ -863,7 +1072,8 @@ impl WarpGate {
                 outcome: SearchOutcome::default(),
             });
         }
-        let (candidates, outcome, lookup_secs) = self.search_vector(&vector, query, k, scope);
+        let (candidates, outcome, lookup_secs) =
+            self.search_vector_deadline(&vector, query, k, scope, deadline)?;
         timing.lookup_secs = lookup_secs;
         timing.blocks_read = outcome.blocks_read as u64;
         timing.blocks_pruned = outcome.blocks_pruned as u64;
@@ -904,6 +1114,30 @@ impl WarpGate {
         k: usize,
         scope: &DiscoverScope,
     ) -> StoreResult<Vec<Discovery>> {
+        self.discover_batch_opts(
+            queries,
+            k,
+            &QueryOptions { scope: scope.clone(), ..Default::default() },
+        )
+    }
+
+    /// [`Self::discover_batch`] with full serving options (§12). The whole
+    /// batch runs under **one** admission slot (a batch is one caller; the
+    /// cap bounds callers, not columns), the deadline is re-checked before
+    /// every per-query phase, and the named tenant is debited the batch's
+    /// total metered scans/bytes across every backend it touched. There is
+    /// no degraded fallback for batches — a shed batch fails whole with
+    /// `Overloaded` ([`QueryOptions::allow_degraded`] is ignored).
+    pub fn discover_batch_opts(
+        &self,
+        queries: &[ColumnRef],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> StoreResult<Vec<Discovery>> {
+        opts.deadline.check(Phase::Validate).map_err(deadline_err)?;
+        if let Some(tenant) = opts.tenant {
+            self.quotas.admit(tenant)?;
+        }
         // Resolve each involved namespace once, epoch before handle (see
         // `run_epoch`), then validate everything up front: one bad ref
         // fails the batch before any column is scanned (and billed).
@@ -918,13 +1152,37 @@ impl WarpGate {
         for q in queries {
             resolved[&q.backend].1.validate_column(q)?;
         }
+        let _permit = self.acquire_admission()?;
+        let cost_before: Vec<(BackendId, CostSnapshot)> =
+            resolved.iter().map(|(id, (_, b))| (*id, b.costs())).collect();
+        let result = self.discover_batch_resolved(queries, k, opts, &resolved);
+        if let Some(tenant) = opts.tenant {
+            // Post-paid like `discover_opts`, summed over every backend
+            // the batch scanned — failures included, for the same reason.
+            for (id, before) in &cost_before {
+                let delta = resolved[id].1.costs().since(before);
+                self.quotas.debit(tenant, delta.requests, delta.bytes_scanned);
+            }
+        }
+        result
+    }
+
+    /// The batch worker machinery, after resolution and validation.
+    fn discover_batch_resolved(
+        &self,
+        queries: &[ColumnRef],
+        k: usize,
+        opts: &QueryOptions,
+        resolved: &FxHashMap<BackendId, (u64, BackendHandle)>,
+    ) -> StoreResult<Vec<Discovery>> {
+        let (scope, deadline) = (&opts.scope, opts.deadline);
         let threads = self.config.effective_threads().min(queries.len().max(1));
         if threads <= 1 || queries.len() <= 1 {
             return queries
                 .iter()
                 .map(|q| {
                     let (epoch, backend) = &resolved[&q.backend];
-                    self.discover_validated(backend, *epoch, q, k, scope)
+                    self.discover_validated_deadline(backend, *epoch, q, k, scope, deadline)
                 })
                 .collect();
         }
@@ -952,7 +1210,7 @@ impl WarpGate {
                         return Ok(produced);
                     }
                     let (epoch, backend) = &resolved[&q.backend];
-                    match self.discover_validated(backend, *epoch, q, k, scope) {
+                    match self.discover_validated_deadline(backend, *epoch, q, k, scope, deadline) {
                         Ok(d) => out.push(d),
                         Err(e) => {
                             abort.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -1022,18 +1280,36 @@ impl WarpGate {
         k: usize,
         scope: &DiscoverScope,
     ) -> (Vec<JoinCandidate>, SearchOutcome, f64) {
+        self.search_vector_deadline(vector, query, k, scope, Deadline::none())
+            .expect("an unlimited deadline never expires")
+    }
+
+    /// [`Self::search_vector`] under a cooperative deadline, threaded into
+    /// the LSH lookup itself: candidate generation, re-rank, and every
+    /// paged-tier block fetch each check the budget first, so an expired
+    /// deadline never triggers another cold read.
+    fn search_vector_deadline(
+        &self,
+        vector: &wg_embed::Vector,
+        query: &ColumnRef,
+        k: usize,
+        scope: &DiscoverScope,
+        deadline: Deadline,
+    ) -> StoreResult<(Vec<JoinCandidate>, SearchOutcome, f64)> {
         let registry = self.registry.read();
         let exclude_same_table = self.config.exclude_same_table;
         let sw = Stopwatch::start();
-        let (hits, outcome) =
-            self.index.search_scoped_with_outcome(vector.as_slice(), k, scope, |id| {
+        let (hits, outcome) = self
+            .index
+            .search_scoped_deadline_with_outcome(vector.as_slice(), k, scope, deadline, |id| {
                 match registry.reference(id) {
                     // Tombstoned ids never match; the query column itself and
                     // (optionally) its table-mates are filtered out.
                     None => true,
                     Some(r) => r == query || (exclude_same_table && r.same_table(query)),
                 }
-            });
+            })
+            .map_err(deadline_err)?;
         let lookup_secs = sw.elapsed_secs();
         let candidates = hits
             .into_iter()
@@ -1041,7 +1317,7 @@ impl WarpGate {
                 registry.reference(id).map(|r| JoinCandidate { reference: r.clone(), score })
             })
             .collect();
-        (candidates, outcome, lookup_secs)
+        Ok((candidates, outcome, lookup_secs))
     }
 
     /// Execute the product interaction of Fig. 3 step 3 ("Add column via
@@ -1084,33 +1360,68 @@ impl WarpGate {
     /// backend). Embeds values only (no schema-context blend); embeddings
     /// come from (and feed) the cache under the value-only key.
     pub fn joinability(&self, a: &ColumnRef, b: &ColumnRef) -> StoreResult<f32> {
-        let va = self.scoped_value_embedding(a)?;
-        let vb = self.scoped_value_embedding(b)?;
+        self.joinability_opts(a, b, &QueryOptions::default())
+    }
+
+    /// [`Self::joinability`] with full serving options (§12): deadline
+    /// gate, tenant quota gate + post-paid debit (each ref bills its own
+    /// backend's metered delta), and one admission slot for the pair.
+    /// [`QueryOptions::scope`] and [`QueryOptions::allow_degraded`] are
+    /// irrelevant here (no lookup, no degraded variant) and ignored.
+    pub fn joinability_opts(
+        &self,
+        a: &ColumnRef,
+        b: &ColumnRef,
+        opts: &QueryOptions,
+    ) -> StoreResult<f32> {
+        opts.deadline.check(Phase::Validate).map_err(deadline_err)?;
+        if let Some(tenant) = opts.tenant {
+            self.quotas.admit(tenant)?;
+        }
+        let _permit = self.acquire_admission()?;
+        let va = self.scoped_value_embedding(a, opts)?;
+        let vb = self.scoped_value_embedding(b, opts)?;
         Ok(va.cosine(&vb))
     }
 
-    /// Resolve a ref's own namespace (epoch before handle) and compute its
-    /// value-only embedding.
-    fn scoped_value_embedding(&self, r: &ColumnRef) -> StoreResult<wg_embed::Vector> {
+    /// Resolve a ref's own namespace (epoch before handle), compute its
+    /// value-only embedding under the request's deadline, and debit the
+    /// request's tenant whatever the scan metered.
+    fn scoped_value_embedding(
+        &self,
+        r: &ColumnRef,
+        opts: &QueryOptions,
+    ) -> StoreResult<wg_embed::Vector> {
         let epoch = self.run_epoch(r.backend);
         let backend = self.backend_for(r.backend)?;
-        self.value_embedding(backend.as_ref(), r, epoch)
+        let cost_before = backend.costs();
+        let result = self.value_embedding(backend.as_ref(), r, epoch, opts.deadline);
+        if let Some(tenant) = opts.tenant {
+            let delta = backend.costs().since(&cost_before);
+            self.quotas.debit(tenant, delta.requests, delta.bytes_scanned);
+        }
+        result
     }
 
     /// Cached value-only column embedding (context weight key `0.0`, which
     /// coincides with [`Self::discover`]'s key when the system runs without
-    /// contextual blending — the paper's configuration).
+    /// contextual blending — the paper's configuration). The deadline is
+    /// checked before the billed scan; a cache hit costs nothing and
+    /// always succeeds.
     fn value_embedding(
         &self,
         backend: &dyn WarehouseBackend,
         r: &ColumnRef,
         epoch: u64,
+        deadline: Deadline,
     ) -> StoreResult<wg_embed::Vector> {
         let key = EmbeddingKey::new(r, self.config.sample, self.config.seed, 0.0, epoch);
         if let Some(v) = self.cache.get(&key) {
             return Ok(v);
         }
+        deadline.check(Phase::Scan).map_err(deadline_err)?;
         let column = backend.scan_column(r, self.config.sample)?;
+        deadline.check(Phase::Embed).map_err(deadline_err)?;
         let vector = self.embedder.embed_column(&column);
         self.cache.put(key, vector.clone());
         Ok(vector)
@@ -1222,6 +1533,13 @@ impl WarpGate {
         }
         Ok(())
     }
+}
+
+/// Map an expired-deadline phase into the typed (fatal, non-retryable)
+/// store error — the single conversion point between `wg_util`'s phase
+/// vocabulary and the `StoreError` taxonomy.
+fn deadline_err(phase: Phase) -> StoreError {
+    StoreError::DeadlineExceeded { phase }
 }
 
 /// Construct the sharded LSH index a config describes (used at system
@@ -2087,5 +2405,99 @@ mod tests {
         let base = c.warehouse().table("salesforce", "account").unwrap().clone();
         let augmented = wg.augment_via_lookup(&base, "name", &b, &[], KeyNorm::CaseFold).unwrap();
         assert_eq!(augmented.num_rows(), base.num_rows());
+    }
+
+    #[test]
+    fn expired_deadline_sheds_before_any_billed_scan() {
+        let (wg, c) = system();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        let before = c.costs();
+        let opts = QueryOptions { deadline: Deadline::within_ms(0), ..Default::default() };
+        let err = wg.discover_opts(&q, 3, &opts).unwrap_err();
+        assert!(matches!(err, StoreError::DeadlineExceeded { phase: Phase::Validate }), "{err}");
+        assert!(!err.is_retryable(), "retrying against the same dead clock is pointless");
+        assert_eq!(c.costs().since(&before).requests, 0, "no scan billed past expiry");
+        // Joinability and batch take the same gate.
+        let b = ColumnRef::new("stocks", "industries", "company_name");
+        assert!(wg.joinability_opts(&q, &b, &opts).is_err());
+        assert!(wg.discover_batch_opts(&[q], 3, &opts).is_err());
+        assert_eq!(c.costs().since(&before).requests, 0);
+    }
+
+    #[test]
+    fn expired_sync_deadline_bills_zero_scans_and_records_nothing() {
+        let c = connector();
+        let wg =
+            WarpGate::with_backend(WarpGateConfig { threads: 1, ..Default::default() }, c.clone());
+        let before = c.costs();
+        let err = wg.sync_deadline(Deadline::within_ms(0)).unwrap_err();
+        assert!(matches!(err, StoreError::DeadlineExceeded { phase: Phase::Scan }), "{err}");
+        assert_eq!(c.costs().since(&before).requests, 0, "expiry stops before the first scan");
+        assert_eq!(wg.len(), 0, "nothing indexed, nothing recorded");
+        // The budgetless retry picks up the identical change set.
+        let report = wg.sync().unwrap();
+        assert_eq!(report.tables_added, 4);
+        assert_eq!(wg.len(), 6);
+    }
+
+    #[test]
+    fn quota_exhausted_tenant_is_rejected_while_others_are_unaffected() {
+        let (wg, _c) = system();
+        let tenant = TenantId::intern("system-test-acme");
+        // Two scan tokens, zero refill: deterministic exhaustion after two
+        // cache-miss discoveries (one billed scan each).
+        wg.quotas().set_quota(tenant, crate::admission::TenantQuota::scans(2.0, 0.0));
+        let opts = QueryOptions { tenant: Some(tenant), ..Default::default() };
+        let q1 = ColumnRef::new("salesforce", "account", "name");
+        let q2 = ColumnRef::new("salesforce", "lead", "company");
+        let q3 = ColumnRef::new("stocks", "industries", "sector");
+        wg.discover_opts(&q1, 3, &opts).unwrap();
+        wg.discover_opts(&q2, 3, &opts).unwrap();
+        let err = wg.discover_opts(&q3, 3, &opts).unwrap_err();
+        assert!(matches!(err, StoreError::QuotaExceeded { .. }), "{err}");
+        assert!(err.is_retryable(), "buckets refill; the caller should back off and retry");
+        // The same query is fine anonymously and for any other tenant.
+        wg.discover(&q3, 3).unwrap();
+        let other = QueryOptions {
+            tenant: Some(TenantId::intern("system-test-other")),
+            ..Default::default()
+        };
+        wg.discover_opts(&q3, 3, &other).unwrap();
+    }
+
+    #[test]
+    fn saturated_admission_serves_degraded_from_warm_cache_only_when_opted_in() {
+        let c = connector();
+        let wg = WarpGate::with_backend(
+            WarpGateConfig { threads: 1, ..Default::default() }.with_admission(1, 0, 0),
+            c.clone(),
+        );
+        wg.index_warehouse().unwrap();
+        let q = ColumnRef::new("salesforce", "account", "name");
+        // Warm the cache through the normal path, then occupy the only
+        // admission slot the way a long-running request would.
+        let warm = wg.discover(&q, 3).unwrap();
+        let slot = wg.admission.as_ref().unwrap().acquire().unwrap();
+        // Without the opt-in: shed with the retryable Overloaded.
+        let err = wg.discover(&q, 3).unwrap_err();
+        assert!(matches!(err, StoreError::Overloaded { .. }), "{err}");
+        assert!(err.is_retryable());
+        // Opted in with a warm cache: a flagged answer identical to the
+        // unloaded one, and not a single billed scan.
+        let before = c.costs();
+        let opts = QueryOptions { allow_degraded: true, ..Default::default() };
+        let d = wg.discover_opts(&q, 3, &opts).unwrap();
+        assert!(d.timing.degraded && d.timing.cache_hit, "degradation is never silent");
+        assert_eq!(d.candidates, warm.candidates, "degraded answers are real cached answers");
+        assert_eq!(c.costs().since(&before).requests, 0, "degraded serving never scans");
+        // Opted in but cold: degradation never fabricates an answer.
+        let cold = ColumnRef::new("stocks", "prices", "close");
+        let err = wg.discover_opts(&cold, 3, &opts).unwrap_err();
+        assert!(matches!(err, StoreError::Overloaded { .. }), "{err}");
+        drop(slot);
+        wg.discover(&q, 3).expect("released slot readmits");
+        let stats = wg.admission_stats().expect("admission is on");
+        assert!(stats.shed_queue_full >= 2, "{stats:?}");
+        assert_eq!(stats.in_flight, 0);
     }
 }

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 use wg_util::codec::{self, CodecError, CodecResult};
+use wg_util::deadline::{Deadline, Phase};
 use wg_util::kernel::{self, scratch};
 use wg_util::{FxHashMap, TopK};
 
@@ -535,9 +536,39 @@ impl SimHashLshIndex {
         scope: &DiscoverScope,
         exclude: impl Fn(ItemId) -> bool,
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        self.search_signed_scoped_deadline_with_outcome(
+            query,
+            sig,
+            k,
+            scope,
+            Deadline::none(),
+            exclude,
+        )
+        .expect("an unlimited deadline never expires")
+    }
+
+    /// [`Self::search_signed_scoped_with_outcome`] under a cooperative
+    /// [`Deadline`]: the budget is checked before candidate generation,
+    /// before the exact re-rank, and before *every cold block read* — an
+    /// expired request stops without fetching another block from the
+    /// paged tier. `Err(phase)` names the boundary the budget died at.
+    pub fn search_signed_scoped_deadline_with_outcome(
+        &self,
+        query: &[f32],
+        sig: &Signature,
+        k: usize,
+        scope: &DiscoverScope,
+        deadline: Deadline,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Result<(Vec<(ItemId, f32)>, SearchOutcome), Phase> {
+        deadline.check(Phase::CandidateGen)?;
         let mut candidates = scratch::take_ids();
         self.candidates_signed_scoped_into(sig, scope, &mut candidates);
         let total = candidates.len();
+        if let Err(phase) = deadline.check(Phase::Rerank) {
+            scratch::put_ids(candidates);
+            return Err(phase);
+        }
         let qnorm = kernel::norm_sq(query).sqrt();
         let mut slots = scratch::take_ids();
         let mut cold_rows: Vec<(u32, u32, u32, ItemId)> = Vec::new();
@@ -570,9 +601,9 @@ impl SimHashLshIndex {
         scratch::put_ids(slots);
         scratch::put_ids(candidates);
         let (blocks_read, blocks_pruned) =
-            self.score_cold_rows(query, qnorm, cold_rows, &mut topk, &mut scored);
+            self.score_cold_rows(query, qnorm, cold_rows, deadline, &mut topk, &mut scored)?;
         let results = topk.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
-        (results, SearchOutcome { candidates: total, scored, blocks_read, blocks_pruned })
+        Ok((results, SearchOutcome { candidates: total, scored, blocks_read, blocks_pruned }))
     }
 
     /// Cold pass of the exact re-rank: group candidate rows by block,
@@ -590,11 +621,12 @@ impl SimHashLshIndex {
         query: &[f32],
         qnorm: f32,
         mut cold_rows: Vec<(u32, u32, u32, ItemId)>,
+        deadline: Deadline,
         topk: &mut TopK<ItemId>,
         scored: &mut usize,
-    ) -> (usize, usize) {
+    ) -> Result<(usize, usize), Phase> {
         if cold_rows.is_empty() {
-            return (0, 0);
+            return Ok((0, 0));
         }
         let cold = self.cold.as_ref().expect("cold candidates imply a cold store");
         let dim = self.dim();
@@ -627,6 +659,10 @@ impl SimHashLshIndex {
                     continue;
                 }
             }
+            // The budget check sits directly in front of the block fetch:
+            // a cold read is the most expensive step a query can take, so
+            // an expired request never starts another one.
+            deadline.check(Phase::BlockRead)?;
             let (seg_slot, block, ..) = cold_rows[start];
             let seg =
                 cold.segments[seg_slot as usize].as_ref().expect("locator points at live segment");
@@ -650,7 +686,7 @@ impl SimHashLshIndex {
                 *scored += 1;
             }
         }
-        (blocks_read, blocks_pruned)
+        Ok((blocks_read, blocks_pruned))
     }
 
     /// Exact search over *all* stored vectors (ignores the LSH buckets) —

@@ -22,6 +22,7 @@
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::sync::Arc;
 use wg_util::codec::{self, CodecError, CodecResult};
+use wg_util::deadline::{Deadline, Phase};
 use wg_util::TopK;
 
 use crate::index::{
@@ -281,13 +282,31 @@ impl ShardedLshIndex {
         scope: &DiscoverScope,
         exclude: impl Fn(ItemId) -> bool,
     ) -> (Vec<(ItemId, f32)>, SearchOutcome) {
+        self.search_scoped_deadline_with_outcome(query, k, scope, Deadline::none(), exclude)
+            .expect("an unlimited deadline never expires")
+    }
+
+    /// [`Self::search_scoped_with_outcome`] under a cooperative
+    /// [`Deadline`], checked per shard before candidate generation, the
+    /// exact re-rank, and each cold block read (see
+    /// [`SimHashLshIndex::search_signed_scoped_deadline_with_outcome`]).
+    /// `Err(phase)` names the boundary the budget died at.
+    pub fn search_scoped_deadline_with_outcome(
+        &self,
+        query: &[f32],
+        k: usize,
+        scope: &DiscoverScope,
+        deadline: Deadline,
+        exclude: impl Fn(ItemId) -> bool,
+    ) -> Result<(Vec<(ItemId, f32)>, SearchOutcome), Phase> {
         let sig = self.hasher.sign(query);
         let mut merged = TopK::new(k);
         let mut outcome = SearchOutcome::default();
         for shard in &self.shards {
             let guard = shard.read();
-            let (hits, o) =
-                guard.search_signed_scoped_with_outcome(query, &sig, k, scope, &exclude);
+            let (hits, o) = guard.search_signed_scoped_deadline_with_outcome(
+                query, &sig, k, scope, deadline, &exclude,
+            )?;
             // Shards partition the id space, so the sums are exact counts.
             outcome.candidates += o.candidates;
             outcome.scored += o.scored;
@@ -298,7 +317,7 @@ impl ShardedLshIndex {
             }
         }
         let results = merged.into_sorted().into_iter().map(|(s, id)| (id, s as f32)).collect();
-        (results, outcome)
+        Ok((results, outcome))
     }
 
     /// Remove every item whose id lives in one backend namespace (high

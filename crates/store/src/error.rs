@@ -14,6 +14,7 @@
 //! `is_retryable`, displayed, and wired through the remote-backend codec.
 
 use wg_util::codec::CodecError;
+use wg_util::deadline::Phase;
 
 /// Errors from catalog lookups, CSV parsing, joins and CDW scans.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +55,29 @@ pub enum StoreError {
         /// The transient error the final attempt died on.
         last: Box<StoreError>,
     },
+    /// Admission control shed this request: the concurrency cap and its
+    /// bounded wait queue were both full, or the queue wait timed out.
+    /// **Retryable** — the server is healthy, just busy; back off for
+    /// roughly the hinted interval and try again.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A tenant exceeded its token-bucket budget of billed scans/bytes.
+    /// **Retryable** — the bucket refills with time; retrying after the
+    /// refill interval may succeed. Other tenants are unaffected.
+    QuotaExceeded {
+        /// The over-budget tenant's name.
+        tenant: String,
+    },
+    /// The request's cooperative deadline expired before the pipeline
+    /// finished; `phase` is the boundary the budget died at, with no
+    /// further billed work started past it. Fatal — the caller's budget
+    /// is spent, retrying the same budget would expire the same way.
+    DeadlineExceeded {
+        /// Pipeline phase whose boundary check observed the expiry.
+        phase: Phase,
+    },
 }
 
 impl StoreError {
@@ -64,7 +88,16 @@ impl StoreError {
         // Exhaustive on purpose: a new variant must be classified here
         // before the crate compiles again.
         match self {
-            StoreError::Unavailable(_) => true,
+            // Busy and over-budget conditions clear with time; the hinted
+            // backoff (Overloaded) or bucket refill (QuotaExceeded) makes
+            // the same call succeed later.
+            StoreError::Unavailable(_)
+            | StoreError::Overloaded { .. }
+            | StoreError::QuotaExceeded { .. } => true,
+            // An expired deadline is the caller's spent budget: the retry
+            // would run against the same dead clock. The caller must mint
+            // a fresh deadline, which is a new request, not a retry.
+            StoreError::DeadlineExceeded { .. } => false,
             StoreError::NotFound(_)
             | StoreError::Csv { .. }
             | StoreError::Schema(_)
@@ -92,6 +125,18 @@ impl std::fmt::Display for StoreError {
             StoreError::Unavailable(msg) => write!(f, "backend unavailable: {msg}"),
             StoreError::RetriesExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            StoreError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded: admission shed this request, retry after ~{retry_after_ms} ms"
+                )
+            }
+            StoreError::QuotaExceeded { tenant } => {
+                write!(f, "quota exceeded for tenant {tenant:?}")
+            }
+            StoreError::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded in {phase} phase")
             }
         }
     }
@@ -127,6 +172,12 @@ mod tests {
             .to_string()
             .contains("line 3"));
         assert!(StoreError::Unavailable("link down".into()).to_string().contains("unavailable"));
+        assert!(StoreError::Overloaded { retry_after_ms: 25 }.to_string().contains("25 ms"));
+        assert!(StoreError::QuotaExceeded { tenant: "acme".into() }.to_string().contains("acme"));
+        assert_eq!(
+            StoreError::DeadlineExceeded { phase: Phase::BlockRead }.to_string(),
+            "deadline exceeded in block-read phase"
+        );
         let exhausted = StoreError::RetriesExhausted {
             attempts: 4,
             last: Box::new(StoreError::Unavailable("still down".into())),
@@ -141,10 +192,17 @@ mod tests {
         assert!(matches!(e, StoreError::Codec(_)));
     }
 
+    /// The complete retryability contract, one arm per variant. A new
+    /// variant added without extending this table fails the count check
+    /// below, so the classification can never silently drift.
     #[test]
-    fn only_unavailable_is_retryable() {
-        assert!(StoreError::Unavailable("timeout".into()).is_retryable());
-        for fatal in [
+    fn retryability_covers_every_variant() {
+        let transient = [
+            StoreError::Unavailable("timeout".into()),
+            StoreError::Overloaded { retry_after_ms: 50 },
+            StoreError::QuotaExceeded { tenant: "acme".into() },
+        ];
+        let fatal = [
             StoreError::NotFound("x".into()),
             StoreError::Csv { line: 1, message: "m".into() },
             StoreError::Schema("s".into()),
@@ -156,9 +214,32 @@ mod tests {
                 attempts: 3,
                 last: Box::new(StoreError::Unavailable("u".into())),
             },
-        ] {
-            assert!(!fatal.is_retryable(), "{fatal} must be fatal");
+            StoreError::DeadlineExceeded { phase: Phase::Scan },
+        ];
+        for e in &transient {
+            assert!(e.is_retryable(), "{e} must be retryable");
         }
+        for e in &fatal {
+            assert!(!e.is_retryable(), "{e} must be fatal");
+        }
+        // One exemplar per variant: count them via an exhaustive match so
+        // adding a variant breaks compilation right here too.
+        let variant_count = |e: &StoreError| match e {
+            StoreError::NotFound(_)
+            | StoreError::Csv { .. }
+            | StoreError::Schema(_)
+            | StoreError::Join(_)
+            | StoreError::Codec(_)
+            | StoreError::Backend(_)
+            | StoreError::SnapshotCorrupt(_)
+            | StoreError::Unavailable(_)
+            | StoreError::RetriesExhausted { .. }
+            | StoreError::Overloaded { .. }
+            | StoreError::QuotaExceeded { .. }
+            | StoreError::DeadlineExceeded { .. } => 1usize,
+        };
+        let total: usize = transient.iter().chain(fatal.iter()).map(variant_count).sum();
+        assert_eq!(total, 12, "every StoreError variant has an exemplar in this table");
     }
 
     #[test]

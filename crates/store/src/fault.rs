@@ -45,6 +45,17 @@ pub struct FaultPlan {
     /// not apply (the catalog tier fails as a whole), and
     /// `validate_column` is never faulted.
     pub metadata_fail_every: u64,
+    /// *Hang* every Nth matching scan for [`FaultPlan::hang_secs`] of real
+    /// wall-clock time before it proceeds (1 = every scan, 0 = never, the
+    /// default). Unlike `extra_latency_secs` — which only charges *virtual*
+    /// time to the cost meter — a hang actually blocks the calling thread,
+    /// which is what deadline checks, write timeouts, and shedding paths
+    /// need to prove themselves against deterministically. The hung scan
+    /// then runs normally (it may still fail if the fail gate also
+    /// triggers).
+    pub hang_every: u64,
+    /// Real blocking delay per triggered hang, seconds.
+    pub hang_secs: f64,
 }
 
 impl FaultPlan {
@@ -61,6 +72,12 @@ impl FaultPlan {
     /// Add `secs` of virtual latency to every scan, failing none.
     pub fn slow(secs: f64) -> Self {
         Self { extra_latency_secs: secs, ..Self::default() }
+    }
+
+    /// Block every scan for `secs` of *real* wall-clock time (a stalled
+    /// warehouse model), failing none.
+    pub fn hang(secs: f64) -> Self {
+        Self { hang_every: 1, hang_secs: secs, ..Self::default() }
     }
 
     fn matches(&self, database: &str, table: &str) -> bool {
@@ -83,6 +100,8 @@ pub struct FaultInjector {
     meta_calls: AtomicU64,
     /// Faults injected so far (scan and metadata combined).
     faults: AtomicU64,
+    /// Real blocking hangs injected so far.
+    hangs: AtomicU64,
     /// Injected virtual latency, nanoseconds.
     injected_nanos: AtomicU64,
 }
@@ -105,6 +124,7 @@ impl FaultInjector {
             scans: AtomicU64::new(0),
             meta_calls: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            hangs: AtomicU64::new(0),
             injected_nanos: AtomicU64::new(0),
         }
     }
@@ -119,6 +139,11 @@ impl FaultInjector {
         self.faults.load(Ordering::Relaxed)
     }
 
+    /// How many real blocking hangs have been injected.
+    pub fn hangs_injected(&self) -> u64 {
+        self.hangs.load(Ordering::Relaxed)
+    }
+
     /// Decide the fate of one matching scan: count it, then either inject
     /// a fault or charge the extra latency.
     fn gate(&self, database: &str, table: &str, what: &str) -> StoreResult<()> {
@@ -126,6 +151,14 @@ impl FaultInjector {
             return Ok(());
         }
         let n = self.scans.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.hang_every > 0 && self.plan.hang_secs > 0.0 && n % self.plan.hang_every == 0 {
+            // A real stall, not a virtual charge: the caller's thread
+            // blocks exactly as it would on a wedged warehouse. Runs
+            // before the fail gate so a scan can hang *and then* fail,
+            // like a timeout observed only after the stall.
+            self.hangs.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_secs_f64(self.plan.hang_secs));
+        }
         if self.plan.fail_every > 0 && n % self.plan.fail_every == 0 {
             self.faults.fetch_add(1, Ordering::Relaxed);
             // Injected faults model the transient class of failure
@@ -310,6 +343,58 @@ mod tests {
         }
         // Validation is never part of the metadata fault surface.
         assert!(f.validate_column(&r).is_ok());
+    }
+
+    #[test]
+    fn hang_fault_blocks_real_wall_clock_time() {
+        let f = FaultInjector::new(inner(), FaultPlan::hang(0.05));
+        let r = ColumnRef::new("db", "t", "a");
+        let start = std::time::Instant::now();
+        f.scan_column(&r, SampleSpec::Full).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= std::time::Duration::from_millis(50), "no real stall: {elapsed:?}");
+        assert_eq!(f.hangs_injected(), 1);
+        // Hangs are not failures: nothing lands in the fault counter and
+        // the scan's bill passes through untouched.
+        assert_eq!(f.faults_injected(), 0);
+        assert_eq!(f.costs().requests, 1);
+    }
+
+    #[test]
+    fn hang_every_n_is_deterministic_and_scoped() {
+        let plan = FaultPlan {
+            hang_every: 2,
+            hang_secs: 0.03,
+            only_table: Some(("db".into(), "t".into())),
+            ..FaultPlan::default()
+        };
+        let f = FaultInjector::new(inner(), plan);
+        // Non-matching scans never hang.
+        let start = std::time::Instant::now();
+        for _ in 0..4 {
+            f.scan_column(&ColumnRef::new("db", "u", "b"), SampleSpec::Full).unwrap();
+        }
+        assert!(start.elapsed() < std::time::Duration::from_millis(30));
+        assert_eq!(f.hangs_injected(), 0);
+        // Matching scans hang on the even counts only.
+        for expected in [0u64, 1, 1, 2] {
+            f.scan_column(&ColumnRef::new("db", "t", "a"), SampleSpec::Full).unwrap();
+            assert_eq!(f.hangs_injected(), expected);
+        }
+    }
+
+    #[test]
+    fn hang_composes_with_fail_gate() {
+        // Every scan hangs, every second scan then fails: the stalled-
+        // then-timed-out shape. One shared counter keeps it deterministic.
+        let plan = FaultPlan { hang_every: 1, hang_secs: 0.01, ..FaultPlan::fail_every(2) };
+        let f = FaultInjector::new(inner(), plan);
+        let r = ColumnRef::new("db", "t", "a");
+        let outcomes: Vec<bool> =
+            (0..4).map(|_| f.scan_column(&r, SampleSpec::Full).is_ok()).collect();
+        assert_eq!(outcomes, vec![true, false, true, false]);
+        assert_eq!(f.hangs_injected(), 4);
+        assert_eq!(f.faults_injected(), 2);
     }
 
     #[test]

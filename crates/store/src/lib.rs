@@ -56,7 +56,7 @@ pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjector, FaultPlan};
 pub use join::{containment, jaccard, JoinType, KeyNorm};
 pub use registry::BackendRegistry;
-pub use remote::{RemoteBackend, RemoteBackendServer};
+pub use remote::{RemoteBackend, RemoteBackendServer, RemoteServerConfig, RemoteServerStats};
 pub use retry::{RetryBackend, RetryClock, RetryPolicy, SystemClock, VirtualClock};
 pub use sample::SampleSpec;
 pub use table::Table;

@@ -25,6 +25,31 @@
 //! table in [`op`]. Decoding is bounds-checked end to end: a corrupt or
 //! truncated frame yields [`StoreError::Codec`], never a panic.
 //!
+//! ### Request context extension (still v1)
+//!
+//! A request may prefix its opcode with [`op::WITH_CONTEXT`], carrying a
+//! deadline budget and a tenant token:
+//!
+//! ```text
+//! u8 WITH_CONTEXT | u64 remaining_ms | str tenant | u8 inner_opcode | operands…
+//! ```
+//!
+//! `remaining_ms` is the client's deadline budget left at send time
+//! (`u64::MAX` = no deadline, `0` = already expired — the server sheds it
+//! before touching the backend); an empty tenant string means anonymous.
+//! Requests without the wrapper are byte-identical to the original v1
+//! frames, so old clients and new servers (and vice versa, as long as the
+//! context is unused) interoperate unchanged.
+//!
+//! ## Overload protection
+//!
+//! The server bounds its own resources instead of trusting clients: a
+//! connection cap (excess connections get one typed, *retryable*
+//! [`StoreError::Overloaded`] frame and are closed — never a silent hang),
+//! an optional in-flight request cap enforced the same way, write timeouts
+//! so a hung reader cannot pin a handler thread, and expired-deadline
+//! shedding before any billed backend work. See [`RemoteServerConfig`].
+//!
 //! ## Failure semantics
 //!
 //! Transport failures (connect refused, reset, timeout) surface as
@@ -38,7 +63,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -47,6 +72,8 @@ use wg_util::codec::{
     get_len, get_str, get_u32, get_u64, get_u8, put_f64, put_len, put_str, put_u32, put_u64,
     put_u8, CodecError, CodecResult,
 };
+use wg_util::deadline::{Deadline, Phase};
+use wg_util::FxHashMap;
 
 use crate::backend::{BackendHandle, TableMeta, TableVersion, WarehouseBackend};
 use crate::catalog::ColumnRef;
@@ -84,6 +111,10 @@ mod op {
     pub const RESET_COSTS: u8 = 7;
     pub const VALIDATE_COLUMN: u8 = 8;
     pub const SNAPSHOT_VERSIONS: u8 = 9;
+    /// Not a backend method: wraps an inner opcode with a deadline budget
+    /// and tenant token. See "Request context extension" in the module
+    /// docs.
+    pub const WITH_CONTEXT: u8 = 10;
 }
 
 // ---------------------------------------------------------------------------
@@ -185,6 +216,18 @@ fn put_store_error(buf: &mut Vec<u8>, e: &StoreError) {
             put_u8(buf, 8);
             put_str(buf, m);
         }
+        StoreError::Overloaded { retry_after_ms } => {
+            put_u8(buf, 9);
+            put_u64(buf, *retry_after_ms);
+        }
+        StoreError::QuotaExceeded { tenant } => {
+            put_u8(buf, 10);
+            put_str(buf, tenant);
+        }
+        StoreError::DeadlineExceeded { phase } => {
+            put_u8(buf, 11);
+            put_u8(buf, phase.to_wire());
+        }
     }
 }
 
@@ -208,6 +251,14 @@ fn get_store_error(buf: &mut &[u8]) -> CodecResult<StoreError> {
             StoreError::RetriesExhausted { attempts, last: Box::new(last) }
         }
         8 => StoreError::SnapshotCorrupt(get_str(buf)?),
+        9 => StoreError::Overloaded { retry_after_ms: get_u64(buf)? },
+        10 => StoreError::QuotaExceeded { tenant: get_str(buf)? },
+        11 => {
+            let tag = get_u8(buf)?;
+            let phase = Phase::from_wire(tag)
+                .ok_or_else(|| CodecError::Invalid(format!("unknown deadline phase {tag}")))?;
+            StoreError::DeadlineExceeded { phase }
+        }
         tag => return Err(CodecError::Invalid(format!("unknown StoreError tag {tag}"))),
     })
 }
@@ -326,13 +377,122 @@ fn read_frame(
 // ---------------------------------------------------------------------------
 // Server.
 
+/// Resource bounds of a [`RemoteBackendServer`]. The defaults protect the
+/// server out of the box: before this config existed the accept loop
+/// spawned one unbounded handler thread per connection, so any client
+/// storm (or leak) exhausted server threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteServerConfig {
+    /// Concurrent connections served (each holds one handler thread).
+    /// Excess connections receive one [`StoreError::Overloaded`] frame and
+    /// are closed. `0` = unbounded (the pre-cap behavior; discouraged).
+    pub max_connections: usize,
+    /// Requests executing against the backend at once, across all
+    /// connections. Excess requests are answered with
+    /// [`StoreError::Overloaded`] without touching the backend. `0` =
+    /// unbounded.
+    pub max_in_flight: usize,
+    /// Write timeout per response frame, so a hung or slow-reading client
+    /// cannot pin a handler thread. Zero = no timeout.
+    pub write_timeout: Duration,
+    /// Backoff hint carried inside the `Overloaded` errors this server
+    /// sheds with.
+    pub retry_after_ms: u64,
+}
+
+impl Default for RemoteServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            max_in_flight: 0,
+            write_timeout: Duration::from_secs(5),
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Monotonic shedding counters of a running server (see
+/// [`RemoteBackendServer::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteServerStats {
+    /// Connections currently served.
+    pub live_connections: usize,
+    /// Connections refused at the cap with an `Overloaded` frame.
+    pub shed_connections: u64,
+    /// Requests refused at the in-flight cap with an `Overloaded` frame.
+    pub shed_requests: u64,
+    /// Requests shed because their carried deadline was already expired.
+    pub deadline_shed: u64,
+}
+
+/// State shared between the accept loop and every handler thread.
+struct ServerShared {
+    config: RemoteServerConfig,
+    live_connections: AtomicUsize,
+    in_flight: AtomicUsize,
+    shed_connections: AtomicU64,
+    shed_requests: AtomicU64,
+    deadline_shed: AtomicU64,
+    /// Requests per tenant token seen in [`op::WITH_CONTEXT`] frames.
+    tenant_requests: Mutex<FxHashMap<String, u64>>,
+}
+
+impl ServerShared {
+    fn new(config: RemoteServerConfig) -> Self {
+        Self {
+            config,
+            live_connections: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            shed_connections: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            tenant_requests: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+/// RAII slot in the in-flight request budget; acquiring fails with
+/// `Overloaded` at the cap.
+struct InFlightPermit<'a>(&'a AtomicUsize);
+
+impl<'a> InFlightPermit<'a> {
+    fn acquire(shared: &'a ServerShared) -> StoreResult<Self> {
+        let cap = shared.config.max_in_flight;
+        let occupied = shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        if cap > 0 && occupied >= cap {
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared.shed_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Overloaded { retry_after_ms: shared.config.retry_after_ms });
+        }
+        Ok(Self(&shared.in_flight))
+    }
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Decrements the live-connection count when a handler exits, however it
+/// exits.
+struct ConnectionGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Serves a local [`WarehouseBackend`] to [`RemoteBackend`] clients over
 /// TCP. One thread accepts connections; each connection gets a handler
 /// thread answering requests until the client disconnects or the server
-/// shuts down.
+/// shuts down. Connection count, in-flight requests and response writes
+/// are all bounded — see [`RemoteServerConfig`].
 pub struct RemoteBackendServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -344,9 +504,18 @@ impl std::fmt::Debug for RemoteBackendServer {
 
 impl RemoteBackendServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `backend`. Returns once the listener is live — a client may connect
-    /// immediately.
+    /// `backend` with the default [`RemoteServerConfig`] bounds. Returns
+    /// once the listener is live — a client may connect immediately.
     pub fn serve(backend: BackendHandle, addr: impl ToSocketAddrs) -> StoreResult<Self> {
+        Self::serve_with(backend, addr, RemoteServerConfig::default())
+    }
+
+    /// [`Self::serve`] with explicit resource bounds.
+    pub fn serve_with(
+        backend: BackendHandle,
+        addr: impl ToSocketAddrs,
+        config: RemoteServerConfig,
+    ) -> StoreResult<Self> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| StoreError::Backend(format!("remote server bind: {e}")))?;
         listener
@@ -356,16 +525,32 @@ impl RemoteBackendServer {
             .local_addr()
             .map_err(|e| StoreError::Backend(format!("remote server local_addr: {e}")))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ServerShared::new(config));
         let accept_stop = stop.clone();
+        let accept_shared = shared.clone();
         let accept_handle = std::thread::spawn(move || {
             let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _peer)) => {
+                    Ok((mut stream, _peer)) => {
+                        let cap = accept_shared.config.max_connections;
+                        if cap > 0 && accept_shared.live_connections.load(Ordering::Acquire) >= cap
+                        {
+                            // The cap protects handler threads, the one
+                            // truly finite resource here. The refused
+                            // client gets a typed, retryable answer —
+                            // never a hang or a silent close.
+                            accept_shared.shed_connections.fetch_add(1, Ordering::Relaxed);
+                            refuse_connection(&mut stream, &accept_shared.config);
+                            continue;
+                        }
+                        accept_shared.live_connections.fetch_add(1, Ordering::AcqRel);
                         let backend = backend.clone();
                         let stop = accept_stop.clone();
+                        let shared = accept_shared.clone();
                         handlers.push(std::thread::spawn(move || {
-                            serve_connection(stream, backend, &stop);
+                            let _guard = ConnectionGuard(&shared.live_connections);
+                            serve_connection(stream, backend, &stop, &shared);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -379,13 +564,32 @@ impl RemoteBackendServer {
                 let _ = h.join();
             }
         });
-        Ok(Self { addr: local, stop, accept_handle: Some(accept_handle) })
+        Ok(Self { addr: local, stop, shared, accept_handle: Some(accept_handle) })
     }
 
     /// The address the server actually listens on (resolves ephemeral
     /// ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Live-connection gauge and monotonic shedding counters.
+    pub fn stats(&self) -> RemoteServerStats {
+        RemoteServerStats {
+            live_connections: self.shared.live_connections.load(Ordering::Acquire),
+            shed_connections: self.shared.shed_connections.load(Ordering::Relaxed),
+            shed_requests: self.shared.shed_requests.load(Ordering::Relaxed),
+            deadline_shed: self.shared.deadline_shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests served per tenant token (from [`op::WITH_CONTEXT`]
+    /// frames), in descending request order then tenant order.
+    pub fn tenant_requests(&self) -> Vec<(String, u64)> {
+        let map = self.shared.tenant_requests.lock();
+        let mut out: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
     }
 
     /// Stop accepting, wake blocked handler threads, and join them all.
@@ -407,10 +611,35 @@ impl Drop for RemoteBackendServer {
     }
 }
 
+/// Refuse an over-cap connection: answer whatever the client is about to
+/// send (usually the connect handshake) with one `Overloaded` frame, then
+/// drop the stream. Best-effort — the client may already be gone.
+fn refuse_connection(stream: &mut TcpStream, config: &RemoteServerConfig) {
+    let _ = stream.set_nodelay(true);
+    if !config.write_timeout.is_zero() {
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+    }
+    let mut buf = Vec::with_capacity(32);
+    payload_header(&mut buf);
+    put_u8(&mut buf, 1);
+    put_store_error(&mut buf, &StoreError::Overloaded { retry_after_ms: config.retry_after_ms });
+    let _ = write_frame(stream, &buf);
+}
+
 /// One connection's request loop.
-fn serve_connection(mut stream: TcpStream, backend: BackendHandle, stop: &AtomicBool) {
+fn serve_connection(
+    mut stream: TcpStream,
+    backend: BackendHandle,
+    stop: &AtomicBool,
+    shared: &ServerShared,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(SERVER_POLL));
+    if !shared.config.write_timeout.is_zero() {
+        // A hung client that stops reading must not pin this handler
+        // forever: the blocked response write errors out instead.
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    }
     loop {
         let payload = match read_frame(&mut stream, Some(stop)) {
             Ok(Some(p)) => p,
@@ -418,7 +647,7 @@ fn serve_connection(mut stream: TcpStream, backend: BackendHandle, stop: &Atomic
             // connection is done.
             Ok(None) | Err(_) => return,
         };
-        let response = handle_request(&payload, backend.as_ref());
+        let response = handle_request(&payload, backend.as_ref(), shared);
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
@@ -427,8 +656,12 @@ fn serve_connection(mut stream: TcpStream, backend: BackendHandle, stop: &Atomic
 
 /// Decode one request payload, run it against `backend`, encode the
 /// response payload.
-fn handle_request(payload: &[u8], backend: &dyn WarehouseBackend) -> Vec<u8> {
-    match try_handle_request(payload, backend) {
+fn handle_request(
+    payload: &[u8],
+    backend: &dyn WarehouseBackend,
+    shared: &ServerShared,
+) -> Vec<u8> {
+    match try_handle_request(payload, backend, shared) {
         Ok(ok_body) => ok_body,
         Err(e) => {
             let mut buf = Vec::with_capacity(64);
@@ -440,10 +673,30 @@ fn handle_request(payload: &[u8], backend: &dyn WarehouseBackend) -> Vec<u8> {
     }
 }
 
-fn try_handle_request(payload: &[u8], backend: &dyn WarehouseBackend) -> StoreResult<Vec<u8>> {
+fn try_handle_request(
+    payload: &[u8],
+    backend: &dyn WarehouseBackend,
+    shared: &ServerShared,
+) -> StoreResult<Vec<u8>> {
     let mut cursor = payload;
     check_payload_header(&mut cursor)?;
-    let opcode = get_u8(&mut cursor)?;
+    let mut opcode = get_u8(&mut cursor)?;
+    if opcode == op::WITH_CONTEXT {
+        let remaining_ms = get_u64(&mut cursor)?;
+        let tenant = get_str(&mut cursor)?;
+        if !tenant.is_empty() {
+            *shared.tenant_requests.lock().entry(tenant).or_insert(0) += 1;
+        }
+        if remaining_ms == 0 {
+            // The client's budget was spent before the frame even landed:
+            // shed before any billed backend work.
+            shared.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::DeadlineExceeded { phase: Phase::Validate });
+        }
+        opcode = get_u8(&mut cursor)?;
+    }
+    // One slot in the in-flight budget for the duration of the dispatch.
+    let _permit = InFlightPermit::acquire(shared)?;
     let mut buf = Vec::with_capacity(256);
     payload_header(&mut buf);
     put_u8(&mut buf, 0);
@@ -506,6 +759,9 @@ pub struct RemoteBackend {
     addr: String,
     /// Server-reported backend name, fetched at connect time.
     remote_name: String,
+    /// Optional per-request context (tenant token + deadline budget);
+    /// when either is set, requests are wrapped in [`op::WITH_CONTEXT`].
+    context: Mutex<RequestContext>,
     conn: Mutex<Option<TcpStream>>,
     /// Last successfully fetched cost snapshot. Served when a `COSTS` RPC
     /// fails: the server meter is monotonic between resets, so a stale
@@ -513,6 +769,14 @@ pub struct RemoteBackend {
     /// unobserved window — an all-zero answer would instead attribute the
     /// server's whole metering history to the next delta.
     last_costs: Mutex<CostSnapshot>,
+}
+
+/// The optional WGRP request context a [`RemoteBackend`] attaches to its
+/// frames.
+#[derive(Debug, Clone, Default)]
+struct RequestContext {
+    tenant: Option<String>,
+    deadline: Deadline,
 }
 
 impl std::fmt::Debug for RemoteBackend {
@@ -532,6 +796,7 @@ impl RemoteBackend {
         let backend = Self {
             addr: addr.into(),
             remote_name: String::new(),
+            context: Mutex::new(RequestContext::default()),
             conn: Mutex::new(None),
             last_costs: Mutex::new(CostSnapshot::default()),
         };
@@ -548,6 +813,21 @@ impl RemoteBackend {
     /// The server address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Tenant token carried in every subsequent request (`None` clears
+    /// it). The server accounts requests per token; quota policies key
+    /// off the same name.
+    pub fn set_tenant(&self, tenant: Option<String>) {
+        self.context.lock().tenant = tenant;
+    }
+
+    /// Deadline budget carried in every subsequent request as the
+    /// *remaining* milliseconds at send time ([`Deadline::none`] clears
+    /// it). An already-expired budget is shed by the server before any
+    /// billed work.
+    pub fn set_deadline(&self, deadline: Deadline) {
+        self.context.lock().deadline = deadline;
     }
 
     fn unavailable(&self, context: &str, e: impl std::fmt::Display) -> StoreError {
@@ -599,6 +879,18 @@ impl RemoteBackend {
     fn request(&self, opcode: u8, operands: impl FnOnce(&mut Vec<u8>)) -> StoreResult<Vec<u8>> {
         let mut buf = Vec::with_capacity(128);
         payload_header(&mut buf);
+        {
+            let ctx = self.context.lock();
+            if ctx.tenant.is_some() || ctx.deadline.is_some() {
+                put_u8(&mut buf, op::WITH_CONTEXT);
+                let remaining_ms = match ctx.deadline.remaining() {
+                    None => u64::MAX,
+                    Some(left) => u64::try_from(left.as_millis()).unwrap_or(u64::MAX),
+                };
+                put_u64(&mut buf, remaining_ms);
+                put_str(&mut buf, ctx.tenant.as_deref().unwrap_or(""));
+            }
+        }
         put_u8(&mut buf, opcode);
         operands(&mut buf);
         self.roundtrip(&buf)
@@ -824,6 +1116,10 @@ mod tests {
                 attempts: 3,
                 last: Box::new(StoreError::Unavailable("still down".into())),
             },
+            StoreError::Overloaded { retry_after_ms: 75 },
+            StoreError::QuotaExceeded { tenant: "acme".into() },
+            StoreError::DeadlineExceeded { phase: Phase::BlockRead },
+            StoreError::DeadlineExceeded { phase: Phase::Validate },
         ];
         for e in cases {
             let mut buf = Vec::new();
@@ -842,10 +1138,11 @@ mod tests {
     #[test]
     fn corrupt_frames_error_cleanly() {
         let backend = local_backend();
+        let shared = ServerShared::new(RemoteServerConfig::default());
         // Bad magic.
         let mut payload = Vec::new();
         wg_util::codec::put_header(&mut payload, *b"NOPE", 1);
-        let resp = handle_request(&payload, backend.as_ref());
+        let resp = handle_request(&payload, backend.as_ref(), &shared);
         let mut cursor = &resp[..];
         check_payload_header(&mut cursor).unwrap();
         assert_eq!(get_u8(&mut cursor).unwrap(), 1, "must be an error response");
@@ -855,7 +1152,7 @@ mod tests {
         let mut payload = Vec::new();
         payload_header(&mut payload);
         put_u8(&mut payload, 200);
-        let resp = handle_request(&payload, backend.as_ref());
+        let resp = handle_request(&payload, backend.as_ref(), &shared);
         let mut cursor = &resp[..];
         check_payload_header(&mut cursor).unwrap();
         assert_eq!(get_u8(&mut cursor).unwrap(), 1);
@@ -864,7 +1161,7 @@ mod tests {
         let mut payload = Vec::new();
         payload_header(&mut payload);
         put_u8(&mut payload, op::TABLE_META);
-        let resp = handle_request(&payload, backend.as_ref());
+        let resp = handle_request(&payload, backend.as_ref(), &shared);
         let mut cursor = &resp[..];
         check_payload_header(&mut cursor).unwrap();
         assert_eq!(get_u8(&mut cursor).unwrap(), 1);
@@ -891,6 +1188,137 @@ mod tests {
         // 4 clients × 5 scans all billed on the shared server-side meter
         // (plus the scans the fixture's own client may have issued).
         assert!(local.costs().requests >= 20);
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connection_gets_typed_retryable_refusal() {
+        let local = local_backend();
+        let config = RemoteServerConfig { max_connections: 2, ..Default::default() };
+        let server = RemoteBackendServer::serve_with(local, "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().to_string();
+
+        // Fill the cap with two held-open clients.
+        let a = RemoteBackend::connect(addr.clone()).unwrap();
+        let b = RemoteBackend::connect(addr.clone()).unwrap();
+        assert!(a.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
+        assert!(b.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
+
+        // The third connection is refused with Overloaded — retryable,
+        // typed, and fast (no hang, no thread).
+        let err = RemoteBackend::connect(addr.clone()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Overloaded { .. }),
+            "over-cap connect must shed typed: {err:?}"
+        );
+        assert!(err.is_retryable());
+        let stats = server.stats();
+        assert_eq!(stats.live_connections, 2);
+        assert!(stats.shed_connections >= 1);
+
+        // Dropping one held connection frees its slot; give the server a
+        // few polls to reap the handler, then a new client succeeds.
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let c = loop {
+            match RemoteBackend::connect(addr.clone()) {
+                Ok(c) => break c,
+                Err(e) => {
+                    assert!(e.is_retryable(), "{e:?}");
+                    assert!(std::time::Instant::now() < deadline, "slot never freed");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        assert!(c.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_requests_without_touching_backend() {
+        let local = local_backend();
+        let shared =
+            ServerShared::new(RemoteServerConfig { max_in_flight: 1, ..Default::default() });
+        // Occupy the single slot directly, then dispatch a request: it
+        // must shed with Overloaded and bill nothing.
+        let _held = InFlightPermit::acquire(&shared).unwrap();
+        let billed_before = local.costs().requests;
+        let mut payload = Vec::new();
+        payload_header(&mut payload);
+        put_u8(&mut payload, op::SCAN_COLUMN);
+        put_column_ref(&mut payload, &ColumnRef::new("db", "t", "a"));
+        SampleSpec::Full.encode(&mut payload);
+        let resp = handle_request(&payload, local.as_ref(), &shared);
+        let mut cursor = &resp[..];
+        check_payload_header(&mut cursor).unwrap();
+        assert_eq!(get_u8(&mut cursor).unwrap(), 1);
+        let err = get_store_error(&mut cursor).unwrap();
+        assert!(matches!(err, StoreError::Overloaded { .. }), "{err:?}");
+        assert_eq!(local.costs().requests, billed_before, "shed request must bill nothing");
+        assert_eq!(shared.shed_requests.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn context_frame_accounts_tenant_and_sheds_expired_deadline() {
+        let (server, remote, local) = loopback();
+        remote.set_tenant(Some("acme".into()));
+
+        // A generous deadline passes through: the scan answers normally
+        // and the tenant is accounted.
+        remote.set_deadline(Deadline::within(Duration::from_secs(30)));
+        let col = remote.scan_column(&ColumnRef::new("db", "t", "a"), SampleSpec::Head(5)).unwrap();
+        assert_eq!(col.len(), 5);
+        assert_eq!(server.tenant_requests(), vec![("acme".to_string(), 1)]);
+
+        // An expired deadline is shed before any billed work.
+        let billed_before = local.costs().requests;
+        remote.set_deadline(Deadline::within(Duration::ZERO));
+        let err =
+            remote.scan_column(&ColumnRef::new("db", "t", "a"), SampleSpec::Head(5)).unwrap_err();
+        assert!(matches!(err, StoreError::DeadlineExceeded { phase: Phase::Validate }), "{err:?}");
+        assert_eq!(local.costs().requests, billed_before, "expired request must bill nothing");
+        assert!(server.stats().deadline_shed >= 1);
+
+        // Clearing the context restores plain v1 frames.
+        remote.set_tenant(None);
+        remote.set_deadline(Deadline::none());
+        assert!(remote.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_storm_never_exhausts_threads() {
+        // Regression for the unbounded accept loop: a storm of 40
+        // connections against a cap of 4 must leave the server with at
+        // most 4 handler threads, every refused client getting a typed
+        // retryable error promptly (no hang).
+        let local = local_backend();
+        let config = RemoteServerConfig { max_connections: 4, ..Default::default() };
+        let server = RemoteBackendServer::serve_with(local, "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let mut held = Vec::new();
+        let mut refused = 0u32;
+        for _ in 0..40 {
+            match RemoteBackend::connect(addr.clone()) {
+                Ok(c) => held.push(c),
+                Err(e) => {
+                    assert!(
+                        matches!(e, StoreError::Overloaded { .. }),
+                        "storm refusal must be typed: {e:?}"
+                    );
+                    refused += 1;
+                }
+            }
+            let live = server.stats().live_connections;
+            assert!(live <= 4, "handler threads exceeded the cap: {live}");
+        }
+        assert!(refused >= 36 - 4, "most storm connections must be refused: {refused}");
+        assert!(server.stats().shed_connections >= u64::from(refused));
+        // The held connections still work — load shedding, not collapse.
+        for c in &held {
+            assert!(c.validate_column(&ColumnRef::new("db", "t", "a")).is_ok());
+        }
         server.shutdown();
     }
 }

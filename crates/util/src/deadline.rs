@@ -1,0 +1,199 @@
+//! Cooperative request deadlines.
+//!
+//! A [`Deadline`] is a wall-clock budget a request carries through the
+//! pipeline. It is *cooperative*: nothing preempts a running phase, but
+//! every phase boundary (validate → scan → embed → candidate-gen →
+//! re-rank → paged block read) checks the budget before starting the
+//! next unit of billable or expensive work. That gives the two
+//! properties overload control needs:
+//!
+//! * an expired request stops **before** its next billed warehouse scan
+//!   or cold block read, so a deadline bounds spend, not just latency;
+//! * the phase that hit the wall is reported (see [`Phase`]), so callers
+//!   can tell "never even validated" from "died re-ranking".
+//!
+//! `Deadline` is a `Copy` wrapper over `Option<Instant>`; the
+//! [`Deadline::none`] value never expires and costs one branch to
+//! check, so unbudgeted callers pay effectively nothing.
+
+use std::time::{Duration, Instant};
+
+/// Pipeline phase at which a deadline check runs. Carried inside
+/// `StoreError::DeadlineExceeded` and query timings so an expired
+/// request reports *where* its budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Resolving and validating the query column / backend.
+    Validate,
+    /// A billed warehouse scan (`scan_column` / `scan_table`).
+    Scan,
+    /// Embedding scanned values into the vector space.
+    Embed,
+    /// LSH bucket probing / candidate generation.
+    CandidateGen,
+    /// Exact re-ranking of in-memory (hot) candidates.
+    Rerank,
+    /// Reading a cold block from the paged storage tier.
+    BlockRead,
+}
+
+impl Phase {
+    /// Stable wire tag (see the WGRP error codec in `wg_store::remote`).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Phase::Validate => 0,
+            Phase::Scan => 1,
+            Phase::Embed => 2,
+            Phase::CandidateGen => 3,
+            Phase::Rerank => 4,
+            Phase::BlockRead => 5,
+        }
+    }
+
+    /// Inverse of [`Phase::to_wire`]; `None` for an unknown tag.
+    pub fn from_wire(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Phase::Validate,
+            1 => Phase::Scan,
+            2 => Phase::Embed,
+            3 => Phase::CandidateGen,
+            4 => Phase::Rerank,
+            5 => Phase::BlockRead,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Phase::Validate => "validate",
+            Phase::Scan => "scan",
+            Phase::Embed => "embed",
+            Phase::CandidateGen => "candidate-gen",
+            Phase::Rerank => "re-rank",
+            Phase::BlockRead => "block-read",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cooperative wall-clock budget. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// The unlimited budget: never expires. This is the `Default`.
+    pub fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// A budget expiring `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self { at: Some(Instant::now() + budget) }
+    }
+
+    /// A budget expiring `ms` milliseconds from now.
+    pub fn within_ms(ms: u64) -> Self {
+        Self::within(Duration::from_millis(ms))
+    }
+
+    /// A budget expiring at an explicit instant.
+    pub fn at(instant: Instant) -> Self {
+        Self { at: Some(instant) }
+    }
+
+    /// True when this deadline carries a finite budget.
+    pub fn is_some(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// True when the budget has run out. [`Deadline::none`] never expires.
+    pub fn expired(&self) -> bool {
+        match self.at {
+            None => false,
+            Some(at) => Instant::now() >= at,
+        }
+    }
+
+    /// Time left in the budget; `None` for an unlimited deadline, zero
+    /// when already expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Phase-boundary check: `Err(phase)` when the budget ran out, to be
+    /// mapped into `StoreError::DeadlineExceeded { phase }` by the
+    /// caller (this crate sits below the error taxonomy).
+    pub fn check(&self, phase: Phase) -> Result<(), Phase> {
+        if self.expired() {
+            Err(phase)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_some());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.check(Phase::Scan), Ok(()));
+        assert_eq!(Deadline::default(), Deadline::none());
+    }
+
+    #[test]
+    fn generous_budget_not_expired() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(d.is_some());
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3500));
+        assert_eq!(d.check(Phase::Embed), Ok(()));
+    }
+
+    #[test]
+    fn elapsed_budget_expires_with_phase() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert_eq!(d.check(Phase::BlockRead), Err(Phase::BlockRead));
+    }
+
+    #[test]
+    fn explicit_instant_in_past_expires() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn phase_wire_tags_round_trip() {
+        let all = [
+            Phase::Validate,
+            Phase::Scan,
+            Phase::Embed,
+            Phase::CandidateGen,
+            Phase::Rerank,
+            Phase::BlockRead,
+        ];
+        for p in all {
+            assert_eq!(Phase::from_wire(p.to_wire()), Some(p));
+        }
+        assert_eq!(Phase::from_wire(6), None);
+        assert_eq!(Phase::from_wire(255), None);
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(Phase::Validate.to_string(), "validate");
+        assert_eq!(Phase::BlockRead.to_string(), "block-read");
+        assert_eq!(Phase::CandidateGen.to_string(), "candidate-gen");
+    }
+}

@@ -22,12 +22,16 @@
 //!   integrity footer (magic + body length + checksum) that lets loaders
 //!   reject torn or bit-rotted files before interpreting a single body
 //!   byte.
+//! * [`deadline`] — cooperative request deadlines ([`Deadline`]) and the
+//!   pipeline [`Phase`] vocabulary that overload control reports expiry
+//!   against.
 //! * [`segment`] — checksummed block-addressed segment files: the on-disk
 //!   container behind the paged storage tier, read with positioned I/O so
 //!   cold blocks never need to be resident.
 
 pub mod checksum;
 pub mod codec;
+pub mod deadline;
 pub mod hash;
 pub mod kernel;
 pub mod names;
@@ -36,6 +40,7 @@ pub mod segment;
 pub mod timing;
 pub mod topk;
 
+pub use deadline::{Deadline, Phase};
 pub use hash::{fx_hash_map, fx_hash_set, stable_hash64, stable_hash_str, FxHashMap, FxHashSet};
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use topk::TopK;

@@ -55,6 +55,13 @@
 //! schedule with circuit breaking (see the `resilient_service` example
 //! for the full stack).
 //!
+//! Under load the system degrades gracefully rather than hanging:
+//! admission control (`WarpGateConfig::with_admission`) sheds excess
+//! requests fast with the retryable `StoreError::Overloaded`, per-tenant
+//! token-bucket quotas (`QuotaPolicy`) isolate noisy neighbors, and
+//! cooperative deadlines (`QueryOptions` / `Deadline`) guarantee an
+//! expired request stops before its next billed scan or cold block read.
+//!
 //! ## Workspace map
 //!
 //! | crate | contents |
@@ -85,18 +92,21 @@ pub use wg_util as util;
 /// The types most applications need, importable in one line.
 pub mod prelude {
     pub use warpgate_core::{
-        BackendCircuit, CheckpointPolicy, Checkpointer, CircuitState, CrashState, DaemonReport,
-        Discovery, JoinCandidate, QueryTiming, RecoveryReport, RecoverySource, SyncDaemon,
-        SyncDaemonConfig, SyncReport, SyncSchedule, TornWriter, WarpGate, WarpGateConfig,
+        AdmissionStats, BackendCircuit, CheckpointPolicy, Checkpointer, CircuitState, CrashState,
+        DaemonReport, Discovery, JoinCandidate, QueryOptions, QueryTiming, QuotaPolicy,
+        RecoveryReport, RecoverySource, SyncDaemon, SyncDaemonConfig, SyncReport, SyncSchedule,
+        TenantId, TenantQuota, TornWriter, WarpGate, WarpGateConfig,
     };
     pub use wg_embed::{Aggregation, ColumnEmbedder, EmbeddingModel, WebTableModel};
     pub use wg_lsh::DiscoverScope;
     pub use wg_store::{
         BackendHandle, BackendId, BackendRegistry, CdwConfig, CdwConnector, Column, ColumnRef,
         CsvBackend, Database, FaultInjector, FaultPlan, JoinType, KeyNorm, RemoteBackend,
-        RemoteBackendServer, RetryBackend, RetryPolicy, SampleSpec, StoreError, SystemClock, Table,
-        TableMeta, TableRef, Warehouse, WarehouseBackend,
+        RemoteBackendServer, RemoteServerConfig, RemoteServerStats, RetryBackend, RetryPolicy,
+        SampleSpec, StoreError, SystemClock, Table, TableMeta, TableRef, Warehouse,
+        WarehouseBackend,
     };
+    pub use wg_util::{Deadline, Phase};
 }
 
 #[cfg(test)]

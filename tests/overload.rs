@@ -1,0 +1,225 @@
+//! Overload-resilience acceptance (DESIGN.md §12): a saturated loopback
+//! WGRP server answers every request correctly or fails it *typed* — no
+//! hangs, no panics, no partially billed work; expired deadlines stop
+//! billing at the phase boundary; an over-quota tenant is rejected while
+//! every other tenant's results stay bit-identical to an unloaded run.
+
+use std::sync::{Arc, Barrier};
+
+use warpgate::prelude::*;
+
+fn warehouse() -> Warehouse {
+    let mut w = Warehouse::new("overload");
+    w.database_mut("crm").add_table(
+        Table::new(
+            "accounts",
+            vec![
+                Column::text("name", (0..60).map(|i| format!("Company {i}")).collect::<Vec<_>>()),
+                Column::ints("employees", (0..60).map(|i| i * 3).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    w.database_mut("crm").add_table(
+        Table::new(
+            "leads",
+            vec![Column::text(
+                "company",
+                (0..50).map(|i| format!("company {i}")).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap(),
+    );
+    w.database_mut("finance").add_table(
+        Table::new(
+            "industries",
+            vec![Column::text(
+                "company_name",
+                (0..55).map(|i| format!("COMPANY {i}")).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap(),
+    );
+    w
+}
+
+/// Saturate a bounded WGRP server far past its in-flight cap: every
+/// request either completes correctly or fails with the typed retryable
+/// `Overloaded` — and the served backend bills exactly the admitted
+/// scans, never the shed ones.
+#[test]
+fn saturated_server_sheds_typed_and_never_bills_shed_requests() {
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let inner: BackendHandle = connector.clone();
+    // Every scan stalls 250ms for real, so a burst of 12 requests against
+    // 2 slots cannot trickle through one by one.
+    let slow: BackendHandle = Arc::new(FaultInjector::new(inner, FaultPlan::hang(0.25)));
+    let server = RemoteBackendServer::serve_with(
+        slow,
+        "127.0.0.1:0",
+        RemoteServerConfig { max_connections: 16, max_in_flight: 2, ..Default::default() },
+    )
+    .expect("loopback server");
+    let addr = server.local_addr().to_string();
+
+    // Connect sequentially (the handshake must not race the storm), then
+    // release every scan at once.
+    let clients: Vec<Arc<RemoteBackend>> =
+        (0..12).map(|_| Arc::new(RemoteBackend::connect(addr.clone()).expect("connect"))).collect();
+    let barrier = Arc::new(Barrier::new(clients.len()));
+    let q = ColumnRef::new("crm", "accounts", "name");
+    let handles: Vec<_> = clients
+        .into_iter()
+        .map(|client| {
+            let barrier = barrier.clone();
+            let q = q.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                client.scan_column(&q, SampleSpec::Full)
+            })
+        })
+        .collect();
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        // A panic or hang here fails the whole suite — "no hangs, no
+        // panics" is exactly this join.
+        match h.join().expect("client thread must not panic") {
+            Ok(col) => {
+                assert_eq!(col.len(), 60, "admitted answers must be correct, not partial");
+                ok += 1;
+            }
+            Err(e) => {
+                assert!(matches!(e, StoreError::Overloaded { .. }), "untyped failure: {e:?}");
+                assert!(e.is_retryable(), "shed requests must invite a retry");
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(ok + shed, 12);
+    assert!(ok >= 1, "an idle slot must admit");
+    assert!(shed >= 1, "a 12-deep burst over 2 slots must shed");
+    assert_eq!(
+        connector.costs().requests,
+        ok,
+        "shed requests must never reach the backend (no partial bills)"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.shed_requests, shed, "every client-visible shed is counted");
+    server.shutdown();
+}
+
+/// An expired request deadline bills zero further scans past the expiry
+/// phase — in-process, through the public `discover_opts` path.
+#[test]
+fn expired_deadline_discover_bills_zero_further_scans() {
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let wg = WarpGate::with_backend(WarpGateConfig::default(), connector.clone());
+    wg.index_warehouse().expect("index");
+
+    let q = ColumnRef::new("crm", "accounts", "name");
+    let before = connector.costs();
+    let expired = QueryOptions { deadline: Deadline::within_ms(0), ..Default::default() };
+    let err = wg.discover_opts(&q, 5, &expired).unwrap_err();
+    assert!(matches!(err, StoreError::DeadlineExceeded { phase: Phase::Validate }), "{err:?}");
+    assert!(!err.is_retryable(), "the clock is dead either way");
+    assert_eq!(connector.costs().since(&before).requests, 0, "expiry must stop billing");
+
+    // A live budget serves normally through the same path.
+    let live = QueryOptions { deadline: Deadline::within_ms(30_000), ..Default::default() };
+    let d = wg.discover_opts(&q, 5, &live).expect("live budget serves");
+    assert!(!d.candidates.is_empty());
+    assert!(!d.timing.degraded);
+}
+
+/// The WGRP context frame carries deadline and tenant across the wire:
+/// an expired budget is shed server-side before any billed work, and the
+/// server accounts requests per tenant token.
+#[test]
+fn wire_context_sheds_expired_deadlines_and_accounts_tenants() {
+    let connector = Arc::new(CdwConnector::new(warehouse(), CdwConfig::free()));
+    let served: BackendHandle = connector.clone();
+    let server = RemoteBackendServer::serve(served, "127.0.0.1:0").expect("server");
+    let remote =
+        Arc::new(RemoteBackend::connect(server.local_addr().to_string()).expect("connect"));
+    remote.set_tenant(Some("acme".to_string()));
+
+    let q = ColumnRef::new("crm", "accounts", "name");
+    remote.scan_column(&q, SampleSpec::Full).expect("healthy scan under tenant");
+    let billed_before_expiry = connector.costs().requests;
+
+    remote.set_deadline(Deadline::within_ms(0));
+    let err = remote.scan_column(&q, SampleSpec::Full).unwrap_err();
+    assert!(matches!(err, StoreError::DeadlineExceeded { phase: Phase::Validate }), "{err:?}");
+    assert_eq!(
+        connector.costs().requests,
+        billed_before_expiry,
+        "the server must shed before touching the backend"
+    );
+    assert!(server.stats().deadline_shed >= 1);
+
+    // Clearing the budget resumes service; the tenant ledger saw both.
+    remote.set_deadline(Deadline::none());
+    remote.scan_column(&q, SampleSpec::Full).expect("cleared budget serves");
+    let tenants = server.tenant_requests();
+    assert_eq!(tenants.first().map(|(name, _)| name.as_str()), Some("acme"));
+    assert!(tenants[0].1 >= 3, "shed requests are accounted too: {tenants:?}");
+    server.shutdown();
+}
+
+/// Exhausting one tenant's quota rejects that tenant (typed, retryable)
+/// while every other tenant's answers stay bit-identical to a system
+/// that never saw the noisy neighbor.
+#[test]
+fn quota_exhausted_tenant_is_isolated_and_others_stay_bit_identical() {
+    // The unloaded control: same content, never quota-stressed.
+    let control = WarpGate::with_backend(
+        WarpGateConfig::default(),
+        Arc::new(CdwConnector::new(warehouse(), CdwConfig::free())) as BackendHandle,
+    );
+    control.index_warehouse().expect("index control");
+
+    let loaded = WarpGate::with_backend(
+        WarpGateConfig::default(),
+        Arc::new(CdwConnector::new(warehouse(), CdwConfig::free())) as BackendHandle,
+    );
+    loaded.index_warehouse().expect("index loaded");
+
+    let noisy = TenantId::intern("overload-noisy");
+    let polite = TenantId::intern("overload-polite");
+    // One scan token, no refill: the second cache-miss discovery trips.
+    loaded.quotas().set_quota(noisy, TenantQuota::scans(1.0, 0.0));
+    loaded.quotas().set_quota(polite, TenantQuota::scans(100.0, 0.0));
+
+    let noisy_opts = QueryOptions { tenant: Some(noisy), ..Default::default() };
+    loaded
+        .discover_opts(&ColumnRef::new("crm", "accounts", "name"), 5, &noisy_opts)
+        .expect("first call fits the bucket");
+    let err = loaded
+        .discover_opts(&ColumnRef::new("crm", "accounts", "employees"), 5, &noisy_opts)
+        .unwrap_err();
+    assert!(matches!(err, StoreError::QuotaExceeded { .. }), "{err:?}");
+    assert!(err.is_retryable(), "quota rejections invite a backoff-retry");
+
+    // Every other tenant's results match the unloaded control exactly —
+    // same candidates, same f32 scores.
+    let polite_opts = QueryOptions { tenant: Some(polite), ..Default::default() };
+    for q in [
+        ColumnRef::new("crm", "leads", "company"),
+        ColumnRef::new("finance", "industries", "company_name"),
+    ] {
+        let under_load = loaded.discover_opts(&q, 5, &polite_opts).expect("polite tenant serves");
+        let unloaded = control.discover(&q, 5).expect("control serves");
+        assert_eq!(
+            under_load.candidates, unloaded.candidates,
+            "a neighbor's quota pressure must not perturb results for {q}"
+        );
+        assert!(!under_load.timing.degraded);
+    }
+    // And the noisy tenant stays rejected until its bucket refills.
+    let err = loaded
+        .discover_opts(&ColumnRef::new("finance", "industries", "company_name"), 5, &noisy_opts)
+        .unwrap_err();
+    assert!(matches!(err, StoreError::QuotaExceeded { .. }), "{err:?}");
+}

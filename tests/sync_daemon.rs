@@ -50,6 +50,7 @@ fn fast_daemon_config() -> SyncDaemonConfig {
         open_intervals: 2,
         schedule: SyncSchedule::All,
         checkpoint: None,
+        tick_deadline: None,
     }
 }
 
